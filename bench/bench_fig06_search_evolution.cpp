@@ -1,0 +1,108 @@
+// Figure 6 (a-d): evolution of configuration performance and crash rate
+// over 250-iteration search sessions for Nginx, Redis, SQLite, and NPB —
+// random search vs DeepTune vs DeepTune with transfer learning (model
+// pre-trained on Redis), averaged over several runs.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/configspace/linux_space.h"
+
+namespace {
+
+using namespace wayfinder;
+
+// Trains a DeepTune model on Redis and saves it (the §4.2 donor model).
+std::string TrainRedisDonor(const ConfigSpace& space, size_t iterations) {
+  Testbench bench(const_cast<ConfigSpace*>(&space), AppId::kRedis);
+  DeepTuneSearcher searcher(&space, {});
+  SessionOptions options;
+  options.max_iterations = iterations;
+  options.sample_options = SampleOptions::FavorRuntime();
+  options.seed = 0x7ed15;
+  RunSearch(&bench, &searcher, options);
+  std::string path = "fig06_redis_donor.wfnn";
+  searcher.SaveModel(path);
+  return path;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wayfinder;
+  Banner("Figure 6", "Search evolution: random vs DeepTune vs DeepTune+TL");
+  const size_t kRuns = BenchRuns();
+  const size_t kIters = BenchIters();
+
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::printf("training transfer-learning donor model on redis (%zu iterations)...\n", kIters);
+  std::string donor = TrainRedisDonor(space, kIters);
+
+  CsvWriter csv(CsvPath("fig06_search_evolution"),
+                {"app", "algorithm", "run", "time_s", "metric", "crash_rate"});
+  TablePrinter summary({"app", "algorithm", "final smoothed", "best found", "crash rate",
+                        "sim hours"});
+
+  for (const AppProfile& app : AllApps()) {
+    const bool maximize = app.maximize;
+    for (const char* algorithm : {"random", "deeptune", "deeptune+tl"}) {
+      std::vector<SessionResult> results;
+      double crash_sum = 0.0;
+      double best_sum = 0.0;
+      double hours_sum = 0.0;
+      for (size_t run = 0; run < kRuns; ++run) {
+        Testbench bench(&space, app.id);
+        std::unique_ptr<Searcher> searcher;
+        if (std::string(algorithm) == "random") {
+          searcher = MakeSearcher("random", &space);
+        } else {
+          DeepTuneOptions options;
+          options.model.seed = 0xd7a1 + run;
+          auto deeptune = std::make_unique<DeepTuneSearcher>(&space, options);
+          if (std::string(algorithm) == "deeptune+tl") {
+            deeptune->LoadModel(donor);
+          }
+          searcher = std::move(deeptune);
+        }
+        SessionOptions options;
+        options.max_iterations = kIters;
+        options.sample_options = SampleOptions::FavorRuntime();
+        options.seed = StableHash(app.name) + run * 977;
+        SessionResult result = RunSearch(&bench, searcher.get(), options);
+
+        // Dump this run's series (metric polarity restored for plotting).
+        std::vector<SeriesPoint> series = SmoothedObjective(result.history);
+        std::vector<double> crash_series = CrashRateSeries(result.history);
+        size_t ok_index = 0;
+        for (size_t i = 0; i < result.history.size(); ++i) {
+          if (!result.history[i].HasObjective()) {
+            continue;
+          }
+          double metric = maximize ? series[ok_index].value : -series[ok_index].value;
+          csv.WriteRow({app.name, algorithm, std::to_string(run),
+                        TablePrinter::Num(series[ok_index].time, 0),
+                        TablePrinter::Num(metric, 1), TablePrinter::Num(crash_series[i], 3)});
+          ++ok_index;
+        }
+        crash_sum += result.CrashRate();
+        if (result.best() != nullptr) {
+          best_sum += result.best()->outcome.metric;
+        }
+        hours_sum += result.total_sim_seconds / 3600.0;
+        results.push_back(std::move(result));
+      }
+      double final_obj = FinalSmoothedObjective(results);
+      double final_metric = maximize ? final_obj : -final_obj;
+      summary.AddRow({app.name, algorithm, TablePrinter::Num(final_metric, 0),
+                      TablePrinter::Num(best_sum / static_cast<double>(kRuns), 0),
+                      TablePrinter::Num(crash_sum / static_cast<double>(kRuns), 2),
+                      TablePrinter::Num(hours_sum / static_cast<double>(kRuns), 1)});
+      std::printf("  %-7s %-12s done (%zu runs)\n", app.name.c_str(), algorithm, kRuns);
+    }
+  }
+  summary.Print(std::cout);
+  std::printf(
+      "Paper shape: DeepTune overtakes random after the model warms up (Nginx: >20%% higher\n"
+      "smoothed throughput at 250 iterations); TL starts higher and crashes <10%%; random\n"
+      "crash rate stays ~0.3 while DeepTune's decays to 0.1-0.25.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Figure 7: scalability of DeepTune vs Unicorn-style causal inference —
+// per-iteration algorithm execution time and live memory over a search run
+// on a synthetic dataset with known local and global maxima (the paper uses
+// a parameter count matching the original Unicorn study, as causal
+// inference cannot scale to the Linux space).
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "src/causal/causal_search.h"
+#include "src/util/sim_clock.h"
+
+namespace {
+
+using namespace wayfinder;
+
+// Synthetic space: d integer knobs in [0, 100].
+ConfigSpace SyntheticSpace(size_t d) {
+  ConfigSpace space;
+  for (size_t i = 0; i < d; ++i) {
+    space.Add(ParamSpec::Int("knob_" + std::to_string(i), ParamPhase::kRuntime, "kernel", 0, 100,
+                             50));
+  }
+  return space;
+}
+
+// Objective with one global and several local maxima, known by seed.
+double SyntheticObjective(const ConfigSpace& space, const Configuration& config, uint64_t seed) {
+  double value = 0.0;
+  for (size_t i = 0; i < space.Size(); ++i) {
+    uint64_t h = HashCombine(seed, i);
+    double global_peak = static_cast<double>(h % 101);
+    double local_peak = static_cast<double>((h >> 8) % 101);
+    double x = static_cast<double>(config.Raw(i));
+    double dg = (x - global_peak) / 20.0;
+    double dl = (x - local_peak) / 12.0;
+    value += std::exp(-dg * dg) + 0.45 * std::exp(-dl * dl);
+  }
+  return value;
+}
+
+struct IterationCost {
+  double seconds = 0.0;
+  size_t memory = 0;
+};
+
+std::vector<IterationCost> Drive(Searcher& searcher, const ConfigSpace& space,
+                                 size_t iterations, uint64_t seed) {
+  std::vector<TrialRecord> history;
+  Rng rng(seed);
+  SearchContext context;
+  context.space = &space;
+  context.history = &history;
+  context.rng = &rng;
+  std::vector<IterationCost> costs;
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    WallTimer timer;
+    Configuration config = searcher.Propose(context);
+    TrialRecord record;
+    record.iteration = iter;
+    record.config = std::move(config);
+    record.outcome.status = TrialOutcome::Status::kOk;
+    record.outcome.metric = SyntheticObjective(space, record.config, seed);
+    record.objective = record.outcome.metric;
+    history.push_back(std::move(record));
+    searcher.Observe(history.back(), context);
+    costs.push_back({timer.ElapsedSeconds(), searcher.MemoryBytes()});
+  }
+  return costs;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wayfinder;
+  Banner("Figure 7", "DeepTune vs Unicorn-style causal inference: time & memory growth");
+  const size_t kDims = 40;  // The Unicorn paper's configuration sizes.
+  const size_t kIters = FastMode() ? 80 : 320;
+  ConfigSpace space = SyntheticSpace(kDims);
+
+  CausalSearcher causal(&space);
+  DeepTuneOptions dt_options;
+  dt_options.pool_size = 64;
+  DeepTuneSearcher deeptune(&space, dt_options);
+
+  std::vector<IterationCost> causal_costs = Drive(causal, space, kIters, 0x715);
+  std::vector<IterationCost> deeptune_costs = Drive(deeptune, space, kIters, 0x715);
+
+  CsvWriter csv(CsvPath("fig07_scalability"),
+                {"iteration", "causal_ms", "causal_mb", "deeptune_ms", "deeptune_mb"});
+  TablePrinter table({"iteration", "unicorn ms/iter", "unicorn MB", "deeptune ms/iter",
+                      "deeptune MB"});
+  for (size_t i = 0; i < kIters; ++i) {
+    csv.WriteRow({static_cast<double>(i), causal_costs[i].seconds * 1e3,
+                  static_cast<double>(causal_costs[i].memory) / 1e6,
+                  deeptune_costs[i].seconds * 1e3,
+                  static_cast<double>(deeptune_costs[i].memory) / 1e6});
+    if (i % (kIters / 8) == 0 || i + 1 == kIters) {
+      table.AddRow({std::to_string(i), TablePrinter::Num(causal_costs[i].seconds * 1e3, 2),
+                    TablePrinter::Num(static_cast<double>(causal_costs[i].memory) / 1e6, 2),
+                    TablePrinter::Num(deeptune_costs[i].seconds * 1e3, 2),
+                    TablePrinter::Num(static_cast<double>(deeptune_costs[i].memory) / 1e6, 2)});
+    }
+  }
+  table.Print(std::cout);
+
+  // Growth factors between the first and last quarter of the run.
+  auto growth = [&](const std::vector<IterationCost>& costs, bool memory) {
+    double early = 0.0;
+    double late = 0.0;
+    size_t quarter = costs.size() / 4;
+    for (size_t i = 0; i < quarter; ++i) {
+      early += memory ? static_cast<double>(costs[i].memory) : costs[i].seconds;
+      late += memory ? static_cast<double>(costs[costs.size() - 1 - i].memory)
+                     : costs[costs.size() - 1 - i].seconds;
+    }
+    return late / std::max(early, 1e-12);
+  };
+  std::printf("time growth (last/first quarter):   unicorn %.1fx   deeptune %.1fx\n",
+              growth(causal_costs, false), growth(deeptune_costs, false));
+  std::printf("memory growth (last/first quarter): unicorn %.1fx   deeptune %.1fx\n",
+              growth(causal_costs, true), growth(deeptune_costs, true));
+  std::printf(
+      "Paper shape: Unicorn's per-iteration time and memory climb super-linearly with the\n"
+      "history; DeepTune stays flat in time and linear (dataset-only) in memory.\n");
+  return 0;
+}

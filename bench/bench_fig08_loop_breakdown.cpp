@@ -1,0 +1,48 @@
+// Figure 8: search-loop breakdown — the wall-clock time DeepTune spends
+// deciding/learning per iteration vs the (simulated) time one configuration
+// evaluation costs per application. The paper's point: evaluation dominates
+// (60-80 s) while the model update stays under a second.
+#include "bench/bench_common.h"
+#include "src/configspace/linux_space.h"
+
+int main() {
+  using namespace wayfinder;
+  Banner("Figure 8", "DeepTune update time vs per-configuration test time");
+  const size_t kIters = FastMode() ? 40 : 120;
+  ConfigSpace space = BuildLinuxSearchSpace();
+
+  TablePrinter table({"component", "mean seconds", "stddev", "unit"});
+  CsvWriter csv(CsvPath("fig08_loop_breakdown"), {"component", "mean_s", "std_s", "kind"});
+
+  RunningStats update_stats;
+  for (const AppProfile& app : AllApps()) {
+    Testbench bench(&space, app.id);
+    DeepTuneSearcher searcher(&space, {});
+    SessionOptions options;
+    options.max_iterations = kIters;
+    options.sample_options = SampleOptions::FavorRuntime();
+    options.seed = StableHash(app.name) + 8;
+    SearchSession session(&bench, &searcher, options);
+    SessionResult result = session.Run();
+
+    RunningStats test_stats;
+    for (const TrialRecord& trial : result.history) {
+      test_stats.Add(trial.outcome.TotalSeconds());
+      update_stats.Add(trial.searcher_seconds);
+    }
+    table.AddRow({std::string(app.name) + " test time", TablePrinter::Num(test_stats.Mean(), 1),
+                  TablePrinter::Num(test_stats.StdDev(), 1), "sim s"});
+    csv.WriteRow({std::string(app.name) + "_test", TablePrinter::Num(test_stats.Mean(), 3),
+                  TablePrinter::Num(test_stats.StdDev(), 3), "sim"});
+  }
+  table.AddRow({"DeepTune update", TablePrinter::Num(update_stats.Mean(), 3),
+                TablePrinter::Num(update_stats.StdDev(), 3), "wall s"});
+  csv.WriteRow({"deeptune_update", TablePrinter::Num(update_stats.Mean(), 4),
+                TablePrinter::Num(update_stats.StdDev(), 4), "wall"});
+  table.Print(std::cout);
+  std::printf(
+      "Paper: update 0.85 +/- 0.10 s vs 60-80 s test time; the bottleneck is evaluating\n"
+      "configurations, not the search algorithm. (Our update is faster in absolute terms —\n"
+      "C++ vs the paper's Python stack — the ordering is the claim.)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 9: applying Wayfinder to the Unikraft unikernel — Nginx request
+// throughput under a 3-hour (simulated) budget, Wayfinder vs random search
+// vs Bayesian optimization on the 33-parameter space (~3.7e13 permutations).
+#include "bench/bench_common.h"
+#include "src/bayes/bayes_search.h"
+#include "src/configspace/unikraft_space.h"
+
+int main() {
+  using namespace wayfinder;
+  Banner("Figure 9", "Nginx on Unikraft: Wayfinder vs random vs Bayesian optimization");
+  const size_t kRuns = BenchRuns();
+  const double kBudget = FastMode() ? 2400.0 : 10800.0;  // 3 hours simulated.
+
+  ConfigSpace space = BuildUnikraftSpace();
+  std::printf("space: %zu parameters, ~10^%.1f permutations\n", space.Size(),
+              space.Log10SpaceSize());
+
+  CsvWriter csv(CsvPath("fig09_unikraft"), {"algorithm", "run", "time_s", "throughput"});
+  TablePrinter summary({"algorithm", "final smoothed", "best", "crash rate", "iterations"});
+
+  for (const char* algorithm : {"random", "bayesopt", "deeptune"}) {
+    std::vector<SessionResult> results;
+    double best_sum = 0.0;
+    double crash_sum = 0.0;
+    double iters_sum = 0.0;
+    for (size_t run = 0; run < kRuns; ++run) {
+      TestbenchOptions bench_options;
+      bench_options.substrate = Substrate::kUnikraftKvm;
+      Testbench bench(&space, AppId::kNginx, bench_options);
+      std::unique_ptr<Searcher> searcher = MakeSearcher(algorithm, &space, 0xa11 + run);
+      SessionOptions options;
+      options.max_iterations = 100000;  // Time-bounded, not iteration-bounded.
+      options.max_sim_seconds = kBudget;
+      options.seed = 0x95ca1 + run * 31;
+      SessionResult result = RunSearch(&bench, searcher.get(), options);
+
+      std::vector<SeriesPoint> series = SmoothedObjective(result.history, 10);
+      for (const SeriesPoint& point : series) {
+        csv.WriteRow({algorithm, std::to_string(run), TablePrinter::Num(point.time, 0),
+                      TablePrinter::Num(point.value, 0)});
+      }
+      best_sum += result.best() != nullptr ? result.best()->outcome.metric : 0.0;
+      crash_sum += result.CrashRate();
+      iters_sum += static_cast<double>(result.history.size());
+      results.push_back(std::move(result));
+    }
+    double runs = static_cast<double>(kRuns);
+    summary.AddRow({algorithm, TablePrinter::Num(FinalSmoothedObjective(results), 0),
+                    TablePrinter::Num(best_sum / runs, 0), TablePrinter::Num(crash_sum / runs, 2),
+                    TablePrinter::Num(iters_sum / runs, 0)});
+    std::printf("  %-9s done (%zu runs)\n", algorithm, kRuns);
+  }
+  summary.Print(std::cout);
+  std::printf(
+      "Paper shape: Wayfinder converges on a fast configuration after ~100 minutes;\n"
+      "Bayesian optimization needs >160 minutes to match it; random search never finds\n"
+      "high-performance configurations in the budget. Unikernel gains far exceed Linux's.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 11: co-optimizing throughput and memory on top of a Cozart
+// baseline. Cozart's dynamic-analysis debloating first removes unused
+// compile-time options (shrinking the space and the image and slightly
+// boosting throughput); Wayfinder then explores the remaining (runtime)
+// parameters against the Eq. 4 score s = mXNorm(throughput) - mXNorm(mem).
+#include "bench/bench_common.h"
+#include "src/configspace/linux_space.h"
+#include "src/simos/cozart.h"
+
+int main() {
+  using namespace wayfinder;
+  Banner("Figure 11", "Throughput-memory co-optimization on a Cozart baseline");
+  const size_t kRuns = BenchRuns();
+  const size_t kIters = FastMode() ? 80 : 450;
+
+  // --- Cozart pre-pass --------------------------------------------------------
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench probe_bench(&space, AppId::kNginx);
+  CozartDebloater cozart(&space, &probe_bench.crash_model());
+  DebloatResult debloat = cozart.Debloat(AppId::kNginx);
+
+  // Baselines measured before the disabled options are frozen out.
+  double default_throughput = probe_bench.perf_model().BaselineMetric(AppId::kNginx);
+  double cozart_throughput = probe_bench.perf_model().MeanMetric(AppId::kNginx, debloat.baseline);
+  double default_memory =
+      probe_bench.memory_model().FootprintMb(space.DefaultConfiguration());
+  double cozart_memory = probe_bench.memory_model().FootprintMb(debloat.baseline);
+  CozartDebloater::FreezeDisabled(&space, debloat);
+  std::printf("cozart: disabled %zu of %zu compile options\n", debloat.disabled.size(),
+              debloat.options_considered);
+  std::printf("cozart baseline: %.0f req/s (default %.0f, %+.1f%%), %.1f MB (default %.1f)\n",
+              cozart_throughput, default_throughput,
+              100.0 * (cozart_throughput / default_throughput - 1.0), cozart_memory,
+              default_memory);
+
+  // --- Wayfinder on top ---------------------------------------------------------
+  CsvWriter csv(CsvPath("fig11_cozart_synergy"),
+                {"algorithm", "run", "time_s", "score", "crash_rate"});
+  TablePrinter summary({"algorithm", "final smoothed score", "best score", "crash rate"});
+  for (const char* algorithm : {"random", "deeptune"}) {
+    std::vector<SessionResult> results;
+    double crash_sum = 0.0;
+    double best_sum = 0.0;
+    for (size_t run = 0; run < kRuns; ++run) {
+      Testbench bench(&space, AppId::kNginx);
+      std::unique_ptr<Searcher> searcher = MakeSearcher(algorithm, &space, 0xc02a + run);
+      SessionOptions options;
+      options.max_iterations = kIters;
+      options.objective = ObjectiveKind::kScore;
+      options.sample_options = SampleOptions::FavorRuntime();
+      options.seed = 0x11c0 + run * 53;
+      SessionResult result = RunSearch(&bench, searcher.get(), options);
+      std::vector<SeriesPoint> series = SmoothedObjective(result.history);
+      std::vector<double> crash_series = CrashRateSeries(result.history);
+      size_t ok_index = 0;
+      for (size_t i = 0; i < result.history.size() && ok_index < series.size(); ++i) {
+        if (!result.history[i].HasObjective()) {
+          continue;
+        }
+        csv.WriteRow({algorithm, std::to_string(run), TablePrinter::Num(series[ok_index].time, 0),
+                      TablePrinter::Num(series[ok_index].value, 3),
+                      TablePrinter::Num(crash_series[i], 3)});
+        ++ok_index;
+      }
+      crash_sum += result.CrashRate();
+      best_sum += result.best() != nullptr ? result.best()->objective : 0.0;
+      results.push_back(std::move(result));
+    }
+    double runs = static_cast<double>(kRuns);
+    summary.AddRow({algorithm, TablePrinter::Num(FinalSmoothedObjective(results), 3),
+                    TablePrinter::Num(best_sum / runs, 3),
+                    TablePrinter::Num(crash_sum / runs, 2)});
+    std::printf("  %-9s done (%zu runs)\n", algorithm, kRuns);
+  }
+  summary.Print(std::cout);
+  std::printf(
+      "Paper shape: DeepTune learns a policy that beats random on the combined score,\n"
+      "with alternating exploitation (low crash rate) and exploration phases.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Micro-benchmarks (google-benchmark) of the DeepTune Model's primitives:
+// per-iteration update cost and candidate-pool prediction cost, across input
+// widths. These are the constants behind Figure 8's "update < 1 s" claim.
+#include <benchmark/benchmark.h>
+
+#include "src/core/dtm.h"
+#include "src/util/rng.h"
+
+namespace wayfinder {
+namespace {
+
+std::vector<double> RandomFeatures(Rng& rng, size_t dim) {
+  std::vector<double> x(dim);
+  for (double& v : x) {
+    v = rng.Uniform();
+  }
+  return x;
+}
+
+void BM_DtmUpdate(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  size_t samples = static_cast<size_t>(state.range(1));
+  DtmOptions options;
+  DeepTuneModel model(dim, options);
+  Rng rng(1);
+  for (size_t i = 0; i < samples; ++i) {
+    bool crashed = rng.Bernoulli(0.3);
+    model.AddSample(RandomFeatures(rng, dim), crashed, rng.Normal(100.0, 10.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Update());
+  }
+  state.SetLabel(std::to_string(dim) + "d/" + std::to_string(samples) + " samples");
+}
+BENCHMARK(BM_DtmUpdate)->Args({33, 100})->Args({263, 100})->Args({263, 250});
+
+void BM_DtmPredictPool(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  size_t pool = static_cast<size_t>(state.range(1));
+  DeepTuneModel model(dim, {});
+  Rng rng(2);
+  for (size_t i = 0; i < 64; ++i) {
+    model.AddSample(RandomFeatures(rng, dim), rng.Bernoulli(0.3), rng.Normal(0.0, 1.0));
+  }
+  model.Update();
+  std::vector<std::vector<double>> candidates;
+  for (size_t i = 0; i < pool; ++i) {
+    candidates.push_back(RandomFeatures(rng, dim));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictBatch(candidates));
+  }
+}
+BENCHMARK(BM_DtmPredictPool)->Args({263, 128})->Args({263, 256});
+
+void BM_DtmAddSample(benchmark::State& state) {
+  DeepTuneModel model(263, {});
+  Rng rng(3);
+  std::vector<double> x = RandomFeatures(rng, 263);
+  for (auto _ : state) {
+    model.AddSample(x, false, 1.0);
+  }
+}
+BENCHMARK(BM_DtmAddSample);
+
+}  // namespace
+}  // namespace wayfinder
+
+BENCHMARK_MAIN();

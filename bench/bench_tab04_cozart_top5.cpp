@@ -1,0 +1,74 @@
+// Table 4: top-5 results of the throughput-memory co-optimization on top of
+// Cozart (the Figure 11 run), vs the Cozart baseline itself. The paper's
+// absolute numbers come from the Cozart testbed (4 cores, different kernel)
+// and are printed for reference; the claim is the *shape*: the top
+// permutations beat the baseline on both axes, and the ranking trades the
+// two objectives.
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "src/configspace/linux_space.h"
+#include "src/simos/cozart.h"
+
+int main() {
+  using namespace wayfinder;
+  Banner("Table 4", "Top-5 throughput-memory configurations on top of Cozart");
+  const size_t kIters = FastMode() ? 80 : 450;
+
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kNginx);
+  CozartDebloater cozart(&space, &bench.crash_model());
+  DebloatResult debloat = cozart.Debloat(AppId::kNginx);
+  CozartDebloater::FreezeDisabled(&space, debloat);
+  double cozart_throughput = bench.perf_model().MeanMetric(AppId::kNginx, debloat.baseline);
+  double cozart_memory = bench.memory_model().FootprintMb(debloat.baseline);
+
+  DeepTuneOptions dt;
+  DeepTuneSearcher searcher(&space, dt);
+  SessionOptions options;
+  options.max_iterations = kIters;
+  options.objective = ObjectiveKind::kScore;
+  options.sample_options = SampleOptions::FavorRuntime();
+  options.seed = 0x7ab4;
+  Testbench session_bench(&space, AppId::kNginx);
+  SessionResult result = RunSearch(&session_bench, &searcher, options);
+
+  // Rank successful trials by final score.
+  std::vector<const TrialRecord*> ok;
+  for (const TrialRecord& trial : result.history) {
+    if (trial.HasObjective()) {
+      ok.push_back(&trial);
+    }
+  }
+  std::sort(ok.begin(), ok.end(), [](const TrialRecord* a, const TrialRecord* b) {
+    return a->objective > b->objective;
+  });
+
+  TablePrinter table({"rank", "score", "memory (MB)", "throughput (req/s)"});
+  CsvWriter csv(CsvPath("tab04_cozart_top5"), {"rank", "score", "memory_mb", "throughput"});
+  for (size_t rank = 0; rank < std::min<size_t>(5, ok.size()); ++rank) {
+    const TrialRecord* trial = ok[rank];
+    table.AddRow({std::to_string(rank + 1), TablePrinter::Num(trial->objective, 2),
+                  TablePrinter::Num(trial->outcome.memory_mb, 2),
+                  TablePrinter::Num(trial->outcome.metric, 0)});
+    csv.WriteRow({static_cast<double>(rank + 1), trial->objective, trial->outcome.memory_mb,
+                  trial->outcome.metric});
+  }
+  table.AddRow({"cozart", "-", TablePrinter::Num(cozart_memory, 2),
+                TablePrinter::Num(cozart_throughput, 0)});
+  csv.WriteRow({0.0, std::nan(""), cozart_memory, cozart_throughput});
+  table.Print(std::cout);
+  std::printf(
+      "Paper (different testbed, for reference): top-5 scores 0.78-0.84 at 327.7-330.5 MB and\n"
+      "47002-49375 req/s vs the Cozart baseline at 331.77 MB / 46855 req/s. Expected shape:\n"
+      "every top-5 row dominates or trades off against the baseline on both axes.\n");
+  size_t dominate = 0;
+  for (size_t rank = 0; rank < std::min<size_t>(5, ok.size()); ++rank) {
+    if (ok[rank]->outcome.metric >= cozart_throughput &&
+        ok[rank]->outcome.memory_mb <= cozart_memory) {
+      ++dominate;
+    }
+  }
+  std::printf("top-5 rows dominating the Cozart baseline on both axes: %zu/5\n", dominate);
+  return 0;
+}

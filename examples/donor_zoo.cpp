@@ -1,0 +1,113 @@
+// Transfer learning with automatic donor selection (§3.3, Figure 5).
+//
+// Workflow: (1) specialize Redis and NPB, publishing each trained model to
+// a model zoo together with its application fingerprint (random-forest
+// feature importance over random configurations); (2) when a new
+// application (Nginx) arrives, fingerprint it, rank the zoo's donors by
+// cosine similarity, and warm-start from the best match. The network-bound
+// Redis model transfers; the CPU-bound NPB model would not (Figure 5's
+// 0.955 vs 0.450 structure).
+#include <cstdio>
+#include <filesystem>
+
+#include "src/configspace/linux_space.h"
+#include "src/core/model_zoo.h"
+#include "src/core/wayfinder_api.h"
+
+int main() {
+  using namespace wayfinder;
+
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::string zoo_dir =
+      (std::filesystem::temp_directory_path() / "wayfinder_zoo_example").string();
+  std::filesystem::remove_all(zoo_dir);
+  ModelZoo zoo(zoo_dir);
+
+  const size_t kTrainIterations = 120;
+  const size_t kFingerprintSamples = 300;
+
+  // --- 1. Populate the zoo -----------------------------------------------------
+  for (AppId app : {AppId::kRedis, AppId::kNpb}) {
+    const std::string name = GetApp(app).name;
+    DeepTuneSearcher searcher(&space);
+    Testbench bench(&space, app);
+    SessionOptions options;
+    options.max_iterations = kTrainIterations;
+    options.sample_options = SampleOptions::FavorRuntime();
+    options.seed = StableHash(name);
+    RunSearch(&bench, &searcher, options);
+
+    Testbench fingerprint_bench(&space, app);
+    std::vector<double> fingerprint =
+        ComputeImportanceFingerprint(fingerprint_bench, kFingerprintSamples,
+                                     StableHash(name) ^ 0xf1);
+    zoo.Publish(name, searcher, fingerprint);
+    std::printf("published '%s' to the zoo\n", name.c_str());
+  }
+
+  // --- 2. A new application arrives: pick the donor ----------------------------
+  Testbench nginx_bench(&space, AppId::kNginx);
+  std::vector<double> nginx_fingerprint =
+      ComputeImportanceFingerprint(nginx_bench, kFingerprintSamples, 0x161);
+  std::printf("\ndonor ranking for nginx:\n");
+  std::vector<DonorMatch> donors = zoo.RankDonors(nginx_fingerprint);
+  for (const DonorMatch& match : donors) {
+    std::printf("  %-8s similarity %.3f\n", match.name.c_str(), match.similarity);
+  }
+  if (donors.empty()) {
+    std::printf("zoo is empty; nothing to transfer\n");
+    return 1;
+  }
+
+  // --- 3. Warm-start from the winner vs a cold start ---------------------------
+  // The paper's transfer-learning claims (§4.2, Table 2): the warm model
+  // reaches a better-than-default configuration sooner and crashes less.
+  // Averaged over several seeds; a single short run is noise-dominated.
+  const double kDefaultReqs = 15731.0;
+  const size_t kSeeds = 5;
+  auto run_nginx = [&](bool transfer, uint64_t seed, double* time_to_beat,
+                       double* crash_rate) {
+    DeepTuneSearcher searcher(&space);
+    if (transfer) {
+      zoo.Adopt(donors.front().name, &searcher);
+    }
+    Testbench bench(&space, AppId::kNginx);
+    SessionOptions options;
+    options.max_iterations = 60;  // Short budget: where transfer matters most.
+    options.sample_options = SampleOptions::FavorRuntime();
+    options.seed = seed;
+    SessionResult result = RunSearch(&bench, &searcher, options);
+    *crash_rate = result.CrashRate();
+    *time_to_beat = result.total_sim_seconds;  // Pessimistic: never beat it.
+    for (const TrialRecord& trial : result.history) {
+      if (trial.HasObjective() && trial.outcome.metric > kDefaultReqs) {
+        *time_to_beat = trial.sim_time_end;
+        break;
+      }
+    }
+  };
+
+  double cold_time = 0.0, cold_crash = 0.0, warm_time = 0.0, warm_crash = 0.0;
+  for (size_t run = 0; run < kSeeds; ++run) {
+    double t = 0.0, c = 0.0;
+    run_nginx(false, 0x715 + run * 37, &t, &c);
+    cold_time += t / kSeeds;
+    cold_crash += c / kSeeds;
+    run_nginx(true, 0x715 + run * 37, &t, &c);
+    warm_time += t / kSeeds;
+    warm_crash += c / kSeeds;
+  }
+
+  std::printf("\naveraged over %zu seeds (60 iterations each):\n", kSeeds);
+  std::printf("%-22s %-28s %s\n", "", "time to beat default (s)", "crash rate");
+  std::printf("%-22s %-28.0f %.2f\n", "cold start", cold_time, cold_crash);
+  std::printf("%-22s %-28.0f %.2f\n", ("transfer from " + donors.front().name).c_str(),
+              warm_time, warm_crash);
+  std::printf("\nAt this miniature scale the robust transfer win is the crash rate: the\n"
+              "donor's crash knowledge applies from the first iteration (§4.2 reports\n"
+              "<10%% with TL). The 3-4.5x time-to-find speedup of Table 2 needs the\n"
+              "full 250-iteration budget — see bench_tab02_best_configs.\n");
+
+  std::filesystem::remove_all(zoo_dir);
+  return 0;
+}

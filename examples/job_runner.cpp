@@ -1,0 +1,57 @@
+// Minimal `wfctl`-style runner: executes a YAML job file end to end
+// (§3.1/§3.4). With no argument it runs a built-in demo job.
+//
+//   ./job_runner my_job.yaml [model_in.wfnn [model_out.wfnn]]
+#include <cstdio>
+#include <string>
+
+#include "src/core/wayfinder_api.h"
+
+namespace {
+
+const char* const kDemoJob = R"(# Demo job: specialize Unikraft for Nginx throughput.
+name: unikraft-nginx-demo
+os: unikraft
+application: nginx
+metric: performance
+budget:
+  iterations: 120
+search:
+  algorithm: deeptune
+  seed: 42
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wayfinder;
+  std::string model_in = argc > 2 ? argv[2] : "";
+  std::string model_out = argc > 3 ? argv[3] : "";
+
+  JobRunResult result;
+  if (argc > 1) {
+    std::printf("running job file %s\n", argv[1]);
+    result = RunJobFile(argv[1], model_in, model_out);
+  } else {
+    std::printf("no job file given; running the built-in demo job:\n%s\n", kDemoJob);
+    result = RunJobText(kDemoJob, model_in, model_out);
+  }
+  if (!result.ok) {
+    std::fprintf(stderr, "error: %s\n", result.error.c_str());
+    return 1;
+  }
+
+  const SessionResult& session = result.session;
+  std::printf("job '%s': %zu trials, %zu crashes (%.0f%%), %.1f simulated hours\n",
+              result.spec.name.c_str(), session.history.size(), session.crashes,
+              100.0 * session.CrashRate(), session.total_sim_seconds / 3600.0);
+  const TrialRecord* best = session.best();
+  if (best == nullptr) {
+    std::printf("no successful configuration found\n");
+    return 1;
+  }
+  std::printf("best objective: %.2f (found after %.0f simulated seconds)\n", best->objective,
+              best->sim_time_end);
+  std::printf("configuration diff vs default:\n%s", best->config.DiffString().c_str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Scenario: shrink the boot memory footprint of an embedded RISC-V Linux
+// image (the §4.4 use-case — lightweight VMs and embedded systems), while
+// keeping security-relevant options pinned (§3.5).
+#include <cstdio>
+
+#include "src/configspace/linux_space.h"
+#include "src/core/wayfinder_api.h"
+
+int main() {
+  using namespace wayfinder;
+
+  ConfigSpace space = BuildLinuxSearchSpace();
+  // Security-aware search: never let the optimizer disable ASLR or
+  // mitigations, no matter how much memory or speed it would buy (§3.5).
+  space.Freeze("kernel.randomize_va_space", 2);
+  space.Freeze("CONFIG_RETPOLINE", 1);
+  space.Freeze("CONFIG_PAGE_TABLE_ISOLATION", 1);
+
+  TestbenchOptions bench_options;
+  bench_options.substrate = Substrate::kLinuxRiscvQemu;
+  Testbench bench(&space, AppId::kNginx, bench_options);
+  double default_mb =
+      bench.memory_model().FootprintMb(space.DefaultConfiguration());
+  std::printf("default image footprint: %.1f MB\n", default_mb);
+
+  SessionOptions options;
+  options.max_iterations = 120;
+  options.objective = ObjectiveKind::kMemoryFootprint;
+  options.sample_options = SampleOptions::FavorCompileTime();
+  options.seed = 11;
+  auto searcher = MakeSearcher("deeptune", &space);
+  SessionResult result = RunSearch(&bench, searcher.get(), options);
+
+  const TrialRecord* best = result.best();
+  if (best == nullptr) {
+    std::printf("no bootable configuration found\n");
+    return 1;
+  }
+  std::printf("best footprint: %.1f MB (-%.1f%%) after %.1f simulated hours, %zu crashes\n",
+              best->outcome.memory_mb, 100.0 * (1.0 - best->outcome.memory_mb / default_mb),
+              result.total_sim_seconds / 3600.0, result.crashes);
+  std::printf("\nchanges vs default (first 10 lines):\n");
+  std::string diff = best->config.DiffString();
+  size_t pos = 0;
+  for (int line = 0; line < 10 && pos != std::string::npos; ++line) {
+    size_t next = diff.find('\n', pos);
+    if (next == std::string::npos) {
+      break;
+    }
+    std::printf("  %s\n", diff.substr(pos, next - pos).c_str());
+    pos = next + 1;
+  }
+  // The frozen security knobs were never touched.
+  std::printf("\nkernel.randomize_va_space stayed at %lld (frozen)\n",
+              static_cast<long long>(best->config.Get("kernel.randomize_va_space")));
+  return 0;
+}

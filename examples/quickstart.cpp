@@ -1,0 +1,45 @@
+// Quickstart: specialize the Linux kernel configuration for Nginx
+// throughput with DeepTune, and compare against random search.
+//
+// Mirrors the paper's core loop (§3.1): Wayfinder proposes a configuration,
+// the testbench builds/boots/benchmarks it, and the search model learns
+// from the outcome. Run time is a few seconds; all "seconds" reported on
+// the time axis are simulated testbench time.
+#include <cstdio>
+
+#include "src/configspace/linux_space.h"
+#include "src/core/wayfinder_api.h"
+
+int main() {
+  using namespace wayfinder;
+
+  // 1. The configuration space: curated real Linux 4.19 parameters plus a
+  //    synthetic tail (~250 options across compile/boot/runtime phases).
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::printf("space: %zu parameters (%zu compile, %zu boot, %zu runtime)\n", space.Size(),
+              space.CountPhase(ParamPhase::kCompileTime), space.CountPhase(ParamPhase::kBootTime),
+              space.CountPhase(ParamPhase::kRuntime));
+
+  // 2. The testbench: Nginx benchmarked with wrk on the simulated substrate.
+  Testbench bench(&space, AppId::kNginx);
+  std::printf("default configuration: %.0f req/s\n",
+              bench.perf_model().BaselineMetric(AppId::kNginx));
+
+  // 3. Search: 150 iterations, favoring runtime parameters (§4.1).
+  SessionOptions options;
+  options.max_iterations = 250;
+  options.sample_options = SampleOptions::FavorRuntime();
+  options.seed = 7;
+
+  for (const char* algorithm : {"random", "deeptune"}) {
+    auto searcher = MakeSearcher(algorithm, &space);
+    Testbench fresh(&space, AppId::kNginx);  // Same seed: same landscape.
+    SessionResult result = RunSearch(&fresh, searcher.get(), options);
+    const TrialRecord* best = result.best();
+    std::printf("%-9s best %.0f req/s (%.2fx default)  crash rate %.2f  sim time %.0fs\n",
+                algorithm, best != nullptr ? best->outcome.metric : 0.0,
+                best != nullptr ? best->outcome.metric / 15731.0 : 0.0, result.CrashRate(),
+                result.total_sim_seconds);
+  }
+  return 0;
+}

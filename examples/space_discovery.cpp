@@ -1,0 +1,137 @@
+// Defining the exploration space from primary sources (§3.4).
+//
+// The curated builders (BuildLinuxSearchSpace etc.) are convenient, but the
+// paper's point is that the space can be assembled *without expert
+// knowledge* from three machine-readable sources:
+//
+//   1. compile-time options  — parsing the Kconfig hierarchy;
+//   2. boot-time options     — parsing kernel-parameters.txt descriptions;
+//   3. runtime options       — probing writable /proc/sys // /sys files on
+//                              a booted guest (type inference + x10 range
+//                              scaling + multi-choice vocabulary mining).
+//
+// This example runs all three against miniature inputs, fuses them into one
+// ConfigSpace, freezes the security parameter, and hands the result to a
+// short search session — the full §3.4 pipeline in one file.
+#include <cstdio>
+
+#include "src/configspace/bootparam_doc.h"
+#include "src/configspace/kconfig.h"
+#include "src/configspace/linux_space.h"
+#include "src/configspace/probe.h"
+#include "src/core/wayfinder_api.h"
+#include "src/simos/sysfs.h"
+
+namespace {
+
+// A slice of a Kconfig tree: types, defaults, ranges, dependencies, select.
+const char* kKconfigText = R"(
+menu "Networking support"
+config NET
+	bool "Networking support"
+	default y
+config TCP_CONG_BBR
+	tristate "BBR TCP congestion control"
+	depends on NET
+	default m
+config DEFAULT_TCP_RMEM
+	int "Default TCP receive buffer"
+	range 4096 8388608
+	default 212992
+endmenu
+menu "Kernel hacking"
+config DEBUG_PREEMPT
+	bool "Debug preemptible kernel"
+	select TRACE_IRQFLAGS
+	default n
+config TRACE_IRQFLAGS
+	bool "Trace irqflags"
+	default n
+endmenu
+)";
+
+// A slice of kernel-parameters.txt.
+const char* kBootDocText =
+    "mitigations=\t[X86,ARM64] Control CPU vulnerability mitigations.\n"
+    "\t\tFormat: {auto|off|auto,nosmt}\n"
+    "\t\tDefault: auto\n"
+    "nosmt\t\t[KNL] Disable symmetric multithreading.\n"
+    "loglevel=\t[KNL] Console loglevel.\n"
+    "\t\tFormat: <int>\n"
+    "\t\tDefault: 4\n"
+    "\t\tRange: 0 7\n"
+    "isolcpus=\t[SCHED] Isolate CPUs from the scheduler.\n"
+    "\t\tFormat: <cpu list>\n";
+
+}  // namespace
+
+int main() {
+  using namespace wayfinder;
+  ConfigSpace space;
+
+  // --- 1. Compile-time: the Kconfig hierarchy --------------------------------
+  KconfigParseResult kconfig = ParseKconfig(kKconfigText);
+  if (!kconfig.ok) {
+    std::fprintf(stderr, "Kconfig parse error: %s (line %d)\n", kconfig.error.c_str(),
+                 kconfig.error_line);
+    return 1;
+  }
+  for (ParamSpec& spec : kconfig.params) {
+    space.Add(std::move(spec));
+  }
+  std::printf("Kconfig:    %zu compile-time options (with depends/select edges)\n",
+              space.CountPhase(ParamPhase::kCompileTime));
+
+  // --- 2. Boot-time: the command-line documentation --------------------------
+  BootParamDocResult boot_doc = ParseBootParamDoc(kBootDocText);
+  if (!boot_doc.ok) {
+    std::fprintf(stderr, "boot-doc parse error: %s (line %d)\n", boot_doc.error.c_str(),
+                 boot_doc.error_line);
+    return 1;
+  }
+  for (ParamSpec& spec : boot_doc.params) {
+    space.Add(std::move(spec));
+  }
+  std::printf("boot docs:  %zu boot-time options; %zu undocumented (left manual: ",
+              space.CountPhase(ParamPhase::kBootTime), boot_doc.undocumented.size());
+  for (size_t i = 0; i < boot_doc.undocumented.size(); ++i) {
+    std::printf("%s%s", i == 0 ? "" : ", ", boot_doc.undocumented[i].c_str());
+  }
+  std::printf(")\n");
+
+  // --- 3. Runtime: probe a booted guest's pseudo-files -----------------------
+  // The guest here exposes the curated Linux runtime space; on real hardware
+  // this is a VM with /proc/sys mounted.
+  ConfigSpace guest_space = BuildLinuxSearchSpace();
+  SimulatedSysfs sysfs(&guest_space, /*seed=*/0xd15c, /*bracket_choice_files=*/true);
+  ProbeReport probe = ProbeRuntimeSpace(sysfs);
+  for (ParamSpec& spec : probe.params) {
+    if (!space.Find(spec.name).has_value()) {
+      space.Add(std::move(spec));
+    }
+  }
+  std::printf("probing:    %zu runtime options discovered (%zu writes, %zu rejected, "
+              "%zu guest crashes; %zu files left manual)\n",
+              space.CountPhase(ParamPhase::kRuntime), probe.writes_attempted,
+              probe.writes_rejected, probe.crashes, probe.skipped_non_numeric.size());
+
+  // --- The assembled space, constrained and searched -------------------------
+  space.Freeze("mitigations", 0);  // §3.5: keep mitigations at "auto".
+  std::printf("\nassembled space: %zu parameters, 10^%.1f configurations, %zu frozen\n",
+              space.Size(), space.Log10SpaceSize(), space.FrozenCount());
+
+  Testbench bench(&space, AppId::kNginx);
+  auto searcher = MakeSearcher("deeptune", &space, 0xd15c);
+  SessionOptions options;
+  options.max_iterations = 60;
+  options.sample_options = SampleOptions::FavorRuntime();
+  options.seed = 0x5ace;
+  SessionResult result = RunSearch(&bench, searcher.get(), options);
+  std::printf("search on the discovered space: best %.0f req/s over %zu trials "
+              "(crash rate %.2f)\n",
+              result.best() != nullptr ? result.best()->outcome.metric : 0.0,
+              result.history.size(), result.CrashRate());
+  std::printf("\nNo expert listed a single parameter: the space came from Kconfig text,\n"
+              "boot documentation, and guest probing alone (§3.4).\n");
+  return 0;
+}

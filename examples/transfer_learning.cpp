@@ -1,0 +1,61 @@
+// Scenario: transfer learning across related applications (§3.3, §4.2).
+// Train DeepTune while specializing for Redis, persist the model, then
+// specialize Nginx — both network-intensive, so the donor model already
+// knows which parameters matter and which corners of the space crash.
+#include <cstdio>
+
+#include "src/configspace/linux_space.h"
+#include "src/core/wayfinder_api.h"
+
+int main() {
+  using namespace wayfinder;
+  ConfigSpace space = BuildLinuxSearchSpace();
+
+  SessionOptions options;
+  options.max_iterations = 150;
+  options.sample_options = SampleOptions::FavorRuntime();
+
+  // --- Phase 1: specialize Redis, keep the trained model -------------------
+  const std::string model_path = "redis_donor.wfnn";
+  {
+    Testbench bench(&space, AppId::kRedis);
+    DeepTuneSearcher searcher(&space);
+    options.seed = 1;
+    SessionResult result = RunSearch(&bench, &searcher, options);
+    searcher.SaveModel(model_path);
+    std::printf("redis: best %.0f req/s, crash rate %.2f (model saved to %s)\n",
+                result.best() != nullptr ? result.best()->outcome.metric : 0.0,
+                result.CrashRate(), model_path.c_str());
+  }
+
+  // --- Phase 2: specialize Nginx, cold vs warm -------------------------------
+  auto run_nginx = [&](bool transfer) {
+    Testbench bench(&space, AppId::kNginx);
+    DeepTuneSearcher searcher(&space);
+    if (transfer) {
+      searcher.LoadModel(model_path);
+    }
+    options.seed = 2;
+    return RunSearch(&bench, &searcher, options);
+  };
+  SessionResult cold = run_nginx(false);
+  SessionResult warm = run_nginx(true);
+
+  auto early_best = [](const SessionResult& result, size_t first_n) {
+    double best = 0.0;
+    for (size_t i = 0; i < std::min(first_n, result.history.size()); ++i) {
+      if (result.history[i].HasObjective()) {
+        best = std::max(best, result.history[i].objective);
+      }
+    }
+    return best;
+  };
+  std::printf("nginx cold-start: best %.0f req/s, crash %.2f, best@40 %.0f\n",
+              cold.best() != nullptr ? cold.best()->outcome.metric : 0.0, cold.CrashRate(),
+              early_best(cold, 40));
+  std::printf("nginx transfer:   best %.0f req/s, crash %.2f, best@40 %.0f\n",
+              warm.best() != nullptr ? warm.best()->outcome.metric : 0.0, warm.CrashRate(),
+              early_best(warm, 40));
+  std::printf("(§4.2: the transferred model starts higher and crashes less)\n");
+  return 0;
+}

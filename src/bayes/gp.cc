@@ -1,0 +1,163 @@
+#include "src/bayes/gp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wayfinder {
+
+GaussianProcess::GaussianProcess(const GpOptions& options) : options_(options) {}
+
+double GaussianProcess::Kernel(const std::vector<double>& a, const std::vector<double>& b) const {
+  assert(a.size() == b.size());
+  double sq = 0.0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    double d = a[j] - b[j];
+    sq += d * d;
+  }
+  // Normalize by dimension so one length scale works across spaces.
+  sq /= static_cast<double>(std::max<size_t>(1, a.size()));
+  double l2 = options_.length_scale * options_.length_scale;
+  return options_.signal_variance * std::exp(-0.5 * sq / l2);
+}
+
+bool GaussianProcess::Fit(const std::vector<std::vector<double>>& xs,
+                          const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  xs_ = xs;
+  size_t n = xs_.size();
+  y_mean_ = 0.0;
+  for (double y : ys) {
+    y_mean_ += y;
+  }
+  y_mean_ /= static_cast<double>(std::max<size_t>(1, n));
+  y_centered_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    y_centered_[i] = ys[i] - y_mean_;
+  }
+  if (n == 0) {
+    chol_.clear();
+    alpha_.clear();
+    return true;
+  }
+
+  // Kernel matrix (stored into chol_, factored in place).
+  chol_.assign(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double k = Kernel(xs_[i], xs_[j]);
+      chol_[i * n + j] = k;
+      chol_[j * n + i] = k;
+    }
+  }
+
+  // Cholesky with jitter escalation.
+  double jitter = options_.noise_variance;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    std::vector<double> m = chol_;
+    for (size_t i = 0; i < n; ++i) {
+      m[i * n + i] += jitter;
+    }
+    bool ok = true;
+    for (size_t i = 0; i < n && ok; ++i) {
+      for (size_t j = 0; j <= i; ++j) {
+        double sum = m[i * n + j];
+        for (size_t k = 0; k < j; ++k) {
+          sum -= m[i * n + k] * m[j * n + k];
+        }
+        if (i == j) {
+          if (sum <= 0.0) {
+            ok = false;
+            break;
+          }
+          m[i * n + i] = std::sqrt(sum);
+        } else {
+          m[i * n + j] = sum / m[j * n + j];
+        }
+      }
+    }
+    if (ok) {
+      // Zero the upper triangle (it still holds kernel values).
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+          m[i * n + j] = 0.0;
+        }
+      }
+      chol_ = std::move(m);
+      // alpha = K^{-1} y via two triangular solves.
+      alpha_.assign(n, 0.0);
+      std::vector<double> tmp(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {  // L tmp = y
+        double sum = y_centered_[i];
+        for (size_t k = 0; k < i; ++k) {
+          sum -= chol_[i * n + k] * tmp[k];
+        }
+        tmp[i] = sum / chol_[i * n + i];
+      }
+      for (size_t ii = n; ii-- > 0;) {  // L^T alpha = tmp
+        double sum = tmp[ii];
+        for (size_t k = ii + 1; k < n; ++k) {
+          sum -= chol_[k * n + ii] * alpha_[k];
+        }
+        alpha_[ii] = sum / chol_[ii * n + ii];
+      }
+      return true;
+    }
+    jitter *= 10.0;
+  }
+  return false;
+}
+
+GaussianProcess::Posterior GaussianProcess::Predict(const std::vector<double>& x) const {
+  Posterior posterior;
+  size_t n = xs_.size();
+  if (n == 0) {
+    posterior.mean = y_mean_;
+    posterior.variance = options_.signal_variance;
+    return posterior;
+  }
+  std::vector<double> kstar(n);
+  for (size_t i = 0; i < n; ++i) {
+    kstar[i] = Kernel(x, xs_[i]);
+  }
+  double mean = y_mean_;
+  for (size_t i = 0; i < n; ++i) {
+    mean += kstar[i] * alpha_[i];
+  }
+  // v = L^{-1} k*; variance = k(x,x) - v^T v.
+  std::vector<double> v(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = kstar[i];
+    for (size_t k = 0; k < i; ++k) {
+      sum -= chol_[i * n + k] * v[k];
+    }
+    v[i] = sum / chol_[i * n + i];
+  }
+  double var = Kernel(x, x);
+  for (size_t i = 0; i < n; ++i) {
+    var -= v[i] * v[i];
+  }
+  posterior.mean = mean;
+  posterior.variance = std::max(var, 1e-12);
+  return posterior;
+}
+
+size_t GaussianProcess::MemoryBytes() const {
+  size_t bytes = chol_.size() * sizeof(double) + alpha_.size() * sizeof(double) +
+                 y_centered_.size() * sizeof(double);
+  for (const auto& x : xs_) {
+    bytes += x.size() * sizeof(double);
+  }
+  return bytes;
+}
+
+double ExpectedImprovement(double mean, double variance, double best) {
+  double sigma = std::sqrt(std::max(variance, 1e-12));
+  double z = (mean - best) / sigma;
+  // Standard normal pdf/cdf.
+  double pdf = std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+  double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+  return (mean - best) * cdf + sigma * pdf;
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,61 @@
+// Gaussian-process regression with an RBF kernel.
+//
+// The substrate for the Bayesian-optimization baseline (§2.3, §4.4). The
+// implementation is deliberately textbook: a full Cholesky refit on every
+// observation — O(n^3) time and O(n^2) memory — because those scaling
+// properties are exactly what the paper contrasts DeepTune against.
+#ifndef WAYFINDER_SRC_BAYES_GP_H_
+#define WAYFINDER_SRC_BAYES_GP_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace wayfinder {
+
+struct GpOptions {
+  // In per-dimension-normalized distance units. Random encoded configs sit
+  // ~0.4 apart in that metric, so 0.35 gives the kernel useful contrast
+  // (1.0 would correlate everything and flatten the acquisition).
+  double length_scale = 0.35;
+  double signal_variance = 1.0;
+  double noise_variance = 1e-2;
+};
+
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(const GpOptions& options = {});
+
+  // Replaces the training set and refits (Cholesky of the full kernel).
+  // Returns false if the kernel matrix is not positive definite even after
+  // jitter escalation.
+  bool Fit(const std::vector<std::vector<double>>& xs, const std::vector<double>& ys);
+
+  size_t SampleCount() const { return xs_.size(); }
+
+  struct Posterior {
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+  Posterior Predict(const std::vector<double>& x) const;
+
+  // Live state (kernel Cholesky + training set), for the memory comparison.
+  size_t MemoryBytes() const;
+
+ private:
+  double Kernel(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  GpOptions options_;
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> y_centered_;
+  double y_mean_ = 0.0;
+  std::vector<double> chol_;   // Lower-triangular factor, row-major n x n.
+  std::vector<double> alpha_;  // K^{-1} (y - mean).
+};
+
+// Expected improvement of posterior (mean, variance) over `best`, for
+// maximization.
+double ExpectedImprovement(double mean, double variance, double best);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_BAYES_GP_H_

@@ -1,0 +1,83 @@
+// Unicorn-style causal-inference searcher (§2.3, Figure 7 comparator).
+//
+// Unicorn [Iqbal et al., EuroSys'22] reasons about configuration performance
+// through a causal graph recovered from the exploration history. We
+// reproduce its algorithmic class rather than its exact implementation:
+//
+//   * on every observation the causal skeleton is *recomputed from scratch*
+//     (no incremental updates — the limitation §2.3 highlights): pairwise
+//     correlations, then PC-style conditional-independence pruning whose
+//     conditioning order grows with the amount of data, giving the
+//     superlinear per-iteration time the paper measures;
+//   * each refit's skeleton, separation sets, and intervention tables are
+//     retained for the queries that drive proposals, so live memory grows
+//     with the iteration count as well;
+//   * proposals intervene on the current causal parents of the objective,
+//     setting them toward the historically best-performing side and leaving
+//     the rest near the incumbent.
+//
+// This is a *baseline*: it is expected to work on small spaces and to fall
+// over on large ones, exactly as in Figure 7.
+#ifndef WAYFINDER_SRC_CAUSAL_CAUSAL_SEARCH_H_
+#define WAYFINDER_SRC_CAUSAL_CAUSAL_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/platform/searcher.h"
+
+namespace wayfinder {
+
+struct CausalOptions {
+  size_t warmup = 15;
+  // Maximum PC conditioning order; the effective order rises with data
+  // (order = 1 + n/75, capped here).
+  size_t max_order = 2;
+  double independence_threshold = 0.12;  // |partial corr| below = independent.
+  size_t interventions = 6;              // Causal parents intervened per proposal.
+};
+
+class CausalSearcher : public Searcher {
+ public:
+  explicit CausalSearcher(const ConfigSpace* space, const CausalOptions& options = {});
+
+  std::string Name() const override { return "causal"; }
+  Configuration Propose(SearchContext& context) override;
+  void Observe(const TrialRecord& trial, SearchContext& context) override;
+  size_t MemoryBytes() const override;
+
+  // Features currently identified as causal parents of the objective,
+  // strongest first. Exposed for tests.
+  std::vector<size_t> CausalParents() const;
+
+ private:
+  void Refit();
+
+  const ConfigSpace* space_;
+  CausalOptions options_;
+
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_;  // Crashes folded in pessimistically.
+  std::optional<Configuration> incumbent_;
+  double incumbent_objective_ = 0.0;
+  size_t observed_ = 0;
+
+  // Current skeleton: corr_[i] = feature/objective association surviving
+  // conditioning, 0 when pruned.
+  std::vector<double> parent_strength_;
+  std::vector<double> parent_direction_;  // Sign of association.
+
+  // Retained per-refit artifacts (skeleton snapshots + separation sets);
+  // Unicorn's non-incremental design keeps equivalents alive across
+  // iterations, which is what its memory curve shows.
+  struct RefitArtifacts {
+    std::vector<double> feature_corr;     // d x d upper triangle.
+    std::vector<double> objective_corr;   // d
+    std::vector<uint32_t> separation_sets;
+  };
+  std::vector<RefitArtifacts> artifacts_;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_CAUSAL_CAUSAL_SEARCH_H_

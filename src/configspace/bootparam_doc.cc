@@ -1,0 +1,355 @@
+#include "src/configspace/bootparam_doc.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace wayfinder {
+
+namespace {
+
+std::string Trim(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+size_t IndentOf(const std::string& raw) {
+  size_t indent = 0;
+  for (char c : raw) {
+    if (c == ' ') {
+      ++indent;
+    } else if (c == '\t') {
+      indent += 8;
+    } else {
+      break;
+    }
+  }
+  return indent;
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.' ||
+         c == '-';
+}
+
+bool ParseInt(const std::string& text, int64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  long long value = std::strtoll(begin, &end, 0);
+  if (end == begin || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+// One entry under construction, flushed when the next entry header (or end
+// of input) is reached.
+struct PendingEntry {
+  std::string name;
+  bool takes_value = false;  // `name=` vs bare flag.
+  std::string subsystem = "kernel";
+  std::string summary;
+
+  enum class Format { kUnknown, kInt, kBool, kChoices };
+  Format format = Format::kUnknown;
+  std::vector<std::string> choices;
+  bool have_default = false;
+  std::string default_text;
+  bool have_range = false;
+  int64_t range_lo = 0;
+  int64_t range_hi = 0;
+  int line = 0;
+};
+
+}  // namespace
+
+std::string SubsystemFromDocTag(const std::string& tag) {
+  struct Mapping {
+    const char* tag;
+    const char* subsystem;
+  };
+  static const Mapping kMappings[] = {
+      {"NET", "net"},      {"MM", "vm"},          {"KNL", "kernel"},
+      {"SCHED", "sched"},  {"BLOCK", "block"},    {"FS", "fs"},
+      {"SECURITY", "security"}, {"PM", "power"},  {"ACPI", "power"},
+      {"X86", "arch"},     {"ARM64", "arch"},     {"RISCV", "arch"},
+      {"PPC", "arch"},     {"S390", "arch"},      {"EARLY", "kernel"},
+      {"DEBUG", "debug"},  {"KGDB", "debug"},     {"CRYPTO", "crypto"},
+      {"VIRT", "virt"},    {"KVM", "virt"},
+  };
+  for (const Mapping& mapping : kMappings) {
+    if (tag == mapping.tag) {
+      return mapping.subsystem;
+    }
+  }
+  return "kernel";
+}
+
+namespace {
+
+// Flushes a pending entry into the result (or the undocumented list).
+void Flush(const PendingEntry& entry, BootParamDocResult* result) {
+  if (entry.name.empty()) {
+    return;
+  }
+  if (!entry.takes_value) {
+    // Bare flag: boolean, off by default (present on the cmdline = on).
+    ParamSpec spec =
+        ParamSpec::Bool(entry.name, ParamPhase::kBootTime, entry.subsystem, false);
+    spec.help = entry.summary;
+    result->params.push_back(std::move(spec));
+    return;
+  }
+  switch (entry.format) {
+    case PendingEntry::Format::kBool: {
+      int64_t default_value = 0;
+      if (entry.have_default) {
+        default_value = (entry.default_text == "1" || entry.default_text == "on" ||
+                         entry.default_text == "y")
+                            ? 1
+                            : 0;
+      }
+      ParamSpec spec = ParamSpec::Bool(entry.name, ParamPhase::kBootTime, entry.subsystem,
+                                       default_value != 0);
+      spec.help = entry.summary;
+      result->params.push_back(std::move(spec));
+      return;
+    }
+    case PendingEntry::Format::kInt: {
+      int64_t default_value = 0;
+      if (entry.have_default) {
+        ParseInt(entry.default_text, &default_value);
+      }
+      int64_t lo = entry.range_lo;
+      int64_t hi = entry.range_hi;
+      if (!entry.have_range) {
+        // Undocumented range, the common case §3.4 complains about: use a
+        // wide window around the default (same policy as the Kconfig
+        // parser) and let the prober tighten it.
+        lo = 0;
+        hi = std::max<int64_t>(1024, default_value * 1024);
+      }
+      ParamSpec spec = ParamSpec::Int(entry.name, ParamPhase::kBootTime, entry.subsystem,
+                                      lo, hi, default_value,
+                                      /*log_scale=*/(hi - lo) > 10000);
+      spec.help = entry.summary;
+      result->params.push_back(std::move(spec));
+      return;
+    }
+    case PendingEntry::Format::kChoices: {
+      int64_t default_index = 0;
+      if (entry.have_default) {
+        for (size_t i = 0; i < entry.choices.size(); ++i) {
+          if (entry.choices[i] == entry.default_text) {
+            default_index = static_cast<int64_t>(i);
+            break;
+          }
+        }
+      }
+      ParamSpec spec = ParamSpec::String(entry.name, ParamPhase::kBootTime,
+                                         entry.subsystem, entry.choices, default_index);
+      spec.help = entry.summary;
+      result->params.push_back(std::move(spec));
+      return;
+    }
+    case PendingEntry::Format::kUnknown:
+      result->undocumented.push_back(entry.name);
+      return;
+  }
+}
+
+}  // namespace
+
+BootParamDocResult ParseBootParamDoc(const std::string& text) {
+  BootParamDocResult result;
+  std::istringstream in(text);
+  std::string raw;
+  int line_number = 0;
+  PendingEntry entry;
+  bool have_entry = false;
+  // The indentation of entry headers, learned from the first one; deeper
+  // lines are attributes/description of the current entry.
+  size_t header_indent = std::string::npos;
+
+  while (std::getline(in, raw)) {
+    ++line_number;
+    std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    size_t indent = IndentOf(raw);
+    bool looks_like_header = false;
+    // A header starts with a parameter name optionally followed by '=',
+    // at (or establishing) the header indentation level.
+    size_t name_end = 0;
+    while (name_end < line.size() && IsNameChar(line[name_end])) {
+      ++name_end;
+    }
+    if (name_end > 0 &&
+        (name_end == line.size() || line[name_end] == '=' ||
+         std::isspace(static_cast<unsigned char>(line[name_end])) != 0)) {
+      if (header_indent == std::string::npos || indent <= header_indent) {
+        looks_like_header = true;
+      }
+    }
+
+    if (looks_like_header) {
+      if (have_entry) {
+        Flush(entry, &result);
+      }
+      entry = PendingEntry();
+      have_entry = true;
+      header_indent = header_indent == std::string::npos ? indent
+                                                         : std::min(header_indent, indent);
+      entry.line = line_number;
+      entry.name = line.substr(0, name_end);
+      size_t cursor = name_end;
+      if (cursor < line.size() && line[cursor] == '=') {
+        entry.takes_value = true;
+        ++cursor;
+      }
+      std::string rest = Trim(line.substr(cursor));
+      // Optional [TAG,TAG,...] prefix.
+      if (!rest.empty() && rest[0] == '[') {
+        size_t close = rest.find(']');
+        if (close == std::string::npos) {
+          result.error = "unterminated tag list";
+          result.error_line = line_number;
+          return result;
+        }
+        std::string tags = rest.substr(1, close - 1);
+        size_t comma = tags.find(',');
+        entry.subsystem = SubsystemFromDocTag(comma == std::string::npos
+                                                  ? tags
+                                                  : tags.substr(0, comma));
+        rest = Trim(rest.substr(close + 1));
+      }
+      entry.summary = rest;
+      continue;
+    }
+
+    if (!have_entry) {
+      result.error = "description before any parameter entry";
+      result.error_line = line_number;
+      return result;
+    }
+
+    // Attribute / description line of the current entry.
+    if (line.rfind("Format:", 0) == 0) {
+      std::string format = Trim(line.substr(7));
+      if (format == "<int>" || format == "<integer>") {
+        entry.format = PendingEntry::Format::kInt;
+      } else if (format == "<bool>") {
+        entry.format = PendingEntry::Format::kBool;
+      } else if (format.size() >= 2 && format.front() == '{' && format.back() == '}') {
+        entry.format = PendingEntry::Format::kChoices;
+        std::string body = format.substr(1, format.size() - 2);
+        std::string choice;
+        for (char c : body + "|") {
+          if (c == '|') {
+            choice = Trim(choice);
+            if (!choice.empty()) {
+              entry.choices.push_back(choice);
+            }
+            choice.clear();
+          } else {
+            choice.push_back(c);
+          }
+        }
+        if (entry.choices.empty()) {
+          result.error = "empty choice list for " + entry.name;
+          result.error_line = line_number;
+          return result;
+        }
+      }
+      // Unrecognized formats (e.g. "<string>", "<irq list>") leave the
+      // entry undocumented — intentionally (§3.4 falls back to probing).
+    } else if (line.rfind("Default:", 0) == 0) {
+      entry.have_default = true;
+      entry.default_text = Trim(line.substr(8));
+    } else if (line.rfind("Range:", 0) == 0) {
+      std::istringstream range_in(line.substr(6));
+      std::string lo_text;
+      std::string hi_text;
+      range_in >> lo_text >> hi_text;
+      int64_t lo = 0;
+      int64_t hi = 0;
+      if (ParseInt(lo_text, &lo) && ParseInt(hi_text, &hi)) {
+        if (lo > hi) {
+          result.error = "malformed Range for " + entry.name;
+          result.error_line = line_number;
+          return result;
+        }
+        entry.range_lo = lo;
+        entry.range_hi = hi;
+        entry.have_range = true;
+      }
+      // Non-numeric tokens after "Range:" are prose ("Range: 10 to 20 is
+      // typical"), not an attribute; fall through and ignore the line.
+    }
+    // Other description lines are prose; ignored.
+  }
+  if (have_entry) {
+    Flush(entry, &result);
+  }
+  result.ok = true;
+  return result;
+}
+
+std::string WriteBootParamDoc(const std::vector<ParamSpec>& params) {
+  std::ostringstream oss;
+  for (const ParamSpec& spec : params) {
+    if (spec.phase != ParamPhase::kBootTime) {
+      continue;
+    }
+    switch (spec.kind) {
+      case ParamKind::kBool:
+        if (spec.default_value == 0) {
+          // Render default-off booleans as bare flags (the common idiom).
+          oss << spec.name << "\t[KNL] " << spec.help << "\n\n";
+        } else {
+          oss << spec.name << "=\t[KNL] " << spec.help << "\n";
+          oss << "\t\tFormat: <bool>\n";
+          oss << "\t\tDefault: 1\n\n";
+        }
+        break;
+      case ParamKind::kInt:
+      case ParamKind::kHex:
+      case ParamKind::kTristate:
+        oss << spec.name << "=\t[KNL] " << spec.help << "\n";
+        oss << "\t\tFormat: <int>\n";
+        oss << "\t\tDefault: " << spec.default_value << "\n";
+        oss << "\t\tRange: " << spec.min_value << " " << spec.max_value << "\n\n";
+        break;
+      case ParamKind::kString: {
+        oss << spec.name << "=\t[KNL] " << spec.help << "\n";
+        oss << "\t\tFormat: {";
+        for (size_t i = 0; i < spec.choices.size(); ++i) {
+          oss << (i == 0 ? "" : "|") << spec.choices[i];
+        }
+        oss << "}\n";
+        if (spec.default_value >= 0 &&
+            spec.default_value < static_cast<int64_t>(spec.choices.size())) {
+          oss << "\t\tDefault: " << spec.choices[static_cast<size_t>(spec.default_value)]
+              << "\n";
+        }
+        oss << "\n";
+        break;
+      }
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,62 @@
+// Boot-parameter documentation parser (§3.4).
+//
+// "Some information can be statically obtained for compile- and [boot]time
+// parameters (e.g. by analyzing Kconfig files and kernel command line
+// parameter descriptions)." This parser consumes the
+// Documentation/admin-guide/kernel-parameters.txt dialect — the one piece
+// of machine-readable boot-time metadata Linux ships — and extracts typed
+// boot-time ParamSpecs:
+//
+//   somaxconn=      [NET] Upper bound on the listen backlog.
+//                   Format: <int>
+//                   Default: 128
+//                   Range: 16 65536
+//
+//   nosmt           [KNL] Disable symmetric multithreading.
+//
+//   mitigations=    [X86,ARM64] Control CPU vulnerability mitigations.
+//                   Format: {auto|off|auto,nosmt}
+//                   Default: auto
+//
+// Rules (mirroring the real file's conventions):
+//   * `name=` entries take a value; bare `name` entries are boolean flags
+//     (present = on), defaulting to off.
+//   * `Format: <int>` (+ optional `Range:`/`Default:`) yields an integer
+//     parameter; `Format: {a|b|c}` yields a categorical one; `Format:
+//     <bool>` a boolean. `name=` without a recognizable Format is reported
+//     as undocumented — exactly the gap §3.4's probing exists to fill.
+//   * The first [TAG] maps to a subsystem (NET -> net, MM -> vm, ...).
+#ifndef WAYFINDER_SRC_CONFIGSPACE_BOOTPARAM_DOC_H_
+#define WAYFINDER_SRC_CONFIGSPACE_BOOTPARAM_DOC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/configspace/config_space.h"
+
+namespace wayfinder {
+
+struct BootParamDocResult {
+  bool ok = false;
+  std::vector<ParamSpec> params;
+  // `name=` entries whose Format line was missing or unparsable. They are
+  // excluded from `params`; the §3.4 probing heuristic covers them instead.
+  std::vector<std::string> undocumented;
+  std::string error;
+  int error_line = 0;
+};
+
+// Parses kernel-parameters.txt-style text into boot-time ParamSpecs.
+BootParamDocResult ParseBootParamDoc(const std::string& text);
+
+// Renders boot-time ParamSpecs back into the documentation dialect
+// (round-trips through ParseBootParamDoc).
+std::string WriteBootParamDoc(const std::vector<ParamSpec>& params);
+
+// Maps a documentation tag to a subsystem ("NET" -> "net", "MM" -> "vm",
+// unknown -> "kernel").
+std::string SubsystemFromDocTag(const std::string& tag);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_CONFIGSPACE_BOOTPARAM_DOC_H_

@@ -1,0 +1,53 @@
+// Deployment-artifact codecs: kernel command line and sysctl.conf.
+//
+// The paper's three parameter phases surface to an operator as three
+// artifacts: a Kconfig .config (see kconfig.h), the kernel command line for
+// boot-time options, and /etc/sysctl.d entries for runtime options. These
+// codecs render a Configuration's non-default boot/runtime values in those
+// formats — what wfctl prints so a discovered configuration can actually be
+// deployed — and parse them back (the inverse direction seeds a search from
+// an existing deployment).
+#ifndef WAYFINDER_SRC_CONFIGSPACE_CMDLINE_H_
+#define WAYFINDER_SRC_CONFIGSPACE_CMDLINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/configspace/config_space.h"
+
+namespace wayfinder {
+
+// Renders the boot-time parameters that differ from their defaults as a
+// kernel command line, in space order. Conventions:
+//   bool on         ->  name          (flag form)
+//   bool off        ->  name=0        (explicit, so default-on flags render)
+//   int / hex       ->  name=value    (hex keeps its 0x form)
+//   string          ->  name=choice
+std::string RenderCmdline(const Configuration& config);
+
+// Renders the runtime parameters that differ from their defaults in
+// sysctl.conf syntax ("key = value" lines), in space order.
+std::string RenderSysctlConf(const Configuration& config);
+
+struct ConfigParseResult {
+  bool ok = false;
+  Configuration config;
+  // Tokens/keys naming parameters the space does not know. Like the kernel,
+  // unknown parameters are collected rather than treated as errors.
+  std::vector<std::string> unknown;
+  std::string error;  // Set when ok is false (malformed value, bad choice).
+};
+
+// Parses a kernel command line into a configuration: starts from the
+// space's default configuration, overrides each recognized token, and
+// re-applies constraints. Accepts `name`, `name=value`, and quoted values
+// (name="a b"). Bool values accept 0/1/y/n/on/off.
+ConfigParseResult ParseCmdline(const ConfigSpace& space, const std::string& cmdline);
+
+// Parses sysctl.conf text ("key = value"; '#'/';' comments; blank lines)
+// the same way.
+ConfigParseResult ParseSysctlConf(const ConfigSpace& space, const std::string& text);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_CONFIGSPACE_CMDLINE_H_

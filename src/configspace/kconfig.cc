@@ -1,0 +1,456 @@
+#include "src/configspace/kconfig.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace wayfinder {
+
+namespace {
+
+std::string Trim(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+// Splits a line into the leading keyword and the remainder.
+void SplitKeyword(const std::string& line, std::string* keyword, std::string* rest) {
+  size_t i = 0;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])) == 0) {
+    ++i;
+  }
+  *keyword = line.substr(0, i);
+  *rest = Trim(line.substr(i));
+}
+
+std::string UnquotePrompt(const std::string& text) {
+  if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
+    return text.substr(1, text.size() - 2);
+  }
+  return text;
+}
+
+bool ParseInt(const std::string& text, int64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  long long value = std::strtoll(begin, &end, 0);
+  if (end == begin || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+struct LineCursor {
+  std::vector<std::pair<int, std::string>> lines;  // (line number, raw text)
+  size_t pos = 0;
+};
+
+class KconfigParser {
+ public:
+  explicit KconfigParser(const std::string& text, std::string default_subsystem)
+      : default_subsystem_(std::move(default_subsystem)) {
+    std::istringstream in(text);
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+      ++number;
+      cursor_.lines.emplace_back(number, raw);
+    }
+  }
+
+  KconfigParseResult Parse() {
+    KconfigParseResult result;
+    menu_stack_.push_back(default_subsystem_);
+    while (cursor_.pos < cursor_.lines.size() && error_.empty()) {
+      ParseTopLevel();
+    }
+    if (!error_.empty()) {
+      result.error = error_;
+      result.error_line = error_line_;
+      return result;
+    }
+    if (menu_stack_.size() != 1) {
+      result.error = "unterminated menu";
+      result.error_line = cursor_.lines.empty() ? 0 : cursor_.lines.back().first;
+      return result;
+    }
+    if (!if_stack_.empty()) {
+      result.error = "unterminated if block";
+      result.error_line = cursor_.lines.empty() ? 0 : cursor_.lines.back().first;
+      return result;
+    }
+    result.ok = true;
+    result.params = std::move(params_);
+    return result;
+  }
+
+ private:
+  void Fail(const std::string& message, int line) {
+    if (error_.empty()) {
+      error_ = message;
+      error_line_ = line;
+    }
+  }
+
+  void ParseTopLevel() {
+    auto [number, raw] = cursor_.lines[cursor_.pos];
+    std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') {
+      ++cursor_.pos;
+      return;
+    }
+    std::string keyword;
+    std::string rest;
+    SplitKeyword(line, &keyword, &rest);
+    if (keyword == "config" || keyword == "menuconfig") {
+      ++cursor_.pos;
+      ParseConfig(rest, number);
+    } else if (keyword == "menu") {
+      ++cursor_.pos;
+      menu_stack_.push_back(SubsystemFromMenuTitle(UnquotePrompt(rest)));
+    } else if (keyword == "endmenu") {
+      ++cursor_.pos;
+      if (menu_stack_.size() <= 1) {
+        Fail("endmenu without matching menu", number);
+      } else {
+        menu_stack_.pop_back();
+      }
+    } else if (keyword == "if") {
+      ++cursor_.pos;
+      if_stack_.push_back(ExprSymbols(rest));
+    } else if (keyword == "endif") {
+      ++cursor_.pos;
+      if (if_stack_.empty()) {
+        Fail("endif without matching if", number);
+      } else {
+        if_stack_.pop_back();
+      }
+    } else if (keyword == "choice") {
+      ++cursor_.pos;
+      ++choice_depth_;
+    } else if (keyword == "endchoice") {
+      ++cursor_.pos;
+      if (choice_depth_ == 0) {
+        Fail("endchoice without matching choice", number);
+      } else {
+        --choice_depth_;
+      }
+    } else if (keyword == "comment" || keyword == "source" || keyword == "mainmenu" ||
+               keyword == "prompt" || keyword == "optional") {
+      ++cursor_.pos;
+    } else {
+      Fail("unsupported Kconfig construct: " + keyword, number);
+      ++cursor_.pos;
+    }
+  }
+
+  void ParseConfig(const std::string& symbol, int config_line) {
+    if (symbol.empty()) {
+      Fail("config without a symbol name", config_line);
+      return;
+    }
+    ParamSpec spec;
+    spec.name = symbol;
+    spec.phase = ParamPhase::kCompileTime;
+    spec.subsystem = menu_stack_.back();
+    bool have_type = false;
+    std::string default_text;
+    bool have_range = false;
+
+    while (cursor_.pos < cursor_.lines.size() && error_.empty()) {
+      auto [number, raw] = cursor_.lines[cursor_.pos];
+      std::string line = Trim(raw);
+      if (line.empty() || line[0] == '#') {
+        ++cursor_.pos;
+        continue;
+      }
+      std::string keyword;
+      std::string rest;
+      SplitKeyword(line, &keyword, &rest);
+      // Attribute lines are indented; a non-indented keyword starts the next
+      // top-level entry.
+      bool indented = !raw.empty() && (raw[0] == ' ' || raw[0] == '\t');
+      if (!indented) {
+        break;
+      }
+      if (keyword == "bool" || keyword == "boolean") {
+        spec.kind = ParamKind::kBool;
+        spec.min_value = 0;
+        spec.max_value = 1;
+        spec.help = UnquotePrompt(rest);
+        have_type = true;
+      } else if (keyword == "tristate") {
+        spec.kind = ParamKind::kTristate;
+        spec.min_value = 0;
+        spec.max_value = 2;
+        spec.help = UnquotePrompt(rest);
+        have_type = true;
+      } else if (keyword == "int") {
+        spec.kind = ParamKind::kInt;
+        spec.help = UnquotePrompt(rest);
+        have_type = true;
+      } else if (keyword == "hex") {
+        spec.kind = ParamKind::kHex;
+        spec.log_scale = true;
+        spec.help = UnquotePrompt(rest);
+        have_type = true;
+      } else if (keyword == "string") {
+        spec.kind = ParamKind::kString;
+        spec.help = UnquotePrompt(rest);
+        have_type = true;
+      } else if (keyword == "default") {
+        default_text = rest;
+      } else if (keyword == "range") {
+        std::istringstream range_in(rest);
+        std::string lo_text;
+        std::string hi_text;
+        range_in >> lo_text >> hi_text;
+        int64_t lo = 0;
+        int64_t hi = 0;
+        if (!ParseInt(lo_text, &lo) || !ParseInt(hi_text, &hi) || lo > hi) {
+          Fail("malformed range", number);
+        } else {
+          spec.min_value = lo;
+          spec.max_value = hi;
+          have_range = true;
+        }
+      } else if (keyword == "depends") {
+        // "depends on EXPR": we record every symbol mentioned in the
+        // expression as a dependency edge (conservative for '||').
+        std::string expr = rest;
+        if (expr.rfind("on ", 0) == 0) {
+          expr = expr.substr(3);
+        }
+        std::string token;
+        for (char c : expr + " ") {
+          if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+            token.push_back(c);
+          } else {
+            if (!token.empty() && token != "on" && token != "y" && token != "n" && token != "m") {
+              spec.depends_on.push_back(token);
+            }
+            token.clear();
+          }
+        }
+      } else if (keyword == "help" || keyword == "---help---") {
+        ++cursor_.pos;
+        ConsumeHelpBody();
+        continue;
+      } else if (keyword == "select") {
+        // "select SYM [if EXPR]": record the forced-on edge. Conditional
+        // selects are recorded unconditionally (conservative: the search
+        // space only shrinks, never admits an invalid configuration).
+        std::istringstream select_in(rest);
+        std::string target;
+        select_in >> target;
+        if (target.empty()) {
+          Fail("select without a symbol", number);
+        } else {
+          spec.selects.push_back(target);
+        }
+      } else if (keyword == "imply" || keyword == "visible") {
+        // Accepted and ignored: "imply" is a weak select (the target may
+        // still be disabled), "visible" only affects menu display.
+      } else {
+        Fail("unsupported config attribute: " + keyword, number);
+      }
+      ++cursor_.pos;
+    }
+
+    if (!have_type) {
+      Fail("config " + symbol + " has no type", config_line);
+      return;
+    }
+    for (const std::vector<std::string>& condition : if_stack_) {
+      spec.depends_on.insert(spec.depends_on.end(), condition.begin(), condition.end());
+    }
+    // Interpret the default according to the final type.
+    switch (spec.kind) {
+      case ParamKind::kBool:
+        spec.default_value = (default_text == "y") ? 1 : 0;
+        break;
+      case ParamKind::kTristate:
+        spec.default_value = (default_text == "y") ? 2 : (default_text == "m" ? 1 : 0);
+        break;
+      case ParamKind::kInt:
+      case ParamKind::kHex: {
+        int64_t value = 0;
+        if (!default_text.empty() && !ParseInt(default_text, &value)) {
+          Fail("non-numeric default for numeric config " + symbol, config_line);
+          return;
+        }
+        if (!have_range) {
+          // Kconfig leaves numeric options unbounded; mirror the paper's
+          // observation that ranges are often undocumented by defaulting to
+          // a wide window around the default value.
+          int64_t magnitude = std::max<int64_t>(1024, value * 1024);
+          spec.min_value = 0;
+          spec.max_value = magnitude;
+        }
+        spec.default_value = spec.Clamp(value);
+        spec.log_scale = spec.log_scale || (spec.max_value - spec.min_value) > 10000;
+        break;
+      }
+      case ParamKind::kString: {
+        spec.choices = {UnquotePrompt(default_text)};
+        spec.default_value = 0;
+        break;
+      }
+    }
+    params_.push_back(std::move(spec));
+  }
+
+  void ConsumeHelpBody() {
+    // Help bodies are the indented block following "help"; stop at the first
+    // line whose indentation returns to attribute level or less.
+    while (cursor_.pos < cursor_.lines.size()) {
+      const std::string& raw = cursor_.lines[cursor_.pos].second;
+      std::string trimmed = Trim(raw);
+      if (trimmed.empty()) {
+        ++cursor_.pos;
+        continue;
+      }
+      size_t indent = 0;
+      while (indent < raw.size() && (raw[indent] == ' ' || raw[indent] == '\t')) {
+        ++indent;
+      }
+      if (indent < 2) {
+        break;
+      }
+      // Attribute keywords at shallow indent end the help body.
+      std::string keyword;
+      std::string rest;
+      SplitKeyword(trimmed, &keyword, &rest);
+      if (indent <= 2 &&
+          (keyword == "bool" || keyword == "tristate" || keyword == "int" || keyword == "hex" ||
+           keyword == "string" || keyword == "default" || keyword == "range" ||
+           keyword == "depends" || keyword == "select" || keyword == "help")) {
+        break;
+      }
+      ++cursor_.pos;
+    }
+  }
+
+  // Extracts the symbol names referenced by a Kconfig boolean expression,
+  // conservatively treating every mention as a conjunct (as the "depends"
+  // handler does for '||').
+  static std::vector<std::string> ExprSymbols(const std::string& expr) {
+    std::vector<std::string> symbols;
+    std::string token;
+    for (char c : expr + " ") {
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        token.push_back(c);
+      } else {
+        if (!token.empty() && token != "on" && token != "if" && token != "y" &&
+            token != "n" && token != "m") {
+          symbols.push_back(token);
+        }
+        token.clear();
+      }
+    }
+    return symbols;
+  }
+
+  std::string default_subsystem_;
+  LineCursor cursor_;
+  std::vector<std::string> menu_stack_;
+  // Symbols of enclosing "if EXPR" blocks; added to every config parsed
+  // inside (Kconfig: if blocks contribute dependencies to their contents).
+  std::vector<std::vector<std::string>> if_stack_;
+  int choice_depth_ = 0;
+  std::vector<ParamSpec> params_;
+  std::string error_;
+  int error_line_ = 0;
+};
+
+}  // namespace
+
+std::string SubsystemFromMenuTitle(const std::string& title) {
+  std::string lower;
+  lower.reserve(title.size());
+  for (char c : title) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  struct Mapping {
+    const char* needle;
+    const char* tag;
+  };
+  static const Mapping kMappings[] = {
+      {"network", "net"},       {"memory", "vm"},      {"scheduler", "sched"},
+      {"block", "block"},       {"file system", "fs"}, {"filesystem", "fs"},
+      {"device driver", "drivers"}, {"driver", "drivers"}, {"debug", "debug"},
+      {"hacking", "debug"},     {"crypto", "crypto"},  {"security", "security"},
+      {"power", "power"},       {"virtualization", "virt"}, {"processor", "arch"},
+      {"general setup", "kernel"},
+  };
+  for (const auto& mapping : kMappings) {
+    if (lower.find(mapping.needle) != std::string::npos) {
+      return mapping.tag;
+    }
+  }
+  return "kernel";
+}
+
+KconfigParseResult ParseKconfig(const std::string& text, const std::string& default_subsystem) {
+  return KconfigParser(text, default_subsystem).Parse();
+}
+
+std::string WriteKconfig(const std::vector<ParamSpec>& params) {
+  std::ostringstream oss;
+  for (const auto& spec : params) {
+    oss << "config " << spec.name << "\n";
+    switch (spec.kind) {
+      case ParamKind::kBool:
+        oss << "\tbool \"" << spec.help << "\"\n";
+        oss << "\tdefault " << (spec.default_value != 0 ? "y" : "n") << "\n";
+        break;
+      case ParamKind::kTristate:
+        oss << "\ttristate \"" << spec.help << "\"\n";
+        oss << "\tdefault " << (spec.default_value == 2 ? "y" : (spec.default_value == 1 ? "m" : "n"))
+            << "\n";
+        break;
+      case ParamKind::kInt:
+        oss << "\tint \"" << spec.help << "\"\n";
+        oss << "\trange " << spec.min_value << " " << spec.max_value << "\n";
+        oss << "\tdefault " << spec.default_value << "\n";
+        break;
+      case ParamKind::kHex:
+        oss << "\thex \"" << spec.help << "\"\n";
+        oss << "\trange " << spec.min_value << " " << spec.max_value << "\n";
+        oss << "\tdefault " << spec.default_value << "\n";
+        break;
+      case ParamKind::kString:
+        oss << "\tstring \"" << spec.help << "\"\n";
+        if (!spec.choices.empty()) {
+          oss << "\tdefault \"" << spec.choices[static_cast<size_t>(spec.default_value)]
+              << "\"\n";
+        }
+        break;
+    }
+    for (const std::string& target : spec.selects) {
+      oss << "\tselect " << target << "\n";
+    }
+    if (!spec.depends_on.empty()) {
+      oss << "\tdepends on";
+      for (size_t i = 0; i < spec.depends_on.size(); ++i) {
+        oss << (i == 0 ? " " : " && ") << spec.depends_on[i];
+      }
+      oss << "\n";
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,59 @@
+// Kconfig-subset parser.
+//
+// The paper determines the Linux compile-time space "by parsing the Kconfig
+// hierarchy" (Table 1). This parser understands the subset of the Kconfig
+// language needed to census option types and extract domains:
+//
+//   config SYMBOL
+//       bool|tristate|int|hex|string "prompt"
+//       default <value>
+//       range <min> <max>
+//       depends on A && B
+//       select OTHER [if EXPR]
+//       help
+//         <indented free text>
+//   menu "Networking support" ... endmenu        (nestable; sets subsystem)
+//   if EXPR ... endif       (nestable; adds EXPR's symbols as dependencies)
+//   choice ... endchoice                          (members parsed normally)
+//   comment "..." / source "..."                  (accepted and ignored)
+//
+// "select" edges are enforced by ConfigSpace::ApplyConstraints with Kconfig
+// semantics (the selected symbol is raised to the selector's level, even
+// past its own unsatisfied dependencies). Boolean expressions are handled
+// conservatively: every symbol mentioned becomes a conjunct. Unsupported
+// constructs (macros, "option env=...") are reported as parse errors so
+// callers notice rather than silently mis-censusing.
+#ifndef WAYFINDER_SRC_CONFIGSPACE_KCONFIG_H_
+#define WAYFINDER_SRC_CONFIGSPACE_KCONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/configspace/config_space.h"
+
+namespace wayfinder {
+
+struct KconfigParseResult {
+  bool ok = false;
+  std::vector<ParamSpec> params;
+  std::string error;
+  int error_line = 0;
+};
+
+// Parses Kconfig text into compile-time ParamSpecs. `default_subsystem` is
+// used outside any menu; menu titles are mapped to subsystem tags via
+// SubsystemFromMenuTitle.
+KconfigParseResult ParseKconfig(const std::string& text,
+                                const std::string& default_subsystem = "kernel");
+
+// Heuristic mapping from a menu title to a subsystem tag, e.g.
+// "Networking support" -> "net", "Memory Management options" -> "vm".
+std::string SubsystemFromMenuTitle(const std::string& title);
+
+// Renders compile-time ParamSpecs back into Kconfig text (round-trips
+// through ParseKconfig).
+std::string WriteKconfig(const std::vector<ParamSpec>& params);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_CONFIGSPACE_KCONFIG_H_

@@ -1,0 +1,199 @@
+#include "src/configspace/probe.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace wayfinder {
+
+namespace {
+
+bool ParseInt(const std::string& text, int64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  long long value = std::strtoll(begin, &end, 10);
+  if (end == begin || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+// Parses "tok1 [tok2] tok3" into its tokens and the bracketed active one.
+// Returns false unless there are >= 2 tokens and exactly one is bracketed.
+bool ParseBracketChoices(const std::string& text, std::vector<std::string>* tokens,
+                         std::string* active) {
+  tokens->clear();
+  active->clear();
+  std::string current;
+  bool in_token = false;
+  size_t bracketed = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    char c = i < text.size() ? text[i] : ' ';
+    if (c == ' ' || c == '\t') {
+      if (in_token) {
+        if (current.size() >= 2 && current.front() == '[' && current.back() == ']') {
+          current = current.substr(1, current.size() - 2);
+          *active = current;
+          ++bracketed;
+        }
+        if (!current.empty()) {
+          tokens->push_back(current);
+        }
+        current.clear();
+        in_token = false;
+      }
+    } else {
+      current.push_back(c);
+      in_token = true;
+    }
+  }
+  return tokens->size() >= 2 && bracketed == 1;
+}
+
+std::string SubsystemFromPath(const std::string& path) {
+  size_t dot = path.find('.');
+  std::string head = dot == std::string::npos ? path : path.substr(0, dot);
+  if (head == "net" || head == "vm" || head == "fs" || head == "block" || head == "debug" ||
+      head == "crypto" || head == "power" || head == "security" || head == "drivers" ||
+      head == "sched") {
+    return head;
+  }
+  if (head == "kernel") {
+    return "kernel";
+  }
+  return "kernel";
+}
+
+}  // namespace
+
+ProbeReport ProbeRuntimeSpace(RuntimeProbeTarget& target, const ProbeOptions& options) {
+  ProbeReport report;
+  for (const std::string& path : target.ListWritablePaths()) {
+    std::optional<std::string> text = target.ReadValue(path);
+    if (!text.has_value()) {
+      continue;
+    }
+    int64_t default_value = 0;
+    if (!ParseInt(*text, &default_value)) {
+      // Multi-choice files advertise their whole vocabulary with the active
+      // token bracketed; those are discoverable without numeric probing.
+      if (options.discover_choices) {
+        std::vector<std::string> tokens;
+        std::string active;
+        if (ParseBracketChoices(*text, &tokens, &active)) {
+          std::vector<std::string> accepted;
+          int64_t default_index = 0;
+          for (const std::string& token : tokens) {
+            ++report.writes_attempted;
+            ProbeWriteResult write = target.TryWrite(path, token);
+            if (write == ProbeWriteResult::kCrash) {
+              ++report.crashes;
+              break;
+            }
+            if (write == ProbeWriteResult::kRejected) {
+              ++report.writes_rejected;
+              continue;  // Advertised but not actually writable; drop it.
+            }
+            if (token == active) {
+              default_index = static_cast<int64_t>(accepted.size());
+            }
+            accepted.push_back(token);
+          }
+          target.TryWrite(path, active);  // Restore.
+          if (accepted.size() >= 2) {
+            report.params.push_back(ParamSpec::String(
+                path, ParamPhase::kRuntime, SubsystemFromPath(path), accepted,
+                default_index));
+            continue;
+          }
+        }
+      }
+      // §3.4: other non-numeric parameters are excluded from automatic
+      // probing and fall back to manual exploration.
+      report.skipped_non_numeric.push_back(path);
+      continue;
+    }
+
+    if (default_value == 0 || default_value == 1) {
+      // Defaults of 0/1 are assumed boolean. Confirm the other value writes.
+      ++report.writes_attempted;
+      ProbeWriteResult flip =
+          target.TryWrite(path, default_value == 0 ? "1" : "0");
+      if (flip == ProbeWriteResult::kCrash) {
+        ++report.crashes;
+        continue;
+      }
+      if (flip == ProbeWriteResult::kRejected) {
+        ++report.writes_rejected;
+        continue;  // Read-only in practice; not explorable.
+      }
+      target.TryWrite(path, *text);  // Restore.
+      report.params.push_back(
+          ParamSpec::Bool(path, ParamPhase::kRuntime, SubsystemFromPath(path),
+                          default_value == 1));
+      continue;
+    }
+
+    // Arbitrary integer: scale the default up and down by the factor to find
+    // an accepted envelope. Exploration is intentionally coarse (§3.4): the
+    // optimizer, not the prober, finds good values inside the range.
+    int64_t lo = default_value;
+    int64_t hi = default_value;
+    double up = static_cast<double>(default_value);
+    for (int step = 0; step < options.scale_steps; ++step) {
+      up *= options.scale_factor;
+      if (up > 9.0e18) {
+        break;
+      }
+      int64_t candidate = static_cast<int64_t>(up);
+      ++report.writes_attempted;
+      ProbeWriteResult result = target.TryWrite(path, std::to_string(candidate));
+      if (result == ProbeWriteResult::kCrash) {
+        ++report.crashes;
+        break;
+      }
+      if (result == ProbeWriteResult::kRejected) {
+        ++report.writes_rejected;
+        break;
+      }
+      hi = candidate;
+    }
+    double down = static_cast<double>(default_value);
+    for (int step = 0; step < options.scale_steps; ++step) {
+      down /= options.scale_factor;
+      int64_t candidate = static_cast<int64_t>(down);
+      if (candidate == lo) {
+        candidate = candidate > 0 ? candidate - 1 : 0;
+      }
+      ++report.writes_attempted;
+      ProbeWriteResult result = target.TryWrite(path, std::to_string(candidate));
+      if (result == ProbeWriteResult::kCrash) {
+        ++report.crashes;
+        break;
+      }
+      if (result == ProbeWriteResult::kRejected) {
+        ++report.writes_rejected;
+        break;
+      }
+      lo = candidate;
+      if (candidate == 0) {
+        break;
+      }
+    }
+    target.TryWrite(path, *text);  // Restore the default.
+    if (lo > hi) {
+      std::swap(lo, hi);
+    }
+    bool log_scale = hi - lo > 10000;
+    report.params.push_back(ParamSpec::Int(path, ParamPhase::kRuntime, SubsystemFromPath(path),
+                                           lo, hi, default_value, log_scale));
+  }
+  return report;
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,71 @@
+// Runtime configuration-space discovery (§3.4).
+//
+// Linux exposes runtime options as writable pseudo-files under /proc/sys and
+// /sys, mostly undocumented. Wayfinder discovers them heuristically: boot a
+// VM, list writable files, read each default, infer the type from the
+// default (0/1 -> bool, other number -> int), then estimate the valid range
+// by scaling the default up and down by a factor of 10 and test-writing the
+// scaled values. Writes that fail or crash the VM bound the range.
+//
+// The VM is abstracted behind RuntimeProbeTarget so the prober works against
+// the simulated sysfs (src/simos) and, in principle, a real guest.
+#ifndef WAYFINDER_SRC_CONFIGSPACE_PROBE_H_
+#define WAYFINDER_SRC_CONFIGSPACE_PROBE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/configspace/config_space.h"
+
+namespace wayfinder {
+
+// Outcome of a probe write.
+enum class ProbeWriteResult {
+  kOk,        // Accepted; value is in the valid range.
+  kRejected,  // Write refused (EINVAL-style); value out of range.
+  kCrash,     // The guest crashed/hung; the prober reboots it and moves on.
+};
+
+// A bootable guest exposing its runtime pseudo-files.
+class RuntimeProbeTarget {
+ public:
+  virtual ~RuntimeProbeTarget() = default;
+
+  // Paths of writable pseudo-files (e.g. "net.core.somaxconn" in sysctl
+  // dotted form).
+  virtual std::vector<std::string> ListWritablePaths() = 0;
+
+  // Current (default) value as text; nullopt if unreadable.
+  virtual std::optional<std::string> ReadValue(const std::string& path) = 0;
+
+  // Attempts to write `value`; on kCrash the target must come back up in
+  // its default state before the next call.
+  virtual ProbeWriteResult TryWrite(const std::string& path, const std::string& value) = 0;
+};
+
+struct ProbeOptions {
+  // How many x10 scaling steps to attempt in each direction.
+  int scale_steps = 3;
+  double scale_factor = 10.0;
+  // Mine /sys multi-choice bracket notation ("noop [mq-deadline] kyber")
+  // for categorical parameters: each listed token is test-written and the
+  // accepted ones become the choice set. Plain string files stay manual.
+  bool discover_choices = true;
+};
+
+struct ProbeReport {
+  std::vector<ParamSpec> params;               // Discovered runtime parameters.
+  std::vector<std::string> skipped_non_numeric;  // Strings etc. (left manual).
+  size_t writes_attempted = 0;
+  size_t writes_rejected = 0;
+  size_t crashes = 0;
+};
+
+// Runs the §3.4 heuristic against a target. Discovered parameters carry
+// phase kRuntime and a subsystem inferred from the path's first component.
+ProbeReport ProbeRuntimeSpace(RuntimeProbeTarget& target, const ProbeOptions& options = {});
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_CONFIGSPACE_PROBE_H_

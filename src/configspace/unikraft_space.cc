@@ -1,0 +1,52 @@
+#include "src/configspace/unikraft_space.h"
+
+namespace wayfinder {
+
+ConfigSpace BuildUnikraftSpace() {
+  constexpr ParamPhase kRt = ParamPhase::kRuntime;
+  constexpr ParamPhase kCt = ParamPhase::kCompileTime;
+  ConfigSpace space;
+
+  // --- Nginx application-level parameters (10) ----------------------------
+  space.Add(ParamSpec::IntSet("nginx.worker_processes", kRt, "app", {1, 2, 4}, 1));
+  space.Add(ParamSpec::IntSet("nginx.worker_connections", kRt, "app", {64, 1024, 16384}, 1024));
+  space.Add(ParamSpec::IntSet("nginx.keepalive_timeout", kRt, "app", {0, 65, 300}, 65));
+  space.Add(ParamSpec::IntSet("nginx.keepalive_requests", kRt, "app", {16, 100, 10000}, 100));
+  space.Add(ParamSpec::Bool("nginx.sendfile", kRt, "app", true));
+  space.Add(ParamSpec::Bool("nginx.tcp_nopush", kRt, "app", false));
+  space.Add(ParamSpec::Bool("nginx.tcp_nodelay", kRt, "app", true));
+  space.Add(ParamSpec::Bool("nginx.access_log", kRt, "app", true));
+  space.Add(ParamSpec::IntSet("nginx.open_file_cache", kRt, "app", {0, 1024, 65536}, 0));
+  space.Add(ParamSpec::IntSet("nginx.listen_backlog", kRt, "app", {16, 511, 65536}, 511));
+
+  // --- Unikraft OS parameters (23) -----------------------------------------
+  space.Add(ParamSpec::String("CONFIG_UKALLOC", kCt, "vm",
+                              {"bbuddy", "tlsf", "region", "mimalloc"}, 0));
+  space.Add(ParamSpec::String("CONFIG_UKSCHED", kCt, "sched", {"coop", "preempt"}, 0));
+  space.Add(ParamSpec::IntSet("CONFIG_UK_HEAP_MB", kCt, "vm", {8, 64, 256, 1024}, 64));
+  space.Add(ParamSpec::IntSet("CONFIG_UK_STACK_KB", kCt, "vm", {16, 64, 1024}, 64));
+  space.Add(ParamSpec::IntSet("CONFIG_LWIP_TCP_SND_BUF", kCt, "net", {8192, 32768, 131072},
+                              32768));
+  space.Add(ParamSpec::IntSet("CONFIG_LWIP_TCP_WND", kCt, "net", {8192, 32768, 131072}, 32768));
+  space.Add(ParamSpec::IntSet("CONFIG_LWIP_TCP_MSS", kCt, "net", {536, 1024, 1460}, 1460));
+  space.Add(ParamSpec::IntSet("CONFIG_LWIP_NUM_PBUF", kCt, "net", {64, 256, 1024}, 256));
+  space.Add(ParamSpec::IntSet("CONFIG_LWIP_NUM_TCP_PCB", kCt, "net", {8, 32, 128}, 32));
+  space.Add(ParamSpec::Bool("CONFIG_LWIP_POOLS", kCt, "net", true));
+  space.Add(ParamSpec::Bool("CONFIG_LWIP_NOTHREADS", kCt, "net", false));
+  space.Add(ParamSpec::IntSet("CONFIG_UKNETDEV_RX_DESCS", kCt, "net", {32, 256, 2048}, 256));
+  space.Add(ParamSpec::IntSet("CONFIG_UKNETDEV_TX_DESCS", kCt, "net", {32, 256, 2048}, 256));
+  space.Add(ParamSpec::String("CONFIG_UK_HZ", kCt, "sched", {"100", "250", "1000"}, 0));
+  space.Add(ParamSpec::Bool("CONFIG_UKMMAP", kCt, "vm", true));
+  space.Add(ParamSpec::String("CONFIG_VFSCORE_ROOTFS", kCt, "fs", {"ramfs", "9pfs"}, 0));
+  space.Add(ParamSpec::Bool("CONFIG_UK_PRINT_KERN_MSG", kCt, "debug", true));
+  space.Add(ParamSpec::Bool("CONFIG_UK_DEBUG_PRINT", kCt, "debug", false));
+  space.Add(ParamSpec::String("CONFIG_UK_OPTIMIZE", kCt, "kernel", {"O0", "O2", "O3", "Os"}, 1));
+  space.Add(ParamSpec::Bool("CONFIG_UK_LTO", kCt, "kernel", false));
+  space.Add(ParamSpec::Bool("CONFIG_UK_MEMPOOL_PREALLOC", kCt, "vm", false));
+  space.Add(ParamSpec::Bool("CONFIG_UK_TRACEPOINTS", kCt, "debug", false));
+  space.Add(ParamSpec::Bool("CONFIG_VIRTIO_PCI_MODERN", kCt, "drivers", true));
+
+  return space;
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,19 @@
+// The Unikraft + Nginx configuration space of §4.4 / Figure 9.
+//
+// The paper explores 33 parameters — 10 Nginx application-level knobs and 23
+// Unikraft OS options — for a search space of ~3.7e13 permutations. Wide
+// numeric knobs are quantized into small candidate sets (which is how the
+// space stays at ~10^13.6 despite buffer sizes spanning decades).
+#ifndef WAYFINDER_SRC_CONFIGSPACE_UNIKRAFT_SPACE_H_
+#define WAYFINDER_SRC_CONFIGSPACE_UNIKRAFT_SPACE_H_
+
+#include "src/configspace/config_space.h"
+
+namespace wayfinder {
+
+// Builds the 33-parameter Unikraft/Nginx space.
+ConfigSpace BuildUnikraftSpace();
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_CONFIGSPACE_UNIKRAFT_SPACE_H_

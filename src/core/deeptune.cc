@@ -1,0 +1,177 @@
+#include "src/core/deeptune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wayfinder {
+
+DeepTuneSearcher::DeepTuneSearcher(const ConfigSpace* space, const DeepTuneOptions& options)
+    : space_(space),
+      options_(options),
+      model_(space->FeatureDimension(), options.model),
+      scoring_(options.scoring) {}
+
+bool DeepTuneSearcher::LoadModel(const std::string& path) {
+  transferred_ = model_.Load(path);
+  return transferred_;
+}
+
+Configuration DeepTuneSearcher::Propose(SearchContext& context) {
+  // Cold start: sample randomly until there is something to learn from —
+  // unless a transferred model already knows the space (§3.3), in which
+  // case it takes over immediately.
+  size_t warmup = transferred_ ? std::min<size_t>(2, options_.warmup) : options_.warmup;
+  if (observed_ < warmup) {
+    return space_->RandomConfiguration(*context.rng, context.sample_options);
+  }
+
+  // --- 1. Candidate pool ----------------------------------------------------
+  // Diversity by construction: (a) coordinate line-search candidates — the
+  // best configurations with one parameter swept across a small value grid,
+  // which the model then ranks (model-guided coordinate descent); (b) small
+  // multi-parameter mutations of the elites; (c) fresh random samples.
+  std::vector<Configuration> pool;
+  pool.reserve(options_.pool_size);
+  size_t exploit = elites_.empty()
+                       ? 0
+                       : static_cast<size_t>(static_cast<double>(options_.pool_size) *
+                                             options_.exploit_fraction);
+  constexpr size_t kGridPoints = 5;
+  // Phase-biased parameter lottery for the line search.
+  std::vector<double> param_weights(space_->Size(), 0.0);
+  for (size_t i = 0; i < space_->Size(); ++i) {
+    if (!space_->IsFrozen(i)) {
+      param_weights[i] = context.sample_options.ProbFor(space_->Param(i).phase);
+    }
+  }
+  double weight_total = 0.0;
+  for (double w : param_weights) {
+    weight_total += w;
+  }
+  size_t line_candidates = exploit / 2;
+  for (size_t i = 0; i < line_candidates && weight_total > 0.0; i += kGridPoints) {
+    const Configuration& base = elites_[(i / kGridPoints) % elites_.size()];
+    size_t param = context.rng->WeightedIndex(param_weights);
+    for (size_t g = 0; g < kGridPoints && pool.size() < options_.pool_size; ++g) {
+      Configuration candidate = base;
+      double code = static_cast<double>(g) / static_cast<double>(kGridPoints - 1);
+      candidate.SetRaw(param, space_->DecodeParam(param, code));
+      space_->ApplyConstraints(&candidate);
+      pool.push_back(std::move(candidate));
+    }
+  }
+  while (pool.size() < exploit) {
+    const Configuration& base = elites_[pool.size() % elites_.size()];
+    size_t mutations = 1 + static_cast<size_t>(context.rng->UniformInt(
+                               0, static_cast<int64_t>(options_.max_mutations) - 1));
+    pool.push_back(space_->Neighbor(base, *context.rng, mutations, context.sample_options));
+  }
+  while (pool.size() < options_.pool_size) {
+    pool.push_back(space_->RandomConfiguration(*context.rng, context.sample_options));
+  }
+
+  // --- 2. Model predictions ---------------------------------------------------
+  std::vector<std::vector<double>> encoded(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    encoded[i] = space_->Encode(pool[i]);
+  }
+  std::vector<DtmPrediction> predictions = model_.PredictBatch(encoded);
+  std::vector<double> sigma_norm = NormalizeSigmas(predictions);
+
+  // --- 3. Scoring (Eq. 2 + Eq. 3 merged with the prediction) ------------------
+  std::vector<std::vector<double>> known;
+  if (context.history != nullptr) {
+    // ds() against the most recent evaluations; older points matter less
+    // and the cap keeps proposal cost O(1) per iteration.
+    size_t take = std::min<size_t>(context.history->size(), 128);
+    known.reserve(take);
+    for (size_t i = context.history->size() - take; i < context.history->size(); ++i) {
+      known.push_back(space_->Encode((*context.history)[i].config));
+    }
+  }
+  size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pool.size(); ++i) {
+    double ds = Dissimilarity(encoded[i], known);
+    double score = RankScore(predictions[i], ds, sigma_norm[i], scoring_);
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return pool[best];
+}
+
+void DeepTuneSearcher::Observe(const TrialRecord& trial, SearchContext& context) {
+  (void)context;
+  model_.AddSample(space_->Encode(trial.config), trial.crashed(),
+                   trial.HasObjective() ? trial.objective : 0.0);
+  ++observed_;
+
+  if (trial.HasObjective()) {
+    // Maintain a small elite set for pool exploitation.
+    constexpr size_t kEliteCount = 4;
+    if (elites_.size() < kEliteCount) {
+      elites_.push_back(trial.config);
+      elite_objectives_.push_back(trial.objective);
+    } else {
+      size_t worst = 0;
+      for (size_t i = 1; i < elite_objectives_.size(); ++i) {
+        if (elite_objectives_[i] < elite_objectives_[worst]) {
+          worst = i;
+        }
+      }
+      if (trial.objective > elite_objectives_[worst]) {
+        elites_[worst] = trial.config;
+        elite_objectives_[worst] = trial.objective;
+      }
+    }
+  }
+  if (observed_ % options_.update_every == 0) {
+    model_.Update();
+  }
+}
+
+size_t DeepTuneSearcher::MemoryBytes() const {
+  size_t bytes = model_.MemoryBytes();
+  for (const Configuration& elite : elites_) {
+    bytes += elite.Size() * sizeof(int64_t);
+  }
+  return bytes;
+}
+
+DtmPrediction DeepTuneSearcher::PredictConfig(const Configuration& config) {
+  return model_.Predict(space_->Encode(config));
+}
+
+std::vector<double> DeepTuneSearcher::ParameterImpacts(SearchContext& context) {
+  (void)context;
+  Configuration base = space_->DefaultConfiguration();
+  if (!elites_.empty()) {
+    size_t best = 0;
+    for (size_t i = 1; i < elite_objectives_.size(); ++i) {
+      if (elite_objectives_[i] > elite_objectives_[best]) {
+        best = i;
+      }
+    }
+    base = elites_[best];
+  }
+  std::vector<double> impacts(space_->Size(), 0.0);
+  std::vector<double> features = space_->Encode(base);
+  for (size_t i = 0; i < space_->Size(); ++i) {
+    double lo = std::numeric_limits<double>::max();
+    double hi = -std::numeric_limits<double>::max();
+    std::vector<double> probe = features;
+    for (int g = 0; g <= 4; ++g) {
+      probe[i] = static_cast<double>(g) / 4.0;
+      double yhat = model_.Predict(probe).objective;
+      lo = std::min(lo, yhat);
+      hi = std::max(hi, yhat);
+    }
+    impacts[i] = hi - lo;
+  }
+  return impacts;
+}
+
+}  // namespace wayfinder

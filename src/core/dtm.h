@@ -1,0 +1,134 @@
+// The DeepTune Model (DTM) — Figure 4 of the paper.
+//
+// A multitask neural network F(x) -> (k̂, ŷ, σ̂) mapping an encoded
+// configuration to its crash probability, expected (normalized) objective,
+// and predicted uncertainty. Two branches share a trunk:
+//
+//   * prediction branch F_p: dense -> ReLU -> dropout -> dense -> ReLU with
+//     two heads — crash logits (2-way softmax) and the objective ŷ;
+//   * uncertainty branch F_u: a stack of Gaussian RBF layers, one parallel
+//     to each trunk stage (input, hidden-1, hidden-2). Their activations are
+//     concatenated and a linear head emits s = log σ². Because RBF neurons
+//     respond by distance to learned centroids (prototypes of the data,
+//     Eq. 1), inputs far from everything seen produce near-zero activations
+//     and the head falls back to its bias — uncertainty degrades gracefully
+//     on outliers, which conventional activations cannot do (§5).
+//
+// Trained end-to-end on L = L_CCE + L_Reg + L_Cham (§3.2): cross-entropy on
+// crash labels, heteroscedastic regression (Kendall & Gal) coupling ŷ with
+// the uncertainty branch's s, and a Chamfer regularizer distributing each
+// RBF layer's centroids over its input distribution.
+//
+// Updates are incremental — a constant number of gradient steps per new
+// observation — so per-iteration cost stays O(1) in model work and O(n)
+// overall, unlike Gaussian-process or causal-graph refits (§2.3, Figure 7).
+#ifndef WAYFINDER_SRC_CORE_DTM_H_
+#define WAYFINDER_SRC_CORE_DTM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/layers.h"
+#include "src/nn/losses.h"
+#include "src/nn/optimizer.h"
+#include "src/util/rng.h"
+
+namespace wayfinder {
+
+struct DtmOptions {
+  size_t hidden1 = 64;
+  size_t hidden2 = 32;
+  size_t rbf_centroids = 12;
+  // gamma for an RBF layer = gamma_factor * sqrt(input width); the paper's
+  // gamma = 0.1 assumes per-dimension-normalized scalar-ish latents, which
+  // this generalizes to arbitrary widths.
+  double gamma_factor = 0.7;
+  double dropout = 0.10;
+  double learning_rate = 2e-3;
+  size_t batch_size = 32;
+  size_t steps_per_update = 32;  // Constant per observation: O(n) total.
+  double chamfer_weight = 0.05;
+  uint64_t seed = 0xd7a1;
+};
+
+struct DtmPrediction {
+  double crash_prob = 0.0;  // k̂
+  double objective = 0.0;   // ŷ, in normalized objective units.
+  double sigma = 1.0;       // σ̂ from the uncertainty branch.
+};
+
+class DeepTuneModel {
+ public:
+  DeepTuneModel(size_t input_dim, const DtmOptions& options = {});
+
+  size_t input_dim() const { return input_dim_; }
+  size_t sample_count() const { return xs_.size(); }
+
+  // Adds one observation. `objective` is ignored for crashed trials.
+  void AddSample(const std::vector<double>& x, bool crashed, double objective);
+
+  // Runs `steps_per_update` minibatch gradient steps on the replay buffer.
+  // Returns the last batch's total loss (0 when there is nothing to train).
+  double Update();
+
+  DtmPrediction Predict(const std::vector<double>& x);
+  std::vector<DtmPrediction> PredictBatch(const std::vector<std::vector<double>>& xs);
+
+  // Objective normalization (z-score over successful observations).
+  double NormalizeObjective(double objective) const;
+  double DenormalizeObjective(double normalized) const;
+
+  // Trainable blocks in a stable order (for Adam and serialization).
+  std::vector<ParamBlock*> Params();
+
+  // Transfer learning (§3.3): persist/restore the trained weights. Loading
+  // requires an identical architecture (input dim and options).
+  bool Save(const std::string& path) const;
+  bool Load(const std::string& path);
+
+  // Live state footprint (weights + optimizer moments + replay buffer).
+  size_t MemoryBytes() const;
+
+  const DtmOptions& options() const { return options_; }
+
+ private:
+  struct ForwardCache {
+    Matrix h1_pre, h1_act, h1_drop, h2_act;
+    Matrix crash_logits, yhat;
+    Matrix phi0, phi1, phi2, s;
+  };
+
+  ForwardCache Forward(const Matrix& x, bool training);
+  void RefreshNormalizer();
+
+  size_t input_dim_;
+  DtmOptions options_;
+  Rng rng_;
+
+  DenseLayer dense1_;
+  ReluLayer relu1_;
+  DropoutLayer dropout_;
+  DenseLayer dense2_;
+  ReluLayer relu2_;
+  DenseLayer crash_head_;
+  DenseLayer perf_head_;
+  RbfLayer rbf0_;
+  RbfLayer rbf1_;
+  RbfLayer rbf2_;
+  DenseLayer unc_head_;
+  std::unique_ptr<Adam> adam_;
+
+  // Replay buffer.
+  std::vector<std::vector<double>> xs_;
+  std::vector<bool> crashed_;
+  std::vector<double> objectives_;  // Raw; NaN for crashed trials.
+
+  double objective_mean_ = 0.0;
+  double objective_std_ = 1.0;
+  bool normalizer_dirty_ = true;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_CORE_DTM_H_

@@ -1,0 +1,240 @@
+#include "src/core/multi_dtm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/nn/serialize.h"
+#include "src/util/stats.h"
+
+namespace wayfinder {
+
+MultiDtm::MultiDtm(size_t input_dim, size_t metric_count, const DtmOptions& options)
+    : input_dim_(input_dim),
+      metric_count_(metric_count),
+      options_(options),
+      rng_(options.seed),
+      dense1_(input_dim, options.hidden1, rng_),
+      dropout_(options.dropout),
+      dense2_(options.hidden1, options.hidden2, rng_),
+      crash_head_(options.hidden2, 2, rng_),
+      perf_head_(options.hidden2, metric_count, rng_),
+      rbf0_(input_dim, options.rbf_centroids,
+            options.gamma_factor * std::sqrt(static_cast<double>(input_dim)), rng_),
+      rbf1_(options.hidden1, options.rbf_centroids,
+            options.gamma_factor * std::sqrt(static_cast<double>(options.hidden1)), rng_),
+      rbf2_(options.hidden2, options.rbf_centroids,
+            options.gamma_factor * std::sqrt(static_cast<double>(options.hidden2)), rng_),
+      unc_head_(3 * options.rbf_centroids, metric_count, rng_),
+      metric_mean_(metric_count, 0.0),
+      metric_std_(metric_count, 1.0) {
+  assert(metric_count_ >= 1);
+  std::vector<ParamBlock*> params = Params();
+  AdamOptions adam_options;
+  adam_options.learning_rate = options.learning_rate;
+  adam_options.weight_decay = 1e-5;
+  adam_ = std::make_unique<Adam>(params, adam_options);
+}
+
+std::vector<ParamBlock*> MultiDtm::Params() {
+  std::vector<ParamBlock*> params;
+  auto append = [&params](std::vector<ParamBlock*> block) {
+    params.insert(params.end(), block.begin(), block.end());
+  };
+  append(dense1_.Params());
+  append(dense2_.Params());
+  append(crash_head_.Params());
+  append(perf_head_.Params());
+  append(rbf0_.Params());
+  append(rbf1_.Params());
+  append(rbf2_.Params());
+  append(unc_head_.Params());
+  return params;
+}
+
+void MultiDtm::AddSample(const std::vector<double>& x, bool crashed,
+                         const std::vector<double>& objectives) {
+  assert(x.size() == input_dim_);
+  xs_.push_back(x);
+  crashed_.push_back(crashed);
+  if (crashed) {
+    objectives_.emplace_back(metric_count_, std::nan(""));
+  } else {
+    assert(objectives.size() == metric_count_);
+    objectives_.push_back(objectives);
+  }
+  normalizer_dirty_ = true;
+}
+
+void MultiDtm::RefreshNormalizers() {
+  if (!normalizer_dirty_) {
+    return;
+  }
+  for (size_t k = 0; k < metric_count_; ++k) {
+    RunningStats stats;
+    for (size_t i = 0; i < objectives_.size(); ++i) {
+      if (!crashed_[i]) {
+        stats.Add(objectives_[i][k]);
+      }
+    }
+    metric_mean_[k] = stats.Mean();
+    metric_std_[k] = stats.StdDev() > 1e-9 ? stats.StdDev() : 1.0;
+  }
+  normalizer_dirty_ = false;
+}
+
+double MultiDtm::NormalizeObjective(size_t metric, double objective) const {
+  return (objective - metric_mean_[metric]) / metric_std_[metric];
+}
+
+double MultiDtm::DenormalizeObjective(size_t metric, double normalized) const {
+  return normalized * metric_std_[metric] + metric_mean_[metric];
+}
+
+MultiDtm::ForwardCache MultiDtm::Forward(const Matrix& x, bool training) {
+  ForwardCache cache;
+  cache.h1_pre = dense1_.Forward(x);
+  cache.h1_act = relu1_.Forward(cache.h1_pre);
+  cache.h1_drop = dropout_.Forward(cache.h1_act, rng_, training);
+  Matrix h2_pre = dense2_.Forward(cache.h1_drop);
+  cache.h2_act = relu2_.Forward(h2_pre);
+  cache.crash_logits = crash_head_.Forward(cache.h2_act);
+  cache.yhat = perf_head_.Forward(cache.h2_act);
+  cache.phi0 = rbf0_.Forward(x);
+  cache.phi1 = rbf1_.Forward(cache.h1_drop);
+  cache.phi2 = rbf2_.Forward(cache.h2_act);
+  Matrix phi = ConcatCols(ConcatCols(cache.phi0, cache.phi1), cache.phi2);
+  cache.s = unc_head_.Forward(phi);
+  return cache;
+}
+
+double MultiDtm::Update() {
+  if (xs_.empty()) {
+    return 0.0;
+  }
+  RefreshNormalizers();
+  double last_loss = 0.0;
+  size_t batch = std::min(options_.batch_size, xs_.size());
+  for (size_t step = 0; step < options_.steps_per_update; ++step) {
+    Matrix x(batch, input_dim_);
+    std::vector<int> crash_target(batch);
+    std::vector<std::vector<double>> y(batch, std::vector<double>(metric_count_, 0.0));
+    std::vector<bool> mask(batch, false);
+    for (size_t b = 0; b < batch; ++b) {
+      size_t i = static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(xs_.size()) - 1));
+      for (size_t j = 0; j < input_dim_; ++j) {
+        x.At(b, j) = xs_[i][j];
+      }
+      crash_target[b] = crashed_[i] ? 1 : 0;
+      if (!crashed_[i]) {
+        for (size_t k = 0; k < metric_count_; ++k) {
+          y[b][k] = NormalizeObjective(k, objectives_[i][k]);
+        }
+        mask[b] = true;
+      }
+    }
+
+    ForwardCache cache = Forward(x, /*training=*/true);
+
+    Matrix dlogits;
+    double loss_cce = SoftmaxCrossEntropy(cache.crash_logits, crash_target, &dlogits);
+    Matrix dyhat;
+    Matrix ds;
+    double loss_reg = HeteroscedasticLossMulti(cache.yhat, cache.s, y, mask, &dyhat, &ds);
+    double loss_cham = rbf0_.AccumulateChamferGradient(options_.chamfer_weight) +
+                       rbf1_.AccumulateChamferGradient(options_.chamfer_weight) +
+                       rbf2_.AccumulateChamferGradient(options_.chamfer_weight);
+    last_loss = loss_cce + loss_reg + options_.chamfer_weight * loss_cham;
+
+    Matrix dphi = unc_head_.Backward(ds);
+    size_t k = options_.rbf_centroids;
+    Matrix dphi0 = SliceCols(dphi, 0, k);
+    Matrix dphi1 = SliceCols(dphi, k, 2 * k);
+    Matrix dphi2 = SliceCols(dphi, 2 * k, 3 * k);
+
+    Matrix dh2 = crash_head_.Backward(dlogits);
+    {
+      Matrix dh2_perf = perf_head_.Backward(dyhat);
+      Matrix dh2_rbf = rbf2_.Backward(dphi2);
+      for (size_t i = 0; i < dh2.size(); ++i) {
+        dh2.data()[i] += dh2_perf.data()[i] + dh2_rbf.data()[i];
+      }
+    }
+    Matrix dh2_pre = relu2_.Backward(dh2);
+    Matrix dh1_drop = dense2_.Backward(dh2_pre);
+    {
+      Matrix dh1_rbf = rbf1_.Backward(dphi1);
+      for (size_t i = 0; i < dh1_drop.size(); ++i) {
+        dh1_drop.data()[i] += dh1_rbf.data()[i];
+      }
+    }
+    Matrix dh1_act = dropout_.Backward(dh1_drop);
+    Matrix dh1_pre = relu1_.Backward(dh1_act);
+    dense1_.Backward(dh1_pre);
+    rbf0_.Backward(dphi0);  // Input gradient discarded.
+
+    adam_->Step();
+  }
+  return last_loss;
+}
+
+MultiDtmPrediction MultiDtm::Predict(const std::vector<double>& x) {
+  return PredictBatch({x}).front();
+}
+
+std::vector<MultiDtmPrediction> MultiDtm::PredictBatch(
+    const std::vector<std::vector<double>>& xs) {
+  std::vector<MultiDtmPrediction> predictions;
+  if (xs.empty()) {
+    return predictions;
+  }
+  Matrix x(xs.size(), input_dim_);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    assert(xs[i].size() == input_dim_);
+    for (size_t j = 0; j < input_dim_; ++j) {
+      x.At(i, j) = xs[i][j];
+    }
+  }
+  ForwardCache cache = Forward(x, /*training=*/false);
+  Matrix probs = Softmax(cache.crash_logits);
+  predictions.resize(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    predictions[i].crash_prob = probs.At(i, 1);
+    predictions[i].objectives.resize(metric_count_);
+    predictions[i].sigmas.resize(metric_count_);
+    for (size_t k = 0; k < metric_count_; ++k) {
+      predictions[i].objectives[k] = cache.yhat.At(i, k);
+      double s = std::clamp(cache.s.At(i, k), -10.0, 10.0);
+      predictions[i].sigmas[k] = std::exp(0.5 * s);
+    }
+  }
+  return predictions;
+}
+
+bool MultiDtm::Save(const std::string& path) const {
+  auto* self = const_cast<MultiDtm*>(this);
+  return SaveParamsToFile(self->Params(), path);
+}
+
+bool MultiDtm::Load(const std::string& path) {
+  return LoadParamsFromFile(Params(), path);
+}
+
+size_t MultiDtm::MemoryBytes() const {
+  size_t bytes = 0;
+  auto* self = const_cast<MultiDtm*>(this);
+  for (ParamBlock* p : self->Params()) {
+    bytes += 4 * p->value.size() * sizeof(double);
+  }
+  for (const auto& x : xs_) {
+    bytes += x.size() * sizeof(double);
+  }
+  for (const auto& y : objectives_) {
+    bytes += y.size() * sizeof(double);
+  }
+  bytes += crashed_.size() / 8;
+  return bytes;
+}
+
+}  // namespace wayfinder

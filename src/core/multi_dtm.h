@@ -1,0 +1,103 @@
+// Multi-metric DeepTune Model — the §3.2 extension implemented.
+//
+// The paper's DTM "can be extended to handle multiple metrics by adding
+// additional output layers to F_p and F_u. This modification allows the
+// DTM to make predictions for multiple targets simultaneously." This class
+// is that modification: the same two-branch architecture as DeepTuneModel
+// (shared trunk, crash head, stacked RBF uncertainty branch), but the
+// objective head emits K outputs and the uncertainty head K log-variances,
+// trained with a K-column heteroscedastic loss. Each metric keeps its own
+// z-score normalizer so req/s and MB can share one network.
+#ifndef WAYFINDER_SRC_CORE_MULTI_DTM_H_
+#define WAYFINDER_SRC_CORE_MULTI_DTM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/dtm.h"
+#include "src/nn/layers.h"
+#include "src/nn/losses.h"
+#include "src/nn/optimizer.h"
+#include "src/util/rng.h"
+
+namespace wayfinder {
+
+struct MultiDtmPrediction {
+  double crash_prob = 0.0;
+  std::vector<double> objectives;  // One ŷ per metric (normalized units).
+  std::vector<double> sigmas;      // One σ̂ per metric.
+};
+
+class MultiDtm {
+ public:
+  // `metric_count` >= 1; metric_count == 1 behaves like DeepTuneModel.
+  MultiDtm(size_t input_dim, size_t metric_count, const DtmOptions& options = {});
+
+  size_t input_dim() const { return input_dim_; }
+  size_t metric_count() const { return metric_count_; }
+  size_t sample_count() const { return xs_.size(); }
+
+  // `objectives` must have metric_count entries, all in each metric's raw
+  // higher-is-better orientation; ignored for crashed trials.
+  void AddSample(const std::vector<double>& x, bool crashed,
+                 const std::vector<double>& objectives);
+
+  // Runs steps_per_update minibatch gradient steps; returns the last loss.
+  double Update();
+
+  MultiDtmPrediction Predict(const std::vector<double>& x);
+  std::vector<MultiDtmPrediction> PredictBatch(const std::vector<std::vector<double>>& xs);
+
+  // Per-metric z-score normalization over successful observations.
+  double NormalizeObjective(size_t metric, double objective) const;
+  double DenormalizeObjective(size_t metric, double normalized) const;
+
+  std::vector<ParamBlock*> Params();
+  bool Save(const std::string& path) const;
+  bool Load(const std::string& path);
+  size_t MemoryBytes() const;
+
+  const DtmOptions& options() const { return options_; }
+
+ private:
+  struct ForwardCache {
+    Matrix h1_pre, h1_act, h1_drop, h2_act;
+    Matrix crash_logits, yhat;
+    Matrix phi0, phi1, phi2, s;
+  };
+
+  ForwardCache Forward(const Matrix& x, bool training);
+  void RefreshNormalizers();
+
+  size_t input_dim_;
+  size_t metric_count_;
+  DtmOptions options_;
+  Rng rng_;
+
+  DenseLayer dense1_;
+  ReluLayer relu1_;
+  DropoutLayer dropout_;
+  DenseLayer dense2_;
+  ReluLayer relu2_;
+  DenseLayer crash_head_;
+  DenseLayer perf_head_;  // hidden2 -> K.
+  RbfLayer rbf0_;
+  RbfLayer rbf1_;
+  RbfLayer rbf2_;
+  DenseLayer unc_head_;   // 3*centroids -> K.
+  std::unique_ptr<Adam> adam_;
+
+  // Replay buffer.
+  std::vector<std::vector<double>> xs_;
+  std::vector<bool> crashed_;
+  std::vector<std::vector<double>> objectives_;
+
+  std::vector<double> metric_mean_;
+  std::vector<double> metric_std_;
+  bool normalizer_dirty_ = true;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_CORE_MULTI_DTM_H_

@@ -1,0 +1,204 @@
+#include "src/core/multi_metric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace wayfinder {
+
+MetricSpec MetricSpec::AppThroughput(double weight) {
+  MetricSpec spec;
+  spec.name = "throughput";
+  spec.weight = weight;
+  spec.higher_is_better = true;
+  spec.extract = [](const TrialOutcome& outcome) { return outcome.metric; };
+  return spec;
+}
+
+MetricSpec MetricSpec::MemoryFootprint(double weight) {
+  MetricSpec spec;
+  spec.name = "memory_mb";
+  spec.weight = weight;
+  spec.higher_is_better = false;
+  spec.extract = [](const TrialOutcome& outcome) { return outcome.memory_mb; };
+  return spec;
+}
+
+MultiMetricSearcher::MultiMetricSearcher(const ConfigSpace* space,
+                                         std::vector<MetricSpec> metrics,
+                                         const MultiMetricOptions& options)
+    : space_(space),
+      metrics_(std::move(metrics)),
+      options_(options),
+      model_(space->FeatureDimension(), metrics_.size(), options.model),
+      metric_stats_(metrics_.size()) {
+  assert(!metrics_.empty());
+  for (const MetricSpec& metric : metrics_) {
+    assert(metric.extract != nullptr);
+    (void)metric;
+  }
+}
+
+bool MultiMetricSearcher::LoadModel(const std::string& path) {
+  transferred_ = model_.Load(path);
+  return transferred_;
+}
+
+std::vector<double> MultiMetricSearcher::ExtractOriented(
+    const TrialOutcome& outcome) const {
+  std::vector<double> values(metrics_.size());
+  for (size_t k = 0; k < metrics_.size(); ++k) {
+    double raw = metrics_[k].extract(outcome);
+    values[k] = metrics_[k].higher_is_better ? raw : -raw;
+  }
+  return values;
+}
+
+double MultiMetricSearcher::AggregateScore(const TrialOutcome& outcome) const {
+  std::vector<double> values = ExtractOriented(outcome);
+  double total_weight = 0.0;
+  double score = 0.0;
+  for (size_t k = 0; k < metrics_.size(); ++k) {
+    double std_dev = metric_stats_[k].Count() > 1 ? metric_stats_[k].StdDev() : 1.0;
+    if (std_dev <= 1e-12) {
+      std_dev = 1.0;
+    }
+    score += metrics_[k].weight * (values[k] - metric_stats_[k].Mean()) / std_dev;
+    total_weight += metrics_[k].weight;
+  }
+  return total_weight > 0.0 ? score / total_weight : 0.0;
+}
+
+Configuration MultiMetricSearcher::Propose(SearchContext& context) {
+  size_t warmup = transferred_ ? std::min<size_t>(2, options_.warmup) : options_.warmup;
+  if (observed_ < warmup) {
+    return space_->RandomConfiguration(*context.rng, context.sample_options);
+  }
+
+  // Candidate pool: elite mutations + fresh random samples (the multi-metric
+  // variant skips DeepTune's coordinate line search — elites already encode
+  // the trade-off frontier the weights select).
+  std::vector<Configuration> pool;
+  pool.reserve(options_.pool_size);
+  size_t exploit = elites_.empty()
+                       ? 0
+                       : static_cast<size_t>(static_cast<double>(options_.pool_size) *
+                                             options_.exploit_fraction);
+  while (pool.size() < exploit) {
+    const Configuration& base = elites_[pool.size() % elites_.size()];
+    size_t mutations = 1 + static_cast<size_t>(context.rng->UniformInt(
+                               0, static_cast<int64_t>(options_.max_mutations) - 1));
+    pool.push_back(space_->Neighbor(base, *context.rng, mutations, context.sample_options));
+  }
+  while (pool.size() < options_.pool_size) {
+    pool.push_back(space_->RandomConfiguration(*context.rng, context.sample_options));
+  }
+
+  std::vector<std::vector<double>> encoded(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    encoded[i] = space_->Encode(pool[i]);
+  }
+  std::vector<MultiDtmPrediction> predictions = model_.PredictBatch(encoded);
+
+  // Pool-normalize each metric's sigma column to [0, 1].
+  std::vector<std::vector<double>> sigma_norm(metrics_.size(),
+                                              std::vector<double>(pool.size(), 0.0));
+  for (size_t k = 0; k < metrics_.size(); ++k) {
+    double max_sigma = 0.0;
+    for (const MultiDtmPrediction& prediction : predictions) {
+      max_sigma = std::max(max_sigma, prediction.sigmas[k]);
+    }
+    if (max_sigma > 0.0) {
+      for (size_t i = 0; i < pool.size(); ++i) {
+        sigma_norm[k][i] = predictions[i].sigmas[k] / max_sigma;
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> known;
+  if (context.history != nullptr) {
+    size_t take = std::min<size_t>(context.history->size(), 128);
+    known.reserve(take);
+    for (size_t i = context.history->size() - take; i < context.history->size(); ++i) {
+      known.push_back(space_->Encode((*context.history)[i].config));
+    }
+  }
+
+  double total_weight = 0.0;
+  for (const MetricSpec& metric : metrics_) {
+    total_weight += metric.weight;
+  }
+
+  size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pool.size(); ++i) {
+    double ds = Dissimilarity(encoded[i], known);
+    // Eq. 3 per metric, then the weighted average (§3.2).
+    double score = 0.0;
+    for (size_t k = 0; k < metrics_.size(); ++k) {
+      DtmPrediction as_single;
+      as_single.crash_prob = predictions[i].crash_prob;
+      as_single.objective = predictions[i].objectives[k];
+      as_single.sigma = predictions[i].sigmas[k];
+      score += metrics_[k].weight *
+               RankScore(as_single, ds, sigma_norm[k][i], options_.scoring);
+    }
+    score = total_weight > 0.0 ? score / total_weight : score;
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return pool[best];
+}
+
+void MultiMetricSearcher::Observe(const TrialRecord& trial, SearchContext& /*context*/) {
+  bool crashed = trial.crashed();
+  std::vector<double> values;
+  if (!crashed) {
+    values = ExtractOriented(trial.outcome);
+    for (size_t k = 0; k < metrics_.size(); ++k) {
+      metric_stats_[k].Add(values[k]);
+    }
+  }
+  model_.AddSample(space_->Encode(trial.config), crashed, values);
+  ++observed_;
+
+  if (!crashed) {
+    double score = AggregateScore(trial.outcome);
+    constexpr size_t kEliteCount = 4;
+    if (elites_.size() < kEliteCount) {
+      elites_.push_back(trial.config);
+      elite_scores_.push_back(score);
+    } else {
+      size_t worst = 0;
+      for (size_t i = 1; i < elite_scores_.size(); ++i) {
+        if (elite_scores_[i] < elite_scores_[worst]) {
+          worst = i;
+        }
+      }
+      if (score > elite_scores_[worst]) {
+        elites_[worst] = trial.config;
+        elite_scores_[worst] = score;
+      }
+    }
+  }
+  if (observed_ % options_.update_every == 0) {
+    model_.Update();
+  }
+}
+
+MultiDtmPrediction MultiMetricSearcher::PredictConfig(const Configuration& config) {
+  return model_.Predict(space_->Encode(config));
+}
+
+size_t MultiMetricSearcher::MemoryBytes() const {
+  size_t bytes = model_.MemoryBytes();
+  for (const Configuration& elite : elites_) {
+    bytes += elite.Size() * sizeof(int64_t);
+  }
+  return bytes;
+}
+
+}  // namespace wayfinder

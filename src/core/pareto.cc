@@ -1,0 +1,63 @@
+#include "src/core/pareto.h"
+
+#include <cassert>
+
+namespace wayfinder {
+
+namespace {
+
+// True when a dominates b: a >= b in every coordinate, a > b in at least one.
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  bool strictly_better_somewhere = false;
+  for (size_t k = 0; k < a.size(); ++k) {
+    if (a[k] < b[k]) {
+      return false;
+    }
+    if (a[k] > b[k]) {
+      strictly_better_somewhere = true;
+    }
+  }
+  return strictly_better_somewhere;
+}
+
+}  // namespace
+
+std::vector<size_t> ParetoFrontIndices(const std::vector<std::vector<double>>& points) {
+  std::vector<size_t> front;
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < points.size() && !dominated; ++j) {
+      dominated = j != i && Dominates(points[j], points[i]);
+    }
+    if (!dominated) {
+      front.push_back(i);
+    }
+  }
+  return front;
+}
+
+std::vector<size_t> ParetoFront(const std::vector<TrialRecord>& history,
+                                const std::vector<MetricSpec>& metrics) {
+  std::vector<size_t> successful;
+  std::vector<std::vector<double>> points;
+  for (size_t i = 0; i < history.size(); ++i) {
+    if (history[i].crashed()) {
+      continue;
+    }
+    std::vector<double> row(metrics.size());
+    for (size_t k = 0; k < metrics.size(); ++k) {
+      double raw = metrics[k].extract(history[i].outcome);
+      row[k] = metrics[k].higher_is_better ? raw : -raw;
+    }
+    successful.push_back(i);
+    points.push_back(std::move(row));
+  }
+  std::vector<size_t> front;
+  for (size_t index : ParetoFrontIndices(points)) {
+    front.push_back(successful[index]);
+  }
+  return front;
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,86 @@
+#include "src/core/platform_transfer.h"
+
+#include <cmath>
+
+#include "src/util/stats.h"
+
+namespace wayfinder {
+
+LinearTransfer FitLinearTransfer(const std::vector<double>& source,
+                                 const std::vector<double>& target) {
+  LinearTransfer transfer;
+  size_t n = std::min(source.size(), target.size());
+  transfer.pairs = n;
+  if (n < 2) {
+    return transfer;
+  }
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += source[i];
+    sy += target[i];
+    sxx += source[i] * source[i];
+    sxy += source[i] * target[i];
+    syy += target[i] * target[i];
+  }
+  double nf = static_cast<double>(n);
+  double var_x = sxx - sx * sx / nf;
+  double var_y = syy - sy * sy / nf;
+  double cov = sxy - sx * sy / nf;
+  if (var_x <= 1e-12) {
+    return transfer;  // Identity: the source sample carries no signal.
+  }
+  transfer.slope = cov / var_x;
+  transfer.intercept = (sy - transfer.slope * sx) / nf;
+  transfer.correlation =
+      var_y > 1e-12 ? cov / std::sqrt(var_x * var_y) : 0.0;
+  return transfer;
+}
+
+LinearTransfer CalibrateTransfer(Testbench& source, Testbench& target, size_t pairs,
+                                 uint64_t seed) {
+  const ConfigSpace& space = source.space();
+  Rng sample_rng(seed);
+  Rng source_rng(HashCombine(seed, 0x50u));
+  Rng target_rng(HashCombine(seed, 0x7au));
+
+  std::vector<double> source_metrics;
+  std::vector<double> target_metrics;
+  size_t attempts = 0;
+  const size_t max_attempts = pairs * 10;  // Crash headroom on either side.
+  while (source_metrics.size() < pairs && attempts < max_attempts) {
+    ++attempts;
+    Configuration config =
+        space.RandomConfiguration(sample_rng, SampleOptions::FavorRuntime());
+    TrialOutcome on_source = source.Evaluate(config, source_rng, /*clock=*/nullptr);
+    if (!on_source.ok()) {
+      continue;
+    }
+    TrialOutcome on_target = target.Evaluate(config, target_rng, /*clock=*/nullptr);
+    if (!on_target.ok()) {
+      continue;
+    }
+    source_metrics.push_back(on_source.metric);
+    target_metrics.push_back(on_target.metric);
+  }
+  return FitLinearTransfer(source_metrics, target_metrics);
+}
+
+std::vector<TrialRecord> TransferHistory(const std::vector<TrialRecord>& source_history,
+                                         const LinearTransfer& transfer) {
+  std::vector<TrialRecord> mapped = source_history;
+  for (TrialRecord& trial : mapped) {
+    if (!trial.outcome.ok()) {
+      continue;  // Crash labels transfer as-is (validity is config-driven).
+    }
+    trial.outcome.metric = transfer.Predict(trial.outcome.metric);
+    if (trial.HasObjective()) {
+      // Objectives are polarity-normalized metrics; apply the same map with
+      // the sign the polarity chose.
+      double sign = trial.objective < 0.0 ? -1.0 : 1.0;
+      trial.objective = sign * transfer.Predict(sign * trial.objective);
+    }
+  }
+  return mapped;
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,69 @@
+// Cross-platform performance estimation (§3.5 future work, implemented).
+//
+// "Wayfinder could be extended to predict performance for hardware/
+// workloads that are different from those evaluated, using [...]
+// cross-platform performance estimation methods". The paper's citation for
+// the cross-platform case (Valov et al., ICPE'17) found that performance
+// models transfer across hardware through a simple *linear* map: measure a
+// small sample of configurations on both platforms, fit
+// metric_B ≈ slope * metric_A + intercept by least squares, and rescale
+// the rich platform-A history into platform-B units. This module is that
+// method: it turns an expensive full search on the deployment platform
+// into a handful of paired calibration runs.
+#ifndef WAYFINDER_SRC_CORE_PLATFORM_TRANSFER_H_
+#define WAYFINDER_SRC_CORE_PLATFORM_TRANSFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/configspace/config_space.h"
+#include "src/platform/trial.h"
+#include "src/simos/testbench.h"
+#include "src/util/rng.h"
+
+namespace wayfinder {
+
+// A fitted linear map from source-platform metric values to target-platform
+// metric values.
+struct LinearTransfer {
+  double slope = 1.0;
+  double intercept = 0.0;
+  // Pearson correlation of the paired calibration sample; low values mean
+  // the platforms rank configurations differently and the transfer is
+  // unreliable (the caller should fall back to measuring on the target).
+  double correlation = 0.0;
+  size_t pairs = 0;
+
+  double Predict(double source_metric) const {
+    return slope * source_metric + intercept;
+  }
+  // Rule of thumb from the transfer literature: a linear map is usable when
+  // the platforms agree on configuration ordering.
+  bool Reliable() const { return pairs >= 8 && correlation >= 0.7; }
+};
+
+// Fits the map by ordinary least squares over paired measurements
+// (source[i], target[i]) of the *same* configurations. Degenerate inputs
+// (fewer than 2 pairs, zero variance) return the identity map with
+// correlation 0.
+LinearTransfer FitLinearTransfer(const std::vector<double>& source,
+                                 const std::vector<double>& target);
+
+// End-to-end calibration: evaluates `pairs` random configurations on both
+// testbenches (skipping configurations that crash on either) and fits the
+// transfer. Deterministic in `seed`. Both benches must expose the same
+// configuration space.
+LinearTransfer CalibrateTransfer(Testbench& source, Testbench& target, size_t pairs,
+                                 uint64_t seed);
+
+// Maps a source-platform history into target-platform units: objectives and
+// metrics are transformed, crashed trials pass through unchanged. The
+// result can seed a searcher (SearchSession::Resume or Observe replay) so
+// a target-platform search starts from transferred knowledge instead of
+// from scratch.
+std::vector<TrialRecord> TransferHistory(const std::vector<TrialRecord>& source_history,
+                                         const LinearTransfer& transfer);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_CORE_PLATFORM_TRANSFER_H_

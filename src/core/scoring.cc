@@ -1,0 +1,55 @@
+#include "src/core/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wayfinder {
+
+double Dissimilarity(const std::vector<double>& x,
+                     const std::vector<std::vector<double>>& known) {
+  if (known.empty()) {
+    return 1.0;
+  }
+  double nearest = std::numeric_limits<double>::max();
+  for (const auto& sample : known) {
+    double sq = 0.0;
+    size_t n = std::min(sample.size(), x.size());
+    for (size_t j = 0; j < n; ++j) {
+      double d = x[j] - sample[j];
+      sq += d * d;
+    }
+    nearest = std::min(nearest, sq);
+  }
+  // Per-dimension normalization keeps ds in a useful range regardless of
+  // the space's width.
+  double normalized = nearest / std::max<size_t>(1, x.size()) * 16.0;
+  return 1.0 - 1.0 / (1.0 + normalized);
+}
+
+std::vector<double> NormalizeSigmas(const std::vector<DtmPrediction>& predictions) {
+  std::vector<double> sigmas(predictions.size(), 0.0);
+  double max_sigma = 1e-12;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    sigmas[i] = predictions[i].sigma;
+    max_sigma = std::max(max_sigma, sigmas[i]);
+  }
+  for (double& s : sigmas) {
+    s /= max_sigma;
+  }
+  return sigmas;
+}
+
+double RankScore(const DtmPrediction& prediction, double dissimilarity, double sigma_norm,
+                 const ScoreOptions& options) {
+  // Eq. 3: sf = alpha * ds + (1 - alpha) * F_u.
+  double sf = options.alpha * dissimilarity + (1.0 - options.alpha) * sigma_norm;
+  double score = options.predict_weight * prediction.objective + sf;
+  if (prediction.crash_prob > options.crash_threshold) {
+    // Predicted-to-crash candidates only survive if nothing better exists.
+    score -= options.crash_penalty * (prediction.crash_prob - options.crash_threshold);
+  }
+  return score;
+}
+
+}  // namespace wayfinder

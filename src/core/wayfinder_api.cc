@@ -1,0 +1,136 @@
+#include "src/core/wayfinder_api.h"
+
+#include "src/bayes/bayes_search.h"
+#include "src/core/multi_metric.h"
+#include "src/causal/causal_search.h"
+#include "src/platform/grid_search.h"
+#include "src/platform/random_search.h"
+#include "src/search/annealing_search.h"
+#include "src/search/genetic_search.h"
+#include "src/search/hill_climb.h"
+#include "src/search/smac_search.h"
+
+namespace wayfinder {
+
+std::unique_ptr<Searcher> MakeSearcher(const std::string& name, const ConfigSpace* space,
+                                       uint64_t seed) {
+  if (name == "random") {
+    return std::make_unique<RandomSearcher>();
+  }
+  if (name == "grid") {
+    return std::make_unique<GridSearcher>();
+  }
+  if (name == "bayesopt") {
+    return std::make_unique<BayesSearcher>(space);
+  }
+  if (name == "causal") {
+    return std::make_unique<CausalSearcher>(space);
+  }
+  if (name == "annealing") {
+    return std::make_unique<AnnealingSearcher>();
+  }
+  if (name == "genetic") {
+    return std::make_unique<GeneticSearcher>();
+  }
+  if (name == "hillclimb") {
+    return std::make_unique<HillClimbSearcher>();
+  }
+  if (name == "smac") {
+    SmacOptions options;
+    options.forest.seed = seed;
+    return std::make_unique<SmacSearcher>(space, options);
+  }
+  if (name == "deeptune") {
+    DeepTuneOptions options;
+    options.model.seed = seed;
+    return std::make_unique<DeepTuneSearcher>(space, options);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Searcher> MakeJobSearcher(const JobSpec& spec, const ConfigSpace* space,
+                                          std::string* error) {
+  if (spec.IsMultiMetric()) {
+    if (spec.algorithm != "deeptune") {
+      *error = "metric: multi requires the deeptune algorithm";
+      return nullptr;
+    }
+    std::vector<MetricSpec> metrics;
+    for (const JobMetric& job_metric : spec.metrics) {
+      metrics.push_back(job_metric.name == "memory"
+                            ? MetricSpec::MemoryFootprint(job_metric.weight)
+                            : MetricSpec::AppThroughput(job_metric.weight));
+    }
+    MultiMetricOptions options;
+    options.model.seed = spec.seed;
+    return std::make_unique<MultiMetricSearcher>(space, std::move(metrics), options);
+  }
+  std::unique_ptr<Searcher> searcher = MakeSearcher(spec.algorithm, space, spec.seed);
+  if (searcher == nullptr) {
+    *error = "unknown search algorithm: " + spec.algorithm;
+  }
+  return searcher;
+}
+
+JobRunResult RunJob(const JobSpec& spec, const std::string& model_in,
+                    const std::string& model_out) {
+  JobRunResult result;
+  result.spec = spec;
+  result.space = std::make_shared<ConfigSpace>(BuildJobSpace(spec));
+
+  std::unique_ptr<Searcher> searcher =
+      MakeJobSearcher(spec, result.space.get(), &result.error);
+  if (searcher == nullptr) {
+    return result;
+  }
+  auto* deeptune = dynamic_cast<DeepTuneSearcher*>(searcher.get());
+  if (!model_in.empty()) {
+    if (deeptune == nullptr) {
+      result.error = "transfer learning requires the deeptune algorithm";
+      return result;
+    }
+    if (!deeptune->LoadModel(model_in)) {
+      result.error = "cannot load model: " + model_in;
+      return result;
+    }
+  }
+
+  TestbenchOptions bench_options;
+  bench_options.substrate = spec.SubstrateKind();
+  bench_options.seed = HashCombine(spec.seed, StableHash(spec.name));
+  Testbench bench(result.space.get(), spec.app, bench_options);
+
+  result.session = RunSearch(&bench, searcher.get(), spec.ToSessionOptions());
+  if (deeptune != nullptr && !model_out.empty()) {
+    if (!deeptune->SaveModel(model_out)) {
+      result.error = "cannot save model: " + model_out;
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+JobRunResult RunJobText(const std::string& yaml_text, const std::string& model_in,
+                        const std::string& model_out) {
+  JobParseResult parsed = ParseJobText(yaml_text);
+  if (!parsed.ok) {
+    JobRunResult result;
+    result.error = parsed.error;
+    return result;
+  }
+  return RunJob(parsed.spec, model_in, model_out);
+}
+
+JobRunResult RunJobFile(const std::string& path, const std::string& model_in,
+                        const std::string& model_out) {
+  JobParseResult parsed = ParseJobFile(path);
+  if (!parsed.ok) {
+    JobRunResult result;
+    result.error = parsed.error;
+    return result;
+  }
+  return RunJob(parsed.spec, model_in, model_out);
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,195 @@
+#include "src/nn/layers.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace wayfinder {
+
+DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, Rng& rng) {
+  weight_.value = Matrix::Xavier(in_dim, out_dim, rng);
+  weight_.grad.Resize(in_dim, out_dim);
+  bias_.value.Resize(1, out_dim);
+  bias_.grad.Resize(1, out_dim);
+}
+
+Matrix DenseLayer::Forward(const Matrix& x) {
+  assert(x.cols() == weight_.value.rows());
+  last_input_ = x;
+  Matrix y = MatMul(x, weight_.value);
+  AddRowInPlace(y, bias_.value);
+  return y;
+}
+
+Matrix DenseLayer::Backward(const Matrix& dy) {
+  // dW += X^T dY ; db += colsum(dY) ; dX = dY W^T.
+  Matrix dw = MatMulAt(last_input_, dy);
+  for (size_t i = 0; i < dw.size(); ++i) {
+    weight_.grad.data()[i] += dw.data()[i];
+  }
+  Matrix db = ColSum(dy);
+  for (size_t i = 0; i < db.size(); ++i) {
+    bias_.grad.data()[i] += db.data()[i];
+  }
+  return MatMulBt(dy, weight_.value);
+}
+
+Matrix ReluLayer::Forward(const Matrix& x) {
+  last_input_ = x;
+  Matrix y = x;
+  for (double& v : y.data()) {
+    if (v < 0.0) {
+      v = 0.0;
+    }
+  }
+  return y;
+}
+
+Matrix ReluLayer::Backward(const Matrix& dy) {
+  Matrix dx = dy;
+  for (size_t i = 0; i < dx.size(); ++i) {
+    if (last_input_.data()[i] <= 0.0) {
+      dx.data()[i] = 0.0;
+    }
+  }
+  return dx;
+}
+
+Matrix DropoutLayer::Forward(const Matrix& x, Rng& rng, bool training) {
+  active_ = training && rate_ > 0.0;
+  if (!active_) {
+    return x;
+  }
+  last_mask_.Resize(x.rows(), x.cols());
+  Matrix y = x;
+  double keep = 1.0 - rate_;
+  for (size_t i = 0; i < y.size(); ++i) {
+    bool kept = rng.Uniform() < keep;
+    last_mask_.data()[i] = kept ? 1.0 / keep : 0.0;
+    y.data()[i] *= last_mask_.data()[i];
+  }
+  return y;
+}
+
+Matrix DropoutLayer::Backward(const Matrix& dy) {
+  if (!active_) {
+    return dy;
+  }
+  Matrix dx = dy;
+  for (size_t i = 0; i < dx.size(); ++i) {
+    dx.data()[i] *= last_mask_.data()[i];
+  }
+  return dx;
+}
+
+RbfLayer::RbfLayer(size_t in_dim, size_t centroids, double gamma, Rng& rng)
+    : gamma_(gamma) {
+  // Centroids start as a small cloud around the origin (inputs are roughly
+  // normalized); the Chamfer regularizer spreads them over the data.
+  centroids_.value.Resize(centroids, in_dim);
+  for (double& v : centroids_.value.data()) {
+    v = rng.Normal(0.0, 0.3);
+  }
+  centroids_.grad.Resize(centroids, in_dim);
+}
+
+Matrix RbfLayer::Forward(const Matrix& z) {
+  assert(z.cols() == centroids_.value.cols());
+  last_input_ = z;
+  size_t k = centroids_.value.rows();
+  Matrix phi(z.rows(), k);
+  double inv = 1.0 / (2.0 * gamma_ * gamma_);
+  for (size_t n = 0; n < z.rows(); ++n) {
+    for (size_t c = 0; c < k; ++c) {
+      phi.At(n, c) = std::exp(-RowSqDist(z, n, centroids_.value, c) * inv);
+    }
+  }
+  last_phi_ = phi;
+  return phi;
+}
+
+Matrix RbfLayer::Backward(const Matrix& dphi) {
+  // dphi/dz_n   = phi_nc * (c - z_n) / gamma^2
+  // dphi/dc     = phi_nc * (z_n - c) / gamma^2
+  size_t k = centroids_.value.rows();
+  size_t d = centroids_.value.cols();
+  Matrix dz(last_input_.rows(), d, 0.0);
+  double inv = 1.0 / (gamma_ * gamma_);
+  for (size_t n = 0; n < last_input_.rows(); ++n) {
+    for (size_t c = 0; c < k; ++c) {
+      double scale = dphi.At(n, c) * last_phi_.At(n, c) * inv;
+      if (scale == 0.0) {
+        continue;
+      }
+      const double* zrow = last_input_.Row(n);
+      const double* crow = centroids_.value.Row(c);
+      double* dzrow = dz.Row(n);
+      double* dcrow = centroids_.grad.Row(c);
+      for (size_t j = 0; j < d; ++j) {
+        double diff = crow[j] - zrow[j];
+        dzrow[j] += scale * diff;
+        dcrow[j] += scale * -diff;
+      }
+    }
+  }
+  return dz;
+}
+
+double RbfLayer::AccumulateChamferGradient(double weight) {
+  // Chamfer distance between the centroid set C and the cached batch Z:
+  //   L = 1/K sum_c min_n ||c - z_n||^2  +  1/N sum_n min_c ||z_n - c||^2.
+  // Gradient w.r.t. C only (prototypes chase the data distribution).
+  const Matrix& z = last_input_;
+  Matrix& c = centroids_.value;
+  if (z.rows() == 0) {
+    return 0.0;
+  }
+  size_t k = c.rows();
+  size_t n = z.rows();
+  size_t d = c.cols();
+  double loss = 0.0;
+
+  // Term 1: every centroid is pulled toward its nearest batch point.
+  for (size_t ci = 0; ci < k; ++ci) {
+    size_t best = 0;
+    double best_dist = std::numeric_limits<double>::max();
+    for (size_t ni = 0; ni < n; ++ni) {
+      double dist = RowSqDist(c, ci, z, ni);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = ni;
+      }
+    }
+    loss += best_dist / static_cast<double>(k);
+    double scale = weight * 2.0 / static_cast<double>(k);
+    double* grad = centroids_.grad.Row(ci);
+    const double* crow = c.Row(ci);
+    const double* zrow = z.Row(best);
+    for (size_t j = 0; j < d; ++j) {
+      grad[j] += scale * (crow[j] - zrow[j]);
+    }
+  }
+  // Term 2: every batch point pulls its nearest centroid toward itself.
+  for (size_t ni = 0; ni < n; ++ni) {
+    size_t best = 0;
+    double best_dist = std::numeric_limits<double>::max();
+    for (size_t ci = 0; ci < k; ++ci) {
+      double dist = RowSqDist(z, ni, c, ci);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = ci;
+      }
+    }
+    loss += best_dist / static_cast<double>(n);
+    double scale = weight * 2.0 / static_cast<double>(n);
+    double* grad = centroids_.grad.Row(best);
+    const double* crow = c.Row(best);
+    const double* zrow = z.Row(ni);
+    for (size_t j = 0; j < d; ++j) {
+      grad[j] += scale * (crow[j] - zrow[j]);
+    }
+  }
+  return loss;
+}
+
+}  // namespace wayfinder

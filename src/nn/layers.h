@@ -1,0 +1,110 @@
+// Neural-network building blocks for the DeepTune Model: dense layers,
+// ReLU, dropout, and the Gaussian RBF layer of the uncertainty branch.
+//
+// Layers are stateful for one forward/backward round: Forward caches what
+// Backward needs, Backward accumulates parameter gradients and returns the
+// gradient w.r.t. the input. Parameters are exposed as (value, grad) blocks
+// consumed by the Adam optimizer.
+#ifndef WAYFINDER_SRC_NN_LAYERS_H_
+#define WAYFINDER_SRC_NN_LAYERS_H_
+
+#include <vector>
+
+#include "src/nn/matrix.h"
+#include "src/util/rng.h"
+
+namespace wayfinder {
+
+// One trainable tensor with its gradient accumulator.
+struct ParamBlock {
+  Matrix value;
+  Matrix grad;
+
+  void ZeroGrad() { grad.Fill(0.0); }
+};
+
+// Fully connected layer: Y = X W + b.
+class DenseLayer {
+ public:
+  DenseLayer(size_t in_dim, size_t out_dim, Rng& rng);
+
+  Matrix Forward(const Matrix& x);
+  // Returns dL/dX and accumulates dL/dW, dL/db.
+  Matrix Backward(const Matrix& dy);
+
+  std::vector<ParamBlock*> Params() { return {&weight_, &bias_}; }
+  size_t in_dim() const { return weight_.value.rows(); }
+  size_t out_dim() const { return weight_.value.cols(); }
+
+  ParamBlock& weight() { return weight_; }
+  ParamBlock& bias() { return bias_; }
+
+ private:
+  ParamBlock weight_;  // in x out
+  ParamBlock bias_;    // 1 x out
+  Matrix last_input_;
+};
+
+// Elementwise max(0, x).
+class ReluLayer {
+ public:
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& dy);
+
+ private:
+  Matrix last_input_;
+};
+
+// Inverted dropout; identity when `training` is false.
+class DropoutLayer {
+ public:
+  explicit DropoutLayer(double rate) : rate_(rate) {}
+
+  Matrix Forward(const Matrix& x, Rng& rng, bool training);
+  Matrix Backward(const Matrix& dy);
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  Matrix last_mask_;
+  bool active_ = false;
+};
+
+// Gaussian Radial Basis Function layer (Eq. 1 of the paper):
+//   phi_k(z) = exp(-||z - c_k||^2 / (2 gamma^2)).
+// Centroids are trainable "prototypes"; far-from-data inputs produce near-
+// zero activations, which is what makes the uncertainty branch outlier-
+// aware. Inputs are expected to be roughly z-score normalized; the paper
+// finds gamma = 0.1 appropriate in that regime, and we default to a wider
+// kernel that works across our latent widths.
+class RbfLayer {
+ public:
+  RbfLayer(size_t in_dim, size_t centroids, double gamma, Rng& rng);
+
+  Matrix Forward(const Matrix& z);
+  // dL/dZ from dL/dPhi; accumulates the centroid gradient.
+  Matrix Backward(const Matrix& dphi);
+
+  std::vector<ParamBlock*> Params() { return {&centroids_}; }
+  const Matrix& centroid_values() const { return centroids_.value; }
+  ParamBlock& centroids() { return centroids_; }
+  double gamma() const { return gamma_; }
+  size_t centroid_count() const { return centroids_.value.rows(); }
+
+  // Adds the Chamfer regularizer gradient (dL_cham/dC) for the cached batch
+  // to the centroid gradient and returns the loss value. Call between
+  // Forward and the optimizer step. The gradient is not propagated into the
+  // batch (the regularizer shapes centroids, not the trunk).
+  double AccumulateChamferGradient(double weight);
+
+ private:
+  ParamBlock centroids_;  // K x in_dim
+  double gamma_;
+  Matrix last_input_;
+  Matrix last_phi_;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_NN_LAYERS_H_

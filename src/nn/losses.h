@@ -1,0 +1,46 @@
+// Loss functions of the DeepTune Model: L = L_CCE + L_Reg + L_Cham.
+//
+//   * L_CCE  — categorical cross-entropy over the crash/no-crash logits.
+//   * L_Reg  — heteroscedastic regression (Kendall & Gal, NeurIPS'17):
+//              0.5 exp(-s) (y - yhat)^2 + 0.5 s, where s = log sigma^2. The
+//              model both fits the performance target and learns to widen
+//              its own error bars where it misfits.
+//   * L_Cham — Chamfer regularizer on RBF centroids, implemented inside
+//              RbfLayer::AccumulateChamferGradient.
+//
+// Every function returns the (mean) loss and writes the gradient w.r.t. the
+// network outputs into the provided matrix.
+#ifndef WAYFINDER_SRC_NN_LOSSES_H_
+#define WAYFINDER_SRC_NN_LOSSES_H_
+
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace wayfinder {
+
+// Softmax + categorical cross-entropy. `logits` is N x C, `target_class`
+// has N entries in [0, C). Gradient is (softmax - onehot)/N.
+double SoftmaxCrossEntropy(const Matrix& logits, const std::vector<int>& target_class,
+                           Matrix* dlogits);
+
+// Row-wise softmax probabilities.
+Matrix Softmax(const Matrix& logits);
+
+// Heteroscedastic regression loss. `yhat` (N x 1) predicted mean, `s`
+// (N x 1) predicted log-variance, `y` targets. Writes d/dyhat and d/ds.
+// `mask[i] == false` excludes a row (e.g. crashed trials have no metric).
+double HeteroscedasticLoss(const Matrix& yhat, const Matrix& s, const std::vector<double>& y,
+                           const std::vector<bool>& mask, Matrix* dyhat, Matrix* ds);
+
+// Multi-target heteroscedastic regression for the multi-metric DTM
+// extension (Â§3.2): `yhat` and `s` are N x K â one column per target metric
+// â and `y` is row-major N x K. The loss is the mean over active rows and
+// all K columns, so metrics contribute equally regardless of K.
+double HeteroscedasticLossMulti(const Matrix& yhat, const Matrix& s,
+                                const std::vector<std::vector<double>>& y,
+                                const std::vector<bool>& mask, Matrix* dyhat, Matrix* ds);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_NN_LOSSES_H_

@@ -1,0 +1,153 @@
+#include "src/nn/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wayfinder {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::Fill(double value) {
+  for (double& v : data_) {
+    v = value;
+  }
+}
+
+void Matrix::Resize(size_t rows, size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
+Matrix Matrix::Xavier(size_t rows, size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& v : m.data_) {
+    v = rng.Uniform(-limit, limit);
+  }
+  return m;
+}
+
+Matrix Matrix::FromRow(const std::vector<double>& row) {
+  Matrix m(1, row.size());
+  m.data_ = row;
+  return m;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      double aik = a.At(i, k);
+      if (aik == 0.0) {
+        continue;
+      }
+      const double* brow = b.Row(k);
+      double* orow = out.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MatMulBt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.rows(); ++j) {
+      double sum = 0.0;
+      const double* arow = a.Row(i);
+      const double* brow = b.Row(j);
+      for (size_t k = 0; k < a.cols(); ++k) {
+        sum += arow[k] * brow[k];
+      }
+      out.At(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Matrix MatMulAt(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols(), 0.0);
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.Row(k);
+    const double* brow = b.Row(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      double aki = arow[i];
+      if (aki == 0.0) {
+        continue;
+      }
+      double* orow = out.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) {
+        orow[j] += aki * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+void AddRowInPlace(Matrix& m, const Matrix& bias) {
+  assert(bias.rows() == 1 && bias.cols() == m.cols());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    double* row = m.Row(i);
+    const double* brow = bias.Row(0);
+    for (size_t j = 0; j < m.cols(); ++j) {
+      row[j] += brow[j];
+    }
+  }
+}
+
+Matrix ColSum(const Matrix& m) {
+  Matrix out(1, m.cols(), 0.0);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.Row(i);
+    for (size_t j = 0; j < m.cols(); ++j) {
+      out.At(0, j) += row[j];
+    }
+  }
+  return out;
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      out.At(i, j) = a.At(i, j);
+    }
+    for (size_t j = 0; j < b.cols(); ++j) {
+      out.At(i, a.cols() + j) = b.At(i, j);
+    }
+  }
+  return out;
+}
+
+Matrix SliceCols(const Matrix& m, size_t begin, size_t end) {
+  assert(begin <= end && end <= m.cols());
+  Matrix out(m.rows(), end - begin);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = begin; j < end; ++j) {
+      out.At(i, j - begin) = m.At(i, j);
+    }
+  }
+  return out;
+}
+
+double RowSqDist(const Matrix& a, size_t r, const Matrix& b, size_t s) {
+  assert(a.cols() == b.cols());
+  const double* arow = a.Row(r);
+  const double* brow = b.Row(s);
+  double sum = 0.0;
+  for (size_t k = 0; k < a.cols(); ++k) {
+    double d = arow[k] - brow[k];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace wayfinder

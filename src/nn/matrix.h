@@ -1,0 +1,67 @@
+// Dense row-major matrix with the handful of kernels the DeepTune Model
+// needs. Sizes here are small (batches of tens, feature widths of hundreds),
+// so clarity wins over blocking/vectorization tricks.
+#ifndef WAYFINDER_SRC_NN_MATRIX_H_
+#define WAYFINDER_SRC_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace wayfinder {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool Empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  void Fill(double value);
+  void Resize(size_t rows, size_t cols, double fill = 0.0);
+
+  // Xavier/Glorot-uniform initialization for a (fan_in x fan_out) weight.
+  static Matrix Xavier(size_t rows, size_t cols, Rng& rng);
+
+  // From one row vector.
+  static Matrix FromRow(const std::vector<double>& row);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// out = a * b              (a: NxK, b: KxM)
+Matrix MatMul(const Matrix& a, const Matrix& b);
+// out = a * b^T            (a: NxK, b: MxK)
+Matrix MatMulBt(const Matrix& a, const Matrix& b);
+// out = a^T * b            (a: KxN, b: KxM)
+Matrix MatMulAt(const Matrix& a, const Matrix& b);
+// Adds `bias` (1 x M) to every row of `m` in place.
+void AddRowInPlace(Matrix& m, const Matrix& bias);
+// Column-wise sums into a 1 x M matrix.
+Matrix ColSum(const Matrix& m);
+// Concatenates two matrices with equal row counts side by side.
+Matrix ConcatCols(const Matrix& a, const Matrix& b);
+// Splits off columns [begin, end) into a new matrix.
+Matrix SliceCols(const Matrix& m, size_t begin, size_t end);
+// Squared Euclidean distance between row r of a and row s of b.
+double RowSqDist(const Matrix& a, size_t r, const Matrix& b, size_t s);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_NN_MATRIX_H_

@@ -1,0 +1,65 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+namespace wayfinder {
+
+Adam::Adam(std::vector<ParamBlock*> params, const AdamOptions& options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (ParamBlock* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols(), 0.0);
+    v_.emplace_back(p->value.rows(), p->value.cols(), 0.0);
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (ParamBlock* p : params_) {
+    p->ZeroGrad();
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  // Optional global-norm gradient clipping for stability on small batches.
+  if (options_.grad_clip > 0.0) {
+    double sq = 0.0;
+    for (ParamBlock* p : params_) {
+      for (double g : p->grad.data()) {
+        sq += g * g;
+      }
+    }
+    double norm = std::sqrt(sq);
+    if (norm > options_.grad_clip) {
+      double scale = options_.grad_clip / norm;
+      for (ParamBlock* p : params_) {
+        for (double& g : p->grad.data()) {
+          g *= scale;
+        }
+      }
+    }
+  }
+  double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(step_));
+  double bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(step_));
+  for (size_t p = 0; p < params_.size(); ++p) {
+    auto& value = params_[p]->value.data();
+    auto& grad = params_[p]->grad.data();
+    auto& m = m_[p].data();
+    auto& v = v_[p].data();
+    for (size_t i = 0; i < value.size(); ++i) {
+      m[i] = options_.beta1 * m[i] + (1.0 - options_.beta1) * grad[i];
+      v[i] = options_.beta2 * v[i] + (1.0 - options_.beta2) * grad[i] * grad[i];
+      double m_hat = m[i] / bias1;
+      double v_hat = v[i] / bias2;
+      double update = m_hat / (std::sqrt(v_hat) + options_.epsilon);
+      if (options_.weight_decay > 0.0) {
+        update += options_.weight_decay * value[i];
+      }
+      value[i] -= options_.learning_rate * update;
+      grad[i] = 0.0;
+    }
+  }
+}
+
+}  // namespace wayfinder

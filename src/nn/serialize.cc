@@ -1,0 +1,67 @@
+#include "src/nn/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace wayfinder {
+
+void SaveParams(const std::vector<ParamBlock*>& params, std::ostream& os) {
+  os << "wfnn1 " << params.size() << "\n";
+  os << std::setprecision(17);
+  for (const ParamBlock* block : params) {
+    os << block->value.rows() << " " << block->value.cols() << "\n";
+    for (double v : block->value.data()) {
+      os << v << " ";
+    }
+    os << "\n";
+  }
+}
+
+bool LoadParams(const std::vector<ParamBlock*>& params, std::istream& is) {
+  std::string magic;
+  size_t count = 0;
+  if (!(is >> magic >> count) || magic != "wfnn1" || count != params.size()) {
+    return false;
+  }
+  // Parse into staging first so a mismatch cannot corrupt the model.
+  std::vector<std::vector<double>> staged(count);
+  for (size_t b = 0; b < count; ++b) {
+    size_t rows = 0;
+    size_t cols = 0;
+    if (!(is >> rows >> cols) || rows != params[b]->value.rows() ||
+        cols != params[b]->value.cols()) {
+      return false;
+    }
+    staged[b].resize(rows * cols);
+    for (double& v : staged[b]) {
+      if (!(is >> v)) {
+        return false;
+      }
+    }
+  }
+  for (size_t b = 0; b < count; ++b) {
+    params[b]->value.data() = std::move(staged[b]);
+    params[b]->ZeroGrad();
+  }
+  return true;
+}
+
+bool SaveParamsToFile(const std::vector<ParamBlock*>& params, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  SaveParams(params, out);
+  return static_cast<bool>(out);
+}
+
+bool LoadParamsFromFile(const std::vector<ParamBlock*>& params, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  return LoadParams(params, in);
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,28 @@
+// Flat (de)serialization of parameter blocks, used by transfer learning to
+// move a trained DeepTune Model between search sessions (§3.3).
+#ifndef WAYFINDER_SRC_NN_SERIALIZE_H_
+#define WAYFINDER_SRC_NN_SERIALIZE_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/nn/layers.h"
+
+namespace wayfinder {
+
+// Writes all blocks (shapes + values) as a tagged text format.
+void SaveParams(const std::vector<ParamBlock*>& params, std::ostream& os);
+
+// Loads into existing blocks; shapes must match. Returns false (and leaves
+// the blocks untouched) on format or shape mismatch.
+bool LoadParams(const std::vector<ParamBlock*>& params, std::istream& is);
+
+// File-based convenience wrappers.
+bool SaveParamsToFile(const std::vector<ParamBlock*>& params, const std::string& path);
+bool LoadParamsFromFile(const std::vector<ParamBlock*>& params, const std::string& path);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_NN_SERIALIZE_H_

@@ -1,0 +1,166 @@
+#include "src/platform/checkpoint.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace wayfinder {
+
+namespace {
+
+const char* StatusName(TrialOutcome::Status status) {
+  switch (status) {
+    case TrialOutcome::Status::kOk:
+      return "ok";
+    case TrialOutcome::Status::kBuildFailed:
+      return "build-failed";
+    case TrialOutcome::Status::kBootFailed:
+      return "boot-failed";
+    case TrialOutcome::Status::kRunCrashed:
+      return "run-crashed";
+  }
+  return "?";
+}
+
+bool StatusFromName(const std::string& name, TrialOutcome::Status* status) {
+  if (name == "ok") {
+    *status = TrialOutcome::Status::kOk;
+  } else if (name == "build-failed") {
+    *status = TrialOutcome::Status::kBuildFailed;
+  } else if (name == "boot-failed") {
+    *status = TrialOutcome::Status::kBootFailed;
+  } else if (name == "run-crashed") {
+    *status = TrialOutcome::Status::kRunCrashed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveCheckpoint(const std::vector<TrialRecord>& history, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out.precision(17);  // Round-trip doubles exactly.
+  size_t params = history.empty() ? 0 : history.front().config.Size();
+  out << "wayfinder-checkpoint v1\n";
+  out << "params " << params << "\n";
+  for (const TrialRecord& trial : history) {
+    const TrialOutcome& o = trial.outcome;
+    out << "trial " << trial.iteration << " " << StatusName(o.status) << " " << o.metric
+        << " " << o.memory_mb << " " << o.build_seconds << " " << o.boot_seconds << " "
+        << o.run_seconds << " " << (o.build_skipped ? 1 : 0) << " "
+        << (trial.HasObjective() ? trial.objective : std::nan("")) << " "
+        << trial.sim_time_end << " " << trial.searcher_seconds << "\n";
+    out << "values";
+    for (size_t i = 0; i < trial.config.Size(); ++i) {
+      out << " " << trial.config.Raw(i);
+    }
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+CheckpointLoadResult LoadCheckpoint(const ConfigSpace& space, const std::string& path) {
+  CheckpointLoadResult result;
+  std::ifstream in(path);
+  if (!in) {
+    result.error = "cannot open " + path;
+    return result;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "wayfinder-checkpoint v1") {
+    result.error = "bad header";
+    return result;
+  }
+  size_t params = 0;
+  {
+    if (!std::getline(in, line)) {
+      result.error = "missing params line";
+      return result;
+    }
+    std::istringstream header(line);
+    std::string keyword;
+    header >> keyword >> params;
+    if (keyword != "params") {
+      result.error = "missing params line";
+      return result;
+    }
+    if (params != 0 && params != space.Size()) {
+      result.error = "checkpoint has " + std::to_string(params) + " parameters, space has " +
+                     std::to_string(space.Size());
+      return result;
+    }
+  }
+
+  int line_number = 2;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream trial_in(line);
+    std::string keyword;
+    trial_in >> keyword;
+    if (keyword != "trial") {
+      result.error = "line " + std::to_string(line_number) + ": expected trial record";
+      return result;
+    }
+    TrialRecord trial;
+    std::string status_name;
+    std::string objective_text;  // iostreams do not parse "nan"; strtod does.
+    int skipped = 0;
+    trial_in >> trial.iteration >> status_name >> trial.outcome.metric >>
+        trial.outcome.memory_mb >> trial.outcome.build_seconds >>
+        trial.outcome.boot_seconds >> trial.outcome.run_seconds >> skipped >>
+        objective_text >> trial.sim_time_end >> trial.searcher_seconds;
+    if (!trial_in || !StatusFromName(status_name, &trial.outcome.status)) {
+      result.error = "line " + std::to_string(line_number) + ": malformed trial record";
+      return result;
+    }
+    {
+      const char* begin = objective_text.c_str();
+      char* end = nullptr;
+      trial.objective = std::strtod(begin, &end);
+      if (end == begin || *end != '\0') {
+        result.error = "line " + std::to_string(line_number) + ": malformed objective";
+        return result;
+      }
+    }
+    trial.outcome.build_skipped = skipped != 0;
+
+    if (!std::getline(in, line)) {
+      result.error = "line " + std::to_string(line_number) + ": trial without values";
+      return result;
+    }
+    ++line_number;
+    std::istringstream values_in(line);
+    values_in >> keyword;
+    if (keyword != "values") {
+      result.error = "line " + std::to_string(line_number) + ": expected values";
+      return result;
+    }
+    std::vector<int64_t> values(space.Size());
+    for (size_t i = 0; i < space.Size(); ++i) {
+      if (!(values_in >> values[i])) {
+        result.error = "line " + std::to_string(line_number) + ": too few values";
+        return result;
+      }
+      if (!space.Param(i).InDomain(values[i])) {
+        result.error = "line " + std::to_string(line_number) + ": value out of domain for " +
+                       space.Param(i).name;
+        return result;
+      }
+    }
+    trial.config = Configuration(&space, std::move(values));
+    result.history.push_back(std::move(trial));
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,45 @@
+// Session checkpointing: persist an exploration history to disk and restore
+// it into a fresh session (SearchSession::Resume), so a long specialization
+// job survives restarts — the paper's platform runs jobs "in the
+// background" over days (Appendix A.4), which is only practical with
+// resumable state.
+//
+// The format is a line-oriented text file:
+//
+//   wayfinder-checkpoint v1
+//   params <param-count>
+//   trial <iter> <status> <metric> <memory> <build_s> <boot_s> <run_s>
+//         ... <skipped> <objective> <sim_end> <searcher_s>   (one line)
+//   values <v0> <v1> ... (param-count raw values)
+//   ... (one trial/values pair per record)
+//
+// Model weights are checkpointed separately via DeepTuneSearcher::SaveModel;
+// a resumed session replays the history through Observe, which retrains any
+// searcher deterministically enough for the search to continue.
+#ifndef WAYFINDER_SRC_PLATFORM_CHECKPOINT_H_
+#define WAYFINDER_SRC_PLATFORM_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/configspace/config_space.h"
+#include "src/platform/trial.h"
+
+namespace wayfinder {
+
+// Writes `history` to `path`; false on I/O failure.
+bool SaveCheckpoint(const std::vector<TrialRecord>& history, const std::string& path);
+
+struct CheckpointLoadResult {
+  bool ok = false;
+  std::vector<TrialRecord> history;
+  std::string error;
+};
+
+// Reads a checkpoint written against (a space identical to) `space`.
+// Validates the header, parameter count, and every value's domain.
+CheckpointLoadResult LoadCheckpoint(const ConfigSpace& space, const std::string& path);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_PLATFORM_CHECKPOINT_H_

@@ -1,0 +1,109 @@
+#include "src/platform/crash_report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wayfinder {
+
+CrashReport AnalyzeCrashes(const ConfigSpace& space, const std::vector<TrialRecord>& history,
+                           size_t min_moved) {
+  CrashReport report;
+  report.trials = history.size();
+  Configuration defaults = space.DefaultConfiguration();
+
+  // Per-parameter crash counts, split by moved / left-at-default.
+  std::vector<size_t> moved(space.Size(), 0);
+  std::vector<size_t> moved_crashed(space.Size(), 0);
+  std::vector<size_t> still(space.Size(), 0);
+  std::vector<size_t> still_crashed(space.Size(), 0);
+
+  for (const TrialRecord& trial : history) {
+    bool crashed = trial.crashed();
+    if (crashed) {
+      ++report.crashes;
+      switch (trial.outcome.status) {
+        case TrialOutcome::Status::kBuildFailed:
+          ++report.build_failures;
+          break;
+        case TrialOutcome::Status::kBootFailed:
+          ++report.boot_failures;
+          break;
+        case TrialOutcome::Status::kRunCrashed:
+          ++report.run_crashes;
+          break;
+        case TrialOutcome::Status::kOk:
+          break;
+      }
+      report.wasted_sim_seconds += trial.outcome.TotalSeconds();
+    }
+    report.total_sim_seconds += trial.outcome.TotalSeconds();
+
+    for (size_t i = 0; i < space.Size(); ++i) {
+      bool is_moved = trial.config.Raw(i) != defaults.Raw(i);
+      if (is_moved) {
+        ++moved[i];
+        moved_crashed[i] += crashed ? 1 : 0;
+      } else {
+        ++still[i];
+        still_crashed[i] += crashed ? 1 : 0;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < space.Size(); ++i) {
+    if (moved[i] < min_moved || still[i] == 0) {
+      continue;
+    }
+    CrashCorrelate correlate;
+    correlate.param_index = i;
+    correlate.name = space.Param(i).name;
+    correlate.moved_trials = moved[i];
+    correlate.moved_crashes = moved_crashed[i];
+    correlate.moved_crash_rate =
+        static_cast<double>(moved_crashed[i]) / static_cast<double>(moved[i]);
+    correlate.baseline_crash_rate =
+        static_cast<double>(still_crashed[i]) / static_cast<double>(still[i]);
+    correlate.lift = correlate.moved_crash_rate - correlate.baseline_crash_rate;
+    report.correlates.push_back(std::move(correlate));
+  }
+  std::sort(report.correlates.begin(), report.correlates.end(),
+            [](const CrashCorrelate& a, const CrashCorrelate& b) { return a.lift > b.lift; });
+  return report;
+}
+
+std::string FormatCrashReport(const CrashReport& report, size_t top_n) {
+  std::ostringstream oss;
+  oss.precision(3);
+  double crash_rate = report.trials > 0 ? static_cast<double>(report.crashes) /
+                                              static_cast<double>(report.trials)
+                                        : 0.0;
+  oss << "crashes: " << report.crashes << "/" << report.trials << " (rate " << crash_rate
+      << "; build " << report.build_failures << ", boot " << report.boot_failures
+      << ", run " << report.run_crashes << ")\n";
+  if (report.total_sim_seconds > 0.0) {
+    oss << "wasted time: " << static_cast<long long>(report.wasted_sim_seconds) << "s of "
+        << static_cast<long long>(report.total_sim_seconds) << "s simulated ("
+        << 100.0 * report.wasted_sim_seconds / report.total_sim_seconds << "%)\n";
+  }
+  if (report.correlates.empty()) {
+    oss << "no parameter moved often enough to correlate with crashes\n";
+    return oss.str();
+  }
+  oss << "top crash-associated parameters (crash-rate lift when moved off default):\n";
+  size_t shown = 0;
+  for (const CrashCorrelate& correlate : report.correlates) {
+    if (correlate.lift <= 0.0 || shown >= top_n) {
+      break;
+    }
+    oss << "  " << correlate.name << "  +" << correlate.lift << " ("
+        << correlate.moved_crashes << "/" << correlate.moved_trials << " moved vs baseline "
+        << correlate.baseline_crash_rate << ")\n";
+    ++shown;
+  }
+  if (shown == 0) {
+    oss << "  (none with positive lift)\n";
+  }
+  return oss.str();
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,59 @@
+// Crash analytics over an exploration history.
+//
+// §2.2 observes that about a third of random configurations crash, and §4.1
+// closes with the parameters that *negatively* impact performance (printk
+// verbosity, block-I/O debugging). This module answers the operational
+// question in between: given a finished history, which parameters are most
+// associated with the crashes — where did the search waste its time, and
+// what should a job file freeze next run? For every parameter it compares
+// the crash rate of trials that moved it off its default against the crash
+// rate of trials that left it alone.
+#ifndef WAYFINDER_SRC_PLATFORM_CRASH_REPORT_H_
+#define WAYFINDER_SRC_PLATFORM_CRASH_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/configspace/config_space.h"
+#include "src/platform/trial.h"
+
+namespace wayfinder {
+
+// Crash association of one parameter.
+struct CrashCorrelate {
+  size_t param_index = 0;
+  std::string name;
+  size_t moved_trials = 0;    // Trials where the parameter was non-default.
+  size_t moved_crashes = 0;
+  double moved_crash_rate = 0.0;
+  double baseline_crash_rate = 0.0;  // Crash rate when left at default.
+  // moved_crash_rate - baseline_crash_rate; positive = crash-associated.
+  double lift = 0.0;
+};
+
+struct CrashReport {
+  size_t trials = 0;
+  size_t crashes = 0;
+  size_t build_failures = 0;
+  size_t boot_failures = 0;
+  size_t run_crashes = 0;
+  // Simulated seconds consumed by crashed trials (the §2.2 "wasted
+  // resources").
+  double wasted_sim_seconds = 0.0;
+  double total_sim_seconds = 0.0;
+  // Parameters sorted by descending lift. Only parameters moved in at least
+  // `min_moved` trials are scored (small samples are noise).
+  std::vector<CrashCorrelate> correlates;
+};
+
+// Builds the report. `min_moved` filters parameters with too few moved
+// trials to estimate a rate (default 5).
+CrashReport AnalyzeCrashes(const ConfigSpace& space, const std::vector<TrialRecord>& history,
+                           size_t min_moved = 5);
+
+// Renders the report's header and the top `top_n` correlates as text.
+std::string FormatCrashReport(const CrashReport& report, size_t top_n = 10);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_PLATFORM_CRASH_REPORT_H_

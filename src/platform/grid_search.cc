@@ -1,0 +1,111 @@
+#include "src/platform/grid_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wayfinder {
+
+GridSearcher::GridSearcher(size_t numeric_grid_points)
+    : numeric_grid_points_(std::max<size_t>(2, numeric_grid_points)) {}
+
+std::vector<int64_t> GridSearcher::GridValues(const ConfigSpace& space, size_t param) const {
+  const ParamSpec& spec = space.Param(param);
+  if (!spec.value_set.empty()) {
+    return spec.value_set;
+  }
+  switch (spec.kind) {
+    case ParamKind::kBool:
+      return {0, 1};
+    case ParamKind::kTristate:
+      return {0, 1, 2};
+    case ParamKind::kString: {
+      std::vector<int64_t> values;
+      for (int64_t i = 0; i < static_cast<int64_t>(spec.choices.size()); ++i) {
+        values.push_back(i);
+      }
+      return values;
+    }
+    case ParamKind::kInt:
+    case ParamKind::kHex: {
+      std::vector<int64_t> values;
+      for (size_t g = 0; g < numeric_grid_points_; ++g) {
+        double f = static_cast<double>(g) / static_cast<double>(numeric_grid_points_ - 1);
+        int64_t v = space.DecodeParam(param, f);
+        if (values.empty() || values.back() != v) {
+          values.push_back(v);
+        }
+      }
+      return values;
+    }
+  }
+  return {spec.default_value};
+}
+
+void GridSearcher::AdvanceCursor(const ConfigSpace& space) {
+  ++value_cursor_;
+  while (param_cursor_ < space.Size()) {
+    if (space.IsFrozen(param_cursor_) ||
+        value_cursor_ >= GridValues(space, param_cursor_).size()) {
+      ++param_cursor_;
+      value_cursor_ = 0;
+      continue;
+    }
+    return;
+  }
+  exhausted_ = true;
+}
+
+Configuration GridSearcher::Propose(SearchContext& context) {
+  const ConfigSpace& space = *context.space;
+  if (best_value_.empty()) {
+    best_value_.resize(space.Size());
+    best_objective_.assign(space.Size(), -std::numeric_limits<double>::infinity());
+    for (size_t i = 0; i < space.Size(); ++i) {
+      best_value_[i] = space.Param(i).default_value;
+    }
+    // Position on the first unfrozen parameter.
+    value_cursor_ = 0;
+    param_cursor_ = 0;
+    while (param_cursor_ < space.Size() && space.IsFrozen(param_cursor_)) {
+      ++param_cursor_;
+    }
+    if (param_cursor_ >= space.Size()) {
+      exhausted_ = true;
+    }
+  }
+  if (exhausted_) {
+    // Phase 2: combine the per-parameter winners, perturbing a random pair
+    // to keep exploring (exact enumeration is infeasible at this size).
+    Configuration config(&space, best_value_);
+    space.ApplyConstraints(&config);
+    if (context.rng != nullptr && space.Size() >= 2) {
+      size_t a = static_cast<size_t>(
+          context.rng->UniformInt(0, static_cast<int64_t>(space.Size()) - 1));
+      config.SetRaw(a, space.RandomValue(a, *context.rng));
+      space.ApplyConstraints(&config);
+    }
+    last_param_ = space.Size();  // Sentinel: no single-parameter credit.
+    return config;
+  }
+  Configuration config = space.DefaultConfiguration();
+  std::vector<int64_t> values = GridValues(space, param_cursor_);
+  config.SetRaw(param_cursor_, values[value_cursor_]);
+  space.ApplyConstraints(&config);
+  last_param_ = param_cursor_;
+  AdvanceCursor(space);
+  return config;
+}
+
+void GridSearcher::Observe(const TrialRecord& trial, SearchContext& context) {
+  (void)context;
+  if (!trial.HasObjective() || last_param_ >= best_value_.size()) {
+    return;
+  }
+  if (trial.objective > best_objective_[last_param_]) {
+    best_objective_[last_param_] = trial.objective;
+    best_value_[last_param_] = trial.config.Raw(last_param_);
+  }
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,85 @@
+#include "src/platform/history_export.h"
+
+#include <algorithm>
+
+#include "src/util/table.h"
+
+namespace wayfinder {
+
+namespace {
+
+const char* StatusName(TrialOutcome::Status status) {
+  switch (status) {
+    case TrialOutcome::Status::kOk:
+      return "ok";
+    case TrialOutcome::Status::kBuildFailed:
+      return "build_failed";
+    case TrialOutcome::Status::kBootFailed:
+      return "boot_failed";
+    case TrialOutcome::Status::kRunCrashed:
+      return "run_crashed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool ExportHistoryCsv(const std::vector<TrialRecord>& history, const std::string& path) {
+  CsvWriter csv(path, {"iteration", "sim_time_s", "status", "objective", "metric", "memory_mb",
+                       "build_s", "boot_s", "run_s", "build_skipped", "searcher_s",
+                       "config_hash"});
+  if (!csv.ok()) {
+    return false;
+  }
+  for (const TrialRecord& trial : history) {
+    csv.WriteRow({std::to_string(trial.iteration), TablePrinter::Num(trial.sim_time_end, 1),
+                  StatusName(trial.outcome.status),
+                  trial.HasObjective() ? TablePrinter::Num(trial.objective, 4) : "",
+                  TablePrinter::Num(trial.outcome.metric, 2),
+                  TablePrinter::Num(trial.outcome.memory_mb, 2),
+                  TablePrinter::Num(trial.outcome.build_seconds, 1),
+                  TablePrinter::Num(trial.outcome.boot_seconds, 2),
+                  TablePrinter::Num(trial.outcome.run_seconds, 1),
+                  trial.outcome.build_skipped ? "1" : "0",
+                  TablePrinter::Num(trial.searcher_seconds, 4),
+                  std::to_string(trial.config.Hash())});
+  }
+  return true;
+}
+
+HistorySummary SummarizeHistory(const std::vector<TrialRecord>& history) {
+  HistorySummary summary;
+  summary.trials = history.size();
+  double searcher_sum = 0.0;
+  for (const TrialRecord& trial : history) {
+    switch (trial.outcome.status) {
+      case TrialOutcome::Status::kOk:
+        break;
+      case TrialOutcome::Status::kBuildFailed:
+        ++summary.build_failures;
+        ++summary.crashes;
+        break;
+      case TrialOutcome::Status::kBootFailed:
+        ++summary.boot_failures;
+        ++summary.crashes;
+        break;
+      case TrialOutcome::Status::kRunCrashed:
+        ++summary.run_crashes;
+        ++summary.crashes;
+        break;
+    }
+    if (trial.HasObjective() &&
+        (!summary.has_best || trial.objective > summary.best_objective)) {
+      summary.best_objective = trial.objective;
+      summary.has_best = true;
+    }
+    summary.total_sim_seconds = std::max(summary.total_sim_seconds, trial.sim_time_end);
+    searcher_sum += trial.searcher_seconds;
+  }
+  if (!history.empty()) {
+    summary.mean_searcher_seconds = searcher_sum / static_cast<double>(history.size());
+  }
+  return summary;
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,35 @@
+// Export of exploration histories for offline analysis/plotting — the
+// platform's equivalent of the paper artifact's pre-generated datasets.
+#ifndef WAYFINDER_SRC_PLATFORM_HISTORY_EXPORT_H_
+#define WAYFINDER_SRC_PLATFORM_HISTORY_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/platform/trial.h"
+
+namespace wayfinder {
+
+// Writes one row per trial: iteration, sim time, status, objective, metric,
+// memory, phase durations, and the configuration hash. Returns false when
+// the file cannot be written.
+bool ExportHistoryCsv(const std::vector<TrialRecord>& history, const std::string& path);
+
+// Summary statistics of a history, for quick reporting.
+struct HistorySummary {
+  size_t trials = 0;
+  size_t crashes = 0;
+  size_t build_failures = 0;
+  size_t boot_failures = 0;
+  size_t run_crashes = 0;
+  double best_objective = 0.0;
+  bool has_best = false;
+  double total_sim_seconds = 0.0;
+  double mean_searcher_seconds = 0.0;
+};
+
+HistorySummary SummarizeHistory(const std::vector<TrialRecord>& history);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_PLATFORM_HISTORY_EXPORT_H_

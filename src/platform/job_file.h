@@ -1,0 +1,90 @@
+// YAML job files (§3.1, §3.4): the user-facing description of one
+// specialization job — which OS/space to explore, which application and
+// metric to optimize, the budget, the search algorithm, and any frozen
+// (security-critical) parameters.
+//
+// Example:
+//
+//   name: nginx-linux-throughput
+//   os: linux                 # linux | unikraft | linux-riscv
+//   application: nginx        # nginx | redis | sqlite | npb
+//   metric: performance       # performance | memory | score | multi
+//   metrics:                  # only for metric: multi
+//     - name: throughput
+//       weight: 1.0
+//     - name: memory
+//       weight: 0.5
+//   budget:
+//     iterations: 250
+//     sim_seconds: 18000
+//   search:
+//     algorithm: deeptune     # deeptune | random | grid | bayesopt | causal | annealing | genetic | hillclimb | smac
+//     favor: runtime          # runtime | compile | none
+//     seed: 42
+//   freeze:
+//     - name: kernel.randomize_va_space
+//       value: 2
+#ifndef WAYFINDER_SRC_PLATFORM_JOB_FILE_H_
+#define WAYFINDER_SRC_PLATFORM_JOB_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/platform/session.h"
+#include "src/simos/apps.h"
+#include "src/simos/perf_model.h"
+#include "src/util/yaml.h"
+
+namespace wayfinder {
+
+struct FrozenParam {
+  std::string name;
+  int64_t value = 0;
+};
+
+// One entry of a multi-metric job's `metrics:` list (Â§3.2 extension).
+// Supported names: "throughput" (maximized) and "memory" (minimized).
+struct JobMetric {
+  std::string name;
+  double weight = 1.0;
+};
+
+struct JobSpec {
+  std::string name;
+  std::string os = "linux";  // linux | unikraft | linux-riscv
+  AppId app = AppId::kNginx;
+  ObjectiveKind objective = ObjectiveKind::kAppMetric;
+  std::string algorithm = "deeptune";
+  std::string favor = "none";  // runtime | compile | none
+  uint64_t seed = 42;
+  size_t iterations = 250;
+  double sim_seconds = std::numeric_limits<double>::infinity();
+  std::vector<FrozenParam> freeze;
+  // Non-empty when `metric: multi`: the weighted metrics to co-optimize.
+  std::vector<JobMetric> metrics;
+
+  bool IsMultiMetric() const { return !metrics.empty(); }
+
+  Substrate SubstrateKind() const;
+  SampleOptions SamplingBias() const;
+  SessionOptions ToSessionOptions() const;
+};
+
+struct JobParseResult {
+  bool ok = false;
+  JobSpec spec;
+  std::string error;
+};
+
+JobParseResult ParseJob(const YamlNode& root);
+JobParseResult ParseJobText(const std::string& yaml_text);
+JobParseResult ParseJobFile(const std::string& path);
+
+// Builds the configuration space the job asks for (by `os`), applying the
+// freeze list.
+ConfigSpace BuildJobSpace(const JobSpec& spec);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_PLATFORM_JOB_FILE_H_

@@ -1,0 +1,9 @@
+#include "src/platform/random_search.h"
+
+namespace wayfinder {
+
+Configuration RandomSearcher::Propose(SearchContext& context) {
+  return context.space->RandomConfiguration(*context.rng, context.sample_options);
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,19 @@
+// Random search: every proposal is a fresh (phase-biased) random sample,
+// ignoring the exploration history. The paper's baseline — strong on very
+// large spaces, but blind to crashes.
+#ifndef WAYFINDER_SRC_PLATFORM_RANDOM_SEARCH_H_
+#define WAYFINDER_SRC_PLATFORM_RANDOM_SEARCH_H_
+
+#include "src/platform/searcher.h"
+
+namespace wayfinder {
+
+class RandomSearcher : public Searcher {
+ public:
+  std::string Name() const override { return "random"; }
+  Configuration Propose(SearchContext& context) override;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_PLATFORM_RANDOM_SEARCH_H_

@@ -1,0 +1,12 @@
+#include "src/platform/searcher.h"
+
+namespace wayfinder {
+
+void Searcher::Observe(const TrialRecord& trial, SearchContext& context) {
+  (void)trial;
+  (void)context;
+}
+
+size_t Searcher::MemoryBytes() const { return 0; }
+
+}  // namespace wayfinder

@@ -1,0 +1,48 @@
+// Pluggable search-algorithm interface (§3.1: "Wayfinder offers a modular
+// API to ease the integration of pluggable search algorithms").
+//
+// A searcher proposes the next configuration to evaluate and observes every
+// finished trial. Implementations in this repository: random search, grid
+// search (src/platform), Bayesian optimization (src/bayes), Unicorn-style
+// causal search (src/causal), and DeepTune (src/core).
+#ifndef WAYFINDER_SRC_PLATFORM_SEARCHER_H_
+#define WAYFINDER_SRC_PLATFORM_SEARCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/configspace/config_space.h"
+#include "src/platform/trial.h"
+#include "src/util/rng.h"
+
+namespace wayfinder {
+
+// Read-only view the session exposes to searchers.
+struct SearchContext {
+  const ConfigSpace* space = nullptr;
+  const std::vector<TrialRecord>* history = nullptr;
+  SampleOptions sample_options;  // Phase bias requested by the job.
+  Rng* rng = nullptr;            // Searcher-owned randomness stream.
+};
+
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Next configuration to evaluate.
+  virtual Configuration Propose(SearchContext& context) = 0;
+
+  // Called after every trial (including crashes) so the searcher can update
+  // its model. Objectives in `trial` are already higher-is-better.
+  virtual void Observe(const TrialRecord& trial, SearchContext& context);
+
+  // Bytes of live algorithm state (models, kernel matrices, causal graphs);
+  // drives the Figure 7 memory comparison.
+  virtual size_t MemoryBytes() const;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_PLATFORM_SEARCHER_H_

@@ -1,0 +1,215 @@
+#include "src/platform/session.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/simos/apps.h"
+#include "src/util/stats.h"
+
+namespace wayfinder {
+
+SearchSession::SearchSession(Testbench* bench, Searcher* searcher, const SessionOptions& options)
+    : bench_(bench),
+      searcher_(searcher),
+      options_(options),
+      rng_(options.seed),
+      searcher_rng_(HashCombine(options.seed, 0x5ea7c4e7)) {}
+
+bool SearchSession::SameImageParams(const Configuration& a, const Configuration& b) const {
+  const ConfigSpace& space = bench_->space();
+  for (size_t i = 0; i < space.Size(); ++i) {
+    if (space.Param(i).phase == ParamPhase::kRuntime) {
+      continue;
+    }
+    if (a.Raw(i) != b.Raw(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double SearchSession::ComputeObjective(const TrialOutcome& outcome) const {
+  if (!outcome.ok()) {
+    return std::nan("");
+  }
+  switch (options_.objective) {
+    case ObjectiveKind::kAppMetric: {
+      const AppProfile& profile = GetApp(bench_->app());
+      // Normalize polarity: objectives are always maximized.
+      return profile.maximize ? outcome.metric : -outcome.metric;
+    }
+    case ObjectiveKind::kMemoryFootprint:
+      return -outcome.memory_mb;
+    case ObjectiveKind::kScore:
+      // Placeholder; RefreshScores() recomputes all score objectives over
+      // the history after each observation.
+      return 0.0;
+  }
+  return std::nan("");
+}
+
+void SearchSession::RefreshScores() {
+  // Eq. 4: s = mXNorm(throughput) - mXNorm(memory), over successful trials.
+  std::vector<size_t> indices;
+  std::vector<double> throughput;
+  std::vector<double> memory;
+  for (size_t i = 0; i < history_.size(); ++i) {
+    if (history_[i].outcome.ok()) {
+      indices.push_back(i);
+      throughput.push_back(history_[i].outcome.metric);
+      memory.push_back(history_[i].outcome.memory_mb);
+    }
+  }
+  std::vector<double> t_norm = MinMaxNormalize(throughput);
+  std::vector<double> m_norm = MinMaxNormalize(memory);
+  for (size_t k = 0; k < indices.size(); ++k) {
+    history_[indices[k]].objective = t_norm[k] - m_norm[k];
+  }
+}
+
+bool SearchSession::Step() {
+  if (history_.size() >= options_.max_iterations || clock_.Now() >= options_.max_sim_seconds) {
+    return false;
+  }
+  SearchContext context;
+  context.space = &bench_->space();
+  context.history = &history_;
+  context.sample_options = options_.sample_options;
+  context.rng = &searcher_rng_;
+
+  WallTimer timer;
+  Configuration config = searcher_->Propose(context);
+  for (size_t retry = 0; retry < options_.dedup_retries; ++retry) {
+    uint64_t hash = config.Hash();
+    bool seen = std::find(seen_hashes_.begin(), seen_hashes_.end(), hash) != seen_hashes_.end();
+    if (!seen) {
+      break;
+    }
+    config = searcher_->Propose(context);
+  }
+  double propose_seconds = timer.ElapsedSeconds();
+  seen_hashes_.push_back(config.Hash());
+
+  bool skip_build =
+      last_built_image_.has_value() && SameImageParams(config, *last_built_image_);
+  bool boot_only = options_.objective == ObjectiveKind::kMemoryFootprint;
+  TrialOutcome outcome = bench_->Evaluate(config, rng_, &clock_, skip_build, boot_only);
+  if (outcome.ok() && options_.deploy_check != nullptr &&
+      !options_.deploy_check(config, outcome)) {
+    // §3.5: a failed deployment check is learned exactly like a crash.
+    outcome.status = TrialOutcome::Status::kRunCrashed;
+    outcome.failure_reason = "deployment check failed";
+    outcome.metric = 0.0;
+  }
+  if (!skip_build) {
+    ++builds_;
+    if (outcome.status != TrialOutcome::Status::kBuildFailed) {
+      last_built_image_ = config;
+    }
+  } else {
+    ++builds_skipped_;
+  }
+
+  TrialRecord record;
+  record.iteration = history_.size();
+  record.config = std::move(config);
+  record.outcome = outcome;
+  record.objective = ComputeObjective(outcome);
+  record.sim_time_end = clock_.Now();
+  if (!outcome.ok()) {
+    ++crashes_;
+  }
+  history_.push_back(std::move(record));
+  if (options_.objective == ObjectiveKind::kScore) {
+    RefreshScores();
+  }
+
+  timer.Restart();
+  searcher_->Observe(history_.back(), context);
+  history_.back().searcher_seconds = propose_seconds + timer.ElapsedSeconds();
+  return true;
+}
+
+SessionResult SearchSession::Finish() {
+  SessionResult result;
+  result.history = history_;
+  result.total_sim_seconds = clock_.Now();
+  result.crashes = crashes_;
+  result.builds = builds_;
+  result.builds_skipped = builds_skipped_;
+  for (size_t i = 0; i < result.history.size(); ++i) {
+    const TrialRecord& trial = result.history[i];
+    if (!trial.HasObjective()) {
+      continue;
+    }
+    if (!result.best_index.has_value() ||
+        trial.objective > result.history[*result.best_index].objective) {
+      result.best_index = i;
+    }
+  }
+  return result;
+}
+
+void SearchSession::Resume(const std::vector<TrialRecord>& prior) {
+  assert(history_.empty() && "Resume must precede the first Step()");
+  SearchContext context;
+  context.space = &bench_->space();
+  context.history = &history_;
+  context.sample_options = options_.sample_options;
+  context.rng = &searcher_rng_;
+  for (const TrialRecord& trial : prior) {
+    history_.push_back(trial);
+    seen_hashes_.push_back(trial.config.Hash());
+    if (trial.crashed()) {
+      ++crashes_;
+    }
+    // The build-skip cache warms from the last image that built.
+    if (trial.outcome.status != TrialOutcome::Status::kBuildFailed) {
+      last_built_image_ = trial.config;
+    }
+    if (!trial.outcome.build_skipped) {
+      ++builds_;
+    } else {
+      ++builds_skipped_;
+    }
+    searcher_->Observe(history_.back(), context);
+  }
+  if (!history_.empty()) {
+    clock_.Advance(history_.back().sim_time_end - clock_.Now());
+  }
+  if (options_.objective == ObjectiveKind::kScore) {
+    RefreshScores();
+  }
+}
+
+SessionResult SearchSession::Run() {
+  while (Step()) {
+  }
+  return Finish();
+}
+
+SessionResult RunSearch(Testbench* bench, Searcher* searcher, const SessionOptions& options) {
+  SearchSession session(bench, searcher, options);
+  return session.Run();
+}
+
+std::vector<SeriesPoint> ObjectiveSeries(const std::vector<TrialRecord>& history) {
+  std::vector<SeriesPoint> series;
+  for (const TrialRecord& trial : history) {
+    if (trial.HasObjective()) {
+      series.push_back({trial.sim_time_end, trial.objective});
+    }
+  }
+  return series;
+}
+
+std::vector<double> CrashRateSeries(const std::vector<TrialRecord>& history, size_t window) {
+  std::vector<double> crashed(history.size());
+  for (size_t i = 0; i < history.size(); ++i) {
+    crashed[i] = history[i].crashed() ? 1.0 : 0.0;
+  }
+  return SmoothSeries(crashed, window);
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,130 @@
+// The exploration session: Wayfinder's core loop (§3.1).
+//
+// Repeatedly: (1) ask the search algorithm for the next configuration,
+// (2) build + boot + benchmark it on the testbench — skipping the build
+// when compile-/boot-time parameters are unchanged since the last built
+// image — and (3) feed the outcome back to the algorithm. Runs until an
+// iteration or simulated-time budget is exhausted and returns the full
+// history plus the best configuration found.
+#ifndef WAYFINDER_SRC_PLATFORM_SESSION_H_
+#define WAYFINDER_SRC_PLATFORM_SESSION_H_
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/configspace/config_space.h"
+#include "src/platform/searcher.h"
+#include "src/platform/trial.h"
+#include "src/simos/testbench.h"
+#include "src/util/sim_clock.h"
+
+namespace wayfinder {
+
+// What the session optimizes.
+enum class ObjectiveKind {
+  kAppMetric,        // The application's own metric (polarity from the app).
+  kMemoryFootprint,  // Boot memory consumption, minimized (Figure 10).
+  kScore,            // s = mXNorm(throughput) - mXNorm(memory) (Eq. 4, Fig 11).
+};
+
+struct SessionOptions {
+  size_t max_iterations = 250;
+  double max_sim_seconds = std::numeric_limits<double>::infinity();
+  ObjectiveKind objective = ObjectiveKind::kAppMetric;
+  SampleOptions sample_options;  // Phase bias (favor runtime/compile-time).
+  uint64_t seed = 0x5e55;
+  // Re-propose when a searcher suggests an already-evaluated configuration
+  // (up to this many retries; 0 disables dedup).
+  size_t dedup_retries = 8;
+  // §3.5 "more comprehensive benchmarks": an optional user check of the
+  // deployment (e.g. run a test suite against the booted image). Returning
+  // false demotes an otherwise-successful trial to a run crash, so the
+  // searcher learns the configurations that cause the misbehavior.
+  std::function<bool(const Configuration&, const TrialOutcome&)> deploy_check;
+};
+
+struct SessionResult {
+  std::vector<TrialRecord> history;
+  // Index into history of the best successful trial; nullopt if none.
+  std::optional<size_t> best_index;
+  double total_sim_seconds = 0.0;
+  size_t crashes = 0;
+  size_t builds = 0;
+  size_t builds_skipped = 0;
+
+  const TrialRecord* best() const {
+    return best_index.has_value() ? &history[*best_index] : nullptr;
+  }
+  double CrashRate() const {
+    return history.empty() ? 0.0
+                           : static_cast<double>(crashes) / static_cast<double>(history.size());
+  }
+  // Simulated time at which the best configuration was first evaluated
+  // (Table 2's "avg. time to find"); 0 when nothing succeeded.
+  double TimeToBest() const { return best_index.has_value() ? history[*best_index].sim_time_end : 0.0; }
+};
+
+class SearchSession {
+ public:
+  SearchSession(Testbench* bench, Searcher* searcher, const SessionOptions& options);
+
+  // Runs the full loop. Can be called once per session object.
+  SessionResult Run();
+
+  // Restores a previously checkpointed history before the first Step():
+  // re-seeds the dedup set, counters, and simulated clock, and replays
+  // every trial through the searcher's Observe so its model catches up.
+  // Aborts if called after stepping.
+  void Resume(const std::vector<TrialRecord>& prior);
+
+  // Runs a single iteration; exposed for fine-grained tests and for benches
+  // that interleave sessions. Returns false when the budget is exhausted.
+  bool Step();
+
+  const std::vector<TrialRecord>& history() const { return history_; }
+  const SimClock& clock() const { return clock_; }
+  SessionResult Finish();
+
+ private:
+  double ComputeObjective(const TrialOutcome& outcome) const;
+  // Recomputes min-max normalized scores over the successful history
+  // (ObjectiveKind::kScore shifts as observations accumulate).
+  void RefreshScores();
+  bool SameImageParams(const Configuration& a, const Configuration& b) const;
+
+  Testbench* bench_;
+  Searcher* searcher_;
+  SessionOptions options_;
+  SimClock clock_;
+  Rng rng_;
+  Rng searcher_rng_;
+  std::vector<TrialRecord> history_;
+  std::vector<uint64_t> seen_hashes_;
+  std::optional<Configuration> last_built_image_;
+  size_t crashes_ = 0;
+  size_t builds_ = 0;
+  size_t builds_skipped_ = 0;
+};
+
+// Convenience wrapper: construct, run, return.
+SessionResult RunSearch(Testbench* bench, Searcher* searcher, const SessionOptions& options);
+
+// --- Series extraction for the evolution figures ---------------------------
+
+// (time, value) points of successful trials' objectives in history order.
+struct SeriesPoint {
+  double time = 0.0;
+  double value = 0.0;
+};
+std::vector<SeriesPoint> ObjectiveSeries(const std::vector<TrialRecord>& history);
+
+// Trailing-window crash rate aligned with history order.
+std::vector<double> CrashRateSeries(const std::vector<TrialRecord>& history, size_t window = 25);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_PLATFORM_SESSION_H_

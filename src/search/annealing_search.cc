@@ -1,0 +1,91 @@
+#include "src/search/annealing_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wayfinder {
+
+AnnealingSearcher::AnnealingSearcher(const AnnealingOptions& options)
+    : options_(options), temperature_(options.initial_temperature) {}
+
+size_t AnnealingSearcher::MutationCount(Rng& rng) const {
+  // Radius shrinks linearly with temperature, never below one mutation.
+  double fraction = temperature_ / options_.initial_temperature;
+  size_t radius = static_cast<size_t>(std::lround(fraction * static_cast<double>(
+                                                                 options_.max_mutations)));
+  radius = std::clamp<size_t>(radius, 1, options_.max_mutations);
+  // 1..radius uniformly, so small steps stay common even when hot.
+  return static_cast<size_t>(rng.UniformInt(1, static_cast<int64_t>(radius)));
+}
+
+Configuration AnnealingSearcher::Propose(SearchContext& context) {
+  if (!current_.has_value()) {
+    return context.space->RandomConfiguration(*context.rng, context.sample_options);
+  }
+  return context.space->Neighbor(*current_, *context.rng, MutationCount(*context.rng),
+                                 context.sample_options);
+}
+
+void AnnealingSearcher::Observe(const TrialRecord& trial, SearchContext& context) {
+  bool accepted = false;
+  if (trial.HasObjective()) {
+    double y = trial.objective;
+    ++successes_;
+    double delta_mean = y - mean_;
+    mean_ += delta_mean / static_cast<double>(successes_);
+    m2_ += delta_mean * (y - mean_);
+    double spread = successes_ > 1
+                        ? std::sqrt(m2_ / static_cast<double>(successes_ - 1))
+                        : 1.0;
+    if (spread <= 0.0) {
+      spread = 1.0;
+    }
+
+    if (!current_.has_value()) {
+      accepted = true;
+    } else {
+      double delta = (y - current_objective_) / spread;
+      if (delta >= 0.0) {
+        accepted = true;
+      } else {
+        double p = std::exp(delta / std::max(temperature_, 1e-9));
+        accepted = context.rng->Uniform() < p;
+      }
+    }
+    if (accepted) {
+      current_ = trial.config;
+      current_objective_ = y;
+    }
+    if (!best_.has_value() || y > best_objective_) {
+      best_ = trial.config;
+      best_objective_ = y;
+    }
+  }
+
+  temperature_ = std::max(temperature_ * options_.cooling_rate, options_.min_temperature);
+  rejections_in_a_row_ = accepted ? 0 : rejections_in_a_row_ + 1;
+  if (rejections_in_a_row_ >= options_.reheat_after) {
+    temperature_ = options_.initial_temperature;
+    rejections_in_a_row_ = 0;
+    ++reheats_;
+    if (best_.has_value()) {
+      current_ = best_;
+      current_objective_ = best_objective_;
+    } else {
+      current_.reset();  // Everything crashed so far: restart from random.
+    }
+  }
+}
+
+size_t AnnealingSearcher::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  if (current_.has_value()) {
+    bytes += current_->Size() * sizeof(int64_t);
+  }
+  if (best_.has_value()) {
+    bytes += best_->Size() * sizeof(int64_t);
+  }
+  return bytes;
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,66 @@
+// Simulated-annealing searcher.
+//
+// A classic single-trajectory metaheuristic plugged into Wayfinder's
+// modular search API (§3.1): propose a neighbor of the current
+// configuration, accept improvements always and regressions with
+// probability exp(Δ/T), and cool T geometrically. The mutation radius
+// shrinks with the temperature so early iterations explore broadly and
+// late iterations fine-tune. Crashed trials are always rejected and the
+// trajectory reheats after prolonged stagnation, which keeps the walk from
+// pinning itself inside an invalid region of the space.
+#ifndef WAYFINDER_SRC_SEARCH_ANNEALING_SEARCH_H_
+#define WAYFINDER_SRC_SEARCH_ANNEALING_SEARCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/platform/searcher.h"
+
+namespace wayfinder {
+
+struct AnnealingOptions {
+  // Initial temperature in units of the running objective spread; the
+  // acceptance test normalizes Δ by the spread so the schedule is
+  // metric-agnostic (req/s and µs/op anneal identically).
+  double initial_temperature = 1.0;
+  double cooling_rate = 0.985;       // T <- T * cooling_rate per observation.
+  double min_temperature = 0.02;
+  size_t max_mutations = 6;          // Mutation radius at T = initial.
+  // Consecutive rejections before the trajectory reheats to the initial
+  // temperature and restarts from the best configuration seen.
+  size_t reheat_after = 30;
+};
+
+class AnnealingSearcher : public Searcher {
+ public:
+  explicit AnnealingSearcher(const AnnealingOptions& options = {});
+
+  std::string Name() const override { return "annealing"; }
+  Configuration Propose(SearchContext& context) override;
+  void Observe(const TrialRecord& trial, SearchContext& context) override;
+  size_t MemoryBytes() const override;
+
+  double temperature() const { return temperature_; }
+  size_t reheats() const { return reheats_; }
+
+ private:
+  size_t MutationCount(Rng& rng) const;
+
+  AnnealingOptions options_;
+  double temperature_;
+  std::optional<Configuration> current_;
+  double current_objective_ = 0.0;
+  std::optional<Configuration> best_;
+  double best_objective_ = 0.0;
+  // Running spread estimate of successful objectives (Welford).
+  size_t successes_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  size_t rejections_in_a_row_ = 0;
+  size_t reheats_ = 0;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_SEARCH_ANNEALING_SEARCH_H_

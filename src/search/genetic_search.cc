@@ -1,0 +1,105 @@
+#include "src/search/genetic_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wayfinder {
+
+GeneticSearcher::GeneticSearcher(const GeneticOptions& options) : options_(options) {}
+
+const GeneticSearcher::Individual& GeneticSearcher::SelectParent(
+    SearchContext& context) const {
+  size_t best = static_cast<size_t>(
+      context.rng->UniformInt(0, static_cast<int64_t>(pool_.size()) - 1));
+  for (size_t round = 1; round < options_.tournament; ++round) {
+    size_t challenger = static_cast<size_t>(
+        context.rng->UniformInt(0, static_cast<int64_t>(pool_.size()) - 1));
+    // Pool is sorted best-first, so a lower index wins the tournament.
+    best = std::min(best, challenger);
+  }
+  return pool_[best];
+}
+
+Configuration GeneticSearcher::Crossover(const Configuration& a, const Configuration& b,
+                                         SearchContext& context) const {
+  std::vector<int64_t> genes(a.Size());
+  for (size_t i = 0; i < a.Size(); ++i) {
+    genes[i] = context.rng->Bernoulli(0.5) ? a.Raw(i) : b.Raw(i);
+  }
+  Configuration child(context.space, std::move(genes));
+  context.space->ApplyConstraints(&child);
+  return child;
+}
+
+void GeneticSearcher::Mutate(Configuration* child, SearchContext& context) const {
+  const ConfigSpace& space = *context.space;
+  // Flip probability targeting `mutations_per_child` expected flips over the
+  // parameters the phase bias allows to move.
+  double movable = 0.0;
+  for (size_t i = 0; i < space.Size(); ++i) {
+    if (!space.IsFrozen(i)) {
+      movable += context.sample_options.ProbFor(space.Param(i).phase);
+    }
+  }
+  if (movable <= 0.0) {
+    return;
+  }
+  double flip = std::min(1.0, options_.mutations_per_child / movable);
+  for (size_t i = 0; i < space.Size(); ++i) {
+    if (space.IsFrozen(i)) {
+      continue;
+    }
+    double gate = context.sample_options.ProbFor(space.Param(i).phase);
+    if (context.rng->Bernoulli(flip * gate)) {
+      child->SetRaw(i, space.RandomValue(i, *context.rng));
+    }
+  }
+  space.ApplyConstraints(child);
+}
+
+Configuration GeneticSearcher::Propose(SearchContext& context) {
+  bool seeding = pool_.size() < options_.population;
+  if (seeding || context.rng->Bernoulli(options_.immigrant_prob)) {
+    return context.space->RandomConfiguration(*context.rng, context.sample_options);
+  }
+  const Individual& mother = SelectParent(context);
+  const Individual& father = SelectParent(context);
+  Configuration child = context.rng->Bernoulli(options_.crossover_prob)
+                            ? Crossover(mother.config, father.config, context)
+                            : (mother.fitness >= father.fitness ? mother.config
+                                                                : father.config);
+  Mutate(&child, context);
+  return child;
+}
+
+void GeneticSearcher::Observe(const TrialRecord& trial, SearchContext& /*context*/) {
+  Individual incoming;
+  incoming.config = trial.config;
+  incoming.fitness = trial.HasObjective() ? trial.objective
+                                          : -std::numeric_limits<double>::infinity();
+  auto position = std::lower_bound(
+      pool_.begin(), pool_.end(), incoming,
+      [](const Individual& a, const Individual& b) { return a.fitness > b.fitness; });
+  pool_.insert(position, std::move(incoming));
+  if (pool_.size() > options_.population) {
+    pool_.resize(options_.population);
+  }
+}
+
+double GeneticSearcher::BestFitness() const {
+  if (pool_.empty() || std::isinf(pool_.front().fitness)) {
+    return std::nan("");
+  }
+  return pool_.front().fitness;
+}
+
+size_t GeneticSearcher::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Individual& member : pool_) {
+    bytes += sizeof(Individual) + member.config.Size() * sizeof(int64_t);
+  }
+  return bytes;
+}
+
+}  // namespace wayfinder

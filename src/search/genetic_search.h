@@ -1,0 +1,62 @@
+// Genetic-algorithm searcher.
+//
+// A steady-state GA over configurations: the first `population` proposals
+// seed the gene pool with random samples; afterwards each proposal is the
+// uniform crossover of two tournament-selected parents plus per-parameter
+// mutation. Observed trials are inserted back into the pool, which is
+// truncated elitistically (crashes score -inf and are evicted first), so
+// the pool concentrates on valid, high-objective regions — a different
+// route to the crash avoidance DeepTune gets from its crash head.
+#ifndef WAYFINDER_SRC_SEARCH_GENETIC_SEARCH_H_
+#define WAYFINDER_SRC_SEARCH_GENETIC_SEARCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/platform/searcher.h"
+
+namespace wayfinder {
+
+struct GeneticOptions {
+  size_t population = 24;
+  size_t tournament = 3;          // Contestants per parent selection.
+  double crossover_prob = 0.9;    // Else: clone the fitter parent.
+  // Expected number of mutated parameters per child; converted into a
+  // per-parameter flip probability over the non-frozen, phase-allowed set.
+  double mutations_per_child = 2.0;
+  // A slice of proposals stays fully random to keep injecting diversity.
+  double immigrant_prob = 0.08;
+};
+
+class GeneticSearcher : public Searcher {
+ public:
+  explicit GeneticSearcher(const GeneticOptions& options = {});
+
+  std::string Name() const override { return "genetic"; }
+  Configuration Propose(SearchContext& context) override;
+  void Observe(const TrialRecord& trial, SearchContext& context) override;
+  size_t MemoryBytes() const override;
+
+  size_t PoolSize() const { return pool_.size(); }
+  // Best (valid) fitness currently in the pool; NaN when the pool is empty.
+  double BestFitness() const;
+
+ private:
+  struct Individual {
+    Configuration config;
+    double fitness = 0.0;  // Higher is better; crashes use -inf.
+  };
+
+  const Individual& SelectParent(SearchContext& context) const;
+  Configuration Crossover(const Configuration& a, const Configuration& b,
+                          SearchContext& context) const;
+  void Mutate(Configuration* child, SearchContext& context) const;
+
+  GeneticOptions options_;
+  std::vector<Individual> pool_;  // Sorted by fitness, best first.
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_SEARCH_GENETIC_SEARCH_H_

@@ -1,0 +1,38 @@
+#include "src/search/hill_climb.h"
+
+namespace wayfinder {
+
+HillClimbSearcher::HillClimbSearcher(const HillClimbOptions& options) : options_(options) {}
+
+Configuration HillClimbSearcher::Propose(SearchContext& context) {
+  if (!incumbent_.has_value()) {
+    return context.space->RandomConfiguration(*context.rng, context.sample_options);
+  }
+  return context.space->Neighbor(*incumbent_, *context.rng, options_.step,
+                                 context.sample_options);
+}
+
+void HillClimbSearcher::Observe(const TrialRecord& trial, SearchContext& /*context*/) {
+  if (trial.HasObjective() &&
+      (!incumbent_.has_value() || trial.objective > incumbent_objective_)) {
+    incumbent_ = trial.config;
+    incumbent_objective_ = trial.objective;
+    stagnation_ = 0;
+    return;
+  }
+  if (++stagnation_ >= options_.patience) {
+    incumbent_.reset();
+    stagnation_ = 0;
+    ++restarts_;
+  }
+}
+
+size_t HillClimbSearcher::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  if (incumbent_.has_value()) {
+    bytes += incumbent_->Size() * sizeof(int64_t);
+  }
+  return bytes;
+}
+
+}  // namespace wayfinder

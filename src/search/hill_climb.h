@@ -1,0 +1,46 @@
+// Random-restart hill climbing.
+//
+// The simplest local-search baseline worth having next to random search:
+// propose single-parameter neighbors of the incumbent, move only on strict
+// improvement, and restart from a fresh random sample after `patience`
+// consecutive non-improvements. Deliberately greedy — its tendency to get
+// trapped by local optima and crash walls is the contrast that motivates
+// DeepTune's exploration term (Eq. 3).
+#ifndef WAYFINDER_SRC_SEARCH_HILL_CLIMB_H_
+#define WAYFINDER_SRC_SEARCH_HILL_CLIMB_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/platform/searcher.h"
+
+namespace wayfinder {
+
+struct HillClimbOptions {
+  size_t patience = 20;   // Non-improvements before a random restart.
+  size_t step = 1;        // Parameters mutated per proposal.
+};
+
+class HillClimbSearcher : public Searcher {
+ public:
+  explicit HillClimbSearcher(const HillClimbOptions& options = {});
+
+  std::string Name() const override { return "hillclimb"; }
+  Configuration Propose(SearchContext& context) override;
+  void Observe(const TrialRecord& trial, SearchContext& context) override;
+  size_t MemoryBytes() const override;
+
+  size_t restarts() const { return restarts_; }
+
+ private:
+  HillClimbOptions options_;
+  std::optional<Configuration> incumbent_;
+  double incumbent_objective_ = 0.0;
+  size_t stagnation_ = 0;
+  size_t restarts_ = 0;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_SEARCH_HILL_CLIMB_H_

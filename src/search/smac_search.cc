@@ -1,0 +1,124 @@
+#include "src/search/smac_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wayfinder {
+
+namespace {
+
+// Standard normal pdf / cdf for the closed-form EI.
+double NormalPdf(double z) { return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI); }
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+SmacSearcher::SmacSearcher(const ConfigSpace* space, const SmacOptions& options)
+    : space_(space), options_(options), forest_(options.forest) {}
+
+double SmacSearcher::ExpectedImprovement(double mean, double variance, double best,
+                                         double xi) {
+  double sigma = std::sqrt(std::max(variance, 0.0));
+  double improvement = mean - best - xi;
+  if (sigma < 1e-12) {
+    return std::max(improvement, 0.0);
+  }
+  double z = improvement / sigma;
+  return improvement * NormalCdf(z) + sigma * NormalPdf(z);
+}
+
+Configuration SmacSearcher::Propose(SearchContext& context) {
+  if (xs_.size() < options_.warmup || !forest_.IsFitted() || !has_success_) {
+    return context.space->RandomConfiguration(*context.rng, context.sample_options);
+  }
+
+  // Grow the candidate pool: neighbors of incumbents plus random samples.
+  std::vector<Configuration> pool;
+  pool.reserve(options_.pool_size);
+  size_t local = incumbents_.empty()
+                     ? 0
+                     : static_cast<size_t>(options_.local_fraction *
+                                           static_cast<double>(options_.pool_size));
+  for (size_t i = 0; i < local; ++i) {
+    const Configuration& base = incumbents_[static_cast<size_t>(
+        context.rng->UniformInt(0, static_cast<int64_t>(incumbents_.size()) - 1))];
+    size_t mutations = static_cast<size_t>(
+        context.rng->UniformInt(1, static_cast<int64_t>(options_.max_mutations)));
+    pool.push_back(space_->Neighbor(base, *context.rng, mutations, context.sample_options));
+  }
+  while (pool.size() < options_.pool_size) {
+    pool.push_back(space_->RandomConfiguration(*context.rng, context.sample_options));
+  }
+
+  // Normalize the incumbent objective the same way the training targets are.
+  double best_score = -std::numeric_limits<double>::infinity();
+  size_t best_index = 0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    auto stats = forest_.PredictStats(space_->Encode(pool[i]));
+    double ei = ExpectedImprovement(stats.mean, stats.variance, best_raw_, options_.xi);
+    if (ei > best_score) {
+      best_score = ei;
+      best_index = i;
+    }
+  }
+  return pool[best_index];
+}
+
+void SmacSearcher::Observe(const TrialRecord& trial, SearchContext& /*context*/) {
+  xs_.push_back(space_->Encode(trial.config));
+  crashed_.push_back(trial.crashed());
+  if (trial.HasObjective()) {
+    ys_raw_.push_back(trial.objective);
+    if (!has_success_ || trial.objective > best_raw_) {
+      best_raw_ = trial.objective;
+      has_success_ = true;
+      incumbents_.push_back(trial.config);
+      if (incumbents_.size() > 8) {
+        incumbents_.erase(incumbents_.begin());
+      }
+    }
+  } else {
+    ys_raw_.push_back(std::nan(""));
+  }
+  ++since_refit_;
+  if (since_refit_ >= options_.refit_every && xs_.size() >= options_.warmup) {
+    MaybeRefit();
+    since_refit_ = 0;
+  }
+}
+
+void SmacSearcher::MaybeRefit() {
+  if (!has_success_) {
+    return;
+  }
+  // Impute crashes at the worst successful objective seen (SMAC's standard
+  // treatment of failed runs), so the surrogate learns a cliff there.
+  double worst = std::numeric_limits<double>::infinity();
+  for (double y : ys_raw_) {
+    if (!std::isnan(y)) {
+      worst = std::min(worst, y);
+    }
+  }
+  std::vector<double> ys(ys_raw_.size());
+  for (size_t i = 0; i < ys_raw_.size(); ++i) {
+    ys[i] = std::isnan(ys_raw_[i]) ? worst : ys_raw_[i];
+  }
+  forest_.Fit(xs_, ys);
+  ++refits_;
+}
+
+size_t SmacSearcher::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& row : xs_) {
+    bytes += row.size() * sizeof(double);
+  }
+  bytes += ys_raw_.size() * sizeof(double) + crashed_.size() / 8;
+  for (const Configuration& incumbent : incumbents_) {
+    bytes += incumbent.Size() * sizeof(int64_t);
+  }
+  bytes += forest_.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace wayfinder

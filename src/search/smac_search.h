@@ -1,0 +1,74 @@
+// SMAC-style searcher: Bayesian optimization with a random-forest surrogate.
+//
+// §5 of the paper singles out SMAC as the scalable alternative to
+// Gaussian-process Bayesian optimization — random forests handle the
+// categorical/high-dimensional inputs GPs struggle with (§2.3), at the
+// price of cruder posterior-uncertainty estimates. This searcher refits a
+// regression forest on the encoded history every few observations, scores a
+// candidate pool with expected improvement (using the ensemble spread as
+// the posterior variance), and proposes the argmax. Crashed trials are
+// imputed at the worst objective seen so far, which teaches the surrogate
+// to steer around the crash region without a dedicated crash head.
+#ifndef WAYFINDER_SRC_SEARCH_SMAC_SEARCH_H_
+#define WAYFINDER_SRC_SEARCH_SMAC_SEARCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/forest/random_forest.h"
+#include "src/platform/searcher.h"
+
+namespace wayfinder {
+
+struct SmacOptions {
+  ForestOptions forest;
+  size_t pool_size = 128;
+  // Fraction of the pool grown as neighbors of the best configurations
+  // (SMAC's local search around incumbents); the rest is random.
+  double local_fraction = 0.5;
+  size_t max_mutations = 3;
+  size_t warmup = 10;        // Random proposals before the surrogate engages.
+  size_t refit_every = 4;    // Observations between forest refits.
+  double xi = 0.01;          // EI exploration margin, in normalized units.
+};
+
+class SmacSearcher : public Searcher {
+ public:
+  explicit SmacSearcher(const ConfigSpace* space, const SmacOptions& options = {});
+
+  std::string Name() const override { return "smac"; }
+  Configuration Propose(SearchContext& context) override;
+  void Observe(const TrialRecord& trial, SearchContext& context) override;
+  size_t MemoryBytes() const override;
+
+  size_t refits() const { return refits_; }
+  const RandomForestRegressor& surrogate() const { return forest_; }
+
+ private:
+  void MaybeRefit();
+
+  // Expected improvement of N(mean, variance) over `best`, with margin xi.
+  static double ExpectedImprovement(double mean, double variance, double best, double xi);
+
+  const ConfigSpace* space_;
+  SmacOptions options_;
+  RandomForestRegressor forest_;
+
+  // Training set mirrors the observed history: encoded configs and
+  // z-normalized objectives (crashes imputed at the running worst).
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_raw_;
+  std::vector<bool> crashed_;
+  double best_raw_ = 0.0;
+  bool has_success_ = false;
+  size_t since_refit_ = 0;
+  size_t refits_ = 0;
+
+  // Incumbents for pool-local search, best last.
+  std::vector<Configuration> incumbents_;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_SEARCH_SMAC_SEARCH_H_

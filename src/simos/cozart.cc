@@ -1,0 +1,52 @@
+#include "src/simos/cozart.h"
+
+namespace wayfinder {
+
+CozartDebloater::CozartDebloater(const ConfigSpace* space, const CrashModel* crash_model,
+                                 double usage_threshold)
+    : space_(space), crash_model_(crash_model), usage_threshold_(usage_threshold) {}
+
+DebloatResult CozartDebloater::Debloat(AppId app) const {
+  const AppProfile& profile = GetApp(app);
+  DebloatResult result;
+  result.baseline = space_->DefaultConfiguration();
+  for (size_t i = 0; i < space_->Size(); ++i) {
+    const ParamSpec& spec = space_->Param(i);
+    if (spec.phase != ParamPhase::kCompileTime) {
+      continue;
+    }
+    if (spec.kind != ParamKind::kBool && spec.kind != ParamKind::kTristate) {
+      continue;
+    }
+    ++result.options_considered;
+    if (result.baseline.Raw(i) == 0) {
+      continue;  // Already off.
+    }
+    // The dynamic trace shows this subsystem's code running under the
+    // workload: keep everything in it.
+    if (profile.weights.For(spec.subsystem) >= usage_threshold_) {
+      continue;
+    }
+    // Boot-essential options show up in the trace during boot.
+    if (crash_model_->IsEssentialCompileOption(i)) {
+      continue;
+    }
+    result.baseline.SetRaw(i, 0);
+    result.disabled.push_back(i);
+  }
+  // Respect Kconfig dependencies after the sweep.
+  space_->ApplyConstraints(&result.baseline);
+  return result;
+}
+
+size_t CozartDebloater::FreezeDisabled(ConfigSpace* space, const DebloatResult& result) {
+  size_t frozen = 0;
+  for (size_t index : result.disabled) {
+    if (space->Freeze(space->Param(index).name, 0)) {
+      ++frozen;
+    }
+  }
+  return frozen;
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,52 @@
+// Cozart-style compile-time debloater (§4.4, Figure 11, Table 4).
+//
+// Cozart [Kuo et al., SIGMETRICS'20] uses dynamic analysis to observe which
+// kernel components a workload actually exercises, then disables the unused
+// compile-time options, shrinking both the image and the remaining
+// configuration space. Our simulated equivalent traces usage at subsystem
+// granularity: options in subsystems the application's profile does not
+// touch are disabled — except options whose code the boot itself executes
+// (the crash model's "essential" set), which dynamic analysis would see
+// running and keep.
+#ifndef WAYFINDER_SRC_SIMOS_COZART_H_
+#define WAYFINDER_SRC_SIMOS_COZART_H_
+
+#include <string>
+#include <vector>
+
+#include "src/configspace/config_space.h"
+#include "src/simos/apps.h"
+#include "src/simos/crash_model.h"
+
+namespace wayfinder {
+
+struct DebloatResult {
+  Configuration baseline;             // Default config with unused options off.
+  std::vector<size_t> disabled;       // Parameter indices switched off.
+  size_t options_considered = 0;      // Compile-time options inspected.
+};
+
+class CozartDebloater {
+ public:
+  // `crash_model` supplies the essential-option oracle (standing in for the
+  // dynamic boot trace). `usage_threshold` is the subsystem sensitivity
+  // below which the workload is considered not to use the subsystem.
+  CozartDebloater(const ConfigSpace* space, const CrashModel* crash_model,
+                  double usage_threshold = 0.06);
+
+  DebloatResult Debloat(AppId app) const;
+
+  // Freezes the disabled options in `space` so a subsequent search cannot
+  // re-enable them (they are out of the reduced space). Returns the number
+  // of parameters frozen.
+  static size_t FreezeDisabled(ConfigSpace* space, const DebloatResult& result);
+
+ private:
+  const ConfigSpace* space_;
+  const CrashModel* crash_model_;
+  double usage_threshold_;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_SIMOS_COZART_H_

@@ -1,0 +1,106 @@
+#include "src/simos/memory_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "src/util/rng.h"
+
+namespace wayfinder {
+
+namespace {
+
+// Hand-set costs (MB at fully enabled) for compile options whose footprint
+// is well known. Negative entries are handled via value scaling below.
+const std::unordered_map<std::string, double>& CuratedCosts() {
+  static const std::unordered_map<std::string, double> costs = {
+      {"CONFIG_MODULES", 6.0},      {"CONFIG_IKCONFIG", 2.0},
+      {"CONFIG_DEBUG_KERNEL", 9.0}, {"CONFIG_KASAN", 40.0},
+      {"CONFIG_LOCKDEP", 6.0},      {"CONFIG_FTRACE", 4.0},
+      {"CONFIG_SCHED_DEBUG", 1.5},  {"CONFIG_MEMCG", 3.0},
+      {"CONFIG_CGROUPS", 2.5},      {"CONFIG_NUMA", 2.0},
+      {"CONFIG_TRANSPARENT_HUGEPAGE", 3.0},
+      {"CONFIG_COMPACTION", 1.0},   {"CONFIG_SWAP", 1.5},
+      {"CONFIG_BLK_DEV_IO_TRACE", 1.2},
+      {"CONFIG_RETPOLINE", 0.3},    {"CONFIG_SMP", 2.0},
+  };
+  return costs;
+}
+
+}  // namespace
+
+MemoryModel::MemoryModel(const ConfigSpace* space, double default_footprint_mb, uint64_t seed)
+    : space_(space), default_footprint_mb_(default_footprint_mb) {
+  option_cost_mb_.assign(space_->Size(), 0.0);
+  for (size_t i = 0; i < space_->Size(); ++i) {
+    const ParamSpec& spec = space_->Param(i);
+    if (spec.phase != ParamPhase::kCompileTime) {
+      continue;
+    }
+    auto curated = CuratedCosts().find(spec.name);
+    if (curated != CuratedCosts().end()) {
+      option_cost_mb_[i] = curated->second;
+      continue;
+    }
+    if (spec.kind == ParamKind::kBool || spec.kind == ParamKind::kTristate) {
+      uint64_t h = HashCombine(seed, StableHash(spec.name));
+      // Most features are cheap; a hashed tail is moderately expensive.
+      double u = static_cast<double>(h % 100000) / 100000.0;
+      option_cost_mb_[i] = 0.05 + 1.2 * u * u;
+    }
+  }
+  // Anchor the default configuration at the published footprint.
+  Configuration def = space_->DefaultConfiguration();
+  anchor_offset_ = default_footprint_mb_ - RawCost(def);
+}
+
+double MemoryModel::RawCost(const Configuration& config) const {
+  double total = 0.0;
+  for (size_t i = 0; i < space_->Size(); ++i) {
+    const ParamSpec& spec = space_->Param(i);
+    double cost = option_cost_mb_[i];
+    if (cost > 0.0) {
+      double enabled = static_cast<double>(config.Raw(i)) /
+                       (spec.kind == ParamKind::kTristate ? 2.0 : 1.0);
+      total += cost * enabled;
+      continue;
+    }
+    // A few numeric options scale memory directly.
+    if (spec.name == "CONFIG_NR_CPUS") {
+      total += 0.02 * static_cast<double>(config.Raw(i));
+    } else if (spec.name == "CONFIG_LOG_BUF_SHIFT") {
+      total += std::pow(2.0, static_cast<double>(config.Raw(i))) / (1024.0 * 1024.0);
+    } else if (spec.name == "vm.min_free_kbytes") {
+      // Reserved free memory shows up in boot-time consumption.
+      total += 0.1 * static_cast<double>(config.Raw(i)) / 1024.0;
+    }
+  }
+  return total;
+}
+
+double MemoryModel::FootprintMb(const Configuration& config) const {
+  return std::max(24.0, anchor_offset_ + RawCost(config));
+}
+
+double MemoryModel::SampleFootprintMb(const Configuration& config, Rng& run_rng) const {
+  return FootprintMb(config) * std::exp(run_rng.Normal(0.0, 0.003));
+}
+
+double MemoryModel::MinFootprintMb() const {
+  Configuration config = space_->DefaultConfiguration();
+  for (size_t i = 0; i < space_->Size(); ++i) {
+    const ParamSpec& spec = space_->Param(i);
+    if (spec.phase != ParamPhase::kCompileTime) {
+      continue;
+    }
+    if (spec.kind == ParamKind::kBool || spec.kind == ParamKind::kTristate) {
+      config.SetRaw(i, 0);
+    } else if (spec.name == "CONFIG_NR_CPUS" || spec.name == "CONFIG_LOG_BUF_SHIFT") {
+      config.SetRaw(i, spec.min_value);
+    }
+  }
+  return FootprintMb(config);
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,98 @@
+#include "src/simos/sysfs.h"
+
+#include <cstdlib>
+
+namespace wayfinder {
+
+SimulatedSysfs::SimulatedSysfs(const ConfigSpace* space, uint64_t seed,
+                               bool bracket_choice_files)
+    : space_(space), bracket_choice_files_(bracket_choice_files) {
+  for (size_t i = 0; i < space_->Size(); ++i) {
+    const ParamSpec& spec = space_->Param(i);
+    if (spec.phase != ParamPhase::kRuntime) {
+      continue;
+    }
+    FileState state;
+    state.param_index = i;
+    state.current = spec.default_value;
+    state.locked = HashCombine(seed, StableHash(spec.name)) % 10 == 0;
+    files_.emplace(spec.name, state);
+    paths_.push_back(spec.name);
+  }
+}
+
+std::vector<std::string> SimulatedSysfs::ListWritablePaths() { return paths_; }
+
+std::optional<std::string> SimulatedSysfs::ReadValue(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return std::nullopt;
+  }
+  const ParamSpec& spec = space_->Param(it->second.param_index);
+  if (spec.kind == ParamKind::kString) {
+    if (!bracket_choice_files_) {
+      return spec.FormatValue(it->second.current);  // Plain /proc/sys style.
+    }
+    // /sys multi-choice convention: all tokens, active one bracketed.
+    std::string rendered;
+    for (size_t c = 0; c < spec.choices.size(); ++c) {
+      if (!rendered.empty()) {
+        rendered += " ";
+      }
+      bool active = static_cast<int64_t>(c) == it->second.current;
+      rendered += active ? "[" + spec.choices[c] + "]" : spec.choices[c];
+    }
+    return rendered;
+  }
+  return std::to_string(it->second.current);
+}
+
+void SimulatedSysfs::RebootToDefaults() {
+  ++crash_count_;
+  for (auto& [path, state] : files_) {
+    state.current = space_->Param(state.param_index).default_value;
+  }
+}
+
+ProbeWriteResult SimulatedSysfs::TryWrite(const std::string& path, const std::string& value) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return ProbeWriteResult::kRejected;
+  }
+  FileState& state = it->second;
+  if (state.locked) {
+    return ProbeWriteResult::kRejected;
+  }
+  const ParamSpec& spec = space_->Param(state.param_index);
+  if (spec.kind == ParamKind::kString) {
+    // Text files accept only their known tokens; the prober skips these.
+    for (size_t c = 0; c < spec.choices.size(); ++c) {
+      if (spec.choices[c] == value) {
+        state.current = static_cast<int64_t>(c);
+        return ProbeWriteResult::kOk;
+      }
+    }
+    return ProbeWriteResult::kRejected;
+  }
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  long long parsed = std::strtoll(begin, &end, 10);
+  if (end == begin || *end != '\0') {
+    return ProbeWriteResult::kRejected;
+  }
+  int64_t v = static_cast<int64_t>(parsed);
+  // Far outside the true range: the kernel tries to apply it and the guest
+  // falls over (the undocumented-validity hazard of §3.4).
+  double limit = 100.0 * static_cast<double>(std::max<int64_t>(1, spec.max_value));
+  if (static_cast<double>(v) > limit && spec.kind != ParamKind::kBool) {
+    RebootToDefaults();
+    return ProbeWriteResult::kCrash;
+  }
+  if (!spec.InDomain(v)) {
+    return ProbeWriteResult::kRejected;
+  }
+  state.current = v;
+  return ProbeWriteResult::kOk;
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,57 @@
+// Simulated /proc/sys + /sys pseudo-filesystem of a booted guest.
+//
+// Backs the §3.4 runtime-space prober: exposes every runtime parameter of a
+// ConfigSpace as a writable pseudo-file whose *true* accepted range is known
+// only to the simulation (the prober has to discover it by probing, exactly
+// like on real hardware). Writes far outside the accepted range can crash
+// the guest; the guest reboots to defaults automatically.
+#ifndef WAYFINDER_SRC_SIMOS_SYSFS_H_
+#define WAYFINDER_SRC_SIMOS_SYSFS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/configspace/config_space.h"
+#include "src/configspace/probe.h"
+#include "src/util/rng.h"
+
+namespace wayfinder {
+
+class SimulatedSysfs : public RuntimeProbeTarget {
+ public:
+  // Exposes the runtime parameters of `space`. A hashed ~10% of files are
+  // read-only in practice (writes rejected), and integer writes beyond
+  // 100x the true maximum crash the guest. With `bracket_choice_files`,
+  // categorical files render in the /sys multi-choice convention -- every
+  // token listed with the active one bracketed ("noop [mq-deadline]
+  // kyber") -- which the prober can mine for the full choice set.
+  explicit SimulatedSysfs(const ConfigSpace* space, uint64_t seed = 0x5f5f5f,
+                          bool bracket_choice_files = false);
+
+  std::vector<std::string> ListWritablePaths() override;
+  std::optional<std::string> ReadValue(const std::string& path) override;
+  ProbeWriteResult TryWrite(const std::string& path, const std::string& value) override;
+
+  // Number of times a write crashed (and rebooted) the guest.
+  size_t crash_count() const { return crash_count_; }
+
+ private:
+  struct FileState {
+    size_t param_index = 0;
+    bool locked = false;      // Writes rejected outright.
+    int64_t current = 0;      // Live value (reset to default on crash).
+  };
+
+  void RebootToDefaults();
+
+  const ConfigSpace* space_;
+  bool bracket_choice_files_;
+  std::unordered_map<std::string, FileState> files_;
+  std::vector<std::string> paths_;
+  size_t crash_count_ = 0;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_SIMOS_SYSFS_H_

@@ -1,0 +1,125 @@
+#include "src/simos/testbench.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wayfinder {
+
+Testbench::Testbench(const ConfigSpace* space, AppId app, const TestbenchOptions& options)
+    : space_(space),
+      app_(app),
+      options_(options),
+      perf_model_(space, options.substrate, options.seed),
+      crash_model_(space, HashCombine(options.seed, 0xc4a5)),
+      memory_model_(space, options.default_footprint_mb, HashCombine(options.seed, 0x3e30)) {}
+
+double Testbench::SampleBuildSeconds(Rng& rng) const {
+  // Full kernel builds dominate; unikernels build much faster. Lognormal-ish
+  // spread mimics ccache hits and varying option counts.
+  double mean = options_.substrate == Substrate::kUnikraftKvm ? 35.0 : 180.0;
+  if (options_.substrate == Substrate::kLinuxRiscvQemu) {
+    mean = 90.0;  // Slim embedded configs cross-compile faster.
+  }
+  double s = mean * std::exp(rng.Normal(0.0, 0.25));
+  return std::max(5.0, s);
+}
+
+double Testbench::SampleBootSeconds(Rng& rng) const {
+  double mean = options_.substrate == Substrate::kUnikraftKvm ? 0.5 : 9.0;
+  if (options_.substrate == Substrate::kLinuxRiscvQemu) {
+    mean = 25.0;  // Full-system emulation boots slowly.
+  }
+  return std::max(0.05, mean * std::exp(rng.Normal(0.0, 0.2)));
+}
+
+double Testbench::SampleRunSeconds(Rng& rng) const {
+  const AppProfile& profile = GetApp(app_);
+  double s = rng.Normal(profile.test_seconds_mean, profile.test_seconds_spread / 2.0);
+  return std::clamp(s, profile.test_seconds_mean * 0.4, profile.test_seconds_mean * 2.5);
+}
+
+TrialOutcome Testbench::Evaluate(const Configuration& config, Rng& rng, SimClock* clock,
+                                 bool skip_build, bool boot_only) {
+  TrialOutcome outcome;
+  CrashOutcome crash = crash_model_.Check(app_, config, rng);
+
+  // Transient infrastructure flakes (fault injection): independent of the
+  // configuration, a trial may fail at a uniformly chosen stage.
+  if (options_.transient_flake_prob > 0.0 && rng.Bernoulli(options_.transient_flake_prob)) {
+    crash.crashed = true;
+    crash.reason = "transient: infrastructure flake";
+    double stage = rng.Uniform();
+    crash.stage = stage < 0.34   ? ParamPhase::kCompileTime
+                  : stage < 0.67 ? ParamPhase::kBootTime
+                                 : ParamPhase::kRuntime;
+    if (skip_build && crash.stage == ParamPhase::kCompileTime) {
+      crash.stage = ParamPhase::kBootTime;  // No build phase to fail in.
+    }
+  }
+
+  // --- Build phase ---------------------------------------------------------
+  if (skip_build) {
+    outcome.build_skipped = true;
+  } else {
+    if (crash.crashed && crash.stage == ParamPhase::kCompileTime) {
+      // Builds fail part-way through.
+      outcome.status = TrialOutcome::Status::kBuildFailed;
+      outcome.failure_reason = crash.reason;
+      outcome.build_seconds = 0.35 * SampleBuildSeconds(rng);
+      if (clock != nullptr) {
+        clock->Advance(outcome.build_seconds);
+      }
+      return outcome;
+    }
+    outcome.build_seconds = SampleBuildSeconds(rng);
+    if (clock != nullptr) {
+      clock->Advance(outcome.build_seconds);
+    }
+  }
+  outcome.memory_mb = memory_model_.SampleFootprintMb(config, rng);
+
+  // --- Boot phase -----------------------------------------------------------
+  outcome.boot_seconds = SampleBootSeconds(rng);
+  if (clock != nullptr) {
+    clock->Advance(outcome.boot_seconds);
+  }
+  if (crash.crashed && crash.stage == ParamPhase::kBootTime) {
+    outcome.status = TrialOutcome::Status::kBootFailed;
+    outcome.failure_reason = crash.reason;
+    return outcome;
+  }
+  // A compile-stage crash with the build skipped can't happen: skip_build
+  // requires identical compile/boot parameters to a previously built image.
+  // Treat it as a boot failure defensively.
+  if (crash.crashed && crash.stage == ParamPhase::kCompileTime) {
+    outcome.status = TrialOutcome::Status::kBootFailed;
+    outcome.failure_reason = crash.reason;
+    return outcome;
+  }
+
+  // --- Benchmark phase --------------------------------------------------------
+  if (boot_only) {
+    // No workload runs: runtime-stage failures cannot surface. The image
+    // booted; its footprint is the measurement.
+    return outcome;
+  }
+  outcome.run_seconds = SampleRunSeconds(rng);
+  if (crash.crashed) {
+    // Runtime crashes/hangs surface part-way through the benchmark (hangs
+    // cost the full watchdog window).
+    outcome.run_seconds *= rng.Uniform(0.3, 1.2);
+    if (clock != nullptr) {
+      clock->Advance(outcome.run_seconds);
+    }
+    outcome.status = TrialOutcome::Status::kRunCrashed;
+    outcome.failure_reason = crash.reason;
+    return outcome;
+  }
+  if (clock != nullptr) {
+    clock->Advance(outcome.run_seconds);
+  }
+  outcome.metric = perf_model_.SampleMetric(app_, config, rng);
+  return outcome;
+}
+
+}  // namespace wayfinder

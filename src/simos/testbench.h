@@ -1,0 +1,92 @@
+// The simulated build/boot/benchmark testbench.
+//
+// One Wayfinder iteration evaluates a configuration by (1) building an OS
+// image, (2) booting it in a VM, and (3) running the application benchmark
+// (§3.1). This class simulates those phases: each consumes simulated seconds
+// on the caller's SimClock with realistic durations, and the outcome comes
+// from the deterministic performance/crash/memory models. The build phase
+// can be skipped when only runtime parameters changed since the previously
+// built image — the platform layer decides that (the paper's build-skip
+// optimization).
+#ifndef WAYFINDER_SRC_SIMOS_TESTBENCH_H_
+#define WAYFINDER_SRC_SIMOS_TESTBENCH_H_
+
+#include <memory>
+#include <string>
+
+#include "src/configspace/config_space.h"
+#include "src/simos/apps.h"
+#include "src/simos/crash_model.h"
+#include "src/simos/memory_model.h"
+#include "src/simos/perf_model.h"
+#include "src/util/rng.h"
+#include "src/util/sim_clock.h"
+
+namespace wayfinder {
+
+// Result of evaluating one configuration end to end.
+struct TrialOutcome {
+  enum class Status { kOk, kBuildFailed, kBootFailed, kRunCrashed };
+
+  Status status = Status::kOk;
+  bool ok() const { return status == Status::kOk; }
+
+  double metric = 0.0;        // App metric (valid when ok()).
+  double memory_mb = 0.0;     // Boot footprint (valid unless build failed).
+  double build_seconds = 0.0;  // 0 when the build was skipped.
+  double boot_seconds = 0.0;
+  double run_seconds = 0.0;
+  bool build_skipped = false;
+  std::string failure_reason;
+
+  double TotalSeconds() const { return build_seconds + boot_seconds + run_seconds; }
+};
+
+struct TestbenchOptions {
+  Substrate substrate = Substrate::kLinuxKvm;
+  uint64_t seed = 0xbe27c4;
+  double default_footprint_mb = 210.0;
+  // Probability that a trial fails for reasons unrelated to the
+  // configuration (host hiccup, QEMU flake, benchmark-tool timeout). Such
+  // failures are label noise for the searchers: the same configuration
+  // would succeed on retry. 0 disables injection.
+  double transient_flake_prob = 0.0;
+};
+
+class Testbench {
+ public:
+  Testbench(const ConfigSpace* space, AppId app, const TestbenchOptions& options = {});
+
+  // Evaluates `config`. When `skip_build` is set the compile/boot image is
+  // reused (the caller must have verified compile/boot params are unchanged)
+  // and build failures cannot occur. When `boot_only` is set the application
+  // benchmark is skipped: the trial measures boot memory only (the Figure 10
+  // memory-footprint experiments boot images without running a workload).
+  // Advances `clock` by each phase's cost.
+  TrialOutcome Evaluate(const Configuration& config, Rng& rng, SimClock* clock,
+                        bool skip_build = false, bool boot_only = false);
+
+  AppId app() const { return app_; }
+  const ConfigSpace& space() const { return *space_; }
+  const PerfModel& perf_model() const { return perf_model_; }
+  const CrashModel& crash_model() const { return crash_model_; }
+  const MemoryModel& memory_model() const { return memory_model_; }
+  Substrate substrate() const { return options_.substrate; }
+
+  // Duration models, exposed for the Figure 8 loop breakdown.
+  double SampleBuildSeconds(Rng& rng) const;
+  double SampleBootSeconds(Rng& rng) const;
+  double SampleRunSeconds(Rng& rng) const;
+
+ private:
+  const ConfigSpace* space_;
+  AppId app_;
+  TestbenchOptions options_;
+  PerfModel perf_model_;
+  CrashModel crash_model_;
+  MemoryModel memory_model_;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_SIMOS_TESTBENCH_H_

@@ -1,0 +1,77 @@
+// Deterministic, forkable pseudo-random number generation.
+//
+// Everything in Wayfinder that is stochastic (space sampling, the simulated
+// kernel's behaviour, NN initialization, search policies) draws from an
+// explicit Rng instance so that whole experiments replay bit-identically from
+// a single seed. The generator is xoshiro256++, seeded via splitmix64.
+#ifndef WAYFINDER_SRC_UTIL_RNG_H_
+#define WAYFINDER_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace wayfinder {
+
+// Mixes a 64-bit state into a well-distributed output. Used for seeding and
+// for stateless per-key randomness (see HashMix / StableHash).
+uint64_t SplitMix64(uint64_t& state);
+
+// FNV-1a hash of a string, for deriving stable per-name seeds.
+uint64_t StableHash(std::string_view text);
+
+// Combines two 64-bit values into one hash, order-sensitive.
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+// xoshiro256++ generator with convenience sampling methods.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Returns the next raw 64-bit output.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller (cached second value).
+  double Normal();
+
+  // Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  // Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  // Index in [0, weights.size()) with probability proportional to weights.
+  // Requires at least one strictly positive weight.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Returns a statistically independent child generator. Forking advances
+  // this generator, so repeated forks yield distinct streams.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_UTIL_RNG_H_

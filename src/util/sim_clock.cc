@@ -1,0 +1,25 @@
+#include "src/util/sim_clock.h"
+
+#include <chrono>
+
+namespace wayfinder {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WallTimer::WallTimer() : start_ns_(NowNs()) {}
+
+double WallTimer::ElapsedSeconds() const {
+  return static_cast<double>(NowNs() - start_ns_) * 1e-9;
+}
+
+void WallTimer::Restart() { start_ns_ = NowNs(); }
+
+}  // namespace wayfinder

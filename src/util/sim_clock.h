@@ -1,0 +1,50 @@
+// Simulated time source for the benchmarking substrate.
+//
+// The paper's evaluation plots search progress against wall-clock seconds of
+// kernel builds, VM boots, and benchmark runs. Our substitute substrate does
+// no real builds, so every pipeline phase advances a SimClock by the duration
+// that phase would have cost. All "Time (s)" axes in the reproduced figures
+// are SimClock seconds.
+#ifndef WAYFINDER_SRC_UTIL_SIM_CLOCK_H_
+#define WAYFINDER_SRC_UTIL_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace wayfinder {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  // Current simulated time in seconds since the experiment started.
+  double Now() const { return now_seconds_; }
+
+  // Advances the clock; negative durations are ignored.
+  void Advance(double seconds) {
+    if (seconds > 0.0) {
+      now_seconds_ += seconds;
+    }
+  }
+
+  void Reset() { now_seconds_ = 0.0; }
+
+ private:
+  double now_seconds_ = 0.0;
+};
+
+// Wall-clock stopwatch (real time), used to measure the optimizer's own
+// update cost for the Figure 8 loop breakdown.
+class WallTimer {
+ public:
+  WallTimer();
+  // Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+  void Restart();
+
+ private:
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_UTIL_SIM_CLOCK_H_

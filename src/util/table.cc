@@ -1,0 +1,106 @@
+#include "src/util/table.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace wayfinder {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t j = 0; j < header_.size(); ++j) {
+    widths[j] = header_[j].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      widths[j] = std::max(widths[j], row[j].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      os << std::left << std::setw(static_cast<int>(widths[j]) + 2) << row[j];
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  file_ = f;
+  ok_ = (f != nullptr);
+  if (ok_) {
+    WriteRow(header);
+  }
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) {
+    std::fclose(static_cast<FILE*>(file_));
+  }
+}
+
+void CsvWriter::WriteEscaped(const std::string& cell) {
+  FILE* f = static_cast<FILE*>(file_);
+  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) {
+    std::fputs(cell.c_str(), f);
+    return;
+  }
+  std::fputc('"', f);
+  for (char c : cell) {
+    if (c == '"') {
+      std::fputc('"', f);
+    }
+    std::fputc(c, f);
+  }
+  std::fputc('"', f);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!ok_) {
+    return;
+  }
+  FILE* f = static_cast<FILE*>(file_);
+  for (size_t j = 0; j < cells.size(); ++j) {
+    if (j > 0) {
+      std::fputc(',', f);
+    }
+    WriteEscaped(cells[j]);
+  }
+  std::fputc('\n', f);
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream oss;
+    oss << v;
+    text.push_back(oss.str());
+  }
+  WriteRow(text);
+}
+
+}  // namespace wayfinder

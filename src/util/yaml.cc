@@ -1,0 +1,455 @@
+#include "src/util/yaml.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace wayfinder {
+
+YamlNode YamlNode::Scalar(std::string value) {
+  YamlNode node;
+  node.kind_ = Kind::kScalar;
+  node.scalar_ = std::move(value);
+  return node;
+}
+
+YamlNode YamlNode::Sequence() {
+  YamlNode node;
+  node.kind_ = Kind::kSequence;
+  return node;
+}
+
+YamlNode YamlNode::Mapping() {
+  YamlNode node;
+  node.kind_ = Kind::kMapping;
+  return node;
+}
+
+std::optional<int64_t> YamlNode::AsInt() const {
+  if (!IsScalar() || scalar_.empty()) {
+    return std::nullopt;
+  }
+  const char* begin = scalar_.c_str();
+  char* end = nullptr;
+  long long value = std::strtoll(begin, &end, 0);
+  if (end == begin || *end != '\0') {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(value);
+}
+
+std::optional<double> YamlNode::AsDouble() const {
+  if (!IsScalar() || scalar_.empty()) {
+    return std::nullopt;
+  }
+  const char* begin = scalar_.c_str();
+  char* end = nullptr;
+  double value = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<bool> YamlNode::AsBool() const {
+  if (!IsScalar()) {
+    return std::nullopt;
+  }
+  if (scalar_ == "true" || scalar_ == "True" || scalar_ == "yes" || scalar_ == "on") {
+    return true;
+  }
+  if (scalar_ == "false" || scalar_ == "False" || scalar_ == "no" || scalar_ == "off") {
+    return false;
+  }
+  return std::nullopt;
+}
+
+size_t YamlNode::Size() const {
+  if (IsSequence()) {
+    return items_.size();
+  }
+  if (IsMapping()) {
+    return entries_.size();
+  }
+  return 0;
+}
+
+const YamlNode& YamlNode::At(size_t index) const { return items_.at(index); }
+
+void YamlNode::Append(YamlNode child) { items_.push_back(std::move(child)); }
+
+bool YamlNode::Has(const std::string& key) const { return Get(key) != nullptr; }
+
+const YamlNode* YamlNode::Get(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void YamlNode::Set(const std::string& key, YamlNode value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(value));
+}
+
+std::string YamlNode::GetString(const std::string& key, const std::string& fallback) const {
+  const YamlNode* node = Get(key);
+  return (node != nullptr && node->IsScalar()) ? node->AsString() : fallback;
+}
+
+int64_t YamlNode::GetInt(const std::string& key, int64_t fallback) const {
+  const YamlNode* node = Get(key);
+  if (node == nullptr) {
+    return fallback;
+  }
+  return node->AsInt().value_or(fallback);
+}
+
+double YamlNode::GetDouble(const std::string& key, double fallback) const {
+  const YamlNode* node = Get(key);
+  if (node == nullptr) {
+    return fallback;
+  }
+  return node->AsDouble().value_or(fallback);
+}
+
+bool YamlNode::GetBool(const std::string& key, bool fallback) const {
+  const YamlNode* node = Get(key);
+  if (node == nullptr) {
+    return fallback;
+  }
+  return node->AsBool().value_or(fallback);
+}
+
+namespace {
+
+struct Line {
+  int indent = 0;
+  std::string content;  // Trimmed, comment-stripped.
+  int number = 0;       // 1-based source line.
+};
+
+std::string StripComment(const std::string& text) {
+  bool in_single = false;
+  bool in_double = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\'' && !in_double) {
+      in_single = !in_single;
+    } else if (c == '"' && !in_single) {
+      in_double = !in_double;
+    } else if (c == '#' && !in_single && !in_double) {
+      // YAML requires '#' to start a comment at start or after whitespace.
+      if (i == 0 || std::isspace(static_cast<unsigned char>(text[i - 1])) != 0) {
+        return text.substr(0, i);
+      }
+    }
+  }
+  return text;
+}
+
+std::string Trim(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string Unquote(const std::string& text) {
+  if (text.size() >= 2) {
+    char first = text.front();
+    char last = text.back();
+    if ((first == '"' && last == '"') || (first == '\'' && last == '\'')) {
+      return text.substr(1, text.size() - 2);
+    }
+  }
+  return text;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) { Tokenize(text); }
+
+  YamlParseResult Parse() {
+    YamlParseResult result;
+    if (!error_.empty()) {
+      result.error = error_;
+      result.error_line = error_line_;
+      return result;
+    }
+    if (lines_.empty()) {
+      result.ok = true;
+      result.root = YamlNode::Mapping();
+      return result;
+    }
+    YamlNode root = ParseBlock(lines_.front().indent);
+    if (!error_.empty()) {
+      result.error = error_;
+      result.error_line = error_line_;
+      return result;
+    }
+    if (pos_ != lines_.size()) {
+      result.error = "trailing content at unexpected indentation";
+      result.error_line = lines_[pos_].number;
+      return result;
+    }
+    result.ok = true;
+    result.root = std::move(root);
+    return result;
+  }
+
+ private:
+  void Fail(const std::string& message, int line) {
+    if (error_.empty()) {
+      error_ = message;
+      error_line_ = line;
+    }
+  }
+
+  void Tokenize(const std::string& text) {
+    std::istringstream in(text);
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+      ++number;
+      if (!raw.empty() && raw.back() == '\r') {
+        raw.pop_back();
+      }
+      std::string stripped = StripComment(raw);
+      std::string content = Trim(stripped);
+      if (content.empty()) {
+        continue;
+      }
+      if (content == "---") {
+        continue;  // Tolerate a single document-start marker.
+      }
+      if (content[0] == '&' || content[0] == '*' || content == "|" || content == ">") {
+        Fail("unsupported YAML feature (anchor/alias/block scalar)", number);
+        continue;
+      }
+      int indent = 0;
+      while (indent < static_cast<int>(stripped.size()) && stripped[indent] == ' ') {
+        ++indent;
+      }
+      if (indent < static_cast<int>(stripped.size()) && stripped[indent] == '\t') {
+        Fail("tabs are not allowed for indentation", number);
+        continue;
+      }
+      lines_.push_back(Line{indent, content, number});
+    }
+  }
+
+  // Splits "key: rest" at the first unquoted colon+space (or trailing colon).
+  // Returns false when the line is not a mapping entry.
+  static bool SplitKey(const std::string& content, std::string* key, std::string* rest) {
+    bool in_single = false;
+    bool in_double = false;
+    int bracket_depth = 0;
+    for (size_t i = 0; i < content.size(); ++i) {
+      char c = content[i];
+      if (c == '\'' && !in_double) {
+        in_single = !in_single;
+      } else if (c == '"' && !in_single) {
+        in_double = !in_double;
+      } else if ((c == '[' || c == '{') && !in_single && !in_double) {
+        ++bracket_depth;
+      } else if ((c == ']' || c == '}') && !in_single && !in_double) {
+        --bracket_depth;
+      } else if (c == ':' && !in_single && !in_double && bracket_depth == 0) {
+        if (i + 1 == content.size() || content[i + 1] == ' ') {
+          *key = Unquote(Trim(content.substr(0, i)));
+          *rest = (i + 1 < content.size()) ? Trim(content.substr(i + 1)) : "";
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  YamlNode ParseFlowSequence(const std::string& text, int line) {
+    YamlNode seq = YamlNode::Sequence();
+    std::string inner = Trim(text.substr(1, text.size() - 2));
+    if (inner.empty()) {
+      return seq;
+    }
+    bool in_single = false;
+    bool in_double = false;
+    int depth = 0;
+    size_t start = 0;
+    for (size_t i = 0; i <= inner.size(); ++i) {
+      bool at_end = (i == inner.size());
+      char c = at_end ? ',' : inner[i];
+      if (!at_end) {
+        if (c == '\'' && !in_double) {
+          in_single = !in_single;
+        } else if (c == '"' && !in_single) {
+          in_double = !in_double;
+        } else if ((c == '[' || c == '{') && !in_single && !in_double) {
+          ++depth;
+        } else if ((c == ']' || c == '}') && !in_single && !in_double) {
+          --depth;
+        }
+      }
+      if (c == ',' && !in_single && !in_double && depth == 0) {
+        std::string item = Trim(inner.substr(start, i - start));
+        if (item.empty()) {
+          Fail("empty element in flow sequence", line);
+        } else {
+          seq.Append(ParseScalarOrFlow(item, line));
+        }
+        start = i + 1;
+      }
+    }
+    return seq;
+  }
+
+  YamlNode ParseScalarOrFlow(const std::string& text, int line) {
+    if (text.size() >= 2 && text.front() == '[' && text.back() == ']') {
+      return ParseFlowSequence(text, line);
+    }
+    return YamlNode::Scalar(Unquote(text));
+  }
+
+  // Parses a block (mapping or sequence) whose entries sit at `indent`.
+  YamlNode ParseBlock(int indent) {
+    if (pos_ >= lines_.size()) {
+      return YamlNode::Mapping();
+    }
+    if (lines_[pos_].content[0] == '-' &&
+        (lines_[pos_].content.size() == 1 || lines_[pos_].content[1] == ' ')) {
+      return ParseSequence(indent);
+    }
+    return ParseMapping(indent);
+  }
+
+  YamlNode ParseSequence(int indent) {
+    YamlNode seq = YamlNode::Sequence();
+    while (pos_ < lines_.size() && error_.empty()) {
+      const Line& line = lines_[pos_];
+      if (line.indent != indent) {
+        if (line.indent > indent) {
+          Fail("unexpected indentation inside sequence", line.number);
+        }
+        break;
+      }
+      if (line.content[0] != '-') {
+        break;
+      }
+      std::string rest = Trim(line.content.substr(1));
+      ++pos_;
+      if (rest.empty()) {
+        // Nested block under the dash.
+        if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+          seq.Append(ParseBlock(lines_[pos_].indent));
+        } else {
+          seq.Append(YamlNode::Scalar(""));
+        }
+        continue;
+      }
+      std::string key;
+      std::string value;
+      if (SplitKey(rest, &key, &value)) {
+        // "- key: value" starts an inline mapping; further keys of the same
+        // mapping appear indented past the dash.
+        YamlNode map = YamlNode::Mapping();
+        int entry_indent = indent + 2;
+        if (value.empty() && pos_ < lines_.size() && lines_[pos_].indent > indent + 2) {
+          map.Set(key, ParseBlock(lines_[pos_].indent));
+        } else {
+          map.Set(key, ParseScalarOrFlow(value, line.number));
+        }
+        while (pos_ < lines_.size() && error_.empty() && lines_[pos_].indent == entry_indent &&
+               lines_[pos_].content[0] != '-') {
+          ParseMappingEntry(&map, entry_indent);
+        }
+        seq.Append(std::move(map));
+      } else {
+        seq.Append(ParseScalarOrFlow(rest, line.number));
+      }
+    }
+    return seq;
+  }
+
+  // Consumes one "key: ..." line (plus any nested block) into `map`.
+  void ParseMappingEntry(YamlNode* map, int indent) {
+    const Line& line = lines_[pos_];
+    std::string key;
+    std::string value;
+    if (!SplitKey(line.content, &key, &value)) {
+      Fail("expected 'key: value'", line.number);
+      ++pos_;
+      return;
+    }
+    if (map->Has(key)) {
+      Fail("duplicate mapping key '" + key + "'", line.number);
+    }
+    ++pos_;
+    if (!value.empty()) {
+      map->Set(key, ParseScalarOrFlow(value, line.number));
+      return;
+    }
+    if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+      map->Set(key, ParseBlock(lines_[pos_].indent));
+    } else if (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+               lines_[pos_].content[0] == '-') {
+      // Sequences are commonly written at the same indent as their key.
+      map->Set(key, ParseSequence(indent));
+    } else {
+      map->Set(key, YamlNode::Scalar(""));
+    }
+  }
+
+  YamlNode ParseMapping(int indent) {
+    YamlNode map = YamlNode::Mapping();
+    while (pos_ < lines_.size() && error_.empty()) {
+      const Line& line = lines_[pos_];
+      if (line.indent != indent) {
+        if (line.indent > indent) {
+          Fail("unexpected indentation inside mapping", line.number);
+        }
+        break;
+      }
+      if (line.content[0] == '-') {
+        break;
+      }
+      ParseMappingEntry(&map, indent);
+    }
+    return map;
+  }
+
+  std::vector<Line> lines_;
+  size_t pos_ = 0;
+  std::string error_;
+  int error_line_ = 0;
+};
+
+}  // namespace
+
+YamlParseResult ParseYaml(const std::string& text) { return Parser(text).Parse(); }
+
+YamlParseResult ParseYamlFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    YamlParseResult result;
+    result.error = "cannot open file: " + path;
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseYaml(buffer.str());
+}
+
+}  // namespace wayfinder

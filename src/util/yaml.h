@@ -1,0 +1,88 @@
+// Minimal YAML-subset parser for Wayfinder job files.
+//
+// The paper's platform takes YAML "job files" describing the configuration
+// space and the benchmark scripts (§3.1, §3.4). We implement the subset those
+// files need rather than pulling in a YAML dependency:
+//   * block mappings and sequences driven by indentation,
+//   * "- " sequence entries, including inline "- key: value" mappings,
+//   * scalars with optional single/double quotes,
+//   * flow sequences "[a, b, c]",
+//   * "#" comments and blank lines.
+// Anchors, aliases, multi-document streams, and block scalars are out of
+// scope and rejected with a parse error.
+#ifndef WAYFINDER_SRC_UTIL_YAML_H_
+#define WAYFINDER_SRC_UTIL_YAML_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wayfinder {
+
+// A parsed YAML value: scalar, sequence, or mapping (order-preserving).
+class YamlNode {
+ public:
+  enum class Kind { kScalar, kSequence, kMapping };
+
+  YamlNode() : kind_(Kind::kScalar) {}
+  static YamlNode Scalar(std::string value);
+  static YamlNode Sequence();
+  static YamlNode Mapping();
+
+  Kind kind() const { return kind_; }
+  bool IsScalar() const { return kind_ == Kind::kScalar; }
+  bool IsSequence() const { return kind_ == Kind::kSequence; }
+  bool IsMapping() const { return kind_ == Kind::kMapping; }
+
+  // Scalar accessors. AsInt/AsDouble/AsBool return nullopt when the scalar
+  // does not parse as the requested type (or when not a scalar).
+  const std::string& AsString() const { return scalar_; }
+  std::optional<int64_t> AsInt() const;
+  std::optional<double> AsDouble() const;
+  std::optional<bool> AsBool() const;
+
+  // Sequence access.
+  size_t Size() const;
+  const YamlNode& At(size_t index) const;
+  void Append(YamlNode child);
+
+  // Mapping access. Get returns nullptr when the key is absent.
+  bool Has(const std::string& key) const;
+  const YamlNode* Get(const std::string& key) const;
+  void Set(const std::string& key, YamlNode value);
+  const std::vector<std::pair<std::string, YamlNode>>& Entries() const { return entries_; }
+
+  // Typed convenience getters with defaults, for mappings.
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+ private:
+  Kind kind_;
+  std::string scalar_;
+  std::vector<YamlNode> items_;
+  std::vector<std::pair<std::string, YamlNode>> entries_;
+};
+
+// Result of parsing: either a root node or an error with a line number.
+struct YamlParseResult {
+  bool ok = false;
+  YamlNode root;
+  std::string error;
+  int error_line = 0;
+};
+
+// Parses a YAML document from a string.
+YamlParseResult ParseYaml(const std::string& text);
+
+// Parses a YAML document from a file; returns an error result when the file
+// cannot be read.
+YamlParseResult ParseYamlFile(const std::string& path);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_UTIL_YAML_H_

@@ -1,0 +1,209 @@
+// Tests for the kernel-parameters.txt-style boot-parameter documentation
+// parser (§3.4's static analysis path for boot-time options).
+#include <gtest/gtest.h>
+
+#include "src/configspace/bootparam_doc.h"
+
+namespace wayfinder {
+namespace {
+
+TEST(BootParamDocTest, ParsesIntWithRangeAndDefault) {
+  BootParamDocResult result = ParseBootParamDoc(
+      "somaxconn=\t[NET] Upper bound on the listen backlog.\n"
+      "\t\tFormat: <int>\n"
+      "\t\tDefault: 128\n"
+      "\t\tRange: 16 65536\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.params.size(), 1u);
+  const ParamSpec& spec = result.params[0];
+  EXPECT_EQ(spec.name, "somaxconn");
+  EXPECT_EQ(spec.kind, ParamKind::kInt);
+  EXPECT_EQ(spec.phase, ParamPhase::kBootTime);
+  EXPECT_EQ(spec.subsystem, "net");
+  EXPECT_EQ(spec.min_value, 16);
+  EXPECT_EQ(spec.max_value, 65536);
+  EXPECT_EQ(spec.default_value, 128);
+  EXPECT_TRUE(spec.log_scale);  // Wide range.
+  EXPECT_EQ(spec.help, "Upper bound on the listen backlog.");
+}
+
+TEST(BootParamDocTest, BareFlagBecomesDefaultOffBool) {
+  BootParamDocResult result = ParseBootParamDoc(
+      "nosmt\t\t[KNL] Disable symmetric multithreading.\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.params.size(), 1u);
+  EXPECT_EQ(result.params[0].kind, ParamKind::kBool);
+  EXPECT_EQ(result.params[0].default_value, 0);
+}
+
+TEST(BootParamDocTest, ChoiceFormatBecomesCategorical) {
+  BootParamDocResult result = ParseBootParamDoc(
+      "mitigations=\t[X86,ARM64] Control CPU vulnerability mitigations.\n"
+      "\t\tFormat: {auto|off|auto,nosmt}\n"
+      "\t\tDefault: auto\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.params.size(), 1u);
+  const ParamSpec& spec = result.params[0];
+  EXPECT_EQ(spec.kind, ParamKind::kString);
+  EXPECT_EQ(spec.subsystem, "arch");  // First tag wins.
+  ASSERT_EQ(spec.choices.size(), 3u);
+  EXPECT_EQ(spec.choices[0], "auto");
+  EXPECT_EQ(spec.choices[1], "off");
+  EXPECT_EQ(spec.choices[2], "auto,nosmt");
+  EXPECT_EQ(spec.default_value, 0);  // "auto".
+}
+
+TEST(BootParamDocTest, BoolFormatWithDefaultOn) {
+  BootParamDocResult result = ParseBootParamDoc(
+      "watchdog=\t[KNL] Enable the lockup watchdog.\n"
+      "\t\tFormat: <bool>\n"
+      "\t\tDefault: 1\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.params.size(), 1u);
+  EXPECT_EQ(result.params[0].kind, ParamKind::kBool);
+  EXPECT_EQ(result.params[0].default_value, 1);
+}
+
+TEST(BootParamDocTest, ValueEntryWithoutFormatIsUndocumented) {
+  BootParamDocResult result = ParseBootParamDoc(
+      "console=\t[KNL] Output console device and options.\n"
+      "\t\tProse description only, no Format line.\n"
+      "somaxconn=\t[NET] Documented neighbor.\n"
+      "\t\tFormat: <int>\n"
+      "\t\tDefault: 128\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.params.size(), 1u);
+  EXPECT_EQ(result.params[0].name, "somaxconn");
+  ASSERT_EQ(result.undocumented.size(), 1u);
+  EXPECT_EQ(result.undocumented[0], "console");
+}
+
+TEST(BootParamDocTest, UnrecognizedFormatIsUndocumented) {
+  BootParamDocResult result = ParseBootParamDoc(
+      "isolcpus=\t[SCHED] Isolate CPUs.\n"
+      "\t\tFormat: <cpu list>\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.params.empty());
+  ASSERT_EQ(result.undocumented.size(), 1u);
+  EXPECT_EQ(result.undocumented[0], "isolcpus");
+}
+
+TEST(BootParamDocTest, MissingRangeGetsWideWindow) {
+  BootParamDocResult result = ParseBootParamDoc(
+      "loop_max=\t[BLOCK] Loop devices to create.\n"
+      "\t\tFormat: <int>\n"
+      "\t\tDefault: 8\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.params.size(), 1u);
+  EXPECT_LE(result.params[0].min_value, 0);
+  EXPECT_GE(result.params[0].max_value, 8 * 128);
+  EXPECT_EQ(result.params[0].subsystem, "block");
+}
+
+TEST(BootParamDocTest, MultipleEntriesAndProseAreSeparated) {
+  BootParamDocResult result = ParseBootParamDoc(
+      "preempt=\t[SCHED] Preemption mode.\n"
+      "\t\tFormat: {none|voluntary|full}\n"
+      "\t\tDefault: voluntary\n"
+      "\t\tSelecting full trades throughput for latency, which\n"
+      "\t\tmatters for audio and similar workloads.\n"
+      "quiet\t\t[KNL] Disable most log messages.\n"
+      "loglevel=\t[KNL,EARLY] Console loglevel.\n"
+      "\t\tFormat: <int>\n"
+      "\t\tDefault: 4\n"
+      "\t\tRange: 0 7\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.params.size(), 3u);
+  EXPECT_EQ(result.params[0].name, "preempt");
+  EXPECT_EQ(result.params[0].default_value, 1);  // "voluntary".
+  EXPECT_EQ(result.params[1].name, "quiet");
+  EXPECT_EQ(result.params[2].name, "loglevel");
+  EXPECT_EQ(result.params[2].max_value, 7);
+}
+
+TEST(BootParamDocTest, ProseStartingWithRangeIsIgnored) {
+  BootParamDocResult result = ParseBootParamDoc(
+      "x=\t[KNL] X.\n"
+      "\t\tFormat: <int>\n"
+      "\t\tDefault: 5\n"
+      "\t\tRange: values around ten are typical in practice.\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.params.size(), 1u);
+  // The prose line set no range: the wide default window applies.
+  EXPECT_GE(result.params[0].max_value, 1024);
+}
+
+TEST(BootParamDocTest, MalformedRangeIsAnError) {
+  BootParamDocResult result = ParseBootParamDoc(
+      "x=\t[KNL] X.\n"
+      "\t\tFormat: <int>\n"
+      "\t\tRange: 10 2\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("Range"), std::string::npos);
+  EXPECT_EQ(result.error_line, 3);
+}
+
+TEST(BootParamDocTest, UnterminatedTagListIsAnError) {
+  BootParamDocResult result = ParseBootParamDoc("x=\t[KNL broken tag\n");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(BootParamDocTest, EmptyChoiceListIsAnError) {
+  BootParamDocResult result = ParseBootParamDoc(
+      "x=\t[KNL] X.\n"
+      "\t\tFormat: {}\n");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(BootParamDocTest, DocTagMapping) {
+  EXPECT_EQ(SubsystemFromDocTag("NET"), "net");
+  EXPECT_EQ(SubsystemFromDocTag("MM"), "vm");
+  EXPECT_EQ(SubsystemFromDocTag("SCHED"), "sched");
+  EXPECT_EQ(SubsystemFromDocTag("KVM"), "virt");
+  EXPECT_EQ(SubsystemFromDocTag("UNHEARD_OF"), "kernel");
+}
+
+TEST(BootParamDocTest, WriterRoundTrips) {
+  std::vector<ParamSpec> params;
+  params.push_back(ParamSpec::Bool("nosmt", ParamPhase::kBootTime, "sched", false));
+  params.back().help = "Disable SMT.";
+  params.push_back(ParamSpec::Int("loglevel", ParamPhase::kBootTime, "debug", 0, 7, 4));
+  params.back().help = "Console loglevel.";
+  params.push_back(ParamSpec::String("preempt", ParamPhase::kBootTime, "sched",
+                                     {"none", "voluntary", "full"}, 1));
+  params.back().help = "Preemption mode.";
+
+  std::string text = WriteBootParamDoc(params);
+  BootParamDocResult result = ParseBootParamDoc(text);
+  ASSERT_TRUE(result.ok) << result.error << " in:\n" << text;
+  ASSERT_EQ(result.params.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(result.params[i].name, params[i].name);
+    EXPECT_EQ(result.params[i].kind, params[i].kind);
+    EXPECT_EQ(result.params[i].default_value, params[i].default_value);
+  }
+  EXPECT_EQ(result.params[2].choices, params[2].choices);
+}
+
+TEST(BootParamDocTest, ParsedParamsPlugIntoAConfigSpace) {
+  BootParamDocResult result = ParseBootParamDoc(
+      "loglevel=\t[KNL] Console loglevel.\n"
+      "\t\tFormat: <int>\n"
+      "\t\tDefault: 4\n"
+      "\t\tRange: 0 7\n"
+      "nosmt\t\t[KNL] Disable SMT.\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ConfigSpace space;
+  for (ParamSpec& spec : result.params) {
+    space.Add(std::move(spec));
+  }
+  EXPECT_EQ(space.CountPhase(ParamPhase::kBootTime), 2u);
+  Rng rng(101);
+  for (int i = 0; i < 50; ++i) {
+    Configuration config = space.RandomConfiguration(rng);
+    ASSERT_TRUE(space.IsValid(config));
+  }
+}
+
+}  // namespace
+}  // namespace wayfinder

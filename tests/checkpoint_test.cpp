@@ -1,0 +1,348 @@
+// Tests for session checkpoint/resume, the §3.5 deployment check, and
+// transient-fault injection in the testbench.
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/configspace/linux_space.h"
+#include "src/configspace/unikraft_space.h"
+#include "src/core/deeptune.h"
+#include "src/platform/checkpoint.h"
+#include "src/platform/random_search.h"
+#include "src/platform/session.h"
+#include "src/simos/testbench.h"
+
+namespace wayfinder {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<TrialRecord> RunSome(const ConfigSpace& space, size_t iterations,
+                                 uint64_t seed) {
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = iterations;
+  options.seed = seed;
+  return RunSearch(&bench, &searcher, options).history;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint save/load.
+
+TEST(CheckpointTest, RoundTripsAFullHistory) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::vector<TrialRecord> history = RunSome(space, 30, 61);
+  std::string path = TempPath("wf_checkpoint_roundtrip.txt");
+  ASSERT_TRUE(SaveCheckpoint(history, path));
+
+  CheckpointLoadResult loaded = LoadCheckpoint(space, path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  ASSERT_EQ(loaded.history.size(), history.size());
+  for (size_t i = 0; i < history.size(); ++i) {
+    const TrialRecord& a = history[i];
+    const TrialRecord& b = loaded.history[i];
+    EXPECT_EQ(a.iteration, b.iteration);
+    EXPECT_EQ(a.outcome.status, b.outcome.status);
+    EXPECT_EQ(a.outcome.build_skipped, b.outcome.build_skipped);
+    EXPECT_DOUBLE_EQ(a.outcome.metric, b.outcome.metric);
+    EXPECT_DOUBLE_EQ(a.outcome.memory_mb, b.outcome.memory_mb);
+    EXPECT_DOUBLE_EQ(a.sim_time_end, b.sim_time_end);
+    EXPECT_EQ(a.HasObjective(), b.HasObjective());
+    if (a.HasObjective()) {
+      EXPECT_DOUBLE_EQ(a.objective, b.objective);
+    }
+    EXPECT_EQ(a.config.values(), b.config.values());
+  }
+}
+
+TEST(CheckpointTest, CrashedTrialsKeepNanObjectives) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::vector<TrialRecord> history = RunSome(space, 60, 62);
+  bool any_crash = false;
+  for (const TrialRecord& trial : history) {
+    any_crash |= trial.crashed();
+  }
+  ASSERT_TRUE(any_crash) << "random search at 60 iterations should hit crashes";
+
+  std::string path = TempPath("wf_checkpoint_nan.txt");
+  ASSERT_TRUE(SaveCheckpoint(history, path));
+  CheckpointLoadResult loaded = LoadCheckpoint(space, path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  for (size_t i = 0; i < history.size(); ++i) {
+    if (history[i].crashed()) {
+      EXPECT_FALSE(loaded.history[i].HasObjective());
+    }
+  }
+}
+
+TEST(CheckpointTest, EmptyHistoryRoundTrips) {
+  ConfigSpace space = BuildUnikraftSpace();
+  std::string path = TempPath("wf_checkpoint_empty.txt");
+  ASSERT_TRUE(SaveCheckpoint({}, path));
+  CheckpointLoadResult loaded = LoadCheckpoint(space, path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_TRUE(loaded.history.empty());
+}
+
+TEST(CheckpointTest, MissingFileFails) {
+  ConfigSpace space = BuildUnikraftSpace();
+  CheckpointLoadResult loaded = LoadCheckpoint(space, TempPath("wf_no_such_file.txt"));
+  EXPECT_FALSE(loaded.ok);
+}
+
+TEST(CheckpointTest, WrongSpaceSizeFails) {
+  ConfigSpace linux_space = BuildLinuxSearchSpace();
+  std::vector<TrialRecord> history = RunSome(linux_space, 5, 63);
+  std::string path = TempPath("wf_checkpoint_wrong_space.txt");
+  ASSERT_TRUE(SaveCheckpoint(history, path));
+
+  ConfigSpace unikraft_space = BuildUnikraftSpace();
+  CheckpointLoadResult loaded = LoadCheckpoint(unikraft_space, path);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_NE(loaded.error.find("parameters"), std::string::npos);
+}
+
+TEST(CheckpointTest, CorruptHeaderFails) {
+  ConfigSpace space = BuildUnikraftSpace();
+  std::string path = TempPath("wf_checkpoint_corrupt.txt");
+  {
+    std::ofstream out(path);
+    out << "definitely not a checkpoint\n";
+  }
+  CheckpointLoadResult loaded = LoadCheckpoint(space, path);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_NE(loaded.error.find("header"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Session resume.
+
+TEST(ResumeTest, ResumedSessionContinuesCountersAndClock) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+
+  // First half.
+  Testbench bench1(&space, AppId::kNginx);
+  RandomSearcher searcher1;
+  SessionOptions options;
+  options.max_iterations = 20;
+  options.seed = 64;
+  SearchSession first(&bench1, &searcher1, options);
+  SessionResult half = first.Run();
+  ASSERT_EQ(half.history.size(), 20u);
+
+  // Second half, resumed into a fresh session with a larger budget.
+  Testbench bench2(&space, AppId::kNginx);
+  RandomSearcher searcher2;
+  options.max_iterations = 40;
+  SearchSession second(&bench2, &searcher2, options);
+  second.Resume(half.history);
+  SessionResult full = second.Run();
+
+  EXPECT_EQ(full.history.size(), 40u);
+  // The prior history is intact at the front.
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(full.history[i].config.values(), half.history[i].config.values());
+  }
+  // The clock continued rather than restarting.
+  EXPECT_GT(full.total_sim_seconds, half.total_sim_seconds);
+  // Crash accounting covers both halves.
+  size_t crashes = 0;
+  for (const TrialRecord& trial : full.history) {
+    crashes += trial.crashed() ? 1 : 0;
+  }
+  EXPECT_EQ(full.crashes, crashes);
+}
+
+TEST(ResumeTest, ReplayWarmsTheSearcherModel) {
+  ConfigSpace space = BuildUnikraftSpace();
+  std::vector<TrialRecord> prior =
+      [&] {
+        Testbench bench(&space, AppId::kNginx,
+                        TestbenchOptions{.substrate = Substrate::kUnikraftKvm});
+        RandomSearcher searcher;
+        SessionOptions options;
+        options.max_iterations = 25;
+        options.seed = 65;
+        return RunSearch(&bench, &searcher, options).history;
+      }();
+
+  Testbench bench(&space, AppId::kNginx,
+                  TestbenchOptions{.substrate = Substrate::kUnikraftKvm});
+  DeepTuneOptions dt;
+  dt.model.steps_per_update = 2;
+  DeepTuneSearcher searcher(&space, dt);
+  SessionOptions options;
+  options.max_iterations = 25;  // Already exhausted by the resumed history.
+  options.seed = 66;
+  SearchSession session(&bench, &searcher, options);
+  session.Resume(prior);
+  EXPECT_EQ(searcher.model().sample_count(), 25u);
+  // Budget is already spent: stepping refuses.
+  EXPECT_FALSE(session.Step());
+}
+
+TEST(ResumeTest, CheckpointThenResumeEndToEnd) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::vector<TrialRecord> prior = RunSome(space, 15, 67);
+  std::string path = TempPath("wf_resume_e2e.txt");
+  ASSERT_TRUE(SaveCheckpoint(prior, path));
+  CheckpointLoadResult loaded = LoadCheckpoint(space, path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 30;
+  options.seed = 68;
+  SearchSession session(&bench, &searcher, options);
+  session.Resume(loaded.history);
+  SessionResult result = session.Run();
+  EXPECT_EQ(result.history.size(), 30u);
+}
+
+// ---------------------------------------------------------------------------
+// Deployment check (§3.5).
+
+TEST(DeployCheckTest, FailingCheckDemotesTrialsToCrashes) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 15;
+  options.seed = 69;
+  options.deploy_check = [](const Configuration&, const TrialOutcome&) { return false; };
+  SessionResult result = RunSearch(&bench, &searcher, options);
+  EXPECT_EQ(result.crashes, result.history.size());
+  EXPECT_EQ(result.best(), nullptr);
+  for (const TrialRecord& trial : result.history) {
+    if (trial.outcome.failure_reason == "deployment check failed") {
+      return;  // At least one trial was demoted by the check (not the model).
+    }
+  }
+  FAIL() << "no trial carries the deployment-check failure reason";
+}
+
+TEST(DeployCheckTest, SelectiveCheckOnlyDemotesMatchingConfigs) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 40;
+  options.seed = 70;
+  // Production requires ASLR: configurations that disable it fail review.
+  options.deploy_check = [](const Configuration& config, const TrialOutcome&) {
+    return config.Get("kernel.randomize_va_space") != 0;
+  };
+  SessionResult result = RunSearch(&bench, &searcher, options);
+  for (const TrialRecord& trial : result.history) {
+    if (trial.HasObjective()) {
+      EXPECT_NE(trial.config.Get("kernel.randomize_va_space"), 0);
+    }
+  }
+}
+
+TEST(DeployCheckTest, PassingCheckChangesNothing) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  SessionOptions options;
+  options.max_iterations = 15;
+  options.seed = 71;
+
+  Testbench bench_a(&space, AppId::kNginx);
+  RandomSearcher searcher_a;
+  SessionResult baseline = RunSearch(&bench_a, &searcher_a, options);
+
+  options.deploy_check = [](const Configuration&, const TrialOutcome&) { return true; };
+  Testbench bench_b(&space, AppId::kNginx);
+  RandomSearcher searcher_b;
+  SessionResult checked = RunSearch(&bench_b, &searcher_b, options);
+
+  // Identical seeds: the two sessions are deterministic twins, and a check
+  // that always passes must not perturb anything.
+  ASSERT_EQ(baseline.history.size(), checked.history.size());
+  EXPECT_EQ(baseline.crashes, checked.crashes);
+  ASSERT_EQ(baseline.best() != nullptr, checked.best() != nullptr);
+  if (baseline.best() != nullptr) {
+    EXPECT_DOUBLE_EQ(baseline.best()->objective, checked.best()->objective);
+  }
+  // Fully random sampling (compile phase included) crashes often; use the
+  // runtime-favored mode to guarantee some successes for the comparison.
+  options.sample_options = SampleOptions::FavorRuntime();
+  Testbench bench_c(&space, AppId::kNginx);
+  RandomSearcher searcher_c;
+  SessionResult runtime_checked = RunSearch(&bench_c, &searcher_c, options);
+  EXPECT_NE(runtime_checked.best(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Transient fault injection.
+
+TEST(FaultInjectionTest, CertainFlakeFailsEveryTrial) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  TestbenchOptions bench_options;
+  bench_options.transient_flake_prob = 1.0;
+  Testbench bench(&space, AppId::kNginx, bench_options);
+  Rng rng(72);
+  SimClock clock;
+  for (int i = 0; i < 10; ++i) {
+    TrialOutcome outcome = bench.Evaluate(space.DefaultConfiguration(), rng, &clock);
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_NE(outcome.failure_reason.find("transient"), std::string::npos);
+  }
+}
+
+TEST(FaultInjectionTest, ZeroFlakeProbIsNoise_Free) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kNginx);  // Default: no injection.
+  Rng rng(73);
+  SimClock clock;
+  // The default configuration never crashes on its own.
+  for (int i = 0; i < 10; ++i) {
+    TrialOutcome outcome = bench.Evaluate(space.DefaultConfiguration(), rng, &clock);
+    EXPECT_TRUE(outcome.ok()) << outcome.failure_reason;
+  }
+}
+
+TEST(FaultInjectionTest, ModerateFlakeRateRaisesCrashRateProportionally) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  TestbenchOptions bench_options;
+  bench_options.transient_flake_prob = 0.5;
+  Testbench bench(&space, AppId::kNginx, bench_options);
+  Rng rng(74);
+  SimClock clock;
+  size_t failures = 0;
+  const int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    TrialOutcome outcome = bench.Evaluate(space.DefaultConfiguration(), rng, &clock);
+    failures += outcome.ok() ? 0 : 1;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / kTrials, 0.5, 0.12);
+}
+
+TEST(FaultInjectionTest, SearchSurvivesAFlakyTestbench) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  TestbenchOptions bench_options;
+  bench_options.transient_flake_prob = 0.3;
+  Testbench bench(&space, AppId::kNginx, bench_options);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 50;
+  options.seed = 75;
+  SessionResult result = RunSearch(&bench, &searcher, options);
+  EXPECT_EQ(result.history.size(), 50u);
+  EXPECT_NE(result.best(), nullptr);  // Some trials still succeed.
+  EXPECT_GT(result.crashes, 5u);      // And many were flaked.
+}
+
+}  // namespace
+}  // namespace wayfinder

@@ -1,0 +1,189 @@
+// Tests for the kernel-command-line and sysctl.conf codecs, including a
+// parameterized round-trip sweep over random configurations.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/configspace/cmdline.h"
+#include "src/configspace/linux_space.h"
+
+namespace wayfinder {
+namespace {
+
+class CmdlineFixture : public ::testing::Test {
+ protected:
+  CmdlineFixture() : space_(BuildLinuxSearchSpace()) {}
+  ConfigSpace space_;
+};
+
+// ---------------------------------------------------------------------------
+// Rendering.
+
+TEST_F(CmdlineFixture, DefaultConfigurationRendersEmpty) {
+  Configuration config = space_.DefaultConfiguration();
+  EXPECT_EQ(RenderCmdline(config), "");
+  EXPECT_EQ(RenderSysctlConf(config), "");
+}
+
+TEST_F(CmdlineFixture, BoolOnRendersAsBareFlag) {
+  Configuration config = space_.DefaultConfiguration();
+  config.Set("nosmt", 1);  // Default off.
+  EXPECT_EQ(RenderCmdline(config), "nosmt");
+}
+
+TEST_F(CmdlineFixture, BoolOffRendersExplicitZero) {
+  Configuration config = space_.DefaultConfiguration();
+  config.Set("watchdog", 0);  // Default on.
+  EXPECT_EQ(RenderCmdline(config), "watchdog=0");
+}
+
+TEST_F(CmdlineFixture, StringRendersChoiceText) {
+  Configuration config = space_.DefaultConfiguration();
+  size_t index = *space_.Find("mitigations");
+  // Choice 1 is "off".
+  config.SetRaw(index, 1);
+  std::string cmdline = RenderCmdline(config);
+  EXPECT_EQ(cmdline, "mitigations=off");
+}
+
+TEST_F(CmdlineFixture, RuntimeParamsNeverAppearOnTheCmdline) {
+  Configuration config = space_.DefaultConfiguration();
+  config.Set("net.core.somaxconn", 4096);
+  EXPECT_EQ(RenderCmdline(config), "");
+  EXPECT_NE(RenderSysctlConf(config).find("net.core.somaxconn = 4096"), std::string::npos);
+}
+
+TEST_F(CmdlineFixture, BootParamsNeverAppearInSysctl) {
+  Configuration config = space_.DefaultConfiguration();
+  config.Set("nosmt", 1);
+  EXPECT_EQ(RenderSysctlConf(config), "");
+}
+
+TEST_F(CmdlineFixture, SysctlRendersBoolsNumerically) {
+  Configuration config = space_.DefaultConfiguration();
+  config.Set("net.ipv4.tcp_tw_reuse", 1);  // Default off.
+  EXPECT_NE(RenderSysctlConf(config).find("net.ipv4.tcp_tw_reuse = 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+TEST_F(CmdlineFixture, ParsesFlagsValuesAndQuotes) {
+  ConfigParseResult result =
+      ParseCmdline(space_, "nosmt loglevel=7 mitigations=\"auto,nosmt\"");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.config.Get("nosmt"), 1);
+  EXPECT_EQ(result.config.Get("loglevel"), 7);
+  size_t index = *space_.Find("mitigations");
+  EXPECT_EQ(space_.Param(index).FormatValue(result.config.Raw(index)), "auto,nosmt");
+}
+
+TEST_F(CmdlineFixture, UnknownTokensAreCollectedNotFatal) {
+  ConfigParseResult result = ParseCmdline(space_, "console=ttyS0 nosmt ro root=/dev/vda1");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.config.Get("nosmt"), 1);
+  ASSERT_EQ(result.unknown.size(), 3u);
+  EXPECT_EQ(result.unknown[0], "console");
+  EXPECT_EQ(result.unknown[1], "ro");
+  EXPECT_EQ(result.unknown[2], "root");
+}
+
+TEST_F(CmdlineFixture, MalformedNumberIsAnError) {
+  ConfigParseResult result = ParseCmdline(space_, "loglevel=verbose");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("loglevel"), std::string::npos);
+}
+
+TEST_F(CmdlineFixture, OutOfRangeValueIsAnError) {
+  ConfigParseResult result = ParseCmdline(space_, "loglevel=99");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("range"), std::string::npos);
+}
+
+TEST_F(CmdlineFixture, BareFlagOnNonBoolIsAnError) {
+  ConfigParseResult result = ParseCmdline(space_, "loglevel");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(CmdlineFixture, UnterminatedQuoteIsAnError) {
+  ConfigParseResult result = ParseCmdline(space_, "mitigations=\"off");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("quote"), std::string::npos);
+}
+
+TEST_F(CmdlineFixture, UnknownStringChoiceIsAnError) {
+  ConfigParseResult result = ParseCmdline(space_, "mitigations=nonsense");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("choice"), std::string::npos);
+}
+
+TEST_F(CmdlineFixture, EmptyAndWhitespaceCmdlinesParse) {
+  EXPECT_TRUE(ParseCmdline(space_, "").ok);
+  EXPECT_TRUE(ParseCmdline(space_, "   \t  ").ok);
+}
+
+TEST_F(CmdlineFixture, SysctlParsesCommentsAndSpacing) {
+  ConfigParseResult result = ParseSysctlConf(space_,
+                                             "# tuning profile\n"
+                                             "\n"
+                                             "net.core.somaxconn = 4096\n"
+                                             "net.ipv4.tcp_tw_reuse=1   ; inline comment\n"
+                                             "  vm.swappiness   =   10\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.config.Get("net.core.somaxconn"), 4096);
+  EXPECT_EQ(result.config.Get("net.ipv4.tcp_tw_reuse"), 1);
+  EXPECT_EQ(result.config.Get("vm.swappiness"), 10);
+}
+
+TEST_F(CmdlineFixture, SysctlMissingEqualsIsAnError) {
+  ConfigParseResult result = ParseSysctlConf(space_, "net.core.somaxconn 4096\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("line 1"), std::string::npos);
+}
+
+TEST_F(CmdlineFixture, SysctlUnknownKeysAreCollected) {
+  ConfigParseResult result = ParseSysctlConf(space_, "kernel.nonexistent_knob = 65536\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.unknown.size(), 1u);
+  EXPECT_EQ(result.unknown[0], "kernel.nonexistent_knob");
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property: render -> parse recovers the boot/runtime slices of
+// any random configuration, across seeds.
+
+class CmdlineRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CmdlineRoundTrip, BootPhaseSurvivesCmdlineRoundTrip) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Rng rng(GetParam());
+  Configuration config = space.RandomConfiguration(rng);
+  ConfigParseResult parsed = ParseCmdline(space, RenderCmdline(config));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(parsed.unknown.empty());
+  for (size_t i = 0; i < space.Size(); ++i) {
+    if (space.Param(i).phase == ParamPhase::kBootTime) {
+      EXPECT_EQ(parsed.config.Raw(i), config.Raw(i)) << space.Param(i).name;
+    }
+  }
+}
+
+TEST_P(CmdlineRoundTrip, RuntimePhaseSurvivesSysctlRoundTrip) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Rng rng(GetParam() ^ 0x5ca1ab1e);
+  Configuration config = space.RandomConfiguration(rng);
+  ConfigParseResult parsed = ParseSysctlConf(space, RenderSysctlConf(config));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(parsed.unknown.empty());
+  for (size_t i = 0; i < space.Size(); ++i) {
+    if (space.Param(i).phase == ParamPhase::kRuntime) {
+      EXPECT_EQ(parsed.config.Raw(i), config.Raw(i)) << space.Param(i).name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CmdlineRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 17u, 101u, 9001u, 0xdeadu, 0xbeefu));
+
+}  // namespace
+}  // namespace wayfinder

@@ -1,0 +1,142 @@
+// Tests for the crash-analytics module: per-parameter crash-rate lift,
+// stage accounting, wasted-time accounting, and formatting.
+#include <gtest/gtest.h>
+
+#include "src/configspace/linux_space.h"
+#include "src/platform/crash_report.h"
+#include "src/platform/random_search.h"
+#include "src/platform/session.h"
+#include "src/simos/testbench.h"
+
+namespace wayfinder {
+namespace {
+
+// A two-parameter space where moving "killer" always crashes the trial in
+// the synthetic histories below.
+ConfigSpace TinySpace() {
+  ConfigSpace space;
+  space.Add(ParamSpec::Bool("killer", ParamPhase::kRuntime, "debug", false));
+  space.Add(ParamSpec::Bool("benign", ParamPhase::kRuntime, "net", false));
+  return space;
+}
+
+TrialRecord MakeTrial(const ConfigSpace& space, bool killer_on, bool benign_on,
+                      bool crashed, double seconds = 100.0) {
+  TrialRecord trial;
+  trial.config = space.DefaultConfiguration();
+  trial.config.Set("killer", killer_on ? 1 : 0);
+  trial.config.Set("benign", benign_on ? 1 : 0);
+  trial.outcome.status =
+      crashed ? TrialOutcome::Status::kRunCrashed : TrialOutcome::Status::kOk;
+  trial.outcome.run_seconds = seconds;
+  trial.objective = crashed ? std::nan("") : 1.0;
+  return trial;
+}
+
+TEST(CrashReportTest, KillerParameterTopsTheRanking) {
+  ConfigSpace space = TinySpace();
+  std::vector<TrialRecord> history;
+  // killer moved -> crash (8 trials); benign moved -> fine (8); both at
+  // default -> fine (8).
+  for (int i = 0; i < 8; ++i) {
+    history.push_back(MakeTrial(space, true, false, true));
+    history.push_back(MakeTrial(space, false, true, false));
+    history.push_back(MakeTrial(space, false, false, false));
+  }
+  CrashReport report = AnalyzeCrashes(space, history);
+  EXPECT_EQ(report.trials, 24u);
+  EXPECT_EQ(report.crashes, 8u);
+  EXPECT_EQ(report.run_crashes, 8u);
+  ASSERT_EQ(report.correlates.size(), 2u);
+  EXPECT_EQ(report.correlates[0].name, "killer");
+  EXPECT_DOUBLE_EQ(report.correlates[0].moved_crash_rate, 1.0);
+  EXPECT_DOUBLE_EQ(report.correlates[0].baseline_crash_rate, 0.0);
+  EXPECT_DOUBLE_EQ(report.correlates[0].lift, 1.0);
+  // benign has zero (or negative) lift.
+  EXPECT_LE(report.correlates[1].lift, 0.0);
+}
+
+TEST(CrashReportTest, MinMovedFiltersSmallSamples) {
+  ConfigSpace space = TinySpace();
+  std::vector<TrialRecord> history;
+  history.push_back(MakeTrial(space, true, false, true));  // killer moved once.
+  for (int i = 0; i < 10; ++i) {
+    history.push_back(MakeTrial(space, false, true, false));
+  }
+  CrashReport report = AnalyzeCrashes(space, history, /*min_moved=*/5);
+  for (const CrashCorrelate& correlate : report.correlates) {
+    EXPECT_NE(correlate.name, "killer");  // 1 < min_moved: excluded.
+  }
+}
+
+TEST(CrashReportTest, WastedTimeSumsOnlyCrashedTrials) {
+  ConfigSpace space = TinySpace();
+  std::vector<TrialRecord> history;
+  for (int i = 0; i < 6; ++i) {
+    history.push_back(MakeTrial(space, true, false, true, 50.0));
+    history.push_back(MakeTrial(space, false, false, false, 100.0));
+  }
+  CrashReport report = AnalyzeCrashes(space, history);
+  EXPECT_DOUBLE_EQ(report.wasted_sim_seconds, 6 * 50.0);
+  EXPECT_DOUBLE_EQ(report.total_sim_seconds, 6 * 150.0);
+}
+
+TEST(CrashReportTest, StageCountsSplitByStatus) {
+  ConfigSpace space = TinySpace();
+  std::vector<TrialRecord> history;
+  TrialRecord build = MakeTrial(space, true, false, true);
+  build.outcome.status = TrialOutcome::Status::kBuildFailed;
+  TrialRecord boot = MakeTrial(space, true, false, true);
+  boot.outcome.status = TrialOutcome::Status::kBootFailed;
+  TrialRecord run = MakeTrial(space, true, false, true);
+  history.insert(history.end(), {build, boot, run});
+  CrashReport report = AnalyzeCrashes(space, history, /*min_moved=*/1);
+  EXPECT_EQ(report.build_failures, 1u);
+  EXPECT_EQ(report.boot_failures, 1u);
+  EXPECT_EQ(report.run_crashes, 1u);
+}
+
+TEST(CrashReportTest, EmptyHistoryIsCleanlyEmpty) {
+  ConfigSpace space = TinySpace();
+  CrashReport report = AnalyzeCrashes(space, {});
+  EXPECT_EQ(report.trials, 0u);
+  EXPECT_TRUE(report.correlates.empty());
+  std::string text = FormatCrashReport(report);
+  EXPECT_NE(text.find("0/0"), std::string::npos);
+}
+
+TEST(CrashReportTest, FormatListsKillerFirst) {
+  ConfigSpace space = TinySpace();
+  std::vector<TrialRecord> history;
+  for (int i = 0; i < 8; ++i) {
+    history.push_back(MakeTrial(space, true, false, true));
+    history.push_back(MakeTrial(space, false, false, false));
+  }
+  std::string text = FormatCrashReport(AnalyzeCrashes(space, history));
+  size_t killer_at = text.find("killer");
+  ASSERT_NE(killer_at, std::string::npos);
+  EXPECT_NE(text.find("crash-associated"), std::string::npos);
+}
+
+TEST(CrashReportTest, RealSessionFindsDebugSubsystemCorrelates) {
+  // On the simulated substrate debug-subsystem parameters are among the
+  // crash drivers; the analysis should surface positive-lift parameters
+  // from a real random-search history.
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 150;
+  options.seed = 301;
+  SessionResult result = RunSearch(&bench, &searcher, options);
+  ASSERT_GT(result.crashes, 10u);
+
+  CrashReport report = AnalyzeCrashes(space, result.history);
+  ASSERT_FALSE(report.correlates.empty());
+  EXPECT_GT(report.correlates.front().lift, 0.0);
+  EXPECT_GT(report.wasted_sim_seconds, 0.0);
+  EXPECT_LT(report.wasted_sim_seconds, report.total_sim_seconds);
+}
+
+}  // namespace
+}  // namespace wayfinder

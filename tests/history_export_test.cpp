@@ -1,0 +1,70 @@
+// Tests for history export and summaries.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/configspace/linux_space.h"
+#include "src/platform/history_export.h"
+#include "src/platform/random_search.h"
+#include "src/platform/session.h"
+
+namespace wayfinder {
+namespace {
+
+std::vector<TrialRecord> SampleHistory() {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 30;
+  options.sample_options = SampleOptions::FavorRuntime();
+  options.seed = 77;
+  static SessionResult result = RunSearch(&bench, &searcher, options);
+  return result.history;
+}
+
+TEST(HistoryExport, WritesOneRowPerTrialPlusHeader) {
+  std::vector<TrialRecord> history = SampleHistory();
+  std::string path = "/tmp/wf_history_test.csv";
+  ASSERT_TRUE(ExportHistoryCsv(history, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, history.size() + 1);
+  std::remove(path.c_str());
+}
+
+TEST(HistoryExport, FailsOnUnwritablePath) {
+  EXPECT_FALSE(ExportHistoryCsv(SampleHistory(), "/nonexistent-dir/x.csv"));
+}
+
+TEST(HistorySummaryTest, CountsMatchHistory) {
+  std::vector<TrialRecord> history = SampleHistory();
+  HistorySummary summary = SummarizeHistory(history);
+  EXPECT_EQ(summary.trials, history.size());
+  size_t crashes = 0;
+  for (const TrialRecord& trial : history) {
+    crashes += trial.crashed() ? 1 : 0;
+  }
+  EXPECT_EQ(summary.crashes, crashes);
+  EXPECT_EQ(summary.crashes,
+            summary.build_failures + summary.boot_failures + summary.run_crashes);
+  EXPECT_TRUE(summary.has_best);
+  EXPECT_GT(summary.total_sim_seconds, 0.0);
+}
+
+TEST(HistorySummaryTest, EmptyHistory) {
+  HistorySummary summary = SummarizeHistory({});
+  EXPECT_EQ(summary.trials, 0u);
+  EXPECT_FALSE(summary.has_best);
+  EXPECT_DOUBLE_EQ(summary.mean_searcher_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace wayfinder

@@ -1,0 +1,198 @@
+// Tests for the Kconfig-subset parser and writer.
+#include <gtest/gtest.h>
+
+#include "src/configspace/kconfig.h"
+
+namespace wayfinder {
+namespace {
+
+TEST(Kconfig, ParsesBoolOption) {
+  KconfigParseResult result = ParseKconfig(
+      "config DEBUG_KERNEL\n"
+      "\tbool \"Kernel debugging\"\n"
+      "\tdefault y\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.params.size(), 1u);
+  const ParamSpec& spec = result.params[0];
+  EXPECT_EQ(spec.name, "DEBUG_KERNEL");
+  EXPECT_EQ(spec.kind, ParamKind::kBool);
+  EXPECT_EQ(spec.default_value, 1);
+  EXPECT_EQ(spec.phase, ParamPhase::kCompileTime);
+  EXPECT_EQ(spec.help, "Kernel debugging");
+}
+
+TEST(Kconfig, ParsesTristateDefaults) {
+  KconfigParseResult result = ParseKconfig(
+      "config MOD_A\n"
+      "\ttristate \"module a\"\n"
+      "\tdefault m\n"
+      "config MOD_B\n"
+      "\ttristate \"module b\"\n"
+      "\tdefault y\n"
+      "config MOD_C\n"
+      "\ttristate \"module c\"\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.params.size(), 3u);
+  EXPECT_EQ(result.params[0].default_value, 1);
+  EXPECT_EQ(result.params[1].default_value, 2);
+  EXPECT_EQ(result.params[2].default_value, 0);
+}
+
+TEST(Kconfig, ParsesIntWithRange) {
+  KconfigParseResult result = ParseKconfig(
+      "config LOG_BUF_SHIFT\n"
+      "\tint \"Kernel log buffer size\"\n"
+      "\trange 12 25\n"
+      "\tdefault 17\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const ParamSpec& spec = result.params[0];
+  EXPECT_EQ(spec.kind, ParamKind::kInt);
+  EXPECT_EQ(spec.min_value, 12);
+  EXPECT_EQ(spec.max_value, 25);
+  EXPECT_EQ(spec.default_value, 17);
+}
+
+TEST(Kconfig, IntWithoutRangeGetsWideDomain) {
+  KconfigParseResult result = ParseKconfig(
+      "config NR_SOMETHING\n"
+      "\tint \"count\"\n"
+      "\tdefault 64\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const ParamSpec& spec = result.params[0];
+  EXPECT_LE(spec.min_value, 0);
+  EXPECT_GE(spec.max_value, 64 * 64);
+  EXPECT_EQ(spec.default_value, 64);
+}
+
+TEST(Kconfig, ParsesHexAsLogScale) {
+  KconfigParseResult result = ParseKconfig(
+      "config PHYS_START\n"
+      "\thex \"physical start\"\n"
+      "\trange 0x100000 0x1000000\n"
+      "\tdefault 0x200000\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const ParamSpec& spec = result.params[0];
+  EXPECT_EQ(spec.kind, ParamKind::kHex);
+  EXPECT_EQ(spec.default_value, 0x200000);
+  EXPECT_TRUE(spec.log_scale);
+}
+
+TEST(Kconfig, DependsOnCollectsSymbols) {
+  KconfigParseResult result = ParseKconfig(
+      "config CHILD\n"
+      "\tbool \"child\"\n"
+      "\tdepends on NET && BLOCK\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const ParamSpec& spec = result.params[0];
+  ASSERT_EQ(spec.depends_on.size(), 2u);
+  EXPECT_EQ(spec.depends_on[0], "NET");
+  EXPECT_EQ(spec.depends_on[1], "BLOCK");
+}
+
+TEST(Kconfig, MenusAssignSubsystems) {
+  KconfigParseResult result = ParseKconfig(
+      "menu \"Networking support\"\n"
+      "config TCP_THING\n"
+      "\tbool \"thing\"\n"
+      "endmenu\n"
+      "menu \"Memory Management options\"\n"
+      "config VM_THING\n"
+      "\tbool \"thing\"\n"
+      "endmenu\n"
+      "config OTHER\n"
+      "\tbool \"thing\"\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.params.size(), 3u);
+  EXPECT_EQ(result.params[0].subsystem, "net");
+  EXPECT_EQ(result.params[1].subsystem, "vm");
+  EXPECT_EQ(result.params[2].subsystem, "kernel");
+}
+
+TEST(Kconfig, HelpBodyConsumed) {
+  KconfigParseResult result = ParseKconfig(
+      "config A\n"
+      "\tbool \"a\"\n"
+      "\thelp\n"
+      "\t  This is documentation that spans\n"
+      "\t  multiple lines.\n"
+      "config B\n"
+      "\tbool \"b\"\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.params.size(), 2u);
+}
+
+TEST(Kconfig, ChoiceBlocksParsed) {
+  KconfigParseResult result = ParseKconfig(
+      "choice\n"
+      "config HZ_100\n"
+      "\tbool \"100 Hz\"\n"
+      "config HZ_1000\n"
+      "\tbool \"1000 Hz\"\n"
+      "endchoice\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.params.size(), 2u);
+}
+
+TEST(Kconfig, UnterminatedMenuIsError) {
+  KconfigParseResult result = ParseKconfig("menu \"Oops\"\nconfig A\n\tbool \"a\"\n");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Kconfig, MissingTypeIsError) {
+  KconfigParseResult result = ParseKconfig("config UNTYPED\n\tdefault y\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no type"), std::string::npos);
+}
+
+TEST(Kconfig, UnknownConstructIsError) {
+  // "macro" is not part of the supported subset ("if" blocks and "select"
+  // are; see kconfig_select_test.cpp).
+  KconfigParseResult result = ParseKconfig("macro $(warning,hi)\nconfig A\n\tbool \"a\"\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_GT(result.error_line, 0);
+}
+
+TEST(Kconfig, CommentsAndSourceIgnored) {
+  KconfigParseResult result = ParseKconfig(
+      "# a comment\n"
+      "source \"drivers/Kconfig\"\n"
+      "comment \"section\"\n"
+      "config A\n"
+      "\tbool \"a\"\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.params.size(), 1u);
+}
+
+TEST(Kconfig, WriterRoundTrips) {
+  std::vector<ParamSpec> params;
+  params.push_back(ParamSpec::Bool("FEATURE_X", ParamPhase::kCompileTime, "net", true));
+  params.back().help = "Feature X";
+  params.push_back(ParamSpec::Tristate("MOD_Y", "block", 1));
+  params.back().help = "Module Y";
+  params.push_back(
+      ParamSpec::Int("COUNT_Z", ParamPhase::kCompileTime, "vm", 1, 128, 32));
+  params.back().help = "Count Z";
+  params.back().depends_on.push_back("FEATURE_X");
+
+  std::string text = WriteKconfig(params);
+  KconfigParseResult result = ParseKconfig(text);
+  ASSERT_TRUE(result.ok) << result.error << " in:\n" << text;
+  ASSERT_EQ(result.params.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(result.params[i].name, params[i].name);
+    EXPECT_EQ(result.params[i].kind, params[i].kind);
+    EXPECT_EQ(result.params[i].default_value, params[i].default_value);
+  }
+  EXPECT_EQ(result.params[2].depends_on, params[2].depends_on);
+}
+
+TEST(SubsystemMapping, KnownTitles) {
+  EXPECT_EQ(SubsystemFromMenuTitle("Networking support"), "net");
+  EXPECT_EQ(SubsystemFromMenuTitle("Kernel hacking"), "debug");
+  EXPECT_EQ(SubsystemFromMenuTitle("File systems"), "fs");
+  EXPECT_EQ(SubsystemFromMenuTitle("Device Drivers"), "drivers");
+  EXPECT_EQ(SubsystemFromMenuTitle("Something else"), "kernel");
+}
+
+}  // namespace
+}  // namespace wayfinder

@@ -1,0 +1,371 @@
+// Tests for the multi-metric extension (§3.2): the K-target heteroscedastic
+// loss, the MultiDtm (K objective heads + K uncertainty heads), and the
+// MultiMetricSearcher that aggregates per-metric Eq. 3 scores.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/configspace/linux_space.h"
+#include "src/configspace/unikraft_space.h"
+#include "src/core/multi_dtm.h"
+#include "src/core/multi_metric.h"
+#include "src/nn/losses.h"
+#include "src/platform/session.h"
+#include "src/simos/testbench.h"
+
+namespace wayfinder {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HeteroscedasticLossMulti.
+
+TEST(MultiLossTest, SingleColumnMatchesScalarLoss) {
+  Matrix yhat(3, 1);
+  Matrix s(3, 1);
+  std::vector<double> y = {1.0, -0.5, 2.0};
+  std::vector<std::vector<double>> y_multi = {{1.0}, {-0.5}, {2.0}};
+  std::vector<bool> mask = {true, true, true};
+  yhat.At(0, 0) = 0.8;
+  yhat.At(1, 0) = 0.0;
+  yhat.At(2, 0) = 2.5;
+  s.At(0, 0) = 0.1;
+  s.At(1, 0) = -0.2;
+  s.At(2, 0) = 0.3;
+
+  Matrix dy1, ds1, dy2, ds2;
+  double scalar = HeteroscedasticLoss(yhat, s, y, mask, &dy1, &ds1);
+  double multi = HeteroscedasticLossMulti(yhat, s, y_multi, mask, &dy2, &ds2);
+  EXPECT_NEAR(scalar, multi, 1e-12);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(dy1.At(i, 0), dy2.At(i, 0), 1e-12);
+    EXPECT_NEAR(ds1.At(i, 0), ds2.At(i, 0), 1e-12);
+  }
+}
+
+TEST(MultiLossTest, MaskedRowsContributeNothing) {
+  Matrix yhat(2, 2);
+  Matrix s(2, 2);
+  std::vector<std::vector<double>> y = {{1.0, 2.0}, {100.0, -100.0}};
+  std::vector<bool> mask = {true, false};
+  yhat.At(0, 0) = 1.0;
+  yhat.At(0, 1) = 2.0;
+  yhat.At(1, 0) = 0.0;
+  yhat.At(1, 1) = 0.0;
+
+  Matrix dy, ds;
+  double loss = HeteroscedasticLossMulti(yhat, s, y, mask, &dy, &ds);
+  // Row 0 predicts perfectly (err = 0, s = 0): loss is exactly 0.
+  EXPECT_NEAR(loss, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dy.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dy.At(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ds.At(1, 0), 0.0);
+}
+
+TEST(MultiLossTest, AllMaskedIsZero) {
+  Matrix yhat(2, 3);
+  Matrix s(2, 3);
+  std::vector<std::vector<double>> y = {{1, 2, 3}, {4, 5, 6}};
+  std::vector<bool> mask = {false, false};
+  Matrix dy, ds;
+  EXPECT_DOUBLE_EQ(HeteroscedasticLossMulti(yhat, s, y, mask, &dy, &ds), 0.0);
+}
+
+TEST(MultiLossTest, GradientMatchesFiniteDifference) {
+  Matrix yhat(2, 2);
+  Matrix s(2, 2);
+  std::vector<std::vector<double>> y = {{0.5, -1.0}, {1.5, 0.2}};
+  std::vector<bool> mask = {true, true};
+  yhat.At(0, 0) = 0.2;
+  yhat.At(0, 1) = -0.6;
+  yhat.At(1, 0) = 1.1;
+  yhat.At(1, 1) = 0.0;
+  s.At(0, 0) = 0.3;
+  s.At(0, 1) = -0.1;
+  s.At(1, 0) = 0.0;
+  s.At(1, 1) = 0.5;
+
+  Matrix dy, ds;
+  HeteroscedasticLossMulti(yhat, s, y, mask, &dy, &ds);
+
+  const double eps = 1e-6;
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t k = 0; k < 2; ++k) {
+      Matrix y_hi = yhat;
+      Matrix y_lo = yhat;
+      y_hi.At(i, k) += eps;
+      y_lo.At(i, k) -= eps;
+      Matrix tmp1, tmp2;
+      double hi = HeteroscedasticLossMulti(y_hi, s, y, mask, &tmp1, &tmp2);
+      double lo = HeteroscedasticLossMulti(y_lo, s, y, mask, &tmp1, &tmp2);
+      EXPECT_NEAR(dy.At(i, k), (hi - lo) / (2 * eps), 1e-5) << i << "," << k;
+
+      Matrix s_hi = s;
+      Matrix s_lo = s;
+      s_hi.At(i, k) += eps;
+      s_lo.At(i, k) -= eps;
+      hi = HeteroscedasticLossMulti(yhat, s_hi, y, mask, &tmp1, &tmp2);
+      lo = HeteroscedasticLossMulti(yhat, s_lo, y, mask, &tmp1, &tmp2);
+      EXPECT_NEAR(ds.At(i, k), (hi - lo) / (2 * eps), 1e-5) << i << "," << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MultiDtm.
+
+TEST(MultiDtmTest, PredictionShapesMatchMetricCount) {
+  MultiDtm model(6, 3);
+  MultiDtmPrediction prediction = model.Predict({0.1, 0.2, 0.3, 0.4, 0.5, 0.6});
+  EXPECT_EQ(prediction.objectives.size(), 3u);
+  EXPECT_EQ(prediction.sigmas.size(), 3u);
+  EXPECT_GE(prediction.crash_prob, 0.0);
+  EXPECT_LE(prediction.crash_prob, 1.0);
+}
+
+TEST(MultiDtmTest, PerMetricNormalizersAreIndependent) {
+  DtmOptions options;
+  options.steps_per_update = 1;
+  MultiDtm model(2, 2, options);
+  // Metric 0 ranges around 1000, metric 1 around 1.
+  Rng rng(31);
+  for (int i = 0; i < 40; ++i) {
+    double a = rng.Uniform(900, 1100);
+    double b = rng.Uniform(0.5, 1.5);
+    model.AddSample({rng.Uniform(), rng.Uniform()}, false, {a, b});
+  }
+  model.Update();
+  // Round trips through each normalizer recover the raw values.
+  EXPECT_NEAR(model.DenormalizeObjective(0, model.NormalizeObjective(0, 1000.0)), 1000.0,
+              1e-9);
+  EXPECT_NEAR(model.DenormalizeObjective(1, model.NormalizeObjective(1, 1.0)), 1.0, 1e-9);
+  // Scales differ by ~3 orders of magnitude.
+  double z_a = model.NormalizeObjective(0, 1100.0);
+  double z_b = model.NormalizeObjective(1, 1.5);
+  EXPECT_LT(std::abs(z_a), 10.0);
+  EXPECT_LT(std::abs(z_b), 10.0);
+}
+
+TEST(MultiDtmTest, TrainingReducesLossOnSeparableTargets) {
+  DtmOptions options;
+  options.steps_per_update = 16;
+  options.seed = 7;
+  MultiDtm model(3, 2, options);
+  Rng rng(32);
+  // Metric 0 = x0, metric 1 = -x1 (plus noise); crash when x2 > 0.8.
+  for (int i = 0; i < 120; ++i) {
+    double x0 = rng.Uniform();
+    double x1 = rng.Uniform();
+    double x2 = rng.Uniform();
+    bool crashed = x2 > 0.8;
+    model.AddSample({x0, x1, x2}, crashed, {x0 + 0.01 * rng.Normal(), -x1});
+  }
+  double first = model.Update();
+  double last = 0.0;
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    last = model.Update();
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(MultiDtmTest, SaveLoadRoundTripPreservesPredictions) {
+  DtmOptions options;
+  options.seed = 11;
+  MultiDtm model(4, 2, options);
+  Rng rng(33);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> x = {rng.Uniform(), rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    model.AddSample(x, rng.Bernoulli(0.2), {x[0], x[1]});
+  }
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    model.Update();
+  }
+
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "wf_multi_dtm_test.wfnn";
+  ASSERT_TRUE(model.Save(path.string()));
+
+  MultiDtm restored(4, 2, options);
+  ASSERT_TRUE(restored.Load(path.string()));
+  std::filesystem::remove(path);
+
+  std::vector<double> probe = {0.3, 0.7, 0.1, 0.9};
+  MultiDtmPrediction a = model.Predict(probe);
+  MultiDtmPrediction b = restored.Predict(probe);
+  EXPECT_NEAR(a.crash_prob, b.crash_prob, 1e-9);
+  for (size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR(a.objectives[k], b.objectives[k], 1e-9);
+    EXPECT_NEAR(a.sigmas[k], b.sigmas[k], 1e-9);
+  }
+}
+
+TEST(MultiDtmTest, MemoryGrowsWithReplayBuffer) {
+  MultiDtm model(3, 2);
+  size_t empty = model.MemoryBytes();
+  for (int i = 0; i < 64; ++i) {
+    model.AddSample({0.1, 0.2, 0.3}, false, {1.0, 2.0});
+  }
+  EXPECT_GT(model.MemoryBytes(), empty);
+}
+
+// ---------------------------------------------------------------------------
+// MetricSpec.
+
+TEST(MetricSpecTest, BuiltinExtractorsAndPolarity) {
+  TrialOutcome outcome;
+  outcome.metric = 15000.0;
+  outcome.memory_mb = 210.0;
+
+  MetricSpec throughput = MetricSpec::AppThroughput(2.0);
+  EXPECT_EQ(throughput.name, "throughput");
+  EXPECT_TRUE(throughput.higher_is_better);
+  EXPECT_DOUBLE_EQ(throughput.weight, 2.0);
+  EXPECT_DOUBLE_EQ(throughput.extract(outcome), 15000.0);
+
+  MetricSpec memory = MetricSpec::MemoryFootprint();
+  EXPECT_FALSE(memory.higher_is_better);
+  EXPECT_DOUBLE_EQ(memory.extract(outcome), 210.0);
+}
+
+// ---------------------------------------------------------------------------
+// MultiMetricSearcher.
+
+TEST(MultiMetricSearcherTest, AggregateScorePrefersDominatingOutcomes) {
+  ConfigSpace space = BuildUnikraftSpace();
+  MultiMetricSearcher searcher(
+      &space, {MetricSpec::AppThroughput(), MetricSpec::MemoryFootprint()});
+
+  // Feed some history so the z-scores are meaningful.
+  std::vector<TrialRecord> history;
+  Rng rng(41);
+  SearchContext context;
+  context.space = &space;
+  context.history = &history;
+  context.rng = &rng;
+  for (int i = 0; i < 20; ++i) {
+    TrialRecord trial;
+    trial.config = space.RandomConfiguration(rng);
+    trial.outcome.status = TrialOutcome::Status::kOk;
+    trial.outcome.metric = rng.Uniform(10000, 20000);
+    trial.outcome.memory_mb = rng.Uniform(150, 250);
+    trial.objective = trial.outcome.metric;
+    searcher.Observe(trial, context);
+  }
+
+  TrialOutcome dominator;
+  dominator.metric = 25000.0;  // More throughput...
+  dominator.memory_mb = 100.0;  // ...and less memory.
+  TrialOutcome dominated;
+  dominated.metric = 9000.0;
+  dominated.memory_mb = 300.0;
+  EXPECT_GT(searcher.AggregateScore(dominator), searcher.AggregateScore(dominated));
+}
+
+TEST(MultiMetricSearcherTest, WeightsShiftTheTradeoff) {
+  ConfigSpace space = BuildUnikraftSpace();
+  // All weight on memory: a slow-but-tiny outcome must outrank a
+  // fast-but-huge one.
+  MultiMetricSearcher searcher(
+      &space, {MetricSpec::AppThroughput(0.0), MetricSpec::MemoryFootprint(1.0)});
+  std::vector<TrialRecord> history;
+  Rng rng(42);
+  SearchContext context;
+  context.space = &space;
+  context.history = &history;
+  context.rng = &rng;
+  for (int i = 0; i < 20; ++i) {
+    TrialRecord trial;
+    trial.config = space.RandomConfiguration(rng);
+    trial.outcome.status = TrialOutcome::Status::kOk;
+    trial.outcome.metric = rng.Uniform(10000, 20000);
+    trial.outcome.memory_mb = rng.Uniform(150, 250);
+    trial.objective = trial.outcome.metric;
+    searcher.Observe(trial, context);
+  }
+
+  TrialOutcome tiny;
+  tiny.metric = 5000.0;
+  tiny.memory_mb = 120.0;
+  TrialOutcome fast;
+  fast.metric = 30000.0;
+  fast.memory_mb = 280.0;
+  EXPECT_GT(searcher.AggregateScore(tiny), searcher.AggregateScore(fast));
+}
+
+TEST(MultiMetricSearcherTest, SessionProposalsStayValid) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  MultiMetricOptions options;
+  options.warmup = 5;
+  options.pool_size = 32;
+  options.model.steps_per_update = 4;
+  MultiMetricSearcher searcher(
+      &space, {MetricSpec::AppThroughput(), MetricSpec::MemoryFootprint()}, options);
+
+  Testbench bench(&space, AppId::kNginx);
+  SessionOptions session;
+  session.max_iterations = 25;
+  session.sample_options = SampleOptions::FavorRuntime();
+  session.seed = 43;
+  SearchSession run(&bench, &searcher, session);
+  while (run.Step()) {
+    ASSERT_TRUE(space.IsValid(run.history().back().config));
+  }
+  EXPECT_EQ(run.history().size(), 25u);
+}
+
+TEST(MultiMetricSearcherTest, TransferLearningRoundTrip) {
+  ConfigSpace space = BuildUnikraftSpace();
+  std::vector<MetricSpec> metrics = {MetricSpec::AppThroughput(),
+                                     MetricSpec::MemoryFootprint()};
+  MultiMetricOptions options;
+  options.model.steps_per_update = 2;
+  MultiMetricSearcher donor(&space, metrics, options);
+
+  // Train the donor a little so the weights are distinctive.
+  std::vector<TrialRecord> history;
+  Rng rng(44);
+  SearchContext context;
+  context.space = &space;
+  context.history = &history;
+  context.rng = &rng;
+  for (int i = 0; i < 15; ++i) {
+    TrialRecord trial;
+    trial.config = space.RandomConfiguration(rng);
+    trial.outcome.status = TrialOutcome::Status::kOk;
+    trial.outcome.metric = rng.Uniform(10000, 20000);
+    trial.outcome.memory_mb = rng.Uniform(150, 250);
+    trial.objective = trial.outcome.metric;
+    donor.Observe(trial, context);
+  }
+
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "wf_multi_tl_test.wfnn";
+  ASSERT_TRUE(donor.SaveModel(path.string()));
+
+  MultiMetricSearcher adopter(&space, metrics, options);
+  EXPECT_FALSE(adopter.transferred());
+  ASSERT_TRUE(adopter.LoadModel(path.string()));
+  EXPECT_TRUE(adopter.transferred());
+  std::filesystem::remove(path);
+
+  Configuration probe = space.DefaultConfiguration();
+  MultiDtmPrediction a = donor.PredictConfig(probe);
+  MultiDtmPrediction b = adopter.PredictConfig(probe);
+  EXPECT_NEAR(a.crash_prob, b.crash_prob, 1e-9);
+  for (size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR(a.objectives[k], b.objectives[k], 1e-9);
+  }
+}
+
+TEST(MultiMetricSearcherTest, PredictConfigEmitsPerMetricVerdicts) {
+  ConfigSpace space = BuildUnikraftSpace();
+  MultiMetricSearcher searcher(
+      &space, {MetricSpec::AppThroughput(), MetricSpec::MemoryFootprint()});
+  MultiDtmPrediction prediction = searcher.PredictConfig(space.DefaultConfiguration());
+  EXPECT_EQ(prediction.objectives.size(), 2u);
+  EXPECT_EQ(prediction.sigmas.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wayfinder

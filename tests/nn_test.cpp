@@ -1,0 +1,321 @@
+// Tests for the NN building blocks: matrix kernels, layers (including
+// gradient checks against finite differences), losses, Adam, serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/nn/layers.h"
+#include "src/nn/losses.h"
+#include "src/nn/matrix.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/serialize.h"
+
+namespace wayfinder {
+namespace {
+
+TEST(MatrixTest, MatMulKnownValues) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  int v = 1;
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = v++;
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = v++;
+  }
+  Matrix c = MatMul(a, b);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 154.0);
+}
+
+TEST(MatrixTest, TransposedProductsAgree) {
+  Rng rng(3);
+  Matrix a(4, 5);
+  Matrix b(6, 5);
+  for (double& v : a.data()) {
+    v = rng.Normal();
+  }
+  for (double& v : b.data()) {
+    v = rng.Normal();
+  }
+  // a * b^T via MatMulBt must equal explicit transpose multiplication.
+  Matrix bt(5, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      bt.At(j, i) = b.At(i, j);
+    }
+  }
+  Matrix direct = MatMul(a, bt);
+  Matrix fused = MatMulBt(a, b);
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct.data()[i], fused.data()[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, ConcatAndSliceRoundTrip) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 3, 2.0);
+  Matrix c = ConcatCols(a, b);
+  ASSERT_EQ(c.cols(), 5u);
+  Matrix back = SliceCols(c, 2, 5);
+  for (size_t i = 0; i < back.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.data()[i], 2.0);
+  }
+}
+
+TEST(MatrixTest, ColSumAndAddRow) {
+  Matrix m(3, 2);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<double>(i);
+  }
+  Matrix sums = ColSum(m);
+  EXPECT_DOUBLE_EQ(sums.At(0, 0), 0.0 + 2.0 + 4.0);
+  EXPECT_DOUBLE_EQ(sums.At(0, 1), 1.0 + 3.0 + 5.0);
+  Matrix bias(1, 2);
+  bias.At(0, 0) = 10.0;
+  bias.At(0, 1) = 20.0;
+  AddRowInPlace(m, bias);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 25.0);
+}
+
+// Finite-difference gradient check for a Dense+ReLU stack against a scalar
+// loss L = sum(relu(xW+b)).
+TEST(GradCheck, DenseRelu) {
+  Rng rng(11);
+  DenseLayer dense(4, 3, rng);
+  ReluLayer relu;
+  Matrix x(2, 4);
+  for (double& v : x.data()) {
+    v = rng.Normal();
+  }
+  auto loss_fn = [&]() {
+    Matrix y = relu.Forward(dense.Forward(x));
+    double loss = 0.0;
+    for (double v : y.data()) {
+      loss += v;
+    }
+    return loss;
+  };
+  // Analytic gradient.
+  double base = loss_fn();
+  (void)base;
+  Matrix dy(2, 3, 1.0);
+  dense.weight().ZeroGrad();
+  dense.bias().ZeroGrad();
+  dense.Backward(relu.Backward(dy));
+
+  const double eps = 1e-6;
+  for (size_t i = 0; i < dense.weight().value.size(); ++i) {
+    double saved = dense.weight().value.data()[i];
+    dense.weight().value.data()[i] = saved + eps;
+    double up = loss_fn();
+    dense.weight().value.data()[i] = saved - eps;
+    double down = loss_fn();
+    dense.weight().value.data()[i] = saved;
+    double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(dense.weight().grad.data()[i], numeric, 1e-4) << "weight " << i;
+  }
+}
+
+// Gradient check for the RBF layer (both input and centroid gradients).
+TEST(GradCheck, RbfLayer) {
+  Rng rng(13);
+  RbfLayer rbf(3, 4, /*gamma=*/0.9, rng);
+  Matrix z(2, 3);
+  for (double& v : z.data()) {
+    v = rng.Normal(0.0, 0.5);
+  }
+  auto loss_fn = [&](const Matrix& input) {
+    Matrix phi = rbf.Forward(input);
+    double loss = 0.0;
+    for (double v : phi.data()) {
+      loss += v * v;
+    }
+    return 0.5 * loss;
+  };
+  Matrix phi = rbf.Forward(z);
+  Matrix dphi = phi;  // dL/dphi = phi for L = 0.5 sum phi^2.
+  rbf.centroids().ZeroGrad();
+  Matrix dz = rbf.Backward(dphi);
+
+  const double eps = 1e-6;
+  for (size_t i = 0; i < z.size(); ++i) {
+    Matrix zp = z;
+    zp.data()[i] += eps;
+    Matrix zm = z;
+    zm.data()[i] -= eps;
+    double numeric = (loss_fn(zp) - loss_fn(zm)) / (2.0 * eps);
+    EXPECT_NEAR(dz.data()[i], numeric, 1e-5) << "input " << i;
+  }
+  for (size_t i = 0; i < rbf.centroids().value.size(); ++i) {
+    double saved = rbf.centroids().value.data()[i];
+    rbf.centroids().value.data()[i] = saved + eps;
+    double up = loss_fn(z);
+    rbf.centroids().value.data()[i] = saved - eps;
+    double down = loss_fn(z);
+    rbf.centroids().value.data()[i] = saved;
+    double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(rbf.centroids().grad.data()[i], numeric, 1e-5) << "centroid " << i;
+  }
+}
+
+TEST(RbfLayerTest, OutlierActivationsVanish) {
+  Rng rng(17);
+  RbfLayer rbf(4, 3, 0.5, rng);
+  Matrix near(1, 4, 0.0);
+  Matrix far(1, 4, 50.0);
+  double near_max = 0.0;
+  double far_max = 0.0;
+  Matrix near_phi = rbf.Forward(near);
+  for (double v : near_phi.data()) {
+    near_max = std::max(near_max, v);
+  }
+  Matrix far_phi = rbf.Forward(far);
+  for (double v : far_phi.data()) {
+    far_max = std::max(far_max, v);
+  }
+  EXPECT_GT(near_max, 1e-3);
+  EXPECT_LT(far_max, 1e-10);
+}
+
+TEST(ChamferTest, PullsCentroidsTowardData) {
+  Rng rng(19);
+  RbfLayer rbf(2, 2, 1.0, rng);
+  // Batch clustered at (5, 5); centroids start near the origin.
+  Matrix z(8, 2, 5.0);
+  rbf.Forward(z);
+  for (int step = 0; step < 200; ++step) {
+    rbf.centroids().ZeroGrad();
+    rbf.Forward(z);
+    double loss = rbf.AccumulateChamferGradient(1.0);
+    (void)loss;
+    for (size_t i = 0; i < rbf.centroids().value.size(); ++i) {
+      rbf.centroids().value.data()[i] -= 0.05 * rbf.centroids().grad.data()[i];
+    }
+  }
+  for (double v : rbf.centroids().value.data()) {
+    EXPECT_NEAR(v, 5.0, 0.2);
+  }
+}
+
+TEST(DropoutTest, IdentityWhenEvaluating) {
+  DropoutLayer dropout(0.5);
+  Rng rng(23);
+  Matrix x(4, 4, 1.0);
+  Matrix y = dropout.Forward(x, rng, /*training=*/false);
+  for (double v : y.data()) {
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+}
+
+TEST(DropoutTest, InvertedScalingPreservesExpectation) {
+  DropoutLayer dropout(0.25);
+  Rng rng(29);
+  Matrix x(64, 64, 1.0);
+  double sum = 0.0;
+  Matrix y = dropout.Forward(x, rng, /*training=*/true);
+  for (double v : y.data()) {
+    sum += v;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(x.size()), 1.0, 0.05);
+}
+
+TEST(LossTest, SoftmaxCrossEntropyKnown) {
+  Matrix logits(1, 2);
+  logits.At(0, 0) = 0.0;
+  logits.At(0, 1) = 0.0;
+  Matrix dlogits;
+  double loss = SoftmaxCrossEntropy(logits, {1}, &dlogits);
+  EXPECT_NEAR(loss, std::log(2.0), 1e-12);
+  EXPECT_NEAR(dlogits.At(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(dlogits.At(0, 1), -0.5, 1e-12);
+}
+
+TEST(LossTest, HeteroscedasticGradientSigns) {
+  Matrix yhat(2, 1);
+  Matrix s(2, 1, 0.0);
+  yhat.At(0, 0) = 2.0;  // Over-prediction of y=1.
+  yhat.At(1, 0) = 0.0;  // Masked row.
+  Matrix dyhat;
+  Matrix ds;
+  double loss =
+      HeteroscedasticLoss(yhat, s, {1.0, 5.0}, {true, false}, &dyhat, &ds);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_GT(dyhat.At(0, 0), 0.0);   // Push prediction down.
+  EXPECT_DOUBLE_EQ(dyhat.At(1, 0), 0.0);  // Masked: no gradient.
+  // Error (1.0) matches exp(-s)=1 -> ds = 0.5(1-1) = 0.
+  EXPECT_NEAR(ds.At(0, 0), 0.0, 1e-12);
+}
+
+TEST(LossTest, HeteroscedasticLearnsVariance) {
+  // With fixed yhat != y, minimizing over s should settle near log(err^2).
+  double y = 0.0;
+  double yhat = 2.0;
+  double s = 0.0;
+  for (int step = 0; step < 4000; ++step) {
+    double precision = std::exp(-s);
+    double grad_s = 0.5 * (1.0 - precision * (yhat - y) * (yhat - y));
+    s -= 0.01 * grad_s;
+  }
+  EXPECT_NEAR(s, std::log(4.0), 0.01);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  ParamBlock p;
+  p.value.Resize(1, 2);
+  p.value.At(0, 0) = 5.0;
+  p.value.At(0, 1) = -3.0;
+  p.grad.Resize(1, 2);
+  AdamOptions options;
+  options.learning_rate = 0.05;
+  Adam adam({&p}, options);
+  for (int step = 0; step < 500; ++step) {
+    p.grad.At(0, 0) = 2.0 * (p.value.At(0, 0) - 1.0);
+    p.grad.At(0, 1) = 2.0 * (p.value.At(0, 1) - 2.0);
+    adam.Step();
+  }
+  EXPECT_NEAR(p.value.At(0, 0), 1.0, 0.05);
+  EXPECT_NEAR(p.value.At(0, 1), 2.0, 0.05);
+}
+
+TEST(AdamTest, GradClipBoundsUpdate) {
+  ParamBlock p;
+  p.value.Resize(1, 1);
+  p.grad.Resize(1, 1);
+  p.grad.At(0, 0) = 1e9;
+  AdamOptions options;
+  options.grad_clip = 1.0;
+  options.learning_rate = 0.1;
+  Adam adam({&p}, options);
+  adam.Step();
+  EXPECT_LT(std::abs(p.value.At(0, 0)), 1.0);
+}
+
+TEST(SerializeTest, RoundTripsAndRejectsMismatch) {
+  Rng rng(31);
+  DenseLayer a(3, 2, rng);
+  DenseLayer b(3, 2, rng);
+  std::stringstream buffer;
+  std::vector<ParamBlock*> a_params = a.Params();
+  SaveParams(a_params, buffer);
+  std::vector<ParamBlock*> b_params = b.Params();
+  ASSERT_TRUE(LoadParams(b_params, buffer));
+  for (size_t i = 0; i < a.weight().value.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.weight().value.data()[i], b.weight().value.data()[i]);
+  }
+  // Shape mismatch must be rejected without touching the target.
+  DenseLayer c(4, 2, rng);
+  std::stringstream buffer2;
+  SaveParams(a_params, buffer2);
+  std::vector<ParamBlock*> c_params = c.Params();
+  double before = c.weight().value.data()[0];
+  EXPECT_FALSE(LoadParams(c_params, buffer2));
+  EXPECT_DOUBLE_EQ(c.weight().value.data()[0], before);
+}
+
+}  // namespace
+}  // namespace wayfinder

@@ -1,0 +1,193 @@
+// Tests for Pareto-front extraction and multi-metric job files.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/core/pareto.h"
+#include "src/core/wayfinder_api.h"
+
+namespace wayfinder {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParetoFrontIndices (all coordinates maximized).
+
+TEST(ParetoTest, SinglePointIsItsOwnFront) {
+  EXPECT_EQ(ParetoFrontIndices({{1.0, 2.0}}), (std::vector<size_t>{0}));
+}
+
+TEST(ParetoTest, DominatedPointsAreDropped) {
+  // (3,3) dominates everything else.
+  std::vector<size_t> front =
+      ParetoFrontIndices({{1.0, 1.0}, {3.0, 3.0}, {2.0, 2.0}, {3.0, 2.0}});
+  EXPECT_EQ(front, (std::vector<size_t>{1}));
+}
+
+TEST(ParetoTest, TradeoffCurveSurvives) {
+  // Classic staircase: each point best in one coordinate.
+  std::vector<size_t> front =
+      ParetoFrontIndices({{1.0, 4.0}, {2.0, 3.0}, {3.0, 2.0}, {4.0, 1.0}, {1.0, 1.0}});
+  EXPECT_EQ(front, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(ParetoTest, DuplicatesAreAllKept) {
+  std::vector<size_t> front = ParetoFrontIndices({{2.0, 2.0}, {2.0, 2.0}, {1.0, 1.0}});
+  EXPECT_EQ(front, (std::vector<size_t>{0, 1}));
+}
+
+TEST(ParetoTest, EmptyInputYieldsEmptyFront) {
+  EXPECT_TRUE(ParetoFrontIndices({}).empty());
+}
+
+TEST(ParetoTest, SingleObjectiveFrontIsTheMax) {
+  std::vector<size_t> front = ParetoFrontIndices({{1.0}, {5.0}, {3.0}});
+  EXPECT_EQ(front, (std::vector<size_t>{1}));
+}
+
+TEST(ParetoTest, FrontFromHistoryHandlesPolarityAndCrashes) {
+  std::vector<MetricSpec> metrics = {MetricSpec::AppThroughput(),
+                                     MetricSpec::MemoryFootprint()};
+  std::vector<TrialRecord> history(4);
+  // #0: fast and big.
+  history[0].outcome.status = TrialOutcome::Status::kOk;
+  history[0].outcome.metric = 20000;
+  history[0].outcome.memory_mb = 250;
+  history[0].objective = 20000;
+  // #1: slow and small.
+  history[1].outcome.status = TrialOutcome::Status::kOk;
+  history[1].outcome.metric = 12000;
+  history[1].outcome.memory_mb = 180;
+  history[1].objective = 12000;
+  // #2: dominated (slower AND bigger than #0... and than #1 in memory).
+  history[2].outcome.status = TrialOutcome::Status::kOk;
+  history[2].outcome.metric = 11000;
+  history[2].outcome.memory_mb = 260;
+  history[2].objective = 11000;
+  // #3: would dominate everything, but crashed.
+  history[3].outcome.status = TrialOutcome::Status::kRunCrashed;
+  history[3].outcome.metric = 99999;
+  history[3].outcome.memory_mb = 1;
+
+  std::vector<size_t> front = ParetoFront(history, metrics);
+  EXPECT_EQ(front, (std::vector<size_t>{0, 1}));
+}
+
+TEST(ParetoTest, FrontOfARealSessionIsNonEmptyAndNonDominated) {
+  JobSpec spec;
+  spec.name = "pareto-session";
+  spec.app = AppId::kNginx;
+  spec.algorithm = "random";
+  spec.favor = "runtime";  // Fully random compile sampling rarely survives.
+  spec.iterations = 60;
+  spec.seed = 111;
+  JobRunResult run = RunJob(spec);
+  ASSERT_TRUE(run.ok) << run.error;
+
+  std::vector<MetricSpec> metrics = {MetricSpec::AppThroughput(),
+                                     MetricSpec::MemoryFootprint()};
+  std::vector<size_t> front = ParetoFront(run.session.history, metrics);
+  ASSERT_FALSE(front.empty());
+  // Every front member is successful and not dominated by any other trial.
+  for (size_t i : front) {
+    const TrialRecord& a = run.session.history[i];
+    ASSERT_FALSE(a.crashed());
+    for (const TrialRecord& b : run.session.history) {
+      if (b.crashed()) {
+        continue;
+      }
+      bool dominates = b.outcome.metric >= a.outcome.metric &&
+                       b.outcome.memory_mb <= a.outcome.memory_mb &&
+                       (b.outcome.metric > a.outcome.metric ||
+                        b.outcome.memory_mb < a.outcome.memory_mb);
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-metric job files.
+
+TEST(MultiMetricJobTest, ParsesMetricsList) {
+  JobParseResult parsed = ParseJobText(
+      "name: multi-job\n"
+      "application: nginx\n"
+      "metric: multi\n"
+      "metrics:\n"
+      "  - name: throughput\n"
+      "    weight: 1.0\n"
+      "  - name: memory\n"
+      "    weight: 0.5\n"
+      "budget:\n"
+      "  iterations: 10\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_TRUE(parsed.spec.IsMultiMetric());
+  ASSERT_EQ(parsed.spec.metrics.size(), 2u);
+  EXPECT_EQ(parsed.spec.metrics[0].name, "throughput");
+  EXPECT_DOUBLE_EQ(parsed.spec.metrics[1].weight, 0.5);
+  EXPECT_EQ(parsed.spec.objective, ObjectiveKind::kScore);
+}
+
+TEST(MultiMetricJobTest, MultiWithoutMetricsListFails) {
+  JobParseResult parsed = ParseJobText(
+      "name: broken\n"
+      "metric: multi\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("metrics"), std::string::npos);
+}
+
+TEST(MultiMetricJobTest, UnknownMetricNameFails) {
+  JobParseResult parsed = ParseJobText(
+      "name: broken\n"
+      "metric: multi\n"
+      "metrics:\n"
+      "  - name: latency_p99\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("latency_p99"), std::string::npos);
+}
+
+TEST(MultiMetricJobTest, NegativeWeightFails) {
+  JobParseResult parsed = ParseJobText(
+      "name: broken\n"
+      "metric: multi\n"
+      "metrics:\n"
+      "  - name: memory\n"
+      "    weight: -1\n");
+  EXPECT_FALSE(parsed.ok);
+}
+
+TEST(MultiMetricJobTest, RunsEndToEndWithDeepTune) {
+  JobParseResult parsed = ParseJobText(
+      "name: multi-e2e\n"
+      "application: nginx\n"
+      "metric: multi\n"
+      "metrics:\n"
+      "  - name: throughput\n"
+      "  - name: memory\n"
+      "budget:\n"
+      "  iterations: 20\n"
+      "search:\n"
+      "  algorithm: deeptune\n"
+      "  favor: runtime\n"
+      "  seed: 5\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  JobRunResult run = RunJob(parsed.spec);
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(run.session.history.size(), 20u);
+}
+
+TEST(MultiMetricJobTest, NonDeepTuneAlgorithmIsRejected) {
+  JobParseResult parsed = ParseJobText(
+      "name: multi-bad-algo\n"
+      "metric: multi\n"
+      "metrics:\n"
+      "  - name: throughput\n"
+      "search:\n"
+      "  algorithm: random\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  JobRunResult run = RunJob(parsed.spec);
+  EXPECT_FALSE(run.ok);
+  EXPECT_NE(run.error.find("deeptune"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wayfinder

@@ -1,0 +1,269 @@
+// Tests for the orchestration layer: sessions (build-skip, budgets,
+// objectives), grid search, series extraction, and job files.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/configspace/linux_space.h"
+#include "src/platform/grid_search.h"
+#include "src/platform/job_file.h"
+#include "src/platform/random_search.h"
+#include "src/platform/session.h"
+
+namespace wayfinder {
+namespace {
+
+TEST(Session, RunsForExactIterationBudget) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 30;
+  options.seed = 1;
+  SessionResult result = RunSearch(&bench, &searcher, options);
+  EXPECT_EQ(result.history.size(), 30u);
+  EXPECT_GT(result.total_sim_seconds, 0.0);
+}
+
+TEST(Session, StopsAtSimTimeBudget) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 100000;
+  options.max_sim_seconds = 2000.0;
+  options.seed = 2;
+  SessionResult result = RunSearch(&bench, &searcher, options);
+  EXPECT_LT(result.history.size(), 200u);
+  // The last trial may overshoot the budget, but not by more than one trial.
+  EXPECT_LT(result.total_sim_seconds, 2000.0 + 1200.0);
+}
+
+TEST(Session, BuildSkippedForRuntimeOnlyChanges) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 60;
+  // Pure-runtime sampling: after the first image every trial reuses it.
+  options.sample_options = SampleOptions{0.0, 0.0, 1.0};
+  options.seed = 3;
+  SessionResult result = RunSearch(&bench, &searcher, options);
+  EXPECT_GE(result.builds_skipped, 50u);
+  EXPECT_LE(result.builds, 10u);
+}
+
+TEST(Session, BestIndexTracksMaxObjective) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 50;
+  options.seed = 4;
+  SessionResult result = RunSearch(&bench, &searcher, options);
+  ASSERT_TRUE(result.best_index.has_value());
+  const TrialRecord* best = result.best();
+  for (const TrialRecord& trial : result.history) {
+    if (trial.HasObjective()) {
+      EXPECT_LE(trial.objective, best->objective);
+    }
+  }
+  EXPECT_GT(result.TimeToBest(), 0.0);
+}
+
+TEST(Session, SqliteObjectivePolarityIsMinimize) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kSqlite);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 40;
+  options.seed = 5;
+  SessionResult result = RunSearch(&bench, &searcher, options);
+  ASSERT_TRUE(result.best_index.has_value());
+  // Best objective = -latency; the best trial must have the lowest latency.
+  const TrialRecord* best = result.best();
+  for (const TrialRecord& trial : result.history) {
+    if (trial.outcome.ok()) {
+      EXPECT_GE(trial.outcome.metric, best->outcome.metric - 1e-9);
+    }
+  }
+}
+
+TEST(Session, MemoryObjectiveSkipsBenchmarkPhase) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  TestbenchOptions bench_options;
+  bench_options.substrate = Substrate::kLinuxRiscvQemu;
+  Testbench bench(&space, AppId::kNginx, bench_options);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 20;
+  options.objective = ObjectiveKind::kMemoryFootprint;
+  options.sample_options = SampleOptions::FavorCompileTime();
+  options.seed = 6;
+  SessionResult result = RunSearch(&bench, &searcher, options);
+  for (const TrialRecord& trial : result.history) {
+    EXPECT_DOUBLE_EQ(trial.outcome.run_seconds, 0.0);
+    if (trial.HasObjective()) {
+      EXPECT_NEAR(trial.objective, -trial.outcome.memory_mb, 1e-9);
+    }
+  }
+}
+
+TEST(Session, ScoreObjectiveIsMinMaxNormalized) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 40;
+  options.objective = ObjectiveKind::kScore;
+  options.sample_options = SampleOptions::FavorRuntime();
+  options.seed = 7;
+  SessionResult result = RunSearch(&bench, &searcher, options);
+  for (const TrialRecord& trial : result.history) {
+    if (trial.HasObjective()) {
+      EXPECT_GE(trial.objective, -1.0 - 1e-9);
+      EXPECT_LE(trial.objective, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Session, CrashRateMatchesHistory) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 80;
+  options.sample_options = SampleOptions::FavorRuntime();
+  options.seed = 8;
+  SessionResult result = RunSearch(&bench, &searcher, options);
+  size_t crashed = 0;
+  for (const TrialRecord& trial : result.history) {
+    crashed += trial.crashed() ? 1 : 0;
+  }
+  EXPECT_EQ(result.crashes, crashed);
+  EXPECT_NEAR(result.CrashRate(), static_cast<double>(crashed) / 80.0, 1e-12);
+}
+
+TEST(SeriesExtraction, ObjectiveAndCrashSeries) {
+  std::vector<TrialRecord> history(4);
+  history[0].objective = 1.0;
+  history[0].sim_time_end = 10.0;
+  history[1].objective = std::nan("");
+  history[1].outcome.status = TrialOutcome::Status::kRunCrashed;
+  history[2].objective = 2.0;
+  history[2].sim_time_end = 30.0;
+  history[3].objective = 1.5;
+  history[3].sim_time_end = 40.0;
+  std::vector<SeriesPoint> series = ObjectiveSeries(history);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[1].time, 30.0);
+  std::vector<double> crash = CrashRateSeries(history, 4);
+  EXPECT_NEAR(crash.back(), 0.25, 1e-12);
+}
+
+TEST(GridSearch, SweepsOneParameterAtATime) {
+  ConfigSpace space;
+  space.Add(ParamSpec::Bool("a", ParamPhase::kRuntime, "net", false));
+  space.Add(ParamSpec::Int("b", ParamPhase::kRuntime, "net", 0, 100, 50));
+  GridSearcher searcher(3);
+  std::vector<TrialRecord> history;
+  Rng rng(9);
+  SearchContext context;
+  context.space = &space;
+  context.history = &history;
+  context.rng = &rng;
+  Configuration def = space.DefaultConfiguration();
+  // First proposals only vary "a".
+  Configuration p1 = searcher.Propose(context);
+  Configuration p2 = searcher.Propose(context);
+  EXPECT_EQ(p1.Get("b"), def.Get("b"));
+  EXPECT_EQ(p2.Get("b"), def.Get("b"));
+  EXPECT_NE(p1.Get("a"), p2.Get("a"));
+  // Then "b" sweeps its grid while "a" returns to default.
+  Configuration p3 = searcher.Propose(context);
+  EXPECT_EQ(p3.Get("a"), def.Get("a"));
+}
+
+TEST(GridSearch, CombinationPhaseUsesObservedBest) {
+  ConfigSpace space;
+  space.Add(ParamSpec::Bool("a", ParamPhase::kRuntime, "net", false));
+  space.Add(ParamSpec::Bool("b", ParamPhase::kRuntime, "net", false));
+  GridSearcher searcher(2);
+  std::vector<TrialRecord> history;
+  Rng rng(10);
+  SearchContext context;
+  context.space = &space;
+  context.history = &history;
+  context.rng = &rng;
+  // Drive the sweep manually: objective = a + b.
+  for (int i = 0; i < 4; ++i) {
+    TrialRecord record;
+    record.config = searcher.Propose(context);
+    record.outcome.status = TrialOutcome::Status::kOk;
+    record.objective =
+        static_cast<double>(record.config.Get("a") + record.config.Get("b"));
+    searcher.Observe(record, context);
+  }
+  // Exhausted: combination proposals should favor a=1/b=1 (modulo the one
+  // random perturbation it injects).
+  int both_on = 0;
+  for (int i = 0; i < 10; ++i) {
+    Configuration combo = searcher.Propose(context);
+    both_on += (combo.Get("a") + combo.Get("b") == 2) ? 1 : 0;
+  }
+  EXPECT_GT(both_on, 3);
+}
+
+TEST(JobFile, ParsesFullSpec) {
+  JobParseResult result = ParseJobText(R"(name: memtest
+os: linux-riscv
+application: redis
+metric: memory
+budget:
+  iterations: 99
+  sim_seconds: 5000
+search:
+  algorithm: bayesopt
+  favor: compile
+  seed: 77
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  const JobSpec& spec = result.spec;
+  EXPECT_EQ(spec.name, "memtest");
+  EXPECT_EQ(spec.SubstrateKind(), Substrate::kLinuxRiscvQemu);
+  EXPECT_EQ(spec.app, AppId::kRedis);
+  EXPECT_EQ(spec.objective, ObjectiveKind::kMemoryFootprint);
+  EXPECT_EQ(spec.algorithm, "bayesopt");
+  EXPECT_EQ(spec.iterations, 99u);
+  EXPECT_DOUBLE_EQ(spec.sim_seconds, 5000.0);
+  EXPECT_EQ(spec.seed, 77u);
+  SessionOptions options = spec.ToSessionOptions();
+  EXPECT_EQ(options.objective, ObjectiveKind::kMemoryFootprint);
+  EXPECT_LT(options.sample_options.runtime_prob, 0.1);
+}
+
+TEST(JobFile, DefaultsAreSane) {
+  JobParseResult result = ParseJobText("name: minimal\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.spec.os, "linux");
+  EXPECT_EQ(result.spec.app, AppId::kNginx);
+  EXPECT_EQ(result.spec.algorithm, "deeptune");
+  EXPECT_EQ(result.spec.iterations, 250u);
+}
+
+TEST(JobFile, RejectsUnknowns) {
+  EXPECT_FALSE(ParseJobText("os: plan9\n").ok);
+  EXPECT_FALSE(ParseJobText("application: doom\n").ok);
+  EXPECT_FALSE(ParseJobText("metric: vibes\n").ok);
+  EXPECT_FALSE(ParseJobText("freeze:\n  - value: 2\n").ok);
+}
+
+TEST(JobFile, UnikraftSpaceSelected) {
+  JobParseResult result = ParseJobText("os: unikraft\n");
+  ASSERT_TRUE(result.ok);
+  ConfigSpace space = BuildJobSpace(result.spec);
+  EXPECT_EQ(space.Size(), 33u);
+}
+
+}  // namespace
+}  // namespace wayfinder

@@ -1,0 +1,164 @@
+// Tests for cross-platform performance transfer (§3.5 future work): the
+// least-squares fit, calibration over two testbenches, and history mapping.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/configspace/linux_space.h"
+#include "src/core/platform_transfer.h"
+#include "src/platform/random_search.h"
+#include "src/platform/session.h"
+
+namespace wayfinder {
+namespace {
+
+TEST(LinearTransferTest, RecoversAKnownLinearMap) {
+  std::vector<double> source = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> target;
+  for (double x : source) {
+    target.push_back(2.5 * x + 10.0);
+  }
+  LinearTransfer transfer = FitLinearTransfer(source, target);
+  EXPECT_NEAR(transfer.slope, 2.5, 1e-9);
+  EXPECT_NEAR(transfer.intercept, 10.0, 1e-9);
+  EXPECT_NEAR(transfer.correlation, 1.0, 1e-9);
+  EXPECT_TRUE(transfer.Reliable());
+  EXPECT_NEAR(transfer.Predict(10.0), 35.0, 1e-9);
+}
+
+TEST(LinearTransferTest, NoisyMapStillCorrelates) {
+  Rng rng(501);
+  std::vector<double> source;
+  std::vector<double> target;
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.Uniform(1000, 2000);
+    source.push_back(x);
+    target.push_back(0.5 * x - 100.0 + rng.Normal(0.0, 20.0));
+  }
+  LinearTransfer transfer = FitLinearTransfer(source, target);
+  EXPECT_NEAR(transfer.slope, 0.5, 0.05);
+  EXPECT_GT(transfer.correlation, 0.95);
+}
+
+TEST(LinearTransferTest, DegenerateInputsFallBackToIdentity) {
+  LinearTransfer empty = FitLinearTransfer({}, {});
+  EXPECT_DOUBLE_EQ(empty.slope, 1.0);
+  EXPECT_DOUBLE_EQ(empty.intercept, 0.0);
+  EXPECT_FALSE(empty.Reliable());
+
+  LinearTransfer single = FitLinearTransfer({5.0}, {7.0});
+  EXPECT_FALSE(single.Reliable());
+
+  // Zero source variance: slope cannot be estimated.
+  LinearTransfer flat = FitLinearTransfer({3, 3, 3, 3}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(flat.slope, 1.0);
+  EXPECT_DOUBLE_EQ(flat.correlation, 0.0);
+}
+
+TEST(LinearTransferTest, AnticorrelatedPlatformsAreUnreliable) {
+  std::vector<double> source = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<double> target = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+  LinearTransfer transfer = FitLinearTransfer(source, target);
+  EXPECT_LT(transfer.correlation, 0.0);
+  EXPECT_FALSE(transfer.Reliable());
+}
+
+TEST(PlatformTransferTest, CalibratesAcrossSubstrates) {
+  // x86 KVM -> RISC-V QEMU for the same app and space: the substrates share
+  // the configuration-sensitivity structure, so the metrics correlate and
+  // the linear transfer is reliable.
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench x86(&space, AppId::kNginx,
+                TestbenchOptions{.substrate = Substrate::kLinuxKvm, .seed = 601});
+  Testbench riscv(&space, AppId::kNginx,
+                  TestbenchOptions{.substrate = Substrate::kLinuxRiscvQemu, .seed = 601});
+  LinearTransfer transfer = CalibrateTransfer(x86, riscv, /*pairs=*/24, /*seed=*/602);
+  EXPECT_GE(transfer.pairs, 8u);
+  EXPECT_TRUE(transfer.Reliable())
+      << "pairs=" << transfer.pairs << " corr=" << transfer.correlation;
+
+  // The transferred prediction lands near the real RISC-V measurement for a
+  // fresh configuration (within the substrate's noise envelope).
+  Rng rng(603);
+  Configuration probe = space.RandomConfiguration(rng, SampleOptions::FavorRuntime());
+  Rng eval_rng(604);
+  TrialOutcome on_x86 = x86.Evaluate(probe, eval_rng, nullptr);
+  TrialOutcome on_riscv = riscv.Evaluate(probe, eval_rng, nullptr);
+  if (on_x86.ok() && on_riscv.ok()) {
+    double predicted = transfer.Predict(on_x86.metric);
+    EXPECT_NEAR(predicted, on_riscv.metric, 0.35 * on_riscv.metric);
+  }
+}
+
+TEST(PlatformTransferTest, HistoryMappingPreservesStructure) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 30;
+  options.sample_options = SampleOptions::FavorRuntime();
+  options.seed = 605;
+  SessionResult result = RunSearch(&bench, &searcher, options);
+
+  LinearTransfer transfer;
+  transfer.slope = 0.4;
+  transfer.intercept = 100.0;
+  transfer.pairs = 20;
+  transfer.correlation = 0.95;
+  std::vector<TrialRecord> mapped = TransferHistory(result.history, transfer);
+  ASSERT_EQ(mapped.size(), result.history.size());
+  for (size_t i = 0; i < mapped.size(); ++i) {
+    const TrialRecord& before = result.history[i];
+    const TrialRecord& after = mapped[i];
+    EXPECT_EQ(after.crashed(), before.crashed());
+    EXPECT_EQ(after.config.values(), before.config.values());
+    if (before.outcome.ok()) {
+      EXPECT_NEAR(after.outcome.metric, 0.4 * before.outcome.metric + 100.0, 1e-9);
+      EXPECT_NEAR(after.objective, 0.4 * before.objective + 100.0, 1e-9);
+    } else {
+      EXPECT_FALSE(after.HasObjective());
+    }
+  }
+  // Ordering of successful trials is preserved (positive slope).
+  for (size_t i = 0; i + 1 < mapped.size(); ++i) {
+    if (result.history[i].HasObjective() && result.history[i + 1].HasObjective()) {
+      EXPECT_EQ(result.history[i].objective < result.history[i + 1].objective,
+                mapped[i].objective < mapped[i + 1].objective);
+    }
+  }
+}
+
+TEST(PlatformTransferTest, TransferredHistorySeedsASession) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  // Source history on x86.
+  Testbench x86(&space, AppId::kNginx,
+                TestbenchOptions{.substrate = Substrate::kLinuxKvm, .seed = 611});
+  RandomSearcher source_searcher;
+  SessionOptions options;
+  options.max_iterations = 25;
+  options.sample_options = SampleOptions::FavorRuntime();
+  options.seed = 612;
+  SessionResult source_result = RunSearch(&x86, &source_searcher, options);
+
+  // Calibrate and map into RISC-V units.
+  Testbench x86_cal(&space, AppId::kNginx,
+                    TestbenchOptions{.substrate = Substrate::kLinuxKvm, .seed = 611});
+  Testbench riscv_cal(&space, AppId::kNginx,
+                      TestbenchOptions{.substrate = Substrate::kLinuxRiscvQemu, .seed = 611});
+  LinearTransfer transfer = CalibrateTransfer(x86_cal, riscv_cal, 16, 613);
+  std::vector<TrialRecord> seeded = TransferHistory(source_result.history, transfer);
+
+  // Resume a RISC-V session from the transferred knowledge.
+  Testbench riscv(&space, AppId::kNginx,
+                  TestbenchOptions{.substrate = Substrate::kLinuxRiscvQemu, .seed = 611});
+  RandomSearcher target_searcher;
+  options.max_iterations = 35;
+  options.seed = 614;
+  SearchSession session(&riscv, &target_searcher, options);
+  session.Resume(seeded);
+  SessionResult result = session.Run();
+  EXPECT_EQ(result.history.size(), 35u);
+}
+
+}  // namespace
+}  // namespace wayfinder

@@ -1,0 +1,206 @@
+// Tests for the §3.4 runtime-space prober against the simulated sysfs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/configspace/linux_space.h"
+#include "src/configspace/probe.h"
+#include "src/simos/sysfs.h"
+
+namespace wayfinder {
+namespace {
+
+ConfigSpace ProbeSpace() {
+  ConfigSpace space;
+  space.Add(ParamSpec::Bool("net.ipv4.tcp_sack", ParamPhase::kRuntime, "net", true));
+  space.Add(ParamSpec::Int("net.core.somaxconn", ParamPhase::kRuntime, "net", 16, 65536, 128,
+                           true));
+  space.Add(ParamSpec::Int("vm.swappiness", ParamPhase::kRuntime, "vm", 0, 100, 60));
+  space.Add(ParamSpec::String("net.core.default_qdisc", ParamPhase::kRuntime, "net",
+                              {"pfifo_fast", "fq"}, 0));
+  space.Add(ParamSpec::Bool("CONFIG_COMPILED", ParamPhase::kCompileTime, "net", true));
+  return space;
+}
+
+TEST(SimSysfs, ExposesOnlyRuntimeParams) {
+  ConfigSpace space = ProbeSpace();
+  SimulatedSysfs sysfs(&space);
+  std::vector<std::string> paths = sysfs.ListWritablePaths();
+  EXPECT_EQ(paths.size(), 4u);
+  EXPECT_EQ(std::find(paths.begin(), paths.end(), "CONFIG_COMPILED"), paths.end());
+}
+
+TEST(SimSysfs, ReadReturnsDefaults) {
+  ConfigSpace space = ProbeSpace();
+  SimulatedSysfs sysfs(&space);
+  EXPECT_EQ(sysfs.ReadValue("net.core.somaxconn").value_or(""), "128");
+  EXPECT_EQ(sysfs.ReadValue("net.ipv4.tcp_sack").value_or(""), "1");
+  EXPECT_EQ(sysfs.ReadValue("net.core.default_qdisc").value_or(""), "pfifo_fast");
+  EXPECT_FALSE(sysfs.ReadValue("missing").has_value());
+}
+
+TEST(SimSysfs, WriteRespectsDomain) {
+  ConfigSpace space = ProbeSpace();
+  SimulatedSysfs sysfs(&space, /*seed=*/1);  // Seed chosen so nothing is locked below.
+  EXPECT_EQ(sysfs.TryWrite("vm.swappiness", "80"), ProbeWriteResult::kOk);
+  EXPECT_EQ(sysfs.ReadValue("vm.swappiness").value_or(""), "80");
+  EXPECT_EQ(sysfs.TryWrite("vm.swappiness", "101"), ProbeWriteResult::kRejected);
+  EXPECT_EQ(sysfs.TryWrite("vm.swappiness", "garbage"), ProbeWriteResult::kRejected);
+}
+
+TEST(SimSysfs, FarOutOfRangeWriteCrashesAndReboots) {
+  ConfigSpace space = ProbeSpace();
+  SimulatedSysfs sysfs(&space, 1);
+  sysfs.TryWrite("vm.swappiness", "80");
+  // 100x beyond the true maximum crashes the guest.
+  EXPECT_EQ(sysfs.TryWrite("vm.swappiness", "100000"), ProbeWriteResult::kCrash);
+  EXPECT_EQ(sysfs.crash_count(), 1u);
+  // Reboot restored the default.
+  EXPECT_EQ(sysfs.ReadValue("vm.swappiness").value_or(""), "60");
+}
+
+TEST(Prober, DiscoversTypesAndRanges) {
+  ConfigSpace space = ProbeSpace();
+  SimulatedSysfs sysfs(&space, 1);
+  ProbeReport report = ProbeRuntimeSpace(sysfs);
+
+  // The string parameter is skipped (non-numeric, §3.4).
+  ASSERT_EQ(report.skipped_non_numeric.size(), 1u);
+  EXPECT_EQ(report.skipped_non_numeric[0], "net.core.default_qdisc");
+
+  // Booleans and integers are discovered with sane domains.
+  bool found_bool = false;
+  bool found_somaxconn = false;
+  for (const ParamSpec& spec : report.params) {
+    EXPECT_EQ(spec.phase, ParamPhase::kRuntime);
+    if (spec.name == "net.ipv4.tcp_sack") {
+      found_bool = true;
+      EXPECT_EQ(spec.kind, ParamKind::kBool);
+      EXPECT_EQ(spec.default_value, 1);
+    }
+    if (spec.name == "net.core.somaxconn") {
+      found_somaxconn = true;
+      EXPECT_EQ(spec.kind, ParamKind::kInt);
+      EXPECT_EQ(spec.default_value, 128);
+      // The x10 probe found 1280 and 12800 valid but was rejected past the
+      // true range; the discovered range must be inside the true one.
+      EXPECT_GE(spec.min_value, 0);
+      EXPECT_LE(spec.max_value, 65536);
+      EXPECT_GT(spec.max_value, 1000);
+    }
+  }
+  EXPECT_TRUE(found_bool);
+  EXPECT_TRUE(found_somaxconn);
+}
+
+TEST(Prober, DiscoveredRangesAlwaysContainDefault) {
+  ConfigSpace space = BuildLinuxSearchSpace(77);
+  SimulatedSysfs sysfs(&space, 3);
+  ProbeReport report = ProbeRuntimeSpace(sysfs);
+  EXPECT_GT(report.params.size(), 50u);
+  for (const ParamSpec& spec : report.params) {
+    EXPECT_TRUE(spec.InDomain(spec.default_value)) << spec.name;
+    EXPECT_LE(spec.min_value, spec.max_value) << spec.name;
+  }
+  EXPECT_GT(report.writes_attempted, report.params.size());
+}
+
+TEST(Prober, RestoresDefaultsAfterProbing) {
+  ConfigSpace space = ProbeSpace();
+  SimulatedSysfs sysfs(&space, 1);
+  ProbeRuntimeSpace(sysfs);
+  EXPECT_EQ(sysfs.ReadValue("vm.swappiness").value_or(""), "60");
+  EXPECT_EQ(sysfs.ReadValue("net.core.somaxconn").value_or(""), "128");
+}
+
+// ---------------------------------------------------------------------------
+// Multi-choice (bracket-notation) discovery.
+
+TEST(SimSysfs, BracketModeRendersChoiceVocabulary) {
+  ConfigSpace space = ProbeSpace();
+  SimulatedSysfs sysfs(&space, /*seed=*/0x5f5f5f, /*bracket_choice_files=*/true);
+  EXPECT_EQ(sysfs.ReadValue("net.core.default_qdisc").value_or(""), "[pfifo_fast] fq");
+  // Writing another token moves the bracket.
+  EXPECT_EQ(sysfs.TryWrite("net.core.default_qdisc", "fq"), ProbeWriteResult::kOk);
+  EXPECT_EQ(sysfs.ReadValue("net.core.default_qdisc").value_or(""), "pfifo_fast [fq]");
+}
+
+TEST(ProbeChoices, DiscoversBracketNotatedCategoricals) {
+  ConfigSpace space;
+  space.Add(ParamSpec::String("queue.scheduler", ParamPhase::kRuntime, "block",
+                              {"noop", "mq-deadline", "kyber"}, 1));
+  SimulatedSysfs sysfs(&space, /*seed=*/7, /*bracket_choice_files=*/true);
+  ProbeReport report = ProbeRuntimeSpace(sysfs);
+  ASSERT_EQ(report.params.size(), 1u);
+  const ParamSpec& spec = report.params[0];
+  EXPECT_EQ(spec.kind, ParamKind::kString);
+  ASSERT_EQ(spec.choices.size(), 3u);
+  EXPECT_EQ(spec.choices[1], "mq-deadline");
+  EXPECT_EQ(spec.default_value, 1);  // The bracketed token.
+  EXPECT_EQ(spec.subsystem, "kernel");  // "queue" is not a known subsystem.
+  EXPECT_TRUE(report.skipped_non_numeric.empty());
+}
+
+TEST(ProbeChoices, RestoresTheActiveTokenAfterProbing) {
+  ConfigSpace space;
+  space.Add(ParamSpec::String("queue.scheduler", ParamPhase::kRuntime, "block",
+                              {"noop", "kyber"}, 1));
+  SimulatedSysfs sysfs(&space, /*seed=*/7, /*bracket_choice_files=*/true);
+  ProbeRuntimeSpace(sysfs);
+  EXPECT_EQ(sysfs.ReadValue("queue.scheduler").value_or(""), "noop [kyber]");
+}
+
+TEST(ProbeChoices, PlainStringFilesStayManual) {
+  ConfigSpace space;
+  space.Add(ParamSpec::String("net.core.default_qdisc", ParamPhase::kRuntime, "net",
+                              {"pfifo_fast", "fq"}, 0));
+  // Bracket rendering off: the file reads as plain "pfifo_fast".
+  SimulatedSysfs sysfs(&space, /*seed=*/7, /*bracket_choice_files=*/false);
+  ProbeReport report = ProbeRuntimeSpace(sysfs);
+  EXPECT_TRUE(report.params.empty());
+  ASSERT_EQ(report.skipped_non_numeric.size(), 1u);
+  EXPECT_EQ(report.skipped_non_numeric[0], "net.core.default_qdisc");
+}
+
+TEST(ProbeChoices, DiscoveryCanBeDisabled) {
+  ConfigSpace space;
+  space.Add(ParamSpec::String("queue.scheduler", ParamPhase::kRuntime, "block",
+                              {"noop", "kyber"}, 0));
+  SimulatedSysfs sysfs(&space, /*seed=*/7, /*bracket_choice_files=*/true);
+  ProbeOptions options;
+  options.discover_choices = false;
+  ProbeReport report = ProbeRuntimeSpace(sysfs, options);
+  EXPECT_TRUE(report.params.empty());
+  EXPECT_EQ(report.skipped_non_numeric.size(), 1u);
+}
+
+TEST(ProbeChoices, SingleTokenFilesAreNotCategorical) {
+  ConfigSpace space;
+  space.Add(ParamSpec::String("lonely.choice", ParamPhase::kRuntime, "kernel",
+                              {"only"}, 0));
+  SimulatedSysfs sysfs(&space, /*seed=*/7, /*bracket_choice_files=*/true);
+  ProbeReport report = ProbeRuntimeSpace(sysfs);
+  // "[only]" has one token: not a vocabulary, falls back to manual.
+  EXPECT_TRUE(report.params.empty());
+  EXPECT_EQ(report.skipped_non_numeric.size(), 1u);
+}
+
+TEST(ProbeChoices, MixedSpaceDiscoversEveryKind) {
+  ConfigSpace space = ProbeSpace();
+  SimulatedSysfs sysfs(&space, /*seed=*/0xaaaa, /*bracket_choice_files=*/true);
+  ProbeReport report = ProbeRuntimeSpace(sysfs);
+  size_t bools = 0;
+  size_t ints = 0;
+  size_t strings = 0;
+  for (const ParamSpec& spec : report.params) {
+    bools += spec.kind == ParamKind::kBool ? 1 : 0;
+    ints += spec.kind == ParamKind::kInt ? 1 : 0;
+    strings += spec.kind == ParamKind::kString ? 1 : 0;
+  }
+  EXPECT_GE(bools, 1u);
+  EXPECT_GE(ints, 1u);
+  EXPECT_GE(strings, 1u);
+}
+
+}  // namespace
+}  // namespace wayfinder

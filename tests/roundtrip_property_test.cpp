@@ -1,0 +1,213 @@
+// Property sweeps over the text codecs: randomly generated parameter sets
+// must survive WriteKconfig -> ParseKconfig and WriteBootParamDoc ->
+// ParseBootParamDoc unchanged, across seeds; and the YAML-subset parser
+// must reject (not crash on) a catalogue of adversarial inputs.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/configspace/bootparam_doc.h"
+#include "src/configspace/kconfig.h"
+#include "src/util/rng.h"
+#include "src/util/yaml.h"
+
+namespace wayfinder {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random spec generation.
+
+std::string RandomSymbol(Rng& rng, const char* prefix, int index) {
+  return std::string(prefix) + "_" + std::to_string(index) + "_" +
+         std::to_string(rng.UniformInt(0, 999));
+}
+
+ParamSpec RandomCompileSpec(Rng& rng, int index) {
+  switch (rng.UniformInt(0, 3)) {
+    case 0: {
+      ParamSpec spec = ParamSpec::Bool(RandomSymbol(rng, "OPT", index),
+                                       ParamPhase::kCompileTime, "net",
+                                       rng.Bernoulli(0.5));
+      spec.help = "bool option";
+      return spec;
+    }
+    case 1: {
+      ParamSpec spec = ParamSpec::Tristate(RandomSymbol(rng, "MOD", index), "block",
+                                           rng.UniformInt(0, 2));
+      spec.help = "tristate option";
+      return spec;
+    }
+    case 2: {
+      int64_t lo = rng.UniformInt(0, 100);
+      int64_t hi = lo + rng.UniformInt(1, 100000);
+      int64_t def = rng.UniformInt(lo, hi);
+      ParamSpec spec = ParamSpec::Int(RandomSymbol(rng, "NR", index),
+                                      ParamPhase::kCompileTime, "vm", lo, hi, def);
+      spec.help = "int option";
+      return spec;
+    }
+    default: {
+      int64_t lo = 0x1000;
+      int64_t hi = 0x100000;
+      ParamSpec spec = ParamSpec::Hex(RandomSymbol(rng, "ADDR", index), "kernel", lo, hi,
+                                      0x8000);
+      spec.help = "hex option";
+      return spec;
+    }
+  }
+}
+
+ParamSpec RandomBootSpec(Rng& rng, int index) {
+  switch (rng.UniformInt(0, 2)) {
+    case 0: {
+      ParamSpec spec = ParamSpec::Bool(RandomSymbol(rng, "flag", index),
+                                       ParamPhase::kBootTime, "kernel",
+                                       rng.Bernoulli(0.3));
+      spec.help = "boot flag";
+      return spec;
+    }
+    case 1: {
+      int64_t lo = rng.UniformInt(0, 10);
+      int64_t hi = lo + rng.UniformInt(1, 5000);
+      ParamSpec spec = ParamSpec::Int(RandomSymbol(rng, "knob", index),
+                                      ParamPhase::kBootTime, "sched", lo, hi,
+                                      rng.UniformInt(lo, hi));
+      spec.help = "boot knob";
+      return spec;
+    }
+    default: {
+      ParamSpec spec = ParamSpec::String(RandomSymbol(rng, "mode", index),
+                                         ParamPhase::kBootTime, "power",
+                                         {"alpha", "beta", "gamma"},
+                                         rng.UniformInt(0, 2));
+      spec.help = "boot mode";
+      return spec;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kconfig round-trip sweep.
+
+class KconfigRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KconfigRoundTrip, RandomSpecsSurvive) {
+  Rng rng(GetParam());
+  std::vector<ParamSpec> params;
+  int count = 5 + static_cast<int>(rng.UniformInt(0, 20));
+  for (int i = 0; i < count; ++i) {
+    params.push_back(RandomCompileSpec(rng, i));
+  }
+  // Sprinkle dependency and select edges between earlier boolean symbols.
+  for (size_t i = 1; i < params.size(); ++i) {
+    if (rng.Bernoulli(0.3) && params[i - 1].kind == ParamKind::kBool) {
+      params[i].depends_on.push_back(params[i - 1].name);
+    }
+    if (rng.Bernoulli(0.2) && params[i].kind == ParamKind::kBool &&
+        params[i - 1].kind == ParamKind::kBool) {
+      params[i].selects.push_back(params[i - 1].name);
+    }
+  }
+
+  std::string text = WriteKconfig(params);
+  KconfigParseResult parsed = ParseKconfig(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error << " at line " << parsed.error_line << " in:\n"
+                         << text;
+  ASSERT_EQ(parsed.params.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(parsed.params[i].name, params[i].name);
+    EXPECT_EQ(parsed.params[i].kind, params[i].kind);
+    EXPECT_EQ(parsed.params[i].default_value, params[i].default_value);
+    EXPECT_EQ(parsed.params[i].depends_on, params[i].depends_on);
+    EXPECT_EQ(parsed.params[i].selects, params[i].selects);
+    if (params[i].kind == ParamKind::kInt || params[i].kind == ParamKind::kHex) {
+      EXPECT_EQ(parsed.params[i].min_value, params[i].min_value);
+      EXPECT_EQ(parsed.params[i].max_value, params[i].max_value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KconfigRoundTrip,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 0xabcdu, 0xfeedu));
+
+// ---------------------------------------------------------------------------
+// Boot-doc round-trip sweep.
+
+class BootDocRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BootDocRoundTrip, RandomSpecsSurvive) {
+  Rng rng(GetParam() ^ 0xb007);
+  std::vector<ParamSpec> params;
+  int count = 4 + static_cast<int>(rng.UniformInt(0, 12));
+  for (int i = 0; i < count; ++i) {
+    params.push_back(RandomBootSpec(rng, i));
+  }
+
+  std::string text = WriteBootParamDoc(params);
+  BootParamDocResult parsed = ParseBootParamDoc(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error << " at line " << parsed.error_line << " in:\n"
+                         << text;
+  ASSERT_EQ(parsed.params.size(), params.size());
+  EXPECT_TRUE(parsed.undocumented.empty());
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(parsed.params[i].name, params[i].name);
+    EXPECT_EQ(parsed.params[i].kind, params[i].kind);
+    EXPECT_EQ(parsed.params[i].default_value, params[i].default_value) << params[i].name;
+    if (params[i].kind == ParamKind::kString) {
+      EXPECT_EQ(parsed.params[i].choices, params[i].choices);
+    }
+    if (params[i].kind == ParamKind::kInt) {
+      EXPECT_EQ(parsed.params[i].min_value, params[i].min_value);
+      EXPECT_EQ(parsed.params[i].max_value, params[i].max_value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BootDocRoundTrip,
+                         ::testing::Values(2u, 9u, 64u, 4096u, 0xdadau, 0xc0dau));
+
+// ---------------------------------------------------------------------------
+// Adversarial YAML inputs: every case must fail cleanly or parse without
+// crashing — never abort, never loop.
+
+struct YamlCase {
+  const char* label;
+  const char* text;
+};
+
+class YamlAdversarial : public ::testing::TestWithParam<YamlCase> {};
+
+TEST_P(YamlAdversarial, ParsesOrFailsCleanly) {
+  YamlParseResult result = ParseYaml(GetParam().text);
+  if (!result.ok) {
+    EXPECT_FALSE(result.error.empty());
+    EXPECT_GE(result.error_line, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, YamlAdversarial,
+    ::testing::Values(
+        YamlCase{"empty", ""},
+        YamlCase{"only_comment", "# nothing here\n"},
+        YamlCase{"bare_scalar", "42\n"},
+        YamlCase{"colon_only", ":\n"},
+        YamlCase{"dangling_key", "key:\n"},
+        YamlCase{"deep_nesting",
+                 "a:\n b:\n  c:\n   d:\n    e:\n     f:\n      g:\n       h: 1\n"},
+        YamlCase{"mixed_tabs", "a:\n\tb: 1\n"},
+        YamlCase{"negative_indent_jump", "a:\n    b: 1\n  c: 2\n"},
+        YamlCase{"sequence_of_nothing", "xs:\n  -\n  -\n"},
+        YamlCase{"colon_in_value", "url: http://host:8080/path\n"},
+        YamlCase{"unicode_value", "name: wëgfinder\n"},
+        YamlCase{"very_long_line",
+                 "k: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+                 "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\n"},
+        YamlCase{"duplicate_keys", "a: 1\na: 2\n"},
+        YamlCase{"sequence_then_mapping", "xs:\n  - 1\n  key: value\n"}),
+    [](const ::testing::TestParamInfo<YamlCase>& info) {
+      return std::string(info.param.label);
+    });
+
+}  // namespace
+}  // namespace wayfinder

@@ -1,0 +1,424 @@
+// Tests for the src/search searchers: simulated annealing, genetic,
+// hill climbing, and the SMAC-style forest surrogate. Unit tests cover each
+// algorithm's internal mechanics; the parameterized suite at the bottom
+// checks the Searcher-contract properties every implementation must hold.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/configspace/linux_space.h"
+#include "src/configspace/unikraft_space.h"
+#include "src/core/wayfinder_api.h"
+#include "src/forest/random_forest.h"
+#include "src/platform/session.h"
+#include "src/search/annealing_search.h"
+#include "src/search/genetic_search.h"
+#include "src/search/hill_climb.h"
+#include "src/search/smac_search.h"
+#include "src/simos/testbench.h"
+
+namespace wayfinder {
+namespace {
+
+// A small space keeps the unit tests fast and the assertions sharp.
+ConfigSpace SmallSpace() { return BuildUnikraftSpace(); }
+
+SearchContext MakeContext(const ConfigSpace& space, const std::vector<TrialRecord>& history,
+                          Rng& rng) {
+  SearchContext context;
+  context.space = &space;
+  context.history = &history;
+  context.rng = &rng;
+  return context;
+}
+
+TrialRecord MakeTrial(const Configuration& config, double objective, bool crashed) {
+  TrialRecord trial;
+  trial.config = config;
+  trial.outcome.status =
+      crashed ? TrialOutcome::Status::kRunCrashed : TrialOutcome::Status::kOk;
+  trial.objective = crashed ? std::nan("") : objective;
+  return trial;
+}
+
+// ---------------------------------------------------------------------------
+// Simulated annealing.
+
+TEST(AnnealingTest, FirstProposalIsRandomAndValid) {
+  ConfigSpace space = SmallSpace();
+  AnnealingSearcher searcher;
+  std::vector<TrialRecord> history;
+  Rng rng(1);
+  SearchContext context = MakeContext(space, history, rng);
+  Configuration proposal = searcher.Propose(context);
+  EXPECT_TRUE(space.IsValid(proposal));
+}
+
+TEST(AnnealingTest, TemperatureCoolsMonotonicallyUntilFloor) {
+  ConfigSpace space = SmallSpace();
+  AnnealingOptions options;
+  options.cooling_rate = 0.5;
+  options.min_temperature = 0.1;
+  AnnealingSearcher searcher(options);
+  std::vector<TrialRecord> history;
+  Rng rng(2);
+  SearchContext context = MakeContext(space, history, rng);
+
+  double previous = searcher.temperature();
+  for (int i = 0; i < 10; ++i) {
+    searcher.Observe(MakeTrial(space.DefaultConfiguration(), 100.0 + i, false), context);
+    EXPECT_LE(searcher.temperature(), previous);
+    previous = searcher.temperature();
+  }
+  EXPECT_DOUBLE_EQ(searcher.temperature(), options.min_temperature);
+}
+
+TEST(AnnealingTest, ImprovementIsAlwaysAccepted) {
+  ConfigSpace space = SmallSpace();
+  AnnealingSearcher searcher;
+  std::vector<TrialRecord> history;
+  Rng rng(3);
+  SearchContext context = MakeContext(space, history, rng);
+
+  Configuration a = space.DefaultConfiguration();
+  searcher.Observe(MakeTrial(a, 10.0, false), context);
+  Configuration b = space.RandomConfiguration(rng);
+  searcher.Observe(MakeTrial(b, 20.0, false), context);
+  // The incumbent moved to b: proposals are now neighbors of b, and with the
+  // temperature still warm a large improvement can only have been accepted.
+  EXPECT_EQ(searcher.reheats(), 0u);
+}
+
+TEST(AnnealingTest, ReheatsAfterSustainedRejection) {
+  ConfigSpace space = SmallSpace();
+  AnnealingOptions options;
+  options.reheat_after = 5;
+  options.cooling_rate = 0.5;
+  options.min_temperature = 1e-6;  // Cold fast => rejections certain.
+  AnnealingSearcher searcher(options);
+  std::vector<TrialRecord> history;
+  Rng rng(4);
+  SearchContext context = MakeContext(space, history, rng);
+
+  searcher.Observe(MakeTrial(space.DefaultConfiguration(), 1000.0, false), context);
+  // Stream of much-worse results: all rejected once cold.
+  for (int i = 0; i < 40; ++i) {
+    searcher.Observe(MakeTrial(space.RandomConfiguration(rng), 1.0, false), context);
+  }
+  EXPECT_GE(searcher.reheats(), 1u);
+}
+
+TEST(AnnealingTest, CrashesAreNeverAccepted) {
+  ConfigSpace space = SmallSpace();
+  AnnealingSearcher searcher;
+  std::vector<TrialRecord> history;
+  Rng rng(5);
+  SearchContext context = MakeContext(space, history, rng);
+
+  searcher.Observe(MakeTrial(space.DefaultConfiguration(), 50.0, false), context);
+  size_t memory_before = searcher.MemoryBytes();
+  for (int i = 0; i < 10; ++i) {
+    searcher.Observe(MakeTrial(space.RandomConfiguration(rng), 0.0, true), context);
+  }
+  // Crashes update no incumbent state (memory footprint is flat).
+  EXPECT_EQ(searcher.MemoryBytes(), memory_before);
+}
+
+// ---------------------------------------------------------------------------
+// Genetic algorithm.
+
+TEST(GeneticTest, PoolIsBoundedAndSorted) {
+  ConfigSpace space = SmallSpace();
+  GeneticOptions options;
+  options.population = 8;
+  GeneticSearcher searcher(options);
+  std::vector<TrialRecord> history;
+  Rng rng(6);
+  SearchContext context = MakeContext(space, history, rng);
+
+  for (int i = 0; i < 30; ++i) {
+    Configuration config = space.RandomConfiguration(rng);
+    searcher.Observe(MakeTrial(config, static_cast<double>(i), false), context);
+  }
+  EXPECT_EQ(searcher.PoolSize(), options.population);
+  // Truncation is elitist: the best fitness seen (29) must have survived.
+  EXPECT_DOUBLE_EQ(searcher.BestFitness(), 29.0);
+}
+
+TEST(GeneticTest, CrashesRankBelowEverySuccess) {
+  ConfigSpace space = SmallSpace();
+  GeneticOptions options;
+  options.population = 4;
+  GeneticSearcher searcher(options);
+  std::vector<TrialRecord> history;
+  Rng rng(7);
+  SearchContext context = MakeContext(space, history, rng);
+
+  searcher.Observe(MakeTrial(space.RandomConfiguration(rng), 0.0, true), context);
+  searcher.Observe(MakeTrial(space.RandomConfiguration(rng), 0.0, true), context);
+  searcher.Observe(MakeTrial(space.RandomConfiguration(rng), 1.0, false), context);
+  EXPECT_DOUBLE_EQ(searcher.BestFitness(), 1.0);
+
+  // Filling the pool with successes evicts the crashes entirely.
+  for (int i = 0; i < 4; ++i) {
+    searcher.Observe(MakeTrial(space.RandomConfiguration(rng), 2.0 + i, false), context);
+  }
+  EXPECT_EQ(searcher.PoolSize(), options.population);
+  EXPECT_DOUBLE_EQ(searcher.BestFitness(), 5.0);
+}
+
+TEST(GeneticTest, BestFitnessIsNanBeforeAnySuccess) {
+  GeneticSearcher searcher;
+  EXPECT_TRUE(std::isnan(searcher.BestFitness()));
+}
+
+TEST(GeneticTest, ChildrenAreValidAndRespectFrozenParams) {
+  ConfigSpace space = SmallSpace();
+  const std::string frozen_name = space.Param(0).name;
+  int64_t frozen_value = space.Param(0).default_value;
+  ASSERT_TRUE(space.Freeze(frozen_name, frozen_value));
+
+  GeneticOptions options;
+  options.population = 6;
+  options.mutations_per_child = 4.0;
+  GeneticSearcher searcher(options);
+  std::vector<TrialRecord> history;
+  Rng rng(8);
+  SearchContext context = MakeContext(space, history, rng);
+
+  for (int i = 0; i < 6; ++i) {
+    searcher.Observe(MakeTrial(space.RandomConfiguration(rng), i, false), context);
+  }
+  for (int i = 0; i < 50; ++i) {
+    Configuration child = searcher.Propose(context);
+    ASSERT_TRUE(space.IsValid(child));
+    EXPECT_EQ(child.Get(frozen_name), frozen_value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hill climbing.
+
+TEST(HillClimbTest, MovesOnlyOnImprovement) {
+  ConfigSpace space = SmallSpace();
+  HillClimbSearcher searcher;
+  std::vector<TrialRecord> history;
+  Rng rng(9);
+  SearchContext context = MakeContext(space, history, rng);
+
+  Configuration first = space.DefaultConfiguration();
+  searcher.Observe(MakeTrial(first, 10.0, false), context);
+  // Worse observation: the next proposal still neighbors `first`.
+  searcher.Observe(MakeTrial(space.RandomConfiguration(rng), 5.0, false), context);
+
+  // A one-step neighbor differs from the incumbent in at most one position
+  // (possibly more after constraint repair, but never in most positions).
+  Configuration proposal = searcher.Propose(context);
+  size_t differences = 0;
+  for (size_t i = 0; i < proposal.Size(); ++i) {
+    differences += proposal.Raw(i) != first.Raw(i) ? 1 : 0;
+  }
+  EXPECT_LE(differences, 3u);
+}
+
+TEST(HillClimbTest, RestartsAfterPatienceRunsOut) {
+  ConfigSpace space = SmallSpace();
+  HillClimbOptions options;
+  options.patience = 4;
+  HillClimbSearcher searcher(options);
+  std::vector<TrialRecord> history;
+  Rng rng(10);
+  SearchContext context = MakeContext(space, history, rng);
+
+  searcher.Observe(MakeTrial(space.DefaultConfiguration(), 100.0, false), context);
+  for (int i = 0; i < 8; ++i) {
+    searcher.Observe(MakeTrial(space.RandomConfiguration(rng), 1.0, false), context);
+  }
+  EXPECT_GE(searcher.restarts(), 1u);
+}
+
+TEST(HillClimbTest, CrashStreakCountsAsStagnation) {
+  ConfigSpace space = SmallSpace();
+  HillClimbOptions options;
+  options.patience = 3;
+  HillClimbSearcher searcher(options);
+  std::vector<TrialRecord> history;
+  Rng rng(11);
+  SearchContext context = MakeContext(space, history, rng);
+
+  for (int i = 0; i < 9; ++i) {
+    searcher.Observe(MakeTrial(space.RandomConfiguration(rng), 0.0, true), context);
+  }
+  EXPECT_EQ(searcher.restarts(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// SMAC (random-forest surrogate).
+
+TEST(SmacTest, ExpectedImprovementViaForestVariance) {
+  RandomForestRegressor::PredictionStats stats;
+  // With zero variance, EI is the positive part of the improvement.
+  // (Exercised through the searcher below; here we check the forest side.)
+  RandomForestRegressor forest;
+  EXPECT_FALSE(forest.IsFitted());
+  stats = forest.PredictStats({0.5, 0.5});
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance, 0.0);
+}
+
+TEST(SmacTest, ForestVarianceIsNonNegativeAndShrinksOnConstantTargets) {
+  ForestOptions options;
+  options.trees = 20;
+  options.seed = 99;
+  RandomForestRegressor forest(options);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  Rng rng(12);
+  for (int i = 0; i < 60; ++i) {
+    xs.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+    ys.push_back(3.5);  // Constant target: every leaf must predict 3.5.
+  }
+  forest.Fit(xs, ys);
+  auto stats = forest.PredictStats({0.5, 0.5, 0.5});
+  EXPECT_NEAR(stats.mean, 3.5, 1e-9);
+  EXPECT_NEAR(stats.variance, 0.0, 1e-9);
+}
+
+TEST(SmacTest, RefitsOnScheduleOnceWarm) {
+  ConfigSpace space = SmallSpace();
+  SmacOptions options;
+  options.warmup = 4;
+  options.refit_every = 2;
+  SmacSearcher searcher(&space, options);
+  std::vector<TrialRecord> history;
+  Rng rng(13);
+  SearchContext context = MakeContext(space, history, rng);
+
+  for (int i = 0; i < 12; ++i) {
+    searcher.Observe(MakeTrial(space.RandomConfiguration(rng), 10.0 + i, false), context);
+  }
+  EXPECT_GE(searcher.refits(), 3u);
+  EXPECT_TRUE(searcher.surrogate().IsFitted());
+}
+
+TEST(SmacTest, NoRefitBeforeAnySuccess) {
+  ConfigSpace space = SmallSpace();
+  SmacOptions options;
+  options.warmup = 2;
+  options.refit_every = 1;
+  SmacSearcher searcher(&space, options);
+  std::vector<TrialRecord> history;
+  Rng rng(14);
+  SearchContext context = MakeContext(space, history, rng);
+
+  for (int i = 0; i < 8; ++i) {
+    searcher.Observe(MakeTrial(space.RandomConfiguration(rng), 0.0, true), context);
+  }
+  EXPECT_EQ(searcher.refits(), 0u);
+  // All-crash history: proposals fall back to random sampling but stay valid.
+  Configuration proposal = searcher.Propose(context);
+  EXPECT_TRUE(space.IsValid(proposal));
+}
+
+TEST(SmacTest, MemoryGrowsWithHistory) {
+  ConfigSpace space = SmallSpace();
+  SmacSearcher searcher(&space);
+  std::vector<TrialRecord> history;
+  Rng rng(15);
+  SearchContext context = MakeContext(space, history, rng);
+
+  size_t before = searcher.MemoryBytes();
+  for (int i = 0; i < 20; ++i) {
+    searcher.Observe(MakeTrial(space.RandomConfiguration(rng), i, false), context);
+  }
+  EXPECT_GT(searcher.MemoryBytes(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Searcher-contract properties, swept over every algorithm in the factory.
+
+struct SearcherCase {
+  const char* algorithm;
+};
+
+class AllSearchersTest : public ::testing::TestWithParam<SearcherCase> {};
+
+TEST_P(AllSearchersTest, FactoryConstructs) {
+  ConfigSpace space = SmallSpace();
+  auto searcher = MakeSearcher(GetParam().algorithm, &space, 21);
+  ASSERT_NE(searcher, nullptr);
+  EXPECT_EQ(searcher->Name(), GetParam().algorithm);
+}
+
+TEST_P(AllSearchersTest, ProposalsAreAlwaysValidOverAFullSession) {
+  ConfigSpace space = SmallSpace();
+  auto searcher = MakeSearcher(GetParam().algorithm, &space, 22);
+  ASSERT_NE(searcher, nullptr);
+
+  Testbench bench(&space, AppId::kNginx,
+                  TestbenchOptions{.substrate = Substrate::kUnikraftKvm, .seed = 77});
+  SessionOptions options;
+  options.max_iterations = 40;
+  options.seed = 23;
+  SearchSession session(&bench, searcher.get(), options);
+  while (session.Step()) {
+    const TrialRecord& last = session.history().back();
+    ASSERT_TRUE(space.IsValid(last.config))
+        << GetParam().algorithm << " proposed an invalid configuration at iteration "
+        << last.iteration;
+  }
+  EXPECT_EQ(session.history().size(), 40u);
+}
+
+TEST_P(AllSearchersTest, FrozenParametersAreNeverMoved) {
+  ConfigSpace space = SmallSpace();
+  const std::string frozen_name = space.Param(1).name;
+  const int64_t frozen_value = space.Param(1).default_value;
+  ASSERT_TRUE(space.Freeze(frozen_name, frozen_value));
+
+  auto searcher = MakeSearcher(GetParam().algorithm, &space, 24);
+  ASSERT_NE(searcher, nullptr);
+  Testbench bench(&space, AppId::kRedis,
+                  TestbenchOptions{.substrate = Substrate::kUnikraftKvm, .seed = 78});
+  SessionOptions options;
+  options.max_iterations = 30;
+  options.seed = 25;
+  SessionResult result = RunSearch(&bench, searcher.get(), options);
+  for (const TrialRecord& trial : result.history) {
+    ASSERT_EQ(trial.config.Get(frozen_name), frozen_value) << GetParam().algorithm;
+  }
+}
+
+TEST_P(AllSearchersTest, FindsSomethingAtLeastAsGoodAsTheWorstSample) {
+  ConfigSpace space = SmallSpace();
+  auto searcher = MakeSearcher(GetParam().algorithm, &space, 26);
+  ASSERT_NE(searcher, nullptr);
+  Testbench bench(&space, AppId::kNginx,
+                  TestbenchOptions{.substrate = Substrate::kUnikraftKvm, .seed = 79});
+  SessionOptions options;
+  options.max_iterations = 60;
+  options.seed = 27;
+  SessionResult result = RunSearch(&bench, searcher.get(), options);
+  ASSERT_NE(result.best(), nullptr) << GetParam().algorithm;
+  for (const TrialRecord& trial : result.history) {
+    if (trial.HasObjective()) {
+      EXPECT_GE(result.best()->objective, trial.objective) << GetParam().algorithm;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factory, AllSearchersTest,
+                         ::testing::Values(SearcherCase{"random"}, SearcherCase{"grid"},
+                                           SearcherCase{"bayesopt"}, SearcherCase{"causal"},
+                                           SearcherCase{"annealing"}, SearcherCase{"genetic"},
+                                           SearcherCase{"hillclimb"}, SearcherCase{"smac"},
+                                           SearcherCase{"deeptune"}),
+                         [](const ::testing::TestParamInfo<SearcherCase>& info) {
+                           return std::string(info.param.algorithm);
+                         });
+
+}  // namespace
+}  // namespace wayfinder

@@ -1,0 +1,211 @@
+// Tests for the baseline searchers: Gaussian process + Bayesian
+// optimization, the Unicorn-style causal searcher, and the random forest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/bayes/bayes_search.h"
+#include "src/causal/causal_search.h"
+#include "src/configspace/unikraft_space.h"
+#include "src/forest/random_forest.h"
+#include "src/platform/session.h"
+
+namespace wayfinder {
+namespace {
+
+// --- Gaussian process ---------------------------------------------------------
+
+TEST(Gp, InterpolatesTrainingPoints) {
+  GpOptions options;
+  options.noise_variance = 1e-6;
+  GaussianProcess gp(options);
+  std::vector<std::vector<double>> xs = {{0.0}, {0.5}, {1.0}};
+  std::vector<double> ys = {1.0, 2.0, 0.5};
+  ASSERT_TRUE(gp.Fit(xs, ys));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    GaussianProcess::Posterior p = gp.Predict(xs[i]);
+    EXPECT_NEAR(p.mean, ys[i], 1e-2);
+    EXPECT_LT(p.variance, 0.05);
+  }
+}
+
+TEST(Gp, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp;
+  std::vector<std::vector<double>> xs = {{0.0}, {0.1}};
+  std::vector<double> ys = {0.0, 0.1};
+  ASSERT_TRUE(gp.Fit(xs, ys));
+  double near = gp.Predict({0.05}).variance;
+  double far = gp.Predict({5.0}).variance;
+  EXPECT_GT(far, near * 2.0);
+}
+
+TEST(Gp, EmptyFitPredictsPrior) {
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit({}, {}));
+  GaussianProcess::Posterior p = gp.Predict({1.0});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_GT(p.variance, 0.5);
+}
+
+TEST(Gp, MemoryGrowsQuadratically) {
+  GaussianProcess gp;
+  Rng rng(1);
+  auto fit_n = [&](size_t n) {
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (size_t i = 0; i < n; ++i) {
+      xs.push_back({rng.Uniform(), rng.Uniform()});
+      ys.push_back(rng.Normal());
+    }
+    gp.Fit(xs, ys);
+    return gp.MemoryBytes();
+  };
+  size_t small = fit_n(50);
+  size_t big = fit_n(200);
+  // 4x the points -> ~16x the kernel memory (O(n^2)).
+  EXPECT_GT(big, small * 8);
+}
+
+TEST(ExpectedImprovementTest, Properties) {
+  // At the incumbent with small sigma, EI is tiny; above it, positive.
+  EXPECT_LT(ExpectedImprovement(0.0, 1e-8, 0.0), 1e-4);
+  EXPECT_NEAR(ExpectedImprovement(1.0, 1e-12, 0.0), 1.0, 1e-6);
+  // More uncertainty -> more EI below the incumbent.
+  EXPECT_GT(ExpectedImprovement(-0.5, 4.0, 0.0), ExpectedImprovement(-0.5, 0.01, 0.0));
+}
+
+TEST(BayesSearcherTest, FindsGoodUnikraftConfigs) {
+  ConfigSpace space = BuildUnikraftSpace();
+  TestbenchOptions bench_options;
+  bench_options.substrate = Substrate::kUnikraftKvm;
+  Testbench bench(&space, AppId::kNginx, bench_options);
+  BayesSearcher searcher(&space);
+  SessionOptions options;
+  options.max_iterations = 60;
+  options.seed = 0xb0;
+  SessionResult result = RunSearch(&bench, &searcher, options);
+  ASSERT_NE(result.best(), nullptr);
+  // Must clearly beat the 12000 req/s Unikraft baseline within 60 iters.
+  EXPECT_GT(result.best()->outcome.metric, 14000.0);
+}
+
+// --- Causal searcher -------------------------------------------------------------
+
+ConfigSpace TinySpace(size_t d) {
+  ConfigSpace space;
+  for (size_t i = 0; i < d; ++i) {
+    space.Add(
+        ParamSpec::Int("k" + std::to_string(i), ParamPhase::kRuntime, "kernel", 0, 100, 50));
+  }
+  return space;
+}
+
+TEST(CausalSearcherTest, IdentifiesTrueParents) {
+  ConfigSpace space = TinySpace(8);
+  CausalSearcher searcher(&space);
+  std::vector<TrialRecord> history;
+  Rng rng(2);
+  SearchContext context;
+  context.space = &space;
+  context.history = &history;
+  context.rng = &rng;
+  // Objective depends only on k0 (positively) and k1 (negatively).
+  for (int i = 0; i < 120; ++i) {
+    TrialRecord record;
+    record.config = space.RandomConfiguration(rng);
+    record.outcome.status = TrialOutcome::Status::kOk;
+    record.objective = static_cast<double>(record.config.Raw(0)) -
+                       0.8 * static_cast<double>(record.config.Raw(1)) + rng.Normal(0.0, 3.0);
+    searcher.Observe(record, context);
+  }
+  std::vector<size_t> parents = searcher.CausalParents();
+  ASSERT_GE(parents.size(), 2u);
+  EXPECT_TRUE(parents[0] == 0 || parents[0] == 1);
+  EXPECT_TRUE(parents[1] == 0 || parents[1] == 1);
+}
+
+TEST(CausalSearcherTest, PerIterationCostGrows) {
+  ConfigSpace space = TinySpace(24);
+  CausalSearcher searcher(&space);
+  std::vector<TrialRecord> history;
+  Rng rng(3);
+  SearchContext context;
+  context.space = &space;
+  context.history = &history;
+  context.rng = &rng;
+  double early = 0.0;
+  double late = 0.0;
+  for (int i = 0; i < 180; ++i) {
+    TrialRecord record;
+    record.config = searcher.Propose(context);
+    record.outcome.status = TrialOutcome::Status::kOk;
+    record.objective = static_cast<double>(record.config.Raw(0));
+    WallTimer timer;
+    searcher.Observe(record, context);
+    double cost = timer.ElapsedSeconds();
+    if (i < 40) {
+      early += cost;
+    }
+    if (i >= 140) {
+      late += cost;
+    }
+  }
+  EXPECT_GT(late, early * 2.0);  // Non-incremental refits get slower.
+  EXPECT_GT(searcher.MemoryBytes(), 100000u);
+}
+
+// --- Random forest ---------------------------------------------------------------
+
+TEST(RandomForestTest, LearnsSimpleFunction) {
+  Rng rng(4);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 600; ++i) {
+    double a = rng.Uniform();
+    double b = rng.Uniform();
+    double c = rng.Uniform();
+    xs.push_back({a, b, c});
+    ys.push_back(5.0 * a + 0.1 * b);
+  }
+  RandomForestRegressor forest;
+  forest.Fit(xs, ys);
+  EXPECT_TRUE(forest.IsFitted());
+  double err = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    double a = rng.Uniform();
+    err += std::abs(forest.Predict({a, 0.5, 0.5}) - (5.0 * a + 0.05));
+  }
+  EXPECT_LT(err / 100.0, 0.8);
+}
+
+TEST(RandomForestTest, ImportanceRanksDominantFeature) {
+  Rng rng(5);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 800; ++i) {
+    std::vector<double> x = {rng.Uniform(), rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    xs.push_back(x);
+    ys.push_back(10.0 * x[2] + 0.5 * x[0] + rng.Normal(0.0, 0.1));
+  }
+  RandomForestRegressor forest;
+  forest.Fit(xs, ys);
+  std::vector<double> importance = forest.FeatureImportance();
+  ASSERT_EQ(importance.size(), 4u);
+  EXPECT_GT(importance[2], 0.5);
+  EXPECT_GT(importance[2], importance[0]);
+  EXPECT_GT(importance[0], importance[1]);
+  double total = importance[0] + importance[1] + importance[2] + importance[3];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ImportanceSimilarityTest, CosineProperties) {
+  std::vector<double> a = {1.0, 0.0, 0.5};
+  EXPECT_NEAR(ImportanceSimilarity(a, a), 1.0, 1e-12);
+  std::vector<double> orthogonal = {0.0, 1.0, 0.0};
+  EXPECT_NEAR(ImportanceSimilarity(a, orthogonal), 0.0, 1e-12);
+  std::vector<double> zero = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(ImportanceSimilarity(a, zero), 0.0);
+}
+
+}  // namespace
+}  // namespace wayfinder

@@ -1,0 +1,178 @@
+// Tests for the minimal YAML-subset parser.
+#include <gtest/gtest.h>
+
+#include "src/util/yaml.h"
+
+namespace wayfinder {
+namespace {
+
+TEST(Yaml, EmptyDocumentIsEmptyMapping) {
+  YamlParseResult result = ParseYaml("");
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.root.IsMapping());
+  EXPECT_EQ(result.root.Size(), 0u);
+}
+
+TEST(Yaml, ScalarTypes) {
+  YamlParseResult result = ParseYaml(
+      "name: wayfinder\n"
+      "count: 42\n"
+      "ratio: 0.5\n"
+      "enabled: true\n"
+      "disabled: false\n"
+      "hex: 0x10\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const YamlNode& root = result.root;
+  EXPECT_EQ(root.GetString("name"), "wayfinder");
+  EXPECT_EQ(root.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(root.GetDouble("ratio"), 0.5);
+  EXPECT_TRUE(root.GetBool("enabled"));
+  EXPECT_FALSE(root.GetBool("disabled", true));
+  EXPECT_EQ(root.GetInt("hex"), 16);
+}
+
+TEST(Yaml, TypedAccessorsRejectWrongTypes) {
+  YamlParseResult result = ParseYaml("value: not-a-number\n");
+  ASSERT_TRUE(result.ok);
+  const YamlNode* node = result.root.Get("value");
+  ASSERT_NE(node, nullptr);
+  EXPECT_FALSE(node->AsInt().has_value());
+  EXPECT_FALSE(node->AsDouble().has_value());
+  EXPECT_FALSE(node->AsBool().has_value());
+}
+
+TEST(Yaml, NestedMappings) {
+  YamlParseResult result = ParseYaml(
+      "budget:\n"
+      "  iterations: 250\n"
+      "  nested:\n"
+      "    deep: 1\n"
+      "search:\n"
+      "  algorithm: deeptune\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const YamlNode* budget = result.root.Get("budget");
+  ASSERT_NE(budget, nullptr);
+  EXPECT_EQ(budget->GetInt("iterations"), 250);
+  const YamlNode* nested = budget->Get("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->GetInt("deep"), 1);
+  EXPECT_EQ(result.root.GetString("search", ""), "");
+}
+
+TEST(Yaml, SequencesOfScalars) {
+  YamlParseResult result = ParseYaml(
+      "items:\n"
+      "  - alpha\n"
+      "  - beta\n"
+      "  - gamma\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const YamlNode* items = result.root.Get("items");
+  ASSERT_NE(items, nullptr);
+  ASSERT_TRUE(items->IsSequence());
+  ASSERT_EQ(items->Size(), 3u);
+  EXPECT_EQ(items->At(1).AsString(), "beta");
+}
+
+TEST(Yaml, SequenceAtSameIndentAsKey) {
+  YamlParseResult result = ParseYaml(
+      "freeze:\n"
+      "- name: a\n"
+      "- name: b\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const YamlNode* freeze = result.root.Get("freeze");
+  ASSERT_NE(freeze, nullptr);
+  ASSERT_TRUE(freeze->IsSequence());
+  EXPECT_EQ(freeze->Size(), 2u);
+}
+
+TEST(Yaml, SequenceOfInlineMappings) {
+  YamlParseResult result = ParseYaml(
+      "freeze:\n"
+      "  - name: kernel.randomize_va_space\n"
+      "    value: 2\n"
+      "  - name: audit\n"
+      "    value: 1\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const YamlNode* freeze = result.root.Get("freeze");
+  ASSERT_NE(freeze, nullptr);
+  ASSERT_EQ(freeze->Size(), 2u);
+  EXPECT_EQ(freeze->At(0).GetString("name"), "kernel.randomize_va_space");
+  EXPECT_EQ(freeze->At(0).GetInt("value"), 2);
+  EXPECT_EQ(freeze->At(1).GetString("name"), "audit");
+}
+
+TEST(Yaml, FlowSequence) {
+  YamlParseResult result = ParseYaml("values: [1, 2, 3]\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const YamlNode* values = result.root.Get("values");
+  ASSERT_NE(values, nullptr);
+  ASSERT_TRUE(values->IsSequence());
+  ASSERT_EQ(values->Size(), 3u);
+  EXPECT_EQ(values->At(2).AsInt().value_or(0), 3);
+}
+
+TEST(Yaml, CommentsAndBlankLines) {
+  YamlParseResult result = ParseYaml(
+      "# header comment\n"
+      "\n"
+      "key: value  # trailing comment\n"
+      "other: \"quoted # not comment\"\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.root.GetString("key"), "value");
+  EXPECT_EQ(result.root.GetString("other"), "quoted # not comment");
+}
+
+TEST(Yaml, QuotedStrings) {
+  YamlParseResult result = ParseYaml(
+      "a: \"hello world\"\n"
+      "b: 'single'\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.root.GetString("a"), "hello world");
+  EXPECT_EQ(result.root.GetString("b"), "single");
+}
+
+TEST(Yaml, DuplicateKeyIsError) {
+  YamlParseResult result = ParseYaml("a: 1\na: 2\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("duplicate"), std::string::npos);
+}
+
+TEST(Yaml, TabIndentationIsError) {
+  YamlParseResult result = ParseYaml("a:\n\tb: 1\n");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Yaml, AnchorsRejected) {
+  YamlParseResult result = ParseYaml("a: 1\n&anchor\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unsupported"), std::string::npos);
+}
+
+TEST(Yaml, ErrorCarriesLineNumber) {
+  YamlParseResult result = ParseYaml("ok: 1\nnot a mapping line\n");
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.error_line, 2);
+}
+
+TEST(Yaml, DocumentStartMarkerTolerated) {
+  YamlParseResult result = ParseYaml("---\nkey: v\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.root.GetString("key"), "v");
+}
+
+TEST(Yaml, EmptyValueBecomesEmptyScalar) {
+  YamlParseResult result = ParseYaml("key:\nnext: 1\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const YamlNode* key = result.root.Get("key");
+  ASSERT_NE(key, nullptr);
+  EXPECT_TRUE(key->IsScalar());
+  EXPECT_EQ(key->AsString(), "");
+}
+
+TEST(Yaml, MissingFileError) {
+  YamlParseResult result = ParseYamlFile("/nonexistent/job.yaml");
+  EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace wayfinder

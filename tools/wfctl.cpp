@@ -1,0 +1,463 @@
+// wfctl — the Wayfinder command-line front end.
+//
+// Mirrors the workflow of the paper's artifact appendix (A.4):
+//
+//   $ wfctl create job.yaml                 # validate a job, census its space
+//   $ wfctl start job.yaml [options]        # run the specialization session
+//   $ wfctl report job.yaml checkpoint.txt  # summarize a saved session
+//   $ wfctl render job.yaml checkpoint.txt  # deployment artifacts of the best
+//
+// `start` options:
+//   --model-in <path>    warm-start DeepTune from a saved model (§3.3)
+//   --model-out <path>   save the trained model afterwards
+//   --resume <path>      resume from a checkpoint written by --checkpoint
+//   --checkpoint <path>  write the full history checkpoint when done
+//   --history-csv <path> export the history as CSV
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/configspace/cmdline.h"
+#include "src/configspace/probe.h"
+#include "src/core/wayfinder_api.h"
+#include "src/core/model_zoo.h"
+#include "src/core/platform_transfer.h"
+#include "src/platform/checkpoint.h"
+#include "src/platform/crash_report.h"
+#include "src/platform/history_export.h"
+#include "src/simos/sysfs.h"
+
+namespace wayfinder {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wfctl <command> [args]\n"
+               "  create <job.yaml>                    validate a job file\n"
+               "  start  <job.yaml> [--model-in P] [--model-out P]\n"
+               "                    [--resume P] [--checkpoint P] [--history-csv P]\n"
+               "  report <job.yaml> <checkpoint>       summarize a saved session\n"
+               "  render <job.yaml> <checkpoint>       print deployment artifacts\n"
+               "  probe  <job.yaml>                    discover the runtime space (§3.4)\n"
+               "  zoo    <dir> list                    list published donor models\n"
+               "  zoo    <dir> rank <job.yaml>         rank donors for a job's app (§3.3)\n"
+               "  transfer <src-job> <dst-job> <src-ckpt> <out-ckpt>\n"
+               "                                       map a history across platforms (§3.5)\n");
+  return 2;
+}
+
+void PrintSpaceCensus(const ConfigSpace& space) {
+  std::printf("  parameters: %zu (compile %zu, boot %zu, runtime %zu)\n", space.Size(),
+              space.CountPhase(ParamPhase::kCompileTime),
+              space.CountPhase(ParamPhase::kBootTime),
+              space.CountPhase(ParamPhase::kRuntime));
+  std::printf("  space size: 10^%.1f configurations\n", space.Log10SpaceSize());
+  std::printf("  frozen:     %zu parameters\n", space.FrozenCount());
+}
+
+int CmdCreate(const std::string& job_path) {
+  JobParseResult parsed = ParseJobFile(job_path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "wfctl: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  const JobSpec& spec = parsed.spec;
+  std::printf("job '%s' OK\n", spec.name.c_str());
+  std::printf("  os:         %s\n", spec.os.c_str());
+  std::printf("  app:        %s\n", GetApp(spec.app).name.c_str());
+  std::printf("  algorithm:  %s\n", spec.algorithm.c_str());
+  std::printf("  budget:     %zu iterations\n", spec.iterations);
+  ConfigSpace space = BuildJobSpace(spec);
+  PrintSpaceCensus(space);
+  return 0;
+}
+
+// Shared by report/render: parse the job, rebuild its space, load the
+// checkpoint against it. Returns 0 on success.
+int LoadSession(const std::string& job_path, const std::string& checkpoint_path,
+                JobSpec* spec, std::shared_ptr<ConfigSpace>* space,
+                CheckpointLoadResult* loaded) {
+  JobParseResult parsed = ParseJobFile(job_path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "wfctl: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  *spec = parsed.spec;
+  *space = std::make_shared<ConfigSpace>(BuildJobSpace(parsed.spec));
+  *loaded = LoadCheckpoint(**space, checkpoint_path);
+  if (!loaded->ok) {
+    std::fprintf(stderr, "wfctl: %s\n", loaded->error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+void PrintSummary(const std::vector<TrialRecord>& history) {
+  HistorySummary summary = SummarizeHistory(history);
+  std::printf("  trials:          %zu\n", summary.trials);
+  std::printf("  crashes:         %zu (build %zu, boot %zu, run %zu)\n", summary.crashes,
+              summary.build_failures, summary.boot_failures, summary.run_crashes);
+  if (summary.has_best) {
+    std::printf("  best objective:  %.4g\n", summary.best_objective);
+  } else {
+    std::printf("  best objective:  (no successful trial)\n");
+  }
+  std::printf("  sim time:        %.0f s\n", summary.total_sim_seconds);
+  std::printf("  searcher time:   %.3f s/iter (wall clock)\n",
+              summary.mean_searcher_seconds);
+}
+
+const TrialRecord* BestTrial(const std::vector<TrialRecord>& history) {
+  const TrialRecord* best = nullptr;
+  for (const TrialRecord& trial : history) {
+    if (trial.HasObjective() && (best == nullptr || trial.objective > best->objective)) {
+      best = &trial;
+    }
+  }
+  return best;
+}
+
+void PrintArtifacts(const TrialRecord& best) {
+  std::printf("# --- best configuration ------------------------------------\n");
+  std::printf("# objective: %.4g   metric: %.4g   memory: %.1f MB\n", best.objective,
+              best.outcome.metric, best.outcome.memory_mb);
+  std::string cmdline = RenderCmdline(best.config);
+  std::printf("\n# kernel command line (boot-time deltas)\n%s\n",
+              cmdline.empty() ? "(defaults)" : cmdline.c_str());
+  std::string sysctl = RenderSysctlConf(best.config);
+  std::printf("\n# /etc/sysctl.d/99-wayfinder.conf (runtime deltas)\n%s",
+              sysctl.empty() ? "(defaults)\n" : sysctl.c_str());
+  std::string compile = best.config.DiffString();
+  std::printf("\n# all non-default parameters\n%s", compile.empty() ? "(none)\n"
+                                                                    : compile.c_str());
+}
+
+int CmdStart(int argc, char** argv) {
+  std::string job_path = argv[0];
+  std::string model_in, model_out, resume_path, checkpoint_path, history_csv;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto take = [&](std::string* into) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "wfctl: %s needs a value\n", flag.c_str());
+        return false;
+      }
+      *into = argv[++i];
+      return true;
+    };
+    bool ok = true;
+    if (flag == "--model-in") {
+      ok = take(&model_in);
+    } else if (flag == "--model-out") {
+      ok = take(&model_out);
+    } else if (flag == "--resume") {
+      ok = take(&resume_path);
+    } else if (flag == "--checkpoint") {
+      ok = take(&checkpoint_path);
+    } else if (flag == "--history-csv") {
+      ok = take(&history_csv);
+    } else {
+      std::fprintf(stderr, "wfctl: unknown flag %s\n", flag.c_str());
+      ok = false;
+    }
+    if (!ok) {
+      return 2;
+    }
+  }
+
+  JobParseResult parsed = ParseJobFile(job_path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "wfctl: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  const JobSpec& spec = parsed.spec;
+  auto space = std::make_shared<ConfigSpace>(BuildJobSpace(spec));
+
+  std::string searcher_error;
+  std::unique_ptr<Searcher> searcher = MakeJobSearcher(spec, space.get(), &searcher_error);
+  if (searcher == nullptr) {
+    std::fprintf(stderr, "wfctl: %s\n", searcher_error.c_str());
+    return 1;
+  }
+  auto* deeptune = dynamic_cast<DeepTuneSearcher*>(searcher.get());
+  if (!model_in.empty()) {
+    if (deeptune == nullptr || !deeptune->LoadModel(model_in)) {
+      std::fprintf(stderr, "wfctl: cannot load model %s\n", model_in.c_str());
+      return 1;
+    }
+    std::printf("transfer learning: warm-started from %s\n", model_in.c_str());
+  }
+
+  TestbenchOptions bench_options;
+  bench_options.substrate = spec.SubstrateKind();
+  bench_options.seed = HashCombine(spec.seed, StableHash(spec.name));
+  Testbench bench(space.get(), spec.app, bench_options);
+
+  SearchSession session(&bench, searcher.get(), spec.ToSessionOptions());
+  if (!resume_path.empty()) {
+    CheckpointLoadResult loaded = LoadCheckpoint(*space, resume_path);
+    if (!loaded.ok) {
+      std::fprintf(stderr, "wfctl: %s\n", loaded.error.c_str());
+      return 1;
+    }
+    session.Resume(loaded.history);
+    std::printf("resumed %zu prior trials from %s\n", loaded.history.size(),
+                resume_path.c_str());
+  }
+
+  std::printf("job '%s': %s on %s, %s, budget %zu iterations\n", spec.name.c_str(),
+              GetApp(spec.app).name.c_str(), spec.os.c_str(), spec.algorithm.c_str(),
+              spec.iterations);
+  size_t report_every = std::max<size_t>(1, spec.iterations / 10);
+  while (session.Step()) {
+    const TrialRecord& last = session.history().back();
+    if ((last.iteration + 1) % report_every == 0) {
+      const TrialRecord* best = BestTrial(session.history());
+      std::printf("  iter %4zu  t=%7.0fs  best=%s\n", last.iteration + 1,
+                  last.sim_time_end,
+                  best != nullptr ? std::to_string(best->objective).c_str() : "-");
+    }
+  }
+  SessionResult result = session.Finish();
+
+  std::printf("\nsession summary\n");
+  PrintSummary(result.history);
+  if (result.best() != nullptr) {
+    std::printf("\n");
+    PrintArtifacts(*result.best());
+  }
+
+  if (deeptune != nullptr && !model_out.empty()) {
+    if (!deeptune->SaveModel(model_out)) {
+      std::fprintf(stderr, "wfctl: cannot save model %s\n", model_out.c_str());
+      return 1;
+    }
+    std::printf("\nmodel saved to %s\n", model_out.c_str());
+  }
+  if (!checkpoint_path.empty()) {
+    if (!SaveCheckpoint(result.history, checkpoint_path)) {
+      std::fprintf(stderr, "wfctl: cannot write checkpoint %s\n", checkpoint_path.c_str());
+      return 1;
+    }
+    std::printf("checkpoint written to %s\n", checkpoint_path.c_str());
+  }
+  if (!history_csv.empty()) {
+    if (!ExportHistoryCsv(result.history, history_csv)) {
+      std::fprintf(stderr, "wfctl: cannot write CSV %s\n", history_csv.c_str());
+      return 1;
+    }
+    std::printf("history exported to %s\n", history_csv.c_str());
+  }
+  return 0;
+}
+
+int CmdReport(const std::string& job_path, const std::string& checkpoint_path) {
+  JobSpec spec;
+  std::shared_ptr<ConfigSpace> space;
+  CheckpointLoadResult loaded;
+  if (int rc = LoadSession(job_path, checkpoint_path, &spec, &space, &loaded); rc != 0) {
+    return rc;
+  }
+  std::printf("session '%s' (%s)\n", spec.name.c_str(), checkpoint_path.c_str());
+  PrintSummary(loaded.history);
+  std::printf("\ncrash analysis\n%s",
+              FormatCrashReport(AnalyzeCrashes(*space, loaded.history)).c_str());
+  return 0;
+}
+
+int CmdZoo(int argc, char** argv) {
+  std::string dir = argv[0];
+  std::string action = argc >= 2 ? argv[1] : "list";
+  ModelZoo zoo(dir);
+  if (action == "list") {
+    std::vector<ZooEntry> entries = zoo.List();
+    if (entries.empty()) {
+      std::printf("zoo %s is empty\n", dir.c_str());
+      return 0;
+    }
+    std::printf("%-16s %-8s %s\n", "entry", "dim", "fingerprint mass");
+    for (const ZooEntry& entry : entries) {
+      double mass = 0.0;
+      for (double v : entry.fingerprint) {
+        mass += v;
+      }
+      std::printf("%-16s %-8zu %.3f\n", entry.name.c_str(), entry.input_dim, mass);
+    }
+    return 0;
+  }
+  if (action == "rank" && argc >= 3) {
+    JobParseResult parsed = ParseJobFile(argv[2]);
+    if (!parsed.ok) {
+      std::fprintf(stderr, "wfctl: %s\n", parsed.error.c_str());
+      return 1;
+    }
+    ConfigSpace space = BuildJobSpace(parsed.spec);
+    TestbenchOptions bench_options;
+    bench_options.substrate = parsed.spec.SubstrateKind();
+    Testbench bench(&space, parsed.spec.app, bench_options);
+    std::printf("fingerprinting %s (300 random configurations)...\n",
+                GetApp(parsed.spec.app).name.c_str());
+    std::vector<double> fingerprint =
+        ComputeImportanceFingerprint(bench, 300, parsed.spec.seed ^ 0xf19);
+    std::vector<DonorMatch> matches = zoo.RankDonors(fingerprint);
+    if (matches.empty()) {
+      std::printf("no compatible donors in %s\n", dir.c_str());
+      return 0;
+    }
+    std::printf("%-16s %s\n", "donor", "similarity");
+    for (const DonorMatch& match : matches) {
+      std::printf("%-16s %.3f\n", match.name.c_str(), match.similarity);
+    }
+    std::printf("\nwarm-start with: wfctl start %s --model-in %s/%s.wfnn\n", argv[2],
+                dir.c_str(), matches.front().name.c_str());
+    return 0;
+  }
+  return Usage();
+}
+
+int CmdRender(const std::string& job_path, const std::string& checkpoint_path) {
+  JobSpec spec;
+  std::shared_ptr<ConfigSpace> space;
+  CheckpointLoadResult loaded;
+  if (int rc = LoadSession(job_path, checkpoint_path, &spec, &space, &loaded); rc != 0) {
+    return rc;
+  }
+  const TrialRecord* best = BestTrial(loaded.history);
+  if (best == nullptr) {
+    std::fprintf(stderr, "wfctl: checkpoint has no successful trial\n");
+    return 1;
+  }
+  PrintArtifacts(*best);
+  return 0;
+}
+
+// §3.4 end to end: boot the (simulated) guest, list writable pseudo-files,
+// infer types, probe ranges by x10 scaling, mine multi-choice vocabularies.
+int CmdProbe(const std::string& job_path) {
+  JobParseResult parsed = ParseJobFile(job_path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "wfctl: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  ConfigSpace space = BuildJobSpace(parsed.spec);
+  SimulatedSysfs sysfs(&space, HashCombine(parsed.spec.seed, 0x960be),
+                       /*bracket_choice_files=*/true);
+  ProbeReport report = ProbeRuntimeSpace(sysfs);
+  std::printf("probed %zu writable pseudo-files\n", sysfs.ListWritablePaths().size());
+  std::printf("  discovered:   %zu parameters\n", report.params.size());
+  std::printf("  manual-only:  %zu non-numeric files\n", report.skipped_non_numeric.size());
+  std::printf("  writes:       %zu attempted, %zu rejected, %zu guest crashes\n",
+              report.writes_attempted, report.writes_rejected, report.crashes);
+  std::printf("\n%-38s %-10s %-10s %s\n", "parameter", "kind", "default", "domain");
+  size_t shown = 0;
+  for (const ParamSpec& spec : report.params) {
+    std::string domain;
+    if (spec.kind == ParamKind::kString) {
+      for (size_t i = 0; i < spec.choices.size(); ++i) {
+        domain += (i == 0 ? "" : "|") + spec.choices[i];
+      }
+    } else {
+      domain = "[" + std::to_string(spec.min_value) + ", " +
+               std::to_string(spec.max_value) + "]";
+    }
+    std::printf("%-38s %-10s %-10s %s\n", spec.name.c_str(), ParamKindName(spec.kind),
+                spec.FormatValue(spec.default_value).c_str(), domain.c_str());
+    if (++shown >= 20) {
+      std::printf("... (%zu more)\n", report.params.size() - shown);
+      break;
+    }
+  }
+  return 0;
+}
+
+// §3.5 future work in practice: calibrate a linear metric map between two
+// jobs' substrates from paired runs, rescale the source checkpoint into
+// target units, and write it out for `start --resume` on the target job.
+int CmdTransfer(const std::string& source_job_path, const std::string& target_job_path,
+                const std::string& source_ckpt, const std::string& out_ckpt) {
+  JobParseResult source_job = ParseJobFile(source_job_path);
+  JobParseResult target_job = ParseJobFile(target_job_path);
+  if (!source_job.ok || !target_job.ok) {
+    std::fprintf(stderr, "wfctl: %s\n",
+                 (!source_job.ok ? source_job.error : target_job.error).c_str());
+    return 1;
+  }
+  if (source_job.spec.app != target_job.spec.app) {
+    std::fprintf(stderr, "wfctl: jobs target different applications\n");
+    return 1;
+  }
+  // The transferred history must decode against the *target* job's space.
+  ConfigSpace space = BuildJobSpace(target_job.spec);
+  CheckpointLoadResult loaded = LoadCheckpoint(space, source_ckpt);
+  if (!loaded.ok) {
+    std::fprintf(stderr, "wfctl: %s\n", loaded.error.c_str());
+    return 1;
+  }
+
+  TestbenchOptions source_options;
+  source_options.substrate = source_job.spec.SubstrateKind();
+  source_options.seed = HashCombine(source_job.spec.seed, StableHash(source_job.spec.name));
+  Testbench source(&space, source_job.spec.app, source_options);
+  TestbenchOptions target_options;
+  target_options.substrate = target_job.spec.SubstrateKind();
+  target_options.seed = HashCombine(target_job.spec.seed, StableHash(target_job.spec.name));
+  Testbench target(&space, target_job.spec.app, target_options);
+
+  LinearTransfer transfer = CalibrateTransfer(source, target, /*pairs=*/24,
+                                              HashCombine(source_options.seed, 0x7f));
+  std::printf("calibrated %zu pairs: metric_dst = %.4g * metric_src + %.4g "
+              "(correlation %.3f)\n",
+              transfer.pairs, transfer.slope, transfer.intercept, transfer.correlation);
+  if (!transfer.Reliable()) {
+    std::fprintf(stderr,
+                 "wfctl: transfer unreliable (correlation %.3f < 0.7); measure on the "
+                 "target instead\n",
+                 transfer.correlation);
+    return 1;
+  }
+  std::vector<TrialRecord> mapped = TransferHistory(loaded.history, transfer);
+  if (!SaveCheckpoint(mapped, out_ckpt)) {
+    std::fprintf(stderr, "wfctl: cannot write %s\n", out_ckpt.c_str());
+    return 1;
+  }
+  std::printf("%zu trials mapped into target units -> %s\n", mapped.size(),
+              out_ckpt.c_str());
+  std::printf("continue with: wfctl start %s --resume %s\n", target_job_path.c_str(),
+              out_ckpt.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  if (command == "create") {
+    return CmdCreate(argv[2]);
+  }
+  if (command == "start") {
+    return CmdStart(argc - 2, argv + 2);
+  }
+  if (command == "report" && argc >= 4) {
+    return CmdReport(argv[2], argv[3]);
+  }
+  if (command == "render" && argc >= 4) {
+    return CmdRender(argv[2], argv[3]);
+  }
+  if (command == "probe") {
+    return CmdProbe(argv[2]);
+  }
+  if (command == "zoo") {
+    return CmdZoo(argc - 2, argv + 2);
+  }
+  if (command == "transfer" && argc >= 6) {
+    return CmdTransfer(argv[2], argv[3], argv[4], argv[5]);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace wayfinder
+
+int main(int argc, char** argv) { return wayfinder::Main(argc, argv); }
