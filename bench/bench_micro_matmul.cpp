@@ -1,0 +1,144 @@
+// Micro-benchmarks of the numeric substrate, emitting JSON so future PRs
+// have a perf trajectory to compare against:
+//
+//   * raw matmul kernels: naive (textbook triple loop) vs fast (4x
+//     k-unrolled, row-streaming, fused bias);
+//   * the fused dense-layer forward;
+//   * DeepTuneModel::PredictBatch at pool sizes 64 / 256 / 1024, fast path
+//     vs the --naive allocation-per-op reference, serial vs threaded.
+//
+// Usage: bench_micro_matmul [--naive] [--threads N] [--dim D]
+//   --naive     only measure the reference path (the seed implementation)
+//   --threads   also measure the fast path with the shared-pool row split
+//
+// Output: one JSON object per line ({"bench": ..., "ops_per_sec": ...}),
+// then a summary object with the pool-1024 fast-vs-naive speedup.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/dtm.h"
+#include "src/nn/matrix.h"
+#include "src/util/rng.h"
+
+namespace wayfinder {
+namespace {
+
+std::vector<double> RandomFeatures(Rng& rng, size_t dim) {
+  std::vector<double> x(dim);
+  for (double& v : x) {
+    v = rng.Uniform();
+  }
+  return x;
+}
+
+Matrix RandomMatrix(Rng& rng, size_t rows, size_t cols) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) {
+    v = rng.Normal();
+  }
+  return m;
+}
+
+// Runs `op` until ~0.4 s have elapsed and returns executions per second.
+template <typename Op>
+double OpsPerSec(Op&& op) {
+  using Clock = std::chrono::steady_clock;
+  // Warm up (fills workspaces so steady state is measured).
+  op();
+  size_t iters = 0;
+  auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    op();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 0.4);
+  return static_cast<double>(iters) / elapsed;
+}
+
+void Report(const std::string& bench, const std::string& variant, double ops_per_sec) {
+  std::printf("{\"bench\": \"%s\", \"variant\": \"%s\", \"ops_per_sec\": %.2f}\n",
+              bench.c_str(), variant.c_str(), ops_per_sec);
+}
+
+double BenchPredict(size_t dim, size_t pool, bool naive, size_t threads) {
+  DtmOptions options;
+  options.naive = naive;
+  options.threads = threads;
+  DeepTuneModel model(dim, options);
+  Rng rng(7);
+  for (size_t i = 0; i < 64; ++i) {
+    model.AddSample(RandomFeatures(rng, dim), rng.Bernoulli(0.3), rng.Normal(0.0, 1.0));
+  }
+  model.Update();
+  Matrix candidates = RandomMatrix(rng, pool, dim);
+  for (double& v : candidates.data()) {
+    v = (v + 3.0) / 6.0;  // Roughly [0, 1], like encoded configurations.
+  }
+  return OpsPerSec([&] { model.PredictBatch(candidates); });
+}
+
+}  // namespace
+}  // namespace wayfinder
+
+int main(int argc, char** argv) {
+  using namespace wayfinder;
+  bool naive_only = false;
+  size_t threads = 0;
+  size_t dim = 263;  // The Linux space's feature width.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--naive") == 0) {
+      naive_only = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--dim") == 0 && i + 1 < argc) {
+      dim = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
+
+  Rng rng(3);
+  Matrix a = RandomMatrix(rng, 256, dim);
+  Matrix b = RandomMatrix(rng, dim, 64);
+  Matrix bias = RandomMatrix(rng, 1, 64);
+  Matrix out;
+
+  if (!naive_only) {
+    Report("matmul_256x" + std::to_string(dim) + "x64", "fast",
+           OpsPerSec([&] { MatMulInto(a, b, out); }));
+    Report("matmul_fused_bias_256x" + std::to_string(dim) + "x64", "fast",
+           OpsPerSec([&] { MatMulAddBiasInto(a, b, bias, out); }));
+  }
+  Report("matmul_256x" + std::to_string(dim) + "x64", "naive",
+         OpsPerSec([&] { NaiveMatMul(a, b); }));
+
+  double naive_1024 = 0.0;
+  double fast_1024 = 0.0;
+  for (size_t pool : {size_t{64}, size_t{256}, size_t{1024}}) {
+    std::string bench = "predict_batch_" + std::to_string(pool);
+    double naive_ops = BenchPredict(dim, pool, /*naive=*/true, 0);
+    Report(bench, "naive", naive_ops);
+    if (pool == 1024) {
+      naive_1024 = naive_ops;
+    }
+    if (!naive_only) {
+      double fast_ops = BenchPredict(dim, pool, /*naive=*/false, 0);
+      Report(bench, "fast", fast_ops);
+      if (pool == 1024) {
+        fast_1024 = fast_ops;
+      }
+      if (threads > 1) {
+        Report(bench, "fast_t" + std::to_string(threads),
+               BenchPredict(dim, pool, /*naive=*/false, threads));
+      }
+    }
+  }
+
+  if (!naive_only && naive_1024 > 0.0) {
+    std::printf("{\"bench\": \"predict_batch_1024_speedup\", \"fast_over_naive\": %.2f}\n",
+                fast_1024 / naive_1024);
+  }
+  return 0;
+}

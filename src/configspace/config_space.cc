@@ -331,10 +331,27 @@ int64_t ConfigSpace::DecodeParam(size_t index, double feature) const {
 
 std::vector<double> ConfigSpace::Encode(const Configuration& config) const {
   std::vector<double> features(params_.size());
-  for (size_t i = 0; i < params_.size(); ++i) {
-    features[i] = EncodeParam(i, config.Raw(i));
-  }
+  EncodeInto(config, features.data());
   return features;
+}
+
+void ConfigSpace::EncodeInto(const Configuration& config, double* out) const {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    out[i] = EncodeParam(i, config.Raw(i));
+  }
+}
+
+const std::vector<double>& ConfigSpace::EncodeMemoized(const Configuration& config) const {
+  if (encode_cache_.empty()) {
+    encode_cache_.resize(kEncodeCacheSlots);
+  }
+  EncodeCacheEntry& entry = encode_cache_[config.Hash() % kEncodeCacheSlots];
+  if (entry.values != config.values()) {
+    entry.values = config.values();
+    entry.features.resize(params_.size());
+    EncodeInto(config, entry.features.data());
+  }
+  return entry.features;
 }
 
 size_t ConfigSpace::CountPhase(ParamPhase phase) const {

@@ -127,6 +127,15 @@ class ConfigSpace {
   // (log-scaled, if flagged) position within [min, max].
   size_t FeatureDimension() const { return params_.size(); }
   std::vector<double> Encode(const Configuration& config) const;
+  // Writes the feature vector into `out` (FeatureDimension() doubles) —
+  // the allocation-free form the batched proposal path uses to fill one
+  // row of the candidate matrix per configuration.
+  void EncodeInto(const Configuration& config, double* out) const;
+  // Memoized Encode through a small direct-mapped cache keyed by the
+  // configuration hash (values compared exactly before a hit is served).
+  // Pays off for configurations encoded over and over — elites mutated
+  // into candidate pools, Table-3-style re-scoring loops. Not thread-safe.
+  const std::vector<double>& EncodeMemoized(const Configuration& config) const;
   double EncodeParam(size_t index, int64_t value) const;
   // Inverse of EncodeParam (rounds to the nearest domain value).
   int64_t DecodeParam(size_t index, double feature) const;
@@ -144,6 +153,15 @@ class ConfigSpace {
   std::unordered_map<std::string, size_t> index_by_name_;
   std::vector<bool> frozen_;
   std::vector<int64_t> frozen_value_;
+
+  // EncodeMemoized's direct-mapped cache. Mutable: memoization is an
+  // implementation detail of a logically-const encoding.
+  struct EncodeCacheEntry {
+    std::vector<int64_t> values;  // Exact key; empty = slot unused.
+    std::vector<double> features;
+  };
+  static constexpr size_t kEncodeCacheSlots = 64;
+  mutable std::vector<EncodeCacheEntry> encode_cache_;
 };
 
 }  // namespace wayfinder

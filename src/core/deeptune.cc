@@ -72,28 +72,27 @@ Configuration DeepTuneSearcher::Propose(SearchContext& context) {
   }
 
   // --- 2. Model predictions ---------------------------------------------------
-  std::vector<std::vector<double>> encoded(pool.size());
+  // The whole candidate pool is encoded into one row-major batch matrix and
+  // ranked with a single DTM forward pass.
+  size_t dim = space_->FeatureDimension();
+  pool_encoded_.Reshape(pool.size(), dim);
   for (size_t i = 0; i < pool.size(); ++i) {
-    encoded[i] = space_->Encode(pool[i]);
+    space_->EncodeInto(pool[i], pool_encoded_.Row(i));
   }
-  std::vector<DtmPrediction> predictions = model_.PredictBatch(encoded);
+  std::vector<DtmPrediction> predictions = model_.PredictBatch(pool_encoded_);
   std::vector<double> sigma_norm = NormalizeSigmas(predictions);
 
   // --- 3. Scoring (Eq. 2 + Eq. 3 merged with the prediction) ------------------
-  std::vector<std::vector<double>> known;
+  // ds() against the most recent evaluations; older points matter less and
+  // the window keeps proposal cost O(1) per iteration. The encoded window
+  // lives in a ring cache that only ever encodes each trial once.
   if (context.history != nullptr) {
-    // ds() against the most recent evaluations; older points matter less
-    // and the cap keeps proposal cost O(1) per iteration.
-    size_t take = std::min<size_t>(context.history->size(), 128);
-    known.reserve(take);
-    for (size_t i = context.history->size() - take; i < context.history->size(); ++i) {
-      known.push_back(space_->Encode((*context.history)[i].config));
-    }
+    SyncHistoryCache(*context.history);
   }
   size_t best = 0;
   double best_score = -std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < pool.size(); ++i) {
-    double ds = Dissimilarity(encoded[i], known);
+    double ds = Dissimilarity(pool_encoded_.Row(i), dim, history_encoded_, history_rows_);
     double score = RankScore(predictions[i], ds, sigma_norm[i], scoring_);
     if (score > best_score) {
       best_score = score;
@@ -103,9 +102,42 @@ Configuration DeepTuneSearcher::Propose(SearchContext& context) {
   return pool[best];
 }
 
+void DeepTuneSearcher::SyncHistoryCache(const std::vector<TrialRecord>& history) {
+  size_t dim = space_->FeatureDimension();
+  // Detect a replaced history (searcher reused across sessions, resume into
+  // a different prior): the vector shrank, or the last trial we synced is no
+  // longer the same configuration at that position.
+  bool replaced = history.size() < history_synced_;
+  if (!replaced && history_synced_ > 0) {
+    replaced = history[history_synced_ - 1].config.Hash() != last_synced_hash_;
+  }
+  if (replaced) {
+    history_rows_ = 0;
+    history_next_ = 0;
+    history_synced_ = 0;
+  }
+  if (history_encoded_.rows() != kHistoryWindow || history_encoded_.cols() != dim) {
+    history_encoded_.Reshape(kHistoryWindow, dim);
+  }
+  // Only the window's worth of tail can ever be live in the ring.
+  size_t begin = history_synced_;
+  if (history.size() - begin > kHistoryWindow) {
+    begin = history.size() - kHistoryWindow;
+  }
+  for (size_t i = begin; i < history.size(); ++i) {
+    space_->EncodeInto(history[i].config, history_encoded_.Row(history_next_));
+    history_next_ = (history_next_ + 1) % kHistoryWindow;
+    history_rows_ = std::min(history_rows_ + 1, kHistoryWindow);
+  }
+  history_synced_ = history.size();
+  if (history_synced_ > 0) {
+    last_synced_hash_ = history[history_synced_ - 1].config.Hash();
+  }
+}
+
 void DeepTuneSearcher::Observe(const TrialRecord& trial, SearchContext& context) {
   (void)context;
-  model_.AddSample(space_->Encode(trial.config), trial.crashed(),
+  model_.AddSample(space_->EncodeMemoized(trial.config), trial.crashed(),
                    trial.HasObjective() ? trial.objective : 0.0);
   ++observed_;
 
@@ -138,11 +170,13 @@ size_t DeepTuneSearcher::MemoryBytes() const {
   for (const Configuration& elite : elites_) {
     bytes += elite.Size() * sizeof(int64_t);
   }
+  // Proposal-path scratch and the encoded-history ring.
+  bytes += (pool_encoded_.size() + history_encoded_.size()) * sizeof(double);
   return bytes;
 }
 
 DtmPrediction DeepTuneSearcher::PredictConfig(const Configuration& config) {
-  return model_.Predict(space_->Encode(config));
+  return model_.Predict(space_->EncodeMemoized(config));
 }
 
 std::vector<double> DeepTuneSearcher::ParameterImpacts(SearchContext& context) {

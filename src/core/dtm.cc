@@ -6,6 +6,7 @@
 
 #include "src/nn/serialize.h"
 #include "src/util/stats.h"
+#include "src/util/thread_pool.h"
 
 namespace wayfinder {
 
@@ -92,21 +93,27 @@ double DeepTuneModel::DenormalizeObjective(double normalized) const {
   return normalized * objective_std_ + objective_mean_;
 }
 
-DeepTuneModel::ForwardCache DeepTuneModel::Forward(const Matrix& x, bool training) {
-  ForwardCache cache;
-  cache.h1_pre = dense1_.Forward(x);
-  cache.h1_act = relu1_.Forward(cache.h1_pre);
-  cache.h1_drop = dropout_.Forward(cache.h1_act, rng_, training);
-  Matrix h2_pre = dense2_.Forward(cache.h1_drop);
-  cache.h2_act = relu2_.Forward(h2_pre);
-  cache.crash_logits = crash_head_.Forward(cache.h2_act);
-  cache.yhat = perf_head_.Forward(cache.h2_act);
-  cache.phi0 = rbf0_.Forward(x);
-  cache.phi1 = rbf1_.Forward(cache.h1_drop);
-  cache.phi2 = rbf2_.Forward(cache.h2_act);
-  Matrix phi = ConcatCols(ConcatCols(cache.phi0, cache.phi1), cache.phi2);
-  cache.s = unc_head_.Forward(phi);
-  return cache;
+Parallelism DeepTuneModel::Par() const {
+  if (options_.threads <= 1) {
+    return Parallelism{};
+  }
+  return Parallelism{&ThreadPool::Shared(), options_.threads};
+}
+
+void DeepTuneModel::Forward(const Matrix& x, bool training) {
+  Parallelism par = Par();
+  ws_.Count(dense1_.ForwardInto(x, ws_.h1, par));  // Fused x W + b.
+  relu1_.ForwardInPlace(ws_.h1);
+  dropout_.ForwardInPlace(ws_.h1, rng_, training);
+  ws_.Count(dense2_.ForwardInto(ws_.h1, ws_.h2, par));
+  relu2_.ForwardInPlace(ws_.h2);
+  ws_.Count(crash_head_.ForwardInto(ws_.h2, ws_.crash_logits, par));
+  ws_.Count(perf_head_.ForwardInto(ws_.h2, ws_.yhat, par));
+  ws_.Count(rbf0_.ForwardInto(x, ws_.phi0, par));
+  ws_.Count(rbf1_.ForwardInto(ws_.h1, ws_.phi1, par));
+  ws_.Count(rbf2_.ForwardInto(ws_.h2, ws_.phi2, par));
+  ws_.Count(ConcatCols3Into(ws_.phi0, ws_.phi1, ws_.phi2, ws_.phi));
+  ws_.Count(unc_head_.ForwardInto(ws_.phi, ws_.s, par));
 }
 
 double DeepTuneModel::Update() {
@@ -114,67 +121,60 @@ double DeepTuneModel::Update() {
     return 0.0;
   }
   RefreshNormalizer();
+  Parallelism par = Par();
   double last_loss = 0.0;
   size_t batch = std::min(options_.batch_size, xs_.size());
+  ws_.Count(ws_.x.Reshape(batch, input_dim_) ? 1 : 0);
+  std::vector<int> crash_target(batch);
+  std::vector<double> y(batch);
+  std::vector<bool> mask(batch);
   for (size_t step = 0; step < options_.steps_per_update; ++step) {
     // Sample a minibatch (with replacement) from the replay buffer.
-    Matrix x(batch, input_dim_);
-    std::vector<int> crash_target(batch);
-    std::vector<double> y(batch, 0.0);
-    std::vector<bool> mask(batch, false);
     for (size_t b = 0; b < batch; ++b) {
       size_t i = static_cast<size_t>(
           rng_.UniformInt(0, static_cast<int64_t>(xs_.size()) - 1));
       for (size_t j = 0; j < input_dim_; ++j) {
-        x.At(b, j) = xs_[i][j];
+        ws_.x.At(b, j) = xs_[i][j];
       }
       crash_target[b] = crashed_[i] ? 1 : 0;
+      y[b] = 0.0;
+      mask[b] = false;
       if (!crashed_[i]) {
         y[b] = NormalizeObjective(objectives_[i]);
         mask[b] = true;
       }
     }
 
-    ForwardCache cache = Forward(x, /*training=*/true);
+    Forward(ws_.x, /*training=*/true);
 
     // --- Losses ------------------------------------------------------------
-    Matrix dlogits;
-    double loss_cce = SoftmaxCrossEntropy(cache.crash_logits, crash_target, &dlogits);
-    Matrix dyhat;
-    Matrix ds;
-    double loss_reg = HeteroscedasticLoss(cache.yhat, cache.s, y, mask, &dyhat, &ds);
+    double loss_cce = SoftmaxCrossEntropy(ws_.crash_logits, crash_target, &ws_.dlogits, ws_.probs);
+    double loss_reg = HeteroscedasticLoss(ws_.yhat, ws_.s, y, mask, &ws_.dyhat, &ws_.ds);
     double loss_cham = rbf0_.AccumulateChamferGradient(options_.chamfer_weight) +
                        rbf1_.AccumulateChamferGradient(options_.chamfer_weight) +
                        rbf2_.AccumulateChamferGradient(options_.chamfer_weight);
     last_loss = loss_cce + loss_reg + options_.chamfer_weight * loss_cham;
 
-    // --- Backward ------------------------------------------------------------
-    Matrix dphi = unc_head_.Backward(ds);
+    // --- Backward -----------------------------------------------------------
+    ws_.Count(unc_head_.BackwardInto(ws_.ds, &ws_.dphi, par));
     size_t k = options_.rbf_centroids;
-    Matrix dphi0 = SliceCols(dphi, 0, k);
-    Matrix dphi1 = SliceCols(dphi, k, 2 * k);
-    Matrix dphi2 = SliceCols(dphi, 2 * k, 3 * k);
+    ws_.Count(SliceColsInto(ws_.dphi, 0, k, ws_.dphi0));
+    ws_.Count(SliceColsInto(ws_.dphi, k, 2 * k, ws_.dphi1));
+    ws_.Count(SliceColsInto(ws_.dphi, 2 * k, 3 * k, ws_.dphi2));
 
-    Matrix dh2 = crash_head_.Backward(dlogits);
-    {
-      Matrix dh2_perf = perf_head_.Backward(dyhat);
-      Matrix dh2_rbf = rbf2_.Backward(dphi2);
-      for (size_t i = 0; i < dh2.size(); ++i) {
-        dh2.data()[i] += dh2_perf.data()[i] + dh2_rbf.data()[i];
-      }
+    ws_.Count(crash_head_.BackwardInto(ws_.dlogits, &ws_.dh2, par));
+    ws_.Count(perf_head_.BackwardInto(ws_.dyhat, &ws_.dh2_scratch, par));
+    for (size_t i = 0; i < ws_.dh2.size(); ++i) {
+      ws_.dh2.data()[i] += ws_.dh2_scratch.data()[i];
     }
-    Matrix dh2_pre = relu2_.Backward(dh2);
-    Matrix dh1_drop = dense2_.Backward(dh2_pre);
-    {
-      Matrix dh1_rbf = rbf1_.Backward(dphi1);
-      for (size_t i = 0; i < dh1_drop.size(); ++i) {
-        dh1_drop.data()[i] += dh1_rbf.data()[i];
-      }
-    }
-    Matrix dh1_act = dropout_.Backward(dh1_drop);
-    Matrix dh1_pre = relu1_.Backward(dh1_act);
-    dense1_.Backward(dh1_pre);
-    rbf0_.Backward(dphi0);  // Input gradient discarded.
+    rbf2_.BackwardInto(ws_.dphi2, &ws_.dh2, /*accumulate=*/true);
+    relu2_.BackwardInPlace(ws_.dh2);
+    ws_.Count(dense2_.BackwardInto(ws_.dh2, &ws_.dh1, par));
+    rbf1_.BackwardInto(ws_.dphi1, &ws_.dh1, /*accumulate=*/true);
+    dropout_.BackwardInPlace(ws_.dh1);
+    relu1_.BackwardInPlace(ws_.dh1);
+    dense1_.BackwardInto(ws_.dh1, /*dx=*/nullptr);
+    rbf0_.BackwardInto(ws_.dphi0, /*dz=*/nullptr);  // Input gradient discarded.
 
     adam_->Step();
   }
@@ -182,30 +182,104 @@ double DeepTuneModel::Update() {
 }
 
 DtmPrediction DeepTuneModel::Predict(const std::vector<double>& x) {
-  return PredictBatch({x}).front();
+  assert(x.size() == input_dim_);
+  if (options_.naive) {
+    Matrix staged = Matrix::FromRow(x);
+    return PredictBatchNaive(staged).front();
+  }
+  // Route straight through the batched forward: stage the single row in the
+  // workspace, no per-call vector-of-vectors.
+  ws_.Count(ws_.x.Reshape(1, input_dim_) ? 1 : 0);
+  std::copy(x.begin(), x.end(), ws_.x.Row(0));
+  Forward(ws_.x, /*training=*/false);
+  return PredictFromWorkspace(1).front();
 }
 
 std::vector<DtmPrediction> DeepTuneModel::PredictBatch(
     const std::vector<std::vector<double>>& xs) {
-  std::vector<DtmPrediction> predictions;
   if (xs.empty()) {
-    return predictions;
+    return {};
   }
-  Matrix x(xs.size(), input_dim_);
+  // Stage through the workspace so repeat same-shaped calls don't allocate.
+  ws_.Count(ws_.x.Reshape(xs.size(), input_dim_) ? 1 : 0);
   for (size_t i = 0; i < xs.size(); ++i) {
     assert(xs[i].size() == input_dim_);
-    for (size_t j = 0; j < input_dim_; ++j) {
-      x.At(i, j) = xs[i][j];
-    }
+    std::copy(xs[i].begin(), xs[i].end(), ws_.x.Row(i));
   }
-  ForwardCache cache = Forward(x, /*training=*/false);
-  Matrix probs = Softmax(cache.crash_logits);
-  predictions.resize(xs.size());
-  for (size_t i = 0; i < xs.size(); ++i) {
-    predictions[i].crash_prob = probs.At(i, 1);
-    predictions[i].objective = cache.yhat.At(i, 0);
-    double s = std::clamp(cache.s.At(i, 0), -10.0, 10.0);
+  if (options_.naive) {
+    return PredictBatchNaive(ws_.x);
+  }
+  Forward(ws_.x, /*training=*/false);
+  return PredictFromWorkspace(ws_.x.rows());
+}
+
+std::vector<DtmPrediction> DeepTuneModel::PredictBatch(const Matrix& xs) {
+  if (xs.rows() == 0) {
+    return {};
+  }
+  assert(xs.cols() == input_dim_);
+  if (options_.naive) {
+    return PredictBatchNaive(xs);
+  }
+  Forward(xs, /*training=*/false);
+  return PredictFromWorkspace(xs.rows());
+}
+
+std::vector<DtmPrediction> DeepTuneModel::PredictFromWorkspace(size_t n) {
+  ws_.Count(SoftmaxInto(ws_.crash_logits, ws_.probs));
+  std::vector<DtmPrediction> predictions(n);
+  for (size_t i = 0; i < n; ++i) {
+    predictions[i].crash_prob = ws_.probs.At(i, 1);
+    predictions[i].objective = ws_.yhat.At(i, 0);
+    double s = std::clamp(ws_.s.At(i, 0), -10.0, 10.0);
     predictions[i].sigma = std::exp(0.5 * s);
+  }
+  return predictions;
+}
+
+// The seed implementation, verbatim in structure: textbook kernels and a
+// fresh matrix per op. Kept as the correctness and performance baseline for
+// equivalence tests and bench_micro_matmul --naive.
+std::vector<DtmPrediction> DeepTuneModel::PredictBatchNaive(const Matrix& xs) {
+  auto dense_naive = [](const Matrix& in, DenseLayer& layer) {
+    Matrix out = NaiveMatMul(in, layer.weight().value);
+    AddRowInPlace(out, layer.bias().value);
+    return out;
+  };
+  auto relu_naive = [](const Matrix& in) {
+    Matrix out = in;
+    for (double& v : out.data()) {
+      v = std::max(0.0, v);
+    }
+    return out;
+  };
+  auto rbf_naive = [](const Matrix& in, RbfLayer& layer) {
+    const Matrix& c = layer.centroid_values();
+    Matrix phi(in.rows(), c.rows());
+    double inv = 1.0 / (2.0 * layer.gamma() * layer.gamma());
+    for (size_t n = 0; n < in.rows(); ++n) {
+      for (size_t ci = 0; ci < c.rows(); ++ci) {
+        phi.At(n, ci) = std::exp(-RowSqDist(in, n, c, ci) * inv);
+      }
+    }
+    return phi;
+  };
+
+  Matrix h1 = relu_naive(dense_naive(xs, dense1_));  // Dropout inactive at inference.
+  Matrix h2 = relu_naive(dense_naive(h1, dense2_));
+  Matrix crash_logits = dense_naive(h2, crash_head_);
+  Matrix yhat = dense_naive(h2, perf_head_);
+  Matrix phi = ConcatCols(ConcatCols(rbf_naive(xs, rbf0_), rbf_naive(h1, rbf1_)),
+                          rbf_naive(h2, rbf2_));
+  Matrix s = dense_naive(phi, unc_head_);
+  Matrix probs = Softmax(crash_logits);
+
+  std::vector<DtmPrediction> predictions(xs.rows());
+  for (size_t i = 0; i < xs.rows(); ++i) {
+    predictions[i].crash_prob = probs.At(i, 1);
+    predictions[i].objective = yhat.At(i, 0);
+    double si = std::clamp(s.At(i, 0), -10.0, 10.0);
+    predictions[i].sigma = std::exp(0.5 * si);
   }
   return predictions;
 }
@@ -219,6 +293,18 @@ bool DeepTuneModel::Load(const std::string& path) {
   return LoadParamsFromFile(Params(), path);
 }
 
+size_t DeepTuneModel::Workspace::Bytes() const {
+  const Matrix* buffers[] = {&x,     &h1,    &h2,    &crash_logits, &yhat,  &s,
+                             &phi0,  &phi1,  &phi2,  &phi,          &probs, &dlogits,
+                             &dyhat, &ds,    &dphi,  &dphi0,        &dphi1, &dphi2,
+                             &dh2,   &dh2_scratch,   &dh1};
+  size_t bytes = 0;
+  for (const Matrix* m : buffers) {
+    bytes += m->size() * sizeof(double);
+  }
+  return bytes;
+}
+
 size_t DeepTuneModel::MemoryBytes() const {
   size_t bytes = 0;
   auto* self = const_cast<DeepTuneModel*>(this);
@@ -230,6 +316,7 @@ size_t DeepTuneModel::MemoryBytes() const {
     bytes += x.size() * sizeof(double);
   }
   bytes += crashed_.size() / 8 + objectives_.size() * sizeof(double);
+  bytes += ws_.Bytes();  // The scratch arena is live model state too.
   return bytes;
 }
 

@@ -50,6 +50,15 @@ struct DtmOptions {
   size_t steps_per_update = 32;  // Constant per observation: O(n) total.
   double chamfer_weight = 0.05;
   uint64_t seed = 0xd7a1;
+  // Parallelism of forward/backward row blocks over the process-wide shared
+  // ThreadPool: number of concurrent row chunks, 0 (or 1) = fully serial.
+  // Row partitioning never changes per-row arithmetic, so any value gives
+  // bit-identical results.
+  size_t threads = 0;
+  // Route inference through the scalar, allocation-per-op reference path
+  // (textbook kernels, one fresh matrix per op — the seed implementation).
+  // Baseline for bench_micro_matmul's --naive mode and equivalence tests.
+  bool naive = false;
 };
 
 struct DtmPrediction {
@@ -74,6 +83,9 @@ class DeepTuneModel {
 
   DtmPrediction Predict(const std::vector<double>& x);
   std::vector<DtmPrediction> PredictBatch(const std::vector<std::vector<double>>& xs);
+  // Batched inference over a row-major (N x input_dim) candidate matrix —
+  // one fused forward pass for the whole pool, no per-candidate staging.
+  std::vector<DtmPrediction> PredictBatch(const Matrix& xs);
 
   // Objective normalization (z-score over successful observations).
   double NormalizeObjective(double objective) const;
@@ -92,14 +104,36 @@ class DeepTuneModel {
 
   const DtmOptions& options() const { return options_; }
 
+  // Times any workspace buffer had to (re)allocate. Stable across repeated
+  // same-shaped Forward calls — the zero-alloc-after-warmup guarantee that
+  // tests assert on.
+  size_t workspace_grow_count() const { return ws_.grow_count; }
+
  private:
-  struct ForwardCache {
-    Matrix h1_pre, h1_act, h1_drop, h2_act;
-    Matrix crash_logits, yhat;
-    Matrix phi0, phi1, phi2, s;
+  // Scratch arena for one forward/backward round. Buffers are reshaped in
+  // place every call and only ever grow, so a warm model's hot path does no
+  // heap allocation.
+  struct Workspace {
+    Matrix x;                          // Staged input batch.
+    Matrix h1, h2;                     // Trunk activations (in-place ReLU/dropout).
+    Matrix crash_logits, yhat, s;      // Head outputs.
+    Matrix phi0, phi1, phi2, phi;      // RBF activations and their concat.
+    Matrix probs;                      // Softmax output for prediction.
+    Matrix dlogits, dyhat, ds;         // Loss gradients.
+    Matrix dphi, dphi0, dphi1, dphi2;  // Uncertainty-branch gradients.
+    Matrix dh2, dh2_scratch, dh1;      // Trunk gradients.
+    size_t grow_count = 0;
+
+    void Count(size_t grew) { grow_count += grew; }
+    size_t Bytes() const;
   };
 
-  ForwardCache Forward(const Matrix& x, bool training);
+  // Fast path: runs the network over `x` into the workspace. `x` must stay
+  // alive/unmodified until the round's backward pass completes.
+  void Forward(const Matrix& x, bool training);
+  std::vector<DtmPrediction> PredictFromWorkspace(size_t n);
+  std::vector<DtmPrediction> PredictBatchNaive(const Matrix& xs);
+  Parallelism Par() const;
   void RefreshNormalizer();
 
   size_t input_dim_;
@@ -118,6 +152,7 @@ class DeepTuneModel {
   RbfLayer rbf2_;
   DenseLayer unc_head_;
   std::unique_ptr<Adam> adam_;
+  Workspace ws_;
 
   // Replay buffer.
   std::vector<std::vector<double>> xs_;

@@ -6,6 +6,17 @@
 
 namespace wayfinder {
 
+namespace {
+
+double DissimilarityFromNearest(double nearest, size_t dim) {
+  // Per-dimension normalization keeps ds in a useful range regardless of
+  // the space's width.
+  double normalized = nearest / static_cast<double>(std::max<size_t>(1, dim)) * 16.0;
+  return 1.0 - 1.0 / (1.0 + normalized);
+}
+
+}  // namespace
+
 double Dissimilarity(const std::vector<double>& x,
                      const std::vector<std::vector<double>>& known) {
   if (known.empty()) {
@@ -21,10 +32,18 @@ double Dissimilarity(const std::vector<double>& x,
     }
     nearest = std::min(nearest, sq);
   }
-  // Per-dimension normalization keeps ds in a useful range regardless of
-  // the space's width.
-  double normalized = nearest / std::max<size_t>(1, x.size()) * 16.0;
-  return 1.0 - 1.0 / (1.0 + normalized);
+  return DissimilarityFromNearest(nearest, x.size());
+}
+
+double Dissimilarity(const double* x, size_t dim, const Matrix& known, size_t known_rows) {
+  if (known_rows == 0) {
+    return 1.0;
+  }
+  double nearest = std::numeric_limits<double>::max();
+  for (size_t r = 0; r < known_rows; ++r) {
+    nearest = std::min(nearest, SqDist(x, known.Row(r), dim));
+  }
+  return DissimilarityFromNearest(nearest, dim);
 }
 
 std::vector<double> NormalizeSigmas(const std::vector<DtmPrediction>& predictions) {

@@ -20,6 +20,11 @@ namespace wayfinder {
 double Dissimilarity(const std::vector<double>& x,
                      const std::vector<std::vector<double>>& known);
 
+// Same score over the batched layout: `x` is one row of the candidate
+// matrix (`dim` wide) and `known` the first `known_rows` rows of an
+// encoded-history matrix. Avoids any per-candidate staging.
+double Dissimilarity(const double* x, size_t dim, const Matrix& known, size_t known_rows);
+
 struct ScoreOptions {
   double alpha = 0.5;           // Eq. 3 exploration blend.
   double predict_weight = 1.0;  // Weight of the predicted objective ŷ.

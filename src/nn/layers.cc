@@ -1,8 +1,11 @@
 #include "src/nn/layers.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "src/util/thread_pool.h"
 
 namespace wayfinder {
 
@@ -13,72 +16,94 @@ DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, Rng& rng) {
   bias_.grad.Resize(1, out_dim);
 }
 
-Matrix DenseLayer::Forward(const Matrix& x) {
+size_t DenseLayer::ForwardInto(const Matrix& x, Matrix& y, const Parallelism& par) {
   assert(x.cols() == weight_.value.rows());
-  last_input_ = x;
-  Matrix y = MatMul(x, weight_.value);
-  AddRowInPlace(y, bias_.value);
+  last_input_ = &x;
+  return MatMulAddBiasInto(x, weight_.value, bias_.value, y, par);
+}
+
+size_t DenseLayer::BackwardInto(const Matrix& dy, Matrix* dx, const Parallelism& par) {
+  // dW += X^T dY ; db += colsum(dY) ; dX = dY W^T.
+  assert(last_input_ != nullptr);
+  MatMulAtAccum(*last_input_, dy, weight_.grad);
+  ColSumAccum(dy, bias_.grad);
+  if (dx == nullptr) {
+    return 0;
+  }
+  return MatMulBtInto(dy, weight_.value, *dx, par);
+}
+
+Matrix DenseLayer::Forward(const Matrix& x) {
+  input_copy_ = x;
+  Matrix y;
+  ForwardInto(input_copy_, y);
   return y;
 }
 
 Matrix DenseLayer::Backward(const Matrix& dy) {
-  // dW += X^T dY ; db += colsum(dY) ; dX = dY W^T.
-  Matrix dw = MatMulAt(last_input_, dy);
-  for (size_t i = 0; i < dw.size(); ++i) {
-    weight_.grad.data()[i] += dw.data()[i];
+  Matrix dx;
+  BackwardInto(dy, &dx);
+  return dx;
+}
+
+void ReluLayer::ForwardInPlace(Matrix& x) {
+  ReluInPlace(x);
+  mask_source_ = &x;
+}
+
+void ReluLayer::BackwardInPlace(Matrix& dy) {
+  assert(mask_source_ != nullptr && mask_source_->size() == dy.size());
+  for (size_t i = 0; i < dy.size(); ++i) {
+    if (mask_source_->data()[i] <= 0.0) {
+      dy.data()[i] = 0.0;
+    }
   }
-  Matrix db = ColSum(dy);
-  for (size_t i = 0; i < db.size(); ++i) {
-    bias_.grad.data()[i] += db.data()[i];
-  }
-  return MatMulBt(dy, weight_.value);
 }
 
 Matrix ReluLayer::Forward(const Matrix& x) {
-  last_input_ = x;
-  Matrix y = x;
-  for (double& v : y.data()) {
-    if (v < 0.0) {
-      v = 0.0;
-    }
-  }
-  return y;
+  input_copy_ = x;
+  ForwardInPlace(input_copy_);
+  return input_copy_;
 }
 
 Matrix ReluLayer::Backward(const Matrix& dy) {
   Matrix dx = dy;
-  for (size_t i = 0; i < dx.size(); ++i) {
-    if (last_input_.data()[i] <= 0.0) {
-      dx.data()[i] = 0.0;
-    }
-  }
+  BackwardInPlace(dx);
   return dx;
 }
 
-Matrix DropoutLayer::Forward(const Matrix& x, Rng& rng, bool training) {
+void DropoutLayer::ForwardInPlace(Matrix& x, Rng& rng, bool training) {
   active_ = training && rate_ > 0.0;
   if (!active_) {
-    return x;
+    return;
   }
-  last_mask_.Resize(x.rows(), x.cols());
-  Matrix y = x;
+  last_mask_.Reshape(x.rows(), x.cols());
   double keep = 1.0 - rate_;
-  for (size_t i = 0; i < y.size(); ++i) {
+  for (size_t i = 0; i < x.size(); ++i) {
     bool kept = rng.Uniform() < keep;
     last_mask_.data()[i] = kept ? 1.0 / keep : 0.0;
-    y.data()[i] *= last_mask_.data()[i];
+    x.data()[i] *= last_mask_.data()[i];
   }
+}
+
+void DropoutLayer::BackwardInPlace(Matrix& dy) {
+  if (!active_) {
+    return;
+  }
+  for (size_t i = 0; i < dy.size(); ++i) {
+    dy.data()[i] *= last_mask_.data()[i];
+  }
+}
+
+Matrix DropoutLayer::Forward(const Matrix& x, Rng& rng, bool training) {
+  Matrix y = x;
+  ForwardInPlace(y, rng, training);
   return y;
 }
 
 Matrix DropoutLayer::Backward(const Matrix& dy) {
-  if (!active_) {
-    return dy;
-  }
   Matrix dx = dy;
-  for (size_t i = 0; i < dx.size(); ++i) {
-    dx.data()[i] *= last_mask_.data()[i];
-  }
+  BackwardInPlace(dx);
   return dx;
 }
 
@@ -93,45 +118,91 @@ RbfLayer::RbfLayer(size_t in_dim, size_t centroids, double gamma, Rng& rng)
   centroids_.grad.Resize(centroids, in_dim);
 }
 
-Matrix RbfLayer::Forward(const Matrix& z) {
+size_t RbfLayer::ForwardInto(const Matrix& z, Matrix& phi, const Parallelism& par) {
   assert(z.cols() == centroids_.value.cols());
-  last_input_ = z;
-  size_t k = centroids_.value.rows();
-  Matrix phi(z.rows(), k);
-  double inv = 1.0 / (2.0 * gamma_ * gamma_);
-  for (size_t n = 0; n < z.rows(); ++n) {
-    for (size_t c = 0; c < k; ++c) {
-      phi.At(n, c) = std::exp(-RowSqDist(z, n, centroids_.value, c) * inv);
-    }
-  }
-  last_phi_ = phi;
-  return phi;
-}
-
-Matrix RbfLayer::Backward(const Matrix& dphi) {
-  // dphi/dz_n   = phi_nc * (c - z_n) / gamma^2
-  // dphi/dc     = phi_nc * (z_n - c) / gamma^2
+  assert(&z != &phi);
+  last_input_ = &z;
+  last_phi_ = &phi;
   size_t k = centroids_.value.rows();
   size_t d = centroids_.value.cols();
-  Matrix dz(last_input_.rows(), d, 0.0);
+  // ||z - c||^2 = ||z||^2 + ||c||^2 - 2 z·c: the cross term is a fast
+  // matmul instead of K x N scalar distance loops. Rounding can push a
+  // near-zero distance slightly negative, hence the max with 0.
+  size_t grew = MatMulBtInto(z, centroids_.value, phi, par);
+  if (centroid_sq_norms_.size() != k) {
+    centroid_sq_norms_.resize(k);
+  }
+  for (size_t c = 0; c < k; ++c) {
+    const double* crow = centroids_.value.Row(c);
+    double sum = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      sum += crow[j] * crow[j];
+    }
+    centroid_sq_norms_[c] = sum;
+  }
+  double inv = 1.0 / (2.0 * gamma_ * gamma_);
+  ParallelFor(par.pool, z.rows(), /*grain=*/8, par.max_ways, [&](size_t r0, size_t r1) {
+    for (size_t n = r0; n < r1; ++n) {
+      const double* zrow = z.Row(n);
+      double z_sq = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        z_sq += zrow[j] * zrow[j];
+      }
+      double* phirow = phi.Row(n);
+      for (size_t c = 0; c < k; ++c) {
+        double dist = std::max(0.0, z_sq + centroid_sq_norms_[c] - 2.0 * phirow[c]);
+        phirow[c] = std::exp(-dist * inv);
+      }
+    }
+  });
+  return grew;
+}
+
+size_t RbfLayer::BackwardInto(const Matrix& dphi, Matrix* dz, bool accumulate) {
+  // dphi/dz_n   = phi_nc * (c - z_n) / gamma^2
+  // dphi/dc     = phi_nc * (z_n - c) / gamma^2
+  assert(last_input_ != nullptr && last_phi_ != nullptr);
+  const Matrix& z = *last_input_;
+  const Matrix& phi = *last_phi_;
+  size_t k = centroids_.value.rows();
+  size_t d = centroids_.value.cols();
+  size_t grew = 0;
+  if (dz != nullptr && !accumulate) {
+    grew = dz->Reshape(z.rows(), d) ? 1 : 0;
+    dz->Fill(0.0);
+  }
   double inv = 1.0 / (gamma_ * gamma_);
-  for (size_t n = 0; n < last_input_.rows(); ++n) {
+  for (size_t n = 0; n < z.rows(); ++n) {
+    const double* zrow = z.Row(n);
+    double* dzrow = dz != nullptr ? dz->Row(n) : nullptr;
     for (size_t c = 0; c < k; ++c) {
-      double scale = dphi.At(n, c) * last_phi_.At(n, c) * inv;
+      double scale = dphi.At(n, c) * phi.At(n, c) * inv;
       if (scale == 0.0) {
         continue;
       }
-      const double* zrow = last_input_.Row(n);
       const double* crow = centroids_.value.Row(c);
-      double* dzrow = dz.Row(n);
       double* dcrow = centroids_.grad.Row(c);
       for (size_t j = 0; j < d; ++j) {
         double diff = crow[j] - zrow[j];
-        dzrow[j] += scale * diff;
+        if (dzrow != nullptr) {
+          dzrow[j] += scale * diff;
+        }
         dcrow[j] += scale * -diff;
       }
     }
   }
+  return grew;
+}
+
+Matrix RbfLayer::Forward(const Matrix& z) {
+  input_copy_ = z;
+  ForwardInto(input_copy_, phi_copy_);
+  return phi_copy_;
+}
+
+Matrix RbfLayer::Backward(const Matrix& dphi) {
+  Matrix dz;
+  BackwardInto(dphi, &dz);
   return dz;
 }
 
@@ -139,7 +210,8 @@ double RbfLayer::AccumulateChamferGradient(double weight) {
   // Chamfer distance between the centroid set C and the cached batch Z:
   //   L = 1/K sum_c min_n ||c - z_n||^2  +  1/N sum_n min_c ||z_n - c||^2.
   // Gradient w.r.t. C only (prototypes chase the data distribution).
-  const Matrix& z = last_input_;
+  assert(last_input_ != nullptr);
+  const Matrix& z = *last_input_;
   Matrix& c = centroids_.value;
   if (z.rows() == 0) {
     return 0.0;

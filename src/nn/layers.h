@@ -5,6 +5,15 @@
 // Backward needs, Backward accumulates parameter gradients and returns the
 // gradient w.r.t. the input. Parameters are exposed as (value, grad) blocks
 // consumed by the Adam optimizer.
+//
+// Each layer offers two paths:
+//   * the fast path (`ForwardInto` / `ForwardInPlace`, `BackwardInto` /
+//     `BackwardInPlace`) writes into caller-owned workspace matrices and
+//     caches its activations *by pointer*, so a forward/backward round does
+//     no heap allocation once the workspace is warm. The referenced inputs
+//     must stay alive (and unmodified where noted) until the backward pass.
+//   * the allocating wrappers (`Forward` / `Backward`) keep the original
+//     value-returning API; they copy their inputs so temporaries are safe.
 #ifndef WAYFINDER_SRC_NN_LAYERS_H_
 #define WAYFINDER_SRC_NN_LAYERS_H_
 
@@ -23,13 +32,17 @@ struct ParamBlock {
   void ZeroGrad() { grad.Fill(0.0); }
 };
 
-// Fully connected layer: Y = X W + b.
+// Fully connected layer: Y = X W + b (bias add fused into the matmul).
 class DenseLayer {
  public:
   DenseLayer(size_t in_dim, size_t out_dim, Rng& rng);
 
+  // Fast path. Caches `x` by pointer; returns `y` buffer growths.
+  size_t ForwardInto(const Matrix& x, Matrix& y, const Parallelism& par = {});
+  // Accumulates dL/dW, dL/db; writes dL/dX into `dx` unless null.
+  size_t BackwardInto(const Matrix& dy, Matrix* dx, const Parallelism& par = {});
+
   Matrix Forward(const Matrix& x);
-  // Returns dL/dX and accumulates dL/dW, dL/db.
   Matrix Backward(const Matrix& dy);
 
   std::vector<ParamBlock*> Params() { return {&weight_, &bias_}; }
@@ -42,23 +55,36 @@ class DenseLayer {
  private:
   ParamBlock weight_;  // in x out
   ParamBlock bias_;    // 1 x out
-  Matrix last_input_;
+  const Matrix* last_input_ = nullptr;
+  Matrix input_copy_;  // Backing store for the allocating wrapper.
 };
 
 // Elementwise max(0, x).
 class ReluLayer {
  public:
+  // Fast path: clips in place and caches `x` by pointer. Backward masks on
+  // the *output* (y > 0 ⟺ pre-activation > 0), so callers may keep mutating
+  // zero entries (e.g. dropout) without breaking the mask.
+  void ForwardInPlace(Matrix& x);
+  // dy is masked in place.
+  void BackwardInPlace(Matrix& dy);
+
   Matrix Forward(const Matrix& x);
   Matrix Backward(const Matrix& dy);
 
  private:
-  Matrix last_input_;
+  const Matrix* mask_source_ = nullptr;  // Entries <= 0 gate the gradient.
+  Matrix input_copy_;
 };
 
 // Inverted dropout; identity when `training` is false.
 class DropoutLayer {
  public:
   explicit DropoutLayer(double rate) : rate_(rate) {}
+
+  // Fast path: scales in place (no-op when inactive).
+  void ForwardInPlace(Matrix& x, Rng& rng, bool training);
+  void BackwardInPlace(Matrix& dy);
 
   Matrix Forward(const Matrix& x, Rng& rng, bool training);
   Matrix Backward(const Matrix& dy);
@@ -82,8 +108,15 @@ class RbfLayer {
  public:
   RbfLayer(size_t in_dim, size_t centroids, double gamma, Rng& rng);
 
+  // Fast path. Caches `z` and `phi` by pointer; returns `phi` growths.
+  // `z` and `phi` must stay unmodified until Backward /
+  // AccumulateChamferGradient runs.
+  size_t ForwardInto(const Matrix& z, Matrix& phi, const Parallelism& par = {});
+  // Accumulates the centroid gradient; unless `dz` is null, writes (or with
+  // `accumulate`, adds) dL/dZ into it.
+  size_t BackwardInto(const Matrix& dphi, Matrix* dz, bool accumulate = false);
+
   Matrix Forward(const Matrix& z);
-  // dL/dZ from dL/dPhi; accumulates the centroid gradient.
   Matrix Backward(const Matrix& dphi);
 
   std::vector<ParamBlock*> Params() { return {&centroids_}; }
@@ -101,8 +134,11 @@ class RbfLayer {
  private:
   ParamBlock centroids_;  // K x in_dim
   double gamma_;
-  Matrix last_input_;
-  Matrix last_phi_;
+  const Matrix* last_input_ = nullptr;
+  const Matrix* last_phi_ = nullptr;
+  Matrix input_copy_;
+  Matrix phi_copy_;
+  std::vector<double> centroid_sq_norms_;  // Forward scratch.
 };
 
 }  // namespace wayfinder

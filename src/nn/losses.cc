@@ -7,7 +7,13 @@
 namespace wayfinder {
 
 Matrix Softmax(const Matrix& logits) {
-  Matrix probs(logits.rows(), logits.cols());
+  Matrix probs;
+  SoftmaxInto(logits, probs);
+  return probs;
+}
+
+size_t SoftmaxInto(const Matrix& logits, Matrix& probs) {
+  size_t grew = probs.Reshape(logits.rows(), logits.cols()) ? 1 : 0;
   for (size_t i = 0; i < logits.rows(); ++i) {
     const double* row = logits.Row(i);
     double max_logit = row[0];
@@ -24,13 +30,20 @@ Matrix Softmax(const Matrix& logits) {
       probs.At(i, j) /= sum;
     }
   }
-  return probs;
+  return grew;
 }
 
 double SoftmaxCrossEntropy(const Matrix& logits, const std::vector<int>& target_class,
                            Matrix* dlogits) {
+  Matrix probs;
+  return SoftmaxCrossEntropy(logits, target_class, dlogits, probs);
+}
+
+double SoftmaxCrossEntropy(const Matrix& logits, const std::vector<int>& target_class,
+                           Matrix* dlogits, Matrix& probs_scratch) {
   assert(logits.rows() == target_class.size());
-  Matrix probs = Softmax(logits);
+  SoftmaxInto(logits, probs_scratch);
+  const Matrix& probs = probs_scratch;
   double loss = 0.0;
   dlogits->Resize(logits.rows(), logits.cols());
   double inv_n = 1.0 / static_cast<double>(std::max<size_t>(1, logits.rows()));

@@ -23,9 +23,15 @@ namespace wayfinder {
 // has N entries in [0, C). Gradient is (softmax - onehot)/N.
 double SoftmaxCrossEntropy(const Matrix& logits, const std::vector<int>& target_class,
                            Matrix* dlogits);
+// Workspace form: the softmax probabilities land in the caller-provided
+// scratch matrix, so warm training loops do not allocate per step.
+double SoftmaxCrossEntropy(const Matrix& logits, const std::vector<int>& target_class,
+                           Matrix* dlogits, Matrix& probs_scratch);
 
 // Row-wise softmax probabilities.
 Matrix Softmax(const Matrix& logits);
+// Allocation-free variant for warm workspaces; returns `probs` growths.
+size_t SoftmaxInto(const Matrix& logits, Matrix& probs);
 
 // Heteroscedastic regression loss. `yhat` (N x 1) predicted mean, `s`
 // (N x 1) predicted log-variance, `y` targets. Writes d/dyhat and d/ds.

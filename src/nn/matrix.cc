@@ -1,7 +1,11 @@
 #include "src/nn/matrix.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
+
+#include "src/util/thread_pool.h"
 
 namespace wayfinder {
 
@@ -20,6 +24,14 @@ void Matrix::Resize(size_t rows, size_t cols, double fill) {
   data_.assign(rows * cols, fill);
 }
 
+bool Matrix::Reshape(size_t rows, size_t cols) {
+  size_t capacity_before = data_.capacity();
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+  return data_.capacity() != capacity_before;
+}
+
 Matrix Matrix::Xavier(size_t rows, size_t cols, Rng& rng) {
   Matrix m(rows, cols);
   double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
@@ -35,35 +47,182 @@ Matrix Matrix::FromRow(const std::vector<double>& row) {
   return m;
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.rows());
-  Matrix out(a.rows(), b.cols(), 0.0);
-  for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t k = 0; k < a.cols(); ++k) {
-      double aik = a.At(i, k);
+namespace {
+
+// Picks a row grain so one chunk carries at least ~32k flops; below that the
+// pool handoff costs more than it buys.
+size_t RowGrain(size_t flops_per_row) {
+  constexpr size_t kMinFlopsPerChunk = 32 * 1024;
+  return std::max<size_t>(1, kMinFlopsPerChunk / std::max<size_t>(1, flops_per_row));
+}
+
+// Shared inner loop of MatMulInto / MatMulAddBiasInto over rows [r0, r1):
+// 4x k-unrolled, streaming rows of `b` so the inner loop vectorizes.
+void MatMulRowRange(const Matrix& a, const Matrix& b, const double* bias, Matrix& out,
+                    size_t r0, size_t r1) {
+  const size_t k_dim = a.cols();
+  const size_t m_dim = b.cols();
+  for (size_t i = r0; i < r1; ++i) {
+    const double* arow = a.Row(i);
+    double* orow = out.Row(i);
+    if (bias != nullptr) {
+      std::memcpy(orow, bias, m_dim * sizeof(double));
+    } else {
+      std::memset(orow, 0, m_dim * sizeof(double));
+    }
+    size_t k = 0;
+    for (; k + 4 <= k_dim; k += 4) {
+      const double a0 = arow[k];
+      const double a1 = arow[k + 1];
+      const double a2 = arow[k + 2];
+      const double a3 = arow[k + 3];
+      const double* b0 = b.Row(k);
+      const double* b1 = b.Row(k + 1);
+      const double* b2 = b.Row(k + 2);
+      const double* b3 = b.Row(k + 3);
+      for (size_t j = 0; j < m_dim; ++j) {
+        orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+      }
+    }
+    for (; k < k_dim; ++k) {
+      const double aik = arow[k];
       if (aik == 0.0) {
         continue;
       }
       const double* brow = b.Row(k);
-      double* orow = out.Row(i);
-      for (size_t j = 0; j < b.cols(); ++j) {
+      for (size_t j = 0; j < m_dim; ++j) {
         orow[j] += aik * brow[j];
       }
     }
   }
+}
+
+size_t MatMulImpl(const Matrix& a, const Matrix& b, const double* bias, Matrix& out,
+                  const Parallelism& par) {
+  assert(a.cols() == b.rows());
+  assert(&out != &a && &out != &b);
+  size_t grew = out.Reshape(a.rows(), b.cols()) ? 1 : 0;
+  ParallelFor(par.pool, a.rows(), RowGrain(a.cols() * b.cols()), par.max_ways,
+              [&](size_t r0, size_t r1) { MatMulRowRange(a, b, bias, out, r0, r1); });
+  return grew;
+}
+
+}  // namespace
+
+size_t MatMulInto(const Matrix& a, const Matrix& b, Matrix& out, const Parallelism& par) {
+  return MatMulImpl(a, b, /*bias=*/nullptr, out, par);
+}
+
+size_t MatMulAddBiasInto(const Matrix& a, const Matrix& b, const Matrix& bias, Matrix& out,
+                         const Parallelism& par) {
+  assert(bias.rows() == 1 && bias.cols() == b.cols());
+  return MatMulImpl(a, b, bias.Row(0), out, par);
+}
+
+size_t MatMulBtInto(const Matrix& a, const Matrix& b, Matrix& out, const Parallelism& par) {
+  assert(a.cols() == b.cols());
+  assert(&out != &a && &out != &b);
+  size_t grew = out.Reshape(a.rows(), b.rows()) ? 1 : 0;
+  const size_t k_dim = a.cols();
+  ParallelFor(par.pool, a.rows(), RowGrain(k_dim * b.rows()), par.max_ways,
+              [&](size_t r0, size_t r1) {
+                for (size_t i = r0; i < r1; ++i) {
+                  const double* arow = a.Row(i);
+                  double* orow = out.Row(i);
+                  for (size_t j = 0; j < b.rows(); ++j) {
+                    const double* brow = b.Row(j);
+                    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+                    size_t k = 0;
+                    for (; k + 4 <= k_dim; k += 4) {
+                      s0 += arow[k] * brow[k];
+                      s1 += arow[k + 1] * brow[k + 1];
+                      s2 += arow[k + 2] * brow[k + 2];
+                      s3 += arow[k + 3] * brow[k + 3];
+                    }
+                    double sum = (s0 + s1) + (s2 + s3);
+                    for (; k < k_dim; ++k) {
+                      sum += arow[k] * brow[k];
+                    }
+                    orow[j] = sum;
+                  }
+                }
+              });
+  return grew;
+}
+
+size_t MatMulAtInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows() == b.rows());
+  assert(&out != &a && &out != &b);
+  size_t grew = out.Reshape(a.cols(), b.cols()) ? 1 : 0;
+  std::memset(out.data().data(), 0, out.size() * sizeof(double));
+  MatMulAtAccum(a, b, out);
+  return grew;
+}
+
+void MatMulAtAccum(const Matrix& a, const Matrix& b, Matrix& acc) {
+  assert(a.rows() == b.rows());
+  assert(acc.rows() == a.cols() && acc.cols() == b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.Row(k);
+    const double* brow = b.Row(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) {
+        continue;
+      }
+      double* orow = acc.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) {
+        orow[j] += aki * brow[j];
+      }
+    }
+  }
+}
+
+void ColSumAccum(const Matrix& m, Matrix& acc) {
+  assert(acc.rows() == 1 && acc.cols() == m.cols());
+  double* out = acc.Row(0);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.Row(i);
+    for (size_t j = 0; j < m.cols(); ++j) {
+      out[j] += row[j];
+    }
+  }
+}
+
+void ReluInPlace(Matrix& m) {
+  for (double& v : m.data()) {
+    if (v < 0.0) {
+      v = 0.0;
+    }
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulInto(a, b, out);
   return out;
 }
 
 Matrix MatMulBt(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.cols());
-  Matrix out(a.rows(), b.rows(), 0.0);
+  Matrix out;
+  MatMulBtInto(a, b, out);
+  return out;
+}
+
+Matrix MatMulAt(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulAtInto(a, b, out);
+  return out;
+}
+
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols(), 0.0);
   for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t j = 0; j < b.rows(); ++j) {
+    for (size_t j = 0; j < b.cols(); ++j) {
       double sum = 0.0;
-      const double* arow = a.Row(i);
-      const double* brow = b.Row(j);
       for (size_t k = 0; k < a.cols(); ++k) {
-        sum += arow[k] * brow[k];
+        sum += a.At(i, k) * b.At(k, j);
       }
       out.At(i, j) = sum;
     }
@@ -71,21 +230,31 @@ Matrix MatMulBt(const Matrix& a, const Matrix& b) {
   return out;
 }
 
-Matrix MatMulAt(const Matrix& a, const Matrix& b) {
+Matrix NaiveMatMulBt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.rows(); ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) {
+        sum += a.At(i, k) * b.At(j, k);
+      }
+      out.At(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Matrix NaiveMatMulAt(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows());
   Matrix out(a.cols(), b.cols(), 0.0);
-  for (size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.Row(k);
-    const double* brow = b.Row(k);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      double aki = arow[i];
-      if (aki == 0.0) {
-        continue;
+  for (size_t i = 0; i < a.cols(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < a.rows(); ++k) {
+        sum += a.At(k, i) * b.At(k, j);
       }
-      double* orow = out.Row(i);
-      for (size_t j = 0; j < b.cols(); ++j) {
-        orow[j] += aki * brow[j];
-      }
+      out.At(i, j) = sum;
     }
   }
   return out;
@@ -104,12 +273,7 @@ void AddRowInPlace(Matrix& m, const Matrix& bias) {
 
 Matrix ColSum(const Matrix& m) {
   Matrix out(1, m.cols(), 0.0);
-  for (size_t i = 0; i < m.rows(); ++i) {
-    const double* row = m.Row(i);
-    for (size_t j = 0; j < m.cols(); ++j) {
-      out.At(0, j) += row[j];
-    }
-  }
+  ColSumAccum(m, out);
   return out;
 }
 
@@ -117,34 +281,50 @@ Matrix ConcatCols(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows());
   Matrix out(a.rows(), a.cols() + b.cols());
   for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t j = 0; j < a.cols(); ++j) {
-      out.At(i, j) = a.At(i, j);
-    }
-    for (size_t j = 0; j < b.cols(); ++j) {
-      out.At(i, a.cols() + j) = b.At(i, j);
-    }
+    double* orow = out.Row(i);
+    std::memcpy(orow, a.Row(i), a.cols() * sizeof(double));
+    std::memcpy(orow + a.cols(), b.Row(i), b.cols() * sizeof(double));
   }
   return out;
 }
 
-Matrix SliceCols(const Matrix& m, size_t begin, size_t end) {
-  assert(begin <= end && end <= m.cols());
-  Matrix out(m.rows(), end - begin);
-  for (size_t i = 0; i < m.rows(); ++i) {
-    for (size_t j = begin; j < end; ++j) {
-      out.At(i, j - begin) = m.At(i, j);
-    }
+size_t ConcatCols3Into(const Matrix& a, const Matrix& b, const Matrix& c, Matrix& out) {
+  assert(a.rows() == b.rows() && b.rows() == c.rows());
+  size_t grew = out.Reshape(a.rows(), a.cols() + b.cols() + c.cols()) ? 1 : 0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* orow = out.Row(i);
+    std::memcpy(orow, a.Row(i), a.cols() * sizeof(double));
+    std::memcpy(orow + a.cols(), b.Row(i), b.cols() * sizeof(double));
+    std::memcpy(orow + a.cols() + b.cols(), c.Row(i), c.cols() * sizeof(double));
   }
+  return grew;
+}
+
+Matrix SliceCols(const Matrix& m, size_t begin, size_t end) {
+  Matrix out;
+  SliceColsInto(m, begin, end, out);
   return out;
+}
+
+size_t SliceColsInto(const Matrix& m, size_t begin, size_t end, Matrix& out) {
+  assert(begin <= end && end <= m.cols());
+  assert(&out != &m);
+  size_t grew = out.Reshape(m.rows(), end - begin) ? 1 : 0;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    std::memcpy(out.Row(i), m.Row(i) + begin, (end - begin) * sizeof(double));
+  }
+  return grew;
 }
 
 double RowSqDist(const Matrix& a, size_t r, const Matrix& b, size_t s) {
   assert(a.cols() == b.cols());
-  const double* arow = a.Row(r);
-  const double* brow = b.Row(s);
+  return SqDist(a.Row(r), b.Row(s), a.cols());
+}
+
+double SqDist(const double* a, const double* b, size_t n) {
   double sum = 0.0;
-  for (size_t k = 0; k < a.cols(); ++k) {
-    double d = arow[k] - brow[k];
+  for (size_t k = 0; k < n; ++k) {
+    double d = a[k] - b[k];
     sum += d * d;
   }
   return sum;

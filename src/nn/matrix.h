@@ -1,6 +1,15 @@
-// Dense row-major matrix with the handful of kernels the DeepTune Model
-// needs. Sizes here are small (batches of tens, feature widths of hundreds),
-// so clarity wins over blocking/vectorization tricks.
+// Dense row-major matrix and the kernels the DeepTune Model needs.
+//
+// Two kernel tiers:
+//   * fast `*Into` kernels — 4x k-unrolled, row-streaming, writing into a
+//     caller-provided output so the hot path (DTM forward/backward rounds)
+//     never allocates after warmup. Large row ranges can optionally be split
+//     over a ThreadPool; row partitioning leaves per-row arithmetic
+//     untouched, so threaded results are bit-identical to serial ones.
+//   * `Naive*` reference kernels — textbook triple loops, kept as the
+//     correctness baseline for tests and the `--naive` benchmark fallback.
+// The allocating wrappers (MatMul &c.) call the fast kernels and remain the
+// convenient API for cold paths.
 #ifndef WAYFINDER_SRC_NN_MATRIX_H_
 #define WAYFINDER_SRC_NN_MATRIX_H_
 
@@ -10,6 +19,8 @@
 #include "src/util/rng.h"
 
 namespace wayfinder {
+
+class ThreadPool;
 
 class Matrix {
  public:
@@ -33,6 +44,12 @@ class Matrix {
   void Fill(double value);
   void Resize(size_t rows, size_t cols, double fill = 0.0);
 
+  // Re-shapes without initializing the contents, reusing the existing
+  // allocation when capacity suffices. Returns true when the underlying
+  // buffer had to grow — workspace arenas count these to prove the hot
+  // path stops allocating after warmup.
+  bool Reshape(size_t rows, size_t cols);
+
   // Xavier/Glorot-uniform initialization for a (fan_in x fan_out) weight.
   static Matrix Xavier(size_t rows, size_t cols, Rng& rng);
 
@@ -45,22 +62,61 @@ class Matrix {
   std::vector<double> data_;
 };
 
+// How a kernel may spread output rows across threads. Default: serial.
+// Row partitioning never changes per-row arithmetic, so any `ways` value
+// produces bit-identical results.
+struct Parallelism {
+  ThreadPool* pool = nullptr;
+  size_t max_ways = 1;  // Chunk count cap, caller's chunk included.
+};
+
+// --- fast kernels (write into `out`, reshaping it as needed) ---------------
+// Each returns the number of buffer growths `out` needed (0 after warmup).
+
 // out = a * b              (a: NxK, b: KxM)
-Matrix MatMul(const Matrix& a, const Matrix& b);
+size_t MatMulInto(const Matrix& a, const Matrix& b, Matrix& out, const Parallelism& par = {});
+// out = a * b + bias       (bias: 1 x M broadcast over rows) — fused.
+size_t MatMulAddBiasInto(const Matrix& a, const Matrix& b, const Matrix& bias, Matrix& out,
+                         const Parallelism& par = {});
 // out = a * b^T            (a: NxK, b: MxK)
-Matrix MatMulBt(const Matrix& a, const Matrix& b);
+size_t MatMulBtInto(const Matrix& a, const Matrix& b, Matrix& out, const Parallelism& par = {});
 // out = a^T * b            (a: KxN, b: KxM)
+size_t MatMulAtInto(const Matrix& a, const Matrix& b, Matrix& out);
+// acc += a^T * b — gradient accumulation without a temporary (acc: NxM).
+void MatMulAtAccum(const Matrix& a, const Matrix& b, Matrix& acc);
+// acc += column-wise sums of m (acc: 1 x M).
+void ColSumAccum(const Matrix& m, Matrix& acc);
+
+// --- in-place elementwise helpers ------------------------------------------
+// m = max(0, m).
+void ReluInPlace(Matrix& m);
+
+// --- allocating wrappers (call the fast kernels) ---------------------------
+Matrix MatMul(const Matrix& a, const Matrix& b);
+Matrix MatMulBt(const Matrix& a, const Matrix& b);
 Matrix MatMulAt(const Matrix& a, const Matrix& b);
+
+// --- naive reference kernels (textbook loops, correctness baseline) --------
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b);
+Matrix NaiveMatMulBt(const Matrix& a, const Matrix& b);
+Matrix NaiveMatMulAt(const Matrix& a, const Matrix& b);
+
 // Adds `bias` (1 x M) to every row of `m` in place.
 void AddRowInPlace(Matrix& m, const Matrix& bias);
 // Column-wise sums into a 1 x M matrix.
 Matrix ColSum(const Matrix& m);
 // Concatenates two matrices with equal row counts side by side.
 Matrix ConcatCols(const Matrix& a, const Matrix& b);
+// Writes [a | b | c] into `out`; returns `out` buffer growths.
+size_t ConcatCols3Into(const Matrix& a, const Matrix& b, const Matrix& c, Matrix& out);
 // Splits off columns [begin, end) into a new matrix.
 Matrix SliceCols(const Matrix& m, size_t begin, size_t end);
+// Writes columns [begin, end) of m into `out`; returns `out` buffer growths.
+size_t SliceColsInto(const Matrix& m, size_t begin, size_t end, Matrix& out);
 // Squared Euclidean distance between row r of a and row s of b.
 double RowSqDist(const Matrix& a, size_t r, const Matrix& b, size_t s);
+// Same, over raw pointers.
+double SqDist(const double* a, const double* b, size_t n);
 
 }  // namespace wayfinder
 

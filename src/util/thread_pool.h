@@ -1,0 +1,63 @@
+// A small fixed-size thread pool with a blocking ParallelFor helper.
+//
+// Wayfinder's hot paths (batched DTM inference, large matmul row ranges)
+// are data-parallel over independent row blocks, so a plain chunked
+// parallel-for over a shared worker pool is all we need — no work stealing,
+// no futures. The pool is opt-in everywhere (a null pool or a single-way
+// split runs inline on the caller), and row partitioning never changes the
+// per-row arithmetic, so results are bit-identical with and without threads.
+#ifndef WAYFINDER_SRC_UTIL_THREAD_POOL_H_
+#define WAYFINDER_SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wayfinder {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (0 is allowed: every ParallelFor runs inline).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  // Runs body(begin, end) over [0, n) split into at most `max_ways` chunks
+  // of at least `grain` items. The caller executes one chunk itself, so a
+  // pool is never required to make progress. Blocks until every chunk is
+  // done; the first exception thrown by any chunk is rethrown here.
+  void ParallelFor(size_t n, size_t grain, size_t max_ways,
+                   const std::function<void(size_t, size_t)>& body);
+
+  // Process-wide pool, created on first use with hardware_concurrency - 1
+  // workers (at least 1). Callers bound their own parallelism via the
+  // `max_ways` argument of ParallelFor, so one shared pool serves every
+  // model and searcher in the process.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+// Convenience wrapper: chunked parallel-for on `pool`, or a plain serial
+// loop when `pool` is null or the range is below one grain.
+void ParallelFor(ThreadPool* pool, size_t n, size_t grain, size_t max_ways,
+                 const std::function<void(size_t, size_t)>& body);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_UTIL_THREAD_POOL_H_

@@ -5,11 +5,13 @@
 #include <cmath>
 #include <sstream>
 
+#include "src/core/dtm.h"
 #include "src/nn/layers.h"
 #include "src/nn/losses.h"
 #include "src/nn/matrix.h"
 #include "src/nn/optimizer.h"
 #include "src/nn/serialize.h"
+#include "src/util/thread_pool.h"
 
 namespace wayfinder {
 namespace {
@@ -293,6 +295,187 @@ TEST(AdamTest, GradClipBoundsUpdate) {
   Adam adam({&p}, options);
   adam.Step();
   EXPECT_LT(std::abs(p.value.At(0, 0)), 1.0);
+}
+
+// --- fast-kernel vs reference equivalence -----------------------------------
+
+Matrix RandomMatrix(Rng& rng, size_t rows, size_t cols) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) {
+    v = rng.Normal();
+  }
+  return m;
+}
+
+TEST(KernelEquivalence, FastMatMulMatchesNaive) {
+  Rng rng(101);
+  // Odd sizes exercise the 4x-unroll remainders.
+  for (size_t n : {1u, 3u, 17u}) {
+    for (size_t k : {1u, 5u, 37u}) {
+      for (size_t m : {1u, 7u, 23u}) {
+        Matrix a = RandomMatrix(rng, n, k);
+        Matrix b = RandomMatrix(rng, k, m);
+        Matrix fast;
+        MatMulInto(a, b, fast);
+        Matrix naive = NaiveMatMul(a, b);
+        ASSERT_EQ(fast.rows(), naive.rows());
+        ASSERT_EQ(fast.cols(), naive.cols());
+        for (size_t i = 0; i < fast.size(); ++i) {
+          EXPECT_NEAR(fast.data()[i], naive.data()[i], 1e-9)
+              << n << "x" << k << "x" << m << " element " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, FastTransposedProductsMatchNaive) {
+  Rng rng(103);
+  Matrix a = RandomMatrix(rng, 9, 13);
+  Matrix b = RandomMatrix(rng, 11, 13);  // For Bt: b is M x K.
+  Matrix fast_bt;
+  MatMulBtInto(a, b, fast_bt);
+  Matrix naive_bt = NaiveMatMulBt(a, b);
+  for (size_t i = 0; i < fast_bt.size(); ++i) {
+    EXPECT_NEAR(fast_bt.data()[i], naive_bt.data()[i], 1e-9);
+  }
+  Matrix c = RandomMatrix(rng, 9, 11);  // For At: shares rows with a.
+  Matrix fast_at;
+  MatMulAtInto(a, c, fast_at);
+  Matrix naive_at = NaiveMatMulAt(a, c);
+  for (size_t i = 0; i < fast_at.size(); ++i) {
+    EXPECT_NEAR(fast_at.data()[i], naive_at.data()[i], 1e-9);
+  }
+}
+
+TEST(KernelEquivalence, FusedBiasMatchesSeparateOps) {
+  Rng rng(107);
+  Matrix a = RandomMatrix(rng, 6, 19);
+  Matrix b = RandomMatrix(rng, 19, 8);
+  Matrix bias = RandomMatrix(rng, 1, 8);
+  Matrix fused;
+  MatMulAddBiasInto(a, b, bias, fused);
+  Matrix separate = NaiveMatMul(a, b);
+  AddRowInPlace(separate, bias);
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_NEAR(fused.data()[i], separate.data()[i], 1e-9);
+  }
+}
+
+std::vector<std::vector<double>> RandomPool(Rng& rng, size_t n, size_t dim) {
+  std::vector<std::vector<double>> pool(n);
+  for (auto& x : pool) {
+    x.resize(dim);
+    for (double& v : x) {
+      v = rng.Uniform();
+    }
+  }
+  return pool;
+}
+
+// In place (a DeepTuneModel is not safely movable: Adam holds pointers into
+// the layers' parameter blocks).
+void TrainModel(DeepTuneModel& model) {
+  size_t dim = model.input_dim();
+  Rng rng(5);
+  for (size_t i = 0; i < 48; ++i) {
+    std::vector<double> x(dim);
+    for (double& v : x) {
+      v = rng.Uniform();
+    }
+    model.AddSample(x, rng.Bernoulli(0.25), rng.Normal(0.0, 1.0));
+  }
+  model.Update();
+}
+
+TEST(DtmEquivalence, FastPredictBatchMatchesNaiveReference) {
+  const size_t dim = 33;
+  DtmOptions fast_options;
+  DtmOptions naive_options;
+  naive_options.naive = true;
+  DeepTuneModel fast(dim, fast_options);
+  DeepTuneModel naive(dim, naive_options);
+  TrainModel(fast);
+  TrainModel(naive);
+
+  Rng rng(9);
+  auto pool = RandomPool(rng, 64, dim);
+  auto fast_pred = fast.PredictBatch(pool);
+  auto naive_pred = naive.PredictBatch(pool);
+  ASSERT_EQ(fast_pred.size(), naive_pred.size());
+  for (size_t i = 0; i < fast_pred.size(); ++i) {
+    EXPECT_NEAR(fast_pred[i].crash_prob, naive_pred[i].crash_prob, 1e-9);
+    EXPECT_NEAR(fast_pred[i].objective, naive_pred[i].objective, 1e-9);
+    EXPECT_NEAR(fast_pred[i].sigma, naive_pred[i].sigma, 1e-9);
+  }
+}
+
+TEST(DtmEquivalence, ThreadedPredictBatchBitIdenticalToSerial) {
+  const size_t dim = 29;
+  DtmOptions serial_options;
+  DtmOptions threaded_options;
+  threaded_options.threads = 4;
+  DeepTuneModel serial(dim, serial_options);
+  DeepTuneModel threaded(dim, threaded_options);
+  TrainModel(serial);
+  TrainModel(threaded);
+
+  Rng rng(11);
+  auto pool = RandomPool(rng, 257, dim);  // Odd size: uneven chunking.
+  auto serial_pred = serial.PredictBatch(pool);
+  auto threaded_pred = threaded.PredictBatch(pool);
+  ASSERT_EQ(serial_pred.size(), threaded_pred.size());
+  for (size_t i = 0; i < serial_pred.size(); ++i) {
+    // Row partitioning never changes per-row arithmetic: exact equality.
+    EXPECT_EQ(serial_pred[i].crash_prob, threaded_pred[i].crash_prob) << i;
+    EXPECT_EQ(serial_pred[i].objective, threaded_pred[i].objective) << i;
+    EXPECT_EQ(serial_pred[i].sigma, threaded_pred[i].sigma) << i;
+  }
+}
+
+TEST(DtmEquivalence, SinglePredictMatchesBatchRow) {
+  const size_t dim = 21;
+  DeepTuneModel model(dim, {});
+  TrainModel(model);
+  Rng rng(13);
+  auto pool = RandomPool(rng, 8, dim);
+  auto batch = model.PredictBatch(pool);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    DtmPrediction single = model.Predict(pool[i]);
+    EXPECT_EQ(single.crash_prob, batch[i].crash_prob);
+    EXPECT_EQ(single.objective, batch[i].objective);
+    EXPECT_EQ(single.sigma, batch[i].sigma);
+  }
+}
+
+TEST(DtmWorkspace, NoAllocationAfterWarmup) {
+  const size_t dim = 25;
+  DeepTuneModel model(dim, {});
+  TrainModel(model);
+  Rng rng(17);
+  auto pool = RandomPool(rng, 96, dim);
+
+  // Warm the workspace: one predict round at this pool shape plus one
+  // training round at the configured batch size.
+  model.PredictBatch(pool);
+  model.Update();
+  model.PredictBatch(pool);
+  size_t warm = model.workspace_grow_count();
+
+  // Steady state: repeated same-shaped forwards must not grow any buffer.
+  for (int round = 0; round < 5; ++round) {
+    model.PredictBatch(pool);
+    model.Update();
+  }
+  EXPECT_EQ(model.workspace_grow_count(), warm);
+}
+
+TEST(MatrixTest, ReshapeReportsGrowthOnlyWhenBufferGrows) {
+  Matrix m;
+  EXPECT_TRUE(m.Reshape(8, 8));
+  EXPECT_FALSE(m.Reshape(4, 4));   // Shrink within capacity.
+  EXPECT_FALSE(m.Reshape(8, 8));   // Back to the high-water mark.
+  EXPECT_TRUE(m.Reshape(16, 16));  // Genuine growth.
 }
 
 TEST(SerializeTest, RoundTripsAndRejectsMismatch) {

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary in a build directory and concatenates their JSON
+# output into one stream (benches.json by default). Non-JSON bench output
+# (the paper-figure text tables) goes to per-bench .log files; any line that
+# is a JSON object is collected. Each bench also contributes a status record
+# so failures are visible in the combined file.
+#
+# Usage: tools/run_benches.sh [build_dir] [out_file]
+#   WF_FAST=1 is exported so the figure harnesses run in smoke mode; unset
+#   it in the environment (WF_FAST=) for full-fidelity runs.
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_FILE="${2:-benches.json}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "error: build dir '$BUILD_DIR' not found (run cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+: "${WF_FAST:=1}"
+export WF_FAST
+
+: > "$OUT_FILE"
+failures=0
+
+for bench in "$BUILD_DIR"/bench_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  log="$BUILD_DIR/$name.log"
+  echo "== $name" >&2
+  if "$bench" > "$log" 2>&1; then
+    status=ok
+  else
+    status=failed
+    failures=$((failures + 1))
+  fi
+  # Collect JSON object lines; everything else stays in the log.
+  grep -E '^\s*\{.*\}\s*$' "$log" >> "$OUT_FILE" || true
+  echo "{\"bench_binary\": \"$name\", \"status\": \"$status\", \"log\": \"$log\"}" >> "$OUT_FILE"
+done
+
+echo "wrote $OUT_FILE ($(wc -l < "$OUT_FILE") records, $failures failed)" >&2
+exit "$((failures > 0))"
