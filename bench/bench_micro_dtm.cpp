@@ -1,13 +1,37 @@
-// Micro-benchmarks (google-benchmark) of the DeepTune Model's primitives:
-// per-iteration update cost and candidate-pool prediction cost, across input
-// widths. These are the constants behind Figure 8's "update < 1 s" claim.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the DeepTune Model's per-iteration primitives — the
+// constants behind Figure 8's "update < 1 s" claim — emitting one JSON
+// object per line so tools/run_benches.sh and tools/bench_compare.py can
+// track them PR-over-PR.
+//
+//   * dtm_update_*: one full Update() — minibatch gather from the replay
+//     buffer, forward/backward, losses, Chamfer, Adam — across the
+//     {portable, avx2} kernel backends x {serial, 4-thread} split;
+//   * dtm_predict_pool_*: candidate-pool PredictBatch;
+//   * dtm_add_sample: replay-buffer append.
+//
+// The kernel backends are bit-identical by construction (src/nn/kernels.h),
+// so every variant of a bench computes the same numbers — only the speed
+// differs. A summary record reports the update speedups; on pre-AVX2
+// hardware the avx2 variants fall back to portable and the speedup is ~1.
+//
+// Usage: bench_micro_dtm [--dim D] [--samples N] [--threads T]
+//   WF_FAST=1 shortens the measurement window (smoke mode, the
+//   run_benches.sh default).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "src/core/dtm.h"
+#include "src/nn/kernels.h"
 #include "src/util/rng.h"
 
 namespace wayfinder {
 namespace {
+
+double g_measure_seconds = 0.4;
 
 std::vector<double> RandomFeatures(Rng& rng, size_t dim) {
   std::vector<double> x(dim);
@@ -17,53 +41,137 @@ std::vector<double> RandomFeatures(Rng& rng, size_t dim) {
   return x;
 }
 
-void BM_DtmUpdate(benchmark::State& state) {
-  size_t dim = static_cast<size_t>(state.range(0));
-  size_t samples = static_cast<size_t>(state.range(1));
-  DtmOptions options;
-  DeepTuneModel model(dim, options);
+// Runs `op` until the measurement window elapses; returns executions/sec.
+template <typename Op>
+double OpsPerSec(Op&& op) {
+  using Clock = std::chrono::steady_clock;
+  op();  // Warm up (fills workspaces so steady state is measured).
+  size_t iters = 0;
+  auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    op();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < g_measure_seconds);
+  return static_cast<double>(iters) / elapsed;
+}
+
+void Report(const std::string& bench, const std::string& variant, double ops_per_sec) {
+  std::printf("{\"bench\": \"%s\", \"variant\": \"%s\", \"ops_per_sec\": %.2f}\n",
+              bench.c_str(), variant.c_str(), ops_per_sec);
+}
+
+void SeedReplayBuffer(DeepTuneModel& model, size_t dim, size_t samples) {
   Rng rng(1);
   for (size_t i = 0; i < samples; ++i) {
     bool crashed = rng.Bernoulli(0.3);
     model.AddSample(RandomFeatures(rng, dim), crashed, rng.Normal(100.0, 10.0));
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model.Update());
-  }
-  state.SetLabel(std::to_string(dim) + "d/" + std::to_string(samples) + " samples");
 }
-BENCHMARK(BM_DtmUpdate)->Args({33, 100})->Args({263, 100})->Args({263, 250});
 
-void BM_DtmPredictPool(benchmark::State& state) {
-  size_t dim = static_cast<size_t>(state.range(0));
-  size_t pool = static_cast<size_t>(state.range(1));
-  DeepTuneModel model(dim, {});
-  Rng rng(2);
-  for (size_t i = 0; i < 64; ++i) {
-    model.AddSample(RandomFeatures(rng, dim), rng.Bernoulli(0.3), rng.Normal(0.0, 1.0));
-  }
+double BenchUpdate(size_t dim, size_t samples, KernelBackend backend, size_t threads) {
+  DtmOptions options;
+  options.kernels = backend;
+  options.threads = threads;
+  DeepTuneModel model(dim, options);
+  SeedReplayBuffer(model, dim, samples);
+  return OpsPerSec([&] { model.Update(); });
+}
+
+double BenchPredictPool(size_t dim, size_t pool, KernelBackend backend, size_t threads) {
+  DtmOptions options;
+  options.kernels = backend;
+  options.threads = threads;
+  DeepTuneModel model(dim, options);
+  SeedReplayBuffer(model, dim, 64);
   model.Update();
-  std::vector<std::vector<double>> candidates;
-  for (size_t i = 0; i < pool; ++i) {
-    candidates.push_back(RandomFeatures(rng, dim));
+  Rng rng(2);
+  Matrix candidates(pool, dim);
+  for (double& v : candidates.data()) {
+    v = rng.Uniform();
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model.PredictBatch(candidates));
-  }
+  return OpsPerSec([&] { model.PredictBatch(candidates); });
 }
-BENCHMARK(BM_DtmPredictPool)->Args({263, 128})->Args({263, 256});
 
-void BM_DtmAddSample(benchmark::State& state) {
-  DeepTuneModel model(263, {});
-  Rng rng(3);
-  std::vector<double> x = RandomFeatures(rng, 263);
-  for (auto _ : state) {
-    model.AddSample(x, false, 1.0);
+std::string VariantName(KernelBackend backend, size_t threads) {
+  std::string name = KernelBackendName(backend);
+  if (threads > 1) {
+    name += "_t" + std::to_string(threads);
   }
+  return name;
 }
-BENCHMARK(BM_DtmAddSample);
 
 }  // namespace
 }  // namespace wayfinder
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace wayfinder;
+  size_t dim = 263;  // The Linux space's feature width.
+  size_t samples = 100;
+  size_t threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dim") == 0 && i + 1 < argc) {
+      dim = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
+      samples = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
+  if (const char* fast = std::getenv("WF_FAST")) {
+    if (fast[0] != '\0' && fast[0] != '0') {
+      g_measure_seconds = 0.15;
+    }
+  }
+
+  const bool has_avx2 = KernelBackendAvailable(KernelBackend::kAvx2);
+  std::printf("{\"bench\": \"kernel_backend\", \"default\": \"%s\", \"avx2_available\": %s}\n",
+              KernelBackendName(DefaultKernelBackend()), has_avx2 ? "true" : "false");
+
+  // Full Update across kernel backend x thread split. `--threads 0|1` means
+  // serial-only: the threaded variants (and their summary ratios) are
+  // dropped rather than emitting duplicate or zero records.
+  const std::string update_bench =
+      "dtm_update_" + std::to_string(dim) + "d_" + std::to_string(samples) + "s";
+  std::vector<size_t> thread_variants = {0};
+  if (threads > 1) {
+    thread_variants.push_back(threads);
+  }
+  double portable_serial = 0.0, avx2_serial = 0.0, portable_threaded = 0.0,
+         avx2_threaded = 0.0;
+  for (KernelBackend backend : {KernelBackend::kPortable, KernelBackend::kAvx2}) {
+    for (size_t t : thread_variants) {
+      double ops = BenchUpdate(dim, samples, backend, t);
+      Report(update_bench, VariantName(backend, t), ops);
+      if (backend == KernelBackend::kPortable) {
+        (t == 0 ? portable_serial : portable_threaded) = ops;
+      } else {
+        (t == 0 ? avx2_serial : avx2_threaded) = ops;
+      }
+    }
+  }
+  if (portable_serial > 0.0) {
+    std::printf("{\"bench\": \"dtm_update_speedup\", \"avx2_over_portable\": %.2f",
+                avx2_serial / portable_serial);
+    if (portable_threaded > 0.0) {
+      std::printf(", \"threads_over_serial\": %.2f, "
+                  "\"avx2_threads_over_portable_serial\": %.2f",
+                  portable_threaded / portable_serial, avx2_threaded / portable_serial);
+    }
+    std::printf("}\n");
+  }
+
+  // Candidate-pool prediction and replay append (serial, default backend).
+  for (size_t pool : {size_t{128}, size_t{256}}) {
+    Report("dtm_predict_pool_" + std::to_string(pool), "fast",
+           BenchPredictPool(dim, pool, KernelBackend::kAuto, 0));
+  }
+  {
+    DeepTuneModel model(dim, {});
+    Rng rng(3);
+    std::vector<double> x = RandomFeatures(rng, dim);
+    Report("dtm_add_sample", "fast", OpsPerSec([&] { model.AddSample(x, false, 1.0); }));
+  }
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/core/dtm.h"
+#include "src/nn/kernels.h"
 #include "src/nn/matrix.h"
 #include "src/util/rng.h"
 
@@ -106,10 +107,20 @@ int main(int argc, char** argv) {
   Matrix out;
 
   if (!naive_only) {
+    // "fast" runs the process-default kernel backend (avx2 on AVX2 CPUs);
+    // the explicit portable variant keeps the scalar-fast-path trajectory
+    // comparable PR-over-PR.
     Report("matmul_256x" + std::to_string(dim) + "x64", "fast",
            OpsPerSec([&] { MatMulInto(a, b, out); }));
     Report("matmul_fused_bias_256x" + std::to_string(dim) + "x64", "fast",
            OpsPerSec([&] { MatMulAddBiasInto(a, b, bias, out); }));
+    if (KernelBackendAvailable(KernelBackend::kAvx2)) {
+      Parallelism portable{nullptr, 1, &KernelsFor(KernelBackend::kPortable)};
+      Report("matmul_256x" + std::to_string(dim) + "x64", "fast_portable",
+             OpsPerSec([&] { MatMulInto(a, b, out, portable); }));
+      Report("matmul_fused_bias_256x" + std::to_string(dim) + "x64", "fast_portable",
+             OpsPerSec([&] { MatMulAddBiasInto(a, b, bias, out, portable); }));
+    }
   }
   Report("matmul_256x" + std::to_string(dim) + "x64", "naive",
          OpsPerSec([&] { NaiveMatMul(a, b); }));

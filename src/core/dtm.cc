@@ -25,13 +25,16 @@ DeepTuneModel::DeepTuneModel(size_t input_dim, const DtmOptions& options)
             options.gamma_factor * std::sqrt(static_cast<double>(options.hidden1)), rng_),
       rbf2_(options.hidden2, options.rbf_centroids,
             options.gamma_factor * std::sqrt(static_cast<double>(options.hidden2)), rng_),
-      unc_head_(3 * options.rbf_centroids, 1, rng_) {
+      unc_head_(3 * options.rbf_centroids, 1, rng_),
+      kernels_(&KernelsFor(options.kernels)) {
   std::vector<ParamBlock*> params = Params();
   AdamOptions adam_options;
   adam_options.learning_rate = options.learning_rate;
   adam_options.weight_decay = 1e-5;
   adam_ = std::make_unique<Adam>(params, adam_options);
 }
+
+const char* DeepTuneModel::kernel_backend_name() const { return kernels_->name; }
 
 std::vector<ParamBlock*> DeepTuneModel::Params() {
   std::vector<ParamBlock*> params;
@@ -95,18 +98,18 @@ double DeepTuneModel::DenormalizeObjective(double normalized) const {
 
 Parallelism DeepTuneModel::Par() const {
   if (options_.threads <= 1) {
-    return Parallelism{};
+    return Parallelism{nullptr, 1, kernels_};
   }
-  return Parallelism{&ThreadPool::Shared(), options_.threads};
+  return Parallelism{&ThreadPool::Shared(), options_.threads, kernels_};
 }
 
 void DeepTuneModel::Forward(const Matrix& x, bool training) {
   Parallelism par = Par();
   ws_.Count(dense1_.ForwardInto(x, ws_.h1, par));  // Fused x W + b.
-  relu1_.ForwardInPlace(ws_.h1);
+  relu1_.ForwardInPlace(ws_.h1, par);
   dropout_.ForwardInPlace(ws_.h1, rng_, training);
   ws_.Count(dense2_.ForwardInto(ws_.h1, ws_.h2, par));
-  relu2_.ForwardInPlace(ws_.h2);
+  relu2_.ForwardInPlace(ws_.h2, par);
   ws_.Count(crash_head_.ForwardInto(ws_.h2, ws_.crash_logits, par));
   ws_.Count(perf_head_.ForwardInto(ws_.h2, ws_.yhat, par));
   ws_.Count(rbf0_.ForwardInto(x, ws_.phi0, par));
@@ -125,34 +128,40 @@ double DeepTuneModel::Update() {
   double last_loss = 0.0;
   size_t batch = std::min(options_.batch_size, xs_.size());
   ws_.Count(ws_.x.Reshape(batch, input_dim_) ? 1 : 0);
-  std::vector<int> crash_target(batch);
-  std::vector<double> y(batch);
-  std::vector<bool> mask(batch);
+  ws_.ReserveGather(batch);
   for (size_t step = 0; step < options_.steps_per_update; ++step) {
-    // Sample a minibatch (with replacement) from the replay buffer.
+    // Sample a minibatch (with replacement) from the replay buffer. Indices
+    // and targets are drawn serially (the RNG stream and the vector<bool>
+    // mask are order-sensitive); only the wide row copies go parallel.
     for (size_t b = 0; b < batch; ++b) {
       size_t i = static_cast<size_t>(
           rng_.UniformInt(0, static_cast<int64_t>(xs_.size()) - 1));
-      for (size_t j = 0; j < input_dim_; ++j) {
-        ws_.x.At(b, j) = xs_[i][j];
-      }
-      crash_target[b] = crashed_[i] ? 1 : 0;
-      y[b] = 0.0;
-      mask[b] = false;
+      ws_.batch_index[b] = i;
+      ws_.crash_target[b] = crashed_[i] ? 1 : 0;
+      ws_.y[b] = 0.0;
+      ws_.mask[b] = false;
       if (!crashed_[i]) {
-        y[b] = NormalizeObjective(objectives_[i]);
-        mask[b] = true;
+        ws_.y[b] = NormalizeObjective(objectives_[i]);
+        ws_.mask[b] = true;
       }
     }
+    ParallelFor(par.pool, batch, /*grain=*/8, par.max_ways, [&](size_t b0, size_t b1) {
+      for (size_t b = b0; b < b1; ++b) {
+        const std::vector<double>& row = xs_[ws_.batch_index[b]];
+        std::copy(row.begin(), row.end(), ws_.x.Row(b));
+      }
+    });
 
     Forward(ws_.x, /*training=*/true);
 
     // --- Losses ------------------------------------------------------------
-    double loss_cce = SoftmaxCrossEntropy(ws_.crash_logits, crash_target, &ws_.dlogits, ws_.probs);
-    double loss_reg = HeteroscedasticLoss(ws_.yhat, ws_.s, y, mask, &ws_.dyhat, &ws_.ds);
-    double loss_cham = rbf0_.AccumulateChamferGradient(options_.chamfer_weight) +
-                       rbf1_.AccumulateChamferGradient(options_.chamfer_weight) +
-                       rbf2_.AccumulateChamferGradient(options_.chamfer_weight);
+    double loss_cce =
+        SoftmaxCrossEntropy(ws_.crash_logits, ws_.crash_target, &ws_.dlogits, ws_.probs);
+    double loss_reg =
+        HeteroscedasticLoss(ws_.yhat, ws_.s, ws_.y, ws_.mask, &ws_.dyhat, &ws_.ds);
+    double loss_cham = rbf0_.AccumulateChamferGradient(options_.chamfer_weight, par) +
+                       rbf1_.AccumulateChamferGradient(options_.chamfer_weight, par) +
+                       rbf2_.AccumulateChamferGradient(options_.chamfer_weight, par);
     last_loss = loss_cce + loss_reg + options_.chamfer_weight * loss_cham;
 
     // --- Backward -----------------------------------------------------------
@@ -167,16 +176,17 @@ double DeepTuneModel::Update() {
     for (size_t i = 0; i < ws_.dh2.size(); ++i) {
       ws_.dh2.data()[i] += ws_.dh2_scratch.data()[i];
     }
-    rbf2_.BackwardInto(ws_.dphi2, &ws_.dh2, /*accumulate=*/true);
+    rbf2_.BackwardInto(ws_.dphi2, &ws_.dh2, /*accumulate=*/true, par);
     relu2_.BackwardInPlace(ws_.dh2);
     ws_.Count(dense2_.BackwardInto(ws_.dh2, &ws_.dh1, par));
-    rbf1_.BackwardInto(ws_.dphi1, &ws_.dh1, /*accumulate=*/true);
+    rbf1_.BackwardInto(ws_.dphi1, &ws_.dh1, /*accumulate=*/true, par);
     dropout_.BackwardInPlace(ws_.dh1);
     relu1_.BackwardInPlace(ws_.dh1);
-    dense1_.BackwardInto(ws_.dh1, /*dx=*/nullptr);
-    rbf0_.BackwardInto(ws_.dphi0, /*dz=*/nullptr);  // Input gradient discarded.
+    dense1_.BackwardInto(ws_.dh1, /*dx=*/nullptr, par);
+    // Input gradient discarded.
+    rbf0_.BackwardInto(ws_.dphi0, /*dz=*/nullptr, /*accumulate=*/false, par);
 
-    adam_->Step();
+    adam_->Step(par);
   }
   return last_loss;
 }
@@ -293,6 +303,20 @@ bool DeepTuneModel::Load(const std::string& path) {
   return LoadParamsFromFile(Params(), path);
 }
 
+void DeepTuneModel::Workspace::ReserveGather(size_t batch) {
+  size_t caps = batch_index.capacity() + crash_target.capacity() + y.capacity() +
+                mask.capacity();
+  batch_index.resize(batch);
+  crash_target.resize(batch);
+  y.resize(batch);
+  mask.resize(batch);
+  size_t caps_after = batch_index.capacity() + crash_target.capacity() + y.capacity() +
+                      mask.capacity();
+  if (caps_after != caps) {
+    ++grow_count;
+  }
+}
+
 size_t DeepTuneModel::Workspace::Bytes() const {
   const Matrix* buffers[] = {&x,     &h1,    &h2,    &crash_logits, &yhat,  &s,
                              &phi0,  &phi1,  &phi2,  &phi,          &probs, &dlogits,
@@ -302,6 +326,8 @@ size_t DeepTuneModel::Workspace::Bytes() const {
   for (const Matrix* m : buffers) {
     bytes += m->size() * sizeof(double);
   }
+  bytes += batch_index.size() * sizeof(size_t) + crash_target.size() * sizeof(int) +
+           y.size() * sizeof(double) + mask.size() / 8;
   return bytes;
 }
 

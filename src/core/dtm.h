@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/nn/kernels.h"
 #include "src/nn/layers.h"
 #include "src/nn/losses.h"
 #include "src/nn/optimizer.h"
@@ -50,11 +51,16 @@ struct DtmOptions {
   size_t steps_per_update = 32;  // Constant per observation: O(n) total.
   double chamfer_weight = 0.05;
   uint64_t seed = 0xd7a1;
-  // Parallelism of forward/backward row blocks over the process-wide shared
-  // ThreadPool: number of concurrent row chunks, 0 (or 1) = fully serial.
-  // Row partitioning never changes per-row arithmetic, so any value gives
+  // Parallelism of forward/backward row blocks, the training-loop minibatch
+  // gather, and per-block Adam updates over the process-wide shared
+  // ThreadPool: number of concurrent chunks, 0 (or 1) = fully serial.
+  // Partitioning never changes per-element arithmetic, so any value gives
   // bit-identical results.
   size_t threads = 0;
+  // SIMD kernel backend for this model's forward/backward/update math.
+  // kAuto follows the process default (WF_KERNELS env, else CPUID). Backends
+  // are bit-identical by construction, so this only changes speed.
+  KernelBackend kernels = KernelBackend::kAuto;
   // Route inference through the scalar, allocation-per-op reference path
   // (textbook kernels, one fresh matrix per op — the seed implementation).
   // Baseline for bench_micro_matmul's --naive mode and equivalence tests.
@@ -109,6 +115,9 @@ class DeepTuneModel {
   // tests assert on.
   size_t workspace_grow_count() const { return ws_.grow_count; }
 
+  // The SIMD backend this model resolved at construction ("portable"/"avx2").
+  const char* kernel_backend_name() const;
+
  private:
   // Scratch arena for one forward/backward round. Buffers are reshaped in
   // place every call and only ever grow, so a warm model's hot path does no
@@ -122,9 +131,17 @@ class DeepTuneModel {
     Matrix dlogits, dyhat, ds;         // Loss gradients.
     Matrix dphi, dphi0, dphi1, dphi2;  // Uncertainty-branch gradients.
     Matrix dh2, dh2_scratch, dh1;      // Trunk gradients.
+    // Training-loop gather scratch: minibatch replay indices and targets.
+    std::vector<size_t> batch_index;
+    std::vector<int> crash_target;
+    std::vector<double> y;
+    std::vector<bool> mask;
     size_t grow_count = 0;
 
     void Count(size_t grew) { grow_count += grew; }
+    // Resizes the gather scratch, counting vector buffer growth like Matrix
+    // reshapes so the zero-alloc guarantee covers the whole training loop.
+    void ReserveGather(size_t batch);
     size_t Bytes() const;
   };
 
@@ -152,6 +169,7 @@ class DeepTuneModel {
   RbfLayer rbf2_;
   DenseLayer unc_head_;
   std::unique_ptr<Adam> adam_;
+  const KernelOps* kernels_ = nullptr;  // Resolved once from options().kernels.
   Workspace ws_;
 
   // Replay buffer.

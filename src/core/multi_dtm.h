@@ -8,6 +8,12 @@
 // objective head emits K outputs and the uncertainty head K log-variances,
 // trained with a K-column heteroscedastic loss. Each metric keeps its own
 // z-score normalizer so req/s and MB can share one network.
+//
+// Runs on the same fast path as DeepTuneModel: a workspace arena of scratch
+// matrices (zero heap allocation once warm — `workspace_grow_count()` pins
+// it), the dispatched SIMD kernel backend (`DtmOptions::kernels`), batched
+// per-head forwards, and optional row/block threading (`DtmOptions::threads`)
+// with bit-identical results at any thread count.
 #ifndef WAYFINDER_SRC_CORE_MULTI_DTM_H_
 #define WAYFINDER_SRC_CORE_MULTI_DTM_H_
 
@@ -48,6 +54,9 @@ class MultiDtm {
 
   MultiDtmPrediction Predict(const std::vector<double>& x);
   std::vector<MultiDtmPrediction> PredictBatch(const std::vector<std::vector<double>>& xs);
+  // Batched inference over a row-major (N x input_dim) candidate matrix —
+  // one fused forward pass for the whole pool, no per-candidate staging.
+  std::vector<MultiDtmPrediction> PredictBatch(const Matrix& xs);
 
   // Per-metric z-score normalization over successful observations.
   double NormalizeObjective(size_t metric, double objective) const;
@@ -60,14 +69,43 @@ class MultiDtm {
 
   const DtmOptions& options() const { return options_; }
 
+  // Times any workspace buffer had to (re)allocate. Stable across repeated
+  // same-shaped Forward/Update rounds — the zero-alloc-after-warmup
+  // guarantee that tests assert on.
+  size_t workspace_grow_count() const { return ws_.grow_count; }
+
+  // The SIMD backend this model resolved at construction ("portable"/"avx2").
+  const char* kernel_backend_name() const;
+
  private:
-  struct ForwardCache {
-    Matrix h1_pre, h1_act, h1_drop, h2_act;
-    Matrix crash_logits, yhat;
-    Matrix phi0, phi1, phi2, s;
+  // Scratch arena for one forward/backward round, mirroring
+  // DeepTuneModel::Workspace with K-wide head buffers.
+  struct Workspace {
+    Matrix x;                          // Staged input batch.
+    Matrix h1, h2;                     // Trunk activations (in-place ReLU/dropout).
+    Matrix crash_logits, yhat, s;      // Head outputs (yhat/s are N x K).
+    Matrix phi0, phi1, phi2, phi;      // RBF activations and their concat.
+    Matrix probs;                      // Softmax output for prediction.
+    Matrix y;                          // Staged N x K regression targets.
+    Matrix dlogits, dyhat, ds;         // Loss gradients.
+    Matrix dphi, dphi0, dphi1, dphi2;  // Uncertainty-branch gradients.
+    Matrix dh2, dh2_scratch, dh1;      // Trunk gradients.
+    // Training-loop gather scratch.
+    std::vector<size_t> batch_index;
+    std::vector<int> crash_target;
+    std::vector<bool> mask;
+    size_t grow_count = 0;
+
+    void Count(size_t grew) { grow_count += grew; }
+    void ReserveGather(size_t batch);
+    size_t Bytes() const;
   };
 
-  ForwardCache Forward(const Matrix& x, bool training);
+  // Fast path: runs the network over `x` into the workspace. `x` must stay
+  // alive/unmodified until the round's backward pass completes.
+  void Forward(const Matrix& x, bool training);
+  std::vector<MultiDtmPrediction> PredictFromWorkspace(size_t n);
+  Parallelism Par() const;
   void RefreshNormalizers();
 
   size_t input_dim_;
@@ -87,6 +125,8 @@ class MultiDtm {
   RbfLayer rbf2_;
   DenseLayer unc_head_;   // 3*centroids -> K.
   std::unique_ptr<Adam> adam_;
+  const KernelOps* kernels_ = nullptr;  // Resolved once from options().kernels.
+  Workspace ws_;
 
   // Replay buffer.
   std::vector<std::vector<double>> xs_;

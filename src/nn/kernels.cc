@@ -1,0 +1,249 @@
+#include "src/nn/kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace wayfinder {
+namespace {
+
+// --- portable backend -------------------------------------------------------
+// Written in the canonical lane structure (see kernels.h): 4-way strided
+// accumulators for reductions, independent per-index elementwise loops. The
+// AVX2 backend mirrors these expression trees exactly.
+
+void PortableGemmRow(const double* a, size_t k_dim, const double* b, size_t b_stride,
+                     const double* bias, double* out, size_t m) {
+  if (bias != nullptr) {
+    std::memcpy(out, bias, m * sizeof(double));
+  } else {
+    std::memset(out, 0, m * sizeof(double));
+  }
+  size_t k = 0;
+  for (; k + 4 <= k_dim; k += 4) {
+    const double a0 = a[k];
+    const double a1 = a[k + 1];
+    const double a2 = a[k + 2];
+    const double a3 = a[k + 3];
+    const double* b0 = b + k * b_stride;
+    const double* b1 = b0 + b_stride;
+    const double* b2 = b1 + b_stride;
+    const double* b3 = b2 + b_stride;
+    for (size_t j = 0; j < m; ++j) {
+      out[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+    }
+  }
+  for (; k < k_dim; ++k) {
+    const double ak = a[k];
+    if (ak == 0.0) {
+      continue;
+    }
+    const double* brow = b + k * b_stride;
+    for (size_t j = 0; j < m; ++j) {
+      out[j] += ak * brow[j];
+    }
+  }
+}
+
+void PortableAxpy(double a, const double* x, double* y, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    y[j] += a * x[j];
+  }
+}
+
+void PortableAxpyDiff(double a, const double* x, const double* y, double* out, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    out[j] += a * (x[j] - y[j]);
+  }
+}
+
+void PortableVadd(const double* x, double* y, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    y[j] += x[j];
+  }
+}
+
+double PortableDot(const double* a, const double* b, size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    s0 += a[k] * b[k];
+    s1 += a[k + 1] * b[k + 1];
+    s2 += a[k + 2] * b[k + 2];
+    s3 += a[k + 3] * b[k + 3];
+  }
+  double sum = (s0 + s1) + (s2 + s3);
+  for (; k < n; ++k) {
+    sum += a[k] * b[k];
+  }
+  return sum;
+}
+
+double PortableSqDist(const double* a, const double* b, size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    double d0 = a[k] - b[k];
+    double d1 = a[k + 1] - b[k + 1];
+    double d2 = a[k + 2] - b[k + 2];
+    double d3 = a[k + 3] - b[k + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  double sum = (s0 + s1) + (s2 + s3);
+  for (; k < n; ++k) {
+    double d = a[k] - b[k];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double PortableSqNorm(const double* x, size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    s0 += x[k] * x[k];
+    s1 += x[k + 1] * x[k + 1];
+    s2 += x[k + 2] * x[k + 2];
+    s3 += x[k + 3] * x[k + 3];
+  }
+  double sum = (s0 + s1) + (s2 + s3);
+  for (; k < n; ++k) {
+    sum += x[k] * x[k];
+  }
+  return sum;
+}
+
+void PortableScal(double a, double* x, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    x[j] *= a;
+  }
+}
+
+void PortableRelu(double* x, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    if (x[j] < 0.0) {
+      x[j] = 0.0;
+    }
+  }
+}
+
+void PortableAdamUpdate(double* value, double* grad, double* m, double* v, size_t n,
+                        const AdamScalars& k) {
+  for (size_t i = 0; i < n; ++i) {
+    m[i] = k.beta1 * m[i] + (1.0 - k.beta1) * grad[i];
+    v[i] = k.beta2 * v[i] + (1.0 - k.beta2) * grad[i] * grad[i];
+    double m_hat = m[i] / k.bias1;
+    double v_hat = v[i] / k.bias2;
+    double update = m_hat / (std::sqrt(v_hat) + k.epsilon);
+    if (k.weight_decay > 0.0) {
+      update += k.weight_decay * value[i];
+    }
+    value[i] -= k.learning_rate * update;
+    grad[i] = 0.0;
+  }
+}
+
+constexpr KernelOps kPortableOps = {
+    "portable",     PortableGemmRow, PortableAxpy, PortableAxpyDiff,
+    PortableVadd,   PortableDot,     PortableSqDist, PortableSqNorm,
+    PortableScal,   PortableRelu,    PortableAdamUpdate,
+};
+
+// --- dispatch ---------------------------------------------------------------
+
+bool CpuHasAvx2() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+KernelBackend ResolveAuto() {
+  if (const char* env = std::getenv("WF_KERNELS")) {
+    if (std::strcmp(env, "portable") == 0) {
+      return KernelBackend::kPortable;
+    }
+    if (std::strcmp(env, "avx2") == 0) {
+      // Coerce to portable when the CPU or build lacks AVX2, so the reported
+      // default backend always names the table actually running.
+      return KernelBackendAvailable(KernelBackend::kAvx2) ? KernelBackend::kAvx2
+                                                          : KernelBackend::kPortable;
+    }
+    // Unknown value: fall through to CPUID (don't crash a tuning run over a
+    // typo; the chosen backend is observable via KernelBackendName).
+  }
+  return KernelBackendAvailable(KernelBackend::kAvx2) ? KernelBackend::kAvx2
+                                                      : KernelBackend::kPortable;
+}
+
+std::atomic<int> g_default_backend{static_cast<int>(KernelBackend::kAuto)};
+
+}  // namespace
+
+bool KernelBackendAvailable(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kAuto:
+    case KernelBackend::kPortable:
+      return true;
+    case KernelBackend::kAvx2:
+      return Avx2KernelOps() != nullptr && CpuHasAvx2();
+  }
+  return false;
+}
+
+const KernelOps& KernelsFor(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kAuto:
+      return DefaultKernels();
+    case KernelBackend::kPortable:
+      return kPortableOps;
+    case KernelBackend::kAvx2:
+      if (KernelBackendAvailable(KernelBackend::kAvx2)) {
+        return *Avx2KernelOps();
+      }
+      return kPortableOps;  // Requested but unavailable: safe fallback.
+  }
+  return kPortableOps;
+}
+
+KernelBackend DefaultKernelBackend() {
+  int raw = g_default_backend.load(std::memory_order_relaxed);
+  if (raw == static_cast<int>(KernelBackend::kAuto)) {
+    KernelBackend resolved = ResolveAuto();
+    g_default_backend.store(static_cast<int>(resolved), std::memory_order_relaxed);
+    return resolved;
+  }
+  return static_cast<KernelBackend>(raw);
+}
+
+const KernelOps& DefaultKernels() { return KernelsFor(DefaultKernelBackend()); }
+
+void SetDefaultKernelBackend(KernelBackend backend) {
+  if (backend == KernelBackend::kAuto) {
+    g_default_backend.store(static_cast<int>(ResolveAuto()), std::memory_order_relaxed);
+    return;
+  }
+  if (!KernelBackendAvailable(backend)) {
+    backend = KernelBackend::kPortable;
+  }
+  g_default_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+const char* KernelBackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kAuto:
+      return "auto";
+    case KernelBackend::kPortable:
+      return "portable";
+    case KernelBackend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace wayfinder

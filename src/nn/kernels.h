@@ -1,0 +1,121 @@
+// Runtime-dispatched SIMD kernel backend.
+//
+// Every inner loop the DTM hot path runs — the streamed 4-row matmul body,
+// dot products, gradient axpys, the RBF distance/gradient loops, ReLU, and
+// the per-block Adam update — is reached through a `KernelOps` vtable of raw
+// pointer kernels. Two backends implement the table:
+//
+//   * portable — plain C++, compiled with the base flags, runs anywhere;
+//   * avx2     — 256-bit vector implementations, compiled in a separate
+//     translation unit with `-mavx2 -mfma` (gated per-file in CMake so the
+//     rest of the build stays portable), selected only when CPUID reports
+//     AVX2 support.
+//
+// The backend is resolved once, on first use: `WF_KERNELS=portable|avx2`
+// overrides, otherwise CPUID picks the widest available implementation.
+// Models can pin a backend per-instance via `DtmOptions::kernels`, which
+// flows to the kernels through `Parallelism::kernels`.
+//
+// Bit-exactness contract: both backends evaluate the *same* floating-point
+// expression tree. The portable kernels are written in the lane structure
+// the vector units want (4-way strided accumulators, paired reduction), the
+// AVX2 kernels use explicit mul/add intrinsics in that same order, and FMA
+// contraction is disabled in the AVX2 translation unit (`-ffp-contract=off`)
+// so the compiler cannot fuse them. Backend choice therefore changes speed,
+// never results — which is what makes "identical search trajectories across
+// backends" a testable invariant rather than a hope.
+#ifndef WAYFINDER_SRC_NN_KERNELS_H_
+#define WAYFINDER_SRC_NN_KERNELS_H_
+
+#include <cstddef>
+
+namespace wayfinder {
+
+enum class KernelBackend {
+  kAuto = 0,  // WF_KERNELS env override, else widest CPUID-supported.
+  kPortable,
+  kAvx2,
+};
+
+// Scalar constants of one Adam step, precomputed once per Step() call so the
+// per-block kernel is pure elementwise math.
+struct AdamScalars {
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double learning_rate = 1e-3;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;  // Decoupled (AdamW); 0 disables.
+  double bias1 = 1.0;         // 1 - beta1^t
+  double bias2 = 1.0;         // 1 - beta2^t
+};
+
+// The dispatched inner loops. All pointers are to dense double arrays; no
+// kernel allocates or assumes alignment (loads are unaligned).
+struct KernelOps {
+  const char* name;  // "portable" | "avx2"
+
+  // One full output row of the streamed matmul:
+  //   out[j] = (bias ? bias[j] : 0) + sum over k-blocks-of-4 of
+  //            (a[k]*b[k][j] + a[k+1]*b[k+1][j] + a[k+2]*b[k+2][j] +
+  //             a[k+3]*b[k+3][j]),
+  // with the <4 remainder k rows appended per-k (skipping a[k] == 0).
+  // Each k-block's four products are summed first, then added to the
+  // accumulator — the expression tree both backends must reproduce. Fusing
+  // the whole row keeps out[] in registers instead of a load/store per
+  // block. `b` is row-major with stride `b_stride` (>= m).
+  void (*gemm_row)(const double* a, size_t k_dim, const double* b, size_t b_stride,
+                   const double* bias, double* out, size_t m);
+  // y[j] += a * x[j].
+  void (*axpy)(double a, const double* x, double* y, size_t n);
+  // out[j] += a * (x[j] - y[j]) — RBF centroid/input gradient body.
+  void (*axpy_diff)(double a, const double* x, const double* y, double* out, size_t n);
+  // y[j] += x[j].
+  void (*vadd)(const double* x, double* y, size_t n);
+  // 4-lane strided dot product: lanes accumulate k % 4, reduced as
+  // (l0 + l1) + (l2 + l3), remainder appended serially.
+  double (*dot)(const double* a, const double* b, size_t n);
+  // Sum of (a[j] - b[j])^2, same lane structure as dot.
+  double (*sqdist)(const double* a, const double* b, size_t n);
+  // Sum of x[j]^2, same lane structure as dot.
+  double (*sqnorm)(const double* x, size_t n);
+  // x[j] *= a.
+  void (*scal)(double a, double* x, size_t n);
+  // x[j] = max(0, x[j]).
+  void (*relu)(double* x, size_t n);
+  // One Adam update over a parameter block; zeroes the gradient. Elementwise
+  // and independent per index, so any vector width is bit-identical.
+  void (*adam_update)(double* value, double* grad, double* m, double* v, size_t n,
+                      const AdamScalars& k);
+};
+
+// The table for a backend. kAuto resolves the process default; kAvx2 falls
+// back to portable when the CPU or build lacks AVX2.
+const KernelOps& KernelsFor(KernelBackend backend);
+
+// Process default: resolved once from WF_KERNELS / CPUID on first call.
+const KernelOps& DefaultKernels();
+KernelBackend DefaultKernelBackend();
+
+// True when `backend` has a real implementation on this CPU and build.
+bool KernelBackendAvailable(KernelBackend backend);
+
+// Overrides the process default (benches and tests that compare backends in
+// one process). Not thread-safe against concurrent kernel use; call at setup.
+void SetDefaultKernelBackend(KernelBackend backend);
+
+const char* KernelBackendName(KernelBackend backend);
+
+// Defined in kernels_avx2.cc: the AVX2 table, or nullptr when that TU was
+// compiled without AVX2 support.
+const KernelOps* Avx2KernelOps();
+
+// The one resolution rule for optional per-call backend pointers (e.g.
+// Parallelism::kernels): an explicit table wins, nullptr means the process
+// default.
+inline const KernelOps& ResolveKernels(const KernelOps* ops) {
+  return ops != nullptr ? *ops : DefaultKernels();
+}
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_NN_KERNELS_H_

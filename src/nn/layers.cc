@@ -5,9 +5,14 @@
 #include <cmath>
 #include <limits>
 
+#include "src/nn/kernels.h"
 #include "src/util/thread_pool.h"
 
 namespace wayfinder {
+
+namespace {
+inline const KernelOps& Ops(const Parallelism& par) { return ResolveKernels(par.kernels); }
+}  // namespace
 
 DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, Rng& rng) {
   weight_.value = Matrix::Xavier(in_dim, out_dim, rng);
@@ -25,8 +30,8 @@ size_t DenseLayer::ForwardInto(const Matrix& x, Matrix& y, const Parallelism& pa
 size_t DenseLayer::BackwardInto(const Matrix& dy, Matrix* dx, const Parallelism& par) {
   // dW += X^T dY ; db += colsum(dY) ; dX = dY W^T.
   assert(last_input_ != nullptr);
-  MatMulAtAccum(*last_input_, dy, weight_.grad);
-  ColSumAccum(dy, bias_.grad);
+  MatMulAtAccum(*last_input_, dy, weight_.grad, par.kernels);
+  ColSumAccum(dy, bias_.grad, par.kernels);
   if (dx == nullptr) {
     return 0;
   }
@@ -46,8 +51,8 @@ Matrix DenseLayer::Backward(const Matrix& dy) {
   return dx;
 }
 
-void ReluLayer::ForwardInPlace(Matrix& x) {
-  ReluInPlace(x);
+void ReluLayer::ForwardInPlace(Matrix& x, const Parallelism& par) {
+  ReluInPlace(x, par.kernels);
   mask_source_ = &x;
 }
 
@@ -129,25 +134,17 @@ size_t RbfLayer::ForwardInto(const Matrix& z, Matrix& phi, const Parallelism& pa
   // matmul instead of K x N scalar distance loops. Rounding can push a
   // near-zero distance slightly negative, hence the max with 0.
   size_t grew = MatMulBtInto(z, centroids_.value, phi, par);
+  const KernelOps& ops = Ops(par);
   if (centroid_sq_norms_.size() != k) {
     centroid_sq_norms_.resize(k);
   }
   for (size_t c = 0; c < k; ++c) {
-    const double* crow = centroids_.value.Row(c);
-    double sum = 0.0;
-    for (size_t j = 0; j < d; ++j) {
-      sum += crow[j] * crow[j];
-    }
-    centroid_sq_norms_[c] = sum;
+    centroid_sq_norms_[c] = ops.sqnorm(centroids_.value.Row(c), d);
   }
   double inv = 1.0 / (2.0 * gamma_ * gamma_);
   ParallelFor(par.pool, z.rows(), /*grain=*/8, par.max_ways, [&](size_t r0, size_t r1) {
     for (size_t n = r0; n < r1; ++n) {
-      const double* zrow = z.Row(n);
-      double z_sq = 0.0;
-      for (size_t j = 0; j < d; ++j) {
-        z_sq += zrow[j] * zrow[j];
-      }
+      double z_sq = ops.sqnorm(z.Row(n), d);
       double* phirow = phi.Row(n);
       for (size_t c = 0; c < k; ++c) {
         double dist = std::max(0.0, z_sq + centroid_sq_norms_[c] - 2.0 * phirow[c]);
@@ -158,12 +155,14 @@ size_t RbfLayer::ForwardInto(const Matrix& z, Matrix& phi, const Parallelism& pa
   return grew;
 }
 
-size_t RbfLayer::BackwardInto(const Matrix& dphi, Matrix* dz, bool accumulate) {
+size_t RbfLayer::BackwardInto(const Matrix& dphi, Matrix* dz, bool accumulate,
+                              const Parallelism& par) {
   // dphi/dz_n   = phi_nc * (c - z_n) / gamma^2
   // dphi/dc     = phi_nc * (z_n - c) / gamma^2
   assert(last_input_ != nullptr && last_phi_ != nullptr);
   const Matrix& z = *last_input_;
   const Matrix& phi = *last_phi_;
+  const KernelOps& ops = Ops(par);
   size_t k = centroids_.value.rows();
   size_t d = centroids_.value.cols();
   size_t grew = 0;
@@ -181,14 +180,10 @@ size_t RbfLayer::BackwardInto(const Matrix& dphi, Matrix* dz, bool accumulate) {
         continue;
       }
       const double* crow = centroids_.value.Row(c);
-      double* dcrow = centroids_.grad.Row(c);
-      for (size_t j = 0; j < d; ++j) {
-        double diff = crow[j] - zrow[j];
-        if (dzrow != nullptr) {
-          dzrow[j] += scale * diff;
-        }
-        dcrow[j] += scale * -diff;
+      if (dzrow != nullptr) {
+        ops.axpy_diff(scale, crow, zrow, dzrow, d);  // dz += scale * (c - z)
       }
+      ops.axpy_diff(scale, zrow, crow, centroids_.grad.Row(c), d);  // dc += scale * (z - c)
     }
   }
   return grew;
@@ -206,7 +201,7 @@ Matrix RbfLayer::Backward(const Matrix& dphi) {
   return dz;
 }
 
-double RbfLayer::AccumulateChamferGradient(double weight) {
+double RbfLayer::AccumulateChamferGradient(double weight, const Parallelism& par) {
   // Chamfer distance between the centroid set C and the cached batch Z:
   //   L = 1/K sum_c min_n ||c - z_n||^2  +  1/N sum_n min_c ||z_n - c||^2.
   // Gradient w.r.t. C only (prototypes chase the data distribution).
@@ -216,6 +211,7 @@ double RbfLayer::AccumulateChamferGradient(double weight) {
   if (z.rows() == 0) {
     return 0.0;
   }
+  const KernelOps& ops = Ops(par);
   size_t k = c.rows();
   size_t n = z.rows();
   size_t d = c.cols();
@@ -226,7 +222,7 @@ double RbfLayer::AccumulateChamferGradient(double weight) {
     size_t best = 0;
     double best_dist = std::numeric_limits<double>::max();
     for (size_t ni = 0; ni < n; ++ni) {
-      double dist = RowSqDist(c, ci, z, ni);
+      double dist = ops.sqdist(c.Row(ci), z.Row(ni), d);
       if (dist < best_dist) {
         best_dist = dist;
         best = ni;
@@ -234,19 +230,14 @@ double RbfLayer::AccumulateChamferGradient(double weight) {
     }
     loss += best_dist / static_cast<double>(k);
     double scale = weight * 2.0 / static_cast<double>(k);
-    double* grad = centroids_.grad.Row(ci);
-    const double* crow = c.Row(ci);
-    const double* zrow = z.Row(best);
-    for (size_t j = 0; j < d; ++j) {
-      grad[j] += scale * (crow[j] - zrow[j]);
-    }
+    ops.axpy_diff(scale, c.Row(ci), z.Row(best), centroids_.grad.Row(ci), d);
   }
   // Term 2: every batch point pulls its nearest centroid toward itself.
   for (size_t ni = 0; ni < n; ++ni) {
     size_t best = 0;
     double best_dist = std::numeric_limits<double>::max();
     for (size_t ci = 0; ci < k; ++ci) {
-      double dist = RowSqDist(z, ni, c, ci);
+      double dist = ops.sqdist(z.Row(ni), c.Row(ci), d);
       if (dist < best_dist) {
         best_dist = dist;
         best = ci;
@@ -254,12 +245,7 @@ double RbfLayer::AccumulateChamferGradient(double weight) {
     }
     loss += best_dist / static_cast<double>(n);
     double scale = weight * 2.0 / static_cast<double>(n);
-    double* grad = centroids_.grad.Row(best);
-    const double* crow = c.Row(best);
-    const double* zrow = z.Row(ni);
-    for (size_t j = 0; j < d; ++j) {
-      grad[j] += scale * (crow[j] - zrow[j]);
-    }
+    ops.axpy_diff(scale, c.Row(best), z.Row(ni), centroids_.grad.Row(best), d);
   }
   return loss;
 }

@@ -65,7 +65,7 @@ class ReluLayer {
   // Fast path: clips in place and caches `x` by pointer. Backward masks on
   // the *output* (y > 0 ⟺ pre-activation > 0), so callers may keep mutating
   // zero entries (e.g. dropout) without breaking the mask.
-  void ForwardInPlace(Matrix& x);
+  void ForwardInPlace(Matrix& x, const Parallelism& par = {});
   // dy is masked in place.
   void BackwardInPlace(Matrix& dy);
 
@@ -114,7 +114,8 @@ class RbfLayer {
   size_t ForwardInto(const Matrix& z, Matrix& phi, const Parallelism& par = {});
   // Accumulates the centroid gradient; unless `dz` is null, writes (or with
   // `accumulate`, adds) dL/dZ into it.
-  size_t BackwardInto(const Matrix& dphi, Matrix* dz, bool accumulate = false);
+  size_t BackwardInto(const Matrix& dphi, Matrix* dz, bool accumulate = false,
+                      const Parallelism& par = {});
 
   Matrix Forward(const Matrix& z);
   Matrix Backward(const Matrix& dphi);
@@ -129,7 +130,7 @@ class RbfLayer {
   // to the centroid gradient and returns the loss value. Call between
   // Forward and the optimizer step. The gradient is not propagated into the
   // batch (the regularizer shapes centroids, not the trunk).
-  double AccumulateChamferGradient(double weight);
+  double AccumulateChamferGradient(double weight, const Parallelism& par = {});
 
  private:
   ParamBlock centroids_;  // K x in_dim

@@ -87,6 +87,38 @@ double HeteroscedasticLoss(const Matrix& yhat, const Matrix& s, const std::vecto
   return loss;
 }
 
+double HeteroscedasticLossMulti(const Matrix& yhat, const Matrix& s, const Matrix& y,
+                                const std::vector<bool>& mask, Matrix* dyhat, Matrix* ds) {
+  assert(yhat.rows() == y.rows() && s.rows() == y.rows());
+  const size_t targets = yhat.cols();
+  assert(y.cols() == targets);
+  dyhat->Resize(yhat.rows(), targets);
+  ds->Resize(s.rows(), targets);
+  size_t active = 0;
+  for (bool m : mask) {
+    active += m ? 1 : 0;
+  }
+  if (active == 0 || targets == 0) {
+    return 0.0;
+  }
+  double inv_n = 1.0 / static_cast<double>(active * targets);
+  double loss = 0.0;
+  for (size_t i = 0; i < y.rows(); ++i) {
+    if (!mask[i]) {
+      continue;
+    }
+    for (size_t k = 0; k < targets; ++k) {
+      double err = yhat.At(i, k) - y.At(i, k);
+      double sik = std::clamp(s.At(i, k), -10.0, 10.0);
+      double precision = std::exp(-sik);
+      loss += (0.5 * precision * err * err + 0.5 * sik) * inv_n;
+      dyhat->At(i, k) = precision * err * inv_n;
+      ds->At(i, k) = 0.5 * (1.0 - precision * err * err) * inv_n;
+    }
+  }
+  return loss;
+}
+
 double HeteroscedasticLossMulti(const Matrix& yhat, const Matrix& s,
                                 const std::vector<std::vector<double>>& y,
                                 const std::vector<bool>& mask, Matrix* dyhat, Matrix* ds) {

@@ -47,6 +47,11 @@ double HeteroscedasticLossMulti(const Matrix& yhat, const Matrix& s,
                                 const std::vector<std::vector<double>>& y,
                                 const std::vector<bool>& mask, Matrix* dyhat, Matrix* ds);
 
+// Workspace form: `y` is a staged N x K target matrix, so a warm training
+// loop passes flat scratch instead of building nested vectors per step.
+double HeteroscedasticLossMulti(const Matrix& yhat, const Matrix& s, const Matrix& y,
+                                const std::vector<bool>& mask, Matrix* dyhat, Matrix* ds);
+
 }  // namespace wayfinder
 
 #endif  // WAYFINDER_SRC_NN_LOSSES_H_

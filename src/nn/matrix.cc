@@ -5,9 +5,15 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/nn/kernels.h"
 #include "src/util/thread_pool.h"
 
 namespace wayfinder {
+
+namespace {
+inline const KernelOps& Ops(const KernelOps* ops) { return ResolveKernels(ops); }
+inline const KernelOps& Ops(const Parallelism& par) { return ResolveKernels(par.kernels); }
+}  // namespace
 
 Matrix::Matrix(size_t rows, size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -57,43 +63,15 @@ size_t RowGrain(size_t flops_per_row) {
 }
 
 // Shared inner loop of MatMulInto / MatMulAddBiasInto over rows [r0, r1):
-// 4x k-unrolled, streaming rows of `b` so the inner loop vectorizes.
+// one fused gemm_row kernel call per output row (4x k-unrolled inside, bias
+// init fused, b rows streamed) on the dispatched backend.
 void MatMulRowRange(const Matrix& a, const Matrix& b, const double* bias, Matrix& out,
-                    size_t r0, size_t r1) {
+                    const KernelOps& ops, size_t r0, size_t r1) {
   const size_t k_dim = a.cols();
   const size_t m_dim = b.cols();
+  const double* b_base = b.Row(0);
   for (size_t i = r0; i < r1; ++i) {
-    const double* arow = a.Row(i);
-    double* orow = out.Row(i);
-    if (bias != nullptr) {
-      std::memcpy(orow, bias, m_dim * sizeof(double));
-    } else {
-      std::memset(orow, 0, m_dim * sizeof(double));
-    }
-    size_t k = 0;
-    for (; k + 4 <= k_dim; k += 4) {
-      const double a0 = arow[k];
-      const double a1 = arow[k + 1];
-      const double a2 = arow[k + 2];
-      const double a3 = arow[k + 3];
-      const double* b0 = b.Row(k);
-      const double* b1 = b.Row(k + 1);
-      const double* b2 = b.Row(k + 2);
-      const double* b3 = b.Row(k + 3);
-      for (size_t j = 0; j < m_dim; ++j) {
-        orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-      }
-    }
-    for (; k < k_dim; ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) {
-        continue;
-      }
-      const double* brow = b.Row(k);
-      for (size_t j = 0; j < m_dim; ++j) {
-        orow[j] += aik * brow[j];
-      }
-    }
+    ops.gemm_row(a.Row(i), k_dim, b_base, m_dim, bias, out.Row(i), m_dim);
   }
 }
 
@@ -102,8 +80,9 @@ size_t MatMulImpl(const Matrix& a, const Matrix& b, const double* bias, Matrix& 
   assert(a.cols() == b.rows());
   assert(&out != &a && &out != &b);
   size_t grew = out.Reshape(a.rows(), b.cols()) ? 1 : 0;
+  const KernelOps& ops = Ops(par);
   ParallelFor(par.pool, a.rows(), RowGrain(a.cols() * b.cols()), par.max_ways,
-              [&](size_t r0, size_t r1) { MatMulRowRange(a, b, bias, out, r0, r1); });
+              [&](size_t r0, size_t r1) { MatMulRowRange(a, b, bias, out, ops, r0, r1); });
   return grew;
 }
 
@@ -124,26 +103,14 @@ size_t MatMulBtInto(const Matrix& a, const Matrix& b, Matrix& out, const Paralle
   assert(&out != &a && &out != &b);
   size_t grew = out.Reshape(a.rows(), b.rows()) ? 1 : 0;
   const size_t k_dim = a.cols();
+  const KernelOps& ops = Ops(par);
   ParallelFor(par.pool, a.rows(), RowGrain(k_dim * b.rows()), par.max_ways,
               [&](size_t r0, size_t r1) {
                 for (size_t i = r0; i < r1; ++i) {
                   const double* arow = a.Row(i);
                   double* orow = out.Row(i);
                   for (size_t j = 0; j < b.rows(); ++j) {
-                    const double* brow = b.Row(j);
-                    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-                    size_t k = 0;
-                    for (; k + 4 <= k_dim; k += 4) {
-                      s0 += arow[k] * brow[k];
-                      s1 += arow[k + 1] * brow[k + 1];
-                      s2 += arow[k + 2] * brow[k + 2];
-                      s3 += arow[k + 3] * brow[k + 3];
-                    }
-                    double sum = (s0 + s1) + (s2 + s3);
-                    for (; k < k_dim; ++k) {
-                      sum += arow[k] * brow[k];
-                    }
-                    orow[j] = sum;
+                    orow[j] = ops.dot(arow, b.Row(j), k_dim);
                   }
                 }
               });
@@ -159,9 +126,10 @@ size_t MatMulAtInto(const Matrix& a, const Matrix& b, Matrix& out) {
   return grew;
 }
 
-void MatMulAtAccum(const Matrix& a, const Matrix& b, Matrix& acc) {
+void MatMulAtAccum(const Matrix& a, const Matrix& b, Matrix& acc, const KernelOps* ops) {
   assert(a.rows() == b.rows());
   assert(acc.rows() == a.cols() && acc.cols() == b.cols());
+  const KernelOps& k_ops = Ops(ops);
   for (size_t k = 0; k < a.rows(); ++k) {
     const double* arow = a.Row(k);
     const double* brow = b.Row(k);
@@ -170,31 +138,22 @@ void MatMulAtAccum(const Matrix& a, const Matrix& b, Matrix& acc) {
       if (aki == 0.0) {
         continue;
       }
-      double* orow = acc.Row(i);
-      for (size_t j = 0; j < b.cols(); ++j) {
-        orow[j] += aki * brow[j];
-      }
+      k_ops.axpy(aki, brow, acc.Row(i), b.cols());
     }
   }
 }
 
-void ColSumAccum(const Matrix& m, Matrix& acc) {
+void ColSumAccum(const Matrix& m, Matrix& acc, const KernelOps* ops) {
   assert(acc.rows() == 1 && acc.cols() == m.cols());
+  const KernelOps& k_ops = Ops(ops);
   double* out = acc.Row(0);
   for (size_t i = 0; i < m.rows(); ++i) {
-    const double* row = m.Row(i);
-    for (size_t j = 0; j < m.cols(); ++j) {
-      out[j] += row[j];
-    }
+    k_ops.vadd(m.Row(i), out, m.cols());
   }
 }
 
-void ReluInPlace(Matrix& m) {
-  for (double& v : m.data()) {
-    if (v < 0.0) {
-      v = 0.0;
-    }
-  }
+void ReluInPlace(Matrix& m, const KernelOps* ops) {
+  Ops(ops).relu(m.data().data(), m.size());
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
@@ -322,6 +281,10 @@ double RowSqDist(const Matrix& a, size_t r, const Matrix& b, size_t s) {
 }
 
 double SqDist(const double* a, const double* b, size_t n) {
+  // Deliberately the textbook serial sum, NOT the dispatched kernel: this is
+  // the reference implementation the naive baseline (PredictBatchNaive) and
+  // the scoring-path Dissimilarity build on, so it must stay independent of
+  // the backend under test. Hot paths use KernelOps::sqdist directly.
   double sum = 0.0;
   for (size_t k = 0; k < n; ++k) {
     double d = a[k] - b[k];

@@ -3,9 +3,11 @@
 // Two kernel tiers:
 //   * fast `*Into` kernels — 4x k-unrolled, row-streaming, writing into a
 //     caller-provided output so the hot path (DTM forward/backward rounds)
-//     never allocates after warmup. Large row ranges can optionally be split
-//     over a ThreadPool; row partitioning leaves per-row arithmetic
-//     untouched, so threaded results are bit-identical to serial ones.
+//     never allocates after warmup. Their inner loops run on the dispatched
+//     SIMD backend (src/nn/kernels.h: portable or AVX2, selected at runtime;
+//     backends are bit-identical by construction). Large row ranges can
+//     optionally be split over a ThreadPool; row partitioning leaves per-row
+//     arithmetic untouched, so threaded results are bit-identical to serial.
 //   * `Naive*` reference kernels — textbook triple loops, kept as the
 //     correctness baseline for tests and the `--naive` benchmark fallback.
 // The allocating wrappers (MatMul &c.) call the fast kernels and remain the
@@ -21,6 +23,7 @@
 namespace wayfinder {
 
 class ThreadPool;
+struct KernelOps;
 
 class Matrix {
  public:
@@ -62,12 +65,15 @@ class Matrix {
   std::vector<double> data_;
 };
 
-// How a kernel may spread output rows across threads. Default: serial.
-// Row partitioning never changes per-row arithmetic, so any `ways` value
+// Execution policy for a kernel call: how output rows may spread across
+// threads, and which SIMD backend runs the inner loops. Defaults: serial,
+// process-default backend. Row partitioning never changes per-row
+// arithmetic, and backends are bit-identical by construction, so any policy
 // produces bit-identical results.
 struct Parallelism {
   ThreadPool* pool = nullptr;
   size_t max_ways = 1;  // Chunk count cap, caller's chunk included.
+  const KernelOps* kernels = nullptr;  // nullptr = DefaultKernels().
 };
 
 // --- fast kernels (write into `out`, reshaping it as needed) ---------------
@@ -83,13 +89,14 @@ size_t MatMulBtInto(const Matrix& a, const Matrix& b, Matrix& out, const Paralle
 // out = a^T * b            (a: KxN, b: KxM)
 size_t MatMulAtInto(const Matrix& a, const Matrix& b, Matrix& out);
 // acc += a^T * b — gradient accumulation without a temporary (acc: NxM).
-void MatMulAtAccum(const Matrix& a, const Matrix& b, Matrix& acc);
+void MatMulAtAccum(const Matrix& a, const Matrix& b, Matrix& acc,
+                   const KernelOps* ops = nullptr);
 // acc += column-wise sums of m (acc: 1 x M).
-void ColSumAccum(const Matrix& m, Matrix& acc);
+void ColSumAccum(const Matrix& m, Matrix& acc, const KernelOps* ops = nullptr);
 
 // --- in-place elementwise helpers ------------------------------------------
 // m = max(0, m).
-void ReluInPlace(Matrix& m);
+void ReluInPlace(Matrix& m, const KernelOps* ops = nullptr);
 
 // --- allocating wrappers (call the fast kernels) ---------------------------
 Matrix MatMul(const Matrix& a, const Matrix& b);

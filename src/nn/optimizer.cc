@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "src/nn/kernels.h"
+#include "src/util/thread_pool.h"
+
 namespace wayfinder {
 
 Adam::Adam(std::vector<ParamBlock*> params, const AdamOptions& options)
@@ -20,46 +23,44 @@ void Adam::ZeroGrad() {
   }
 }
 
-void Adam::Step() {
+void Adam::Step(const Parallelism& par) {
   ++step_;
+  const KernelOps& ops = ResolveKernels(par.kernels);
   // Optional global-norm gradient clipping for stability on small batches.
+  // The norm is reduced serially over blocks *before* the parallel section,
+  // so the clip factor — and therefore every update — is independent of the
+  // thread split.
   if (options_.grad_clip > 0.0) {
     double sq = 0.0;
     for (ParamBlock* p : params_) {
-      for (double g : p->grad.data()) {
-        sq += g * g;
-      }
+      sq += ops.sqnorm(p->grad.data().data(), p->grad.size());
     }
     double norm = std::sqrt(sq);
     if (norm > options_.grad_clip) {
       double scale = options_.grad_clip / norm;
       for (ParamBlock* p : params_) {
-        for (double& g : p->grad.data()) {
-          g *= scale;
-        }
+        ops.scal(scale, p->grad.data().data(), p->grad.size());
       }
     }
   }
-  double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(step_));
-  double bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(step_));
-  for (size_t p = 0; p < params_.size(); ++p) {
-    auto& value = params_[p]->value.data();
-    auto& grad = params_[p]->grad.data();
-    auto& m = m_[p].data();
-    auto& v = v_[p].data();
-    for (size_t i = 0; i < value.size(); ++i) {
-      m[i] = options_.beta1 * m[i] + (1.0 - options_.beta1) * grad[i];
-      v[i] = options_.beta2 * v[i] + (1.0 - options_.beta2) * grad[i] * grad[i];
-      double m_hat = m[i] / bias1;
-      double v_hat = v[i] / bias2;
-      double update = m_hat / (std::sqrt(v_hat) + options_.epsilon);
-      if (options_.weight_decay > 0.0) {
-        update += options_.weight_decay * value[i];
-      }
-      value[i] -= options_.learning_rate * update;
-      grad[i] = 0.0;
-    }
-  }
+  AdamScalars scalars;
+  scalars.beta1 = options_.beta1;
+  scalars.beta2 = options_.beta2;
+  scalars.learning_rate = options_.learning_rate;
+  scalars.epsilon = options_.epsilon;
+  scalars.weight_decay = options_.weight_decay;
+  scalars.bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(step_));
+  scalars.bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(step_));
+  // Per-block updates are independent and serial within a block, so the
+  // block partition can go wide without changing a single bit.
+  ParallelFor(par.pool, params_.size(), /*grain=*/1, par.max_ways,
+              [&](size_t p0, size_t p1) {
+                for (size_t p = p0; p < p1; ++p) {
+                  ops.adam_update(params_[p]->value.data().data(),
+                                  params_[p]->grad.data().data(), m_[p].data().data(),
+                                  v_[p].data().data(), params_[p]->value.size(), scalars);
+                }
+              });
 }
 
 }  // namespace wayfinder

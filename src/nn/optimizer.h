@@ -1,4 +1,9 @@
 // Adam optimizer over parameter blocks.
+//
+// Step() runs on the dispatched kernel backend (src/nn/kernels.h) and can
+// split parameter blocks across the shared thread pool: the global-norm clip
+// factor is computed once up front and each block's update is serial per
+// block, so results are bit-identical for any thread count.
 #ifndef WAYFINDER_SRC_NN_OPTIMIZER_H_
 #define WAYFINDER_SRC_NN_OPTIMIZER_H_
 
@@ -22,7 +27,9 @@ class Adam {
   explicit Adam(std::vector<ParamBlock*> params, const AdamOptions& options = {});
 
   // Applies one update from the accumulated gradients, then zeroes them.
-  void Step();
+  // `par` spreads per-block updates over the pool; any value of
+  // `par.max_ways` gives bit-identical results.
+  void Step(const Parallelism& par = {});
 
   // Zeroes gradients without stepping (e.g. after a skipped batch).
   void ZeroGrad();

@@ -5,6 +5,16 @@
 
 namespace wayfinder {
 
+namespace {
+// Set for the lifetime of a pool worker thread. A ParallelFor issued from a
+// worker (e.g. a kernel that parallelizes inside an already-parallel row
+// chunk) must not block on the queue it is itself draining: with every
+// worker busy the nested round's chunks would never be picked up and the
+// worker would wait forever. Nested calls run inline instead — correct for
+// any body (chunking is only a performance split) and deadlock-free.
+thread_local bool tls_pool_worker = false;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t threads) {
   workers_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
@@ -24,6 +34,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -42,6 +53,13 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(size_t n, size_t grain, size_t max_ways,
                              const std::function<void(size_t, size_t)>& body) {
   if (n == 0) {
+    return;
+  }
+  // Reentrant call from one of this process's pool workers: run inline.
+  // Queueing and blocking here could deadlock once every worker is inside a
+  // nested round (nobody left to drain the queue).
+  if (tls_pool_worker) {
+    body(0, n);
     return;
   }
   grain = std::max<size_t>(grain, 1);

@@ -34,6 +34,9 @@ class ThreadPool {
   // of at least `grain` items. The caller executes one chunk itself, so a
   // pool is never required to make progress. Blocks until every chunk is
   // done; the first exception thrown by any chunk is rethrown here.
+  // Reentrancy-safe: called from a pool worker (a nested parallel region),
+  // the whole range runs inline on that worker instead of deadlocking on
+  // the queue it is draining.
   void ParallelFor(size_t n, size_t grain, size_t max_ways,
                    const std::function<void(size_t, size_t)>& body);
 

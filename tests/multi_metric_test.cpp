@@ -200,6 +200,141 @@ TEST(MultiDtmTest, SaveLoadRoundTripPreservesPredictions) {
   }
 }
 
+// Feeds the same fixed sample stream to a model (shared by the fast-path
+// equivalence tests below).
+void FeedSamples(MultiDtm& model, size_t count) {
+  Rng rng(34);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<double> x(model.input_dim());
+    for (double& v : x) {
+      v = rng.Uniform();
+    }
+    std::vector<double> objectives(model.metric_count());
+    for (double& o : objectives) {
+      o = rng.Normal(0.0, 1.0);
+    }
+    model.AddSample(x, rng.Bernoulli(0.25), objectives);
+  }
+}
+
+TEST(MultiDtmTest, NoAllocationAfterWarmup) {
+  DtmOptions options;
+  options.seed = 13;
+  MultiDtm model(7, 3, options);
+  FeedSamples(model, 48);
+  std::vector<std::vector<double>> pool(96, std::vector<double>(7));
+  Rng rng(35);
+  for (auto& x : pool) {
+    for (double& v : x) {
+      v = rng.Uniform();
+    }
+  }
+
+  // Warm the workspace: one predict round at this pool shape plus one
+  // training round at the configured batch size.
+  model.PredictBatch(pool);
+  model.Update();
+  model.PredictBatch(pool);
+  size_t warm = model.workspace_grow_count();
+
+  // Steady state: repeated same-shaped rounds must not grow any buffer —
+  // the MultiDtm port shares the DTM's zero-alloc-after-warmup guarantee.
+  for (int round = 0; round < 5; ++round) {
+    model.PredictBatch(pool);
+    model.Update();
+  }
+  EXPECT_EQ(model.workspace_grow_count(), warm);
+}
+
+TEST(MultiDtmTest, ThreadedTrainingBitIdenticalToSerial) {
+  DtmOptions serial_options;
+  serial_options.seed = 17;
+  DtmOptions threaded_options;
+  threaded_options.seed = 17;
+  threaded_options.threads = 4;
+  MultiDtm serial(6, 2, serial_options);
+  MultiDtm threaded(6, 2, threaded_options);
+  FeedSamples(serial, 40);
+  FeedSamples(threaded, 40);
+  serial.Update();
+  threaded.Update();
+
+  std::vector<std::vector<double>> pool(33, std::vector<double>(6));
+  Rng rng(36);
+  for (auto& x : pool) {
+    for (double& v : x) {
+      v = rng.Uniform();
+    }
+  }
+  auto serial_pred = serial.PredictBatch(pool);
+  auto threaded_pred = threaded.PredictBatch(pool);
+  ASSERT_EQ(serial_pred.size(), threaded_pred.size());
+  for (size_t i = 0; i < serial_pred.size(); ++i) {
+    // Partitioning never changes per-element arithmetic: exact equality.
+    EXPECT_EQ(serial_pred[i].crash_prob, threaded_pred[i].crash_prob) << i;
+    for (size_t k = 0; k < 2; ++k) {
+      EXPECT_EQ(serial_pred[i].objectives[k], threaded_pred[i].objectives[k]) << i;
+      EXPECT_EQ(serial_pred[i].sigmas[k], threaded_pred[i].sigmas[k]) << i;
+    }
+  }
+}
+
+TEST(MultiDtmTest, TrainingUnchangedByKernelBackend) {
+  DtmOptions portable_options;
+  portable_options.seed = 19;
+  portable_options.kernels = KernelBackend::kPortable;
+  DtmOptions simd_options;
+  simd_options.seed = 19;
+  simd_options.kernels = KernelBackend::kAvx2;
+  MultiDtm portable(5, 2, portable_options);
+  MultiDtm simd(5, 2, simd_options);
+  FeedSamples(portable, 40);
+  FeedSamples(simd, 40);
+  portable.Update();
+  simd.Update();
+
+  std::vector<double> probe = {0.2, 0.4, 0.6, 0.8, 0.5};
+  MultiDtmPrediction a = portable.Predict(probe);
+  MultiDtmPrediction b = simd.Predict(probe);
+  // Backends are bit-identical by construction (falls back to portable on
+  // hardware without AVX2, where this holds trivially).
+  EXPECT_EQ(a.crash_prob, b.crash_prob);
+  for (size_t k = 0; k < 2; ++k) {
+    EXPECT_EQ(a.objectives[k], b.objectives[k]);
+    EXPECT_EQ(a.sigmas[k], b.sigmas[k]);
+  }
+}
+
+TEST(MultiDtmTest, BatchMatrixOverloadMatchesVectorApi) {
+  DtmOptions options;
+  options.seed = 23;
+  MultiDtm model(4, 2, options);
+  FeedSamples(model, 32);
+  model.Update();
+  std::vector<std::vector<double>> pool(9, std::vector<double>(4));
+  Rng rng(37);
+  for (auto& x : pool) {
+    for (double& v : x) {
+      v = rng.Uniform();
+    }
+  }
+  Matrix staged(pool.size(), 4);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      staged.At(i, j) = pool[i][j];
+    }
+  }
+  auto from_vectors = model.PredictBatch(pool);
+  auto from_matrix = model.PredictBatch(staged);
+  ASSERT_EQ(from_vectors.size(), from_matrix.size());
+  for (size_t i = 0; i < from_vectors.size(); ++i) {
+    EXPECT_EQ(from_vectors[i].crash_prob, from_matrix[i].crash_prob) << i;
+    for (size_t k = 0; k < 2; ++k) {
+      EXPECT_EQ(from_vectors[i].objectives[k], from_matrix[i].objectives[k]) << i;
+    }
+  }
+}
+
 TEST(MultiDtmTest, MemoryGrowsWithReplayBuffer) {
   MultiDtm model(3, 2);
   size_t empty = model.MemoryBytes();

@@ -99,6 +99,45 @@ TEST(ThreadPoolTest, FreeHelperSerialWhenPoolNull) {
   EXPECT_EQ(covered, 9u);
 }
 
+TEST(ThreadPoolTest, NestedParallelForRunsInlineInsteadOfDeadlocking) {
+  // A ParallelFor issued from inside a pool worker must not block on the
+  // queue it is draining. With one worker this deadlocked before the
+  // reentrancy fix: the worker's nested round queued a chunk nobody was
+  // left to run. Now nested rounds run inline on the worker.
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(64 * 16);
+  pool.ParallelFor(64, /*grain=*/1, /*max_ways=*/2, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      pool.ParallelFor(16, /*grain=*/1, /*max_ways=*/2, [&](size_t nb, size_t ne) {
+        for (size_t j = nb; j < ne; ++j) {
+          hits[i * 16 + j].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(8, 1, 3,
+                       [&](size_t, size_t) {
+                         pool.ParallelFor(4, 1, 2, [&](size_t nb, size_t) {
+                           if (nb == 0) {
+                             throw std::runtime_error("nested chunk failed");
+                           }
+                         });
+                       }),
+      std::runtime_error);
+  // Still serviceable afterwards.
+  size_t covered = 0;
+  pool.ParallelFor(5, 1, 1, [&](size_t b, size_t e) { covered += e - b; });
+  EXPECT_EQ(covered, 5u);
+}
+
 TEST(ThreadPoolTest, SharedPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
   EXPECT_GE(ThreadPool::Shared().thread_count(), 1u);

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Diffs two bench JSON streams and flags regressions on the micro anchors.
+
+The perf trajectory is a sequence of files produced by tools/run_benches.sh
+(one JSON object per line): BENCH_pr1.json, BENCH_pr2.json, ... committed at
+the repo root. This tool compares two of them:
+
+    tools/bench_compare.py BENCH_pr2.json benches.json [--threshold 0.10]
+
+Records are keyed on (bench, variant) and compared by ops_per_sec. Only the
+*anchor* benches gate: the bench_micro_matmul kernels and pool predictions
+(matmul_*, predict_batch_*) and the bench_micro_dtm update/predict family
+(dtm_*). Everything else — the
+paper-figure harnesses, status records, speedup summaries — is informational;
+figure benches are too seed- and load-sensitive to gate on.
+
+Exit status: 1 when any anchor regressed by more than --threshold (default
+10%), or when an anchor present in the baseline is missing from the
+candidate (a crashed bench must not read as "no regressions"). New benches
+and retired non-anchors are reported but never gate.
+"""
+
+import argparse
+import json
+import sys
+
+ANCHOR_PREFIXES = ("matmul_", "dtm_", "predict_batch_")
+# Summary records (speedup ratios, backend info) carry no ops_per_sec.
+RATE_KEY = "ops_per_sec"
+
+
+def load_records(path):
+    """Returns {(bench, variant): ops_per_sec} for rate records in `path`."""
+    records = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line_number, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    print(f"warning: {path}:{line_number}: not JSON, skipped",
+                          file=sys.stderr)
+                    continue
+                if not isinstance(obj, dict) or RATE_KEY not in obj:
+                    continue
+                key = (obj.get("bench", "?"), obj.get("variant", ""))
+                records[key] = float(obj[RATE_KEY])
+    except OSError as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    return records
+
+
+def is_anchor(key):
+    return key[0].startswith(ANCHOR_PREFIXES)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="older bench JSON (e.g. BENCH_pr2.json)")
+    parser.add_argument("candidate", help="newer bench JSON to check")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="gate anchors that regress more than this fraction "
+                             "(default 0.10)")
+    args = parser.parse_args()
+
+    base = load_records(args.baseline)
+    cand = load_records(args.candidate)
+
+    regressions = []
+    missing_anchors = []
+    rows = []
+    for key in sorted(set(base) | set(cand)):
+        name = f"{key[0]}/{key[1]}" if key[1] else key[0]
+        if key not in base:
+            rows.append((name, None, cand[key], None, "new"))
+            continue
+        if key not in cand:
+            if is_anchor(key):
+                missing_anchors.append(name)
+                rows.append((name, base[key], None, None, "MISSING ANCHOR"))
+            else:
+                rows.append((name, base[key], None, None, "missing"))
+            continue
+        old, new = base[key], cand[key]
+        ratio = new / old if old > 0 else float("inf")
+        status = "ok"
+        if is_anchor(key) and ratio < 1.0 - args.threshold:
+            status = "REGRESSION"
+            regressions.append((name, old, new, ratio))
+        elif not is_anchor(key):
+            status = "info"
+        rows.append((name, old, new, ratio, status))
+
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"{'bench':<{width}}  {'base':>12}  {'new':>12}  {'ratio':>7}  status")
+    for name, old, new, ratio, status in rows:
+        old_s = f"{old:12.2f}" if old is not None else f"{'-':>12}"
+        new_s = f"{new:12.2f}" if new is not None else f"{'-':>12}"
+        ratio_s = f"{ratio:7.2f}" if ratio is not None else f"{'-':>7}"
+        print(f"{name:<{width}}  {old_s}  {new_s}  {ratio_s}  {status}")
+
+    failed = False
+    if missing_anchors:
+        print(f"\n{len(missing_anchors)} anchor(s) missing from "
+              f"{args.candidate} (crashed or skipped bench?):", file=sys.stderr)
+        for name in missing_anchors:
+            print(f"  {name}", file=sys.stderr)
+        failed = True
+    if regressions:
+        print(f"\n{len(regressions)} anchor regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, old, new, ratio in regressions:
+            print(f"  {name}: {old:.2f} -> {new:.2f} ({ratio:.2f}x)",
+                  file=sys.stderr)
+        failed = True
+    if failed:
+        return 1
+    print("\nno anchor regressions beyond "
+          f"{args.threshold:.0%} ({len(rows)} records compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,12 @@
 # Usage: tools/run_benches.sh [build_dir] [out_file]
 #   WF_FAST=1 is exported so the figure harnesses run in smoke mode; unset
 #   it in the environment (WF_FAST=) for full-fidelity runs.
+#
+# Perf trajectory: each PR that touches the hot path commits a snapshot as
+# BENCH_pr<N>.json at the repo root (tools/run_benches.sh build BENCH_prN.json)
+# and checks it against the previous snapshot with
+#   tools/bench_compare.py BENCH_pr<N-1>.json BENCH_pr<N>.json
+# which exits non-zero when a micro anchor (matmul_*, dtm_*) regresses >10%.
 set -u
 
 BUILD_DIR="${1:-build}"
