@@ -5,27 +5,39 @@
 //
 //   * dtm_update_*: one full Update() — minibatch gather from the replay
 //     buffer, forward/backward, losses, Chamfer, Adam — across the
-//     {portable, avx2} kernel backends x {serial, 4-thread} split;
+//     {portable, avx2, avx512-when-available} kernel backends x {serial,
+//     4-thread} split;
 //   * dtm_predict_pool_*: candidate-pool PredictBatch;
-//   * dtm_add_sample: replay-buffer append.
+//   * dtm_add_sample: replay-buffer append;
+//   * propose_*: one full DeepTuneSearcher::Propose over the Linux space —
+//     sharded pool assembly (line search + mutation + random + encode) plus
+//     the batched DTM ranking pass — across {serial, 4-thread} pool
+//     generation.
 //
 // The kernel backends are bit-identical by construction (src/nn/kernels.h),
 // so every variant of a bench computes the same numbers — only the speed
 // differs. A summary record reports the update speedups; on pre-AVX2
 // hardware the avx2 variants fall back to portable and the speedup is ~1.
+// The avx512 variants (emitted only where the backend is available) are the
+// measurement behind the backend's opt-in default — see docs/perf.md.
 //
 // Usage: bench_micro_dtm [--dim D] [--samples N] [--threads T]
 //   WF_FAST=1 shortens the measurement window (smoke mode, the
 //   run_benches.sh default).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/configspace/linux_space.h"
+#include "src/core/deeptune.h"
 #include "src/core/dtm.h"
 #include "src/nn/kernels.h"
+#include "src/platform/trial.h"
 #include "src/util/rng.h"
 
 namespace wayfinder {
@@ -41,20 +53,28 @@ std::vector<double> RandomFeatures(Rng& rng, size_t dim) {
   return x;
 }
 
-// Runs `op` until the measurement window elapses; returns executions/sec.
+// Runs `op` across three measurement windows and returns the best window's
+// executions/sec. Best-of-N defends the regression gate against one-sided
+// wall-clock noise (frequency drift, co-tenant load): slowdowns only ever
+// push a window down, so the fastest window is the closest sample to the
+// machine's steady-state rate.
 template <typename Op>
 double OpsPerSec(Op&& op) {
   using Clock = std::chrono::steady_clock;
   op();  // Warm up (fills workspaces so steady state is measured).
-  size_t iters = 0;
-  auto start = Clock::now();
-  double elapsed = 0.0;
-  do {
-    op();
-    ++iters;
-    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
-  } while (elapsed < g_measure_seconds);
-  return static_cast<double>(iters) / elapsed;
+  double best = 0.0;
+  for (int window = 0; window < 3; ++window) {
+    size_t iters = 0;
+    auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      op();
+      ++iters;
+      elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    } while (elapsed < g_measure_seconds / 3);
+    best = std::max(best, static_cast<double>(iters) / elapsed);
+  }
+  return best;
 }
 
 void Report(const std::string& bench, const std::string& variant, double ops_per_sec) {
@@ -80,18 +100,27 @@ double BenchUpdate(size_t dim, size_t samples, KernelBackend backend, size_t thr
 }
 
 double BenchPredictPool(size_t dim, size_t pool, KernelBackend backend, size_t threads) {
-  DtmOptions options;
-  options.kernels = backend;
-  options.threads = threads;
-  DeepTuneModel model(dim, options);
-  SeedReplayBuffer(model, dim, 64);
-  model.Update();
-  Rng rng(2);
-  Matrix candidates(pool, dim);
-  for (double& v : candidates.data()) {
-    v = rng.Uniform();
+  // Best over several model instances: pool-sized workspaces sit on a
+  // cache-set cliff where throughput swings with the heap addresses a
+  // single instance happens to get (see bench_micro_matmul's BenchPredict).
+  double best = 0.0;
+  std::vector<std::vector<double>> pad;
+  for (int instance = 0; instance < 4; ++instance) {
+    DtmOptions options;
+    options.kernels = backend;
+    options.threads = threads;
+    auto model = std::make_unique<DeepTuneModel>(dim, options);
+    SeedReplayBuffer(*model, dim, 64);
+    model->Update();
+    Rng rng(2);
+    Matrix candidates(pool, dim);
+    for (double& v : candidates.data()) {
+      v = rng.Uniform();
+    }
+    best = std::max(best, OpsPerSec([&] { model->PredictBatch(candidates); }));
+    pad.emplace_back(1021 + 517 * static_cast<size_t>(instance), 0.0);
   }
-  return OpsPerSec([&] { model.PredictBatch(candidates); });
+  return best;
 }
 
 std::string VariantName(KernelBackend backend, size_t threads) {
@@ -100,6 +129,43 @@ std::string VariantName(KernelBackend backend, size_t threads) {
     name += "_t" + std::to_string(threads);
   }
   return name;
+}
+
+// Full Propose — sharded pool assembly + batched prediction + scoring — on
+// a warm searcher over the Linux space with a realistic history window.
+double BenchPropose(size_t pool, size_t threads) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  DeepTuneOptions options;
+  options.pool_size = pool;
+  options.warmup = 8;
+  options.update_every = 4;
+  options.model.steps_per_update = 4;  // Keep searcher warm-up cheap.
+  options.model.threads = threads;
+  DeepTuneSearcher searcher(&space, options);
+
+  Rng rng(11);
+  std::vector<TrialRecord> history;
+  SearchContext context;
+  context.space = &space;
+  context.history = &history;
+  context.rng = &rng;
+  context.sample_options = SampleOptions::FavorRuntime();
+
+  // Push the searcher past warm-up and give it elites + history to rank
+  // against (the paper-scale window the proposal loop actually sees).
+  for (size_t i = 0; i < 48; ++i) {
+    TrialRecord trial;
+    trial.config = space.RandomConfiguration(rng, context.sample_options);
+    trial.outcome.status =
+        rng.Bernoulli(0.2) ? TrialOutcome::Status::kRunCrashed : TrialOutcome::Status::kOk;
+    if (trial.outcome.ok()) {
+      trial.outcome.metric = rng.Normal(100.0, 10.0);
+      trial.objective = trial.outcome.metric;
+    }
+    searcher.Observe(trial, context);
+    history.push_back(trial);
+  }
+  return OpsPerSec([&] { searcher.Propose(context); });
 }
 
 }  // namespace
@@ -126,34 +192,50 @@ int main(int argc, char** argv) {
   }
 
   const bool has_avx2 = KernelBackendAvailable(KernelBackend::kAvx2);
-  std::printf("{\"bench\": \"kernel_backend\", \"default\": \"%s\", \"avx2_available\": %s}\n",
-              KernelBackendName(DefaultKernelBackend()), has_avx2 ? "true" : "false");
+  const bool has_avx512 = KernelBackendAvailable(KernelBackend::kAvx512);
+  std::printf("{\"bench\": \"kernel_backend\", \"default\": \"%s\", \"avx2_available\": %s, "
+              "\"avx512_available\": %s}\n",
+              KernelBackendName(DefaultKernelBackend()), has_avx2 ? "true" : "false",
+              has_avx512 ? "true" : "false");
 
   // Full Update across kernel backend x thread split. `--threads 0|1` means
   // serial-only: the threaded variants (and their summary ratios) are
-  // dropped rather than emitting duplicate or zero records.
+  // dropped rather than emitting duplicate or zero records. The avx512
+  // variants only appear where the backend is genuinely available, so the
+  // anchor set stays machine-honest (and the gate never sees a fallback
+  // measured under the wrong name).
   const std::string update_bench =
       "dtm_update_" + std::to_string(dim) + "d_" + std::to_string(samples) + "s";
   std::vector<size_t> thread_variants = {0};
   if (threads > 1) {
     thread_variants.push_back(threads);
   }
-  double portable_serial = 0.0, avx2_serial = 0.0, portable_threaded = 0.0,
-         avx2_threaded = 0.0;
-  for (KernelBackend backend : {KernelBackend::kPortable, KernelBackend::kAvx2}) {
+  std::vector<KernelBackend> backends = {KernelBackend::kPortable, KernelBackend::kAvx2};
+  if (has_avx512) {
+    backends.push_back(KernelBackend::kAvx512);
+  }
+  double portable_serial = 0.0, avx2_serial = 0.0, avx512_serial = 0.0,
+         portable_threaded = 0.0, avx2_threaded = 0.0;
+  for (KernelBackend backend : backends) {
     for (size_t t : thread_variants) {
       double ops = BenchUpdate(dim, samples, backend, t);
       Report(update_bench, VariantName(backend, t), ops);
       if (backend == KernelBackend::kPortable) {
         (t == 0 ? portable_serial : portable_threaded) = ops;
-      } else {
+      } else if (backend == KernelBackend::kAvx2) {
         (t == 0 ? avx2_serial : avx2_threaded) = ops;
+      } else if (t == 0) {
+        avx512_serial = ops;
       }
     }
   }
   if (portable_serial > 0.0) {
     std::printf("{\"bench\": \"dtm_update_speedup\", \"avx2_over_portable\": %.2f",
                 avx2_serial / portable_serial);
+    if (avx512_serial > 0.0 && avx2_serial > 0.0) {
+      std::printf(", \"avx512_over_portable\": %.2f, \"avx512_over_avx2\": %.2f",
+                  avx512_serial / portable_serial, avx512_serial / avx2_serial);
+    }
     if (portable_threaded > 0.0) {
       std::printf(", \"threads_over_serial\": %.2f, "
                   "\"avx2_threads_over_portable_serial\": %.2f",
@@ -162,16 +244,40 @@ int main(int argc, char** argv) {
     std::printf("}\n");
   }
 
+  // Full Propose — pool assembly + batched prediction — serial vs sharded
+  // pool generation. The `propose_*` family gates in bench_compare.py like
+  // the other micro anchors.
+  {
+    double serial_ops = BenchPropose(128, 0);
+    Report("propose_pool128", "serial", serial_ops);
+    double threaded_ops = 0.0;
+    if (threads > 1) {
+      threaded_ops = BenchPropose(128, threads);
+      Report("propose_pool128", "t" + std::to_string(threads), threaded_ops);
+    }
+    if (serial_ops > 0.0 && threaded_ops > 0.0) {
+      std::printf("{\"bench\": \"propose_speedup\", \"threads_over_serial\": %.2f}\n",
+                  threaded_ops / serial_ops);
+    }
+  }
+
   // Candidate-pool prediction and replay append (serial, default backend).
   for (size_t pool : {size_t{128}, size_t{256}}) {
     Report("dtm_predict_pool_" + std::to_string(pool), "fast",
            BenchPredictPool(dim, pool, KernelBackend::kAuto, 0));
   }
   {
-    DeepTuneModel model(dim, {});
-    Rng rng(3);
-    std::vector<double> x = RandomFeatures(rng, dim);
-    Report("dtm_add_sample", "fast", OpsPerSec([&] { model.AddSample(x, false, 1.0); }));
+    // Fresh model per measurement window: AddSample grows the replay buffer,
+    // so a single long-lived model measures ever-larger reallocation costs —
+    // later windows (and later sweeps) would read slower for no code reason.
+    double best = 0.0;
+    for (int instance = 0; instance < 4; ++instance) {
+      auto model = std::make_unique<DeepTuneModel>(dim, DtmOptions{});
+      Rng rng(3);
+      std::vector<double> x = RandomFeatures(rng, dim);
+      best = std::max(best, OpsPerSec([&] { model->AddSample(x, false, 1.0); }));
+    }
+    Report("dtm_add_sample", "fast", best);
   }
   return 0;
 }

@@ -130,20 +130,33 @@ int64_t ConfigSpace::RandomValue(size_t index, Rng& rng) const {
 }
 
 Configuration ConfigSpace::RandomConfiguration(Rng& rng, const SampleOptions& opts) const {
-  std::vector<int64_t> values(params_.size());
+  Configuration config(this, std::vector<int64_t>(params_.size()));
+  RandomConfigurationInto(rng, opts, &config);
+  return config;
+}
+
+void ConfigSpace::RandomConfigurationInto(Rng& rng, const SampleOptions& opts,
+                                          Configuration* out) const {
+  assert(out->space() == this && out->Size() == params_.size());
   for (size_t i = 0; i < params_.size(); ++i) {
     const ParamSpec& spec = params_[i];
     if (frozen_[i]) {
-      values[i] = frozen_value_[i];
+      out->SetRaw(i, frozen_value_[i]);
     } else if (rng.Bernoulli(opts.ProbFor(spec.phase))) {
-      values[i] = RandomValue(i, rng);
+      out->SetRaw(i, RandomValue(i, rng));
     } else {
-      values[i] = spec.default_value;
+      out->SetRaw(i, spec.default_value);
     }
   }
-  Configuration config(this, std::move(values));
-  ApplyConstraints(&config);
-  return config;
+  ApplyConstraints(out);
+}
+
+std::vector<double> ConfigSpace::MutationWeights(const SampleOptions& opts) const {
+  std::vector<double> weights(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    weights[i] = frozen_[i] ? 0.0 : opts.ProbFor(params_[i].phase);
+  }
+  return weights;
 }
 
 Configuration ConfigSpace::Neighbor(const Configuration& base, Rng& rng, size_t mutations,
@@ -152,22 +165,33 @@ Configuration ConfigSpace::Neighbor(const Configuration& base, Rng& rng, size_t 
   if (params_.empty()) {
     return config;
   }
-  // Build the per-phase mutation weights once.
-  std::vector<double> weights(params_.size());
+  // `config` doubles as base and output: NeighborInto's out == &base fast
+  // path skips the second copy.
+  NeighborInto(config, rng, mutations, MutationWeights(opts), &config);
+  return config;
+}
+
+void ConfigSpace::NeighborInto(const Configuration& base, Rng& rng, size_t mutations,
+                               const std::vector<double>& weights,
+                               Configuration* out) const {
+  if (out != &base) {
+    *out = base;  // vector assignment reuses `out`'s buffer when warm.
+  }
+  if (params_.empty()) {
+    return;
+  }
   double total = 0.0;
-  for (size_t i = 0; i < params_.size(); ++i) {
-    weights[i] = frozen_[i] ? 0.0 : opts.ProbFor(params_[i].phase);
-    total += weights[i];
+  for (double w : weights) {
+    total += w;
   }
   if (total <= 0.0) {
-    return config;
+    return;
   }
   for (size_t m = 0; m < mutations; ++m) {
     size_t index = rng.WeightedIndex(weights);
-    config.SetRaw(index, RandomValue(index, rng));
+    out->SetRaw(index, RandomValue(index, rng));
   }
-  ApplyConstraints(&config);
-  return config;
+  ApplyConstraints(out);
 }
 
 size_t ConfigSpace::ApplyConstraints(Configuration* config) const {
@@ -352,6 +376,15 @@ const std::vector<double>& ConfigSpace::EncodeMemoized(const Configuration& conf
     EncodeInto(config, entry.features.data());
   }
   return entry.features;
+}
+
+size_t ConfigSpace::EncodeCacheBytes() const {
+  size_t bytes = encode_cache_.capacity() * sizeof(EncodeCacheEntry);
+  for (const EncodeCacheEntry& entry : encode_cache_) {
+    bytes += entry.values.capacity() * sizeof(int64_t) +
+             entry.features.capacity() * sizeof(double);
+  }
+  return bytes;
 }
 
 size_t ConfigSpace::CountPhase(ParamPhase phase) const {

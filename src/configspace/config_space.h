@@ -101,11 +101,33 @@ class ConfigSpace {
 
   // Fully or phase-biased random sample; always satisfies dependency
   // constraints and frozen values.
+  //
+  // Thread-safety: RandomConfiguration, Neighbor, RandomValue,
+  // ApplyConstraints, IsValid, Encode/EncodeInto/EncodeParam/DecodeParam and
+  // the *Into variants below are pure over the space's immutable members
+  // (params_, frozen_, index_by_name_), so concurrent calls on one space are
+  // safe as long as each caller owns its Rng and output Configuration — the
+  // contract the threaded proposal pipeline (src/core/proposal.h) relies on.
+  // EncodeMemoized is the one exception: it mutates the shared encode cache
+  // and must stay on a single thread.
   Configuration RandomConfiguration(Rng& rng, const SampleOptions& opts = SampleOptions()) const;
+  // In-place variant for hot proposal loops: overwrites `out`, which must
+  // already belong to this space, instead of building a fresh Configuration.
+  // Draw-for-draw identical to RandomConfiguration.
+  void RandomConfigurationInto(Rng& rng, const SampleOptions& opts, Configuration* out) const;
 
   // Mutates `mutations` randomly chosen non-frozen parameters of `base`.
   Configuration Neighbor(const Configuration& base, Rng& rng, size_t mutations,
                          const SampleOptions& opts = SampleOptions()) const;
+  // In-place variant: copies `base` into `out` (reusing its buffer) and
+  // mutates there. `weights` must be the per-parameter mutation weights
+  // MutationWeights() returns for `opts`; hoisting them out lets a pool
+  // loop share one weight vector across thousands of candidates.
+  void NeighborInto(const Configuration& base, Rng& rng, size_t mutations,
+                    const std::vector<double>& weights, Configuration* out) const;
+  // Per-parameter mutation weights for `opts`: 0 for frozen parameters,
+  // else the phase's sampling probability.
+  std::vector<double> MutationWeights(const SampleOptions& opts) const;
 
   // Draws a random in-domain value for one parameter (log-aware for numeric
   // domains spanning decades).
@@ -136,6 +158,9 @@ class ConfigSpace {
   // Pays off for configurations encoded over and over — elites mutated
   // into candidate pools, Table-3-style re-scoring loops. Not thread-safe.
   const std::vector<double>& EncodeMemoized(const Configuration& config) const;
+  // Live bytes held by the memoized-encode cache (keys + features), for the
+  // searchers' memory accounting.
+  size_t EncodeCacheBytes() const;
   double EncodeParam(size_t index, int64_t value) const;
   // Inverse of EncodeParam (rounds to the nearest domain value).
   int64_t DecodeParam(size_t index, double feature) const;

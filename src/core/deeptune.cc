@@ -10,7 +10,8 @@ DeepTuneSearcher::DeepTuneSearcher(const ConfigSpace* space, const DeepTuneOptio
     : space_(space),
       options_(options),
       model_(space->FeatureDimension(), options.model),
-      scoring_(options.scoring) {}
+      scoring_(options.scoring),
+      proposal_(options.model.seed) {}
 
 bool DeepTuneSearcher::LoadModel(const std::string& path) {
   transferred_ = model_.Load(path);
@@ -31,55 +32,27 @@ Configuration DeepTuneSearcher::Propose(SearchContext& context) {
   // best configurations with one parameter swept across a small value grid,
   // which the model then ranks (model-guided coordinate descent); (b) small
   // multi-parameter mutations of the elites; (c) fresh random samples.
-  std::vector<Configuration> pool;
-  pool.reserve(options_.pool_size);
-  size_t exploit = elites_.empty()
-                       ? 0
-                       : static_cast<size_t>(static_cast<double>(options_.pool_size) *
-                                             options_.exploit_fraction);
-  constexpr size_t kGridPoints = 5;
-  // Phase-biased parameter lottery for the line search.
-  std::vector<double> param_weights(space_->Size(), 0.0);
-  for (size_t i = 0; i < space_->Size(); ++i) {
-    if (!space_->IsFrozen(i)) {
-      param_weights[i] = context.sample_options.ProbFor(space_->Param(i).phase);
-    }
-  }
-  double weight_total = 0.0;
-  for (double w : param_weights) {
-    weight_total += w;
-  }
-  size_t line_candidates = exploit / 2;
-  for (size_t i = 0; i < line_candidates && weight_total > 0.0; i += kGridPoints) {
-    const Configuration& base = elites_[(i / kGridPoints) % elites_.size()];
-    size_t param = context.rng->WeightedIndex(param_weights);
-    for (size_t g = 0; g < kGridPoints && pool.size() < options_.pool_size; ++g) {
-      Configuration candidate = base;
-      double code = static_cast<double>(g) / static_cast<double>(kGridPoints - 1);
-      candidate.SetRaw(param, space_->DecodeParam(param, code));
-      space_->ApplyConstraints(&candidate);
-      pool.push_back(std::move(candidate));
-    }
-  }
-  while (pool.size() < exploit) {
-    const Configuration& base = elites_[pool.size() % elites_.size()];
-    size_t mutations = 1 + static_cast<size_t>(context.rng->UniformInt(
-                               0, static_cast<int64_t>(options_.max_mutations) - 1));
-    pool.push_back(space_->Neighbor(base, *context.rng, mutations, context.sample_options));
-  }
-  while (pool.size() < options_.pool_size) {
-    pool.push_back(space_->RandomConfiguration(*context.rng, context.sample_options));
-  }
+  //
+  // Assembly is sharded over the thread pool by the shared proposal pipeline
+  // (src/core/proposal.h): candidates mutate and encode in parallel on
+  // counter-derived RNG streams, so the pool — and the whole trajectory — is
+  // bit-identical at any thread count. The session RNG contributes exactly
+  // one serial draw of per-iteration entropy, independent of partitioning.
+  ProposalPoolSpec spec;
+  spec.pool_size = options_.pool_size;
+  spec.exploit_fraction = options_.exploit_fraction;
+  spec.max_mutations = options_.max_mutations;
+  spec.line_search = true;
+  spec.threads = options_.model.threads;
+  AssembleProposalPool(*space_, elites_, context.sample_options, spec,
+                       proposal_.NextPoolSeed(*context.rng), proposal_.pool,
+                       proposal_.encoded);
 
   // --- 2. Model predictions ---------------------------------------------------
-  // The whole candidate pool is encoded into one row-major batch matrix and
-  // ranked with a single DTM forward pass.
+  // The assembled pool is already one row-major batch matrix; rank it with a
+  // single DTM forward pass.
   size_t dim = space_->FeatureDimension();
-  pool_encoded_.Reshape(pool.size(), dim);
-  for (size_t i = 0; i < pool.size(); ++i) {
-    space_->EncodeInto(pool[i], pool_encoded_.Row(i));
-  }
-  std::vector<DtmPrediction> predictions = model_.PredictBatch(pool_encoded_);
+  std::vector<DtmPrediction> predictions = model_.PredictBatch(proposal_.encoded);
   std::vector<double> sigma_norm = NormalizeSigmas(predictions);
 
   // --- 3. Scoring (Eq. 2 + Eq. 3 merged with the prediction) ------------------
@@ -87,52 +60,20 @@ Configuration DeepTuneSearcher::Propose(SearchContext& context) {
   // the window keeps proposal cost O(1) per iteration. The encoded window
   // lives in a ring cache that only ever encodes each trial once.
   if (context.history != nullptr) {
-    SyncHistoryCache(*context.history);
+    proposal_.history.Sync(*space_, *context.history, kHistoryWindow);
   }
   size_t best = 0;
   double best_score = -std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < pool.size(); ++i) {
-    double ds = Dissimilarity(pool_encoded_.Row(i), dim, history_encoded_, history_rows_);
+  for (size_t i = 0; i < proposal_.pool.size(); ++i) {
+    double ds = Dissimilarity(proposal_.encoded.Row(i), dim, proposal_.history.rows(),
+                              proposal_.history.row_count());
     double score = RankScore(predictions[i], ds, sigma_norm[i], scoring_);
     if (score > best_score) {
       best_score = score;
       best = i;
     }
   }
-  return pool[best];
-}
-
-void DeepTuneSearcher::SyncHistoryCache(const std::vector<TrialRecord>& history) {
-  size_t dim = space_->FeatureDimension();
-  // Detect a replaced history (searcher reused across sessions, resume into
-  // a different prior): the vector shrank, or the last trial we synced is no
-  // longer the same configuration at that position.
-  bool replaced = history.size() < history_synced_;
-  if (!replaced && history_synced_ > 0) {
-    replaced = history[history_synced_ - 1].config.Hash() != last_synced_hash_;
-  }
-  if (replaced) {
-    history_rows_ = 0;
-    history_next_ = 0;
-    history_synced_ = 0;
-  }
-  if (history_encoded_.rows() != kHistoryWindow || history_encoded_.cols() != dim) {
-    history_encoded_.Reshape(kHistoryWindow, dim);
-  }
-  // Only the window's worth of tail can ever be live in the ring.
-  size_t begin = history_synced_;
-  if (history.size() - begin > kHistoryWindow) {
-    begin = history.size() - kHistoryWindow;
-  }
-  for (size_t i = begin; i < history.size(); ++i) {
-    space_->EncodeInto(history[i].config, history_encoded_.Row(history_next_));
-    history_next_ = (history_next_ + 1) % kHistoryWindow;
-    history_rows_ = std::min(history_rows_ + 1, kHistoryWindow);
-  }
-  history_synced_ = history.size();
-  if (history_synced_ > 0) {
-    last_synced_hash_ = history[history_synced_ - 1].config.Hash();
-  }
+  return proposal_.pool[best];
 }
 
 void DeepTuneSearcher::Observe(const TrialRecord& trial, SearchContext& context) {
@@ -167,11 +108,19 @@ void DeepTuneSearcher::Observe(const TrialRecord& trial, SearchContext& context)
 
 size_t DeepTuneSearcher::MemoryBytes() const {
   size_t bytes = model_.MemoryBytes();
+  // Elite set: configurations and their objectives.
   for (const Configuration& elite : elites_) {
     bytes += elite.Size() * sizeof(int64_t);
   }
-  // Proposal-path scratch and the encoded-history ring.
-  bytes += (pool_encoded_.size() + history_encoded_.size()) * sizeof(double);
+  bytes += elite_objectives_.capacity() * sizeof(double);
+  // Proposal-path scratch: the candidate pool, its encoded batch matrix,
+  // and the encoded-history ring.
+  bytes += proposal_.ScratchBytes();
+  // The memoized-encode cache lives in the (shared) ConfigSpace but is
+  // populated by this searcher's Observe/PredictConfig path — count it here
+  // so Figure 10 reflects the searcher's true footprint. Caveat: with
+  // several searchers on one space, each reports the whole shared cache.
+  bytes += space_->EncodeCacheBytes();
   return bytes;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/core/dtm.h"
+#include "src/core/proposal.h"
 #include "src/core/scoring.h"
 #include "src/platform/searcher.h"
 
@@ -66,10 +67,6 @@ class DeepTuneSearcher : public Searcher {
   std::vector<double> ParameterImpacts(SearchContext& context);
 
  private:
-  // Brings the encoded-history ring up to date with `history`, encoding
-  // only the trials appended since the last call.
-  void SyncHistoryCache(const std::vector<TrialRecord>& history);
-
   const ConfigSpace* space_;
   DeepTuneOptions options_;
   DeepTuneModel model_;
@@ -80,17 +77,12 @@ class DeepTuneSearcher : public Searcher {
   std::vector<Configuration> elites_;
   std::vector<double> elite_objectives_;
 
-  // Proposal-path scratch and caches. `pool_encoded_` holds the candidate
-  // pool as one row-major batch; `history_encoded_` is a ring of the most
-  // recent kHistoryWindow encoded evaluations, updated incrementally so
-  // Dissimilarity never re-encodes history.
+  // Proposal pipeline state (seeding recipe + persistent pool/encode/ring
+  // scratch): candidate streams are counter-derived, never the shared
+  // session RNG per candidate, so the pool is bit-identical at any thread
+  // count. Shared shape with MultiMetricSearcher via ProposalState.
   static constexpr size_t kHistoryWindow = 128;
-  Matrix pool_encoded_;
-  Matrix history_encoded_;
-  size_t history_rows_ = 0;   // Valid rows in the ring (<= kHistoryWindow).
-  size_t history_next_ = 0;   // Ring write cursor.
-  size_t history_synced_ = 0; // History entries consumed so far.
-  uint64_t last_synced_hash_ = 0;  // Guards against a swapped history.
+  ProposalState proposal_;
 };
 
 }  // namespace wayfinder

@@ -1,349 +1,29 @@
 #include "src/core/dtm.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-
-#include "src/nn/serialize.h"
-#include "src/util/stats.h"
-#include "src/util/thread_pool.h"
-
 namespace wayfinder {
 
-DeepTuneModel::DeepTuneModel(size_t input_dim, const DtmOptions& options)
-    : input_dim_(input_dim),
-      options_(options),
-      rng_(options.seed),
-      dense1_(input_dim, options.hidden1, rng_),
-      dropout_(options.dropout),
-      dense2_(options.hidden1, options.hidden2, rng_),
-      crash_head_(options.hidden2, 2, rng_),
-      perf_head_(options.hidden2, 1, rng_),
-      rbf0_(input_dim, options.rbf_centroids,
-            options.gamma_factor * std::sqrt(static_cast<double>(input_dim)), rng_),
-      rbf1_(options.hidden1, options.rbf_centroids,
-            options.gamma_factor * std::sqrt(static_cast<double>(options.hidden1)), rng_),
-      rbf2_(options.hidden2, options.rbf_centroids,
-            options.gamma_factor * std::sqrt(static_cast<double>(options.hidden2)), rng_),
-      unc_head_(3 * options.rbf_centroids, 1, rng_),
-      kernels_(&KernelsFor(options.kernels)) {
-  std::vector<ParamBlock*> params = Params();
-  AdamOptions adam_options;
-  adam_options.learning_rate = options.learning_rate;
-  adam_options.weight_decay = 1e-5;
-  adam_ = std::make_unique<Adam>(params, adam_options);
-}
-
-const char* DeepTuneModel::kernel_backend_name() const { return kernels_->name; }
-
-std::vector<ParamBlock*> DeepTuneModel::Params() {
-  std::vector<ParamBlock*> params;
-  for (ParamBlock* p : dense1_.Params()) {
-    params.push_back(p);
+std::vector<DtmPrediction> DeepTuneModel::Emit(size_t n) const {
+  std::vector<DtmPrediction> predictions(n);
+  for (size_t i = 0; i < n; ++i) {
+    predictions[i].crash_prob = trunk_.CrashProb(i);
+    predictions[i].objective = trunk_.Objective(i, 0);
+    predictions[i].sigma = trunk_.Sigma(i, 0);
   }
-  for (ParamBlock* p : dense2_.Params()) {
-    params.push_back(p);
-  }
-  for (ParamBlock* p : crash_head_.Params()) {
-    params.push_back(p);
-  }
-  for (ParamBlock* p : perf_head_.Params()) {
-    params.push_back(p);
-  }
-  for (ParamBlock* p : rbf0_.Params()) {
-    params.push_back(p);
-  }
-  for (ParamBlock* p : rbf1_.Params()) {
-    params.push_back(p);
-  }
-  for (ParamBlock* p : rbf2_.Params()) {
-    params.push_back(p);
-  }
-  for (ParamBlock* p : unc_head_.Params()) {
-    params.push_back(p);
-  }
-  return params;
-}
-
-void DeepTuneModel::AddSample(const std::vector<double>& x, bool crashed, double objective) {
-  assert(x.size() == input_dim_);
-  xs_.push_back(x);
-  crashed_.push_back(crashed);
-  objectives_.push_back(crashed ? std::nan("") : objective);
-  normalizer_dirty_ = true;
-}
-
-void DeepTuneModel::RefreshNormalizer() {
-  if (!normalizer_dirty_) {
-    return;
-  }
-  RunningStats stats;
-  for (size_t i = 0; i < objectives_.size(); ++i) {
-    if (!crashed_[i]) {
-      stats.Add(objectives_[i]);
-    }
-  }
-  objective_mean_ = stats.Mean();
-  objective_std_ = stats.StdDev() > 1e-9 ? stats.StdDev() : 1.0;
-  normalizer_dirty_ = false;
-}
-
-double DeepTuneModel::NormalizeObjective(double objective) const {
-  return (objective - objective_mean_) / objective_std_;
-}
-
-double DeepTuneModel::DenormalizeObjective(double normalized) const {
-  return normalized * objective_std_ + objective_mean_;
-}
-
-Parallelism DeepTuneModel::Par() const {
-  if (options_.threads <= 1) {
-    return Parallelism{nullptr, 1, kernels_};
-  }
-  return Parallelism{&ThreadPool::Shared(), options_.threads, kernels_};
-}
-
-void DeepTuneModel::Forward(const Matrix& x, bool training) {
-  Parallelism par = Par();
-  ws_.Count(dense1_.ForwardInto(x, ws_.h1, par));  // Fused x W + b.
-  relu1_.ForwardInPlace(ws_.h1, par);
-  dropout_.ForwardInPlace(ws_.h1, rng_, training);
-  ws_.Count(dense2_.ForwardInto(ws_.h1, ws_.h2, par));
-  relu2_.ForwardInPlace(ws_.h2, par);
-  ws_.Count(crash_head_.ForwardInto(ws_.h2, ws_.crash_logits, par));
-  ws_.Count(perf_head_.ForwardInto(ws_.h2, ws_.yhat, par));
-  ws_.Count(rbf0_.ForwardInto(x, ws_.phi0, par));
-  ws_.Count(rbf1_.ForwardInto(ws_.h1, ws_.phi1, par));
-  ws_.Count(rbf2_.ForwardInto(ws_.h2, ws_.phi2, par));
-  ws_.Count(ConcatCols3Into(ws_.phi0, ws_.phi1, ws_.phi2, ws_.phi));
-  ws_.Count(unc_head_.ForwardInto(ws_.phi, ws_.s, par));
-}
-
-double DeepTuneModel::Update() {
-  if (xs_.empty()) {
-    return 0.0;
-  }
-  RefreshNormalizer();
-  Parallelism par = Par();
-  double last_loss = 0.0;
-  size_t batch = std::min(options_.batch_size, xs_.size());
-  ws_.Count(ws_.x.Reshape(batch, input_dim_) ? 1 : 0);
-  ws_.ReserveGather(batch);
-  for (size_t step = 0; step < options_.steps_per_update; ++step) {
-    // Sample a minibatch (with replacement) from the replay buffer. Indices
-    // and targets are drawn serially (the RNG stream and the vector<bool>
-    // mask are order-sensitive); only the wide row copies go parallel.
-    for (size_t b = 0; b < batch; ++b) {
-      size_t i = static_cast<size_t>(
-          rng_.UniformInt(0, static_cast<int64_t>(xs_.size()) - 1));
-      ws_.batch_index[b] = i;
-      ws_.crash_target[b] = crashed_[i] ? 1 : 0;
-      ws_.y[b] = 0.0;
-      ws_.mask[b] = false;
-      if (!crashed_[i]) {
-        ws_.y[b] = NormalizeObjective(objectives_[i]);
-        ws_.mask[b] = true;
-      }
-    }
-    ParallelFor(par.pool, batch, /*grain=*/8, par.max_ways, [&](size_t b0, size_t b1) {
-      for (size_t b = b0; b < b1; ++b) {
-        const std::vector<double>& row = xs_[ws_.batch_index[b]];
-        std::copy(row.begin(), row.end(), ws_.x.Row(b));
-      }
-    });
-
-    Forward(ws_.x, /*training=*/true);
-
-    // --- Losses ------------------------------------------------------------
-    double loss_cce =
-        SoftmaxCrossEntropy(ws_.crash_logits, ws_.crash_target, &ws_.dlogits, ws_.probs);
-    double loss_reg =
-        HeteroscedasticLoss(ws_.yhat, ws_.s, ws_.y, ws_.mask, &ws_.dyhat, &ws_.ds);
-    double loss_cham = rbf0_.AccumulateChamferGradient(options_.chamfer_weight, par) +
-                       rbf1_.AccumulateChamferGradient(options_.chamfer_weight, par) +
-                       rbf2_.AccumulateChamferGradient(options_.chamfer_weight, par);
-    last_loss = loss_cce + loss_reg + options_.chamfer_weight * loss_cham;
-
-    // --- Backward -----------------------------------------------------------
-    ws_.Count(unc_head_.BackwardInto(ws_.ds, &ws_.dphi, par));
-    size_t k = options_.rbf_centroids;
-    ws_.Count(SliceColsInto(ws_.dphi, 0, k, ws_.dphi0));
-    ws_.Count(SliceColsInto(ws_.dphi, k, 2 * k, ws_.dphi1));
-    ws_.Count(SliceColsInto(ws_.dphi, 2 * k, 3 * k, ws_.dphi2));
-
-    ws_.Count(crash_head_.BackwardInto(ws_.dlogits, &ws_.dh2, par));
-    ws_.Count(perf_head_.BackwardInto(ws_.dyhat, &ws_.dh2_scratch, par));
-    for (size_t i = 0; i < ws_.dh2.size(); ++i) {
-      ws_.dh2.data()[i] += ws_.dh2_scratch.data()[i];
-    }
-    rbf2_.BackwardInto(ws_.dphi2, &ws_.dh2, /*accumulate=*/true, par);
-    relu2_.BackwardInPlace(ws_.dh2);
-    ws_.Count(dense2_.BackwardInto(ws_.dh2, &ws_.dh1, par));
-    rbf1_.BackwardInto(ws_.dphi1, &ws_.dh1, /*accumulate=*/true, par);
-    dropout_.BackwardInPlace(ws_.dh1);
-    relu1_.BackwardInPlace(ws_.dh1);
-    dense1_.BackwardInto(ws_.dh1, /*dx=*/nullptr, par);
-    // Input gradient discarded.
-    rbf0_.BackwardInto(ws_.dphi0, /*dz=*/nullptr, /*accumulate=*/false, par);
-
-    adam_->Step(par);
-  }
-  return last_loss;
+  return predictions;
 }
 
 DtmPrediction DeepTuneModel::Predict(const std::vector<double>& x) {
-  assert(x.size() == input_dim_);
-  if (options_.naive) {
-    Matrix staged = Matrix::FromRow(x);
-    return PredictBatchNaive(staged).front();
-  }
-  // Route straight through the batched forward: stage the single row in the
-  // workspace, no per-call vector-of-vectors.
-  ws_.Count(ws_.x.Reshape(1, input_dim_) ? 1 : 0);
-  std::copy(x.begin(), x.end(), ws_.x.Row(0));
-  Forward(ws_.x, /*training=*/false);
-  return PredictFromWorkspace(1).front();
+  trunk_.PredictRow(x);
+  return Emit(1).front();
 }
 
 std::vector<DtmPrediction> DeepTuneModel::PredictBatch(
     const std::vector<std::vector<double>>& xs) {
-  if (xs.empty()) {
-    return {};
-  }
-  // Stage through the workspace so repeat same-shaped calls don't allocate.
-  ws_.Count(ws_.x.Reshape(xs.size(), input_dim_) ? 1 : 0);
-  for (size_t i = 0; i < xs.size(); ++i) {
-    assert(xs[i].size() == input_dim_);
-    std::copy(xs[i].begin(), xs[i].end(), ws_.x.Row(i));
-  }
-  if (options_.naive) {
-    return PredictBatchNaive(ws_.x);
-  }
-  Forward(ws_.x, /*training=*/false);
-  return PredictFromWorkspace(ws_.x.rows());
+  return Emit(trunk_.PredictRows(xs));
 }
 
 std::vector<DtmPrediction> DeepTuneModel::PredictBatch(const Matrix& xs) {
-  if (xs.rows() == 0) {
-    return {};
-  }
-  assert(xs.cols() == input_dim_);
-  if (options_.naive) {
-    return PredictBatchNaive(xs);
-  }
-  Forward(xs, /*training=*/false);
-  return PredictFromWorkspace(xs.rows());
-}
-
-std::vector<DtmPrediction> DeepTuneModel::PredictFromWorkspace(size_t n) {
-  ws_.Count(SoftmaxInto(ws_.crash_logits, ws_.probs));
-  std::vector<DtmPrediction> predictions(n);
-  for (size_t i = 0; i < n; ++i) {
-    predictions[i].crash_prob = ws_.probs.At(i, 1);
-    predictions[i].objective = ws_.yhat.At(i, 0);
-    double s = std::clamp(ws_.s.At(i, 0), -10.0, 10.0);
-    predictions[i].sigma = std::exp(0.5 * s);
-  }
-  return predictions;
-}
-
-// The seed implementation, verbatim in structure: textbook kernels and a
-// fresh matrix per op. Kept as the correctness and performance baseline for
-// equivalence tests and bench_micro_matmul --naive.
-std::vector<DtmPrediction> DeepTuneModel::PredictBatchNaive(const Matrix& xs) {
-  auto dense_naive = [](const Matrix& in, DenseLayer& layer) {
-    Matrix out = NaiveMatMul(in, layer.weight().value);
-    AddRowInPlace(out, layer.bias().value);
-    return out;
-  };
-  auto relu_naive = [](const Matrix& in) {
-    Matrix out = in;
-    for (double& v : out.data()) {
-      v = std::max(0.0, v);
-    }
-    return out;
-  };
-  auto rbf_naive = [](const Matrix& in, RbfLayer& layer) {
-    const Matrix& c = layer.centroid_values();
-    Matrix phi(in.rows(), c.rows());
-    double inv = 1.0 / (2.0 * layer.gamma() * layer.gamma());
-    for (size_t n = 0; n < in.rows(); ++n) {
-      for (size_t ci = 0; ci < c.rows(); ++ci) {
-        phi.At(n, ci) = std::exp(-RowSqDist(in, n, c, ci) * inv);
-      }
-    }
-    return phi;
-  };
-
-  Matrix h1 = relu_naive(dense_naive(xs, dense1_));  // Dropout inactive at inference.
-  Matrix h2 = relu_naive(dense_naive(h1, dense2_));
-  Matrix crash_logits = dense_naive(h2, crash_head_);
-  Matrix yhat = dense_naive(h2, perf_head_);
-  Matrix phi = ConcatCols(ConcatCols(rbf_naive(xs, rbf0_), rbf_naive(h1, rbf1_)),
-                          rbf_naive(h2, rbf2_));
-  Matrix s = dense_naive(phi, unc_head_);
-  Matrix probs = Softmax(crash_logits);
-
-  std::vector<DtmPrediction> predictions(xs.rows());
-  for (size_t i = 0; i < xs.rows(); ++i) {
-    predictions[i].crash_prob = probs.At(i, 1);
-    predictions[i].objective = yhat.At(i, 0);
-    double si = std::clamp(s.At(i, 0), -10.0, 10.0);
-    predictions[i].sigma = std::exp(0.5 * si);
-  }
-  return predictions;
-}
-
-bool DeepTuneModel::Save(const std::string& path) const {
-  auto* self = const_cast<DeepTuneModel*>(this);
-  return SaveParamsToFile(self->Params(), path);
-}
-
-bool DeepTuneModel::Load(const std::string& path) {
-  return LoadParamsFromFile(Params(), path);
-}
-
-void DeepTuneModel::Workspace::ReserveGather(size_t batch) {
-  size_t caps = batch_index.capacity() + crash_target.capacity() + y.capacity() +
-                mask.capacity();
-  batch_index.resize(batch);
-  crash_target.resize(batch);
-  y.resize(batch);
-  mask.resize(batch);
-  size_t caps_after = batch_index.capacity() + crash_target.capacity() + y.capacity() +
-                      mask.capacity();
-  if (caps_after != caps) {
-    ++grow_count;
-  }
-}
-
-size_t DeepTuneModel::Workspace::Bytes() const {
-  const Matrix* buffers[] = {&x,     &h1,    &h2,    &crash_logits, &yhat,  &s,
-                             &phi0,  &phi1,  &phi2,  &phi,          &probs, &dlogits,
-                             &dyhat, &ds,    &dphi,  &dphi0,        &dphi1, &dphi2,
-                             &dh2,   &dh2_scratch,   &dh1};
-  size_t bytes = 0;
-  for (const Matrix* m : buffers) {
-    bytes += m->size() * sizeof(double);
-  }
-  bytes += batch_index.size() * sizeof(size_t) + crash_target.size() * sizeof(int) +
-           y.size() * sizeof(double) + mask.size() / 8;
-  return bytes;
-}
-
-size_t DeepTuneModel::MemoryBytes() const {
-  size_t bytes = 0;
-  auto* self = const_cast<DeepTuneModel*>(this);
-  for (ParamBlock* p : self->Params()) {
-    // Value + gradient + two Adam moments.
-    bytes += 4 * p->value.size() * sizeof(double);
-  }
-  for (const auto& x : xs_) {
-    bytes += x.size() * sizeof(double);
-  }
-  bytes += crashed_.size() / 8 + objectives_.size() * sizeof(double);
-  bytes += ws_.Bytes();  // The scratch arena is live model state too.
-  return bytes;
+  return Emit(trunk_.PredictRows(xs));
 }
 
 }  // namespace wayfinder

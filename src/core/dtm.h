@@ -19,53 +19,19 @@
 // the uncertainty branch's s, and a Chamfer regularizer distributing each
 // RBF layer's centroids over its input distribution.
 //
-// Updates are incremental — a constant number of gradient steps per new
-// observation — so per-iteration cost stays O(1) in model work and O(n)
-// overall, unlike Gaussian-process or causal-graph refits (§2.3, Figure 7).
+// This class is the K = 1 head over the shared `DtmTrunk`
+// (src/core/dtm_trunk.h), which owns the network, the backward pass, the
+// optimizer, the replay buffer, and every bit-determinism contract. The
+// head only converts the trunk's row accessors into DtmPrediction structs.
 #ifndef WAYFINDER_SRC_CORE_DTM_H_
 #define WAYFINDER_SRC_CORE_DTM_H_
 
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "src/nn/kernels.h"
-#include "src/nn/layers.h"
-#include "src/nn/losses.h"
-#include "src/nn/optimizer.h"
-#include "src/util/rng.h"
+#include "src/core/dtm_trunk.h"
 
 namespace wayfinder {
-
-struct DtmOptions {
-  size_t hidden1 = 64;
-  size_t hidden2 = 32;
-  size_t rbf_centroids = 12;
-  // gamma for an RBF layer = gamma_factor * sqrt(input width); the paper's
-  // gamma = 0.1 assumes per-dimension-normalized scalar-ish latents, which
-  // this generalizes to arbitrary widths.
-  double gamma_factor = 0.7;
-  double dropout = 0.10;
-  double learning_rate = 2e-3;
-  size_t batch_size = 32;
-  size_t steps_per_update = 32;  // Constant per observation: O(n) total.
-  double chamfer_weight = 0.05;
-  uint64_t seed = 0xd7a1;
-  // Parallelism of forward/backward row blocks, the training-loop minibatch
-  // gather, and per-block Adam updates over the process-wide shared
-  // ThreadPool: number of concurrent chunks, 0 (or 1) = fully serial.
-  // Partitioning never changes per-element arithmetic, so any value gives
-  // bit-identical results.
-  size_t threads = 0;
-  // SIMD kernel backend for this model's forward/backward/update math.
-  // kAuto follows the process default (WF_KERNELS env, else CPUID). Backends
-  // are bit-identical by construction, so this only changes speed.
-  KernelBackend kernels = KernelBackend::kAuto;
-  // Route inference through the scalar, allocation-per-op reference path
-  // (textbook kernels, one fresh matrix per op — the seed implementation).
-  // Baseline for bench_micro_matmul's --naive mode and equivalence tests.
-  bool naive = false;
-};
 
 struct DtmPrediction {
   double crash_prob = 0.0;  // k̂
@@ -75,17 +41,20 @@ struct DtmPrediction {
 
 class DeepTuneModel {
  public:
-  DeepTuneModel(size_t input_dim, const DtmOptions& options = {});
+  DeepTuneModel(size_t input_dim, const DtmOptions& options = {})
+      : trunk_(input_dim, /*head_count=*/1, options) {}
 
-  size_t input_dim() const { return input_dim_; }
-  size_t sample_count() const { return xs_.size(); }
+  size_t input_dim() const { return trunk_.input_dim(); }
+  size_t sample_count() const { return trunk_.sample_count(); }
 
   // Adds one observation. `objective` is ignored for crashed trials.
-  void AddSample(const std::vector<double>& x, bool crashed, double objective);
+  void AddSample(const std::vector<double>& x, bool crashed, double objective) {
+    trunk_.AddSample(x, crashed, &objective);
+  }
 
   // Runs `steps_per_update` minibatch gradient steps on the replay buffer.
   // Returns the last batch's total loss (0 when there is nothing to train).
-  double Update();
+  double Update() { return trunk_.Update(); }
 
   DtmPrediction Predict(const std::vector<double>& x);
   std::vector<DtmPrediction> PredictBatch(const std::vector<std::vector<double>>& xs);
@@ -94,92 +63,38 @@ class DeepTuneModel {
   std::vector<DtmPrediction> PredictBatch(const Matrix& xs);
 
   // Objective normalization (z-score over successful observations).
-  double NormalizeObjective(double objective) const;
-  double DenormalizeObjective(double normalized) const;
+  double NormalizeObjective(double objective) const {
+    return trunk_.NormalizeObjective(0, objective);
+  }
+  double DenormalizeObjective(double normalized) const {
+    return trunk_.DenormalizeObjective(0, normalized);
+  }
 
   // Trainable blocks in a stable order (for Adam and serialization).
-  std::vector<ParamBlock*> Params();
+  std::vector<ParamBlock*> Params() { return trunk_.Params(); }
 
   // Transfer learning (§3.3): persist/restore the trained weights. Loading
   // requires an identical architecture (input dim and options).
-  bool Save(const std::string& path) const;
-  bool Load(const std::string& path);
+  bool Save(const std::string& path) const { return trunk_.Save(path); }
+  bool Load(const std::string& path) { return trunk_.Load(path); }
 
   // Live state footprint (weights + optimizer moments + replay buffer).
-  size_t MemoryBytes() const;
+  size_t MemoryBytes() const { return trunk_.MemoryBytes(); }
 
-  const DtmOptions& options() const { return options_; }
+  const DtmOptions& options() const { return trunk_.options(); }
 
   // Times any workspace buffer had to (re)allocate. Stable across repeated
   // same-shaped Forward calls — the zero-alloc-after-warmup guarantee that
   // tests assert on.
-  size_t workspace_grow_count() const { return ws_.grow_count; }
+  size_t workspace_grow_count() const { return trunk_.workspace_grow_count(); }
 
-  // The SIMD backend this model resolved at construction ("portable"/"avx2").
-  const char* kernel_backend_name() const;
+  // The SIMD backend this model resolved at construction.
+  const char* kernel_backend_name() const { return trunk_.kernel_backend_name(); }
 
  private:
-  // Scratch arena for one forward/backward round. Buffers are reshaped in
-  // place every call and only ever grow, so a warm model's hot path does no
-  // heap allocation.
-  struct Workspace {
-    Matrix x;                          // Staged input batch.
-    Matrix h1, h2;                     // Trunk activations (in-place ReLU/dropout).
-    Matrix crash_logits, yhat, s;      // Head outputs.
-    Matrix phi0, phi1, phi2, phi;      // RBF activations and their concat.
-    Matrix probs;                      // Softmax output for prediction.
-    Matrix dlogits, dyhat, ds;         // Loss gradients.
-    Matrix dphi, dphi0, dphi1, dphi2;  // Uncertainty-branch gradients.
-    Matrix dh2, dh2_scratch, dh1;      // Trunk gradients.
-    // Training-loop gather scratch: minibatch replay indices and targets.
-    std::vector<size_t> batch_index;
-    std::vector<int> crash_target;
-    std::vector<double> y;
-    std::vector<bool> mask;
-    size_t grow_count = 0;
+  std::vector<DtmPrediction> Emit(size_t n) const;
 
-    void Count(size_t grew) { grow_count += grew; }
-    // Resizes the gather scratch, counting vector buffer growth like Matrix
-    // reshapes so the zero-alloc guarantee covers the whole training loop.
-    void ReserveGather(size_t batch);
-    size_t Bytes() const;
-  };
-
-  // Fast path: runs the network over `x` into the workspace. `x` must stay
-  // alive/unmodified until the round's backward pass completes.
-  void Forward(const Matrix& x, bool training);
-  std::vector<DtmPrediction> PredictFromWorkspace(size_t n);
-  std::vector<DtmPrediction> PredictBatchNaive(const Matrix& xs);
-  Parallelism Par() const;
-  void RefreshNormalizer();
-
-  size_t input_dim_;
-  DtmOptions options_;
-  Rng rng_;
-
-  DenseLayer dense1_;
-  ReluLayer relu1_;
-  DropoutLayer dropout_;
-  DenseLayer dense2_;
-  ReluLayer relu2_;
-  DenseLayer crash_head_;
-  DenseLayer perf_head_;
-  RbfLayer rbf0_;
-  RbfLayer rbf1_;
-  RbfLayer rbf2_;
-  DenseLayer unc_head_;
-  std::unique_ptr<Adam> adam_;
-  const KernelOps* kernels_ = nullptr;  // Resolved once from options().kernels.
-  Workspace ws_;
-
-  // Replay buffer.
-  std::vector<std::vector<double>> xs_;
-  std::vector<bool> crashed_;
-  std::vector<double> objectives_;  // Raw; NaN for crashed trials.
-
-  double objective_mean_ = 0.0;
-  double objective_std_ = 1.0;
-  bool normalizer_dirty_ = true;
+  DtmTrunk trunk_;
 };
 
 }  // namespace wayfinder

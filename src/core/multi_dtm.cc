@@ -1,299 +1,42 @@
 #include "src/core/multi_dtm.h"
 
-#include <algorithm>
 #include <cassert>
-#include <cmath>
-
-#include "src/nn/serialize.h"
-#include "src/util/stats.h"
-#include "src/util/thread_pool.h"
 
 namespace wayfinder {
 
-MultiDtm::MultiDtm(size_t input_dim, size_t metric_count, const DtmOptions& options)
-    : input_dim_(input_dim),
-      metric_count_(metric_count),
-      options_(options),
-      rng_(options.seed),
-      dense1_(input_dim, options.hidden1, rng_),
-      dropout_(options.dropout),
-      dense2_(options.hidden1, options.hidden2, rng_),
-      crash_head_(options.hidden2, 2, rng_),
-      perf_head_(options.hidden2, metric_count, rng_),
-      rbf0_(input_dim, options.rbf_centroids,
-            options.gamma_factor * std::sqrt(static_cast<double>(input_dim)), rng_),
-      rbf1_(options.hidden1, options.rbf_centroids,
-            options.gamma_factor * std::sqrt(static_cast<double>(options.hidden1)), rng_),
-      rbf2_(options.hidden2, options.rbf_centroids,
-            options.gamma_factor * std::sqrt(static_cast<double>(options.hidden2)), rng_),
-      unc_head_(3 * options.rbf_centroids, metric_count, rng_),
-      kernels_(&KernelsFor(options.kernels)),
-      metric_mean_(metric_count, 0.0),
-      metric_std_(metric_count, 1.0) {
-  assert(metric_count_ >= 1);
-  std::vector<ParamBlock*> params = Params();
-  AdamOptions adam_options;
-  adam_options.learning_rate = options.learning_rate;
-  adam_options.weight_decay = 1e-5;
-  adam_ = std::make_unique<Adam>(params, adam_options);
-}
-
-const char* MultiDtm::kernel_backend_name() const { return kernels_->name; }
-
-std::vector<ParamBlock*> MultiDtm::Params() {
-  std::vector<ParamBlock*> params;
-  auto append = [&params](std::vector<ParamBlock*> block) {
-    params.insert(params.end(), block.begin(), block.end());
-  };
-  append(dense1_.Params());
-  append(dense2_.Params());
-  append(crash_head_.Params());
-  append(perf_head_.Params());
-  append(rbf0_.Params());
-  append(rbf1_.Params());
-  append(rbf2_.Params());
-  append(unc_head_.Params());
-  return params;
-}
-
 void MultiDtm::AddSample(const std::vector<double>& x, bool crashed,
                          const std::vector<double>& objectives) {
-  assert(x.size() == input_dim_);
-  xs_.push_back(x);
-  crashed_.push_back(crashed);
-  if (crashed) {
-    objectives_.emplace_back(metric_count_, std::nan(""));
-  } else {
-    assert(objectives.size() == metric_count_);
-    objectives_.push_back(objectives);
-  }
-  normalizer_dirty_ = true;
+  assert(crashed || objectives.size() == trunk_.head_count());
+  trunk_.AddSample(x, crashed, crashed ? nullptr : objectives.data());
 }
 
-void MultiDtm::RefreshNormalizers() {
-  if (!normalizer_dirty_) {
-    return;
-  }
-  for (size_t k = 0; k < metric_count_; ++k) {
-    RunningStats stats;
-    for (size_t i = 0; i < objectives_.size(); ++i) {
-      if (!crashed_[i]) {
-        stats.Add(objectives_[i][k]);
-      }
-    }
-    metric_mean_[k] = stats.Mean();
-    metric_std_[k] = stats.StdDev() > 1e-9 ? stats.StdDev() : 1.0;
-  }
-  normalizer_dirty_ = false;
-}
-
-double MultiDtm::NormalizeObjective(size_t metric, double objective) const {
-  return (objective - metric_mean_[metric]) / metric_std_[metric];
-}
-
-double MultiDtm::DenormalizeObjective(size_t metric, double normalized) const {
-  return normalized * metric_std_[metric] + metric_mean_[metric];
-}
-
-Parallelism MultiDtm::Par() const {
-  if (options_.threads <= 1) {
-    return Parallelism{nullptr, 1, kernels_};
-  }
-  return Parallelism{&ThreadPool::Shared(), options_.threads, kernels_};
-}
-
-void MultiDtm::Forward(const Matrix& x, bool training) {
-  Parallelism par = Par();
-  ws_.Count(dense1_.ForwardInto(x, ws_.h1, par));  // Fused x W + b.
-  relu1_.ForwardInPlace(ws_.h1, par);
-  dropout_.ForwardInPlace(ws_.h1, rng_, training);
-  ws_.Count(dense2_.ForwardInto(ws_.h1, ws_.h2, par));
-  relu2_.ForwardInPlace(ws_.h2, par);
-  ws_.Count(crash_head_.ForwardInto(ws_.h2, ws_.crash_logits, par));
-  ws_.Count(perf_head_.ForwardInto(ws_.h2, ws_.yhat, par));
-  ws_.Count(rbf0_.ForwardInto(x, ws_.phi0, par));
-  ws_.Count(rbf1_.ForwardInto(ws_.h1, ws_.phi1, par));
-  ws_.Count(rbf2_.ForwardInto(ws_.h2, ws_.phi2, par));
-  ws_.Count(ConcatCols3Into(ws_.phi0, ws_.phi1, ws_.phi2, ws_.phi));
-  ws_.Count(unc_head_.ForwardInto(ws_.phi, ws_.s, par));
-}
-
-double MultiDtm::Update() {
-  if (xs_.empty()) {
-    return 0.0;
-  }
-  RefreshNormalizers();
-  Parallelism par = Par();
-  double last_loss = 0.0;
-  size_t batch = std::min(options_.batch_size, xs_.size());
-  ws_.Count(ws_.x.Reshape(batch, input_dim_) ? 1 : 0);
-  ws_.Count(ws_.y.Reshape(batch, metric_count_) ? 1 : 0);
-  ws_.ReserveGather(batch);
-  for (size_t step = 0; step < options_.steps_per_update; ++step) {
-    // Sample a minibatch (with replacement) from the replay buffer. Indices
-    // and targets are drawn serially (RNG stream and vector<bool> mask are
-    // order-sensitive); the wide row copies go parallel.
-    for (size_t b = 0; b < batch; ++b) {
-      size_t i = static_cast<size_t>(
-          rng_.UniformInt(0, static_cast<int64_t>(xs_.size()) - 1));
-      ws_.batch_index[b] = i;
-      ws_.crash_target[b] = crashed_[i] ? 1 : 0;
-      ws_.mask[b] = false;
-      for (size_t k = 0; k < metric_count_; ++k) {
-        ws_.y.At(b, k) = 0.0;
-      }
-      if (!crashed_[i]) {
-        for (size_t k = 0; k < metric_count_; ++k) {
-          ws_.y.At(b, k) = NormalizeObjective(k, objectives_[i][k]);
-        }
-        ws_.mask[b] = true;
-      }
-    }
-    ParallelFor(par.pool, batch, /*grain=*/8, par.max_ways, [&](size_t b0, size_t b1) {
-      for (size_t b = b0; b < b1; ++b) {
-        const std::vector<double>& row = xs_[ws_.batch_index[b]];
-        std::copy(row.begin(), row.end(), ws_.x.Row(b));
-      }
-    });
-
-    Forward(ws_.x, /*training=*/true);
-
-    // --- Losses ------------------------------------------------------------
-    double loss_cce =
-        SoftmaxCrossEntropy(ws_.crash_logits, ws_.crash_target, &ws_.dlogits, ws_.probs);
-    double loss_reg =
-        HeteroscedasticLossMulti(ws_.yhat, ws_.s, ws_.y, ws_.mask, &ws_.dyhat, &ws_.ds);
-    double loss_cham = rbf0_.AccumulateChamferGradient(options_.chamfer_weight, par) +
-                       rbf1_.AccumulateChamferGradient(options_.chamfer_weight, par) +
-                       rbf2_.AccumulateChamferGradient(options_.chamfer_weight, par);
-    last_loss = loss_cce + loss_reg + options_.chamfer_weight * loss_cham;
-
-    // --- Backward -----------------------------------------------------------
-    ws_.Count(unc_head_.BackwardInto(ws_.ds, &ws_.dphi, par));
-    size_t k = options_.rbf_centroids;
-    ws_.Count(SliceColsInto(ws_.dphi, 0, k, ws_.dphi0));
-    ws_.Count(SliceColsInto(ws_.dphi, k, 2 * k, ws_.dphi1));
-    ws_.Count(SliceColsInto(ws_.dphi, 2 * k, 3 * k, ws_.dphi2));
-
-    ws_.Count(crash_head_.BackwardInto(ws_.dlogits, &ws_.dh2, par));
-    ws_.Count(perf_head_.BackwardInto(ws_.dyhat, &ws_.dh2_scratch, par));
-    for (size_t i = 0; i < ws_.dh2.size(); ++i) {
-      ws_.dh2.data()[i] += ws_.dh2_scratch.data()[i];
-    }
-    rbf2_.BackwardInto(ws_.dphi2, &ws_.dh2, /*accumulate=*/true, par);
-    relu2_.BackwardInPlace(ws_.dh2);
-    ws_.Count(dense2_.BackwardInto(ws_.dh2, &ws_.dh1, par));
-    rbf1_.BackwardInto(ws_.dphi1, &ws_.dh1, /*accumulate=*/true, par);
-    dropout_.BackwardInPlace(ws_.dh1);
-    relu1_.BackwardInPlace(ws_.dh1);
-    dense1_.BackwardInto(ws_.dh1, /*dx=*/nullptr, par);
-    // Input gradient discarded.
-    rbf0_.BackwardInto(ws_.dphi0, /*dz=*/nullptr, /*accumulate=*/false, par);
-
-    adam_->Step(par);
-  }
-  return last_loss;
-}
-
-MultiDtmPrediction MultiDtm::Predict(const std::vector<double>& x) {
-  assert(x.size() == input_dim_);
-  // Route straight through the batched forward: stage the single row in the
-  // workspace, no per-call vector-of-vectors.
-  ws_.Count(ws_.x.Reshape(1, input_dim_) ? 1 : 0);
-  std::copy(x.begin(), x.end(), ws_.x.Row(0));
-  Forward(ws_.x, /*training=*/false);
-  return PredictFromWorkspace(1).front();
-}
-
-std::vector<MultiDtmPrediction> MultiDtm::PredictBatch(
-    const std::vector<std::vector<double>>& xs) {
-  if (xs.empty()) {
-    return {};
-  }
-  // Stage through the workspace so repeat same-shaped calls don't allocate.
-  ws_.Count(ws_.x.Reshape(xs.size(), input_dim_) ? 1 : 0);
-  for (size_t i = 0; i < xs.size(); ++i) {
-    assert(xs[i].size() == input_dim_);
-    std::copy(xs[i].begin(), xs[i].end(), ws_.x.Row(i));
-  }
-  Forward(ws_.x, /*training=*/false);
-  return PredictFromWorkspace(ws_.x.rows());
-}
-
-std::vector<MultiDtmPrediction> MultiDtm::PredictBatch(const Matrix& xs) {
-  if (xs.rows() == 0) {
-    return {};
-  }
-  assert(xs.cols() == input_dim_);
-  Forward(xs, /*training=*/false);
-  return PredictFromWorkspace(xs.rows());
-}
-
-std::vector<MultiDtmPrediction> MultiDtm::PredictFromWorkspace(size_t n) {
-  ws_.Count(SoftmaxInto(ws_.crash_logits, ws_.probs));
+std::vector<MultiDtmPrediction> MultiDtm::Emit(size_t n) const {
+  size_t k_count = trunk_.head_count();
   std::vector<MultiDtmPrediction> predictions(n);
   for (size_t i = 0; i < n; ++i) {
-    predictions[i].crash_prob = ws_.probs.At(i, 1);
-    predictions[i].objectives.resize(metric_count_);
-    predictions[i].sigmas.resize(metric_count_);
-    for (size_t k = 0; k < metric_count_; ++k) {
-      predictions[i].objectives[k] = ws_.yhat.At(i, k);
-      double s = std::clamp(ws_.s.At(i, k), -10.0, 10.0);
-      predictions[i].sigmas[k] = std::exp(0.5 * s);
+    predictions[i].crash_prob = trunk_.CrashProb(i);
+    predictions[i].objectives.resize(k_count);
+    predictions[i].sigmas.resize(k_count);
+    for (size_t k = 0; k < k_count; ++k) {
+      predictions[i].objectives[k] = trunk_.Objective(i, k);
+      predictions[i].sigmas[k] = trunk_.Sigma(i, k);
     }
   }
   return predictions;
 }
 
-bool MultiDtm::Save(const std::string& path) const {
-  auto* self = const_cast<MultiDtm*>(this);
-  return SaveParamsToFile(self->Params(), path);
+MultiDtmPrediction MultiDtm::Predict(const std::vector<double>& x) {
+  trunk_.PredictRow(x);
+  return Emit(1).front();
 }
 
-bool MultiDtm::Load(const std::string& path) {
-  return LoadParamsFromFile(Params(), path);
+std::vector<MultiDtmPrediction> MultiDtm::PredictBatch(
+    const std::vector<std::vector<double>>& xs) {
+  return Emit(trunk_.PredictRows(xs));
 }
 
-void MultiDtm::Workspace::ReserveGather(size_t batch) {
-  size_t caps = batch_index.capacity() + crash_target.capacity() + mask.capacity();
-  batch_index.resize(batch);
-  crash_target.resize(batch);
-  mask.resize(batch);
-  size_t caps_after = batch_index.capacity() + crash_target.capacity() + mask.capacity();
-  if (caps_after != caps) {
-    ++grow_count;
-  }
-}
-
-size_t MultiDtm::Workspace::Bytes() const {
-  const Matrix* buffers[] = {&x,     &h1,    &h2,    &crash_logits, &yhat,  &s,
-                             &phi0,  &phi1,  &phi2,  &phi,          &probs, &y,
-                             &dlogits, &dyhat, &ds,  &dphi,         &dphi0, &dphi1,
-                             &dphi2, &dh2,   &dh2_scratch,          &dh1};
-  size_t bytes = 0;
-  for (const Matrix* m : buffers) {
-    bytes += m->size() * sizeof(double);
-  }
-  bytes += batch_index.size() * sizeof(size_t) + crash_target.size() * sizeof(int) +
-           mask.size() / 8;
-  return bytes;
-}
-
-size_t MultiDtm::MemoryBytes() const {
-  size_t bytes = 0;
-  auto* self = const_cast<MultiDtm*>(this);
-  for (ParamBlock* p : self->Params()) {
-    bytes += 4 * p->value.size() * sizeof(double);
-  }
-  for (const auto& x : xs_) {
-    bytes += x.size() * sizeof(double);
-  }
-  for (const auto& y : objectives_) {
-    bytes += y.size() * sizeof(double);
-  }
-  bytes += crashed_.size() / 8;
-  bytes += ws_.Bytes();  // The scratch arena is live model state too.
-  return bytes;
+std::vector<MultiDtmPrediction> MultiDtm::PredictBatch(const Matrix& xs) {
+  return Emit(trunk_.PredictRows(xs));
 }
 
 }  // namespace wayfinder

@@ -3,29 +3,23 @@
 // The paper's DTM "can be extended to handle multiple metrics by adding
 // additional output layers to F_p and F_u. This modification allows the
 // DTM to make predictions for multiple targets simultaneously." This class
-// is that modification: the same two-branch architecture as DeepTuneModel
-// (shared trunk, crash head, stacked RBF uncertainty branch), but the
-// objective head emits K outputs and the uncertainty head K log-variances,
-// trained with a K-column heteroscedastic loss. Each metric keeps its own
-// z-score normalizer so req/s and MB can share one network.
+// is that modification: the objective head emits K outputs and the
+// uncertainty head K log-variances, trained with a K-column heteroscedastic
+// loss. Each metric keeps its own z-score normalizer so req/s and MB can
+// share one network.
 //
-// Runs on the same fast path as DeepTuneModel: a workspace arena of scratch
-// matrices (zero heap allocation once warm — `workspace_grow_count()` pins
-// it), the dispatched SIMD kernel backend (`DtmOptions::kernels`), batched
-// per-head forwards, and optional row/block threading (`DtmOptions::threads`)
-// with bit-identical results at any thread count.
+// Like `DeepTuneModel`, this is a thin head over the shared `DtmTrunk`
+// (src/core/dtm_trunk.h) — the same single Forward/Backward/Update/Workspace
+// implementation at K = metric_count. The zero-alloc workspace arena, the
+// dispatched SIMD kernel backend, and bit-identical threading all come from
+// the trunk.
 #ifndef WAYFINDER_SRC_CORE_MULTI_DTM_H_
 #define WAYFINDER_SRC_CORE_MULTI_DTM_H_
 
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "src/core/dtm.h"
-#include "src/nn/layers.h"
-#include "src/nn/losses.h"
-#include "src/nn/optimizer.h"
-#include "src/util/rng.h"
+#include "src/core/dtm_trunk.h"
 
 namespace wayfinder {
 
@@ -38,11 +32,12 @@ struct MultiDtmPrediction {
 class MultiDtm {
  public:
   // `metric_count` >= 1; metric_count == 1 behaves like DeepTuneModel.
-  MultiDtm(size_t input_dim, size_t metric_count, const DtmOptions& options = {});
+  MultiDtm(size_t input_dim, size_t metric_count, const DtmOptions& options = {})
+      : trunk_(input_dim, metric_count, options) {}
 
-  size_t input_dim() const { return input_dim_; }
-  size_t metric_count() const { return metric_count_; }
-  size_t sample_count() const { return xs_.size(); }
+  size_t input_dim() const { return trunk_.input_dim(); }
+  size_t metric_count() const { return trunk_.head_count(); }
+  size_t sample_count() const { return trunk_.sample_count(); }
 
   // `objectives` must have metric_count entries, all in each metric's raw
   // higher-is-better orientation; ignored for crashed trials.
@@ -50,7 +45,7 @@ class MultiDtm {
                  const std::vector<double>& objectives);
 
   // Runs steps_per_update minibatch gradient steps; returns the last loss.
-  double Update();
+  double Update() { return trunk_.Update(); }
 
   MultiDtmPrediction Predict(const std::vector<double>& x);
   std::vector<MultiDtmPrediction> PredictBatch(const std::vector<std::vector<double>>& xs);
@@ -59,83 +54,32 @@ class MultiDtm {
   std::vector<MultiDtmPrediction> PredictBatch(const Matrix& xs);
 
   // Per-metric z-score normalization over successful observations.
-  double NormalizeObjective(size_t metric, double objective) const;
-  double DenormalizeObjective(size_t metric, double normalized) const;
+  double NormalizeObjective(size_t metric, double objective) const {
+    return trunk_.NormalizeObjective(metric, objective);
+  }
+  double DenormalizeObjective(size_t metric, double normalized) const {
+    return trunk_.DenormalizeObjective(metric, normalized);
+  }
 
-  std::vector<ParamBlock*> Params();
-  bool Save(const std::string& path) const;
-  bool Load(const std::string& path);
-  size_t MemoryBytes() const;
+  std::vector<ParamBlock*> Params() { return trunk_.Params(); }
+  bool Save(const std::string& path) const { return trunk_.Save(path); }
+  bool Load(const std::string& path) { return trunk_.Load(path); }
+  size_t MemoryBytes() const { return trunk_.MemoryBytes(); }
 
-  const DtmOptions& options() const { return options_; }
+  const DtmOptions& options() const { return trunk_.options(); }
 
   // Times any workspace buffer had to (re)allocate. Stable across repeated
   // same-shaped Forward/Update rounds — the zero-alloc-after-warmup
   // guarantee that tests assert on.
-  size_t workspace_grow_count() const { return ws_.grow_count; }
+  size_t workspace_grow_count() const { return trunk_.workspace_grow_count(); }
 
-  // The SIMD backend this model resolved at construction ("portable"/"avx2").
-  const char* kernel_backend_name() const;
+  // The SIMD backend this model resolved at construction.
+  const char* kernel_backend_name() const { return trunk_.kernel_backend_name(); }
 
  private:
-  // Scratch arena for one forward/backward round, mirroring
-  // DeepTuneModel::Workspace with K-wide head buffers.
-  struct Workspace {
-    Matrix x;                          // Staged input batch.
-    Matrix h1, h2;                     // Trunk activations (in-place ReLU/dropout).
-    Matrix crash_logits, yhat, s;      // Head outputs (yhat/s are N x K).
-    Matrix phi0, phi1, phi2, phi;      // RBF activations and their concat.
-    Matrix probs;                      // Softmax output for prediction.
-    Matrix y;                          // Staged N x K regression targets.
-    Matrix dlogits, dyhat, ds;         // Loss gradients.
-    Matrix dphi, dphi0, dphi1, dphi2;  // Uncertainty-branch gradients.
-    Matrix dh2, dh2_scratch, dh1;      // Trunk gradients.
-    // Training-loop gather scratch.
-    std::vector<size_t> batch_index;
-    std::vector<int> crash_target;
-    std::vector<bool> mask;
-    size_t grow_count = 0;
+  std::vector<MultiDtmPrediction> Emit(size_t n) const;
 
-    void Count(size_t grew) { grow_count += grew; }
-    void ReserveGather(size_t batch);
-    size_t Bytes() const;
-  };
-
-  // Fast path: runs the network over `x` into the workspace. `x` must stay
-  // alive/unmodified until the round's backward pass completes.
-  void Forward(const Matrix& x, bool training);
-  std::vector<MultiDtmPrediction> PredictFromWorkspace(size_t n);
-  Parallelism Par() const;
-  void RefreshNormalizers();
-
-  size_t input_dim_;
-  size_t metric_count_;
-  DtmOptions options_;
-  Rng rng_;
-
-  DenseLayer dense1_;
-  ReluLayer relu1_;
-  DropoutLayer dropout_;
-  DenseLayer dense2_;
-  ReluLayer relu2_;
-  DenseLayer crash_head_;
-  DenseLayer perf_head_;  // hidden2 -> K.
-  RbfLayer rbf0_;
-  RbfLayer rbf1_;
-  RbfLayer rbf2_;
-  DenseLayer unc_head_;   // 3*centroids -> K.
-  std::unique_ptr<Adam> adam_;
-  const KernelOps* kernels_ = nullptr;  // Resolved once from options().kernels.
-  Workspace ws_;
-
-  // Replay buffer.
-  std::vector<std::vector<double>> xs_;
-  std::vector<bool> crashed_;
-  std::vector<std::vector<double>> objectives_;
-
-  std::vector<double> metric_mean_;
-  std::vector<double> metric_std_;
-  bool normalizer_dirty_ = true;
+  DtmTrunk trunk_;
 };
 
 }  // namespace wayfinder

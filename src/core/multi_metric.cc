@@ -32,7 +32,8 @@ MultiMetricSearcher::MultiMetricSearcher(const ConfigSpace* space,
       metrics_(std::move(metrics)),
       options_(options),
       model_(space->FeatureDimension(), metrics_.size(), options.model),
-      metric_stats_(metrics_.size()) {
+      metric_stats_(metrics_.size()),
+      proposal_(options.model.seed) {
   assert(!metrics_.empty());
   for (const MetricSpec& metric : metrics_) {
     assert(metric.extract != nullptr);
@@ -78,51 +79,46 @@ Configuration MultiMetricSearcher::Propose(SearchContext& context) {
 
   // Candidate pool: elite mutations + fresh random samples (the multi-metric
   // variant skips DeepTune's coordinate line search — elites already encode
-  // the trade-off frontier the weights select).
-  std::vector<Configuration> pool;
-  pool.reserve(options_.pool_size);
-  size_t exploit = elites_.empty()
-                       ? 0
-                       : static_cast<size_t>(static_cast<double>(options_.pool_size) *
-                                             options_.exploit_fraction);
-  while (pool.size() < exploit) {
-    const Configuration& base = elites_[pool.size() % elites_.size()];
-    size_t mutations = 1 + static_cast<size_t>(context.rng->UniformInt(
-                               0, static_cast<int64_t>(options_.max_mutations) - 1));
-    pool.push_back(space_->Neighbor(base, *context.rng, mutations, context.sample_options));
-  }
-  while (pool.size() < options_.pool_size) {
-    pool.push_back(space_->RandomConfiguration(*context.rng, context.sample_options));
-  }
+  // the trade-off frontier the weights select). Assembly runs through the
+  // shared proposal pipeline: sharded over the thread pool on counter-derived
+  // RNG streams, encoded straight into the pool batch matrix, bit-identical
+  // at any thread count.
+  ProposalPoolSpec spec;
+  spec.pool_size = options_.pool_size;
+  spec.exploit_fraction = options_.exploit_fraction;
+  spec.max_mutations = options_.max_mutations;
+  spec.line_search = false;
+  spec.threads = options_.model.threads;
+  AssembleProposalPool(*space_, elites_, context.sample_options, spec,
+                       proposal_.NextPoolSeed(*context.rng), proposal_.pool,
+                       proposal_.encoded);
 
-  std::vector<std::vector<double>> encoded(pool.size());
-  for (size_t i = 0; i < pool.size(); ++i) {
-    encoded[i] = space_->Encode(pool[i]);
-  }
-  std::vector<MultiDtmPrediction> predictions = model_.PredictBatch(encoded);
+  std::vector<MultiDtmPrediction> predictions = model_.PredictBatch(proposal_.encoded);
 
   // Pool-normalize each metric's sigma column to [0, 1].
-  std::vector<std::vector<double>> sigma_norm(metrics_.size(),
-                                              std::vector<double>(pool.size(), 0.0));
+  std::vector<std::vector<double>> sigma_norm(
+      metrics_.size(), std::vector<double>(proposal_.pool.size(), 0.0));
   for (size_t k = 0; k < metrics_.size(); ++k) {
     double max_sigma = 0.0;
     for (const MultiDtmPrediction& prediction : predictions) {
       max_sigma = std::max(max_sigma, prediction.sigmas[k]);
     }
     if (max_sigma > 0.0) {
-      for (size_t i = 0; i < pool.size(); ++i) {
+      for (size_t i = 0; i < proposal_.pool.size(); ++i) {
         sigma_norm[k][i] = predictions[i].sigmas[k] / max_sigma;
       }
     }
   }
 
-  std::vector<std::vector<double>> known;
+  // Recent-history window for the dissimilarity term: the shared encoded
+  // ring, synced incrementally (each trial encoded exactly once, ever). A
+  // null history means "no known points" — score with maximal novelty
+  // rather than against whatever a previous session left in the ring.
+  size_t dim = space_->FeatureDimension();
+  size_t known_rows = 0;
   if (context.history != nullptr) {
-    size_t take = std::min<size_t>(context.history->size(), 128);
-    known.reserve(take);
-    for (size_t i = context.history->size() - take; i < context.history->size(); ++i) {
-      known.push_back(space_->Encode((*context.history)[i].config));
-    }
+    proposal_.history.Sync(*space_, *context.history, kHistoryWindow);
+    known_rows = proposal_.history.row_count();
   }
 
   double total_weight = 0.0;
@@ -132,8 +128,9 @@ Configuration MultiMetricSearcher::Propose(SearchContext& context) {
 
   size_t best = 0;
   double best_score = -std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < pool.size(); ++i) {
-    double ds = Dissimilarity(encoded[i], known);
+  for (size_t i = 0; i < proposal_.pool.size(); ++i) {
+    double ds = Dissimilarity(proposal_.encoded.Row(i), dim, proposal_.history.rows(),
+                              known_rows);
     // Eq. 3 per metric, then the weighted average (§3.2).
     double score = 0.0;
     for (size_t k = 0; k < metrics_.size(); ++k) {
@@ -150,7 +147,7 @@ Configuration MultiMetricSearcher::Propose(SearchContext& context) {
       best = i;
     }
   }
-  return pool[best];
+  return proposal_.pool[best];
 }
 
 void MultiMetricSearcher::Observe(const TrialRecord& trial, SearchContext& /*context*/) {
@@ -195,9 +192,14 @@ MultiDtmPrediction MultiMetricSearcher::PredictConfig(const Configuration& confi
 
 size_t MultiMetricSearcher::MemoryBytes() const {
   size_t bytes = model_.MemoryBytes();
+  // Elite set: configurations and their aggregate scores.
   for (const Configuration& elite : elites_) {
     bytes += elite.Size() * sizeof(int64_t);
   }
+  bytes += elite_scores_.capacity() * sizeof(double);
+  // Proposal-path scratch: the candidate pool, its encoded batch matrix,
+  // and the encoded-history ring.
+  bytes += proposal_.ScratchBytes();
   return bytes;
 }
 

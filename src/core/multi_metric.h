@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/core/multi_dtm.h"
+#include "src/core/proposal.h"
 #include "src/core/scoring.h"
 #include "src/platform/searcher.h"
 #include "src/simos/testbench.h"
@@ -90,6 +91,13 @@ class MultiMetricSearcher : public Searcher {
   std::vector<RunningStats> metric_stats_;
   std::vector<Configuration> elites_;
   std::vector<double> elite_scores_;
+
+  // Proposal pipeline state (see DeepTuneSearcher): counter-derived candidate
+  // streams keep the pool bit-identical at any thread count, and the scratch
+  // containers persist so the warm path reuses their buffers. The history
+  // ring is synced incrementally — one encode per new trial, ever.
+  static constexpr size_t kHistoryWindow = 128;
+  ProposalState proposal_;
 };
 
 }  // namespace wayfinder

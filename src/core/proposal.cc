@@ -1,0 +1,140 @@
+#include "src/core/proposal.h"
+
+#include <algorithm>
+
+#include "src/util/thread_pool.h"
+
+namespace wayfinder {
+namespace {
+
+// Coordinate line-search grid resolution (candidates per swept parameter).
+constexpr size_t kGridPoints = 5;
+
+// Stream salts: keep the three candidate blocks (and the per-group parameter
+// lottery) on disjoint counter-derived RNG streams even where their index
+// ranges overlap.
+constexpr uint64_t kLineGroupSalt = 0x11f35a1e;
+constexpr uint64_t kMutateSalt = 0x2317ab9d;
+constexpr uint64_t kRandomSalt = 0x35e0d3c7;
+
+// The per-candidate generator: seeded from (pool_seed, salt, index) only, so
+// candidate i's draws are independent of every other candidate and of the
+// thread that happens to run it.
+Rng StreamFor(uint64_t pool_seed, uint64_t salt, uint64_t index) {
+  return Rng(HashCombine(HashCombine(pool_seed, salt), index));
+}
+
+}  // namespace
+
+void AssembleProposalPool(const ConfigSpace& space,
+                          const std::vector<Configuration>& elites,
+                          const SampleOptions& sample_options,
+                          const ProposalPoolSpec& spec, uint64_t pool_seed,
+                          std::vector<Configuration>& pool, Matrix& encoded) {
+  const size_t pool_size = spec.pool_size;
+  const size_t dim = space.FeatureDimension();
+  pool.resize(pool_size);
+  encoded.Reshape(pool_size, dim);
+  if (pool_size == 0) {
+    return;
+  }
+
+  // --- pool layout (pure arithmetic; identical at any thread count) --------
+  // Phase-biased parameter weights, shared read-only by every shard.
+  const std::vector<double> weights = space.MutationWeights(sample_options);
+  double weight_total = 0.0;
+  for (double w : weights) {
+    weight_total += w;
+  }
+  const size_t exploit =
+      elites.empty() ? 0
+                     : static_cast<size_t>(static_cast<double>(pool_size) *
+                                           spec.exploit_fraction);
+  // Line-search block: groups of kGridPoints candidates sweeping one
+  // lottery-drawn parameter across a value grid from an elite base.
+  size_t line_total = 0;
+  if (spec.line_search && exploit > 0 && weight_total > 0.0) {
+    size_t line_candidates = exploit / 2;
+    size_t groups = (line_candidates + kGridPoints - 1) / kGridPoints;
+    line_total = std::min(groups * kGridPoints, pool_size);
+  }
+  const size_t mutate_end = std::max(line_total, exploit);
+
+  // --- sharded generation ---------------------------------------------------
+  // Each candidate mutates and encodes independently: ConfigSpace's sampling
+  // and encoding methods are pure over immutable space state (see the
+  // thread-safety note in config_space.h), every candidate has its own RNG
+  // stream, and each shard writes disjoint pool entries / encoded rows.
+  ThreadPool* tp = spec.threads > 1 ? &ThreadPool::Shared() : nullptr;
+  ParallelFor(tp, pool_size, /*grain=*/8, spec.threads, [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      Configuration& out = pool[i];
+      if (i < line_total) {
+        size_t group = i / kGridPoints;
+        const Configuration& base = elites[group % elites.size()];
+        // Every member of a group re-derives the group's parameter lottery —
+        // cheap, and it keeps the draw off any shared stream.
+        Rng group_rng = StreamFor(pool_seed, kLineGroupSalt, group);
+        size_t param = group_rng.WeightedIndex(weights);
+        out = base;
+        double code = static_cast<double>(i % kGridPoints) /
+                      static_cast<double>(kGridPoints - 1);
+        out.SetRaw(param, space.DecodeParam(param, code));
+        space.ApplyConstraints(&out);
+      } else if (i < mutate_end) {
+        const Configuration& base = elites[i % elites.size()];
+        Rng rng = StreamFor(pool_seed, kMutateSalt, i);
+        size_t mutations = 1 + static_cast<size_t>(rng.UniformInt(
+                                   0, static_cast<int64_t>(spec.max_mutations) - 1));
+        space.NeighborInto(base, rng, mutations, weights, &out);
+      } else {
+        Rng rng = StreamFor(pool_seed, kRandomSalt, i);
+        if (out.space() != &space) {
+          out = space.DefaultConfiguration();  // Bind once; reused when warm.
+        }
+        space.RandomConfigurationInto(rng, sample_options, &out);
+      }
+      space.EncodeInto(out, encoded.Row(i));
+    }
+  });
+}
+
+void EncodedHistoryRing::Sync(const ConfigSpace& space,
+                              const std::vector<TrialRecord>& history, size_t window) {
+  size_t dim = space.FeatureDimension();
+  // Detect a replaced history: the vector shrank, or the last trial we
+  // synced is no longer the same configuration at that position.
+  bool replaced = history.size() < synced_;
+  if (!replaced && synced_ > 0) {
+    replaced = history[synced_ - 1].config.Hash() != last_synced_hash_;
+  }
+  if (replaced) {
+    rows_ = 0;
+    next_ = 0;
+    synced_ = 0;
+  }
+  if (encoded_.rows() != window || encoded_.cols() != dim) {
+    // A ring of a different shape holds nothing usable: drop it rather than
+    // let stale cursors count garbage rows as history.
+    encoded_.Reshape(window, dim);
+    rows_ = 0;
+    next_ = 0;
+    synced_ = 0;
+  }
+  // Only the window's worth of tail can ever be live in the ring.
+  size_t begin = synced_;
+  if (history.size() - begin > window) {
+    begin = history.size() - window;
+  }
+  for (size_t i = begin; i < history.size(); ++i) {
+    space.EncodeInto(history[i].config, encoded_.Row(next_));
+    next_ = (next_ + 1) % window;
+    rows_ = std::min(rows_ + 1, window);
+  }
+  synced_ = history.size();
+  if (synced_ > 0) {
+    last_synced_hash_ = history[synced_ - 1].config.Hash();
+  }
+}
+
+}  // namespace wayfinder

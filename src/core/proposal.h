@@ -1,0 +1,127 @@
+// The parallel proposal pipeline: deterministic, optionally-threaded
+// candidate-pool assembly shared by the DTM-backed searchers
+// (DeepTuneSearcher and MultiMetricSearcher).
+//
+// Once DTM prediction is batched (one fused forward pass per pool), pool
+// *assembly* — line-search decode, elite mutation, random sampling, and
+// feature encoding — is the dominant serial fraction of a searcher
+// iteration. This helper shards that work across the process-wide thread
+// pool while keeping the paper's determinism guarantee intact:
+//
+//   * every candidate index draws from its own counter-derived RNG stream,
+//     seeded from (pool_seed, block salt, candidate index) — never from the
+//     session's shared `SearchContext::rng` — so the produced pool does not
+//     depend on how candidates were partitioned across threads;
+//   * the pool layout (which indices are line-search, mutation, or random
+//     candidates) is pure arithmetic over the spec, computed identically at
+//     any thread count;
+//   * each candidate is encoded directly into its row of the caller's
+//     persistent `encoded` matrix, so the warm path allocates nothing for
+//     staging.
+//
+// The result: the full search trajectory is bit-identical at any
+// `threads` value — including fully serial (0) — which is what the
+// trajectory-pinning tests assert.
+#ifndef WAYFINDER_SRC_CORE_PROPOSAL_H_
+#define WAYFINDER_SRC_CORE_PROPOSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/configspace/config_space.h"
+#include "src/nn/matrix.h"
+#include "src/platform/trial.h"
+
+namespace wayfinder {
+
+// Pool composition knobs (mirrors the searcher options that feed it).
+struct ProposalPoolSpec {
+  size_t pool_size = 128;
+  // Fraction of the pool derived from the elite set (line search + mutation).
+  double exploit_fraction = 0.6;
+  size_t max_mutations = 4;
+  // Emit the model-guided coordinate line-search block (DeepTune's pool head;
+  // the multi-metric searcher skips it).
+  bool line_search = true;
+  // Concurrent shards over the shared ThreadPool; 0/1 = fully serial.
+  size_t threads = 0;
+};
+
+// Fills `pool` (resized to spec.pool_size) and `encoded` (reshaped to
+// pool_size x FeatureDimension) with the candidate pool for one proposal
+// iteration:
+//
+//   [ line-search grids | elite mutations | random samples ]
+//
+// `pool_seed` must change per iteration (the searchers hash their seed, an
+// iteration counter, and one serial draw from the session RNG). Both output
+// containers should persist across calls so the warm path reuses their
+// buffers. Bit-identical at any spec.threads value.
+void AssembleProposalPool(const ConfigSpace& space,
+                          const std::vector<Configuration>& elites,
+                          const SampleOptions& sample_options,
+                          const ProposalPoolSpec& spec, uint64_t pool_seed,
+                          std::vector<Configuration>& pool, Matrix& encoded);
+
+// Ring of the most recent `window` evaluated configurations in encoded form,
+// for the dissimilarity term of candidate scoring. Synced incrementally —
+// each trial is encoded exactly once, ever, instead of window-many
+// re-encodes per iteration — and shared by both DTM-backed searchers.
+// Detects a replaced history (searcher reused across sessions, resume into
+// a different prior) and rebuilds from scratch. Dissimilarity takes a min
+// over rows, so ring order never affects scores.
+class EncodedHistoryRing {
+ public:
+  // Brings the ring up to date with `history`, encoding only the trials
+  // appended since the last call.
+  void Sync(const ConfigSpace& space, const std::vector<TrialRecord>& history,
+            size_t window);
+
+  const Matrix& rows() const { return encoded_; }
+  size_t row_count() const { return rows_; }
+  size_t bytes() const { return encoded_.size() * sizeof(double); }
+
+ private:
+  Matrix encoded_;
+  size_t rows_ = 0;    // Valid rows (<= window).
+  size_t next_ = 0;    // Ring write cursor.
+  size_t synced_ = 0;  // History entries consumed so far.
+  uint64_t last_synced_hash_ = 0;  // Guards against a swapped history.
+};
+
+// Per-searcher proposal-pipeline state: the seeding recipe for the
+// counter-derived candidate streams plus the persistent pool/encode/ring
+// scratch. One struct shared by both DTM-backed searchers so the
+// determinism-critical parts cannot drift apart.
+struct ProposalState {
+  explicit ProposalState(uint64_t model_seed)
+      : search_seed(HashCombine(model_seed, StableHash("proposal-pipeline"))) {}
+
+  // Pool seed for the next Propose: mixes the searcher seed, an iteration
+  // counter, and exactly one serial draw of session entropy. All three are
+  // independent of thread partitioning, which is what keeps the trajectory
+  // bit-identical at any thread count.
+  uint64_t NextPoolSeed(Rng& session_rng) {
+    return HashCombine(HashCombine(search_seed, ++iteration), session_rng.Next());
+  }
+
+  // Live bytes of the proposal scratch (candidate pool, encoded batch,
+  // history ring), for the searchers' MemoryBytes accounting.
+  size_t ScratchBytes() const {
+    size_t bytes = encoded.size() * sizeof(double) + history.bytes();
+    for (const Configuration& candidate : pool) {
+      bytes += candidate.Size() * sizeof(int64_t);
+    }
+    return bytes;
+  }
+
+  uint64_t search_seed = 0;
+  uint64_t iteration = 0;
+  std::vector<Configuration> pool;
+  Matrix encoded;
+  EncodedHistoryRing history;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_CORE_PROPOSAL_H_

@@ -163,6 +163,14 @@ bool CpuHasAvx2() {
 #endif
 }
 
+bool CpuHasAvx512f() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
 KernelBackend ResolveAuto() {
   if (const char* env = std::getenv("WF_KERNELS")) {
     if (std::strcmp(env, "portable") == 0) {
@@ -174,9 +182,22 @@ KernelBackend ResolveAuto() {
       return KernelBackendAvailable(KernelBackend::kAvx2) ? KernelBackend::kAvx2
                                                           : KernelBackend::kPortable;
     }
+    if (std::strcmp(env, "avx512") == 0) {
+      // AVX-512 is opt-in: only an explicit request reaches it. Coerce down
+      // the chain when the CPU or build lacks it.
+      if (KernelBackendAvailable(KernelBackend::kAvx512)) {
+        return KernelBackend::kAvx512;
+      }
+      return KernelBackendAvailable(KernelBackend::kAvx2) ? KernelBackend::kAvx2
+                                                          : KernelBackend::kPortable;
+    }
     // Unknown value: fall through to CPUID (don't crash a tuning run over a
     // typo; the chosen backend is observable via KernelBackendName).
   }
+  // CPUID auto-resolution deliberately stops at AVX2: 512-bit execution can
+  // drop the core's frequency license on client parts, so AVX-512 must be
+  // requested explicitly (WF_KERNELS=avx512 / DtmOptions::kernels). The
+  // bench_micro_dtm measurement behind this default lives in docs/perf.md.
   return KernelBackendAvailable(KernelBackend::kAvx2) ? KernelBackend::kAvx2
                                                       : KernelBackend::kPortable;
 }
@@ -192,6 +213,8 @@ bool KernelBackendAvailable(KernelBackend backend) {
       return true;
     case KernelBackend::kAvx2:
       return Avx2KernelOps() != nullptr && CpuHasAvx2();
+    case KernelBackend::kAvx512:
+      return Avx512KernelOps() != nullptr && CpuHasAvx512f();
   }
   return false;
 }
@@ -207,6 +230,15 @@ const KernelOps& KernelsFor(KernelBackend backend) {
         return *Avx2KernelOps();
       }
       return kPortableOps;  // Requested but unavailable: safe fallback.
+    case KernelBackend::kAvx512:
+      if (KernelBackendAvailable(KernelBackend::kAvx512)) {
+        return *Avx512KernelOps();
+      }
+      // Requested but unavailable: fall down the chain, widest first.
+      if (KernelBackendAvailable(KernelBackend::kAvx2)) {
+        return *Avx2KernelOps();
+      }
+      return kPortableOps;
   }
   return kPortableOps;
 }
@@ -229,7 +261,10 @@ void SetDefaultKernelBackend(KernelBackend backend) {
     return;
   }
   if (!KernelBackendAvailable(backend)) {
-    backend = KernelBackend::kPortable;
+    backend = backend == KernelBackend::kAvx512 &&
+                      KernelBackendAvailable(KernelBackend::kAvx2)
+                  ? KernelBackend::kAvx2
+                  : KernelBackend::kPortable;
   }
   g_default_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
 }
@@ -242,6 +277,8 @@ const char* KernelBackendName(KernelBackend backend) {
       return "portable";
     case KernelBackend::kAvx2:
       return "avx2";
+    case KernelBackend::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }

@@ -1,0 +1,302 @@
+// AVX-512 backend of the kernel dispatch layer (see kernels.h).
+//
+// This translation unit is the only one compiled with `-mavx512f` (plus
+// `-mavx2 -mfma` for the 256-bit reduction bodies); CMake adds the flags
+// per-file together with `-ffp-contract=off` and defines WF_KERNELS_AVX512,
+// so the base build stays portable and the compiler cannot contract the
+// explicit mul/add intrinsics into FMAs. Selection is CPUID-guarded at
+// runtime (kernels.cc) and — unlike AVX2 — strictly opt-in: CPUID
+// auto-resolution never picks this table, because 512-bit execution can
+// drop the frequency license on client cores (measurement in docs/perf.md).
+//
+// Bit-exactness is preserved per kernel class:
+//
+//   * elementwise kernels (gemm_row's per-j accumulation, axpy, axpy_diff,
+//     vadd, scal, relu, adam_update) compute each output index from the
+//     same expression tree regardless of vector width, so running them
+//     8-wide changes nothing but speed;
+//   * the order-sensitive reductions (dot, sqdist, sqnorm) must reproduce
+//     the canonical 4-lane strided accumulator and its (l0 + l1) + (l2 + l3)
+//     reduction, so they reuse the 256-bit bodies verbatim — an 8-lane sum
+//     would be a different (and thus non-identical) summation tree.
+#include "src/nn/kernels.h"
+
+#if defined(WF_KERNELS_AVX512) && defined(__AVX512F__) && defined(__AVX2__)
+
+#include <cmath>
+#include <immintrin.h>
+
+namespace wayfinder {
+namespace {
+
+inline double ReduceLanes4(__m256d acc) {
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+// One k-block-of-4 contribution to an 8-wide j tile: the four products are
+// summed first, then added to the accumulator (the portable expression tree,
+// evaluated per j index — width-invariant).
+static inline __m512d GemmBlock8(__m512d acc, __m512d va0, __m512d va1, __m512d va2,
+                                 __m512d va3, const double* b0, const double* b1,
+                                 const double* b2, const double* b3, size_t j) {
+  __m512d t = _mm512_mul_pd(va0, _mm512_loadu_pd(b0 + j));
+  t = _mm512_add_pd(t, _mm512_mul_pd(va1, _mm512_loadu_pd(b1 + j)));
+  t = _mm512_add_pd(t, _mm512_mul_pd(va2, _mm512_loadu_pd(b2 + j)));
+  t = _mm512_add_pd(t, _mm512_mul_pd(va3, _mm512_loadu_pd(b3 + j)));
+  return _mm512_add_pd(acc, t);
+}
+
+void Avx512GemmRow(const double* a, size_t k_dim, const double* b, size_t b_stride,
+                   const double* bias, double* out, size_t m) {
+  const __m512d zero = _mm512_setzero_pd();
+  size_t j = 0;
+  // 16-wide j tiles: two zmm accumulators live in registers across the
+  // entire k loop — no out[] load/store per k-block.
+  for (; j + 16 <= m; j += 16) {
+    __m512d acc0 = bias != nullptr ? _mm512_loadu_pd(bias + j) : zero;
+    __m512d acc1 = bias != nullptr ? _mm512_loadu_pd(bias + j + 8) : zero;
+    size_t k = 0;
+    for (; k + 4 <= k_dim; k += 4) {
+      const double* b0 = b + k * b_stride;
+      const double* b1 = b0 + b_stride;
+      const double* b2 = b1 + b_stride;
+      const double* b3 = b2 + b_stride;
+      const __m512d va0 = _mm512_set1_pd(a[k]);
+      const __m512d va1 = _mm512_set1_pd(a[k + 1]);
+      const __m512d va2 = _mm512_set1_pd(a[k + 2]);
+      const __m512d va3 = _mm512_set1_pd(a[k + 3]);
+      acc0 = GemmBlock8(acc0, va0, va1, va2, va3, b0, b1, b2, b3, j);
+      acc1 = GemmBlock8(acc1, va0, va1, va2, va3, b0, b1, b2, b3, j + 8);
+    }
+    for (; k < k_dim; ++k) {
+      const double ak = a[k];
+      if (ak == 0.0) {
+        continue;
+      }
+      const __m512d vak = _mm512_set1_pd(ak);
+      const double* brow = b + k * b_stride;
+      acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(vak, _mm512_loadu_pd(brow + j)));
+      acc1 = _mm512_add_pd(acc1, _mm512_mul_pd(vak, _mm512_loadu_pd(brow + j + 8)));
+    }
+    _mm512_storeu_pd(out + j, acc0);
+    _mm512_storeu_pd(out + j + 8, acc1);
+  }
+  // 8-wide tiles.
+  for (; j + 8 <= m; j += 8) {
+    __m512d acc = bias != nullptr ? _mm512_loadu_pd(bias + j) : zero;
+    size_t k = 0;
+    for (; k + 4 <= k_dim; k += 4) {
+      const double* b0 = b + k * b_stride;
+      acc = GemmBlock8(acc, _mm512_set1_pd(a[k]), _mm512_set1_pd(a[k + 1]),
+                       _mm512_set1_pd(a[k + 2]), _mm512_set1_pd(a[k + 3]), b0,
+                       b0 + b_stride, b0 + 2 * b_stride, b0 + 3 * b_stride, j);
+    }
+    for (; k < k_dim; ++k) {
+      const double ak = a[k];
+      if (ak == 0.0) {
+        continue;
+      }
+      acc = _mm512_add_pd(
+          acc, _mm512_mul_pd(_mm512_set1_pd(ak), _mm512_loadu_pd(b + k * b_stride + j)));
+    }
+    _mm512_storeu_pd(out + j, acc);
+  }
+  // Scalar tail, same expression tree.
+  for (; j < m; ++j) {
+    double s = bias != nullptr ? bias[j] : 0.0;
+    size_t k = 0;
+    for (; k + 4 <= k_dim; k += 4) {
+      const double* b0 = b + k * b_stride;
+      const double* b1 = b0 + b_stride;
+      const double* b2 = b1 + b_stride;
+      const double* b3 = b2 + b_stride;
+      s += a[k] * b0[j] + a[k + 1] * b1[j] + a[k + 2] * b2[j] + a[k + 3] * b3[j];
+    }
+    for (; k < k_dim; ++k) {
+      const double ak = a[k];
+      if (ak == 0.0) {
+        continue;
+      }
+      s += ak * (b + k * b_stride)[j];
+    }
+    out[j] = s;
+  }
+}
+
+void Avx512Axpy(double a, const double* x, double* y, size_t n) {
+  const __m512d va = _mm512_set1_pd(a);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m512d t = _mm512_mul_pd(va, _mm512_loadu_pd(x + j));
+    _mm512_storeu_pd(y + j, _mm512_add_pd(_mm512_loadu_pd(y + j), t));
+  }
+  for (; j < n; ++j) {
+    y[j] += a * x[j];
+  }
+}
+
+void Avx512AxpyDiff(double a, const double* x, const double* y, double* out, size_t n) {
+  const __m512d va = _mm512_set1_pd(a);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m512d d = _mm512_sub_pd(_mm512_loadu_pd(x + j), _mm512_loadu_pd(y + j));
+    __m512d t = _mm512_mul_pd(va, d);
+    _mm512_storeu_pd(out + j, _mm512_add_pd(_mm512_loadu_pd(out + j), t));
+  }
+  for (; j < n; ++j) {
+    out[j] += a * (x[j] - y[j]);
+  }
+}
+
+void Avx512Vadd(const double* x, double* y, size_t n) {
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm512_storeu_pd(y + j,
+                     _mm512_add_pd(_mm512_loadu_pd(y + j), _mm512_loadu_pd(x + j)));
+  }
+  for (; j < n; ++j) {
+    y[j] += x[j];
+  }
+}
+
+// Reductions: 256-bit bodies, identical to the AVX2 backend — the 4-lane
+// strided accumulator is part of the bit-exactness contract.
+
+double Avx512Dot(const double* a, const double* b, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(a + k), _mm256_loadu_pd(b + k)));
+  }
+  double sum = ReduceLanes4(acc);
+  for (; k < n; ++k) {
+    sum += a[k] * b[k];
+  }
+  return sum;
+}
+
+double Avx512SqDist(const double* a, const double* b, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    __m256d d = _mm256_sub_pd(_mm256_loadu_pd(a + k), _mm256_loadu_pd(b + k));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  double sum = ReduceLanes4(acc);
+  for (; k < n; ++k) {
+    double d = a[k] - b[k];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Avx512SqNorm(const double* x, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    __m256d v = _mm256_loadu_pd(x + k);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+  }
+  double sum = ReduceLanes4(acc);
+  for (; k < n; ++k) {
+    sum += x[k] * x[k];
+  }
+  return sum;
+}
+
+void Avx512Scal(double a, double* x, size_t n) {
+  const __m512d va = _mm512_set1_pd(a);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm512_storeu_pd(x + j, _mm512_mul_pd(va, _mm512_loadu_pd(x + j)));
+  }
+  for (; j < n; ++j) {
+    x[j] *= a;
+  }
+}
+
+void Avx512Relu(double* x, size_t n) {
+  const __m512d zero = _mm512_setzero_pd();
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    // max(0, x) with 0 as the first operand: NaN and -0.0 propagate exactly
+    // like the portable `if (x < 0) x = 0`.
+    _mm512_storeu_pd(x + j, _mm512_max_pd(zero, _mm512_loadu_pd(x + j)));
+  }
+  for (; j < n; ++j) {
+    if (x[j] < 0.0) {
+      x[j] = 0.0;
+    }
+  }
+}
+
+void Avx512AdamUpdate(double* value, double* grad, double* m, double* v, size_t n,
+                      const AdamScalars& k) {
+  const __m512d beta1 = _mm512_set1_pd(k.beta1);
+  const __m512d beta2 = _mm512_set1_pd(k.beta2);
+  const __m512d one_minus_beta1 = _mm512_set1_pd(1.0 - k.beta1);
+  const __m512d one_minus_beta2 = _mm512_set1_pd(1.0 - k.beta2);
+  const __m512d bias1 = _mm512_set1_pd(k.bias1);
+  const __m512d bias2 = _mm512_set1_pd(k.bias2);
+  const __m512d eps = _mm512_set1_pd(k.epsilon);
+  const __m512d lr = _mm512_set1_pd(k.learning_rate);
+  const __m512d wd = _mm512_set1_pd(k.weight_decay);
+  const __m512d zero = _mm512_setzero_pd();
+  const bool use_wd = k.weight_decay > 0.0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512d g = _mm512_loadu_pd(grad + i);
+    __m512d vm = _mm512_add_pd(_mm512_mul_pd(beta1, _mm512_loadu_pd(m + i)),
+                               _mm512_mul_pd(one_minus_beta1, g));
+    // (1 - beta2) * g * g is left-associative in the portable kernel.
+    __m512d g2 = _mm512_mul_pd(_mm512_mul_pd(one_minus_beta2, g), g);
+    __m512d vv = _mm512_add_pd(_mm512_mul_pd(beta2, _mm512_loadu_pd(v + i)), g2);
+    _mm512_storeu_pd(m + i, vm);
+    _mm512_storeu_pd(v + i, vv);
+    __m512d m_hat = _mm512_div_pd(vm, bias1);
+    __m512d v_hat = _mm512_div_pd(vv, bias2);
+    __m512d update = _mm512_div_pd(m_hat, _mm512_add_pd(_mm512_sqrt_pd(v_hat), eps));
+    __m512d val = _mm512_loadu_pd(value + i);
+    if (use_wd) {
+      update = _mm512_add_pd(update, _mm512_mul_pd(wd, val));
+    }
+    _mm512_storeu_pd(value + i, _mm512_sub_pd(val, _mm512_mul_pd(lr, update)));
+    _mm512_storeu_pd(grad + i, zero);
+  }
+  for (; i < n; ++i) {
+    m[i] = k.beta1 * m[i] + (1.0 - k.beta1) * grad[i];
+    v[i] = k.beta2 * v[i] + (1.0 - k.beta2) * grad[i] * grad[i];
+    double m_hat = m[i] / k.bias1;
+    double v_hat = v[i] / k.bias2;
+    double update = m_hat / (std::sqrt(v_hat) + k.epsilon);
+    if (use_wd) {
+      update += k.weight_decay * value[i];
+    }
+    value[i] -= k.learning_rate * update;
+    grad[i] = 0.0;
+  }
+}
+
+constexpr KernelOps kAvx512Ops = {
+    "avx512",     Avx512GemmRow, Avx512Axpy, Avx512AxpyDiff,
+    Avx512Vadd,   Avx512Dot,     Avx512SqDist, Avx512SqNorm,
+    Avx512Scal,   Avx512Relu,    Avx512AdamUpdate,
+};
+
+}  // namespace
+
+const KernelOps* Avx512KernelOps() { return &kAvx512Ops; }
+
+}  // namespace wayfinder
+
+#else  // !(WF_KERNELS_AVX512 && __AVX512F__ && __AVX2__)
+
+namespace wayfinder {
+
+const KernelOps* Avx512KernelOps() { return nullptr; }
+
+}  // namespace wayfinder
+
+#endif

@@ -12,6 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "src/configspace/linux_space.h"
@@ -47,7 +50,14 @@ Matrix RandomMatrix(Rng& rng, size_t rows, size_t cols) {
 
 TEST(KernelBackend, DispatchResolvesToARealBackend) {
   KernelBackend backend = DefaultKernelBackend();
-  EXPECT_TRUE(backend == KernelBackend::kPortable || backend == KernelBackend::kAvx2);
+  // CPUID auto-resolution stops at AVX2; avx512 can only appear here via the
+  // explicit WF_KERNELS=avx512 opt-in (legal when the suite runs under it).
+  bool avx512_opted_in = false;
+  if (const char* env = std::getenv("WF_KERNELS")) {
+    avx512_opted_in = std::strcmp(env, "avx512") == 0;
+  }
+  EXPECT_TRUE(backend == KernelBackend::kPortable || backend == KernelBackend::kAvx2 ||
+              (avx512_opted_in && backend == KernelBackend::kAvx512));
   EXPECT_STREQ(KernelsFor(KernelBackend::kPortable).name, "portable");
   if (KernelBackendAvailable(KernelBackend::kAvx2)) {
     EXPECT_STREQ(KernelsFor(KernelBackend::kAvx2).name, "avx2");
@@ -55,13 +65,23 @@ TEST(KernelBackend, DispatchResolvesToARealBackend) {
     // Unavailable backends fall back to portable instead of crashing.
     EXPECT_STREQ(KernelsFor(KernelBackend::kAvx2).name, "portable");
   }
+  if (KernelBackendAvailable(KernelBackend::kAvx512)) {
+    EXPECT_STREQ(KernelsFor(KernelBackend::kAvx512).name, "avx512");
+  } else {
+    // Requested-but-unavailable AVX-512 falls down the chain, widest first.
+    const char* fallback = KernelsFor(KernelBackend::kAvx512).name;
+    EXPECT_TRUE(std::string(fallback) == "avx2" || std::string(fallback) == "portable");
+  }
 }
 
-// Every primitive, at sizes that exercise the 4-wide main loop and every
-// remainder lane (1..3 tail elements).
-TEST(KernelBackend, PrimitivesMatchPortableBitwise) {
+// Every primitive of every SIMD backend, at sizes that exercise the wide
+// main loops and every remainder lane. On hardware without the instruction
+// set, the table falls back and the comparison passes trivially.
+class KernelBackendPrimitives : public ::testing::TestWithParam<KernelBackend> {};
+
+TEST_P(KernelBackendPrimitives, MatchPortableBitwise) {
   const KernelOps& portable = KernelsFor(KernelBackend::kPortable);
-  const KernelOps& simd = KernelsFor(KernelBackend::kAvx2);
+  const KernelOps& simd = KernelsFor(GetParam());
   Rng rng(71);
   for (size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 16u, 33u, 67u}) {
     std::vector<double> a = RandomArray(rng, n);
@@ -142,12 +162,20 @@ TEST(KernelBackend, PrimitivesMatchPortableBitwise) {
   }
 }
 
+INSTANTIATE_TEST_SUITE_P(AllSimdBackends, KernelBackendPrimitives,
+                         ::testing::Values(KernelBackend::kAvx2, KernelBackend::kAvx512),
+                         [](const ::testing::TestParamInfo<KernelBackend>& info) {
+                           return std::string(KernelBackendName(info.param));
+                         });
+
 // The matrix kernels routed through each backend agree within 1e-12 (the
 // design tolerance) — and in fact exactly.
-TEST(KernelBackend, MatrixKernelsMatchAcrossBackends) {
+class KernelBackendMatrix : public ::testing::TestWithParam<KernelBackend> {};
+
+TEST_P(KernelBackendMatrix, MatchAcrossBackends) {
   Rng rng(73);
   Parallelism portable{nullptr, 1, &KernelsFor(KernelBackend::kPortable)};
-  Parallelism simd{nullptr, 1, &KernelsFor(KernelBackend::kAvx2)};
+  Parallelism simd{nullptr, 1, &KernelsFor(GetParam())};
   // Odd sizes exercise the unroll remainders.
   for (size_t n : {1u, 5u, 17u}) {
     for (size_t k : {3u, 8u, 37u}) {
@@ -183,6 +211,12 @@ TEST(KernelBackend, MatrixKernelsMatchAcrossBackends) {
     }
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(AllSimdBackends, KernelBackendMatrix,
+                         ::testing::Values(KernelBackend::kAvx2, KernelBackend::kAvx512),
+                         [](const ::testing::TestParamInfo<KernelBackend>& info) {
+                           return std::string(KernelBackendName(info.param));
+                         });
 
 // Adam's per-block thread split must not change a single bit — the clip norm
 // is computed before the parallel section and per-block math is serial.

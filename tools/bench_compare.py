@@ -9,8 +9,8 @@ the repo root. This tool compares two of them:
 
 Records are keyed on (bench, variant) and compared by ops_per_sec. Only the
 *anchor* benches gate: the bench_micro_matmul kernels and pool predictions
-(matmul_*, predict_batch_*) and the bench_micro_dtm update/predict family
-(dtm_*). Everything else — the
+(matmul_*, predict_batch_*) and the bench_micro_dtm update/predict/propose
+families (dtm_*, propose_*). Everything else — the
 paper-figure harnesses, status records, speedup summaries — is informational;
 figure benches are too seed- and load-sensitive to gate on.
 
@@ -18,13 +18,20 @@ Exit status: 1 when any anchor regressed by more than --threshold (default
 10%), or when an anchor present in the baseline is missing from the
 candidate (a crashed bench must not read as "no regressions"). New benches
 and retired non-anchors are reported but never gate.
+
+--ignore-regressions keeps only the missing-anchor gate: CI runners are too
+noisy for a 10% wall-clock gate, but a silently crashed or skipped anchor
+bench must still fail the workflow.
 """
 
 import argparse
 import json
 import sys
 
-ANCHOR_PREFIXES = ("matmul_", "dtm_", "predict_batch_")
+# Summary/ratio records sharing these prefixes (propose_speedup,
+# dtm_update_speedup) never reach the gate: they carry no ops_per_sec, so
+# load_records() drops them.
+ANCHOR_PREFIXES = ("matmul_", "dtm_", "predict_batch_", "propose_")
 # Summary records (speedup ratios, backend info) carry no ops_per_sec.
 RATE_KEY = "ops_per_sec"
 
@@ -54,6 +61,12 @@ def load_records(path):
 
 
 def is_anchor(key):
+    if "avx512" in key[1]:
+        # The AVX-512 backend is opt-in and hardware-dependent: its variants
+        # are only emitted where CPUID reports avx512f, so they are tracked
+        # but never gate (a baseline recorded on an AVX-512 box must not fail
+        # a candidate measured on a narrower machine).
+        return False
     return key[0].startswith(ANCHOR_PREFIXES)
 
 
@@ -64,6 +77,8 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="gate anchors that regress more than this fraction "
                              "(default 0.10)")
+    parser.add_argument("--ignore-regressions", action="store_true",
+                        help="only fail on missing anchors (for noisy CI runners)")
     args = parser.parse_args()
 
     base = load_records(args.baseline)
@@ -115,7 +130,10 @@ def main():
         for name, old, new, ratio in regressions:
             print(f"  {name}: {old:.2f} -> {new:.2f} ({ratio:.2f}x)",
                   file=sys.stderr)
-        failed = True
+        if args.ignore_regressions:
+            print("(--ignore-regressions: not gating on these)", file=sys.stderr)
+        else:
+            failed = True
     if failed:
         return 1
     print("\nno anchor regressions beyond "
