@@ -102,10 +102,11 @@ double BenchUpdate(size_t dim, size_t samples, KernelBackend backend, size_t thr
 double BenchPredictPool(size_t dim, size_t pool, KernelBackend backend, size_t threads) {
   // Best over several model instances: pool-sized workspaces sit on a
   // cache-set cliff where throughput swings with the heap addresses a
-  // single instance happens to get (see bench_micro_matmul's BenchPredict).
+  // single instance happens to get (see bench_micro_matmul's BenchPredict,
+  // including why eight quadratically-padded placements, not four).
   double best = 0.0;
   std::vector<std::vector<double>> pad;
-  for (int instance = 0; instance < 4; ++instance) {
+  for (size_t instance = 0; instance < 8; ++instance) {
     DtmOptions options;
     options.kernels = backend;
     options.threads = threads;
@@ -118,7 +119,7 @@ double BenchPredictPool(size_t dim, size_t pool, KernelBackend backend, size_t t
       v = rng.Uniform();
     }
     best = std::max(best, OpsPerSec([&] { model->PredictBatch(candidates); }));
-    pad.emplace_back(1021 + 517 * static_cast<size_t>(instance), 0.0);
+    pad.emplace_back(769 + 331 * instance + 97 * instance * instance, 0.0);
   }
   return best;
 }
@@ -262,6 +263,11 @@ int main(int argc, char** argv) {
   }
 
   // Candidate-pool prediction and replay append (serial, default backend).
+  // The dtm_predict_pool records are informational, not anchors: the same
+  // PredictBatch op gates via bench_micro_matmul's predict_batch_* family,
+  // and interleaved A/B runs showed this binary's copy swings 0.75-1.0x
+  // with code layout (same library objects, bit-identical outputs) — it
+  // measures the binary, not the kernel.
   for (size_t pool : {size_t{128}, size_t{256}}) {
     Report("dtm_predict_pool_" + std::to_string(pool), "fast",
            BenchPredictPool(dim, pool, KernelBackend::kAuto, 0));

@@ -1,0 +1,110 @@
+// Micro-benchmark of the session executor itself: end-to-end trials/second
+// of the propose → evaluate → commit → observe loop, serial vs
+// batch-concurrent, emitting one JSON object per line for
+// tools/run_benches.sh and tools/bench_compare.py.
+//
+//   * session_trials_per_sec/serial: parallel_evaluations=1 — the paper's
+//     strictly serial §3.1 loop; this variant gates PR-over-PR like the
+//     other micro anchors.
+//   * session_trials_per_sec/parallel4: parallel_evaluations=4 on the
+//     shared ThreadPool. Tracked but NEVER gated (like the avx512 kernel
+//     variants): on a 1-core box the batch path measures pure overhead, and
+//     a baseline recorded on a wide machine must not fail a narrow one.
+//
+// A cheap searcher (random) keeps the measurement on the session machinery —
+// dedup, build-skip, virtual-time merge, thread-pool dispatch — rather than
+// on model updates, which bench_micro_dtm already anchors.
+//
+// Usage: bench_micro_session [--iterations N] [--parallel K]
+//   WF_FAST=1 shortens the measurement window (smoke mode).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/configspace/linux_space.h"
+#include "src/platform/random_search.h"
+#include "src/platform/session.h"
+
+namespace wayfinder {
+namespace {
+
+double g_measure_seconds = 0.4;
+
+// Best-of-3 windows (see bench_micro_dtm): wall-clock noise only ever slows
+// a window down, so the fastest window approximates the steady-state rate.
+template <typename Op>
+double TrialsPerSec(size_t trials_per_op, Op&& op) {
+  using Clock = std::chrono::steady_clock;
+  op();  // Warm up (thread pool spawn, testbench clone construction).
+  double best = 0.0;
+  for (int window = 0; window < 3; ++window) {
+    size_t iters = 0;
+    auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      op();
+      ++iters;
+      elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    } while (elapsed < g_measure_seconds / 3);
+    best = std::max(best, static_cast<double>(iters * trials_per_op) / elapsed);
+  }
+  return best;
+}
+
+double BenchSession(const ConfigSpace& space, size_t iterations, size_t parallel,
+                    uint64_t seed) {
+  return TrialsPerSec(iterations, [&] {
+    Testbench bench(&space, AppId::kNginx, TestbenchOptions{});
+    RandomSearcher searcher;
+    SessionOptions options;
+    options.max_iterations = iterations;
+    options.seed = seed;
+    options.parallel_evaluations = parallel;
+    SessionResult result = RunSearch(&bench, &searcher, options);
+    if (result.history.size() != iterations) {
+      std::fprintf(stderr, "bench_micro_session: short session (%zu/%zu)\n",
+                   result.history.size(), iterations);
+      std::exit(1);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace wayfinder
+
+int main(int argc, char** argv) {
+  using namespace wayfinder;
+  size_t iterations = 64;
+  size_t parallel = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
+      iterations = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--parallel") == 0 && i + 1 < argc) {
+      parallel = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
+  if (const char* fast = std::getenv("WF_FAST")) {
+    if (fast[0] != '\0' && fast[0] != '0') {
+      g_measure_seconds = 0.15;
+    }
+  }
+
+  ConfigSpace space = BuildLinuxSearchSpace();
+  double serial = BenchSession(space, iterations, 1, 0xbe9c);
+  std::printf("{\"bench\": \"session_trials_per_sec\", \"variant\": \"serial\", "
+              "\"ops_per_sec\": %.2f}\n", serial);
+  double batched = 0.0;
+  if (parallel > 1) {
+    batched = BenchSession(space, iterations, parallel, 0xbe9c);
+    std::printf("{\"bench\": \"session_trials_per_sec\", \"variant\": \"parallel%zu\", "
+                "\"ops_per_sec\": %.2f}\n", parallel, batched);
+  }
+  if (serial > 0.0 && batched > 0.0) {
+    std::printf("{\"bench\": \"session_parallel_speedup\", \"parallel_over_serial\": %.2f}\n",
+                batched / serial);
+  }
+  return 0;
+}

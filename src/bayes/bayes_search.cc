@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/util/stats.h"
+#include "src/platform/searcher_registry.h"
 
 namespace wayfinder {
 
@@ -74,5 +75,11 @@ size_t BayesSearcher::MemoryBytes() const {
   }
   return bytes;
 }
+
+namespace {
+const SearcherRegistration kRegistration{
+    {"bayesopt", "Gaussian-process Bayesian optimization with expected improvement"},
+    [](const SearcherArgs& args) { return std::make_unique<BayesSearcher>(args.space); }};
+}  // namespace
 
 }  // namespace wayfinder

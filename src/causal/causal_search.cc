@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "src/util/stats.h"
+#include "src/platform/searcher_registry.h"
 
 namespace wayfinder {
 
@@ -196,5 +197,11 @@ size_t CausalSearcher::MemoryBytes() const {
   bytes += (parent_strength_.size() + parent_direction_.size()) * sizeof(double);
   return bytes;
 }
+
+namespace {
+const SearcherRegistration kRegistration{
+    {"causal", "Unicorn-style causal search: intervene on inferred parent parameters"},
+    [](const SearcherArgs& args) { return std::make_unique<CausalSearcher>(args.space); }};
+}  // namespace
 
 }  // namespace wayfinder

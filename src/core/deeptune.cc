@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/platform/searcher_registry.h"
+
 namespace wayfinder {
 
 DeepTuneSearcher::DeepTuneSearcher(const ConfigSpace* space, const DeepTuneOptions& options)
@@ -18,15 +20,7 @@ bool DeepTuneSearcher::LoadModel(const std::string& path) {
   return transferred_;
 }
 
-Configuration DeepTuneSearcher::Propose(SearchContext& context) {
-  // Cold start: sample randomly until there is something to learn from —
-  // unless a transferred model already knows the space (§3.3), in which
-  // case it takes over immediately.
-  size_t warmup = transferred_ ? std::min<size_t>(2, options_.warmup) : options_.warmup;
-  if (observed_ < warmup) {
-    return space_->RandomConfiguration(*context.rng, context.sample_options);
-  }
-
+std::vector<double> DeepTuneSearcher::ScorePool(SearchContext& context) {
   // --- 1. Candidate pool ----------------------------------------------------
   // Diversity by construction: (a) coordinate line-search candidates — the
   // best configurations with one parameter swept across a small value grid,
@@ -62,18 +56,53 @@ Configuration DeepTuneSearcher::Propose(SearchContext& context) {
   if (context.history != nullptr) {
     proposal_.history.Sync(*space_, *context.history, kHistoryWindow);
   }
-  size_t best = 0;
-  double best_score = -std::numeric_limits<double>::infinity();
+  std::vector<double> scores(proposal_.pool.size());
   for (size_t i = 0; i < proposal_.pool.size(); ++i) {
     double ds = Dissimilarity(proposal_.encoded.Row(i), dim, proposal_.history.rows(),
                               proposal_.history.row_count());
-    double score = RankScore(predictions[i], ds, sigma_norm[i], scoring_);
-    if (score > best_score) {
-      best_score = score;
+    scores[i] = RankScore(predictions[i], ds, sigma_norm[i], scoring_);
+  }
+  return scores;
+}
+
+Configuration DeepTuneSearcher::Propose(SearchContext& context) {
+  // Cold start: sample randomly until there is something to learn from —
+  // unless a transferred model already knows the space (§3.3), in which
+  // case it takes over immediately.
+  size_t warmup = transferred_ ? std::min<size_t>(2, options_.warmup) : options_.warmup;
+  if (observed_ < warmup) {
+    return space_->RandomConfiguration(*context.rng, context.sample_options);
+  }
+  std::vector<double> scores = ScorePool(context);
+  size_t best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) {
       best = i;
     }
   }
   return proposal_.pool[best];
+}
+
+void DeepTuneSearcher::ProposeBatch(SearchContext& context, size_t n,
+                                    std::vector<Configuration>* batch) {
+  batch->clear();
+  batch->reserve(n);
+  size_t warmup = transferred_ ? std::min<size_t>(2, options_.warmup) : options_.warmup;
+  if (observed_ < warmup) {
+    for (size_t i = 0; i < n; ++i) {
+      batch->push_back(space_->RandomConfiguration(*context.rng, context.sample_options));
+    }
+    return;
+  }
+  // One pool ranking serves the whole round: the n best-scoring distinct
+  // candidates, history-unseen ones first (see SelectTopCandidates). A pool
+  // with fewer than n distinct members (tiny spaces) tops up with fresh
+  // random samples so the session still gets a full round.
+  std::vector<double> scores = ScorePool(context);
+  SelectTopCandidates(scores, proposal_.pool, context.history, n, batch);
+  while (batch->size() < n) {
+    batch->push_back(space_->RandomConfiguration(*context.rng, context.sample_options));
+  }
 }
 
 void DeepTuneSearcher::Observe(const TrialRecord& trial, SearchContext& context) {
@@ -156,5 +185,18 @@ std::vector<double> DeepTuneSearcher::ParameterImpacts(SearchContext& context) {
   }
   return impacts;
 }
+
+namespace {
+const SearcherRegistration kRegistration{
+    {"deeptune",
+     "DTM-guided pool search: predict crash/objective/uncertainty, rank by Eq. 3",
+     /*multi_metric_variant=*/"deeptune-multi",
+     /*supports_transfer=*/true},
+    [](const SearcherArgs& args) {
+      DeepTuneOptions options;
+      options.model.seed = args.seed;
+      return std::make_unique<DeepTuneSearcher>(args.space, options);
+    }};
+}  // namespace
 
 }  // namespace wayfinder

@@ -46,6 +46,12 @@ class DeepTuneSearcher : public Searcher {
 
   std::string Name() const override { return "deeptune"; }
   Configuration Propose(SearchContext& context) override;
+  // Real batch proposal: ONE pool assembly + ONE fused DTM forward pass,
+  // then the n top-ranked distinct candidates — not n repeated serial
+  // Proposes (which would assemble and rank n pools). During warmup the
+  // batch is n random samples, like the serial path.
+  void ProposeBatch(SearchContext& context, size_t n,
+                    std::vector<Configuration>* batch) override;
   void Observe(const TrialRecord& trial, SearchContext& context) override;
   size_t MemoryBytes() const override;
 
@@ -67,6 +73,11 @@ class DeepTuneSearcher : public Searcher {
   std::vector<double> ParameterImpacts(SearchContext& context);
 
  private:
+  // Assembles the candidate pool (PR-3 proposal pipeline) and returns the
+  // Eq. 2/3 rank score of every pool row — the shared engine behind Propose
+  // (argmax) and ProposeBatch (top-n distinct).
+  std::vector<double> ScorePool(SearchContext& context);
+
   const ConfigSpace* space_;
   DeepTuneOptions options_;
   DeepTuneModel model_;

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/platform/searcher_registry.h"
+
 namespace wayfinder {
 
 MetricSpec MetricSpec::AppThroughput(double weight) {
@@ -71,12 +73,7 @@ double MultiMetricSearcher::AggregateScore(const TrialOutcome& outcome) const {
   return total_weight > 0.0 ? score / total_weight : 0.0;
 }
 
-Configuration MultiMetricSearcher::Propose(SearchContext& context) {
-  size_t warmup = transferred_ ? std::min<size_t>(2, options_.warmup) : options_.warmup;
-  if (observed_ < warmup) {
-    return space_->RandomConfiguration(*context.rng, context.sample_options);
-  }
-
+std::vector<double> MultiMetricSearcher::ScorePool(SearchContext& context) {
   // Candidate pool: elite mutations + fresh random samples (the multi-metric
   // variant skips DeepTune's coordinate line search — elites already encode
   // the trade-off frontier the weights select). Assembly runs through the
@@ -126,8 +123,7 @@ Configuration MultiMetricSearcher::Propose(SearchContext& context) {
     total_weight += metric.weight;
   }
 
-  size_t best = 0;
-  double best_score = -std::numeric_limits<double>::infinity();
+  std::vector<double> scores(proposal_.pool.size());
   for (size_t i = 0; i < proposal_.pool.size(); ++i) {
     double ds = Dissimilarity(proposal_.encoded.Row(i), dim, proposal_.history.rows(),
                               known_rows);
@@ -141,13 +137,44 @@ Configuration MultiMetricSearcher::Propose(SearchContext& context) {
       score += metrics_[k].weight *
                RankScore(as_single, ds, sigma_norm[k][i], options_.scoring);
     }
-    score = total_weight > 0.0 ? score / total_weight : score;
-    if (score > best_score) {
-      best_score = score;
+    scores[i] = total_weight > 0.0 ? score / total_weight : score;
+  }
+  return scores;
+}
+
+Configuration MultiMetricSearcher::Propose(SearchContext& context) {
+  size_t warmup = transferred_ ? std::min<size_t>(2, options_.warmup) : options_.warmup;
+  if (observed_ < warmup) {
+    return space_->RandomConfiguration(*context.rng, context.sample_options);
+  }
+  std::vector<double> scores = ScorePool(context);
+  size_t best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) {
       best = i;
     }
   }
   return proposal_.pool[best];
+}
+
+void MultiMetricSearcher::ProposeBatch(SearchContext& context, size_t n,
+                                       std::vector<Configuration>* batch) {
+  batch->clear();
+  batch->reserve(n);
+  size_t warmup = transferred_ ? std::min<size_t>(2, options_.warmup) : options_.warmup;
+  if (observed_ < warmup) {
+    for (size_t i = 0; i < n; ++i) {
+      batch->push_back(space_->RandomConfiguration(*context.rng, context.sample_options));
+    }
+    return;
+  }
+  // Shared selection with DeepTuneSearcher::ProposeBatch: one ranking, n
+  // best distinct candidates, history-unseen first, random top-up.
+  std::vector<double> scores = ScorePool(context);
+  SelectTopCandidates(scores, proposal_.pool, context.history, n, batch);
+  while (batch->size() < n) {
+    batch->push_back(space_->RandomConfiguration(*context.rng, context.sample_options));
+  }
 }
 
 void MultiMetricSearcher::Observe(const TrialRecord& trial, SearchContext& /*context*/) {
@@ -202,5 +229,30 @@ size_t MultiMetricSearcher::MemoryBytes() const {
   bytes += proposal_.ScratchBytes();
   return bytes;
 }
+
+namespace {
+// The `metric: multi` variant (§3.2). Constructible directly by name too;
+// without an explicit metrics list it co-optimizes throughput and memory at
+// equal weight (the paper's Figure 11 pairing).
+const SearcherRegistration kRegistration{
+    {"deeptune-multi",
+     "multi-metric DeepTune: weighted per-metric Eq. 3 scores on one K-head DTM",
+     /*multi_metric_variant=*/"deeptune-multi",
+     /*supports_transfer=*/true},
+    [](const SearcherArgs& args) {
+      std::vector<MetricSpec> metrics;
+      for (const auto& [name, weight] : args.metrics) {
+        metrics.push_back(name == "memory" ? MetricSpec::MemoryFootprint(weight)
+                                           : MetricSpec::AppThroughput(weight));
+      }
+      if (metrics.empty()) {
+        metrics.push_back(MetricSpec::AppThroughput(1.0));
+        metrics.push_back(MetricSpec::MemoryFootprint(1.0));
+      }
+      MultiMetricOptions options;
+      options.model.seed = args.seed;
+      return std::make_unique<MultiMetricSearcher>(args.space, std::move(metrics), options);
+    }};
+}  // namespace
 
 }  // namespace wayfinder

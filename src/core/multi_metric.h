@@ -55,6 +55,11 @@ class MultiMetricSearcher : public Searcher {
 
   std::string Name() const override { return "deeptune-multi"; }
   Configuration Propose(SearchContext& context) override;
+  // One pool assembly + one fused MultiDtm pass per round; the batch is the
+  // n top-ranked distinct candidates by the §3.2 weighted score (see
+  // DeepTuneSearcher::ProposeBatch).
+  void ProposeBatch(SearchContext& context, size_t n,
+                    std::vector<Configuration>* batch) override;
   void Observe(const TrialRecord& trial, SearchContext& context) override;
   size_t MemoryBytes() const override;
 
@@ -79,6 +84,9 @@ class MultiMetricSearcher : public Searcher {
  private:
   // Raw metric vector in internal (higher-is-better) orientation.
   std::vector<double> ExtractOriented(const TrialOutcome& outcome) const;
+  // Assembles the pool and returns each row's weighted-average rank score —
+  // shared by Propose (argmax) and ProposeBatch (top-n distinct).
+  std::vector<double> ScorePool(SearchContext& context);
 
   const ConfigSpace* space_;
   std::vector<MetricSpec> metrics_;

@@ -1,6 +1,7 @@
 #include "src/core/proposal.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "src/util/thread_pool.h"
 
@@ -134,6 +135,44 @@ void EncodedHistoryRing::Sync(const ConfigSpace& space,
   synced_ = history.size();
   if (synced_ > 0) {
     last_synced_hash_ = history[synced_ - 1].config.Hash();
+  }
+}
+
+void SelectTopCandidates(const std::vector<double>& scores,
+                         const std::vector<Configuration>& pool,
+                         const std::vector<TrialRecord>* history, size_t n,
+                         std::vector<Configuration>* batch) {
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  std::unordered_set<uint64_t> evaluated;
+  if (history != nullptr) {
+    evaluated.reserve(history->size());
+    for (const TrialRecord& trial : *history) {
+      evaluated.insert(trial.config.Hash());
+    }
+  }
+  std::unordered_set<uint64_t> taken;
+  // Pass 1: best-scoring distinct candidates the session has not evaluated.
+  // Pass 2: if the pool cannot fill the batch with unseen members, allow
+  // already-evaluated ones (the session's dedup policy decides their fate).
+  for (int allow_evaluated = 0; allow_evaluated <= 1 && batch->size() < n;
+       ++allow_evaluated) {
+    for (size_t i : order) {
+      if (batch->size() >= n) {
+        break;
+      }
+      uint64_t hash = pool[i].Hash();
+      if (!allow_evaluated && evaluated.count(hash) != 0) {
+        continue;
+      }
+      if (taken.insert(hash).second) {
+        batch->push_back(pool[i]);
+      }
+    }
   }
 }
 

@@ -63,6 +63,19 @@ void AssembleProposalPool(const ConfigSpace& space,
                           const ProposalPoolSpec& spec, uint64_t pool_seed,
                           std::vector<Configuration>& pool, Matrix& encoded);
 
+// Batch selection over a scored pool, shared by the DTM-backed searchers'
+// ProposeBatch overrides: appends up to `n` distinct candidates to `batch`
+// in stable score-descending order (ties keep pool order). Candidates whose
+// configuration was already evaluated in `history` rank behind unseen ones —
+// the session would only dedup-retry them, and each retry costs a full pool
+// re-ranking — but can still fill the tail when the pool lacks n distinct
+// unseen members. May append fewer than n; callers top up (e.g. with random
+// samples). The selection is a pure function of its inputs.
+void SelectTopCandidates(const std::vector<double>& scores,
+                         const std::vector<Configuration>& pool,
+                         const std::vector<TrialRecord>* history, size_t n,
+                         std::vector<Configuration>* batch);
+
 // Ring of the most recent `window` evaluated configurations in encoded form,
 // for the dissimilarity term of candidate scoring. Synced incrementally —
 // each trial is encoded exactly once, ever, instead of window-many

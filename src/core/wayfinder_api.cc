@@ -1,73 +1,44 @@
 #include "src/core/wayfinder_api.h"
 
-#include "src/bayes/bayes_search.h"
-#include "src/core/multi_metric.h"
-#include "src/causal/causal_search.h"
-#include "src/platform/grid_search.h"
-#include "src/platform/random_search.h"
-#include "src/search/annealing_search.h"
-#include "src/search/genetic_search.h"
-#include "src/search/hill_climb.h"
-#include "src/search/smac_search.h"
-
 namespace wayfinder {
 
 std::unique_ptr<Searcher> MakeSearcher(const std::string& name, const ConfigSpace* space,
                                        uint64_t seed) {
-  if (name == "random") {
-    return std::make_unique<RandomSearcher>();
-  }
-  if (name == "grid") {
-    return std::make_unique<GridSearcher>();
-  }
-  if (name == "bayesopt") {
-    return std::make_unique<BayesSearcher>(space);
-  }
-  if (name == "causal") {
-    return std::make_unique<CausalSearcher>(space);
-  }
-  if (name == "annealing") {
-    return std::make_unique<AnnealingSearcher>();
-  }
-  if (name == "genetic") {
-    return std::make_unique<GeneticSearcher>();
-  }
-  if (name == "hillclimb") {
-    return std::make_unique<HillClimbSearcher>();
-  }
-  if (name == "smac") {
-    SmacOptions options;
-    options.forest.seed = seed;
-    return std::make_unique<SmacSearcher>(space, options);
-  }
-  if (name == "deeptune") {
-    DeepTuneOptions options;
-    options.model.seed = seed;
-    return std::make_unique<DeepTuneSearcher>(space, options);
-  }
-  return nullptr;
+  SearcherArgs args;
+  args.space = space;
+  args.seed = seed;
+  return SearcherRegistry::Instance().Create(name, args);
 }
 
 std::unique_ptr<Searcher> MakeJobSearcher(const JobSpec& spec, const ConfigSpace* space,
                                           std::string* error) {
+  const SearcherRegistry& registry = SearcherRegistry::Instance();
+  SearcherArgs args;
+  args.space = space;
+  args.seed = spec.seed;
+  std::string name = spec.algorithm;
   if (spec.IsMultiMetric()) {
-    if (spec.algorithm != "deeptune") {
-      *error = "metric: multi requires the deeptune algorithm";
+    // Route through the algorithm's registered multi-metric variant; no
+    // algorithm names appear here, so out-of-tree multi-metric searchers
+    // work the same way.
+    const SearcherInfo* info = registry.Find(spec.algorithm);
+    if (info == nullptr) {
+      *error = "unknown search algorithm: " + spec.algorithm;
       return nullptr;
     }
-    std::vector<MetricSpec> metrics;
-    for (const JobMetric& job_metric : spec.metrics) {
-      metrics.push_back(job_metric.name == "memory"
-                            ? MetricSpec::MemoryFootprint(job_metric.weight)
-                            : MetricSpec::AppThroughput(job_metric.weight));
+    if (!info->SupportsMultiMetric()) {
+      *error = "metric: multi requires a multi-metric-capable algorithm "
+               "(got " + spec.algorithm + "; try deeptune)";
+      return nullptr;
     }
-    MultiMetricOptions options;
-    options.model.seed = spec.seed;
-    return std::make_unique<MultiMetricSearcher>(space, std::move(metrics), options);
+    name = info->multi_metric_variant;
+    for (const JobMetric& job_metric : spec.metrics) {
+      args.metrics.emplace_back(job_metric.name, job_metric.weight);
+    }
   }
-  std::unique_ptr<Searcher> searcher = MakeSearcher(spec.algorithm, space, spec.seed);
+  std::unique_ptr<Searcher> searcher = registry.Create(name, args);
   if (searcher == nullptr) {
-    *error = "unknown search algorithm: " + spec.algorithm;
+    *error = "unknown search algorithm: " + name;
   }
   return searcher;
 }

@@ -17,21 +17,24 @@
 
 #include "src/core/deeptune.h"
 #include "src/platform/job_file.h"
+#include "src/platform/searcher_registry.h"
 #include "src/platform/session.h"
 
 namespace wayfinder {
 
-// Instantiates a searcher by name: "deeptune", "random", "grid", "bayesopt",
-// "annealing", "genetic", "hillclimb", "smac",
-// or "causal". Returns nullptr for unknown names. `seed` feeds algorithm-
-// internal randomness (model init); proposal randomness comes from the
-// session.
+// Instantiates a searcher by registered name — a SearcherRegistry lookup,
+// nothing more. The authoritative name list is RegisteredSearcherNames()
+// (surfaced by `wfctl algorithms`); out-of-tree searchers that register
+// themselves resolve here too. Returns nullptr for unknown names. `seed`
+// feeds algorithm-internal randomness (model init); proposal randomness
+// comes from the session.
 std::unique_ptr<Searcher> MakeSearcher(const std::string& name, const ConfigSpace* space,
                                        uint64_t seed = 0x5eed);
 
-// Instantiates the searcher a job spec asks for: the multi-metric DeepTune
-// variant when `metric: multi` (spec.IsMultiMetric()), else MakeSearcher
-// on the named algorithm. Returns nullptr with `error` set on a bad spec.
+// Instantiates the searcher a job spec asks for: the registered algorithm's
+// multi-metric variant when `metric: multi` (spec.IsMultiMetric(), routed
+// via SearcherInfo::multi_metric_variant), else the named algorithm itself.
+// Returns nullptr with `error` set on a bad spec.
 std::unique_ptr<Searcher> MakeJobSearcher(const JobSpec& spec, const ConfigSpace* space,
                                           std::string* error);
 

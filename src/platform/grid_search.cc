@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/platform/searcher_registry.h"
+
 namespace wayfinder {
 
 GridSearcher::GridSearcher(size_t numeric_grid_points)
@@ -86,6 +88,7 @@ Configuration GridSearcher::Propose(SearchContext& context) {
       space.ApplyConstraints(&config);
     }
     last_param_ = space.Size();  // Sentinel: no single-parameter credit.
+    RecordPendingParam(config.Hash(), last_param_);
     return config;
   }
   Configuration config = space.DefaultConfiguration();
@@ -93,8 +96,19 @@ Configuration GridSearcher::Propose(SearchContext& context) {
   config.SetRaw(param_cursor_, values[value_cursor_]);
   space.ApplyConstraints(&config);
   last_param_ = param_cursor_;
+  // Batch bookkeeping (harmless in serial mode, where Observe uses the
+  // last_param_ cursor): ObserveBatch credits by config hash, and a session
+  // dedup re-proposal reaches here through plain Propose too.
+  RecordPendingParam(config.Hash(), last_param_);
   AdvanceCursor(space);
   return config;
+}
+
+void GridSearcher::RecordPendingParam(uint64_t hash, size_t param) {
+  std::vector<size_t>& params = pending_params_[hash];
+  if (std::find(params.begin(), params.end(), param) == params.end()) {
+    params.push_back(param);
+  }
 }
 
 void GridSearcher::Observe(const TrialRecord& trial, SearchContext& context) {
@@ -107,5 +121,41 @@ void GridSearcher::Observe(const TrialRecord& trial, SearchContext& context) {
     best_value_[last_param_] = trial.config.Raw(last_param_);
   }
 }
+
+void GridSearcher::ObserveBatch(Span<const TrialRecord> trials, SearchContext& context) {
+  (void)context;
+  for (const TrialRecord& trial : trials) {
+    auto it = pending_params_.find(trial.config.Hash());
+    if (it == pending_params_.end()) {
+      // Not a proposal of ours (e.g. a random top-up from elsewhere) —
+      // attribution unknown, so credit nothing. Never fall back to
+      // last_param_ here: in batch mode that cursor belongs to whichever
+      // slot proposed last, not to this trial.
+      continue;
+    }
+    std::vector<size_t> params = std::move(it->second);
+    pending_params_.erase(it);
+    if (!trial.HasObjective()) {
+      continue;
+    }
+    // One evaluation settles every sweep point that produced this exact
+    // configuration (duplicate grid points share the hash by construction).
+    for (size_t param : params) {
+      if (param >= best_value_.size()) {
+        continue;
+      }
+      if (trial.objective > best_objective_[param]) {
+        best_objective_[param] = trial.objective;
+        best_value_[param] = trial.config.Raw(param);
+      }
+    }
+  }
+}
+
+namespace {
+const SearcherRegistration kRegistration{
+    {"grid", "systematic one-parameter-at-a-time sweep, then combinations of winners"},
+    [](const SearcherArgs&) { return std::make_unique<GridSearcher>(); }};
+}  // namespace
 
 }  // namespace wayfinder

@@ -14,6 +14,7 @@
 #define WAYFINDER_SRC_PLATFORM_GRID_SEARCH_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "src/platform/searcher.h"
@@ -27,11 +28,20 @@ class GridSearcher : public Searcher {
   std::string Name() const override { return "grid"; }
   Configuration Propose(SearchContext& context) override;
   void Observe(const TrialRecord& trial, SearchContext& context) override;
+  // Grid search batches naturally through the inherited ProposeBatch loop:
+  // the next n grid points (the sweep order is fixed, so a batch is just a
+  // window of it). Because a batch is observed out of proposal order
+  // (virtual-time commit), every Propose records which parameter its
+  // candidate sweeps, keyed by configuration hash, and ObserveBatch credits
+  // through that map instead of the serial last-proposal cursor (which by
+  // observe time belongs to the round's last slot).
+  void ObserveBatch(Span<const TrialRecord> trials, SearchContext& context) override;
 
  private:
   // Candidate raw values for one parameter.
   std::vector<int64_t> GridValues(const ConfigSpace& space, size_t param) const;
   void AdvanceCursor(const ConfigSpace& space);
+  void RecordPendingParam(uint64_t hash, size_t param);
 
   size_t numeric_grid_points_;
   size_t param_cursor_ = 0;
@@ -43,6 +53,15 @@ class GridSearcher : public Searcher {
   // Pending proposal bookkeeping: which (param, value) the last proposal
   // touched, so Observe can credit it.
   size_t last_param_ = 0;
+  // Batch bookkeeping: config hash -> swept parameters (space.Size() for
+  // phase-2 combination proposals), filled by every Propose and drained by
+  // ObserveBatch. A list, not a single param: sweeping param A at its
+  // default value and param B at its default value both yield the default
+  // configuration, and one evaluation of it is legitimately the result for
+  // every such sweep point. Entries for proposals the session deduped away
+  // linger, but a hash identifies a configuration, so a later hit still
+  // credits the parameters those sweeps touched.
+  std::unordered_map<uint64_t, std::vector<size_t>> pending_params_;
 };
 
 }  // namespace wayfinder

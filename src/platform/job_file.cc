@@ -32,6 +32,7 @@ SessionOptions JobSpec::ToSessionOptions() const {
   options.objective = objective;
   options.sample_options = SamplingBias();
   options.seed = seed;
+  options.parallel_evaluations = parallel;
   return options;
 }
 
@@ -95,6 +96,12 @@ JobParseResult ParseJob(const YamlNode& root) {
       spec.sim_seconds = sim_seconds;
     }
   }
+  int64_t parallel = root.GetInt("parallel", 1);
+  if (parallel < 1) {
+    result.error = "parallel must be a positive trial count";
+    return result;
+  }
+  spec.parallel = static_cast<size_t>(parallel);
   if (const YamlNode* search = root.Get("search"); search != nullptr) {
     spec.algorithm = search->GetString("algorithm", "deeptune");
     spec.favor = search->GetString("favor", "none");

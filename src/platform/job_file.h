@@ -17,8 +17,9 @@
 //   budget:
 //     iterations: 250
 //     sim_seconds: 18000
+//   parallel: 4               # concurrent trial evaluations (default 1)
 //   search:
-//     algorithm: deeptune     # deeptune | random | grid | bayesopt | causal | annealing | genetic | hillclimb | smac
+//     algorithm: deeptune     # any registered name — see `wfctl algorithms`
 //     favor: runtime          # runtime | compile | none
 //     seed: 42
 //   freeze:
@@ -60,6 +61,9 @@ struct JobSpec {
   uint64_t seed = 42;
   size_t iterations = 250;
   double sim_seconds = std::numeric_limits<double>::infinity();
+  // Concurrent trial evaluations per session round (SessionOptions::
+  // parallel_evaluations); 1 = the serial loop.
+  size_t parallel = 1;
   std::vector<FrozenParam> freeze;
   // Non-empty when `metric: multi`: the weighted metrics to co-optimize.
   std::vector<JobMetric> metrics;

@@ -1,9 +1,17 @@
 #include "src/platform/random_search.h"
 
+#include "src/platform/searcher_registry.h"
+
 namespace wayfinder {
 
 Configuration RandomSearcher::Propose(SearchContext& context) {
   return context.space->RandomConfiguration(*context.rng, context.sample_options);
 }
+
+namespace {
+const SearcherRegistration kRegistration{
+    {"random", "fresh phase-biased random sample each proposal (the paper's baseline)"},
+    [](const SearcherArgs&) { return std::make_unique<RandomSearcher>(); }};
+}  // namespace
 
 }  // namespace wayfinder

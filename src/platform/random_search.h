@@ -12,6 +12,8 @@ class RandomSearcher : public Searcher {
  public:
   std::string Name() const override { return "random"; }
   Configuration Propose(SearchContext& context) override;
+  // Batches trivially through the inherited ProposeBatch loop: n
+  // independent samples IS random search's natural batch.
 };
 
 }  // namespace wayfinder

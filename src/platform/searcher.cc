@@ -7,6 +7,21 @@ void Searcher::Observe(const TrialRecord& trial, SearchContext& context) {
   (void)context;
 }
 
+void Searcher::ProposeBatch(SearchContext& context, size_t n,
+                            std::vector<Configuration>* batch) {
+  batch->clear();
+  batch->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch->push_back(Propose(context));
+  }
+}
+
+void Searcher::ObserveBatch(Span<const TrialRecord> trials, SearchContext& context) {
+  for (const TrialRecord& trial : trials) {
+    Observe(trial, context);
+  }
+}
+
 size_t Searcher::MemoryBytes() const { return 0; }
 
 }  // namespace wayfinder

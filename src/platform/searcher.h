@@ -1,10 +1,18 @@
 // Pluggable search-algorithm interface (§3.1: "Wayfinder offers a modular
 // API to ease the integration of pluggable search algorithms").
 //
-// A searcher proposes the next configuration to evaluate and observes every
-// finished trial. Implementations in this repository: random search, grid
-// search (src/platform), Bayesian optimization (src/bayes), Unicorn-style
-// causal search (src/causal), and DeepTune (src/core).
+// A searcher proposes configurations to evaluate and observes every finished
+// trial. The surface is batch-first: the session asks for `n` candidates at
+// once (ProposeBatch) and feeds completions back a batch at a time
+// (ObserveBatch), which is what lets it evaluate trials concurrently.
+// Algorithms that only think one trial at a time implement the serial
+// Propose/Observe pair and inherit loop-based batch defaults; algorithms
+// with a natural batch shape (a ranked candidate pool, a GA generation)
+// override the batch entry points directly.
+//
+// Implementations register themselves with the SearcherRegistry
+// (src/platform/searcher_registry.h); `MakeSearcher` and the wfctl help text
+// are driven from that registry, so a new algorithm needs no core edits.
 #ifndef WAYFINDER_SRC_PLATFORM_SEARCHER_H_
 #define WAYFINDER_SRC_PLATFORM_SEARCHER_H_
 
@@ -14,6 +22,7 @@
 #include "src/configspace/config_space.h"
 #include "src/platform/trial.h"
 #include "src/util/rng.h"
+#include "src/util/span.h"
 
 namespace wayfinder {
 
@@ -37,6 +46,21 @@ class Searcher {
   // Called after every trial (including crashes) so the searcher can update
   // its model. Objectives in `trial` are already higher-is-better.
   virtual void Observe(const TrialRecord& trial, SearchContext& context);
+
+  // Appends `n` candidates for one concurrent evaluation round to `batch`
+  // (`batch` is cleared first). The default loops Propose, so every serial
+  // searcher works under a batch-concurrent session unchanged; model-based
+  // searchers override it to emit the top-n of a single pool ranking, and
+  // population searchers to emit one generation. Candidates should be
+  // distinct where the algorithm can manage it — the session dedups against
+  // history, not within a proposer's batch.
+  virtual void ProposeBatch(SearchContext& context, size_t n,
+                            std::vector<Configuration>* batch);
+
+  // Feeds one committed evaluation round back, in the session's canonical
+  // (virtual-time) commit order. The default loops Observe, preserving the
+  // exact per-trial learning cadence of a serial session.
+  virtual void ObserveBatch(Span<const TrialRecord> trials, SearchContext& context);
 
   // Bytes of live algorithm state (models, kernel matrices, causal graphs);
   // drives the Figure 7 memory comparison.

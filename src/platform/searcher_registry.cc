@@ -1,0 +1,71 @@
+#include "src/platform/searcher_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wayfinder {
+
+SearcherRegistry& SearcherRegistry::Instance() {
+  static SearcherRegistry* registry = new SearcherRegistry();  // Never destroyed.
+  return *registry;
+}
+
+namespace {
+
+// Sorted insert position by name (entries_ stays ordered so List() and
+// RegisteredSearcherNames() are deterministic regardless of link order).
+template <typename Entries>
+auto LowerBound(Entries& entries, const std::string& name) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const auto& entry, const std::string& key) { return entry.info.name < key; });
+}
+
+}  // namespace
+
+void SearcherRegistry::Register(SearcherInfo info, SearcherFactory factory) {
+  auto it = LowerBound(entries_, info.name);
+  if (it != entries_.end() && it->info.name == info.name) {
+    std::fprintf(stderr, "SearcherRegistry: duplicate registration of '%s'\n",
+                 info.name.c_str());
+    std::abort();
+  }
+  entries_.insert(it, Entry{std::move(info), std::move(factory)});
+}
+
+std::unique_ptr<Searcher> SearcherRegistry::Create(const std::string& name,
+                                                   const SearcherArgs& args) const {
+  auto it = LowerBound(entries_, name);
+  if (it == entries_.end() || it->info.name != name) {
+    return nullptr;
+  }
+  return it->factory(args);
+}
+
+const SearcherInfo* SearcherRegistry::Find(const std::string& name) const {
+  auto it = LowerBound(entries_, name);
+  if (it == entries_.end() || it->info.name != name) {
+    return nullptr;
+  }
+  return &it->info;
+}
+
+std::vector<SearcherInfo> SearcherRegistry::List() const {
+  std::vector<SearcherInfo> infos;
+  infos.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    infos.push_back(entry.info);
+  }
+  return infos;
+}
+
+std::vector<std::string> RegisteredSearcherNames() {
+  std::vector<std::string> names;
+  for (const SearcherInfo& info : SearcherRegistry::Instance().List()) {
+    names.push_back(info.name);
+  }
+  return names;
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,99 @@
+// Self-registering searcher registry — the single source of truth for
+// which search algorithms exist.
+//
+// Every searcher implementation registers a name, a factory, and metadata
+// from a static initializer in its own translation unit:
+//
+//   namespace {
+//   const SearcherRegistration kRegistration{
+//       {"random", "fresh phase-biased random sample each proposal"},
+//       [](const SearcherArgs&) { return std::make_unique<RandomSearcher>(); }};
+//   }  // namespace
+//
+// `MakeSearcher`/`MakeJobSearcher` (src/core/wayfinder_api.cc) are plain
+// registry lookups, `wfctl algorithms` and the searchers test matrix iterate
+// RegisteredSearcherNames(), and an out-of-tree searcher (see
+// examples/custom_searcher.cpp) plugs into all of them by linking one object
+// file — no core edits. The library is built as a CMake OBJECT library so
+// registration TUs are never dropped by archive linking.
+#ifndef WAYFINDER_SRC_PLATFORM_SEARCHER_REGISTRY_H_
+#define WAYFINDER_SRC_PLATFORM_SEARCHER_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/platform/searcher.h"
+
+namespace wayfinder {
+
+// Everything a factory may need. Single-metric factories read `space` and
+// `seed`; the multi-metric variants also read `metrics` ((name, weight)
+// pairs straight from the job file; empty means "use the factory default").
+struct SearcherArgs {
+  const ConfigSpace* space = nullptr;
+  uint64_t seed = 0x5eed;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+using SearcherFactory = std::function<std::unique_ptr<Searcher>(const SearcherArgs&)>;
+
+// Registration-time metadata, surfaced by `wfctl algorithms` and used by
+// MakeJobSearcher to route `metric: multi` jobs without naming algorithms.
+struct SearcherInfo {
+  // The lookup key; must match the instance's Name().
+  std::string name;
+  // One-line help text.
+  std::string summary;
+  // Registered name of the searcher constructed for `metric: multi` jobs
+  // that ask for this algorithm; empty = multi-metric unsupported.
+  std::string multi_metric_variant;
+  // Supports SaveModel/LoadModel warm starts (wfctl --model-in/--model-out).
+  bool supports_transfer = false;
+  bool SupportsMultiMetric() const { return !multi_metric_variant.empty(); }
+};
+
+class SearcherRegistry {
+ public:
+  // Process-wide instance (function-local static, safe during static init).
+  static SearcherRegistry& Instance();
+
+  // Registers a searcher; aborts on a duplicate name (two algorithms
+  // claiming one name is a build error, not a runtime condition).
+  void Register(SearcherInfo info, SearcherFactory factory);
+
+  // Constructs by registered name; nullptr for unknown names.
+  std::unique_ptr<Searcher> Create(const std::string& name,
+                                   const SearcherArgs& args) const;
+
+  // Metadata lookup; nullptr for unknown names.
+  const SearcherInfo* Find(const std::string& name) const;
+
+  // All registered entries, sorted by name.
+  std::vector<SearcherInfo> List() const;
+
+ private:
+  struct Entry {
+    SearcherInfo info;
+    SearcherFactory factory;
+  };
+  std::vector<Entry> entries_;  // Kept sorted by info.name.
+};
+
+// Static-init registration handle: constructing one registers the searcher.
+class SearcherRegistration {
+ public:
+  SearcherRegistration(SearcherInfo info, SearcherFactory factory) {
+    SearcherRegistry::Instance().Register(std::move(info), std::move(factory));
+  }
+};
+
+// Sorted names of every registered searcher — the matrix for help text,
+// examples, and tests.
+std::vector<std::string> RegisteredSearcherNames();
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_PLATFORM_SEARCHER_REGISTRY_H_

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <numeric>
 
 #include "src/simos/apps.h"
 #include "src/util/stats.h"
+#include "src/util/thread_pool.h"
 
 namespace wayfinder {
 
@@ -68,44 +70,38 @@ void SearchSession::RefreshScores() {
   }
 }
 
-bool SearchSession::Step() {
-  if (history_.size() >= options_.max_iterations || clock_.Now() >= options_.max_sim_seconds) {
-    return false;
-  }
+SearchContext SearchSession::MakeContext() {
   SearchContext context;
   context.space = &bench_->space();
   context.history = &history_;
   context.sample_options = options_.sample_options;
   context.rng = &searcher_rng_;
+  return context;
+}
 
-  WallTimer timer;
-  Configuration config = searcher_->Propose(context);
+void SearchSession::DedupProposal(SearchContext& context, Configuration* config) {
   for (size_t retry = 0; retry < options_.dedup_retries; ++retry) {
-    uint64_t hash = config.Hash();
-    bool seen = std::find(seen_hashes_.begin(), seen_hashes_.end(), hash) != seen_hashes_.end();
-    if (!seen) {
+    if (seen_hashes_.count(config->Hash()) == 0) {
       break;
     }
-    config = searcher_->Propose(context);
+    *config = searcher_->Propose(context);
   }
-  double propose_seconds = timer.ElapsedSeconds();
-  seen_hashes_.push_back(config.Hash());
+  seen_hashes_.insert(config->Hash());
+}
 
-  bool skip_build =
-      last_built_image_.has_value() && SameImageParams(config, *last_built_image_);
-  bool boot_only = options_.objective == ObjectiveKind::kMemoryFootprint;
-  TrialOutcome outcome = bench_->Evaluate(config, rng_, &clock_, skip_build, boot_only);
+void SearchSession::CommitTrial(PendingTrial&& pending, double end_time) {
+  TrialOutcome outcome = pending.outcome;
   if (outcome.ok() && options_.deploy_check != nullptr &&
-      !options_.deploy_check(config, outcome)) {
+      !options_.deploy_check(pending.config, outcome)) {
     // §3.5: a failed deployment check is learned exactly like a crash.
     outcome.status = TrialOutcome::Status::kRunCrashed;
     outcome.failure_reason = "deployment check failed";
     outcome.metric = 0.0;
   }
-  if (!skip_build) {
+  if (!pending.skip_build) {
     ++builds_;
     if (outcome.status != TrialOutcome::Status::kBuildFailed) {
-      last_built_image_ = config;
+      last_built_image_ = pending.config;
     }
   } else {
     ++builds_skipped_;
@@ -113,14 +109,37 @@ bool SearchSession::Step() {
 
   TrialRecord record;
   record.iteration = history_.size();
-  record.config = std::move(config);
+  record.config = std::move(pending.config);
   record.outcome = outcome;
   record.objective = ComputeObjective(outcome);
-  record.sim_time_end = clock_.Now();
+  record.sim_time_end = end_time;
   if (!outcome.ok()) {
     ++crashes_;
   }
   history_.push_back(std::move(record));
+}
+
+bool SearchSession::Step() {
+  if (history_.size() >= options_.max_iterations || clock_.Now() >= options_.max_sim_seconds) {
+    return false;
+  }
+  SearchContext context = MakeContext();
+
+  WallTimer timer;
+  PendingTrial pending;
+  pending.config = searcher_->Propose(context);
+  DedupProposal(context, &pending.config);
+  double propose_seconds = timer.ElapsedSeconds();
+
+  pending.skip_build =
+      last_built_image_.has_value() && SameImageParams(pending.config, *last_built_image_);
+  bool boot_only = options_.objective == ObjectiveKind::kMemoryFootprint;
+  // Serial evaluation draws from the session RNG and advances the session
+  // clock directly — byte for byte the pre-batch loop.
+  pending.outcome =
+      bench_->Evaluate(pending.config, rng_, &clock_, pending.skip_build, boot_only);
+
+  CommitTrial(std::move(pending), clock_.Now());
   if (options_.objective == ObjectiveKind::kScore) {
     RefreshScores();
   }
@@ -129,6 +148,109 @@ bool SearchSession::Step() {
   searcher_->Observe(history_.back(), context);
   history_.back().searcher_seconds = propose_seconds + timer.ElapsedSeconds();
   return true;
+}
+
+void SearchSession::EnsureBenchClones(size_t n) {
+  while (bench_clones_.size() < n) {
+    bench_clones_.push_back(std::make_unique<Testbench>(*bench_));
+  }
+}
+
+size_t SearchSession::StepBatch() {
+  if (options_.parallel_evaluations <= 1) {
+    return Step() ? 1 : 0;
+  }
+  if (history_.size() >= options_.max_iterations || clock_.Now() >= options_.max_sim_seconds) {
+    return 0;
+  }
+  size_t n = std::min(options_.parallel_evaluations,
+                      options_.max_iterations - history_.size());
+  SearchContext context = MakeContext();
+  // Batch rounds draw proposal entropy from a counter-derived per-round
+  // stream instead of the serial session stream: the round's randomness is
+  // then a pure function of (seed, trials committed so far), so a session
+  // Resume()d at a round boundary proposes exactly what the uninterrupted
+  // run would have — replaying history never has to reconstruct how many
+  // draws past proposals consumed.
+  Rng round_rng(HashCombine(HashCombine(options_.seed, 0x6a7cb), history_.size()));
+  context.rng = &round_rng;
+
+  // --- Propose one batch, dedup each slot against history and earlier
+  // slots (DedupProposal marks hashes seen as it goes). ---------------------
+  WallTimer timer;
+  std::vector<Configuration> batch;
+  searcher_->ProposeBatch(context, n, &batch);
+  if (batch.empty()) {
+    batch.push_back(searcher_->Propose(context));
+  }
+  n = std::min(n, batch.size());
+  for (size_t slot = 0; slot < n; ++slot) {
+    DedupProposal(context, &batch[slot]);
+  }
+  double propose_seconds = timer.ElapsedSeconds();
+
+  // --- Evaluate the K slots concurrently. ----------------------------------
+  // Each slot gets (a) its own Testbench clone — slot i of every round runs
+  // on clone i, so any model-internal state evolves identically at any
+  // thread count; (b) its own counter-derived RNG stream, seeded from the
+  // session seed and the trial's global index; (c) its own SimClock. No
+  // state is shared across slots, which is what makes the round — and the
+  // whole history — independent of how slots land on physical threads.
+  EnsureBenchClones(n);
+  const double round_start = clock_.Now();
+  const bool boot_only = options_.objective == ObjectiveKind::kMemoryFootprint;
+  pending_.clear();
+  pending_.resize(n);
+  for (size_t slot = 0; slot < n; ++slot) {
+    PendingTrial& pending = pending_[slot];
+    pending.config = std::move(batch[slot]);
+    // Every slot compares against the image built before the round: the
+    // virtual testbenches start the round with the same cached image.
+    pending.skip_build = last_built_image_.has_value() &&
+                         SameImageParams(pending.config, *last_built_image_);
+    pending.rng_seed = HashCombine(HashCombine(options_.seed, 0xba7c4),
+                                   static_cast<uint64_t>(history_.size() + slot));
+  }
+  size_t ways = options_.eval_threads == 0 ? n : options_.eval_threads;
+  ParallelFor(&ThreadPool::Shared(), n, /*grain=*/1, ways, [&](size_t begin, size_t end) {
+    for (size_t slot = begin; slot < end; ++slot) {
+      PendingTrial& pending = pending_[slot];
+      Rng trial_rng(pending.rng_seed);
+      SimClock local_clock;
+      pending.outcome = bench_clones_[slot]->Evaluate(pending.config, trial_rng,
+                                                      &local_clock, pending.skip_build,
+                                                      boot_only);
+      pending.sim_seconds = local_clock.Now();
+    }
+  });
+
+  // --- Virtual-time merge: commit completions in the order the simulated
+  // testbenches would have finished, ties broken by batch index. ------------
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return pending_[a].sim_seconds < pending_[b].sim_seconds;
+  });
+  double round_span = 0.0;
+  for (size_t slot : order) {
+    round_span = std::max(round_span, pending_[slot].sim_seconds);
+    CommitTrial(std::move(pending_[slot]), round_start + pending_[slot].sim_seconds);
+  }
+  // The round ends when its slowest virtual testbench finishes.
+  clock_.Advance(round_span);
+  if (options_.objective == ObjectiveKind::kScore) {
+    RefreshScores();
+  }
+
+  // --- Feed the committed round back, in commit order. ---------------------
+  timer.Restart();
+  searcher_->ObserveBatch(Span<const TrialRecord>(history_.data() + history_.size() - n, n),
+                          context);
+  double per_trial_seconds = (propose_seconds + timer.ElapsedSeconds()) / static_cast<double>(n);
+  for (size_t i = history_.size() - n; i < history_.size(); ++i) {
+    history_[i].searcher_seconds = per_trial_seconds;
+  }
+  return n;
 }
 
 SessionResult SearchSession::Finish() {
@@ -153,23 +275,23 @@ SessionResult SearchSession::Finish() {
 
 void SearchSession::Resume(const std::vector<TrialRecord>& prior) {
   assert(history_.empty() && "Resume must precede the first Step()");
-  SearchContext context;
-  context.space = &bench_->space();
-  context.history = &history_;
-  context.sample_options = options_.sample_options;
-  context.rng = &searcher_rng_;
+  SearchContext context = MakeContext();
   for (const TrialRecord& trial : prior) {
     history_.push_back(trial);
-    seen_hashes_.push_back(trial.config.Hash());
+    seen_hashes_.insert(trial.config.Hash());
     if (trial.crashed()) {
       ++crashes_;
     }
-    // The build-skip cache warms from the last image that built.
-    if (trial.outcome.status != TrialOutcome::Status::kBuildFailed) {
-      last_built_image_ = trial.config;
-    }
+    // The build-skip cache warms from the last image that actually built —
+    // mirroring CommitTrial exactly, so a resumed session's cache state
+    // matches the run that produced the history. (A build-skipped trial has
+    // the same compile/boot parameters as that image anyway; only
+    // SameImageParams-irrelevant runtime fields could differ.)
     if (!trial.outcome.build_skipped) {
       ++builds_;
+      if (trial.outcome.status != TrialOutcome::Status::kBuildFailed) {
+        last_built_image_ = trial.config;
+      }
     } else {
       ++builds_skipped_;
     }
@@ -184,7 +306,7 @@ void SearchSession::Resume(const std::vector<TrialRecord>& prior) {
 }
 
 SessionResult SearchSession::Run() {
-  while (Step()) {
+  while (StepBatch() > 0) {
   }
   return Finish();
 }

@@ -1,11 +1,25 @@
-// The exploration session: Wayfinder's core loop (§3.1).
+// The exploration session: Wayfinder's core loop (§3.1), batch-concurrent.
 //
-// Repeatedly: (1) ask the search algorithm for the next configuration,
-// (2) build + boot + benchmark it on the testbench — skipping the build
-// when compile-/boot-time parameters are unchanged since the last built
-// image — and (3) feed the outcome back to the algorithm. Runs until an
-// iteration or simulated-time budget is exhausted and returns the full
-// history plus the best configuration found.
+// Serial mode (parallel_evaluations = 1, the default): repeatedly (1) ask
+// the search algorithm for the next configuration, (2) build + boot +
+// benchmark it on the testbench — skipping the build when compile-/boot-time
+// parameters are unchanged since the last built image — and (3) feed the
+// outcome back to the algorithm. Bit-identical to the pre-batch loop, pinned
+// by test.
+//
+// Batch mode (parallel_evaluations = K > 1): the session models K virtual
+// testbenches racing in simulated time. Each round it asks the searcher for
+// one batch (Searcher::ProposeBatch), evaluates the K trials concurrently on
+// the shared ThreadPool against per-slot Testbench clones, and commits the
+// completions in deterministic virtual-time order — ascending simulated
+// duration, ties broken by batch index — before feeding them back through
+// Searcher::ObserveBatch. Every trial draws from its own counter-derived RNG
+// stream and its own SimClock, so the history is bit-identical at any
+// eval_threads value (physical concurrency never leaks into results); only
+// K itself, which is part of the experiment, shapes the trajectory.
+//
+// Runs until an iteration or simulated-time budget is exhausted and returns
+// the full history plus the best configuration found.
 #ifndef WAYFINDER_SRC_PLATFORM_SESSION_H_
 #define WAYFINDER_SRC_PLATFORM_SESSION_H_
 
@@ -14,6 +28,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/configspace/config_space.h"
@@ -40,10 +55,21 @@ struct SessionOptions {
   // Re-propose when a searcher suggests an already-evaluated configuration
   // (up to this many retries; 0 disables dedup).
   size_t dedup_retries = 8;
+  // Virtual testbenches evaluating concurrently. 1 = the serial loop,
+  // bit-identical to the pre-batch session. K > 1 proposes K-wide batches
+  // and merges completions in virtual-time order; K is part of the
+  // experiment (it shapes the trajectory), unlike eval_threads below.
+  size_t parallel_evaluations = 1;
+  // Physical threads evaluating one batch (0 = one per batch slot). Purely
+  // an execution knob: histories are bit-identical at any value, pinned by
+  // test.
+  size_t eval_threads = 0;
   // §3.5 "more comprehensive benchmarks": an optional user check of the
   // deployment (e.g. run a test suite against the booted image). Returning
   // false demotes an otherwise-successful trial to a run crash, so the
-  // searcher learns the configurations that cause the misbehavior.
+  // searcher learns the configurations that cause the misbehavior. In batch
+  // mode the check runs serially at commit time, so it need not be
+  // thread-safe.
   std::function<bool(const Configuration&, const TrialOutcome&)> deploy_check;
 };
 
@@ -81,20 +107,45 @@ class SearchSession {
   // Aborts if called after stepping.
   void Resume(const std::vector<TrialRecord>& prior);
 
-  // Runs a single iteration; exposed for fine-grained tests and for benches
-  // that interleave sessions. Returns false when the budget is exhausted.
+  // Runs a single serial iteration; exposed for fine-grained tests and for
+  // benches that interleave sessions. Returns false when the budget is
+  // exhausted.
   bool Step();
+
+  // Runs one proposal round at the configured parallelism and returns the
+  // number of trials committed (0 = budget exhausted). At
+  // parallel_evaluations = 1 this is exactly one Step(); above it, one
+  // ProposeBatch / concurrent-evaluate / virtual-time-merge / ObserveBatch
+  // round of up to parallel_evaluations trials.
+  size_t StepBatch();
 
   const std::vector<TrialRecord>& history() const { return history_; }
   const SimClock& clock() const { return clock_; }
   SessionResult Finish();
 
  private:
+  // One in-flight slot of a concurrent evaluation round.
+  struct PendingTrial {
+    Configuration config;
+    TrialOutcome outcome;
+    double sim_seconds = 0.0;  // Virtual duration of this trial alone.
+    bool skip_build = false;
+    uint64_t rng_seed = 0;
+  };
+
   double ComputeObjective(const TrialOutcome& outcome) const;
   // Recomputes min-max normalized scores over the successful history
   // (ObjectiveKind::kScore shifts as observations accumulate).
   void RefreshScores();
   bool SameImageParams(const Configuration& a, const Configuration& b) const;
+  SearchContext MakeContext();
+  // Dedup helper: re-proposes while `config` repeats history, then marks its
+  // hash seen. Mirrors the serial retry loop exactly.
+  void DedupProposal(SearchContext& context, Configuration* config);
+  // Commits one evaluated trial: deploy check, counters, build cache,
+  // objective, history append. Shared by the serial and batch paths.
+  void CommitTrial(PendingTrial&& pending, double end_time);
+  void EnsureBenchClones(size_t n);
 
   Testbench* bench_;
   Searcher* searcher_;
@@ -103,8 +154,15 @@ class SearchSession {
   Rng rng_;
   Rng searcher_rng_;
   std::vector<TrialRecord> history_;
-  std::vector<uint64_t> seen_hashes_;
+  // Hashes of every evaluated (or batch-pending) configuration; O(1) lookup
+  // keeps dedup flat at 250+ iterations x dedup_retries and under batching.
+  std::unordered_set<uint64_t> seen_hashes_;
   std::optional<Configuration> last_built_image_;
+  // Per-slot Testbench clones for concurrent evaluation (slot i of every
+  // batch always evaluates on clone i, so physical scheduling cannot leak
+  // into any model-internal state).
+  std::vector<std::unique_ptr<Testbench>> bench_clones_;
+  std::vector<PendingTrial> pending_;  // Batch scratch, reused per round.
   size_t crashes_ = 0;
   size_t builds_ = 0;
   size_t builds_skipped_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/platform/searcher_registry.h"
+
 namespace wayfinder {
 
 AnnealingSearcher::AnnealingSearcher(const AnnealingOptions& options)
@@ -87,5 +89,11 @@ size_t AnnealingSearcher::MemoryBytes() const {
   }
   return bytes;
 }
+
+namespace {
+const SearcherRegistration kRegistration{
+    {"annealing", "simulated annealing over configuration neighbors with a cooling schedule"},
+    [](const SearcherArgs&) { return std::make_unique<AnnealingSearcher>(); }};
+}  // namespace
 
 }  // namespace wayfinder

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/platform/searcher_registry.h"
+
 namespace wayfinder {
 
 GeneticSearcher::GeneticSearcher(const GeneticOptions& options) : options_(options) {}
@@ -101,5 +103,11 @@ size_t GeneticSearcher::MemoryBytes() const {
   }
   return bytes;
 }
+
+namespace {
+const SearcherRegistration kRegistration{
+    {"genetic", "steady-state GA: tournament parents, uniform crossover, elitist pool"},
+    [](const SearcherArgs&) { return std::make_unique<GeneticSearcher>(); }};
+}  // namespace
 
 }  // namespace wayfinder

@@ -36,6 +36,10 @@ class GeneticSearcher : public Searcher {
   std::string Name() const override { return "genetic"; }
   Configuration Propose(SearchContext& context) override;
   void Observe(const TrialRecord& trial, SearchContext& context) override;
+  // The GA's natural batch is a generation, which the inherited ProposeBatch
+  // loop already produces: n children bred against the pool as it stands at
+  // the start of the round (Observe only runs when the round commits), or n
+  // random founders while seeding.
   size_t MemoryBytes() const override;
 
   size_t PoolSize() const { return pool_.size(); }

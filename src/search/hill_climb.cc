@@ -1,5 +1,7 @@
 #include "src/search/hill_climb.h"
 
+#include "src/platform/searcher_registry.h"
+
 namespace wayfinder {
 
 HillClimbSearcher::HillClimbSearcher(const HillClimbOptions& options) : options_(options) {}
@@ -34,5 +36,11 @@ size_t HillClimbSearcher::MemoryBytes() const {
   }
   return bytes;
 }
+
+namespace {
+const SearcherRegistration kRegistration{
+    {"hillclimb", "stochastic hill climbing with random restarts from the incumbent"},
+    [](const SearcherArgs&) { return std::make_unique<HillClimbSearcher>(); }};
+}  // namespace
 
 }  // namespace wayfinder

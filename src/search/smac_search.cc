@@ -1,5 +1,7 @@
 #include "src/search/smac_search.h"
 
+#include "src/platform/searcher_registry.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -120,5 +122,15 @@ size_t SmacSearcher::MemoryBytes() const {
   bytes += forest_.MemoryBytes();
   return bytes;
 }
+
+namespace {
+const SearcherRegistration kRegistration{
+    {"smac", "random-forest surrogate with expected-improvement candidate ranking"},
+    [](const SearcherArgs& args) {
+      SmacOptions options;
+      options.forest.seed = args.seed;
+      return std::make_unique<SmacSearcher>(args.space, options);
+    }};
+}  // namespace
 
 }  // namespace wayfinder

@@ -1,0 +1,45 @@
+// Minimal non-owning contiguous view, the C++17 stand-in for std::span.
+//
+// The batch search API (Searcher::ObserveBatch) hands searchers a window of
+// freshly committed trials without copying and without pinning the call
+// signature to a concrete container. Only the read-only surface the batch
+// contract needs is provided.
+#ifndef WAYFINDER_SRC_UTIL_SPAN_H_
+#define WAYFINDER_SRC_UTIL_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace wayfinder {
+
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(const T* data, size_t size) : data_(data), size_(size) {}
+  // Implicit from a vector (the common call site: a history tail).
+  Span(const std::vector<T>& items) : data_(items.data()), size_(items.size()) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  // Trailing window of up to `n` elements.
+  Span last(size_t n) const {
+    return n >= size_ ? *this : Span(data_ + (size_ - n), n);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_UTIL_SPAN_H_

@@ -338,24 +338,23 @@ TEST(SmacTest, MemoryGrowsWithHistory) {
 }
 
 // ---------------------------------------------------------------------------
-// Searcher-contract properties, swept over every algorithm in the factory.
+// Searcher-contract properties, swept over every REGISTERED algorithm: the
+// matrix is RegisteredSearcherNames() itself, so a searcher registered
+// anywhere in the link (including out-of-tree) is held to the contract
+// without editing this file.
 
-struct SearcherCase {
-  const char* algorithm;
-};
-
-class AllSearchersTest : public ::testing::TestWithParam<SearcherCase> {};
+class AllSearchersTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(AllSearchersTest, FactoryConstructs) {
   ConfigSpace space = SmallSpace();
-  auto searcher = MakeSearcher(GetParam().algorithm, &space, 21);
+  auto searcher = MakeSearcher(GetParam(), &space, 21);
   ASSERT_NE(searcher, nullptr);
-  EXPECT_EQ(searcher->Name(), GetParam().algorithm);
+  EXPECT_EQ(searcher->Name(), GetParam());
 }
 
 TEST_P(AllSearchersTest, ProposalsAreAlwaysValidOverAFullSession) {
   ConfigSpace space = SmallSpace();
-  auto searcher = MakeSearcher(GetParam().algorithm, &space, 22);
+  auto searcher = MakeSearcher(GetParam(), &space, 22);
   ASSERT_NE(searcher, nullptr);
 
   Testbench bench(&space, AppId::kNginx,
@@ -367,7 +366,7 @@ TEST_P(AllSearchersTest, ProposalsAreAlwaysValidOverAFullSession) {
   while (session.Step()) {
     const TrialRecord& last = session.history().back();
     ASSERT_TRUE(space.IsValid(last.config))
-        << GetParam().algorithm << " proposed an invalid configuration at iteration "
+        << GetParam() << " proposed an invalid configuration at iteration "
         << last.iteration;
   }
   EXPECT_EQ(session.history().size(), 40u);
@@ -379,7 +378,7 @@ TEST_P(AllSearchersTest, FrozenParametersAreNeverMoved) {
   const int64_t frozen_value = space.Param(1).default_value;
   ASSERT_TRUE(space.Freeze(frozen_name, frozen_value));
 
-  auto searcher = MakeSearcher(GetParam().algorithm, &space, 24);
+  auto searcher = MakeSearcher(GetParam(), &space, 24);
   ASSERT_NE(searcher, nullptr);
   Testbench bench(&space, AppId::kRedis,
                   TestbenchOptions{.substrate = Substrate::kUnikraftKvm, .seed = 78});
@@ -388,13 +387,13 @@ TEST_P(AllSearchersTest, FrozenParametersAreNeverMoved) {
   options.seed = 25;
   SessionResult result = RunSearch(&bench, searcher.get(), options);
   for (const TrialRecord& trial : result.history) {
-    ASSERT_EQ(trial.config.Get(frozen_name), frozen_value) << GetParam().algorithm;
+    ASSERT_EQ(trial.config.Get(frozen_name), frozen_value) << GetParam();
   }
 }
 
 TEST_P(AllSearchersTest, FindsSomethingAtLeastAsGoodAsTheWorstSample) {
   ConfigSpace space = SmallSpace();
-  auto searcher = MakeSearcher(GetParam().algorithm, &space, 26);
+  auto searcher = MakeSearcher(GetParam(), &space, 26);
   ASSERT_NE(searcher, nullptr);
   Testbench bench(&space, AppId::kNginx,
                   TestbenchOptions{.substrate = Substrate::kUnikraftKvm, .seed = 79});
@@ -402,22 +401,22 @@ TEST_P(AllSearchersTest, FindsSomethingAtLeastAsGoodAsTheWorstSample) {
   options.max_iterations = 60;
   options.seed = 27;
   SessionResult result = RunSearch(&bench, searcher.get(), options);
-  ASSERT_NE(result.best(), nullptr) << GetParam().algorithm;
+  ASSERT_NE(result.best(), nullptr) << GetParam();
   for (const TrialRecord& trial : result.history) {
     if (trial.HasObjective()) {
-      EXPECT_GE(result.best()->objective, trial.objective) << GetParam().algorithm;
+      EXPECT_GE(result.best()->objective, trial.objective) << GetParam();
     }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Factory, AllSearchersTest,
-                         ::testing::Values(SearcherCase{"random"}, SearcherCase{"grid"},
-                                           SearcherCase{"bayesopt"}, SearcherCase{"causal"},
-                                           SearcherCase{"annealing"}, SearcherCase{"genetic"},
-                                           SearcherCase{"hillclimb"}, SearcherCase{"smac"},
-                                           SearcherCase{"deeptune"}),
-                         [](const ::testing::TestParamInfo<SearcherCase>& info) {
-                           return std::string(info.param.algorithm);
+INSTANTIATE_TEST_SUITE_P(Registry, AllSearchersTest,
+                         // Evaluated lazily at test registration, i.e. after
+                         // every static-init searcher registration has run.
+                         ::testing::ValuesIn(RegisteredSearcherNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
                          });
 
 }  // namespace

@@ -1,0 +1,273 @@
+// Determinism contract of the batch-concurrent session executor:
+//
+//   * parallel_evaluations = 1 is the serial loop, bit for bit (StepBatch
+//     dispatches straight to Step);
+//   * at fixed parallel_evaluations, histories are bit-identical at any
+//     eval_threads value — physical concurrency never leaks into results —
+//     pinned for DeepTune, random, and multi-metric sessions;
+//   * rounds commit in virtual-time order with ties broken by batch index;
+//   * Resume() at a round boundary followed by batched Step()s reproduces
+//     the uninterrupted batched run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/configspace/linux_space.h"
+#include "src/configspace/unikraft_space.h"
+#include "src/core/multi_metric.h"
+#include "src/core/wayfinder_api.h"
+#include "src/platform/random_search.h"
+#include "src/platform/session.h"
+
+namespace wayfinder {
+namespace {
+
+// Bitwise history equality over everything deterministic (searcher_seconds
+// is wall clock and excluded by design).
+void ExpectSameHistory(const std::vector<TrialRecord>& a,
+                       const std::vector<TrialRecord>& b, const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].config.Hash(), b[i].config.Hash()) << label << " trial " << i;
+    ASSERT_EQ(a[i].iteration, b[i].iteration) << label << " trial " << i;
+    ASSERT_EQ(static_cast<int>(a[i].outcome.status), static_cast<int>(b[i].outcome.status))
+        << label << " trial " << i;
+    if (std::isnan(a[i].objective)) {
+      ASSERT_TRUE(std::isnan(b[i].objective)) << label << " trial " << i;
+    } else {
+      ASSERT_EQ(a[i].objective, b[i].objective) << label << " trial " << i;
+    }
+    ASSERT_EQ(a[i].sim_time_end, b[i].sim_time_end) << label << " trial " << i;
+    ASSERT_EQ(a[i].outcome.metric, b[i].outcome.metric) << label << " trial " << i;
+    ASSERT_EQ(a[i].outcome.memory_mb, b[i].outcome.memory_mb) << label << " trial " << i;
+  }
+}
+
+SessionResult RunLinuxSession(const std::string& algorithm, size_t parallel,
+                              size_t eval_threads, size_t iterations = 24) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  TestbenchOptions bench_options;
+  bench_options.seed = 0x7e57;
+  Testbench bench(&space, AppId::kNginx, bench_options);
+  auto searcher = MakeSearcher(algorithm, &space, 0xabc);
+  SessionOptions options;
+  options.max_iterations = iterations;
+  options.seed = 0x90;
+  options.parallel_evaluations = parallel;
+  options.eval_threads = eval_threads;
+  return RunSearch(&bench, searcher.get(), options);
+}
+
+TEST(SessionParallel, ParallelOneIsExactlyTheSerialLoop) {
+  // Run() at parallel_evaluations=1 vs a manual Step() loop: the batch
+  // dispatcher must route through the identical serial path.
+  ConfigSpace space = BuildLinuxSearchSpace();
+  SessionOptions options;
+  options.max_iterations = 20;
+  options.seed = 0x51;
+
+  Testbench bench_a(&space, AppId::kNginx);
+  RandomSearcher searcher_a;
+  SearchSession manual(&bench_a, &searcher_a, options);
+  while (manual.Step()) {
+  }
+  SessionResult stepped = manual.Finish();
+
+  Testbench bench_b(&space, AppId::kNginx);
+  RandomSearcher searcher_b;
+  options.parallel_evaluations = 1;
+  SessionResult batched = RunSearch(&bench_b, &searcher_b, options);
+
+  ExpectSameHistory(stepped.history, batched.history, "serial-vs-dispatch");
+  EXPECT_EQ(stepped.builds, batched.builds);
+  EXPECT_EQ(stepped.builds_skipped, batched.builds_skipped);
+  EXPECT_EQ(stepped.crashes, batched.crashes);
+  EXPECT_EQ(stepped.total_sim_seconds, batched.total_sim_seconds);
+}
+
+// The acceptance pin: at parallel_evaluations=4, worker counts {1, 2, 4}
+// produce bit-identical histories for DeepTune, random, and multi-metric
+// sessions. Physical threads are an execution detail only.
+class WorkerInvarianceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkerInvarianceTest, HistoryInvariantAcrossEvalThreads) {
+  SessionResult t1 = RunLinuxSession(GetParam(), 4, 1);
+  SessionResult t2 = RunLinuxSession(GetParam(), 4, 2);
+  SessionResult t4 = RunLinuxSession(GetParam(), 4, 4);
+  ExpectSameHistory(t2.history, t1.history, std::string(GetParam()) + " t2-vs-t1");
+  ExpectSameHistory(t2.history, t4.history, std::string(GetParam()) + " t2-vs-t4");
+  EXPECT_EQ(t2.builds, t4.builds) << GetParam();
+  EXPECT_EQ(t2.crashes, t4.crashes) << GetParam();
+  EXPECT_EQ(t2.total_sim_seconds, t4.total_sim_seconds) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Searchers, WorkerInvarianceTest,
+                         ::testing::Values("deeptune", "random"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(SessionParallel, MultiMetricHistoryInvariantAcrossEvalThreads) {
+  auto run = [](size_t eval_threads) {
+    ConfigSpace space = BuildLinuxSearchSpace();
+    TestbenchOptions bench_options;
+    bench_options.seed = 0x7e58;
+    Testbench bench(&space, AppId::kNginx, bench_options);
+    MultiMetricSearcher searcher(
+        &space, {MetricSpec::AppThroughput(1.0), MetricSpec::MemoryFootprint(0.5)}, {});
+    SessionOptions options;
+    options.max_iterations = 20;
+    options.seed = 0x91;
+    options.objective = ObjectiveKind::kScore;
+    options.parallel_evaluations = 4;
+    options.eval_threads = eval_threads;
+    return RunSearch(&bench, &searcher, options);
+  };
+  SessionResult t2 = run(2);
+  SessionResult t4 = run(4);
+  ExpectSameHistory(t2.history, t4.history, "multi t2-vs-t4");
+}
+
+TEST(SessionParallel, RoundsCommitInVirtualTimeOrder) {
+  SessionResult result = RunLinuxSession("random", 4, 4, 24);
+  ASSERT_EQ(result.history.size(), 24u);
+  for (size_t round = 0; round < 24; round += 4) {
+    double previous = -1.0;
+    for (size_t i = round; i < round + 4; ++i) {
+      EXPECT_EQ(result.history[i].iteration, i);
+      // Within a round, commit order is ascending virtual finish time.
+      EXPECT_GE(result.history[i].sim_time_end, previous) << "trial " << i;
+      previous = result.history[i].sim_time_end;
+    }
+  }
+  // Rounds stack in time: each round starts where the previous one ended.
+  EXPECT_EQ(result.total_sim_seconds, result.history.back().sim_time_end);
+}
+
+TEST(SessionParallel, BatchBudgetIsExact) {
+  // A budget that is not a multiple of the batch width still lands exactly.
+  SessionResult result = RunLinuxSession("random", 4, 0, 22);
+  EXPECT_EQ(result.history.size(), 22u);
+  size_t builds_accounted = result.builds + result.builds_skipped;
+  EXPECT_EQ(builds_accounted, 22u);
+}
+
+TEST(SessionParallel, ResumeAtRoundBoundaryReproducesUninterruptedRun) {
+  // Uninterrupted batched run vs Resume(first 2 rounds) + batched Step()s:
+  // identical histories. Batch rounds draw counter-derived entropy, so the
+  // continuation does not depend on how many draws the replayed prefix's
+  // proposals once consumed.
+  ConfigSpace space = BuildLinuxSearchSpace();
+  SessionOptions options;
+  options.max_iterations = 24;
+  options.seed = 0x77;
+  options.parallel_evaluations = 4;
+
+  TestbenchOptions bench_options;
+  bench_options.seed = 0x7e59;
+  Testbench bench_a(&space, AppId::kNginx, bench_options);
+  RandomSearcher searcher_a;
+  SessionResult uninterrupted = RunSearch(&bench_a, &searcher_a, options);
+  ASSERT_EQ(uninterrupted.history.size(), 24u);
+
+  std::vector<TrialRecord> prefix(uninterrupted.history.begin(),
+                                  uninterrupted.history.begin() + 8);
+  Testbench bench_b(&space, AppId::kNginx, bench_options);
+  RandomSearcher searcher_b;
+  SearchSession resumed(&bench_b, &searcher_b, options);
+  resumed.Resume(prefix);
+  while (resumed.StepBatch() > 0) {
+  }
+  SessionResult continued = resumed.Finish();
+
+  ExpectSameHistory(uninterrupted.history, continued.history, "resume-continuation");
+  EXPECT_EQ(uninterrupted.builds, continued.builds);
+  EXPECT_EQ(uninterrupted.builds_skipped, continued.builds_skipped);
+  EXPECT_EQ(uninterrupted.total_sim_seconds, continued.total_sim_seconds);
+}
+
+TEST(SessionParallel, ResumeThenBatchedStepsIsReproducible) {
+  // Model-based searchers carry proposal-side state a replay cannot clone,
+  // so their continuation is not required to equal the uninterrupted run —
+  // but resume + batched stepping must be fully deterministic.
+  ConfigSpace space = BuildUnikraftSpace();
+  TestbenchOptions bench_options;
+  bench_options.substrate = Substrate::kUnikraftKvm;
+  bench_options.seed = 0x7e60;
+  SessionOptions options;
+  options.max_iterations = 30;
+  options.seed = 0x78;
+  options.parallel_evaluations = 4;
+
+  std::vector<TrialRecord> prefix = [&] {
+    Testbench bench(&space, AppId::kNginx, bench_options);
+    auto searcher = MakeSearcher("deeptune", &space, 0xd7);
+    SessionOptions prior = options;
+    prior.max_iterations = 12;
+    return RunSearch(&bench, searcher.get(), prior).history;
+  }();
+  ASSERT_EQ(prefix.size(), 12u);
+
+  auto continue_from_prefix = [&] {
+    Testbench bench(&space, AppId::kNginx, bench_options);
+    auto searcher = MakeSearcher("deeptune", &space, 0xd7);
+    SearchSession session(&bench, searcher.get(), options);
+    session.Resume(prefix);
+    while (session.StepBatch() > 0) {
+    }
+    return session.Finish();
+  };
+  SessionResult first = continue_from_prefix();
+  SessionResult second = continue_from_prefix();
+  ASSERT_EQ(first.history.size(), 30u);
+  ExpectSameHistory(first.history, second.history, "deeptune resume determinism");
+}
+
+TEST(SessionParallel, DedupAppliesWithinABatch) {
+  // A degenerate one-parameter space forces duplicate proposals; dedup must
+  // retry within the round (bounded by dedup_retries) and still complete.
+  ConfigSpace space;
+  space.Add(ParamSpec::Bool("a", ParamPhase::kRuntime, "net", false));
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 8;
+  options.seed = 0x79;
+  options.parallel_evaluations = 4;
+  SessionResult result = RunSearch(&bench, &searcher, options);
+  EXPECT_EQ(result.history.size(), 8u);
+  for (const TrialRecord& trial : result.history) {
+    EXPECT_TRUE(space.IsValid(trial.config));
+  }
+}
+
+TEST(SessionParallel, DeployCheckRunsAtCommitTime) {
+  // The deploy check executes serially during the merge, and demotions are
+  // identical at any worker count.
+  auto run = [](size_t eval_threads) {
+    ConfigSpace space = BuildLinuxSearchSpace();
+    Testbench bench(&space, AppId::kNginx);
+    RandomSearcher searcher;
+    SessionOptions options;
+    options.max_iterations = 12;
+    options.seed = 0x7a;
+    options.parallel_evaluations = 4;
+    options.eval_threads = eval_threads;
+    options.deploy_check = [](const Configuration&, const TrialOutcome& outcome) {
+      return outcome.metric >= 60000.0;  // Demote the slower half.
+    };
+    return RunSearch(&bench, &searcher, options);
+  };
+  SessionResult t1 = run(1);
+  SessionResult t4 = run(4);
+  ExpectSameHistory(t1.history, t4.history, "deploy-check");
+  EXPECT_GT(t1.crashes, 0u);
+  for (const TrialRecord& trial : t1.history) {
+    if (trial.crashed() && trial.outcome.failure_reason == "deployment check failed") {
+      EXPECT_EQ(trial.outcome.status, TrialOutcome::Status::kRunCrashed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wayfinder

@@ -14,6 +14,7 @@
 //   --checkpoint <path>  write the full history checkpoint when done
 //   --history-csv <path> export the history as CSV
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -32,19 +33,38 @@ namespace wayfinder {
 namespace {
 
 int Usage() {
+  std::string algorithms;
+  for (const std::string& name : RegisteredSearcherNames()) {
+    algorithms += (algorithms.empty() ? "" : ", ") + name;
+  }
   std::fprintf(stderr,
                "usage: wfctl <command> [args]\n"
                "  create <job.yaml>                    validate a job file\n"
-               "  start  <job.yaml> [--model-in P] [--model-out P]\n"
+               "  start  <job.yaml> [--model-in P] [--model-out P] [--parallel N]\n"
                "                    [--resume P] [--checkpoint P] [--history-csv P]\n"
                "  report <job.yaml> <checkpoint>       summarize a saved session\n"
                "  render <job.yaml> <checkpoint>       print deployment artifacts\n"
+               "  algorithms                           list registered search algorithms\n"
                "  probe  <job.yaml>                    discover the runtime space (§3.4)\n"
                "  zoo    <dir> list                    list published donor models\n"
                "  zoo    <dir> rank <job.yaml>         rank donors for a job's app (§3.3)\n"
                "  transfer <src-job> <dst-job> <src-ckpt> <out-ckpt>\n"
-               "                                       map a history across platforms (§3.5)\n");
+               "                                       map a history across platforms (§3.5)\n"
+               "algorithms: %s\n",
+               algorithms.c_str());
   return 2;
+}
+
+// The registry is the single source of truth: every algorithm that linked
+// into this binary — including out-of-tree registrations — shows up here.
+int CmdAlgorithms() {
+  std::printf("%-16s %-6s %-9s %s\n", "algorithm", "multi", "transfer", "summary");
+  for (const SearcherInfo& info : SearcherRegistry::Instance().List()) {
+    std::printf("%-16s %-6s %-9s %s\n", info.name.c_str(),
+                info.SupportsMultiMetric() ? "yes" : "-",
+                info.supports_transfer ? "yes" : "-", info.summary.c_str());
+  }
+  return 0;
 }
 
 void PrintSpaceCensus(const ConfigSpace& space) {
@@ -135,7 +155,7 @@ void PrintArtifacts(const TrialRecord& best) {
 
 int CmdStart(int argc, char** argv) {
   std::string job_path = argv[0];
-  std::string model_in, model_out, resume_path, checkpoint_path, history_csv;
+  std::string model_in, model_out, resume_path, checkpoint_path, history_csv, parallel_arg;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
     auto take = [&](std::string* into) {
@@ -157,6 +177,8 @@ int CmdStart(int argc, char** argv) {
       ok = take(&checkpoint_path);
     } else if (flag == "--history-csv") {
       ok = take(&history_csv);
+    } else if (flag == "--parallel") {
+      ok = take(&parallel_arg);
     } else {
       std::fprintf(stderr, "wfctl: unknown flag %s\n", flag.c_str());
       ok = false;
@@ -170,6 +192,20 @@ int CmdStart(int argc, char** argv) {
   if (!parsed.ok) {
     std::fprintf(stderr, "wfctl: %s\n", parsed.error.c_str());
     return 1;
+  }
+  if (!parallel_arg.empty()) {
+    // Command-line override of the job file's `parallel:` key. Digits only:
+    // strtoul would silently wrap "-1" to ULONG_MAX.
+    char* end = nullptr;
+    unsigned long parallel =
+        parallel_arg.find_first_not_of("0123456789") == std::string::npos
+            ? std::strtoul(parallel_arg.c_str(), &end, 10)
+            : 0;
+    if (parallel == 0 || parallel > 4096) {
+      std::fprintf(stderr, "wfctl: --parallel needs a positive trial count (1-4096)\n");
+      return 2;
+    }
+    parsed.spec.parallel = static_cast<size_t>(parallel);
   }
   const JobSpec& spec = parsed.spec;
   auto space = std::make_shared<ConfigSpace>(BuildJobSpace(spec));
@@ -206,13 +242,20 @@ int CmdStart(int argc, char** argv) {
                 resume_path.c_str());
   }
 
-  std::printf("job '%s': %s on %s, %s, budget %zu iterations\n", spec.name.c_str(),
+  std::printf("job '%s': %s on %s, %s, budget %zu iterations%s\n", spec.name.c_str(),
               GetApp(spec.app).name.c_str(), spec.os.c_str(), spec.algorithm.c_str(),
-              spec.iterations);
+              spec.iterations,
+              spec.parallel > 1
+                  ? (", parallel " + std::to_string(spec.parallel)).c_str()
+                  : "");
   size_t report_every = std::max<size_t>(1, spec.iterations / 10);
-  while (session.Step()) {
+  size_t next_report = report_every;
+  // StepBatch commits one trial per round at parallel=1 (the serial loop,
+  // bit for bit) and up to `parallel` trials per round above it.
+  while (session.StepBatch() > 0) {
     const TrialRecord& last = session.history().back();
-    if ((last.iteration + 1) % report_every == 0) {
+    if (last.iteration + 1 >= next_report) {
+      next_report += report_every;
       const TrialRecord* best = BestTrial(session.history());
       std::printf("  iter %4zu  t=%7.0fs  best=%s\n", last.iteration + 1,
                   last.sim_time_end,
@@ -429,6 +472,9 @@ int CmdTransfer(const std::string& source_job_path, const std::string& target_jo
 }
 
 int Main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "algorithms") {
+    return CmdAlgorithms();
+  }
   if (argc < 3) {
     return Usage();
   }
