@@ -38,6 +38,9 @@ class Configuration {
 
   // Stable content hash for dedup across a search session.
   uint64_t Hash() const;
+  // The same hash over a bare value vector — lets the TrialStore index a
+  // file without materializing Configurations.
+  static uint64_t HashValues(const std::vector<int64_t>& values);
 
   // "NAME=value" lines for the parameters that differ from the default.
   std::string DiffString() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "src/platform/searcher_registry.h"
@@ -133,6 +134,22 @@ void DeepTuneSearcher::Observe(const TrialRecord& trial, SearchContext& context)
   if (observed_ % options_.update_every == 0) {
     model_.Update();
   }
+}
+
+std::string DeepTuneSearcher::ExportState() const {
+  return "pool-iteration " + std::to_string(proposal_.iteration);
+}
+
+bool DeepTuneSearcher::RestoreState(const std::string& state) {
+  if (state.empty()) {
+    return true;  // v1 checkpoints carry no live state.
+  }
+  unsigned long long iteration = 0;
+  if (std::sscanf(state.c_str(), "pool-iteration %llu", &iteration) != 1) {
+    return false;
+  }
+  proposal_.iteration = static_cast<uint64_t>(iteration);
+  return true;
 }
 
 size_t DeepTuneSearcher::MemoryBytes() const {

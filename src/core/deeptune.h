@@ -55,6 +55,12 @@ class DeepTuneSearcher : public Searcher {
   void Observe(const TrialRecord& trial, SearchContext& context) override;
   size_t MemoryBytes() const override;
 
+  // Checkpoint v2 live state: the pool-seed iteration counter, the one piece
+  // of proposal-side state an Observe replay cannot rebuild (the model,
+  // elites, and history ring all retrain/refill bit-exactly from replay).
+  std::string ExportState() const override;
+  bool RestoreState(const std::string& state) override;
+
   // Transfer learning.
   bool SaveModel(const std::string& path) const { return model_.Save(path); }
   bool LoadModel(const std::string& path);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "src/platform/searcher_registry.h"
@@ -215,6 +216,22 @@ void MultiMetricSearcher::Observe(const TrialRecord& trial, SearchContext& /*con
 
 MultiDtmPrediction MultiMetricSearcher::PredictConfig(const Configuration& config) {
   return model_.Predict(space_->Encode(config));
+}
+
+std::string MultiMetricSearcher::ExportState() const {
+  return "pool-iteration " + std::to_string(proposal_.iteration);
+}
+
+bool MultiMetricSearcher::RestoreState(const std::string& state) {
+  if (state.empty()) {
+    return true;  // v1 checkpoints carry no live state.
+  }
+  unsigned long long iteration = 0;
+  if (std::sscanf(state.c_str(), "pool-iteration %llu", &iteration) != 1) {
+    return false;
+  }
+  proposal_.iteration = static_cast<uint64_t>(iteration);
+  return true;
 }
 
 size_t MultiMetricSearcher::MemoryBytes() const {

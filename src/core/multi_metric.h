@@ -63,6 +63,11 @@ class MultiMetricSearcher : public Searcher {
   void Observe(const TrialRecord& trial, SearchContext& context) override;
   size_t MemoryBytes() const override;
 
+  // Checkpoint v2 live state: the shared proposal pipeline's pool-seed
+  // iteration counter (see DeepTuneSearcher::ExportState).
+  std::string ExportState() const override;
+  bool RestoreState(const std::string& state) override;
+
   const MultiDtm& model() const { return model_; }
   const std::vector<MetricSpec>& metrics() const { return metrics_; }
 

@@ -9,49 +9,26 @@ namespace wayfinder {
 
 namespace {
 
-const char* StatusName(TrialOutcome::Status status) {
-  switch (status) {
-    case TrialOutcome::Status::kOk:
-      return "ok";
-    case TrialOutcome::Status::kBuildFailed:
-      return "build-failed";
-    case TrialOutcome::Status::kBootFailed:
-      return "boot-failed";
-    case TrialOutcome::Status::kRunCrashed:
-      return "run-crashed";
-  }
-  return "?";
-}
-
-bool StatusFromName(const std::string& name, TrialOutcome::Status* status) {
-  if (name == "ok") {
-    *status = TrialOutcome::Status::kOk;
-  } else if (name == "build-failed") {
-    *status = TrialOutcome::Status::kBuildFailed;
-  } else if (name == "boot-failed") {
-    *status = TrialOutcome::Status::kBootFailed;
-  } else if (name == "run-crashed") {
-    *status = TrialOutcome::Status::kRunCrashed;
-  } else {
-    return false;
-  }
-  return true;
-}
-
-}  // namespace
-
-bool SaveCheckpoint(const std::vector<TrialRecord>& history, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return false;
-  }
+void WriteCheckpoint(std::ostream& out, const std::vector<TrialRecord>& history,
+                     const CheckpointLiveState* live) {
   out.precision(17);  // Round-trip doubles exactly.
   size_t params = history.empty() ? 0 : history.front().config.Size();
-  out << "wayfinder-checkpoint v1\n";
+  out << "wayfinder-checkpoint v2\n";
   out << "params " << params << "\n";
+  if (live != nullptr) {
+    if (!live->session_rng.empty()) {
+      out << "rng-session " << live->session_rng << "\n";
+    }
+    if (!live->searcher_rng.empty()) {
+      out << "rng-searcher " << live->searcher_rng << "\n";
+    }
+    if (!live->searcher_state.empty()) {
+      out << "searcher-state " << live->searcher_state << "\n";
+    }
+  }
   for (const TrialRecord& trial : history) {
     const TrialOutcome& o = trial.outcome;
-    out << "trial " << trial.iteration << " " << StatusName(o.status) << " " << o.metric
+    out << "trial " << trial.iteration << " " << TrialStatusName(o.status) << " " << o.metric
         << " " << o.memory_mb << " " << o.build_seconds << " " << o.boot_seconds << " "
         << o.run_seconds << " " << (o.build_skipped ? 1 : 0) << " "
         << (trial.HasObjective() ? trial.objective : std::nan("")) << " "
@@ -62,18 +39,20 @@ bool SaveCheckpoint(const std::vector<TrialRecord>& history, const std::string& 
     }
     out << "\n";
   }
-  return static_cast<bool>(out);
 }
 
-CheckpointLoadResult LoadCheckpoint(const ConfigSpace& space, const std::string& path) {
+CheckpointLoadResult ReadCheckpoint(const ConfigSpace& space, std::istream& in) {
   CheckpointLoadResult result;
-  std::ifstream in(path);
-  if (!in) {
-    result.error = "cannot open " + path;
-    return result;
-  }
   std::string line;
-  if (!std::getline(in, line) || line != "wayfinder-checkpoint v1") {
+  int version = 0;
+  if (std::getline(in, line)) {
+    if (line == "wayfinder-checkpoint v1") {
+      version = 1;
+    } else if (line == "wayfinder-checkpoint v2") {
+      version = 2;
+    }
+  }
+  if (version == 0) {
     result.error = "bad header";
     return result;
   }
@@ -106,6 +85,26 @@ CheckpointLoadResult LoadCheckpoint(const ConfigSpace& space, const std::string&
     std::istringstream trial_in(line);
     std::string keyword;
     trial_in >> keyword;
+    // The v2 live-state lines sit between the params header and the first
+    // trial; the rest of each line is taken verbatim.
+    if (version >= 2 && result.history.empty() &&
+        (keyword == "rng-session" || keyword == "rng-searcher" ||
+         keyword == "searcher-state")) {
+      std::string rest;
+      std::getline(trial_in >> std::ws, rest);
+      if (rest.empty()) {
+        result.error = "line " + std::to_string(line_number) + ": empty " + keyword;
+        return result;
+      }
+      if (keyword == "rng-session") {
+        result.live.session_rng = rest;
+      } else if (keyword == "rng-searcher") {
+        result.live.searcher_rng = rest;
+      } else {
+        result.live.searcher_state = rest;
+      }
+      continue;
+    }
     if (keyword != "trial") {
       result.error = "line " + std::to_string(line_number) + ": expected trial record";
       return result;
@@ -118,7 +117,7 @@ CheckpointLoadResult LoadCheckpoint(const ConfigSpace& space, const std::string&
         trial.outcome.memory_mb >> trial.outcome.build_seconds >>
         trial.outcome.boot_seconds >> trial.outcome.run_seconds >> skipped >>
         objective_text >> trial.sim_time_end >> trial.searcher_seconds;
-    if (!trial_in || !StatusFromName(status_name, &trial.outcome.status)) {
+    if (!trial_in || !TrialStatusFromName(status_name, &trial.outcome.status)) {
       result.error = "line " + std::to_string(line_number) + ": malformed trial record";
       return result;
     }
@@ -161,6 +160,40 @@ CheckpointLoadResult LoadCheckpoint(const ConfigSpace& space, const std::string&
   }
   result.ok = true;
   return result;
+}
+
+}  // namespace
+
+std::string CheckpointToText(const std::vector<TrialRecord>& history,
+                             const CheckpointLiveState* live) {
+  std::ostringstream out;
+  WriteCheckpoint(out, history, live);
+  return out.str();
+}
+
+bool SaveCheckpoint(const std::vector<TrialRecord>& history, const std::string& path,
+                    const CheckpointLiveState* live) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WriteCheckpoint(out, history, live);
+  return static_cast<bool>(out);
+}
+
+CheckpointLoadResult LoadCheckpoint(const ConfigSpace& space, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    CheckpointLoadResult result;
+    result.error = "cannot open " + path;
+    return result;
+  }
+  return ReadCheckpoint(space, in);
+}
+
+CheckpointLoadResult LoadCheckpointText(const ConfigSpace& space, const std::string& text) {
+  std::istringstream in(text);
+  return ReadCheckpoint(space, in);
 }
 
 }  // namespace wayfinder

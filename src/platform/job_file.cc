@@ -33,6 +33,7 @@ SessionOptions JobSpec::ToSessionOptions() const {
   options.sample_options = SamplingBias();
   options.seed = seed;
   options.parallel_evaluations = parallel;
+  options.sliding_window = sliding;
   return options;
 }
 
@@ -102,6 +103,7 @@ JobParseResult ParseJob(const YamlNode& root) {
     return result;
   }
   spec.parallel = static_cast<size_t>(parallel);
+  spec.sliding = root.GetBool("sliding", false);
   if (const YamlNode* search = root.Get("search"); search != nullptr) {
     spec.algorithm = search->GetString("algorithm", "deeptune");
     spec.favor = search->GetString("favor", "none");

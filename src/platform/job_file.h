@@ -18,6 +18,7 @@
 //     iterations: 250
 //     sim_seconds: 18000
 //   parallel: 4               # concurrent trial evaluations (default 1)
+//   sliding: true             # sliding-window executor (default lock-step)
 //   search:
 //     algorithm: deeptune     # any registered name — see `wfctl algorithms`
 //     favor: runtime          # runtime | compile | none
@@ -64,6 +65,9 @@ struct JobSpec {
   // Concurrent trial evaluations per session round (SessionOptions::
   // parallel_evaluations); 1 = the serial loop.
   size_t parallel = 1;
+  // Sliding-window executor (SessionOptions::sliding_window): commit the
+  // earliest finisher and refill its slot instead of lock-step rounds.
+  bool sliding = false;
   std::vector<FrozenParam> freeze;
   // Non-empty when `metric: multi`: the weighted metrics to co-optimize.
   std::vector<JobMetric> metrics;

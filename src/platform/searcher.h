@@ -65,6 +65,14 @@ class Searcher {
   // Bytes of live algorithm state (models, kernel matrices, causal graphs);
   // drives the Figure 7 memory comparison.
   virtual size_t MemoryBytes() const;
+
+  // Opaque single-line state for checkpoint v2: whatever an Observe replay
+  // of the history canNOT reconstruct (e.g. DeepTune's pool-seed iteration
+  // counter; its model retrains bit-exactly from the replay and is excluded
+  // on purpose). Stateless searchers return "". RestoreState is called after
+  // the replay and must reject text it did not write.
+  virtual std::string ExportState() const { return ""; }
+  virtual bool RestoreState(const std::string& state) { return state.empty(); }
 };
 
 }  // namespace wayfinder

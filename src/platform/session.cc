@@ -31,44 +31,50 @@ bool SearchSession::SameImageParams(const Configuration& a, const Configuration&
   return true;
 }
 
-double SearchSession::ComputeObjective(const TrialOutcome& outcome) const {
+double TrialObjective(const TrialOutcome& outcome, ObjectiveKind objective, AppId app) {
   if (!outcome.ok()) {
     return std::nan("");
   }
-  switch (options_.objective) {
+  switch (objective) {
     case ObjectiveKind::kAppMetric: {
-      const AppProfile& profile = GetApp(bench_->app());
+      const AppProfile& profile = GetApp(app);
       // Normalize polarity: objectives are always maximized.
       return profile.maximize ? outcome.metric : -outcome.metric;
     }
     case ObjectiveKind::kMemoryFootprint:
       return -outcome.memory_mb;
     case ObjectiveKind::kScore:
-      // Placeholder; RefreshScores() recomputes all score objectives over
-      // the history after each observation.
+      // Placeholder; RefreshScoreObjectives recomputes all score
+      // objectives over the history after each observation.
       return 0.0;
   }
   return std::nan("");
 }
 
-void SearchSession::RefreshScores() {
+void RefreshScoreObjectives(std::vector<TrialRecord>* history) {
   // Eq. 4: s = mXNorm(throughput) - mXNorm(memory), over successful trials.
   std::vector<size_t> indices;
   std::vector<double> throughput;
   std::vector<double> memory;
-  for (size_t i = 0; i < history_.size(); ++i) {
-    if (history_[i].outcome.ok()) {
+  for (size_t i = 0; i < history->size(); ++i) {
+    if ((*history)[i].outcome.ok()) {
       indices.push_back(i);
-      throughput.push_back(history_[i].outcome.metric);
-      memory.push_back(history_[i].outcome.memory_mb);
+      throughput.push_back((*history)[i].outcome.metric);
+      memory.push_back((*history)[i].outcome.memory_mb);
     }
   }
   std::vector<double> t_norm = MinMaxNormalize(throughput);
   std::vector<double> m_norm = MinMaxNormalize(memory);
   for (size_t k = 0; k < indices.size(); ++k) {
-    history_[indices[k]].objective = t_norm[k] - m_norm[k];
+    (*history)[indices[k]].objective = t_norm[k] - m_norm[k];
   }
 }
+
+double SearchSession::ComputeObjective(const TrialOutcome& outcome) const {
+  return TrialObjective(outcome, options_.objective, bench_->app());
+}
+
+void SearchSession::RefreshScores() { RefreshScoreObjectives(&history_); }
 
 SearchContext SearchSession::MakeContext() {
   SearchContext context;
@@ -159,6 +165,9 @@ void SearchSession::EnsureBenchClones(size_t n) {
 size_t SearchSession::StepBatch() {
   if (options_.parallel_evaluations <= 1) {
     return Step() ? 1 : 0;
+  }
+  if (options_.sliding_window) {
+    return StepSlidingWave();
   }
   if (history_.size() >= options_.max_iterations || clock_.Now() >= options_.max_sim_seconds) {
     return 0;
@@ -253,6 +262,128 @@ size_t SearchSession::StepBatch() {
   return n;
 }
 
+void SearchSession::RefillSlidingSlots() {
+  size_t window = options_.parallel_evaluations;
+  EnsureBenchClones(window);
+  if (free_clones_.empty() && in_flight_.empty()) {
+    // First refill: every clone is free, in slot order.
+    for (size_t i = 0; i < window; ++i) {
+      free_clones_.push_back(i);
+    }
+  }
+  if (clock_.Now() >= options_.max_sim_seconds ||
+      history_.size() + in_flight_.size() >= options_.max_iterations) {
+    return;
+  }
+  size_t n = std::min(window - in_flight_.size(),
+                      options_.max_iterations - history_.size() - in_flight_.size());
+  if (n == 0) {
+    return;
+  }
+  SearchContext context = MakeContext();
+  // Same counter-derived entropy recipe as the lock-step round, keyed on
+  // proposals launched instead of trials committed: the two counts agree
+  // whenever commits happen in full waves, which is exactly the
+  // equal-duration case the bit-for-bit pin covers.
+  sliding_rng_ = Rng(HashCombine(HashCombine(options_.seed, 0x6a7cb), proposed_count_));
+  context.rng = &sliding_rng_;
+
+  WallTimer timer;
+  std::vector<Configuration> batch;
+  searcher_->ProposeBatch(context, n, &batch);
+  if (batch.empty()) {
+    batch.push_back(searcher_->Propose(context));
+  }
+  n = std::min(n, batch.size());
+  for (size_t slot = 0; slot < n; ++slot) {
+    DedupProposal(context, &batch[slot]);
+  }
+  pending_propose_seconds_ += timer.ElapsedSeconds();
+
+  // Launch the refills: each takes the oldest free clone, its own
+  // counter-derived RNG stream, and its own local clock, exactly like a
+  // lock-step slot. The physical evaluation happens eagerly — virtual time
+  // decides when the result is allowed to commit.
+  const double start_time = clock_.Now();
+  const bool boot_only = options_.objective == ObjectiveKind::kMemoryFootprint;
+  size_t first = in_flight_.size();
+  for (size_t slot = 0; slot < n; ++slot) {
+    InFlight flight;
+    flight.trial.config = std::move(batch[slot]);
+    flight.trial.skip_build = last_built_image_.has_value() &&
+                              SameImageParams(flight.trial.config, *last_built_image_);
+    flight.trial.rng_seed = HashCombine(HashCombine(options_.seed, 0xba7c4),
+                                        static_cast<uint64_t>(proposed_count_ + slot));
+    flight.sequence = proposed_count_ + slot;
+    flight.clone = free_clones_.front();
+    free_clones_.erase(free_clones_.begin());
+    in_flight_.push_back(std::move(flight));
+  }
+  proposed_count_ += n;
+  size_t ways = options_.eval_threads == 0 ? n : options_.eval_threads;
+  ParallelFor(&ThreadPool::Shared(), n, /*grain=*/1, ways, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      InFlight& flight = in_flight_[first + i];
+      Rng trial_rng(flight.trial.rng_seed);
+      SimClock local_clock;
+      flight.trial.outcome =
+          bench_clones_[flight.clone]->Evaluate(flight.trial.config, trial_rng,
+                                                &local_clock, flight.trial.skip_build,
+                                                boot_only);
+      flight.trial.sim_seconds = local_clock.Now();
+      flight.finish_time = start_time + flight.trial.sim_seconds;
+    }
+  });
+}
+
+size_t SearchSession::StepSlidingWave() {
+  RefillSlidingSlots();
+  if (in_flight_.empty()) {
+    return 0;
+  }
+  // The commit wave: every in-flight trial tying the earliest virtual finish
+  // time, in proposal order — the same order the lock-step merge's
+  // stable_sort produces when a whole round finishes simultaneously.
+  double earliest = in_flight_.front().finish_time;
+  for (const InFlight& flight : in_flight_) {
+    earliest = std::min(earliest, flight.finish_time);
+  }
+  std::vector<InFlight> wave;
+  for (size_t i = 0; i < in_flight_.size();) {
+    if (in_flight_[i].finish_time == earliest) {
+      wave.push_back(std::move(in_flight_[i]));
+      in_flight_.erase(in_flight_.begin() + i);
+    } else {
+      ++i;
+    }
+  }
+  std::stable_sort(wave.begin(), wave.end(), [](const InFlight& a, const InFlight& b) {
+    return a.sequence < b.sequence;
+  });
+  size_t n = wave.size();
+  for (InFlight& flight : wave) {
+    free_clones_.push_back(flight.clone);
+    CommitTrial(std::move(flight.trial), flight.finish_time);
+  }
+  clock_.Advance(earliest - clock_.Now());
+  if (options_.objective == ObjectiveKind::kScore) {
+    RefreshScores();
+  }
+
+  SearchContext context = MakeContext();
+  context.rng = &sliding_rng_;
+  WallTimer timer;
+  searcher_->ObserveBatch(Span<const TrialRecord>(history_.data() + history_.size() - n, n),
+                          context);
+  double per_trial_seconds =
+      (pending_propose_seconds_ + timer.ElapsedSeconds()) / static_cast<double>(n);
+  pending_propose_seconds_ = 0.0;
+  for (size_t i = history_.size() - n; i < history_.size(); ++i) {
+    history_[i].searcher_seconds = per_trial_seconds;
+  }
+  return n;
+}
+
 SessionResult SearchSession::Finish() {
   SessionResult result;
   result.history = history_;
@@ -300,9 +431,33 @@ void SearchSession::Resume(const std::vector<TrialRecord>& prior) {
   if (!history_.empty()) {
     clock_.Advance(history_.back().sim_time_end - clock_.Now());
   }
+  proposed_count_ = history_.size();
   if (options_.objective == ObjectiveKind::kScore) {
     RefreshScores();
   }
+}
+
+bool SearchSession::Resume(const std::vector<TrialRecord>& prior,
+                           const CheckpointLiveState& live) {
+  // Replay first: it runs against fresh RNG streams exactly like a plain
+  // resume (Observe must not consume the restored state), then the live
+  // positions overwrite the fresh ones.
+  Resume(prior);
+  if (!live.session_rng.empty() && !rng_.DeserializeState(live.session_rng)) {
+    return false;
+  }
+  if (!live.searcher_rng.empty() && !searcher_rng_.DeserializeState(live.searcher_rng)) {
+    return false;
+  }
+  return searcher_->RestoreState(live.searcher_state);
+}
+
+CheckpointLiveState SearchSession::ExportLiveState() const {
+  CheckpointLiveState live;
+  live.session_rng = rng_.SerializeState();
+  live.searcher_rng = searcher_rng_.SerializeState();
+  live.searcher_state = searcher_->ExportState();
+  return live;
 }
 
 SessionResult SearchSession::Run() {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/configspace/config_space.h"
+#include "src/platform/checkpoint.h"
 #include "src/platform/searcher.h"
 #include "src/platform/trial.h"
 #include "src/simos/testbench.h"
@@ -64,6 +65,16 @@ struct SessionOptions {
   // an execution knob: histories are bit-identical at any value, pinned by
   // test.
   size_t eval_threads = 0;
+  // Sliding-window executor (parallel_evaluations > 1 only): instead of
+  // lock-step K-wide rounds, commit the earliest virtual finisher(s) and
+  // refill just the freed slots, keeping K trials in flight at all times —
+  // higher utilization when trial durations vary widely. Trials that finish
+  // at exactly the same virtual time commit as one wave (ties by proposal
+  // order), so with equal-duration trials the schedule degenerates to
+  // lock-step rounds and the history is bit-identical to the default
+  // executor, pinned by test. Off by default: lock-step is the
+  // deterministic baseline the PR-4 pins were written against.
+  bool sliding_window = false;
   // §3.5 "more comprehensive benchmarks": an optional user check of the
   // deployment (e.g. run a test suite against the booted image). Returning
   // false demotes an otherwise-successful trial to a run crash, so the
@@ -107,6 +118,27 @@ class SearchSession {
   // Aborts if called after stepping.
   void Resume(const std::vector<TrialRecord>& prior);
 
+  // Resume plus checkpoint-v2 live state: after the replay, the session and
+  // searcher RNG streams and the searcher's opaque state are restored to
+  // the interrupted run's exact position, so the continuation is
+  // bit-identical to the uninterrupted run — including model-based
+  // searchers (the model retrains from the replay; the live state carries
+  // what replay cannot rebuild). Empty live fields are skipped (a v1
+  // checkpoint degrades to the plain Resume above). False when any present
+  // field fails to parse; the session is then unusable.
+  bool Resume(const std::vector<TrialRecord>& prior, const CheckpointLiveState& live);
+
+  // Snapshot of the live randomness for a v2 checkpoint. Meaningful only
+  // at a commit boundary — AtCommitBoundary() true — because a sliding
+  // session with trials in flight has consumed proposal entropy for trials
+  // the history does not (yet) contain; callers checkpoint such sessions
+  // without live state (replay-only resume, which is always safe).
+  CheckpointLiveState ExportLiveState() const;
+
+  // True when every proposed trial has committed: after Run(), between
+  // serial/lock-step steps, or between sliding waves with an empty window.
+  bool AtCommitBoundary() const { return in_flight_.empty(); }
+
   // Runs a single serial iteration; exposed for fine-grained tests and for
   // benches that interleave sessions. Returns false when the budget is
   // exhausted.
@@ -133,6 +165,14 @@ class SearchSession {
     uint64_t rng_seed = 0;
   };
 
+  // One trial in flight under the sliding-window executor.
+  struct InFlight {
+    PendingTrial trial;
+    double finish_time = 0.0;  // Absolute virtual time it completes.
+    size_t clone = 0;          // Testbench clone evaluating it.
+    uint64_t sequence = 0;     // Proposal order; breaks finish-time ties.
+  };
+
   double ComputeObjective(const TrialOutcome& outcome) const;
   // Recomputes min-max normalized scores over the successful history
   // (ObjectiveKind::kScore shifts as observations accumulate).
@@ -146,6 +186,14 @@ class SearchSession {
   // objective, history append. Shared by the serial and batch paths.
   void CommitTrial(PendingTrial&& pending, double end_time);
   void EnsureBenchClones(size_t n);
+  // Sliding-window executor: one commit wave (simultaneous finishers) plus
+  // the refill that precedes it. Returns trials committed, 0 when drained.
+  size_t StepSlidingWave();
+  // Proposes and launches trials for every free slot, respecting the
+  // iteration/time budget. Proposal entropy is keyed on proposed_count_ so
+  // that with equal-duration trials the streams line up with the lock-step
+  // executor's exactly.
+  void RefillSlidingSlots();
 
   Testbench* bench_;
   Searcher* searcher_;
@@ -163,6 +211,19 @@ class SearchSession {
   // into any model-internal state).
   std::vector<std::unique_ptr<Testbench>> bench_clones_;
   std::vector<PendingTrial> pending_;  // Batch scratch, reused per round.
+  // Sliding-window state: trials in flight, the clone indices free to host a
+  // refill (FIFO, so the equal-duration schedule reuses clones exactly like
+  // lock-step), proposals launched so far, and the wall-clock proposal cost
+  // accrued since the last commit wave.
+  std::vector<InFlight> in_flight_;
+  std::vector<size_t> free_clones_;
+  size_t proposed_count_ = 0;
+  double pending_propose_seconds_ = 0.0;
+  // The sliding executor's proposal entropy stream: re-seeded at each refill
+  // from (seed, proposed_count_) and left live for the following commit
+  // wave's ObserveBatch — mirroring how a lock-step round's single RNG
+  // carries from its proposals into its observation.
+  Rng sliding_rng_{0};
   size_t crashes_ = 0;
   size_t builds_ = 0;
   size_t builds_skipped_ = 0;
@@ -170,6 +231,18 @@ class SearchSession {
 
 // Convenience wrapper: construct, run, return.
 SessionResult RunSearch(Testbench* bench, Searcher* searcher, const SessionOptions& options);
+
+// Objective of one outcome under `objective` for application `app` — the
+// definition SearchSession applies to its own trials (NaN for crashed
+// trials; kScore yields the 0.0 placeholder RefreshScoreObjectives then
+// overwrites). Exposed so the wfd service can re-derive objectives when
+// warm-starting a searcher from trials recorded under a different job's
+// objective definition.
+double TrialObjective(const TrialOutcome& outcome, ObjectiveKind objective, AppId app);
+
+// Recomputes Eq. 4 score objectives in place: min-max normalized
+// throughput minus normalized memory over the successful records.
+void RefreshScoreObjectives(std::vector<TrialRecord>* history);
 
 // --- Series extraction for the evolution figures ---------------------------
 

@@ -1,0 +1,74 @@
+#include "src/service/client.h"
+
+#include "src/util/socket.h"
+
+namespace wayfinder {
+
+ServiceCallResult CallService(const std::string& socket_path, const ServiceRequest& request,
+                              const std::string& job_text) {
+  ServiceCallResult result;
+  UnixConn conn = ConnectUnix(socket_path);
+  if (!conn.ok()) {
+    result.error = "cannot connect to " + socket_path + " (is wfd running?)";
+    return result;
+  }
+  if (!WriteFrame(conn.fd(), EncodeRequest(request))) {
+    result.error = "connection lost while sending request";
+    return result;
+  }
+  if (request.command == "submit" && !WriteFrame(conn.fd(), job_text)) {
+    result.error = "connection lost while sending job file";
+    return result;
+  }
+  std::string text;
+  FrameStatus frame = ReadFrame(conn.fd(), &text);
+  if (frame != FrameStatus::kOk) {
+    result.error = std::string("no response from daemon (") + FrameStatusName(frame) + ")";
+    return result;
+  }
+  if (!DecodeResponse(text, &result.response, &result.error)) {
+    return result;
+  }
+  if (result.response.has_payload) {
+    frame = ReadFrame(conn.fd(), &result.payload);
+    if (frame != FrameStatus::kOk) {
+      result.error = std::string("payload frame lost (") + FrameStatusName(frame) + ")";
+      return result;
+    }
+  }
+  result.ok = result.response.ok;
+  if (!result.ok && result.error.empty()) {
+    result.error = result.response.error;
+  }
+  return result;
+}
+
+ServiceCallResult SubmitJob(const std::string& socket_path, const std::string& job_text,
+                            bool warm_start) {
+  ServiceRequest request;
+  request.command = "submit";
+  request.warm_start = warm_start;
+  return CallService(socket_path, request, job_text);
+}
+
+ServiceCallResult QueryStatus(const std::string& socket_path, const std::string& id) {
+  ServiceRequest request;
+  request.command = "status";
+  request.id = id;
+  return CallService(socket_path, request);
+}
+
+ServiceCallResult FetchResult(const std::string& socket_path, const std::string& id) {
+  ServiceRequest request;
+  request.command = "result";
+  request.id = id;
+  return CallService(socket_path, request);
+}
+
+ServiceCallResult StopDaemon(const std::string& socket_path) {
+  ServiceRequest request;
+  request.command = "stop";
+  return CallService(socket_path, request);
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,36 @@
+// Client side of the wfd wire protocol — one call per daemon round trip,
+// shared by the wfctl subcommands and the service tests (so both exercise
+// the exact bytes a real deployment would).
+#ifndef WAYFINDER_SRC_SERVICE_CLIENT_H_
+#define WAYFINDER_SRC_SERVICE_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/service/protocol.h"
+
+namespace wayfinder {
+
+struct ServiceCallResult {
+  bool ok = false;           // Transport + protocol + daemon all said yes.
+  std::string error;         // Transport/decode failure or the daemon's error.
+  ServiceResponse response;  // Decoded header (valid when the decode worked).
+  std::string payload;       // The extra frame of an ok `result`.
+};
+
+// Connects to `socket_path`, sends `request` (plus `job_text` as the
+// follow-up frame when the command is submit), reads the response (plus the
+// payload frame when the response announces one), disconnects.
+ServiceCallResult CallService(const std::string& socket_path, const ServiceRequest& request,
+                              const std::string& job_text = "");
+
+// Convenience wrappers.
+ServiceCallResult SubmitJob(const std::string& socket_path, const std::string& job_text,
+                            bool warm_start = true);
+ServiceCallResult QueryStatus(const std::string& socket_path, const std::string& id = "");
+ServiceCallResult FetchResult(const std::string& socket_path, const std::string& id);
+ServiceCallResult StopDaemon(const std::string& socket_path);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_SERVICE_CLIENT_H_

@@ -1,0 +1,173 @@
+#include "src/service/protocol.h"
+
+#include <cstdio>
+
+namespace wayfinder {
+
+namespace {
+
+// Scalar-quoting for our YAML subset: values that could confuse the parser
+// (colons, leading dashes, '#') ride inside double quotes; embedded double
+// quotes are dropped (nothing in the protocol legitimately carries them).
+std::string Quote(const std::string& text) {
+  std::string cleaned;
+  cleaned.reserve(text.size());
+  for (char c : text) {
+    if (c != '"' && c != '\n' && c != '\r') {
+      cleaned.push_back(c);
+    }
+  }
+  return "\"" + cleaned + "\"";
+}
+
+std::string FormatDouble(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void AppendStatus(std::string* out, const SessionStatus& status, const char* indent) {
+  *out += indent;
+  *out += "- id: " + Quote(status.id) + "\n";
+  std::string field_indent = std::string(indent) + "  ";
+  *out += field_indent + "name: " + Quote(status.name) + "\n";
+  *out += field_indent + "algorithm: " + Quote(status.algorithm) + "\n";
+  *out += field_indent + "state: " + Quote(status.state) + "\n";
+  *out += field_indent + "trials: " + std::to_string(status.trials) + "\n";
+  *out += field_indent + "iterations: " + std::to_string(status.iterations) + "\n";
+  if (status.has_best) {
+    *out += field_indent + "best: " + FormatDouble(status.best) + "\n";
+  }
+  *out += field_indent + "sim_seconds: " + FormatDouble(status.sim_seconds) + "\n";
+  *out += field_indent + "warm_started: " + std::to_string(status.warm_started) + "\n";
+  if (!status.store_key.empty()) {
+    *out += field_indent + "store_key: " + Quote(status.store_key) + "\n";
+  }
+  if (!status.error.empty()) {
+    *out += field_indent + "error: " + Quote(status.error) + "\n";
+  }
+}
+
+}  // namespace
+
+bool KnownServiceCommand(const std::string& command) {
+  return command == "submit" || command == "status" || command == "result" ||
+         command == "pause" || command == "resume" || command == "stop" ||
+         command == "ping";
+}
+
+bool CommandNeedsId(const std::string& command) {
+  return command == "result" || command == "pause" || command == "resume";
+}
+
+std::string EncodeRequest(const ServiceRequest& request) {
+  std::string out = "command: " + Quote(request.command) + "\n";
+  if (!request.id.empty()) {
+    out += "id: " + Quote(request.id) + "\n";
+  }
+  if (!request.warm_start) {
+    out += "warm_start: false\n";
+  }
+  return out;
+}
+
+bool DecodeRequest(const std::string& text, ServiceRequest* request, std::string* error) {
+  YamlParseResult parsed = ParseYaml(text);
+  if (!parsed.ok) {
+    *error = "request is not valid YAML: " + parsed.error;
+    return false;
+  }
+  if (!parsed.root.IsMapping()) {
+    *error = "request must be a YAML mapping";
+    return false;
+  }
+  request->command = parsed.root.GetString("command");
+  request->id = parsed.root.GetString("id");
+  request->warm_start = parsed.root.GetBool("warm_start", true);
+  if (request->command.empty()) {
+    *error = "request has no command";
+    return false;
+  }
+  if (!KnownServiceCommand(request->command)) {
+    *error = "unknown command: " + request->command;
+    return false;
+  }
+  if (CommandNeedsId(request->command) && request->id.empty()) {
+    *error = request->command + " requires an id";
+    return false;
+  }
+  return true;
+}
+
+std::string EncodeResponse(const ServiceResponse& response) {
+  std::string out = std::string("status: ") + (response.ok ? "ok" : "error") + "\n";
+  if (!response.error.empty()) {
+    out += "error: " + Quote(response.error) + "\n";
+  }
+  if (!response.id.empty()) {
+    out += "id: " + Quote(response.id) + "\n";
+  }
+  if (!response.state.empty()) {
+    out += "state: " + Quote(response.state) + "\n";
+  }
+  if (response.has_payload) {
+    out += "payload: true\n";
+  }
+  if (!response.sessions.empty()) {
+    out += "sessions:\n";
+    for (const SessionStatus& status : response.sessions) {
+      AppendStatus(&out, status, "  ");
+    }
+  }
+  return out;
+}
+
+bool DecodeResponse(const std::string& text, ServiceResponse* response,
+                    std::string* error) {
+  YamlParseResult parsed = ParseYaml(text);
+  if (!parsed.ok) {
+    *error = "response is not valid YAML: " + parsed.error;
+    return false;
+  }
+  if (!parsed.root.IsMapping()) {
+    *error = "response must be a YAML mapping";
+    return false;
+  }
+  std::string status = parsed.root.GetString("status");
+  if (status != "ok" && status != "error") {
+    *error = "response has no status";
+    return false;
+  }
+  response->ok = status == "ok";
+  response->error = parsed.root.GetString("error");
+  response->id = parsed.root.GetString("id");
+  response->state = parsed.root.GetString("state");
+  response->has_payload = parsed.root.GetBool("payload", false);
+  response->sessions.clear();
+  if (const YamlNode* sessions = parsed.root.Get("sessions"); sessions != nullptr) {
+    if (!sessions->IsSequence()) {
+      *error = "sessions must be a sequence";
+      return false;
+    }
+    for (size_t i = 0; i < sessions->Size(); ++i) {
+      const YamlNode& node = sessions->At(i);
+      SessionStatus entry;
+      entry.id = node.GetString("id");
+      entry.name = node.GetString("name");
+      entry.algorithm = node.GetString("algorithm");
+      entry.state = node.GetString("state");
+      entry.trials = static_cast<size_t>(node.GetInt("trials", 0));
+      entry.iterations = static_cast<size_t>(node.GetInt("iterations", 0));
+      entry.has_best = node.Has("best");
+      entry.best = node.GetDouble("best", 0.0);
+      entry.sim_seconds = node.GetDouble("sim_seconds", 0.0);
+      entry.warm_started = static_cast<size_t>(node.GetInt("warm_started", 0));
+      entry.store_key = node.GetString("store_key");
+      entry.error = node.GetString("error");
+      response->sessions.push_back(std::move(entry));
+    }
+  }
+  return true;
+}
+
+}  // namespace wayfinder

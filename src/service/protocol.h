@@ -1,0 +1,85 @@
+// The wfd wire protocol: small YAML documents in length-prefixed frames
+// over a Unix-domain socket (framing in src/util/socket.h).
+//
+// Every request is one YAML mapping frame:
+//
+//   command: submit | status | result | pause | resume | stop | ping
+//   id: s3              # the session, for status/result/pause/resume
+//   warm_start: false   # submit only (default true)
+//
+// `submit` is followed by ONE extra frame carrying the job file text
+// verbatim — existing `wfctl start` job YAML works unchanged, comments and
+// all, because the daemon hands it straight to ParseJobText.
+//
+// Every response is one YAML mapping frame with at least
+//
+//   status: ok | error
+//   error: <message>    # when status: error
+//
+// plus command-specific fields (session id, lifecycle state, trial counts,
+// a `sessions:` list for the fleet-wide status). An ok `result` response is
+// followed by ONE extra frame carrying the session's checkpoint text
+// (src/platform/checkpoint.h), which `wfctl result` writes to disk for
+// report/render/start --resume.
+//
+// The codec never trusts the peer: unknown commands, non-YAML payloads,
+// and missing fields decode into errors the daemon answers (or drops the
+// connection on), never crashes.
+#ifndef WAYFINDER_SRC_SERVICE_PROTOCOL_H_
+#define WAYFINDER_SRC_SERVICE_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/yaml.h"
+
+namespace wayfinder {
+
+struct ServiceRequest {
+  std::string command;
+  std::string id;          // Target session for per-session commands.
+  bool warm_start = true;  // submit: seed the searcher from the TrialStore.
+};
+
+// One session's externally visible state.
+struct SessionStatus {
+  std::string id;
+  std::string name;       // Job name.
+  std::string algorithm;
+  std::string state;      // submitted | running | paused | done | failed
+  size_t trials = 0;      // Committed so far.
+  size_t iterations = 0;  // Budget.
+  bool has_best = false;
+  double best = 0.0;
+  double sim_seconds = 0.0;
+  size_t warm_started = 0;  // Prior trials observed from the TrialStore.
+  std::string store_key;
+  std::string error;
+};
+
+struct ServiceResponse {
+  bool ok = false;
+  std::string error;
+  std::string id;       // submit: the new session's id.
+  std::string state;    // stop/pause/resume acknowledgements reuse this.
+  std::vector<SessionStatus> sessions;  // status: one entry (or the fleet).
+  bool has_payload = false;  // result: a checkpoint-text frame follows.
+};
+
+// True for commands the protocol knows (the daemon rejects the rest).
+bool KnownServiceCommand(const std::string& command);
+
+std::string EncodeRequest(const ServiceRequest& request);
+// False (with *error) on non-YAML input, a missing/unknown command, or a
+// per-session command without an id.
+bool DecodeRequest(const std::string& text, ServiceRequest* request, std::string* error);
+
+std::string EncodeResponse(const ServiceResponse& response);
+bool DecodeResponse(const std::string& text, ServiceResponse* response, std::string* error);
+
+// Commands that require an `id` field.
+bool CommandNeedsId(const std::string& command);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_SERVICE_PROTOCOL_H_

@@ -1,0 +1,396 @@
+#include "src/service/session_manager.h"
+
+#include <chrono>
+#include <filesystem>
+
+#include "src/platform/checkpoint.h"
+
+namespace wayfinder {
+
+SessionManager::SessionManager(const SessionManagerOptions& options) : options_(options) {
+  if (!options_.store_dir.empty()) {
+    store_ = std::make_unique<TrialStore>(options_.store_dir);
+  }
+}
+
+SessionManager::~SessionManager() { Shutdown(); }
+
+const char* SessionManager::StateName(State state) {
+  switch (state) {
+    case State::kSubmitted:
+      return "submitted";
+    case State::kRunning:
+      return "running";
+    case State::kPaused:
+      return "paused";
+    case State::kDone:
+      return "done";
+    case State::kFailed:
+      return "failed";
+    case State::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
+
+bool SessionManager::Submit(const std::string& job_text, bool warm_start, std::string* id,
+                            std::string* error) {
+  JobParseResult parsed = ParseJobText(job_text);
+  if (!parsed.ok) {
+    *error = parsed.error;
+    return false;
+  }
+
+  auto managed = std::make_unique<Managed>();
+  managed->spec = parsed.spec;
+  managed->space = std::make_shared<ConfigSpace>(BuildJobSpace(parsed.spec));
+  managed->searcher = MakeJobSearcher(parsed.spec, managed->space.get(), error);
+  if (managed->searcher == nullptr) {
+    return false;
+  }
+  // Bench seeding matches RunJob / `wfctl start` exactly: a session run
+  // under the daemon is the same deterministic experiment.
+  TestbenchOptions bench_options;
+  bench_options.substrate = parsed.spec.SubstrateKind();
+  bench_options.seed = HashCombine(parsed.spec.seed, StableHash(parsed.spec.name));
+  managed->bench =
+      std::make_unique<Testbench>(managed->space.get(), parsed.spec.app, bench_options);
+  managed->store_key = TrialStoreKey(*managed->space, parsed.spec.app);
+
+  // Warm start: the store's prior trials for this (space, app) key will be
+  // fed through the ordinary ObserveBatch path before the session's first
+  // proposal, so the searcher begins where every earlier session left off.
+  // The session's own history stays empty — prior knowledge shapes
+  // proposals, not the trial log. An empty store is a strict no-op, which
+  // is what keeps first submissions bit-identical to standalone runs.
+  // Stored objectives were computed under whatever objective *their*
+  // session optimized; re-derive them under this job's definition from the
+  // raw outcomes so (e.g.) a memory job's trials cannot mistrain a
+  // throughput job's model.
+  if (warm_start && store_ != nullptr) {
+    TrialStore::LoadResult prior = store_->Load(managed->store_key, *managed->space);
+    if (!prior.ok) {
+      *error = "trial store: " + prior.error;
+      return false;
+    }
+    if (!prior.trials.empty()) {
+      for (TrialRecord& trial : prior.trials) {
+        trial.objective = TrialObjective(trial.outcome, parsed.spec.objective,
+                                         parsed.spec.app);
+      }
+      if (parsed.spec.objective == ObjectiveKind::kScore) {
+        RefreshScoreObjectives(&prior.trials);
+      }
+      managed->warm_started = prior.trials.size();
+      managed->warm_prior = std::move(prior.trials);
+    }
+  }
+
+  managed->session = std::make_unique<SearchSession>(
+      managed->bench.get(), managed->searcher.get(), parsed.spec.ToSessionOptions());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) {
+    *error = "service is shutting down";
+    return false;
+  }
+  managed->id = "s" + std::to_string(next_id_++);
+  *id = managed->id;
+  sessions_.push_back(std::move(managed));
+  FillRunningSlots();
+  return true;
+}
+
+SessionManager::Managed* SessionManager::FindLocked(const std::string& id) {
+  for (auto& managed : sessions_) {
+    if (managed->id == id) {
+      return managed.get();
+    }
+  }
+  return nullptr;
+}
+
+const SessionManager::Managed* SessionManager::FindLocked(const std::string& id) const {
+  for (const auto& managed : sessions_) {
+    if (managed->id == id) {
+      return managed.get();
+    }
+  }
+  return nullptr;
+}
+
+void SessionManager::FillRunningSlots() {
+  for (auto& managed : sessions_) {
+    if (running_ >= options_.max_running) {
+      return;
+    }
+    if (managed->state == State::kSubmitted) {
+      managed->state = State::kRunning;
+      ++running_;
+      managed->driver = std::thread(&SessionManager::Drive, this, managed.get());
+    }
+  }
+}
+
+void SessionManager::PersistNewTrials(Managed* managed) {
+  const std::vector<TrialRecord>& history = managed->session->history();
+  if (managed->spec.objective == ObjectiveKind::kScore) {
+    // Score sessions re-normalize PAST objectives after every wave
+    // (RefreshScores), so the mirror and the best are rebuilt wholesale,
+    // and store appends wait until the run ends and objectives are final
+    // (see the Drive epilogue).
+    managed->committed.assign(history.begin(), history.end());
+    managed->has_best = false;
+    for (const TrialRecord& trial : history) {
+      if (trial.HasObjective() &&
+          (!managed->has_best || trial.objective > managed->best)) {
+        managed->has_best = true;
+        managed->best = trial.objective;
+      }
+    }
+  } else {
+    for (size_t i = managed->persisted; i < history.size(); ++i) {
+      if (store_ != nullptr) {
+        store_->Append(managed->store_key, history[i]);
+      }
+      managed->committed.push_back(history[i]);
+      if (history[i].HasObjective() &&
+          (!managed->has_best || history[i].objective > managed->best)) {
+        managed->has_best = true;
+        managed->best = history[i].objective;
+      }
+    }
+    if (store_ != nullptr) {
+      store_->Flush();  // Library buffers to the OS at every wave boundary.
+    }
+  }
+  managed->persisted = history.size();
+  managed->trials = history.size();
+  if (!history.empty()) {
+    managed->sim_seconds = history.back().sim_time_end;
+  }
+}
+
+void SessionManager::Drive(Managed* managed) {
+  // The deferred warm-start observation: model retraining over the stored
+  // history happens here, on the driver thread, never on the accept thread
+  // (no lock needed — the driver owns the searcher until it finishes).
+  if (!managed->warm_prior.empty()) {
+    SearchContext context;
+    context.space = managed->space.get();
+    context.history = &managed->warm_prior;
+    context.sample_options = managed->spec.SamplingBias();
+    Rng warm_rng(HashCombine(managed->spec.seed, StableHash("wfd-warm-start")));
+    context.rng = &warm_rng;
+    managed->searcher->ObserveBatch(
+        Span<const TrialRecord>(managed->warm_prior.data(), managed->warm_prior.size()),
+        context);
+    managed->warm_prior.clear();
+    managed->warm_prior.shrink_to_fit();
+  }
+  bool done = false;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (managed->pause_requested && !shutdown_) {
+        managed->state = State::kPaused;
+        state_changed_.notify_all();
+        state_changed_.wait(lock);
+      }
+      if (shutdown_) {
+        break;
+      }
+      managed->state = State::kRunning;
+    }
+    // The step runs unlocked: it is the long pole (proposals, concurrent
+    // evaluations on the shared pool) and other sessions/requests must not
+    // wait on it. The manager only ever observes the session between steps.
+    size_t committed = 0;
+    try {
+      committed = managed->session->StepBatch();
+    } catch (const std::exception& e) {
+      // A daemon must outlive any one session: the failure is recorded
+      // (state `failed`, error in status) instead of unwinding the driver.
+      std::lock_guard<std::mutex> lock(mutex_);
+      managed->error = std::string("session step failed: ") + e.what();
+      managed->failed = true;
+      break;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    PersistNewTrials(managed);
+    if (committed == 0) {
+      done = true;
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  managed->state = managed->failed ? State::kFailed : (done ? State::kDone : State::kStopped);
+  // Score sessions persist here, once objectives stopped moving (a drain
+  // reaches this epilogue too, so the fsync barrier still covers them).
+  if (managed->spec.objective == ObjectiveKind::kScore && store_ != nullptr) {
+    for (const TrialRecord& trial : managed->committed) {
+      store_->Append(managed->store_key, trial);
+    }
+    store_->Flush();
+  }
+  --running_;
+  if (!shutdown_) {
+    FillRunningSlots();
+  }
+  state_changed_.notify_all();
+}
+
+bool SessionManager::Pause(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Managed* managed = FindLocked(id);
+  if (managed == nullptr || managed->state == State::kDone ||
+      managed->state == State::kFailed || managed->state == State::kStopped) {
+    return false;
+  }
+  managed->pause_requested = true;
+  return true;
+}
+
+bool SessionManager::Resume(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Managed* managed = FindLocked(id);
+  // Mirror Pause: acknowledging `resume` on a finished session would tell
+  // the caller a dead session is running again.
+  if (managed == nullptr || managed->state == State::kDone ||
+      managed->state == State::kFailed || managed->state == State::kStopped) {
+    return false;
+  }
+  managed->pause_requested = false;
+  state_changed_.notify_all();
+  return true;
+}
+
+SessionStatus SessionManager::Snapshot(const Managed& managed) const {
+  SessionStatus status;
+  status.id = managed.id;
+  status.name = managed.spec.name;
+  status.algorithm = managed.spec.algorithm;
+  status.state = StateName(managed.state);
+  status.trials = managed.trials;
+  status.iterations = managed.spec.iterations;
+  status.has_best = managed.has_best;
+  status.best = managed.best;
+  status.sim_seconds = managed.sim_seconds;
+  status.warm_started = managed.warm_started;
+  status.store_key = managed.store_key;
+  status.error = managed.error;
+  return status;
+}
+
+bool SessionManager::Status(const std::string& id, SessionStatus* status) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Managed* managed = FindLocked(id);
+  if (managed == nullptr) {
+    return false;
+  }
+  *status = Snapshot(*managed);
+  return true;
+}
+
+std::vector<SessionStatus> SessionManager::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SessionStatus> statuses;
+  statuses.reserve(sessions_.size());
+  for (const auto& managed : sessions_) {
+    statuses.push_back(Snapshot(*managed));
+  }
+  return statuses;
+}
+
+bool SessionManager::Result(const std::string& id, std::string* checkpoint_text,
+                            std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Managed* managed = FindLocked(id);
+  if (managed == nullptr) {
+    *error = "unknown session: " + id;
+    return false;
+  }
+  // `committed` mirrors the history at the last wave boundary, so reading
+  // it here never races the driver's in-flight StepBatch. Live state is
+  // only captured when the driver is idle AND the session sits at a clean
+  // commit boundary (a drained sliding window may hold in-flight proposals
+  // the history omits — such checkpoints resume replay-only).
+  bool idle = managed->state == State::kDone || managed->state == State::kPaused ||
+              managed->state == State::kStopped || managed->state == State::kSubmitted;
+  if (idle && managed->session != nullptr && managed->session->AtCommitBoundary()) {
+    CheckpointLiveState live = managed->session->ExportLiveState();
+    *checkpoint_text = CheckpointToText(managed->committed, &live);
+  } else {
+    *checkpoint_text = CheckpointToText(managed->committed);
+  }
+  return true;
+}
+
+bool SessionManager::WaitDone(const std::string& id, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const Managed* managed = FindLocked(id);
+    if (managed == nullptr) {
+      return false;
+    }
+    if (managed->state == State::kDone || managed->state == State::kFailed ||
+        managed->state == State::kStopped) {
+      return true;
+    }
+    if (timeout_ms > 0) {
+      if (state_changed_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        const Managed* final_check = FindLocked(id);
+        return final_check != nullptr &&
+               (final_check->state == State::kDone ||
+                final_check->state == State::kFailed ||
+                final_check->state == State::kStopped);
+      }
+    } else {
+      state_changed_.wait(lock);
+    }
+  }
+}
+
+void SessionManager::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+    state_changed_.notify_all();
+  }
+  for (auto& managed : sessions_) {
+    if (managed->driver.joinable()) {
+      managed->driver.join();
+    }
+  }
+  // Drivers are gone: sessions are at wave boundaries, safe to checkpoint.
+  if (!options_.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.checkpoint_dir, ec);
+    for (auto& managed : sessions_) {
+      if (managed->session == nullptr || managed->committed.empty()) {
+        continue;
+      }
+      std::string path = options_.checkpoint_dir + "/" + managed->id + ".ckpt";
+      if (managed->session->AtCommitBoundary()) {
+        CheckpointLiveState live = managed->session->ExportLiveState();
+        SaveCheckpoint(managed->committed, path, &live);
+      } else {
+        // Drained sliding window with trials still in flight: the history
+        // omits their proposals, so live state would lie. Replay-only.
+        SaveCheckpoint(managed->committed, path);
+      }
+    }
+  }
+  // The durability barrier: every committed trial reaches the disk before
+  // Shutdown returns (pinned by the kill-and-reopen test).
+  if (store_ != nullptr) {
+    store_->FsyncClose();
+  }
+}
+
+}  // namespace wayfinder

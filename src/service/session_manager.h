@@ -1,0 +1,147 @@
+// The multi-session tuning service core: owns N concurrent SearchSessions,
+// multiplexed onto the shared ThreadPool (each session's
+// parallel_evaluations is honored per session — its evaluation rounds fan
+// out on the same pool every other session uses), with the
+// submitted → running → paused → done lifecycle and a graceful drain on
+// shutdown.
+//
+// Deliberately a thin, testable shell over the deterministic session core:
+// the manager never reaches into a session between StepBatch boundaries, so
+// a session run under the daemon commits the exact trial sequence the same
+// job produces under `wfctl start` with the same seeds (pinned by
+// service_test). The wire protocol (src/service/protocol.h) and the daemon
+// loop (src/service/wfd.h) sit on top of this class; so do the tests,
+// which drive it directly.
+//
+// Persistence: every committed trial is appended (hash-deduped) to the
+// TrialStore under the job's (space, app) key as soon as its wave commits,
+// and a submission may warm-start its searcher from the key's prior trials
+// through the ordinary ObserveBatch path — results outlive any one session
+// and any one daemon process. Shutdown() stops every session at its next
+// wave boundary, writes a v2 checkpoint per session (resumable via `wfctl
+// start --resume`), and fsync+closes every store file before returning.
+#ifndef WAYFINDER_SRC_SERVICE_SESSION_MANAGER_H_
+#define WAYFINDER_SRC_SERVICE_SESSION_MANAGER_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/wayfinder_api.h"
+#include "src/service/protocol.h"
+#include "src/service/trial_store.h"
+
+namespace wayfinder {
+
+struct SessionManagerOptions {
+  // TrialStore directory; empty disables cross-session persistence.
+  std::string store_dir;
+  // Where Shutdown() writes per-session checkpoints (<id>.ckpt); empty
+  // disables them.
+  std::string checkpoint_dir;
+  // Sessions running concurrently; later submissions queue as `submitted`
+  // until a slot frees.
+  size_t max_running = 4;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(const SessionManagerOptions& options);
+  ~SessionManager();  // Shutdown() if the owner did not.
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // Parses and enqueues one job. On success returns true and sets *id; on a
+  // bad job file returns false with *error. `warm_start` observes the
+  // store's prior trials for the job's (space, app) key into the searcher
+  // before the first proposal.
+  bool Submit(const std::string& job_text, bool warm_start, std::string* id,
+              std::string* error);
+
+  // Lifecycle controls; false when `id` is unknown (or the transition is
+  // meaningless, e.g. pausing a finished session).
+  bool Pause(const std::string& id);
+  bool Resume(const std::string& id);
+
+  // Snapshot of one session / every session (submission order).
+  bool Status(const std::string& id, SessionStatus* status) const;
+  std::vector<SessionStatus> List() const;
+
+  // The session's history so far as checkpoint text (v2, with live state
+  // once the session finished). Usable mid-run: the snapshot is taken at a
+  // wave boundary.
+  bool Result(const std::string& id, std::string* checkpoint_text, std::string* error);
+
+  // Blocks until the session leaves the running set (done/failed), up to
+  // `timeout_ms` (0 = forever). False on timeout or unknown id.
+  bool WaitDone(const std::string& id, int timeout_ms);
+
+  // Graceful drain: every session stops at its next StepBatch boundary,
+  // driver threads join, checkpoints are written, and every TrialStore
+  // file is fsync'd and closed. Idempotent.
+  void Shutdown();
+
+  TrialStore* store() { return store_.get(); }
+
+ private:
+  enum class State { kSubmitted, kRunning, kPaused, kDone, kFailed, kStopped };
+
+  struct Managed {
+    std::string id;
+    JobSpec spec;
+    std::shared_ptr<ConfigSpace> space;
+    std::unique_ptr<Testbench> bench;
+    std::unique_ptr<Searcher> searcher;
+    std::unique_ptr<SearchSession> session;
+    std::string store_key;
+    size_t warm_started = 0;
+    // Stored trials awaiting warm-start observation; objectives already
+    // re-derived under THIS job's objective definition. Consumed by the
+    // driver thread before its first step (retraining a model over a long
+    // history is long-pole work the accept thread must not carry).
+    std::vector<TrialRecord> warm_prior;
+    State state = State::kSubmitted;
+    std::string error;
+    bool failed = false;  // A StepBatch threw; error holds the what().
+    std::thread driver;
+    bool pause_requested = false;
+    size_t persisted = 0;  // History prefix already appended to the store.
+    // Mirror of the session history, copied at wave boundaries under
+    // mutex_: Result/Status read this, never the live session, so they
+    // cannot race a driver mid-StepBatch.
+    std::vector<TrialRecord> committed;
+    // Status snapshot fields, refreshed at wave boundaries under mutex_.
+    size_t trials = 0;
+    bool has_best = false;
+    double best = 0.0;
+    double sim_seconds = 0.0;
+  };
+
+  static const char* StateName(State state);
+  SessionStatus Snapshot(const Managed& managed) const;
+  // Caller holds mutex_. Starts queued sessions while slots are free.
+  void FillRunningSlots();
+  void Drive(Managed* managed);
+  Managed* FindLocked(const std::string& id);
+  const Managed* FindLocked(const std::string& id) const;
+  // Appends history[persisted..) to the store. Caller holds mutex_.
+  void PersistNewTrials(Managed* managed);
+
+  SessionManagerOptions options_;
+  std::unique_ptr<TrialStore> store_;
+  mutable std::mutex mutex_;
+  std::condition_variable state_changed_;
+  bool shutdown_ = false;
+  size_t running_ = 0;
+  size_t next_id_ = 1;
+  // Stable addresses: driver threads hold Managed* across their lifetime.
+  std::vector<std::unique_ptr<Managed>> sessions_;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_SERVICE_SESSION_MANAGER_H_

@@ -1,0 +1,320 @@
+#include "src/service/trial_store.h"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/rng.h"
+
+namespace wayfinder {
+
+uint64_t SpaceFingerprint(const ConfigSpace& space) {
+  uint64_t hash = StableHash("wayfinder-space");
+  for (size_t i = 0; i < space.Size(); ++i) {
+    const ParamSpec& param = space.Param(i);
+    hash = HashCombine(hash, StableHash(param.name));
+    hash = HashCombine(hash, static_cast<uint64_t>(param.kind));
+    hash = HashCombine(hash, static_cast<uint64_t>(param.phase));
+    hash = HashCombine(hash, static_cast<uint64_t>(param.min_value));
+    hash = HashCombine(hash, static_cast<uint64_t>(param.max_value));
+    hash = HashCombine(hash, static_cast<uint64_t>(param.default_value));
+    // Domain *contents*, not just sizes: a kString raw value is an index
+    // into `choices` and a quantized kInt indexes into `value_set`, so two
+    // spaces whose lists differ must never share a store file.
+    for (const std::string& choice : param.choices) {
+      hash = HashCombine(hash, StableHash(choice));
+    }
+    for (int64_t value : param.value_set) {
+      hash = HashCombine(hash, static_cast<uint64_t>(value));
+    }
+  }
+  return hash;
+}
+
+std::string TrialStoreKey(const ConfigSpace& space, AppId app) {
+  char fingerprint[24];
+  std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
+                static_cast<unsigned long long>(SpaceFingerprint(space)));
+  return GetApp(app).name + "-" + fingerprint;
+}
+
+TrialStore::TrialStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // Best effort; Open reports.
+}
+
+TrialStore::~TrialStore() { FsyncClose(); }
+
+namespace {
+
+// Parses one stored record (a trial line + a values line) — the single
+// definition of what a valid record is, shared by Open()'s recovery scan
+// and Load() so the two can never disagree. Fills outcome fields and the
+// raw values (all of them; the caller checks the count). False = the pair
+// is structurally invalid, i.e. a torn tail.
+bool ParseStoredTrial(const std::string& trial_line, const std::string& values_line,
+                      TrialRecord* trial, std::vector<int64_t>* values) {
+  std::istringstream trial_in(trial_line);
+  std::string keyword;
+  std::string status_name;
+  std::string objective_text;  // iostreams do not parse "nan"; strtod does.
+  int skipped = 0;
+  trial_in >> keyword >> status_name >> trial->outcome.metric >>
+      trial->outcome.memory_mb >> trial->outcome.build_seconds >>
+      trial->outcome.boot_seconds >> trial->outcome.run_seconds >> skipped >>
+      objective_text >> trial->sim_time_end;
+  if (keyword != "trial" || !trial_in ||
+      !TrialStatusFromName(status_name, &trial->outcome.status)) {
+    return false;
+  }
+  const char* begin = objective_text.c_str();
+  char* end = nullptr;
+  trial->objective = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') {
+    return false;
+  }
+  trial->outcome.build_skipped = skipped != 0;
+
+  std::istringstream values_in(values_line);
+  values_in >> keyword;
+  if (keyword != "values") {
+    return false;
+  }
+  values->clear();
+  int64_t v = 0;
+  while (values_in >> v) {
+    values->push_back(v);
+  }
+  return !values->empty();
+}
+
+}  // namespace
+
+TrialStore::OpenFile* TrialStore::Open(const std::string& key) {
+  auto it = files_.find(key);
+  if (it != files_.end()) {
+    return it->second.file != nullptr ? &it->second : nullptr;
+  }
+  OpenFile& entry = files_[key];
+  std::string path = dir_ + "/" + key + ".wftrials";
+
+  // Index what is already there (a previous daemon's appends) so dedup and
+  // Load work across process lifetimes. The scan is structural — each
+  // record must be a newline-terminated trial line followed by a
+  // newline-terminated values line with the right value count — and tracks
+  // the byte offset of the last complete record via line lengths (never
+  // tellg, which reads -1 once getline hits an unterminated final line),
+  // so a torn tail (a daemon SIGKILLed mid-append, possibly mid-byte) is
+  // truncated away instead of corrupting every later append. A file that
+  // is not ours at all (bad header) is left untouched and the key refuses
+  // to open.
+  bool existed = false;       // Has a valid header.
+  bool foreign = false;       // Not our format: hands off.
+  long good_end = 0;          // End of the last complete record (or header).
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      bool terminated = false;
+      std::string line;
+      // getline leaves eofbit set exactly when the line had no trailing
+      // newline — a line cut mid-write counts as torn even if parseable.
+      auto next_line = [&](std::string* out) {
+        if (!std::getline(in, *out)) {
+          return false;
+        }
+        terminated = !in.eof();
+        return true;
+      };
+      if (next_line(&line)) {
+        if (line != "wayfinder-trials v1") {
+          foreign = true;
+        } else if (terminated) {
+          long offset = static_cast<long>(line.size()) + 1;
+          std::string params_line;
+          if (next_line(&params_line) && terminated &&
+              std::sscanf(params_line.c_str(), "params %zu", &entry.params) == 1) {
+            existed = true;
+            offset += static_cast<long>(params_line.size()) + 1;
+            good_end = offset;
+            std::string values;
+            TrialRecord trial;
+            std::vector<int64_t> raw;
+            for (;;) {
+              if (!next_line(&line) || !terminated) {
+                break;
+              }
+              offset += static_cast<long>(line.size()) + 1;
+              if (!next_line(&values) || !terminated) {
+                break;
+              }
+              offset += static_cast<long>(values.size()) + 1;
+              if (!ParseStoredTrial(line, values, &trial, &raw) ||
+                  (entry.params != 0 && raw.size() != entry.params)) {
+                break;  // Torn tail; recover to the last good record.
+              }
+              entry.hashes.insert(Configuration::HashValues(raw));
+              good_end = offset;
+            }
+          }
+          // else: torn before the params line completed — at most one
+          // never-fully-written record existed; recover to an empty log
+          // (good_end 0, header rewritten by the next append).
+        }
+        // An unterminated header line is ours torn at the very first
+        // append: same empty-log recovery.
+      }
+    }
+  }
+  if (foreign) {
+    files_.erase(key);  // Retry is allowed once the operator intervenes.
+    return nullptr;
+  }
+  std::error_code ec;
+  uintmax_t file_size = std::filesystem::file_size(path, ec);
+  if (!ec && file_size > static_cast<uintmax_t>(good_end)) {
+    ::truncate(path.c_str(), static_cast<off_t>(good_end));
+  }
+
+  entry.file = std::fopen(path.c_str(), "a");
+  if (entry.file == nullptr) {
+    return nullptr;
+  }
+  // The header waits for the first append, which knows the param count.
+  entry.needs_header = !existed;
+  return &entry;
+}
+
+TrialStore::LoadResult TrialStore::Load(const std::string& key, const ConfigSpace& space) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LoadResult result;
+  // Open first: it runs torn-tail recovery (truncating a half-written last
+  // record), so this read only ever sees complete records. Flush so it
+  // also sees our own appends.
+  OpenFile* entry = Open(key);
+  if (entry != nullptr && entry->file != nullptr) {
+    std::fflush(entry->file);
+  }
+  std::string path = dir_ + "/" + key + ".wftrials";
+  std::ifstream in(path);
+  if (!in) {
+    result.ok = true;  // Nothing stored yet.
+    return result;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    result.ok = true;  // Created but never appended to.
+    return result;
+  }
+  if (line != "wayfinder-trials v1") {
+    result.error = path + ": bad header";
+    return result;
+  }
+  size_t params = 0;
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(), "params %zu", &params) != 1) {
+    result.error = path + ": missing params line";
+    return result;
+  }
+  if (params != 0 && params != space.Size()) {
+    result.error = path + ": stored trials have " + std::to_string(params) +
+                   " parameters, space has " + std::to_string(space.Size());
+    return result;
+  }
+
+  int line_number = 2;
+  std::string values_line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    if (!std::getline(in, values_line)) {
+      break;  // Trial line without its values line: torn tail.
+    }
+    ++line_number;
+    TrialRecord trial;
+    std::vector<int64_t> values;
+    // The same record definition Open()'s recovery scan uses; a structural
+    // mismatch means a torn tail, so the valid prefix wins (append-only
+    // recovery — Open truncates the torn bytes before appends resume).
+    if (!ParseStoredTrial(line, values_line, &trial, &values) ||
+        values.size() != space.Size()) {
+      break;
+    }
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (!space.Param(i).InDomain(values[i])) {
+        result.error = path + ":" + std::to_string(line_number) +
+                       ": value out of domain for " + space.Param(i).name;
+        return result;
+      }
+    }
+    trial.iteration = result.trials.size();
+    trial.config = Configuration(&space, std::move(values));
+    result.trials.push_back(std::move(trial));
+  }
+  result.ok = true;
+  return result;
+}
+
+bool TrialStore::Append(const std::string& key, const TrialRecord& trial) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OpenFile* entry = Open(key);
+  if (entry == nullptr) {
+    return false;
+  }
+  uint64_t hash = trial.config.Hash();
+  if (!entry->hashes.insert(hash).second) {
+    return false;  // Already stored.
+  }
+  if (entry->needs_header) {
+    entry->params = trial.config.Size();
+    std::fprintf(entry->file, "wayfinder-trials v1\nparams %zu\n", entry->params);
+    entry->needs_header = false;
+  }
+  const TrialOutcome& o = trial.outcome;
+  std::fprintf(entry->file, "trial %s %.17g %.17g %.17g %.17g %.17g %d %.17g %.17g\n",
+               TrialStatusName(o.status), o.metric, o.memory_mb, o.build_seconds,
+               o.boot_seconds, o.run_seconds, o.build_skipped ? 1 : 0,
+               trial.HasObjective() ? trial.objective : std::nan(""), trial.sim_time_end);
+  std::fprintf(entry->file, "values");
+  for (size_t i = 0; i < trial.config.Size(); ++i) {
+    std::fprintf(entry->file, " %lld", static_cast<long long>(trial.config.Raw(i)));
+  }
+  std::fprintf(entry->file, "\n");
+  return true;
+}
+
+void TrialStore::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, entry] : files_) {
+    if (entry.file != nullptr) {
+      std::fflush(entry.file);
+    }
+  }
+}
+
+void TrialStore::FsyncClose() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, entry] : files_) {
+    if (entry.file != nullptr) {
+      std::fflush(entry.file);
+      ::fsync(fileno(entry.file));
+      std::fclose(entry.file);
+      entry.file = nullptr;
+    }
+  }
+  files_.clear();
+}
+
+size_t TrialStore::Count(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OpenFile* entry = Open(key);
+  return entry == nullptr ? 0 : entry->hashes.size();
+}
+
+}  // namespace wayfinder

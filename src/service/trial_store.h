@@ -1,0 +1,100 @@
+// Persistent cross-session trial store — the wfd service's long-term
+// memory. Every trial any session commits is appended to one append-only
+// file per (configuration space, application) key, deduplicated by
+// configuration hash, so a freshly submitted job can warm-start its
+// searcher from everything the service ever learned about that space/app
+// pair (via the ordinary Observe/ObserveBatch path) instead of starting
+// cold.
+//
+// Layout: <dir>/<key>.wftrials, where the key is the application name plus
+// a fingerprint of the space's parameters (TrialStoreKey). Each file is
+//
+//   wayfinder-trials v1
+//   params <param-count>
+//   trial <status> <metric> <memory> <build_s> <boot_s> <run_s>
+//         <skipped> <objective> <sim_end>                       (one line)
+//   values <v0> <v1> ...
+//
+// i.e. the checkpoint trial format minus per-session fields (iteration,
+// searcher seconds). Appends go straight to the OS on Flush(); FsyncClose()
+// is the shutdown barrier that makes every committed trial durable.
+//
+// Thread-safety: all methods are safe to call from concurrent session
+// driver threads (one mutex; file I/O is cheap relative to a trial).
+#ifndef WAYFINDER_SRC_SERVICE_TRIAL_STORE_H_
+#define WAYFINDER_SRC_SERVICE_TRIAL_STORE_H_
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/configspace/config_space.h"
+#include "src/platform/trial.h"
+#include "src/simos/apps.h"
+
+namespace wayfinder {
+
+// Stable fingerprint of a space's parameter definitions (names, kinds,
+// phases, domains): two sessions share stored trials only when their raw
+// values mean the same thing.
+uint64_t SpaceFingerprint(const ConfigSpace& space);
+
+// The store key of one (space, app) pair, e.g. "nginx-1a2b3c4d5e6f7081".
+std::string TrialStoreKey(const ConfigSpace& space, AppId app);
+
+class TrialStore {
+ public:
+  explicit TrialStore(std::string dir);
+  ~TrialStore();  // FsyncClose().
+
+  TrialStore(const TrialStore&) = delete;
+  TrialStore& operator=(const TrialStore&) = delete;
+
+  struct LoadResult {
+    bool ok = false;
+    std::vector<TrialRecord> trials;  // iteration = position in the store.
+    std::string error;
+  };
+
+  // Reads every stored trial for `key`, decoding values against `space`
+  // (param-count and domain checked). A missing file is an empty, ok load.
+  LoadResult Load(const std::string& key, const ConfigSpace& space);
+
+  // Appends one committed trial unless its configuration is already stored
+  // under `key`. Returns true when the trial was written.
+  bool Append(const std::string& key, const TrialRecord& trial);
+
+  // Pushes buffered appends to the OS (cheap; called at wave boundaries).
+  void Flush();
+
+  // fsync()s and closes every open file — the shutdown durability barrier.
+  void FsyncClose();
+
+  // Distinct trials currently stored under `key` (opens the file if needed).
+  size_t Count(const std::string& key);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct OpenFile {
+    std::FILE* file = nullptr;
+    std::unordered_set<uint64_t> hashes;  // Config hashes already stored.
+    size_t params = 0;                    // Param count from the header.
+    bool needs_header = false;            // New file: header rides the first append.
+  };
+
+  // Opens (creating if absent) and indexes the file for `key`; nullptr on
+  // I/O error. Caller holds mutex_.
+  OpenFile* Open(const std::string& key);
+
+  std::mutex mutex_;
+  std::string dir_;
+  std::map<std::string, OpenFile> files_;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_SERVICE_TRIAL_STORE_H_

@@ -1,0 +1,175 @@
+#include "src/service/wfd.h"
+
+#include <csignal>
+#include <cstdio>
+
+#include "src/util/log.h"
+
+namespace wayfinder {
+
+namespace {
+
+WfdServer* g_foreground_server = nullptr;
+
+void HandleDrainSignal(int) {
+  if (g_foreground_server != nullptr) {
+    g_foreground_server->Stop();
+  }
+}
+
+}  // namespace
+
+int RunWfdForeground(const WfdOptions& options) {
+  WfdServer server(options);
+  if (!server.Start()) {
+    std::fprintf(stderr, "wfd: %s\n", server.error().c_str());
+    return 1;
+  }
+  g_foreground_server = &server;
+  std::signal(SIGINT, HandleDrainSignal);
+  std::signal(SIGTERM, HandleDrainSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  std::printf("wfd serving on %s (store: %s, max sessions: %zu)\n",
+              options.socket_path.c_str(),
+              options.manager.store_dir.empty() ? "(none)"
+                                                : options.manager.store_dir.c_str(),
+              options.manager.max_running);
+  server.Serve();
+  g_foreground_server = nullptr;
+  std::printf("wfd drained and stopped\n");
+  return 0;
+}
+
+WfdServer::WfdServer(const WfdOptions& options)
+    : options_(options), manager_(options.manager) {}
+
+bool WfdServer::Start() {
+  if (!listener_.Listen(options_.socket_path)) {
+    error_ = listener_.error();
+    return false;
+  }
+  return true;
+}
+
+void WfdServer::Serve() {
+  while (!stop_.load()) {
+    UnixConn conn = listener_.AcceptFor(options_.poll_ms);
+    if (conn.ok()) {
+      HandleConnection(std::move(conn));
+    }
+  }
+  manager_.Shutdown();
+}
+
+void WfdServer::HandleConnection(UnixConn conn) {
+  // A connection may carry any number of requests; it ends at clean EOF or
+  // the first protocol violation. Nothing a client sends (or fails to send)
+  // escapes this function — including doing nothing at all: the timeouts
+  // bound how long a client that stops sending (or stops draining its
+  // responses) can hold the accept thread.
+  SetRecvTimeout(conn.fd(), options_.idle_timeout_ms);
+  SetSendTimeout(conn.fd(), options_.idle_timeout_ms);
+  for (;;) {
+    std::string text;
+    FrameStatus frame = ReadFrame(conn.fd(), &text);
+    if (frame == FrameStatus::kClosed) {
+      return;  // Client done.
+    }
+    if (frame != FrameStatus::kOk) {
+      // Oversized gets a courtesy error (the stream is still framed at this
+      // point); truncation/errors mean the peer is gone — just drop.
+      if (frame == FrameStatus::kOversized) {
+        ServiceResponse response;
+        response.error = "frame exceeds protocol limit";
+        WriteFrame(conn.fd(), EncodeResponse(response));
+      }
+      WF_LOG(Info) << "wfd: dropping connection (" << FrameStatusName(frame) << ")";
+      return;
+    }
+
+    ServiceRequest request;
+    ServiceResponse response;
+    std::string error;
+    if (!DecodeRequest(text, &request, &error)) {
+      response.error = error;
+      WriteFrame(conn.fd(), EncodeResponse(response));
+      return;  // Don't trust the rest of the stream.
+    }
+
+    std::string payload;  // result: checkpoint text sent as a second frame.
+    if (request.command == "ping") {
+      response.ok = true;
+      response.state = "alive";
+    } else if (request.command == "submit") {
+      // The job file rides in one follow-up frame, verbatim.
+      std::string job_text;
+      FrameStatus job_frame = ReadFrame(conn.fd(), &job_text);
+      if (job_frame != FrameStatus::kOk) {
+        WF_LOG(Info) << "wfd: submit without job frame ("
+                     << FrameStatusName(job_frame) << ")";
+        if (job_frame == FrameStatus::kOversized) {
+          response.error = "job file exceeds protocol limit";
+          WriteFrame(conn.fd(), EncodeResponse(response));
+        }
+        return;  // No session was created.
+      }
+      std::string id;
+      if (manager_.Submit(job_text, request.warm_start, &id, &error)) {
+        response.ok = true;
+        response.id = id;
+      } else {
+        response.error = error;
+      }
+    } else if (request.command == "status") {
+      response.ok = true;
+      if (request.id.empty()) {
+        response.sessions = manager_.List();
+      } else {
+        SessionStatus status;
+        if (manager_.Status(request.id, &status)) {
+          response.sessions.push_back(status);
+        } else {
+          response.ok = false;
+          response.error = "unknown session: " + request.id;
+        }
+      }
+    } else if (request.command == "result") {
+      if (manager_.Result(request.id, &payload, &error)) {
+        response.ok = true;
+        response.has_payload = true;
+      } else {
+        response.error = error;
+      }
+    } else if (request.command == "pause") {
+      response.ok = manager_.Pause(request.id);
+      if (response.ok) {
+        response.state = "pausing";
+      } else {
+        response.error = "cannot pause session: " + request.id;
+      }
+    } else if (request.command == "resume") {
+      response.ok = manager_.Resume(request.id);
+      if (response.ok) {
+        response.state = "running";
+      } else {
+        response.error = "cannot resume session: " + request.id;
+      }
+    } else if (request.command == "stop") {
+      response.ok = true;
+      response.state = "draining";
+    }
+
+    if (!WriteFrame(conn.fd(), EncodeResponse(response))) {
+      return;  // Peer vanished; per-session state is unaffected.
+    }
+    if (response.has_payload && !WriteFrame(conn.fd(), payload)) {
+      return;
+    }
+    if (request.command == "stop") {
+      stop_.store(true);
+      return;
+    }
+  }
+}
+
+}  // namespace wayfinder

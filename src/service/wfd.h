@@ -1,0 +1,72 @@
+// wfd — the Wayfinder tuning daemon: one long-lived endpoint serving many
+// concurrent tuning sessions.
+//
+// A single accept loop on a Unix-domain socket; each connection is handled
+// to completion (requests are short — the long-running work lives in the
+// SessionManager's driver threads, not here). The loop is hostile-input
+// hardened: malformed, truncated, or oversized frames, non-YAML payloads,
+// unknown commands, and clients vanishing mid-exchange are all answered or
+// dropped without ever crashing or wedging the daemon (pinned by
+// protocol/service tests, run under ASan and TSan in CI).
+//
+// `stop` drains gracefully: the response is sent, the accept loop exits,
+// and Shutdown() stops every session at its next wave boundary, writes
+// checkpoints, and fsyncs the TrialStore.
+#ifndef WAYFINDER_SRC_SERVICE_WFD_H_
+#define WAYFINDER_SRC_SERVICE_WFD_H_
+
+#include <atomic>
+#include <string>
+
+#include "src/service/session_manager.h"
+#include "src/util/socket.h"
+
+namespace wayfinder {
+
+struct WfdOptions {
+  std::string socket_path;
+  SessionManagerOptions manager;
+  // Accept-poll period: how quickly an external Stop() takes effect.
+  int poll_ms = 50;
+  // Longest a connected client may sit silent mid-exchange before its
+  // connection is dropped. Connections are handled inline on the accept
+  // thread, so without this an idle client would wedge the daemon.
+  int idle_timeout_ms = 10000;
+};
+
+class WfdServer {
+ public:
+  explicit WfdServer(const WfdOptions& options);
+
+  // Binds the socket; false with error() set on failure.
+  bool Start();
+
+  // Accept/handle loop; returns after `stop` (or Stop()) once the manager
+  // has drained. Call from the thread that owns the daemon's lifetime.
+  void Serve();
+
+  // Signals Serve() to exit from another thread (tests; signal handlers).
+  void Stop() { stop_.store(true); }
+
+  const std::string& error() const { return error_; }
+  SessionManager& manager() { return manager_; }
+
+ private:
+  void HandleConnection(UnixConn conn);
+
+  WfdOptions options_;
+  SessionManager manager_;
+  UnixListener listener_;
+  std::atomic<bool> stop_{false};
+  std::string error_;
+};
+
+// Runs the daemon in the foreground — bind, SIGINT/SIGTERM graceful-drain
+// wiring, SIGPIPE ignore, banner, serve loop, drain message — returning
+// the process exit code. The ONE bootstrap both the `wfd` binary and
+// `wfctl serve` call, so the two cannot drift apart.
+int RunWfdForeground(const WfdOptions& options);
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_SERVICE_WFD_H_

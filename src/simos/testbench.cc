@@ -5,6 +5,35 @@
 
 namespace wayfinder {
 
+const char* TrialStatusName(TrialOutcome::Status status) {
+  switch (status) {
+    case TrialOutcome::Status::kOk:
+      return "ok";
+    case TrialOutcome::Status::kBuildFailed:
+      return "build-failed";
+    case TrialOutcome::Status::kBootFailed:
+      return "boot-failed";
+    case TrialOutcome::Status::kRunCrashed:
+      return "run-crashed";
+  }
+  return "?";
+}
+
+bool TrialStatusFromName(const std::string& name, TrialOutcome::Status* status) {
+  if (name == "ok") {
+    *status = TrialOutcome::Status::kOk;
+  } else if (name == "build-failed") {
+    *status = TrialOutcome::Status::kBuildFailed;
+  } else if (name == "boot-failed") {
+    *status = TrialOutcome::Status::kBootFailed;
+  } else if (name == "run-crashed") {
+    *status = TrialOutcome::Status::kRunCrashed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 Testbench::Testbench(const ConfigSpace* space, AppId app, const TestbenchOptions& options)
     : space_(space),
       app_(app),
@@ -40,6 +69,25 @@ double Testbench::SampleRunSeconds(Rng& rng) const {
 
 TrialOutcome Testbench::Evaluate(const Configuration& config, Rng& rng, SimClock* clock,
                                  bool skip_build, bool boot_only) {
+  if (options_.fixed_trial_seconds <= 0.0) {
+    return EvaluateImpl(config, rng, clock, skip_build, boot_only);
+  }
+  // Equal-duration mode: compute the outcome off-clock, then charge every
+  // phase the fixed cost regardless of status so all trials take the same
+  // total simulated time.
+  TrialOutcome outcome = EvaluateImpl(config, rng, /*clock=*/nullptr, skip_build, boot_only);
+  double f = options_.fixed_trial_seconds;
+  outcome.build_seconds = skip_build ? 0.0 : f;
+  outcome.boot_seconds = f;
+  outcome.run_seconds = boot_only ? 0.0 : f;
+  if (clock != nullptr) {
+    clock->Advance(outcome.TotalSeconds());
+  }
+  return outcome;
+}
+
+TrialOutcome Testbench::EvaluateImpl(const Configuration& config, Rng& rng, SimClock* clock,
+                                     bool skip_build, bool boot_only) {
   TrialOutcome outcome;
   CrashOutcome crash = crash_model_.Check(app_, config, rng);
 

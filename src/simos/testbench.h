@@ -42,6 +42,12 @@ struct TrialOutcome {
   double TotalSeconds() const { return build_seconds + boot_seconds + run_seconds; }
 };
 
+// Stable text names for TrialOutcome::Status — the shared vocabulary of the
+// checkpoint and trial-store file formats (one list, so the formats cannot
+// drift apart).
+const char* TrialStatusName(TrialOutcome::Status status);
+bool TrialStatusFromName(const std::string& name, TrialOutcome::Status* status);
+
 struct TestbenchOptions {
   Substrate substrate = Substrate::kLinuxKvm;
   uint64_t seed = 0xbe27c4;
@@ -51,6 +57,12 @@ struct TestbenchOptions {
   // failures are label noise for the searchers: the same configuration
   // would succeed on retry. 0 disables injection.
   double transient_flake_prob = 0.0;
+  // When positive, every phase of every evaluation costs exactly this many
+  // simulated seconds (crashes included), so all trials have equal total
+  // duration. A testing seam for executor-equivalence pins that need the
+  // sliding-window schedule to degenerate to lock-step rounds; outcomes
+  // (crash/metric/memory) are computed normally. 0 = realistic durations.
+  double fixed_trial_seconds = 0.0;
 };
 
 class Testbench {
@@ -79,6 +91,10 @@ class Testbench {
   double SampleRunSeconds(Rng& rng) const;
 
  private:
+  // The realistic-duration evaluation; the public Evaluate overrides its
+  // durations when options_.fixed_trial_seconds is set.
+  TrialOutcome EvaluateImpl(const Configuration& config, Rng& rng, SimClock* clock,
+                            bool skip_build, bool boot_only);
   const ConfigSpace* space_;
   AppId app_;
   TestbenchOptions options_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 
 namespace wayfinder {
 
@@ -114,5 +116,40 @@ size_t Rng::WeightedIndex(const std::vector<double>& weights) {
 }
 
 Rng Rng::Fork() { return Rng(HashCombine(Next(), Next())); }
+
+std::string Rng::SerializeState() const {
+  // Five hex words + a cached flag: the four xoshiro words, then the cached
+  // Box-Muller normal as its IEEE-754 bit pattern (exact round trip).
+  char buffer[128];
+  uint64_t cached_bits;
+  static_assert(sizeof(cached_bits) == sizeof(cached_normal_), "double is 64-bit");
+  std::memcpy(&cached_bits, &cached_normal_, sizeof(cached_bits));
+  std::snprintf(buffer, sizeof(buffer), "%016llx %016llx %016llx %016llx %d %016llx",
+                static_cast<unsigned long long>(state_[0]),
+                static_cast<unsigned long long>(state_[1]),
+                static_cast<unsigned long long>(state_[2]),
+                static_cast<unsigned long long>(state_[3]),
+                has_cached_normal_ ? 1 : 0,
+                static_cast<unsigned long long>(cached_bits));
+  return buffer;
+}
+
+bool Rng::DeserializeState(const std::string& text) {
+  unsigned long long words[4];
+  int has_cached = 0;
+  unsigned long long cached_bits = 0;
+  if (std::sscanf(text.c_str(), "%llx %llx %llx %llx %d %llx", &words[0], &words[1],
+                  &words[2], &words[3], &has_cached, &cached_bits) != 6 ||
+      (has_cached != 0 && has_cached != 1)) {
+    return false;
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    state_[i] = static_cast<uint64_t>(words[i]);
+  }
+  has_cached_normal_ = has_cached == 1;
+  uint64_t bits = static_cast<uint64_t>(cached_bits);
+  std::memcpy(&cached_normal_, &bits, sizeof(cached_normal_));
+  return true;
+}
 
 }  // namespace wayfinder

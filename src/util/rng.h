@@ -8,6 +8,7 @@
 #define WAYFINDER_SRC_UTIL_RNG_H_
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -65,6 +66,14 @@ class Rng {
   // Returns a statistically independent child generator. Forking advances
   // this generator, so repeated forks yield distinct streams.
   Rng Fork();
+
+  // Full generator state (xoshiro words + the cached Box-Muller value) as a
+  // single line of hex tokens, and its inverse. Checkpoints persist these so
+  // a resumed session's randomness continues exactly where the interrupted
+  // run stopped. DeserializeState rejects malformed text and leaves the
+  // generator untouched.
+  std::string SerializeState() const;
+  bool DeserializeState(const std::string& text);
 
  private:
   uint64_t state_[4];

@@ -9,6 +9,7 @@
 #include "src/configspace/linux_space.h"
 #include "src/configspace/unikraft_space.h"
 #include "src/core/deeptune.h"
+#include "src/core/wayfinder_api.h"
 #include "src/platform/checkpoint.h"
 #include "src/platform/random_search.h"
 #include "src/platform/session.h"
@@ -123,6 +124,182 @@ TEST(CheckpointTest, CorruptHeaderFails) {
   EXPECT_FALSE(loaded.ok);
   EXPECT_NE(loaded.error.find("header"), std::string::npos);
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint v2: live RNG / searcher state.
+
+void ExpectSameTrials(const std::vector<TrialRecord>& a, const std::vector<TrialRecord>& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].config.values(), b[i].config.values()) << label << " trial " << i;
+    ASSERT_EQ(static_cast<int>(a[i].outcome.status), static_cast<int>(b[i].outcome.status))
+        << label << " trial " << i;
+    ASSERT_EQ(a[i].sim_time_end, b[i].sim_time_end) << label << " trial " << i;
+    if (std::isnan(a[i].objective)) {
+      ASSERT_TRUE(std::isnan(b[i].objective)) << label << " trial " << i;
+    } else {
+      ASSERT_EQ(a[i].objective, b[i].objective) << label << " trial " << i;
+    }
+  }
+}
+
+TEST(CheckpointV2Test, LiveStateRoundTrips) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::vector<TrialRecord> history = RunSome(space, 10, 80);
+  CheckpointLiveState live;
+  Rng session_rng(81);
+  Rng searcher_rng(82);
+  session_rng.Normal();  // Populate the Box-Muller cache so it round-trips too.
+  live.session_rng = session_rng.SerializeState();
+  live.searcher_rng = searcher_rng.SerializeState();
+  live.searcher_state = "pool-iteration 17";
+
+  std::string text = CheckpointToText(history, &live);
+  CheckpointLoadResult loaded = LoadCheckpointText(space, text);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.live.session_rng, live.session_rng);
+  EXPECT_EQ(loaded.live.searcher_rng, live.searcher_rng);
+  EXPECT_EQ(loaded.live.searcher_state, live.searcher_state);
+  ASSERT_EQ(loaded.history.size(), history.size());
+
+  // The restored RNG continues exactly where the serialized one stood.
+  Rng restored(0);
+  ASSERT_TRUE(restored.DeserializeState(loaded.live.session_rng));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(restored.Next(), session_rng.Next());
+  }
+  EXPECT_EQ(restored.Normal(), session_rng.Normal());
+}
+
+TEST(CheckpointV2Test, V1FilesStillLoad) {
+  // A v1 reader's output: same body, old header, no live-state lines.
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::vector<TrialRecord> history = RunSome(space, 8, 83);
+  std::string text = CheckpointToText(history);
+  ASSERT_EQ(text.find("wayfinder-checkpoint v2"), 0u);
+  text.replace(0, std::string("wayfinder-checkpoint v2").size(), "wayfinder-checkpoint v1");
+
+  CheckpointLoadResult loaded = LoadCheckpointText(space, text);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.history.size(), history.size());
+  EXPECT_FALSE(loaded.live.Any());
+}
+
+TEST(CheckpointV2Test, LiveStateLinesRejectedUnderV1Header) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  CheckpointLiveState live;
+  live.session_rng = Rng(84).SerializeState();
+  std::string text = CheckpointToText({}, &live);
+  text.replace(0, std::string("wayfinder-checkpoint v2").size(), "wayfinder-checkpoint v1");
+  CheckpointLoadResult loaded = LoadCheckpointText(space, text);
+  EXPECT_FALSE(loaded.ok);
+}
+
+TEST(CheckpointV2Test, MalformedRngStateFailsResume) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  Testbench bench(&space, AppId::kNginx);
+  RandomSearcher searcher;
+  SessionOptions options;
+  options.max_iterations = 5;
+  CheckpointLiveState live;
+  live.session_rng = "definitely not hex words";
+  SearchSession session(&bench, &searcher, options);
+  EXPECT_FALSE(session.Resume({}, live));
+}
+
+// The satellite's pin: with the v2 live state, Resume() reproduces the
+// uninterrupted run bit-for-bit — for the serial loop, where proposal
+// randomness flows from the (now persisted) searcher RNG stream, and for
+// model-based searchers, whose pool-seed counter rides in searcher-state.
+class LiveResumeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LiveResumeTest, SerialResumeWithLiveStateIsExact) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  TestbenchOptions bench_options;
+  bench_options.seed = 0x7e70;
+  SessionOptions options;
+  options.max_iterations = 30;
+  options.seed = 0x85;
+
+  Testbench bench_a(&space, AppId::kNginx, bench_options);
+  auto searcher_a = MakeSearcher(GetParam(), &space, 0xd8);
+  SessionResult uninterrupted = RunSearch(&bench_a, searcher_a.get(), options);
+  ASSERT_EQ(uninterrupted.history.size(), 30u);
+
+  // Interrupt at 18: run the prefix, checkpoint with live state (through
+  // text, like the real flow), resume a fresh session+searcher from it.
+  std::string checkpoint_text = [&] {
+    Testbench bench(&space, AppId::kNginx, bench_options);
+    auto searcher = MakeSearcher(GetParam(), &space, 0xd8);
+    SessionOptions prefix = options;
+    prefix.max_iterations = 18;
+    SearchSession session(&bench, searcher.get(), prefix);
+    while (session.Step()) {
+    }
+    CheckpointLiveState live = session.ExportLiveState();
+    return CheckpointToText(session.history(), &live);
+  }();
+
+  CheckpointLoadResult loaded = LoadCheckpointText(space, checkpoint_text);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  ASSERT_TRUE(loaded.live.Any());
+  Testbench bench_b(&space, AppId::kNginx, bench_options);
+  auto searcher_b = MakeSearcher(GetParam(), &space, 0xd8);
+  SearchSession resumed(&bench_b, searcher_b.get(), options);
+  ASSERT_TRUE(resumed.Resume(loaded.history, loaded.live));
+  while (resumed.Step()) {
+  }
+  ExpectSameTrials(uninterrupted.history, resumed.Finish().history,
+                   std::string(GetParam()) + " serial live resume");
+}
+
+TEST_P(LiveResumeTest, BatchedResumeWithLiveStateIsExact) {
+  // Same pin for the batch-concurrent executor at a round boundary. Before
+  // v2 this held only for stateless searchers; the persisted searcher-state
+  // (DeepTune's pool-seed counter) extends it to model-based ones.
+  ConfigSpace space = BuildLinuxSearchSpace();
+  TestbenchOptions bench_options;
+  bench_options.seed = 0x7e71;
+  SessionOptions options;
+  options.max_iterations = 28;
+  options.seed = 0x86;
+  options.parallel_evaluations = 4;
+
+  Testbench bench_a(&space, AppId::kNginx, bench_options);
+  auto searcher_a = MakeSearcher(GetParam(), &space, 0xd9);
+  SessionResult uninterrupted = RunSearch(&bench_a, searcher_a.get(), options);
+  ASSERT_EQ(uninterrupted.history.size(), 28u);
+
+  std::string checkpoint_text = [&] {
+    Testbench bench(&space, AppId::kNginx, bench_options);
+    auto searcher = MakeSearcher(GetParam(), &space, 0xd9);
+    SessionOptions prefix = options;
+    prefix.max_iterations = 16;
+    SearchSession session(&bench, searcher.get(), prefix);
+    while (session.StepBatch() > 0) {
+    }
+    CheckpointLiveState live = session.ExportLiveState();
+    return CheckpointToText(session.history(), &live);
+  }();
+
+  CheckpointLoadResult loaded = LoadCheckpointText(space, checkpoint_text);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  Testbench bench_b(&space, AppId::kNginx, bench_options);
+  auto searcher_b = MakeSearcher(GetParam(), &space, 0xd9);
+  SearchSession resumed(&bench_b, searcher_b.get(), options);
+  ASSERT_TRUE(resumed.Resume(loaded.history, loaded.live));
+  while (resumed.StepBatch() > 0) {
+  }
+  ExpectSameTrials(uninterrupted.history, resumed.Finish().history,
+                   std::string(GetParam()) + " batched live resume");
+}
+
+INSTANTIATE_TEST_SUITE_P(Searchers, LiveResumeTest,
+                         ::testing::Values("random", "deeptune"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
 
 // ---------------------------------------------------------------------------
 // Session resume.

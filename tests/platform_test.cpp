@@ -249,6 +249,18 @@ TEST(JobFile, DefaultsAreSane) {
   EXPECT_EQ(result.spec.app, AppId::kNginx);
   EXPECT_EQ(result.spec.algorithm, "deeptune");
   EXPECT_EQ(result.spec.iterations, 250u);
+  EXPECT_EQ(result.spec.parallel, 1u);
+  EXPECT_FALSE(result.spec.sliding);
+}
+
+TEST(JobFile, ParallelAndSlidingKeysReachSessionOptions) {
+  JobParseResult result = ParseJobText("name: wide\nparallel: 4\nsliding: true\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.spec.parallel, 4u);
+  EXPECT_TRUE(result.spec.sliding);
+  SessionOptions options = result.spec.ToSessionOptions();
+  EXPECT_EQ(options.parallel_evaluations, 4u);
+  EXPECT_TRUE(options.sliding_window);
 }
 
 TEST(JobFile, RejectsUnknowns) {

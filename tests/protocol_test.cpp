@@ -1,0 +1,335 @@
+// Wire-protocol hardening tests: the framing layer (length-prefixed frames
+// over Unix sockets), the YAML request/response codec, and — the satellite's
+// pin — a live wfd daemon that survives malformed, truncated, and oversized
+// frames, unknown commands, and clients vanishing mid-exchange without
+// crashing or wedging. Runs under ASan and TSan in CI.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/service/client.h"
+#include "src/service/protocol.h"
+#include "src/service/wfd.h"
+#include "src/util/socket.h"
+
+namespace wayfinder {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+class FramePair : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    CloseA();
+    CloseB();
+  }
+  void CloseA() {
+    if (fds_[0] >= 0) {
+      ::close(fds_[0]);
+      fds_[0] = -1;
+    }
+  }
+  void CloseB() {
+    if (fds_[1] >= 0) {
+      ::close(fds_[1]);
+      fds_[1] = -1;
+    }
+  }
+  int a() const { return fds_[0]; }
+  int b() const { return fds_[1]; }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramePair, RoundTripsPayloads) {
+  for (const std::string payload : {std::string(""), std::string("hello"),
+                                    std::string(100000, 'x')}) {
+    ASSERT_TRUE(WriteFrame(a(), payload));
+    std::string read_back;
+    ASSERT_EQ(ReadFrame(b(), &read_back), FrameStatus::kOk);
+    EXPECT_EQ(read_back, payload);
+  }
+}
+
+TEST_F(FramePair, BackToBackFramesStayDelimited) {
+  ASSERT_TRUE(WriteFrame(a(), "first"));
+  ASSERT_TRUE(WriteFrame(a(), "second"));
+  std::string payload;
+  ASSERT_EQ(ReadFrame(b(), &payload), FrameStatus::kOk);
+  EXPECT_EQ(payload, "first");
+  ASSERT_EQ(ReadFrame(b(), &payload), FrameStatus::kOk);
+  EXPECT_EQ(payload, "second");
+}
+
+TEST_F(FramePair, CleanEofReadsAsClosed) {
+  CloseA();
+  std::string payload;
+  EXPECT_EQ(ReadFrame(b(), &payload), FrameStatus::kClosed);
+}
+
+TEST_F(FramePair, TruncatedHeaderReadsAsTruncated) {
+  const char partial[2] = {0, 0};
+  ASSERT_EQ(::send(a(), partial, sizeof(partial), 0), 2);
+  CloseA();
+  std::string payload;
+  EXPECT_EQ(ReadFrame(b(), &payload), FrameStatus::kTruncated);
+}
+
+TEST_F(FramePair, TruncatedPayloadReadsAsTruncated) {
+  // Header promises 100 bytes; only 10 arrive before the peer dies.
+  const unsigned char header[4] = {0, 0, 0, 100};
+  ASSERT_EQ(::send(a(), header, sizeof(header), 0), 4);
+  ASSERT_EQ(::send(a(), "0123456789", 10, 0), 10);
+  CloseA();
+  std::string payload;
+  EXPECT_EQ(ReadFrame(b(), &payload), FrameStatus::kTruncated);
+}
+
+TEST_F(FramePair, OversizedHeaderReadsAsOversized) {
+  const unsigned char header[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(a(), header, sizeof(header), 0), 4);
+  std::string payload;
+  EXPECT_EQ(ReadFrame(b(), &payload), FrameStatus::kOversized);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST_F(FramePair, WriterRefusesOversizedPayloads) {
+  std::string huge(kMaxFrameBytes + 1, 'x');
+  EXPECT_FALSE(WriteFrame(a(), huge));
+}
+
+// ---------------------------------------------------------------------------
+// Codec.
+
+TEST(ProtocolCodec, RequestRoundTrips) {
+  ServiceRequest request;
+  request.command = "result";
+  request.id = "s42";
+  request.warm_start = false;
+  ServiceRequest decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(request), &decoded, &error)) << error;
+  EXPECT_EQ(decoded.command, "result");
+  EXPECT_EQ(decoded.id, "s42");
+  EXPECT_FALSE(decoded.warm_start);
+}
+
+TEST(ProtocolCodec, RejectsGarbageAndUnknownCommands) {
+  ServiceRequest decoded;
+  std::string error;
+  EXPECT_FALSE(DecodeRequest("{{{{ not yaml %%%", &decoded, &error));
+  EXPECT_FALSE(DecodeRequest("just a scalar", &decoded, &error));
+  EXPECT_FALSE(DecodeRequest("command: exfiltrate\n", &decoded, &error));
+  EXPECT_NE(error.find("unknown command"), std::string::npos);
+  EXPECT_FALSE(DecodeRequest("id: s1\n", &decoded, &error));     // No command.
+  EXPECT_FALSE(DecodeRequest("command: pause\n", &decoded, &error));  // Needs id.
+}
+
+TEST(ProtocolCodec, ResponseRoundTripsSessionsAndQuoting) {
+  ServiceResponse response;
+  response.ok = true;
+  SessionStatus status;
+  status.id = "s7";
+  status.name = "job: with colons #and hash";  // Exercises the quoter.
+  status.algorithm = "deeptune";
+  status.state = "running";
+  status.trials = 12;
+  status.iterations = 250;
+  status.has_best = true;
+  status.best = 1234.5;
+  status.sim_seconds = 99.25;
+  status.warm_started = 30;
+  status.store_key = "nginx-00ff";
+  response.sessions.push_back(status);
+  status.id = "s8";
+  status.has_best = false;
+  status.error = "space mismatch: expected 298";
+  response.sessions.push_back(status);
+
+  ServiceResponse decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeResponse(EncodeResponse(response), &decoded, &error)) << error;
+  ASSERT_EQ(decoded.sessions.size(), 2u);
+  EXPECT_EQ(decoded.sessions[0].name, "job: with colons #and hash");
+  EXPECT_EQ(decoded.sessions[0].trials, 12u);
+  EXPECT_TRUE(decoded.sessions[0].has_best);
+  EXPECT_EQ(decoded.sessions[0].best, 1234.5);
+  EXPECT_EQ(decoded.sessions[0].warm_started, 30u);
+  EXPECT_FALSE(decoded.sessions[1].has_best);
+  EXPECT_EQ(decoded.sessions[1].error, "space mismatch: expected 298");
+}
+
+TEST(ProtocolCodec, ErrorResponseRoundTrips) {
+  ServiceResponse response;
+  response.error = "unknown session: s9";
+  ServiceResponse decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeResponse(EncodeResponse(response), &decoded, &error)) << error;
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_EQ(decoded.error, "unknown session: s9");
+}
+
+// ---------------------------------------------------------------------------
+// Daemon hardening: nothing a client does may crash or wedge wfd.
+
+class WfdHardeningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = TempPath("wf_protocol_wfd.sock");
+    WfdOptions options;
+    options.socket_path = socket_path_;
+    options.poll_ms = 10;
+    server_ = std::make_unique<WfdServer>(options);
+    ASSERT_TRUE(server_->Start()) << server_->error();
+    serve_thread_ = std::thread([this] { server_->Serve(); });
+  }
+
+  void TearDown() override {
+    // The daemon must still be healthy enough to stop cleanly.
+    ServiceCallResult stop = StopDaemon(socket_path_);
+    EXPECT_TRUE(stop.ok) << stop.error;
+    serve_thread_.join();
+  }
+
+  // The liveness probe every abuse case ends with.
+  void ExpectDaemonAlive() {
+    ServiceRequest ping;
+    ping.command = "ping";
+    ServiceCallResult result = CallService(socket_path_, ping);
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.response.state, "alive");
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<WfdServer> server_;
+  std::thread serve_thread_;
+};
+
+TEST_F(WfdHardeningTest, SurvivesNonYamlPayload) {
+  UnixConn conn = ConnectUnix(socket_path_);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(WriteFrame(conn.fd(), "\x01\x02 binary garbage \xff\xfe"));
+  std::string reply;
+  ASSERT_EQ(ReadFrame(conn.fd(), &reply), FrameStatus::kOk);
+  ServiceResponse response;
+  std::string error;
+  ASSERT_TRUE(DecodeResponse(reply, &response, &error)) << error;
+  EXPECT_FALSE(response.ok);
+  conn.Close();
+  ExpectDaemonAlive();
+}
+
+TEST_F(WfdHardeningTest, SurvivesUnknownCommand) {
+  UnixConn conn = ConnectUnix(socket_path_);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(WriteFrame(conn.fd(), "command: make-coffee\n"));
+  std::string reply;
+  ASSERT_EQ(ReadFrame(conn.fd(), &reply), FrameStatus::kOk);
+  ServiceResponse response;
+  std::string error;
+  ASSERT_TRUE(DecodeResponse(reply, &response, &error)) << error;
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.error.find("unknown command"), std::string::npos);
+  conn.Close();
+  ExpectDaemonAlive();
+}
+
+TEST_F(WfdHardeningTest, SurvivesOversizedFrameHeader) {
+  UnixConn conn = ConnectUnix(socket_path_);
+  ASSERT_TRUE(conn.ok());
+  const unsigned char header[4] = {0x7f, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(conn.fd(), header, sizeof(header), MSG_NOSIGNAL), 4);
+  std::string reply;
+  ASSERT_EQ(ReadFrame(conn.fd(), &reply), FrameStatus::kOk);  // Courtesy error.
+  conn.Close();
+  ExpectDaemonAlive();
+}
+
+TEST_F(WfdHardeningTest, SurvivesMidFrameDisconnects) {
+  // Vanish at every interesting point: mid-header, mid-payload, and between
+  // a submit header and its job frame.
+  {
+    UnixConn conn = ConnectUnix(socket_path_);
+    ASSERT_TRUE(conn.ok());
+    const char partial[2] = {0, 0};
+    ::send(conn.fd(), partial, sizeof(partial), MSG_NOSIGNAL);
+  }
+  {
+    UnixConn conn = ConnectUnix(socket_path_);
+    ASSERT_TRUE(conn.ok());
+    const unsigned char header[4] = {0, 0, 0, 50};
+    ::send(conn.fd(), header, sizeof(header), MSG_NOSIGNAL);
+    ::send(conn.fd(), "short", 5, MSG_NOSIGNAL);
+  }
+  {
+    UnixConn conn = ConnectUnix(socket_path_);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(WriteFrame(conn.fd(), "command: submit\n"));
+    // No job frame: hang up instead.
+  }
+  ExpectDaemonAlive();
+  // The aborted submit must not have created a session.
+  ServiceCallResult status = QueryStatus(socket_path_);
+  ASSERT_TRUE(status.ok) << status.error;
+  EXPECT_TRUE(status.response.sessions.empty());
+}
+
+TEST_F(WfdHardeningTest, SurvivesBadJobFileAndKeepsServing) {
+  ServiceCallResult bad = SubmitJob(socket_path_, "os: not-a-real-os\n");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+  ExpectDaemonAlive();
+}
+
+TEST(WfdIdleTimeout, SilentClientCannotWedgeTheDaemon) {
+  // Connections are handled inline on the accept thread: a client that
+  // connects and sends nothing must be dropped after idle_timeout_ms so
+  // later clients get served.
+  WfdOptions options;
+  options.socket_path = TempPath("wf_protocol_idle.sock");
+  options.poll_ms = 10;
+  options.idle_timeout_ms = 100;
+  WfdServer server(options);
+  ASSERT_TRUE(server.Start()) << server.error();
+  std::thread serve([&] { server.Serve(); });
+
+  UnixConn silent = ConnectUnix(options.socket_path);
+  ASSERT_TRUE(silent.ok());
+  // Say nothing. The daemon must time the connection out and move on.
+  ServiceRequest ping;
+  ping.command = "ping";
+  ServiceCallResult result = CallService(options.socket_path, ping);
+  EXPECT_TRUE(result.ok) << result.error;
+  // The silent connection was dropped, not left half-open.
+  std::string reply;
+  EXPECT_NE(ReadFrame(silent.fd(), &reply), FrameStatus::kOk);
+
+  ServiceCallResult stop = StopDaemon(options.socket_path);
+  EXPECT_TRUE(stop.ok) << stop.error;
+  serve.join();
+}
+
+TEST_F(WfdHardeningTest, UnknownSessionQueriesError) {
+  ServiceCallResult status = QueryStatus(socket_path_, "s999");
+  EXPECT_FALSE(status.ok);
+  ServiceCallResult result = FetchResult(socket_path_, "s999");
+  EXPECT_FALSE(result.ok);
+  ExpectDaemonAlive();
+}
+
+}  // namespace
+}  // namespace wayfinder

@@ -1,0 +1,626 @@
+// The multi-session tuning service (src/service/): TrialStore persistence
+// and dedup, SessionManager lifecycle (submitted → running → paused → done,
+// queueing, graceful drain), shutdown durability (fsync + reopen loses no
+// committed trial), and the acceptance end-to-end: a wfd daemon serving
+// three concurrent sessions with different registry algorithms over the
+// socket, bit-identical to the same jobs run standalone, plus a
+// second submission warm-starting from the TrialStore.
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "src/configspace/linux_space.h"
+#include "src/configspace/unikraft_space.h"
+#include "src/core/wayfinder_api.h"
+#include "src/platform/checkpoint.h"
+#include "src/service/client.h"
+#include "src/service/session_manager.h"
+#include "src/service/trial_store.h"
+#include "src/service/wfd.h"
+
+namespace wayfinder {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string FreshDir(const char* name) {
+  std::string dir = TempPath(name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string JobYaml(const std::string& name, const std::string& app,
+                    const std::string& algorithm, size_t iterations, uint64_t seed,
+                    size_t parallel = 1) {
+  std::string yaml;
+  yaml += "name: " + name + "\n";
+  yaml += "os: linux\n";
+  yaml += "application: " + app + "\n";
+  yaml += "metric: performance\n";
+  yaml += "budget:\n";
+  yaml += "  iterations: " + std::to_string(iterations) + "\n";
+  if (parallel > 1) {
+    yaml += "parallel: " + std::to_string(parallel) + "\n";
+  }
+  yaml += "search:\n";
+  yaml += "  algorithm: " + algorithm + "\n";
+  yaml += "  seed: " + std::to_string(seed) + "\n";
+  return yaml;
+}
+
+void ExpectSameTrials(const std::vector<TrialRecord>& a, const std::vector<TrialRecord>& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].config.values(), b[i].config.values()) << label << " trial " << i;
+    ASSERT_EQ(static_cast<int>(a[i].outcome.status), static_cast<int>(b[i].outcome.status))
+        << label << " trial " << i;
+    ASSERT_EQ(a[i].sim_time_end, b[i].sim_time_end) << label << " trial " << i;
+    ASSERT_EQ(a[i].outcome.metric, b[i].outcome.metric) << label << " trial " << i;
+    if (std::isnan(a[i].objective)) {
+      ASSERT_TRUE(std::isnan(b[i].objective)) << label << " trial " << i;
+    } else {
+      ASSERT_EQ(a[i].objective, b[i].objective) << label << " trial " << i;
+    }
+  }
+}
+
+std::vector<TrialRecord> RunSome(const ConfigSpace& space, size_t iterations,
+                                 uint64_t seed) {
+  Testbench bench(&space, AppId::kNginx);
+  auto searcher = MakeSearcher("random", &space);
+  SessionOptions options;
+  options.max_iterations = iterations;
+  options.seed = seed;
+  return RunSearch(&bench, searcher.get(), options).history;
+}
+
+// ---------------------------------------------------------------------------
+// TrialStore.
+
+TEST(TrialStoreTest, AppendLoadRoundTripsAndDedups) {
+  std::string dir = FreshDir("wf_trialstore_roundtrip");
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::vector<TrialRecord> history = RunSome(space, 12, 0xa1);
+  std::string key = TrialStoreKey(space, AppId::kNginx);
+
+  TrialStore store(dir);
+  size_t written = 0;
+  for (const TrialRecord& trial : history) {
+    written += store.Append(key, trial) ? 1 : 0;
+  }
+  std::unordered_set<uint64_t> distinct;
+  for (const TrialRecord& trial : history) {
+    distinct.insert(trial.config.Hash());
+  }
+  EXPECT_EQ(written, distinct.size());
+  // Re-appending the same history is a no-op.
+  for (const TrialRecord& trial : history) {
+    EXPECT_FALSE(store.Append(key, trial));
+  }
+  EXPECT_EQ(store.Count(key), distinct.size());
+
+  TrialStore::LoadResult loaded = store.Load(key, space);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  ASSERT_EQ(loaded.trials.size(), distinct.size());
+  for (size_t i = 0; i < loaded.trials.size(); ++i) {
+    EXPECT_EQ(loaded.trials[i].config.values(), history[i].config.values()) << i;
+    EXPECT_EQ(loaded.trials[i].outcome.metric, history[i].outcome.metric) << i;
+    EXPECT_EQ(loaded.trials[i].sim_time_end, history[i].sim_time_end) << i;
+    EXPECT_EQ(loaded.trials[i].HasObjective(), history[i].HasObjective()) << i;
+    if (history[i].HasObjective()) {
+      EXPECT_EQ(loaded.trials[i].objective, history[i].objective) << i;
+    }
+  }
+}
+
+TEST(TrialStoreTest, SurvivesCloseAndReopen) {
+  std::string dir = FreshDir("wf_trialstore_reopen");
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::vector<TrialRecord> first = RunSome(space, 8, 0xa2);
+  std::string key = TrialStoreKey(space, AppId::kNginx);
+  {
+    TrialStore store(dir);
+    for (const TrialRecord& trial : first) {
+      store.Append(key, trial);
+    }
+    store.FsyncClose();
+  }
+  // A second process lifetime: dedup state and contents both survive.
+  TrialStore reopened(dir);
+  EXPECT_FALSE(reopened.Append(key, first.front()));
+  std::vector<TrialRecord> second = RunSome(space, 8, 0xa3);
+  for (const TrialRecord& trial : second) {
+    reopened.Append(key, trial);
+  }
+  TrialStore::LoadResult loaded = reopened.Load(key, space);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  std::unordered_set<uint64_t> expected;
+  for (const TrialRecord& trial : first) {
+    expected.insert(trial.config.Hash());
+  }
+  for (const TrialRecord& trial : second) {
+    expected.insert(trial.config.Hash());
+  }
+  EXPECT_EQ(loaded.trials.size(), expected.size());
+}
+
+TEST(TrialStoreTest, KeysSeparateAppsAndSpaces) {
+  ConfigSpace linux_space = BuildLinuxSearchSpace();
+  ConfigSpace unikraft_space = BuildUnikraftSpace();
+  EXPECT_NE(TrialStoreKey(linux_space, AppId::kNginx),
+            TrialStoreKey(linux_space, AppId::kRedis));
+  EXPECT_NE(TrialStoreKey(linux_space, AppId::kNginx),
+            TrialStoreKey(unikraft_space, AppId::kNginx));
+  // Freezing a parameter does not change raw-value meaning, but adding one
+  // does: the fingerprint tracks the parameter list.
+  EXPECT_EQ(TrialStoreKey(linux_space, AppId::kNginx).rfind("nginx-", 0), 0u);
+}
+
+TEST(TrialStoreTest, RecoversFromATornTail) {
+  // A daemon SIGKILLed mid-append leaves a half-written record. Reopening
+  // must (a) load the valid prefix, (b) truncate the torn bytes so new
+  // appends do not land after garbage, and (c) keep warm-start submissions
+  // working — one torn write must never brick the key.
+  std::string dir = FreshDir("wf_trialstore_torn");
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::vector<TrialRecord> history = RunSome(space, 6, 0xa5);
+  std::string key = TrialStoreKey(space, AppId::kNginx);
+  std::string path = dir + "/" + key + ".wftrials";
+  {
+    TrialStore store(dir);
+    for (const TrialRecord& trial : history) {
+      store.Append(key, trial);
+    }
+    store.FsyncClose();
+  }
+  // Tear the tail: a trial line with no values line, plus half a line.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "trial ok 1.5 2.5 3.5 4.5 5.5 0 1.0 9\nvalues 1 2 3";  // Short.
+  }
+  TrialStore reopened(dir);
+  TrialStore::LoadResult loaded = reopened.Load(key, space);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  std::unordered_set<uint64_t> distinct;
+  for (const TrialRecord& trial : history) {
+    distinct.insert(trial.config.Hash());
+  }
+  EXPECT_EQ(loaded.trials.size(), distinct.size());
+  // Appends after recovery extend a clean log.
+  std::vector<TrialRecord> more = RunSome(space, 4, 0xa6);
+  for (const TrialRecord& trial : more) {
+    reopened.Append(key, trial);
+  }
+  reopened.FsyncClose();
+  TrialStore final_store(dir);
+  TrialStore::LoadResult final_load = final_store.Load(key, space);
+  ASSERT_TRUE(final_load.ok) << final_load.error;
+  for (const TrialRecord& trial : more) {
+    distinct.insert(trial.config.Hash());
+  }
+  EXPECT_EQ(final_load.trials.size(), distinct.size());
+}
+
+TEST(TrialStoreTest, RecoversFromAMissingFinalNewline) {
+  // A SIGKILL can cut the log one byte short of the final newline. The
+  // unterminated record counts as torn (it never became fully durable);
+  // recovery must drop it cleanly so the next append starts a fresh,
+  // properly delimited line instead of concatenating onto the old one.
+  std::string dir = FreshDir("wf_trialstore_nonewline");
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::vector<TrialRecord> history = RunSome(space, 6, 0xa7);
+  std::string key = TrialStoreKey(space, AppId::kNginx);
+  std::string path = dir + "/" + key + ".wftrials";
+  std::unordered_set<uint64_t> distinct;
+  {
+    TrialStore store(dir);
+    for (const TrialRecord& trial : history) {
+      if (store.Append(key, trial)) {
+        distinct.insert(trial.config.Hash());
+      }
+    }
+    store.FsyncClose();
+  }
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 1);
+
+  TrialStore reopened(dir);
+  TrialStore::LoadResult loaded = reopened.Load(key, space);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.trials.size(), distinct.size() - 1);
+  std::unordered_set<uint64_t> expected;
+  for (const TrialRecord& trial : loaded.trials) {
+    expected.insert(trial.config.Hash());
+  }
+  std::vector<TrialRecord> more = RunSome(space, 4, 0xa8);
+  for (const TrialRecord& trial : more) {
+    reopened.Append(key, trial);
+    expected.insert(trial.config.Hash());
+  }
+  reopened.FsyncClose();
+  TrialStore final_store(dir);
+  TrialStore::LoadResult final_load = final_store.Load(key, space);
+  ASSERT_TRUE(final_load.ok) << final_load.error;
+  EXPECT_EQ(final_load.trials.size(), expected.size());
+}
+
+TEST(TrialStoreTest, RejectsMismatchedSpace) {
+  std::string dir = FreshDir("wf_trialstore_mismatch");
+  ConfigSpace linux_space = BuildLinuxSearchSpace();
+  ConfigSpace unikraft_space = BuildUnikraftSpace();
+  std::vector<TrialRecord> history = RunSome(linux_space, 4, 0xa4);
+  TrialStore store(dir);
+  std::string key = TrialStoreKey(linux_space, AppId::kNginx);
+  for (const TrialRecord& trial : history) {
+    store.Append(key, trial);
+  }
+  store.Flush();
+  TrialStore::LoadResult loaded = store.Load(key, unikraft_space);
+  EXPECT_FALSE(loaded.ok);
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager lifecycle.
+
+TEST(SessionManagerTest, RunsSubmittedJobsToDone) {
+  SessionManagerOptions options;
+  options.store_dir = FreshDir("wf_mgr_basic_store");
+  SessionManager manager(options);
+  std::string id, error;
+  ASSERT_TRUE(manager.Submit(JobYaml("mgr-basic", "nginx", "random", 10, 5), true, &id,
+                             &error))
+      << error;
+  EXPECT_EQ(id, "s1");
+  ASSERT_TRUE(manager.WaitDone(id, 30000));
+  SessionStatus status;
+  ASSERT_TRUE(manager.Status(id, &status));
+  EXPECT_EQ(status.state, "done");
+  EXPECT_EQ(status.trials, 10u);
+  EXPECT_EQ(status.warm_started, 0u);
+  EXPECT_FALSE(status.store_key.empty());
+
+  std::string checkpoint_text;
+  ASSERT_TRUE(manager.Result(id, &checkpoint_text, &error)) << error;
+  JobParseResult job = ParseJobText(JobYaml("mgr-basic", "nginx", "random", 10, 5));
+  ConfigSpace space = BuildJobSpace(job.spec);
+  CheckpointLoadResult loaded = LoadCheckpointText(space, checkpoint_text);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.history.size(), 10u);
+  EXPECT_TRUE(loaded.live.Any());  // Done sessions carry live state.
+  manager.Shutdown();
+}
+
+TEST(SessionManagerTest, RejectsBadJobsAndUnknownIds) {
+  SessionManagerOptions options;
+  SessionManager manager(options);
+  std::string id, error;
+  EXPECT_FALSE(manager.Submit("os: betamax\n", true, &id, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(manager.Pause("s1"));
+  EXPECT_FALSE(manager.Resume("s1"));
+  SessionStatus status;
+  EXPECT_FALSE(manager.Status("s1", &status));
+  std::string text;
+  EXPECT_FALSE(manager.Result("s1", &text, &error));
+  manager.Shutdown();
+}
+
+TEST(SessionManagerTest, QueuesBeyondMaxRunning) {
+  SessionManagerOptions options;
+  options.max_running = 1;
+  SessionManager manager(options);
+  std::string first, second, error;
+  ASSERT_TRUE(manager.Submit(JobYaml("queue-a", "nginx", "random", 40, 6), true, &first,
+                             &error))
+      << error;
+  ASSERT_TRUE(manager.Submit(JobYaml("queue-b", "redis", "random", 10, 7), true, &second,
+                             &error))
+      << error;
+  // With one slot, the second job waits its turn...
+  SessionStatus status;
+  ASSERT_TRUE(manager.Status(second, &status));
+  EXPECT_TRUE(status.state == "submitted" || status.state == "running") << status.state;
+  // ...and both finish.
+  ASSERT_TRUE(manager.WaitDone(first, 30000));
+  ASSERT_TRUE(manager.WaitDone(second, 30000));
+  ASSERT_TRUE(manager.Status(second, &status));
+  EXPECT_EQ(status.state, "done");
+  manager.Shutdown();
+}
+
+TEST(SessionManagerTest, PauseHoldsAtARoundBoundaryAndResumeContinues) {
+  SessionManagerOptions options;
+  SessionManager manager(options);
+  std::string id, error;
+  // Enough budget that the pause lands mid-run.
+  ASSERT_TRUE(manager.Submit(JobYaml("pausable", "nginx", "random", 2000, 8), true, &id,
+                             &error))
+      << error;
+  ASSERT_TRUE(manager.Pause(id));
+  // The driver parks at the next StepBatch boundary.
+  SessionStatus status;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(manager.Status(id, &status));
+    if (status.state == "paused") {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(status.state, "paused");
+  size_t paused_trials = status.trials;
+  EXPECT_LT(paused_trials, 2000u);
+  // Paused sessions are checkpointable mid-run, live state included.
+  std::string checkpoint_text;
+  ASSERT_TRUE(manager.Result(id, &checkpoint_text, &error)) << error;
+  EXPECT_NE(checkpoint_text.find("rng-session"), std::string::npos);
+  // Frozen while paused.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(manager.Status(id, &status));
+  EXPECT_EQ(status.trials, paused_trials);
+  ASSERT_TRUE(manager.Resume(id));
+  ASSERT_TRUE(manager.WaitDone(id, 60000));
+  ASSERT_TRUE(manager.Status(id, &status));
+  EXPECT_EQ(status.state, "done");
+  EXPECT_EQ(status.trials, 2000u);
+  manager.Shutdown();
+}
+
+// The "small fix" satellite: shutdown must fsync + close every TrialStore
+// file and flush checkpoints so no committed trial is lost — verified by
+// draining mid-run, then reopening the store in a fresh instance.
+TEST(SessionManagerTest, DrainLosesNoCommittedTrialAndWritesCheckpoints) {
+  std::string store_dir = FreshDir("wf_mgr_drain_store");
+  std::string ckpt_dir = FreshDir("wf_mgr_drain_ckpt");
+  SessionManagerOptions options;
+  options.store_dir = store_dir;
+  options.checkpoint_dir = ckpt_dir;
+
+  std::string id, error;
+  std::string yaml = JobYaml("drainable", "nginx", "random", 4000, 9);
+  std::vector<TrialRecord> committed;
+  {
+    SessionManager manager(options);
+    ASSERT_TRUE(manager.Submit(yaml, true, &id, &error)) << error;
+    // Let it commit a few trials, then pull the plug mid-run.
+    SessionStatus status;
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(manager.Status(id, &status));
+      if (status.trials >= 5) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GE(status.trials, 5u);
+    manager.Shutdown();
+    ASSERT_TRUE(manager.Status(id, &status));
+    EXPECT_EQ(status.state, "stopped");
+    std::string checkpoint_text;
+    ASSERT_TRUE(manager.Result(id, &checkpoint_text, &error)) << error;
+    JobParseResult job = ParseJobText(yaml);
+    ConfigSpace space = BuildJobSpace(job.spec);
+    CheckpointLoadResult loaded = LoadCheckpointText(space, checkpoint_text);
+    ASSERT_TRUE(loaded.ok) << loaded.error;
+    committed = loaded.history;
+    ASSERT_GE(committed.size(), 5u);
+  }
+
+  // A fresh store (new "process") sees every committed trial.
+  JobParseResult job = ParseJobText(yaml);
+  ConfigSpace space = BuildJobSpace(job.spec);
+  TrialStore reopened(store_dir);
+  TrialStore::LoadResult stored = reopened.Load(TrialStoreKey(space, job.spec.app), space);
+  ASSERT_TRUE(stored.ok) << stored.error;
+  std::unordered_set<uint64_t> on_disk;
+  for (const TrialRecord& trial : stored.trials) {
+    on_disk.insert(trial.config.Hash());
+  }
+  for (const TrialRecord& trial : committed) {
+    EXPECT_TRUE(on_disk.count(trial.config.Hash()) == 1)
+        << "committed trial " << trial.iteration << " lost by shutdown";
+  }
+
+  // The drain checkpoint restores into a session that finishes the budget.
+  CheckpointLoadResult drained =
+      LoadCheckpoint(space, ckpt_dir + "/" + id + ".ckpt");
+  ASSERT_TRUE(drained.ok) << drained.error;
+  ASSERT_EQ(drained.history.size(), committed.size());
+  EXPECT_TRUE(drained.live.Any());
+}
+
+TEST(SessionManagerTest, ScoreObjectiveResultsCarryFinalObjectives) {
+  // metric: score re-normalizes PAST objectives after every wave
+  // (RefreshScores), so the manager's mirror — what status/result/store
+  // see — must track the rewritten history, not the at-commit values. The
+  // pin: the daemon-side result equals the standalone run bit for bit,
+  // objectives included.
+  std::string yaml =
+      "name: score-mirror\nos: linux\napplication: nginx\nmetric: score\n"
+      "budget:\n  iterations: 20\nsearch:\n  algorithm: random\n  seed: 31\n";
+  SessionManagerOptions options;
+  options.store_dir = FreshDir("wf_mgr_score_store");
+  SessionManager manager(options);
+  std::string id, error;
+  ASSERT_TRUE(manager.Submit(yaml, true, &id, &error)) << error;
+  ASSERT_TRUE(manager.WaitDone(id, 30000));
+
+  std::string checkpoint_text;
+  ASSERT_TRUE(manager.Result(id, &checkpoint_text, &error)) << error;
+  JobParseResult job = ParseJobText(yaml);
+  ConfigSpace space = BuildJobSpace(job.spec);
+  CheckpointLoadResult daemon_history = LoadCheckpointText(space, checkpoint_text);
+  ASSERT_TRUE(daemon_history.ok) << daemon_history.error;
+  JobRunResult standalone = RunJobText(yaml);
+  ASSERT_TRUE(standalone.ok) << standalone.error;
+  ExpectSameTrials(standalone.session.history, daemon_history.history, "score mirror");
+
+  // Status `best` reflects the final normalization too.
+  SessionStatus status;
+  ASSERT_TRUE(manager.Status(id, &status));
+  double best = -1e300;
+  for (const TrialRecord& trial : standalone.session.history) {
+    if (trial.HasObjective()) {
+      best = std::max(best, trial.objective);
+    }
+  }
+  ASSERT_TRUE(status.has_best);
+  EXPECT_EQ(status.best, best);
+
+  // The store, too, holds final objectives (appended at run end).
+  TrialStore::LoadResult stored =
+      manager.store()->Load(TrialStoreKey(space, job.spec.app), space);
+  ASSERT_TRUE(stored.ok) << stored.error;
+  ASSERT_FALSE(stored.trials.empty());
+  manager.Shutdown();
+}
+
+TEST(SessionManagerTest, WarmStartObservesPriorTrials) {
+  std::string store_dir = FreshDir("wf_mgr_warm_store");
+  SessionManagerOptions options;
+  options.store_dir = store_dir;
+  SessionManager manager(options);
+  std::string first, warm, cold, error;
+  ASSERT_TRUE(manager.Submit(JobYaml("warm-a", "nginx", "random", 12, 10), true, &first,
+                             &error))
+      << error;
+  ASSERT_TRUE(manager.WaitDone(first, 30000));
+  size_t stored = manager.store()->Count(
+      TrialStoreKey(BuildJobSpace(ParseJobText(JobYaml("warm-a", "nginx", "random", 12, 10)).spec),
+                    AppId::kNginx));
+  ASSERT_GT(stored, 0u);
+
+  // Second submission against the same (space, app) key: warm-started.
+  ASSERT_TRUE(manager.Submit(JobYaml("warm-b", "nginx", "deeptune", 6, 11), true, &warm,
+                             &error))
+      << error;
+  SessionStatus status;
+  ASSERT_TRUE(manager.Status(warm, &status));
+  EXPECT_EQ(status.warm_started, stored);
+  // Opting out works.
+  ASSERT_TRUE(manager.Submit(JobYaml("warm-c", "nginx", "deeptune", 6, 11), false, &cold,
+                             &error))
+      << error;
+  ASSERT_TRUE(manager.Status(cold, &status));
+  EXPECT_EQ(status.warm_started, 0u);
+  ASSERT_TRUE(manager.WaitDone(warm, 60000));
+  ASSERT_TRUE(manager.WaitDone(cold, 60000));
+  manager.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance end-to-end: wfd over the socket.
+
+TEST(WfdEndToEnd, ThreeConcurrentAlgorithmsMatchStandaloneThenWarmStart) {
+  std::string socket_path = TempPath("wf_service_e2e.sock");
+  std::string store_dir = FreshDir("wf_service_e2e_store");
+  WfdOptions options;
+  options.socket_path = socket_path;
+  options.poll_ms = 10;
+  options.manager.store_dir = store_dir;
+  options.manager.max_running = 4;
+  WfdServer server(options);
+  ASSERT_TRUE(server.Start()) << server.error();
+  std::thread serve([&] { server.Serve(); });
+
+  // Three different registry algorithms, three different (space, app) keys
+  // (distinct apps), one with in-session parallelism — all submitted before
+  // any completes, so they run concurrently on the shared pool.
+  std::vector<std::string> yamls = {
+      JobYaml("e2e-deeptune", "nginx", "deeptune", 16, 21),
+      JobYaml("e2e-random", "redis", "random", 16, 22, /*parallel=*/2),
+      JobYaml("e2e-genetic", "sqlite", "genetic", 16, 23),
+  };
+  std::vector<std::string> ids;
+  for (const std::string& yaml : yamls) {
+    ServiceCallResult submitted = SubmitJob(socket_path, yaml);
+    ASSERT_TRUE(submitted.ok) << submitted.error;
+    ids.push_back(submitted.response.id);
+  }
+  ServiceCallResult fleet = QueryStatus(socket_path);
+  ASSERT_TRUE(fleet.ok) << fleet.error;
+  ASSERT_EQ(fleet.response.sessions.size(), 3u);
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(server.manager().WaitDone(ids[i], 120000)) << yamls[i];
+    ServiceCallResult status = QueryStatus(socket_path, ids[i]);
+    ASSERT_TRUE(status.ok) << status.error;
+    ASSERT_EQ(status.response.sessions.size(), 1u);
+    EXPECT_EQ(status.response.sessions[0].state, "done");
+    EXPECT_EQ(status.response.sessions[0].trials, 16u);
+    EXPECT_EQ(status.response.sessions[0].warm_started, 0u);
+  }
+
+  // Bit-identity: each session's history, fetched over the socket, equals
+  // the same job run standalone (RunJobText) with the same seeds.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ServiceCallResult result = FetchResult(socket_path, ids[i]);
+    ASSERT_TRUE(result.ok) << result.error;
+    JobParseResult job = ParseJobText(yamls[i]);
+    ASSERT_TRUE(job.ok) << job.error;
+    ConfigSpace space = BuildJobSpace(job.spec);
+    CheckpointLoadResult daemon_history = LoadCheckpointText(space, result.payload);
+    ASSERT_TRUE(daemon_history.ok) << daemon_history.error;
+
+    JobRunResult standalone = RunJobText(yamls[i]);
+    ASSERT_TRUE(standalone.ok) << standalone.error;
+    ExpectSameTrials(standalone.session.history, daemon_history.history,
+                     "daemon-vs-standalone " + yamls[i]);
+  }
+
+  // Second submission against the deeptune job's (space, app) key: its
+  // searcher observes the full prior history from the TrialStore before
+  // proposing, and the status reports it.
+  std::unordered_set<uint64_t> distinct;
+  {
+    ServiceCallResult result = FetchResult(socket_path, ids[0]);
+    ASSERT_TRUE(result.ok) << result.error;
+    JobParseResult job = ParseJobText(yamls[0]);
+    ConfigSpace space = BuildJobSpace(job.spec);
+    CheckpointLoadResult history = LoadCheckpointText(space, result.payload);
+    ASSERT_TRUE(history.ok);
+    for (const TrialRecord& trial : history.history) {
+      distinct.insert(trial.config.Hash());
+    }
+  }
+  std::string warm_yaml = JobYaml("e2e-warm", "nginx", "deeptune", 6, 24);
+  ServiceCallResult warm = SubmitJob(socket_path, warm_yaml);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  ServiceCallResult warm_status = QueryStatus(socket_path, warm.response.id);
+  ASSERT_TRUE(warm_status.ok) << warm_status.error;
+  EXPECT_EQ(warm_status.response.sessions[0].warm_started, distinct.size());
+  EXPECT_GT(warm_status.response.sessions[0].warm_started, 0u);
+  ASSERT_TRUE(server.manager().WaitDone(warm.response.id, 120000));
+  // The observed prior history shows in the trial log: a warm-started
+  // DeepTune skips its random warmup and proposes from the pre-trained
+  // model, so the trajectory diverges from the same job run cold.
+  {
+    ServiceCallResult result = FetchResult(socket_path, warm.response.id);
+    ASSERT_TRUE(result.ok) << result.error;
+    JobParseResult job = ParseJobText(warm_yaml);
+    ConfigSpace space = BuildJobSpace(job.spec);
+    CheckpointLoadResult warm_history = LoadCheckpointText(space, result.payload);
+    ASSERT_TRUE(warm_history.ok) << warm_history.error;
+    ASSERT_EQ(warm_history.history.size(), 6u);
+    JobRunResult cold = RunJobText(warm_yaml);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    bool diverged = false;
+    for (size_t i = 0; i < 6; ++i) {
+      diverged |= warm_history.history[i].config.Hash() !=
+                  cold.session.history[i].config.Hash();
+    }
+    EXPECT_TRUE(diverged) << "warm start left no trace in the trial log";
+  }
+
+  ServiceCallResult stop = StopDaemon(socket_path);
+  EXPECT_TRUE(stop.ok) << stop.error;
+  serve.join();
+}
+
+}  // namespace
+}  // namespace wayfinder

@@ -223,6 +223,92 @@ TEST(SessionParallel, ResumeThenBatchedStepsIsReproducible) {
   ExpectSameHistory(first.history, second.history, "deeptune resume determinism");
 }
 
+// ---------------------------------------------------------------------------
+// Sliding-window executor (SessionOptions::sliding_window).
+
+SessionResult RunSliding(const std::string& algorithm, bool sliding, size_t eval_threads,
+                         double fixed_trial_seconds, size_t iterations = 24) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  TestbenchOptions bench_options;
+  bench_options.seed = 0x7e80;
+  bench_options.fixed_trial_seconds = fixed_trial_seconds;
+  Testbench bench(&space, AppId::kNginx, bench_options);
+  auto searcher = MakeSearcher(algorithm, &space, 0xabd);
+  SessionOptions options;
+  options.max_iterations = iterations;
+  options.seed = 0x92;
+  options.parallel_evaluations = 4;
+  options.eval_threads = eval_threads;
+  options.sliding_window = sliding;
+  return RunSearch(&bench, searcher.get(), options);
+}
+
+// The satellite's pin: with equal-duration trials every in-flight window
+// finishes as one wave, and the sliding executor must reproduce the
+// lock-step schedule bit for bit — proposals, commit order, timestamps.
+class SlidingLockStepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SlidingLockStepTest, EqualDurationTrialsMatchLockStepBitForBit) {
+  SessionResult lock_step = RunSliding(GetParam(), /*sliding=*/false, 1, 10.0);
+  SessionResult sliding = RunSliding(GetParam(), /*sliding=*/true, 1, 10.0);
+  ExpectSameHistory(lock_step.history, sliding.history,
+                    std::string(GetParam()) + " sliding-vs-lockstep");
+  EXPECT_EQ(lock_step.builds, sliding.builds) << GetParam();
+  EXPECT_EQ(lock_step.builds_skipped, sliding.builds_skipped) << GetParam();
+  EXPECT_EQ(lock_step.crashes, sliding.crashes) << GetParam();
+  EXPECT_EQ(lock_step.total_sim_seconds, sliding.total_sim_seconds) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Searchers, SlidingLockStepTest,
+                         ::testing::Values("random", "deeptune"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(SlidingWindow, VariedDurationsFillTheBudgetInVirtualTimeOrder) {
+  // Realistic (varying) durations: waves are mostly singletons. The full
+  // budget still lands, commits are monotone in virtual time, and the
+  // window refills from the commit clock (no trial finishes before it
+  // could have started).
+  SessionResult result = RunSliding("random", /*sliding=*/true, 0, 0.0, 22);
+  ASSERT_EQ(result.history.size(), 22u);
+  double previous = 0.0;
+  for (const TrialRecord& trial : result.history) {
+    EXPECT_GE(trial.sim_time_end, previous);
+    previous = trial.sim_time_end;
+  }
+  EXPECT_EQ(result.builds + result.builds_skipped, 22u);
+  EXPECT_EQ(result.total_sim_seconds, result.history.back().sim_time_end);
+}
+
+TEST(SlidingWindow, HistoryInvariantAcrossEvalThreads) {
+  // Physical workers stay an execution detail under the sliding executor
+  // too: same pin as the lock-step WorkerInvarianceTest.
+  SessionResult t1 = RunSliding("deeptune", true, 1, 0.0);
+  SessionResult t2 = RunSliding("deeptune", true, 2, 0.0);
+  SessionResult t4 = RunSliding("deeptune", true, 4, 0.0);
+  ExpectSameHistory(t2.history, t1.history, "sliding t2-vs-t1");
+  ExpectSameHistory(t2.history, t4.history, "sliding t2-vs-t4");
+}
+
+TEST(SlidingWindow, DeterministicAcrossRuns) {
+  SessionResult first = RunSliding("random", true, 0, 0.0);
+  SessionResult second = RunSliding("random", true, 0, 0.0);
+  ExpectSameHistory(first.history, second.history, "sliding repeat");
+}
+
+TEST(SlidingWindow, KeepsTheWindowFullerThanLockStep) {
+  // With varying durations the sliding schedule never idles a slot waiting
+  // for the round's straggler, so the same trial count finishes in no more
+  // virtual time than lock-step gives it. (Same proposals cannot be
+  // guaranteed — the schedules diverge — so compare makespan, not content.)
+  SessionResult lock_step = RunSliding("random", false, 0, 0.0, 32);
+  SessionResult sliding = RunSliding("random", true, 0, 0.0, 32);
+  ASSERT_EQ(lock_step.history.size(), 32u);
+  ASSERT_EQ(sliding.history.size(), 32u);
+  EXPECT_LE(sliding.total_sim_seconds, lock_step.total_sim_seconds * 1.05);
+}
+
 TEST(SessionParallel, DedupAppliesWithinABatch) {
   // A degenerate one-parameter space forces duplicate proposals; dedup must
   // retry within the round (bounded by dedup_retries) and still complete.

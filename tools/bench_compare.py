@@ -9,8 +9,10 @@ the repo root. This tool compares two of them:
 
 Records are keyed on (bench, variant) and compared by ops_per_sec. Only the
 *anchor* benches gate: the bench_micro_matmul kernels and pool predictions
-(matmul_*, predict_batch_*) and the bench_micro_dtm update/predict/propose
-families (dtm_*, propose_*). Everything else — the
+(matmul_*, predict_batch_*), the bench_micro_dtm update/predict/propose
+families (dtm_*, propose_*), the bench_micro_session executor anchors
+(session_*), and the bench_micro_service daemon/store anchors (service_*,
+trialstore_*). Everything else — the
 paper-figure harnesses, status records, speedup summaries — is informational;
 figure benches are too seed- and load-sensitive to gate on.
 
@@ -31,7 +33,8 @@ import sys
 # Summary/ratio records sharing these prefixes (propose_speedup,
 # dtm_update_speedup, session_parallel_speedup) never reach the gate: they
 # carry no ops_per_sec, so load_records() drops them.
-ANCHOR_PREFIXES = ("matmul_", "dtm_", "predict_batch_", "propose_", "session_")
+ANCHOR_PREFIXES = ("matmul_", "dtm_", "predict_batch_", "propose_", "session_",
+                   "service_", "trialstore_")
 # Summary records (speedup ratios, backend info) carry no ops_per_sec.
 RATE_KEY = "ops_per_sec"
 

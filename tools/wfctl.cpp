@@ -13,11 +13,29 @@
 //   --resume <path>      resume from a checkpoint written by --checkpoint
 //   --checkpoint <path>  write the full history checkpoint when done
 //   --history-csv <path> export the history as CSV
+//
+// Service mode (the wfd daemon, src/service/): `wfctl serve` runs the
+// daemon in the foreground (the standalone `wfd` binary is the same loop);
+// submit/status/watch/result/pause/resume/stop talk to it over the Unix
+// socket, so many tuning sessions share one endpoint and one cross-session
+// trial store:
+//
+//   $ wfctl serve --socket /tmp/wfd.sock --store /var/lib/wayfinder &
+//   $ wfctl submit job.yaml                 # -> session id, e.g. s1
+//   $ wfctl status                          # fleet table
+//   $ wfctl watch s1                        # poll until done
+//   $ wfctl result s1 --out s1.ckpt         # checkpoint text (v2)
+//   $ wfctl stop                            # graceful drain
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "src/configspace/cmdline.h"
 #include "src/configspace/probe.h"
@@ -27,10 +45,14 @@
 #include "src/platform/checkpoint.h"
 #include "src/platform/crash_report.h"
 #include "src/platform/history_export.h"
+#include "src/service/client.h"
+#include "src/service/wfd.h"
 #include "src/simos/sysfs.h"
 
 namespace wayfinder {
 namespace {
+
+constexpr const char* kDefaultSocketPath = "/tmp/wfd.sock";
 
 int Usage() {
   std::string algorithms;
@@ -50,8 +72,17 @@ int Usage() {
                "  zoo    <dir> rank <job.yaml>         rank donors for a job's app (§3.3)\n"
                "  transfer <src-job> <dst-job> <src-ckpt> <out-ckpt>\n"
                "                                       map a history across platforms (§3.5)\n"
+               "service mode (all take [--socket P], default %s):\n"
+               "  serve  [--store DIR] [--checkpoint-dir DIR] [--max-sessions N]\n"
+               "                                       run the wfd daemon in the foreground\n"
+               "  submit <job.yaml> [--no-warm-start]  queue a job; prints its session id\n"
+               "  status [id]                          one session, or the whole fleet\n"
+               "  watch  <id> [--interval-ms N]        poll status until the session ends\n"
+               "  result <id> [--out P]                fetch the session checkpoint (v2)\n"
+               "  pause  <id> | resume <id>            pause/resume at a round boundary\n"
+               "  stop                                 drain every session and exit wfd\n"
                "algorithms: %s\n",
-               algorithms.c_str());
+               kDefaultSocketPath, algorithms.c_str());
   return 2;
 }
 
@@ -237,9 +268,15 @@ int CmdStart(int argc, char** argv) {
       std::fprintf(stderr, "wfctl: %s\n", loaded.error.c_str());
       return 1;
     }
-    session.Resume(loaded.history);
-    std::printf("resumed %zu prior trials from %s\n", loaded.history.size(),
-                resume_path.c_str());
+    // v2 checkpoints restore the live RNG/searcher state for a bit-exact
+    // continuation; v1 falls back to replay-only resume.
+    if (!session.Resume(loaded.history, loaded.live)) {
+      std::fprintf(stderr, "wfctl: corrupt live state in %s\n", resume_path.c_str());
+      return 1;
+    }
+    std::printf("resumed %zu prior trials from %s%s\n", loaded.history.size(),
+                resume_path.c_str(),
+                loaded.live.Any() ? " (bit-exact: live RNG state restored)" : "");
   }
 
   std::printf("job '%s': %s on %s, %s, budget %zu iterations%s\n", spec.name.c_str(),
@@ -279,7 +316,8 @@ int CmdStart(int argc, char** argv) {
     std::printf("\nmodel saved to %s\n", model_out.c_str());
   }
   if (!checkpoint_path.empty()) {
-    if (!SaveCheckpoint(result.history, checkpoint_path)) {
+    CheckpointLiveState live = session.ExportLiveState();
+    if (!SaveCheckpoint(result.history, checkpoint_path, &live)) {
       std::fprintf(stderr, "wfctl: cannot write checkpoint %s\n", checkpoint_path.c_str());
       return 1;
     }
@@ -471,9 +509,227 @@ int CmdTransfer(const std::string& source_job_path, const std::string& target_jo
   return 0;
 }
 
+// --- service mode ----------------------------------------------------------
+
+// Shared flag scan for the service subcommands: consumes --socket (and
+// friends) from anywhere in the tail, leaves the first positional arg in
+// *positional.
+struct ServiceArgs {
+  std::string socket_path = kDefaultSocketPath;
+  std::string positional;
+  std::string store_dir;
+  std::string checkpoint_dir;
+  std::string out_path;
+  size_t max_sessions = 4;
+  int interval_ms = 250;
+  bool warm_start = true;
+  bool ok = true;
+};
+
+ServiceArgs ParseServiceArgs(int argc, char** argv) {
+  ServiceArgs args;
+  for (int i = 0; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto take = [&](std::string* into) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "wfctl: %s needs a value\n", flag.c_str());
+        args.ok = false;
+        return false;
+      }
+      *into = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (flag == "--socket") {
+      args.ok &= take(&args.socket_path);
+    } else if (flag == "--store") {
+      args.ok &= take(&args.store_dir);
+    } else if (flag == "--checkpoint-dir") {
+      args.ok &= take(&args.checkpoint_dir);
+    } else if (flag == "--out") {
+      args.ok &= take(&args.out_path);
+    } else if (flag == "--max-sessions") {
+      if (take(&value)) {
+        args.max_sessions = static_cast<size_t>(std::strtoul(value.c_str(), nullptr, 10));
+        if (args.max_sessions == 0) {
+          std::fprintf(stderr, "wfctl: --max-sessions needs a positive count\n");
+          args.ok = false;
+        }
+      } else {
+        args.ok = false;
+      }
+    } else if (flag == "--interval-ms") {
+      if (take(&value)) {
+        args.interval_ms = std::atoi(value.c_str());
+        if (args.interval_ms <= 0) {
+          args.interval_ms = 250;
+        }
+      } else {
+        args.ok = false;
+      }
+    } else if (flag == "--no-warm-start") {
+      args.warm_start = false;
+    } else if (!flag.empty() && flag[0] == '-') {
+      std::fprintf(stderr, "wfctl: unknown flag %s\n", flag.c_str());
+      args.ok = false;
+    } else if (args.positional.empty()) {
+      args.positional = flag;
+    } else {
+      std::fprintf(stderr, "wfctl: unexpected argument %s\n", flag.c_str());
+      args.ok = false;
+    }
+  }
+  return args;
+}
+
+int CmdServe(const ServiceArgs& args) {
+  WfdOptions options;
+  options.socket_path = args.socket_path;
+  options.manager.store_dir = args.store_dir;
+  options.manager.checkpoint_dir = args.checkpoint_dir;
+  options.manager.max_running = args.max_sessions;
+  // The shared foreground bootstrap: signal-wired graceful drain, banner,
+  // serve loop — identical to the standalone `wfd` binary by construction.
+  return RunWfdForeground(options);
+}
+
+int CmdSubmit(const ServiceArgs& args) {
+  std::ifstream in(args.positional);
+  if (!in) {
+    std::fprintf(stderr, "wfctl: cannot read %s\n", args.positional.c_str());
+    return 1;
+  }
+  std::ostringstream job_text;
+  job_text << in.rdbuf();
+  ServiceCallResult call = SubmitJob(args.socket_path, job_text.str(), args.warm_start);
+  if (!call.ok) {
+    std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", call.response.id.c_str());
+  return 0;
+}
+
+void PrintStatusTable(const std::vector<SessionStatus>& sessions) {
+  std::printf("%-5s %-20s %-12s %-9s %9s %7s %12s %12s\n", "id", "job", "algorithm",
+              "state", "trials", "warm", "best", "sim(s)");
+  for (const SessionStatus& status : sessions) {
+    std::printf("%-5s %-20s %-12s %-9s %5zu/%-3zu %7zu %12s %12.0f\n", status.id.c_str(),
+                status.name.c_str(), status.algorithm.c_str(), status.state.c_str(),
+                status.trials, status.iterations, status.warm_started,
+                status.has_best ? std::to_string(status.best).c_str() : "-",
+                status.sim_seconds);
+  }
+}
+
+int CmdStatus(const ServiceArgs& args) {
+  ServiceCallResult call = QueryStatus(args.socket_path, args.positional);
+  if (!call.ok) {
+    std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
+    return 1;
+  }
+  PrintStatusTable(call.response.sessions);
+  return 0;
+}
+
+int CmdWatch(const ServiceArgs& args) {
+  for (;;) {
+    ServiceCallResult call = QueryStatus(args.socket_path, args.positional);
+    if (!call.ok) {
+      std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
+      return 1;
+    }
+    if (call.response.sessions.empty()) {
+      std::fprintf(stderr, "wfctl: no such session\n");
+      return 1;
+    }
+    const SessionStatus& status = call.response.sessions.front();
+    std::printf("%s: %-9s %zu/%zu trials  best=%s  t=%.0fs\n", status.id.c_str(),
+                status.state.c_str(), status.trials, status.iterations,
+                status.has_best ? std::to_string(status.best).c_str() : "-",
+                status.sim_seconds);
+    std::fflush(stdout);
+    if (status.state == "done" || status.state == "failed" || status.state == "stopped") {
+      return status.state == "done" ? 0 : 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.interval_ms));
+  }
+}
+
+int CmdResult(const ServiceArgs& args) {
+  ServiceCallResult call = FetchResult(args.socket_path, args.positional);
+  if (!call.ok) {
+    std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
+    return 1;
+  }
+  if (args.out_path.empty()) {
+    std::fwrite(call.payload.data(), 1, call.payload.size(), stdout);
+    return 0;
+  }
+  std::ofstream out(args.out_path);
+  out << call.payload;
+  if (!out) {
+    std::fprintf(stderr, "wfctl: cannot write %s\n", args.out_path.c_str());
+    return 1;
+  }
+  std::printf("checkpoint written to %s (use: wfctl report <job.yaml> %s)\n",
+              args.out_path.c_str(), args.out_path.c_str());
+  return 0;
+}
+
+int CmdSessionControl(const char* command, const ServiceArgs& args) {
+  ServiceRequest request;
+  request.command = command;
+  request.id = args.positional;
+  ServiceCallResult call = CallService(args.socket_path, request);
+  if (!call.ok) {
+    std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
+    return 1;
+  }
+  std::printf("%s: %s\n", request.id.empty() ? "wfd" : request.id.c_str(),
+              call.response.state.c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "algorithms") {
     return CmdAlgorithms();
+  }
+  if (argc >= 2) {
+    std::string service_command = argv[1];
+    if (service_command == "serve" || service_command == "submit" ||
+        service_command == "status" || service_command == "watch" ||
+        service_command == "result" || service_command == "pause" ||
+        service_command == "resume" || service_command == "stop") {
+      ServiceArgs args = ParseServiceArgs(argc - 2, argv + 2);
+      if (!args.ok) {
+        return 2;
+      }
+      if (service_command == "serve") {
+        return CmdServe(args);
+      }
+      if (service_command == "stop") {
+        return CmdSessionControl("stop", args);
+      }
+      if (service_command == "status") {
+        return CmdStatus(args);
+      }
+      if (args.positional.empty()) {
+        std::fprintf(stderr, "wfctl: %s needs a %s argument\n", service_command.c_str(),
+                     service_command == "submit" ? "job file" : "session id");
+        return 2;
+      }
+      if (service_command == "submit") {
+        return CmdSubmit(args);
+      }
+      if (service_command == "watch") {
+        return CmdWatch(args);
+      }
+      if (service_command == "result") {
+        return CmdResult(args);
+      }
+      return CmdSessionControl(service_command.c_str(), args);
+    }
   }
   if (argc < 3) {
     return Usage();

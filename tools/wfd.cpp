@@ -1,0 +1,54 @@
+// wfd — the Wayfinder tuning daemon entrypoint.
+//
+// The same serve loop as `wfctl serve` (both call RunWfdForeground),
+// packaged as the binary a deployment runs under its process supervisor:
+//
+//   $ wfd --socket /run/wayfinder/wfd.sock --store /var/lib/wayfinder \
+//         --checkpoint-dir /var/lib/wayfinder/checkpoints --max-sessions 8
+//
+// SIGINT/SIGTERM drain gracefully: every session stops at its next round
+// boundary, checkpoints are written, and the trial store is fsync'd —
+// exactly what the `wfctl stop` command does over the socket.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/service/wfd.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wfd [--socket P] [--store DIR] [--checkpoint-dir DIR]\n"
+               "           [--max-sessions N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wayfinder::WfdOptions options;
+  options.socket_path = "/tmp/wfd.sock";
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto take = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (flag == "--socket" && (value = take()) != nullptr) {
+      options.socket_path = value;
+    } else if (flag == "--store" && (value = take()) != nullptr) {
+      options.manager.store_dir = value;
+    } else if (flag == "--checkpoint-dir" && (value = take()) != nullptr) {
+      options.manager.checkpoint_dir = value;
+    } else if (flag == "--max-sessions" && (value = take()) != nullptr) {
+      options.manager.max_running = std::strtoul(value, nullptr, 10);
+      if (options.manager.max_running == 0) {
+        return Usage();
+      }
+    } else {
+      return Usage();
+    }
+  }
+  return wayfinder::RunWfdForeground(options);
+}
