@@ -1,0 +1,371 @@
+// Micro-benchmark of the event-driven transport (src/transport/) against
+// the blocking accept loop it replaced, plus the binary-vs-YAML codec
+// anchor. One JSON object per line for tools/run_benches.sh and
+// tools/bench_compare.py.
+//
+//   * transport_roundtrip/clients64_epoll: sustained fleet-status round
+//     trips per second with 64 concurrent clients holding persistent
+//     binary-codec connections to a real wfd daemon carrying four finished
+//     sessions — the gated anchor for the new service plane end to end
+//     (event loop + negotiated TLV codec + manager snapshot).
+//   * transport_roundtrip/clients64_blocking: the same 64 clients asking
+//     for the same four-session status from an in-bench replica of the
+//     PR-5 service plane: the blocking accept loop (serve one connection
+//     to EOF, then accept the next) speaking YAML. Persistent connections
+//     would starve 63 of the 64 clients forever under that loop, so these
+//     clients speak the only concurrency-safe dialect PR-5 supported:
+//     connect per call. Deliberately slow reference — tracked, never gated
+//     (bench_compare skips "blocking" variants).
+//   * transport_roundtrip_speedup: the epoll/blocking ratio, informational.
+//   * transport_latency/clients64_epoll: p99 round-trip latency (ms) seen
+//     by one of the 64 clients, informational (no ops_per_sec key).
+//   * transport_codec/{yaml,binary}: encode+decode round trips per second
+//     of a realistic 8-session fleet status response through each codec.
+//     Both gate; the binary/yaml ratio is the >=2x acceptance anchor.
+//
+// Usage: bench_micro_transport   (WF_FAST=1 shortens the windows, smoke mode)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/binary_codec.h"
+#include "src/service/client.h"
+#include "src/service/protocol.h"
+#include "src/service/wfd.h"
+#include "src/util/socket.h"
+
+namespace wayfinder {
+namespace {
+
+double g_measure_seconds = 0.4;
+
+using Clock = std::chrono::steady_clock;
+
+// Best-of-3 windows (see bench_micro_session): noise only slows a window
+// down, so the fastest window approximates the steady-state rate.
+template <typename Op>
+double OpsPerSec(size_t units_per_op, Op&& op) {
+  op();  // Warm up.
+  double best = 0.0;
+  for (int window = 0; window < 3; ++window) {
+    size_t iters = 0;
+    auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      op();
+      ++iters;
+      elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    } while (elapsed < g_measure_seconds / 3);
+    best = std::max(best, static_cast<double>(iters * units_per_op) / elapsed);
+  }
+  return best;
+}
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+[[noreturn]] void Die(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "bench_micro_transport: %s: %s\n", what, detail.c_str());
+  std::exit(1);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent round-trip throughput.
+
+struct ConcurrentResult {
+  double ops_per_sec = 0.0;
+  double p99_ms = 0.0;
+};
+
+// 64 client threads hammer `socket_path` with fleet-status round trips
+// (full client-side encode + server round trip + client-side decode);
+// throughput is the best of three sampled windows of the shared completion
+// counter. `persistent` clients negotiate the binary codec once and hold
+// the connection for the whole run; otherwise each round trip pays
+// connect+accept+close in YAML, the PR-5 client dialect.
+ConcurrentResult MeasureClients(size_t clients, const std::string& socket_path,
+                                bool persistent, size_t expect_sessions) {
+  ServiceRequest status;
+  status.command = "status";
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<double> latencies_ms;  // Thread 0 only; loop-thread unshared.
+  latencies_ms.reserve(1 << 20);
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ServiceConnection held;
+      std::string error;
+      if (persistent) {
+        if (!held.Connect(socket_path, /*binary=*/true, &error) || !held.binary()) {
+          ++errors;
+          return;
+        }
+        SetRecvTimeout(held.fd(), 10000);
+      }
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto begin = (c == 0) ? Clock::now() : Clock::time_point{};
+        bool ok;
+        if (persistent) {
+          ServiceCallResult result = held.Call(status);
+          ok = result.ok && result.response.sessions.size() == expect_sessions;
+        } else {
+          ServiceConnection conn;
+          ok = conn.Connect(socket_path, /*binary=*/false, &error);
+          if (ok) {
+            SetRecvTimeout(conn.fd(), 10000);
+            ServiceCallResult result = conn.Call(status);
+            ok = result.ok && result.response.sessions.size() == expect_sessions;
+          }
+        }
+        if (!ok) {
+          ++errors;
+          if (persistent) {
+            return;  // The held connection is dead; nothing left to measure.
+          }
+          continue;
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+        if (c == 0 && latencies_ms.size() < latencies_ms.capacity()) {
+          latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - begin)
+                  .count());
+        }
+      }
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // Settle.
+  ConcurrentResult result;
+  for (int window = 0; window < 3; ++window) {
+    uint64_t before = completed.load();
+    auto start = Clock::now();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(g_measure_seconds / 3));
+    double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    result.ops_per_sec = std::max(
+        result.ops_per_sec, static_cast<double>(completed.load() - before) / elapsed);
+  }
+  stop.store(true);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  if (completed.load() == 0 || errors.load() > completed.load() / 10) {
+    Die("round-trip measurement unhealthy",
+        std::to_string(errors.load()) + " errors / " +
+            std::to_string(completed.load()) + " completed");
+  }
+  if (!latencies_ms.empty()) {
+    size_t nth = latencies_ms.size() * 99 / 100;
+    std::nth_element(latencies_ms.begin(), latencies_ms.begin() + nth,
+                     latencies_ms.end());
+    result.p99_ms = latencies_ms[nth];
+  }
+  return result;
+}
+
+// A real daemon with four finished sessions, so every status round trip
+// snapshots and serializes a four-session fleet — the steady-state shape a
+// dashboard polling a tuning service sees.
+ConcurrentResult BenchEpollRoundtrip(size_t clients) {
+  WfdOptions options;
+  options.socket_path = TempPath("wf_bench_transport_epoll.sock");
+  options.poll_ms = 1;
+  options.manager.max_running = 4;
+  WfdServer server(options);
+  if (!server.Start()) {
+    Die("epoll daemon start failed", server.error());
+  }
+  std::thread serve([&] { server.Serve(); });
+  for (int i = 0; i < 4; ++i) {
+    std::string yaml = "name: bench-fleet-" + std::to_string(i + 1) +
+                       "\nos: linux\napplication: nginx\n"
+                       "budget:\n  iterations: 4\nsearch:\n  algorithm: random\n"
+                       "  seed: " + std::to_string(100 + i) + "\n";
+    ServiceCallResult submitted =
+        SubmitJob(options.socket_path, yaml, /*warm_start=*/false);
+    if (!submitted.ok || !server.manager().WaitDone(submitted.response.id, 60000)) {
+      Die("fleet session failed", submitted.error);
+    }
+  }
+  ConcurrentResult result = MeasureClients(clients, options.socket_path,
+                                           /*persistent=*/true,
+                                           /*expect_sessions=*/4);
+  server.Stop();
+  serve.join();
+  return result;
+}
+
+// The PR-5 service loop, reproduced: accept with a poll timeout, serve that
+// ONE connection until EOF while everyone else waits, repeat. It answers
+// `status` with a canned four-session fleet (sparing it the manager
+// snapshot the real daemon also pays — generous to the baseline), encoded
+// in YAML per request exactly as PR-5 did.
+void BlockingServe(UnixListener* listener, const ServiceResponse* fleet,
+                   std::atomic<bool>* stop) {
+  while (!stop->load()) {
+    UnixConn conn = listener->AcceptFor(1);
+    if (!conn.ok()) {
+      continue;
+    }
+    SetRecvTimeout(conn.fd(), 2000);
+    SetSendTimeout(conn.fd(), 2000);
+    for (;;) {
+      std::string text;
+      if (ReadFrame(conn.fd(), &text) != FrameStatus::kOk) {
+        break;
+      }
+      ServiceRequest request;
+      std::string error;
+      std::string reply;
+      if (DecodeRequest(text, &request, &error) && request.command == "status") {
+        reply = EncodeResponse(*fleet);
+      } else {
+        ServiceResponse response;
+        response.error = error.empty() ? "unimplemented" : error;
+        reply = EncodeResponse(response);
+      }
+      if (!WriteFrame(conn.fd(), reply)) {
+        break;
+      }
+    }
+  }
+}
+
+// Mirrors the field shapes of the real daemon's status reply for the four
+// finished bench-fleet sessions, so both variants serialize the same
+// amount of content.
+ServiceResponse MakeDoneFleet(size_t sessions) {
+  ServiceResponse response;
+  response.ok = true;
+  response.state = "fleet";
+  for (size_t i = 0; i < sessions; ++i) {
+    SessionStatus session;
+    session.id = "s" + std::to_string(i + 1);
+    session.name = "bench-fleet-" + std::to_string(i + 1);
+    session.algorithm = "random";
+    session.state = "done";
+    session.trials = 4;
+    session.iterations = 4;
+    session.has_best = true;
+    session.best = 1234.5678901234567 + 3.25 * static_cast<double>(i);
+    session.sim_seconds = 86000.0 + 1000.0 * static_cast<double>(i);
+    session.warm_started = 0;
+    response.sessions.push_back(session);
+  }
+  return response;
+}
+
+ConcurrentResult BenchBlockingRoundtrip(size_t clients) {
+  std::string socket_path = TempPath("wf_bench_transport_blocking.sock");
+  UnixListener listener;
+  if (!listener.Listen(socket_path, /*backlog=*/128)) {
+    Die("blocking listener start failed", listener.error());
+  }
+  const ServiceResponse fleet = MakeDoneFleet(4);
+  std::atomic<bool> stop{false};
+  std::thread serve([&] { BlockingServe(&listener, &fleet, &stop); });
+  ConcurrentResult result = MeasureClients(clients, socket_path,
+                                           /*persistent=*/false,
+                                           /*expect_sessions=*/4);
+  stop.store(true);
+  serve.join();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Codec throughput: a realistic fleet status response through each codec.
+
+ServiceResponse MakeFleetResponse() {
+  ServiceResponse response;
+  response.ok = true;
+  response.state = "fleet";
+  for (int i = 0; i < 8; ++i) {
+    SessionStatus session;
+    session.id = "s" + std::to_string(i + 1);
+    session.name = "bench-session-" + std::to_string(i + 1);
+    session.algorithm = (i % 2 == 0) ? "deeptune" : "genetic";
+    session.state = (i == 7) ? "failed" : (i < 5 ? "running" : "done");
+    session.trials = 120 + 40 * static_cast<size_t>(i);
+    session.iterations = 2000;
+    session.has_best = (i != 7);
+    session.best = 1234.5678901234567 + 3.25 * i;
+    session.sim_seconds = 86000.0 + 1000.0 * i;
+    session.warm_started = (i % 3 == 0) ? 64 : 0;
+    session.store_key = "linux-nginx-deadbeef" + std::to_string(i);
+    if (i == 7) {
+      session.error = "testbench rejected configuration";
+    }
+    response.sessions.push_back(session);
+  }
+  return response;
+}
+
+double BenchCodec(bool binary) {
+  const ServiceResponse fleet = MakeFleetResponse();
+  size_t checksum = 0;
+  double rate = OpsPerSec(1, [&] {
+    std::string wire = EncodeResponseWire(fleet, binary);
+    ServiceResponse decoded;
+    std::string error;
+    if (!DecodeResponseWire(wire, binary, &decoded, &error) ||
+        decoded.sessions.size() != fleet.sessions.size()) {
+      Die("codec round trip failed", error);
+    }
+    checksum += decoded.sessions[7].error.size();
+  });
+  if (checksum == 0) {
+    Die("codec round trip failed", "checksum empty");  // Keeps the loop live.
+  }
+  return rate;
+}
+
+}  // namespace
+}  // namespace wayfinder
+
+int main() {
+  using namespace wayfinder;
+  if (const char* fast = std::getenv("WF_FAST")) {
+    if (fast[0] != '\0' && fast[0] != '0') {
+      g_measure_seconds = 0.15;
+    }
+  }
+  constexpr size_t kClients = 64;
+  ConcurrentResult epoll = BenchEpollRoundtrip(kClients);
+  std::printf("{\"bench\": \"transport_roundtrip\", \"variant\": \"clients64_epoll\", "
+              "\"ops_per_sec\": %.2f}\n", epoll.ops_per_sec);
+  std::printf("{\"bench\": \"transport_latency\", \"variant\": \"clients64_epoll\", "
+              "\"p99_ms\": %.4f}\n", epoll.p99_ms);
+  ConcurrentResult blocking = BenchBlockingRoundtrip(kClients);
+  std::printf("{\"bench\": \"transport_roundtrip\", \"variant\": \"clients64_blocking\", "
+              "\"ops_per_sec\": %.2f}\n", blocking.ops_per_sec);
+  std::printf("{\"bench\": \"transport_roundtrip_speedup\", "
+              "\"variant\": \"epoll_vs_blocking\", \"speedup\": %.2f}\n",
+              blocking.ops_per_sec > 0 ? epoll.ops_per_sec / blocking.ops_per_sec : 0.0);
+  double yaml = BenchCodec(/*binary=*/false);
+  std::printf("{\"bench\": \"transport_codec\", \"variant\": \"yaml\", "
+              "\"ops_per_sec\": %.2f}\n", yaml);
+  double binary = BenchCodec(/*binary=*/true);
+  std::printf("{\"bench\": \"transport_codec\", \"variant\": \"binary\", "
+              "\"ops_per_sec\": %.2f}\n", binary);
+  std::printf("{\"bench\": \"transport_codec_speedup\", "
+              "\"variant\": \"binary_vs_yaml\", \"speedup\": %.2f}\n",
+              yaml > 0 ? binary / yaml : 0.0);
+  return 0;
+}

@@ -1,36 +1,67 @@
 #include "src/service/client.h"
 
-#include "src/util/socket.h"
+#include "src/service/binary_codec.h"
 
 namespace wayfinder {
 
-ServiceCallResult CallService(const std::string& socket_path, const ServiceRequest& request,
-                              const std::string& job_text) {
+bool ServiceConnection::Connect(const std::string& socket_path, bool binary,
+                                std::string* error) {
+  binary_ = false;
+  conn_ = ConnectUnix(socket_path);
+  if (!conn_.ok()) {
+    *error = "cannot connect to " + socket_path + " (is wfd running?)";
+    return false;
+  }
+  if (!binary) {
+    return true;
+  }
+  // Codec negotiation: hello as frame #1, expect the 4-byte ack. Anything
+  // else — a YAML error from a daemon that saw an unknown version, or a
+  // dropped connection from a pre-negotiation daemon that choked on the
+  // non-YAML frame — means "no binary here": reconnect and speak YAML.
+  // Reconnecting (rather than continuing on the same connection) gives one
+  // uniform downgrade path for both daemon generations.
+  std::string hello(kBinaryHello, sizeof(kBinaryHello));
+  std::string ack;
+  if (WriteFrame(conn_.fd(), hello) &&
+      ReadFrame(conn_.fd(), &ack) == FrameStatus::kOk && IsBinaryHello(ack)) {
+    binary_ = true;
+    return true;
+  }
+  conn_ = ConnectUnix(socket_path);
+  if (!conn_.ok()) {
+    *error = "cannot connect to " + socket_path + " (is wfd running?)";
+    return false;
+  }
+  return true;
+}
+
+ServiceCallResult ServiceConnection::Call(const ServiceRequest& request,
+                                          const std::string& job_text) {
   ServiceCallResult result;
-  UnixConn conn = ConnectUnix(socket_path);
-  if (!conn.ok()) {
-    result.error = "cannot connect to " + socket_path + " (is wfd running?)";
+  if (!conn_.ok()) {
+    result.error = "not connected";
     return result;
   }
-  if (!WriteFrame(conn.fd(), EncodeRequest(request))) {
+  if (!WriteFrame(conn_.fd(), EncodeRequestWire(request, binary_))) {
     result.error = "connection lost while sending request";
     return result;
   }
-  if (request.command == "submit" && !WriteFrame(conn.fd(), job_text)) {
+  if (request.command == "submit" && !WriteFrame(conn_.fd(), job_text)) {
     result.error = "connection lost while sending job file";
     return result;
   }
   std::string text;
-  FrameStatus frame = ReadFrame(conn.fd(), &text);
+  FrameStatus frame = ReadFrame(conn_.fd(), &text);
   if (frame != FrameStatus::kOk) {
     result.error = std::string("no response from daemon (") + FrameStatusName(frame) + ")";
     return result;
   }
-  if (!DecodeResponse(text, &result.response, &result.error)) {
+  if (!DecodeResponseWire(text, binary_, &result.response, &result.error)) {
     return result;
   }
   if (result.response.has_payload) {
-    frame = ReadFrame(conn.fd(), &result.payload);
+    frame = ReadFrame(conn_.fd(), &result.payload);
     if (frame != FrameStatus::kOk) {
       result.error = std::string("payload frame lost (") + FrameStatusName(frame) + ")";
       return result;
@@ -41,6 +72,30 @@ ServiceCallResult CallService(const std::string& socket_path, const ServiceReque
     result.error = result.response.error;
   }
   return result;
+}
+
+bool ServiceConnection::ReadResponse(ServiceResponse* response, std::string* error) {
+  if (!conn_.ok()) {
+    *error = "not connected";
+    return false;
+  }
+  std::string text;
+  FrameStatus frame = ReadFrame(conn_.fd(), &text);
+  if (frame != FrameStatus::kOk) {
+    *error = std::string("push stream ended (") + FrameStatusName(frame) + ")";
+    return false;
+  }
+  return DecodeResponseWire(text, binary_, response, error);
+}
+
+ServiceCallResult CallService(const std::string& socket_path, const ServiceRequest& request,
+                              const std::string& job_text, bool binary) {
+  ServiceConnection conn;
+  ServiceCallResult result;
+  if (!conn.Connect(socket_path, binary, &result.error)) {
+    return result;
+  }
+  return conn.Call(request, job_text);
 }
 
 ServiceCallResult SubmitJob(const std::string& socket_path, const std::string& job_text,

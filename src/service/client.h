@@ -1,6 +1,13 @@
-// Client side of the wfd wire protocol — one call per daemon round trip,
-// shared by the wfctl subcommands and the service tests (so both exercise
-// the exact bytes a real deployment would).
+// Client side of the wfd wire protocol — shared by the wfctl subcommands
+// and the service tests (so both exercise the exact bytes a real
+// deployment would).
+//
+// ServiceConnection is a persistent connection with optional binary-codec
+// negotiation: Connect(binary=true) sends the hello and, when the daemon
+// does not ack it (an old daemon, or one that answered with a YAML error),
+// transparently reconnects in YAML mode — scripts never see the
+// negotiation. CallService keeps the one-shot connect-per-call shape every
+// existing caller uses, layered on a throwaway ServiceConnection.
 #ifndef WAYFINDER_SRC_SERVICE_CLIENT_H_
 #define WAYFINDER_SRC_SERVICE_CLIENT_H_
 
@@ -8,6 +15,7 @@
 #include <vector>
 
 #include "src/service/protocol.h"
+#include "src/util/socket.h"
 
 namespace wayfinder {
 
@@ -18,11 +26,39 @@ struct ServiceCallResult {
   std::string payload;       // The extra frame of an ok `result`.
 };
 
+// A persistent daemon connection speaking whichever codec got negotiated.
+class ServiceConnection {
+ public:
+  // Connects; with `binary`, negotiates the TLV codec and silently falls
+  // back to YAML when the daemon does not speak it. False with *error on
+  // connection failure.
+  bool Connect(const std::string& socket_path, bool binary, std::string* error);
+
+  // One request/response round trip (submit carries `job_text` as the
+  // follow-up frame; an ok `result` reads its payload frame).
+  ServiceCallResult Call(const ServiceRequest& request,
+                         const std::string& job_text = "");
+
+  // Reads ONE response frame — the receive half of a `watch` push stream.
+  // False on EOF/timeout/decode failure with *error set.
+  bool ReadResponse(ServiceResponse* response, std::string* error);
+
+  bool connected() const { return conn_.ok(); }
+  bool binary() const { return binary_; }
+  int fd() const { return conn_.fd(); }
+  void Close() { conn_.Close(); }
+
+ private:
+  UnixConn conn_;
+  bool binary_ = false;
+};
+
 // Connects to `socket_path`, sends `request` (plus `job_text` as the
 // follow-up frame when the command is submit), reads the response (plus the
-// payload frame when the response announces one), disconnects.
+// payload frame when the response announces one), disconnects. `binary`
+// opts into codec negotiation (wfctl --binary).
 ServiceCallResult CallService(const std::string& socket_path, const ServiceRequest& request,
-                              const std::string& job_text = "");
+                              const std::string& job_text = "", bool binary = false);
 
 // Convenience wrappers.
 ServiceCallResult SubmitJob(const std::string& socket_path, const std::string& job_text,

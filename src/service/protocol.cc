@@ -51,13 +51,30 @@ void AppendStatus(std::string* out, const SessionStatus& status, const char* ind
 }  // namespace
 
 bool KnownServiceCommand(const std::string& command) {
-  return command == "submit" || command == "status" || command == "result" ||
-         command == "pause" || command == "resume" || command == "stop" ||
-         command == "ping";
+  return command == "submit" || command == "status" || command == "watch" ||
+         command == "result" || command == "pause" || command == "resume" ||
+         command == "stop" || command == "compact" || command == "ping";
 }
 
 bool CommandNeedsId(const std::string& command) {
-  return command == "result" || command == "pause" || command == "resume";
+  return command == "result" || command == "pause" || command == "resume" ||
+         command == "watch";
+}
+
+bool ValidateRequest(const ServiceRequest& request, std::string* error) {
+  if (request.command.empty()) {
+    *error = "request has no command";
+    return false;
+  }
+  if (!KnownServiceCommand(request.command)) {
+    *error = "unknown command: " + request.command;
+    return false;
+  }
+  if (CommandNeedsId(request.command) && request.id.empty()) {
+    *error = request.command + " requires an id";
+    return false;
+  }
+  return true;
 }
 
 std::string EncodeRequest(const ServiceRequest& request) {
@@ -84,19 +101,7 @@ bool DecodeRequest(const std::string& text, ServiceRequest* request, std::string
   request->command = parsed.root.GetString("command");
   request->id = parsed.root.GetString("id");
   request->warm_start = parsed.root.GetBool("warm_start", true);
-  if (request->command.empty()) {
-    *error = "request has no command";
-    return false;
-  }
-  if (!KnownServiceCommand(request->command)) {
-    *error = "unknown command: " + request->command;
-    return false;
-  }
-  if (CommandNeedsId(request->command) && request->id.empty()) {
-    *error = request->command + " requires an id";
-    return false;
-  }
-  return true;
+  return ValidateRequest(*request, error);
 }
 
 std::string EncodeResponse(const ServiceResponse& response) {

@@ -3,8 +3,9 @@
 //
 // Every request is one YAML mapping frame:
 //
-//   command: submit | status | result | pause | resume | stop | ping
-//   id: s3              # the session, for status/result/pause/resume
+//   command: submit | status | watch | result | pause | resume | stop |
+//            compact | ping
+//   id: s3              # the session, for status/watch/result/pause/resume
 //   warm_start: false   # submit only (default true)
 //
 // `submit` is followed by ONE extra frame carrying the job file text
@@ -68,6 +69,11 @@ struct ServiceResponse {
 
 // True for commands the protocol knows (the daemon rejects the rest).
 bool KnownServiceCommand(const std::string& command);
+
+// Shared semantic validation — both wire codecs (YAML here, binary TLV in
+// src/service/binary_codec.h) funnel decoded requests through this so the
+// two formats reject exactly the same inputs.
+bool ValidateRequest(const ServiceRequest& request, std::string* error);
 
 std::string EncodeRequest(const ServiceRequest& request);
 // False (with *error) on non-YAML input, a missing/unknown command, or a

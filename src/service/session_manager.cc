@@ -98,6 +98,7 @@ bool SessionManager::Submit(const std::string& job_text, bool warm_start, std::s
   *id = managed->id;
   sessions_.push_back(std::move(managed));
   FillRunningSlots();
+  status_version_.fetch_add(1, std::memory_order_release);
   return true;
 }
 
@@ -169,6 +170,69 @@ void SessionManager::PersistNewTrials(Managed* managed) {
   if (!history.empty()) {
     managed->sim_seconds = history.back().sim_time_end;
   }
+  NotifyLocked(*managed);
+}
+
+void SessionManager::NotifyLocked(const Managed& managed) {
+  // Every caller just changed status-visible state under mutex_; the bump
+  // landing after the write (and before the caller unlocks) means a reader
+  // who saw the new version observes the new state through List()/Status().
+  status_version_.fetch_add(1, std::memory_order_release);
+  if (subscribers_.empty()) {
+    return;
+  }
+  SessionStatus snapshot = Snapshot(managed);
+  for (const Subscriber& subscriber : subscribers_) {
+    if (subscriber.id == managed.id) {
+      subscriber.observer(snapshot);
+    }
+  }
+}
+
+uint64_t SessionManager::Subscribe(const std::string& id, StatusObserver observer,
+                                   SessionStatus* initial) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Managed* managed = FindLocked(id);
+  if (managed == nullptr) {
+    return 0;
+  }
+  // Snapshot and registration under ONE lock hold: a wave committing right
+  // after this call reaches the observer, one committing right before is in
+  // *initial — nothing is missed and nothing fires before the caller knows
+  // its own baseline.
+  *initial = Snapshot(*managed);
+  Subscriber subscriber;
+  subscriber.token = next_subscriber_++;
+  subscriber.id = id;
+  subscriber.observer = std::move(observer);
+  subscribers_.push_back(std::move(subscriber));
+  return subscribers_.back().token;
+}
+
+void SessionManager::Unsubscribe(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = subscribers_.begin(); it != subscribers_.end(); ++it) {
+    if (it->token == token) {
+      subscribers_.erase(it);
+      return;
+    }
+  }
+}
+
+bool SessionManager::CompactStore(std::string* summary) {
+  if (store_ == nullptr) {
+    *summary = "no trial store configured";
+    return false;
+  }
+  TrialStore::CompactStats stats = store_->CompactAll();
+  if (!stats.ok) {
+    *summary = stats.error;
+    return false;
+  }
+  *summary = "compacted " + std::to_string(stats.files) + " file(s): kept " +
+             std::to_string(stats.kept) + ", dropped " +
+             std::to_string(stats.dropped) + " superseded";
+  return true;
 }
 
 void SessionManager::Drive(Managed* managed) {
@@ -192,8 +256,13 @@ void SessionManager::Drive(Managed* managed) {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      bool was_paused = false;
       while (managed->pause_requested && !shutdown_) {
-        managed->state = State::kPaused;
+        if (managed->state != State::kPaused) {
+          managed->state = State::kPaused;
+          NotifyLocked(*managed);  // Watchers see the pause land.
+          was_paused = true;
+        }
         state_changed_.notify_all();
         state_changed_.wait(lock);
       }
@@ -201,6 +270,9 @@ void SessionManager::Drive(Managed* managed) {
         break;
       }
       managed->state = State::kRunning;
+      if (was_paused) {
+        NotifyLocked(*managed);  // ... and the resume.
+      }
     }
     // The step runs unlocked: it is the long pole (proposals, concurrent
     // evaluations on the shared pool) and other sessions/requests must not
@@ -237,6 +309,7 @@ void SessionManager::Drive(Managed* managed) {
   if (!shutdown_) {
     FillRunningSlots();
   }
+  NotifyLocked(*managed);  // Terminal push: watchers learn done/failed/stopped.
   state_changed_.notify_all();
 }
 

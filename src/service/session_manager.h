@@ -23,7 +23,10 @@
 #ifndef WAYFINDER_SRC_SERVICE_SESSION_MANAGER_H_
 #define WAYFINDER_SRC_SERVICE_SESSION_MANAGER_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -71,6 +74,15 @@ class SessionManager {
   bool Status(const std::string& id, SessionStatus* status) const;
   std::vector<SessionStatus> List() const;
 
+  // Monotonic counter bumped whenever any status-visible state changes
+  // (submission, lifecycle transition, wave-boundary mirror refresh). Two
+  // equal readings bracket an interval in which List()/Status() were
+  // constant, so callers may serve a response cached at the first reading —
+  // the daemon's fleet-status fast path. Lock-free.
+  uint64_t StatusVersion() const {
+    return status_version_.load(std::memory_order_acquire);
+  }
+
   // The session's history so far as checkpoint text (v2, with live state
   // once the session finished). Usable mid-run: the snapshot is taken at a
   // wave boundary.
@@ -79,6 +91,25 @@ class SessionManager {
   // Blocks until the session leaves the running set (done/failed), up to
   // `timeout_ms` (0 = forever). False on timeout or unknown id.
   bool WaitDone(const std::string& id, int timeout_ms);
+
+  // Push-watch support: `observer` fires with a fresh status snapshot every
+  // time session `id` commits a wave or changes lifecycle state, invoked on
+  // the DRIVER thread while the manager lock is held — observers must be
+  // cheap and must NOT call back into the manager (the daemon's observers
+  // just enqueue a frame onto the transport loop). *initial receives the
+  // current snapshot under the same lock that registers the observer, so a
+  // wave can never slip between "read status" and "subscribed". Returns a
+  // token for Unsubscribe, or 0 when `id` is unknown.
+  using StatusObserver = std::function<void(const SessionStatus&)>;
+  uint64_t Subscribe(const std::string& id, StatusObserver observer,
+                     SessionStatus* initial);
+  void Unsubscribe(uint64_t token);
+
+  // Rewrites every trial-store file dropping superseded hash-duplicate
+  // records (fsync + atomic rename per file). Returns false with the
+  // details in *summary when any file failed; daemon `compact` and `wfctl
+  // store-compact` surface *summary either way.
+  bool CompactStore(std::string* summary);
 
   // Graceful drain: every session stops at its next StepBatch boundary,
   // driver threads join, checkpoints are written, and every TrialStore
@@ -130,9 +161,12 @@ class SessionManager {
   const Managed* FindLocked(const std::string& id) const;
   // Appends history[persisted..) to the store. Caller holds mutex_.
   void PersistNewTrials(Managed* managed);
+  // Fires every observer subscribed to `managed`. Caller holds mutex_.
+  void NotifyLocked(const Managed& managed);
 
   SessionManagerOptions options_;
   std::unique_ptr<TrialStore> store_;
+  std::atomic<uint64_t> status_version_{1};
   mutable std::mutex mutex_;
   std::condition_variable state_changed_;
   bool shutdown_ = false;
@@ -140,6 +174,14 @@ class SessionManager {
   size_t next_id_ = 1;
   // Stable addresses: driver threads hold Managed* across their lifetime.
   std::vector<std::unique_ptr<Managed>> sessions_;
+
+  struct Subscriber {
+    uint64_t token = 0;
+    std::string id;  // Session watched.
+    StatusObserver observer;
+  };
+  uint64_t next_subscriber_ = 1;
+  std::vector<Subscriber> subscribers_;
 };
 
 }  // namespace wayfinder

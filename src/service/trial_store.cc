@@ -1,7 +1,9 @@
 #include "src/service/trial_store.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -315,6 +317,118 @@ size_t TrialStore::Count(const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   OpenFile* entry = Open(key);
   return entry == nullptr ? 0 : entry->hashes.size();
+}
+
+TrialStore::CompactStats TrialStore::CompactAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CompactStats stats;
+  std::error_code ec;
+  std::vector<std::string> keys;
+  for (const auto& dirent : std::filesystem::directory_iterator(dir_, ec)) {
+    std::string name = dirent.path().filename().string();
+    const std::string suffix = ".wftrials";
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      keys.push_back(name.substr(0, name.size() - suffix.size()));
+    }
+  }
+  if (ec) {
+    stats.ok = false;
+    stats.error = dir_ + ": " + ec.message();
+    return stats;
+  }
+  for (const std::string& key : keys) {
+    // Open first: its torn-tail recovery truncates any half-written record,
+    // so the re-read below only sees complete pairs. Then close and drop
+    // the handle — the rename below replaces the inode, and the next
+    // Append must reopen (and re-index) the compacted file.
+    OpenFile* entry = Open(key);
+    if (entry == nullptr) {
+      stats.ok = false;
+      if (stats.error.empty()) {
+        stats.error = key + ": not a trial store file";
+      }
+      continue;
+    }
+    std::fflush(entry->file);
+    std::fclose(entry->file);
+    files_.erase(key);
+
+    std::string path = dir_ + "/" + key + ".wftrials";
+    std::ifstream in(path, std::ios::binary);
+    std::string header;
+    std::string params_line;
+    if (!in || !std::getline(in, header)) {
+      continue;  // Empty (recovered-to-zero) file: nothing to compact.
+    }
+    size_t params = 0;
+    if (header != "wayfinder-trials v1" || !std::getline(in, params_line) ||
+        std::sscanf(params_line.c_str(), "params %zu", &params) != 1) {
+      continue;  // Recovered to header-only torn state; next append fixes it.
+    }
+    // Records kept as raw line pairs — compaction must never re-encode a
+    // float (a %.17g round-trip is exact, but byte identity is simpler to
+    // trust and to test). Last record per hash wins, seated at the hash's
+    // first-occurrence position so stored order stays stable.
+    std::vector<std::pair<std::string, std::string>> records;
+    std::map<uint64_t, size_t> position;
+    size_t total = 0;
+    std::string trial_line;
+    std::string values_line;
+    while (std::getline(in, trial_line) && std::getline(in, values_line)) {
+      TrialRecord trial;
+      std::vector<int64_t> values;
+      if (!ParseStoredTrial(trial_line, values_line, &trial, &values) ||
+          (params != 0 && values.size() != params)) {
+        break;  // Structural tail damage; keep the valid prefix.
+      }
+      ++total;
+      uint64_t hash = Configuration::HashValues(values);
+      auto seat = position.find(hash);
+      if (seat == position.end()) {
+        position[hash] = records.size();
+        records.emplace_back(trial_line, values_line);
+      } else {
+        records[seat->second] = {trial_line, values_line};
+      }
+    }
+    in.close();
+
+    std::string tmp_path = path + ".tmp";
+    std::FILE* out = std::fopen(tmp_path.c_str(), "w");
+    if (out == nullptr) {
+      stats.ok = false;
+      if (stats.error.empty()) {
+        stats.error = tmp_path + ": " + std::strerror(errno);
+      }
+      continue;
+    }
+    std::fprintf(out, "wayfinder-trials v1\nparams %zu\n", params);
+    for (const auto& [line, values] : records) {
+      std::fprintf(out, "%s\n%s\n", line.c_str(), values.c_str());
+    }
+    bool wrote = std::fflush(out) == 0 && ::fsync(fileno(out)) == 0;
+    std::fclose(out);
+    if (!wrote || std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+      stats.ok = false;
+      if (stats.error.empty()) {
+        stats.error = path + ": " + std::strerror(errno);
+      }
+      std::remove(tmp_path.c_str());
+      continue;
+    }
+    ++stats.files;
+    stats.kept += records.size();
+    stats.dropped += total - records.size();
+  }
+  // Make the renames durable: fsync the directory itself (best effort —
+  // the data fsync above already happened pre-rename).
+  int dir_fd = ::open(dir_.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return stats;
 }
 
 }  // namespace wayfinder

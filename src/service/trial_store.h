@@ -76,6 +76,23 @@ class TrialStore {
   // Distinct trials currently stored under `key` (opens the file if needed).
   size_t Count(const std::string& key);
 
+  struct CompactStats {
+    bool ok = true;
+    size_t files = 0;    // Files rewritten.
+    size_t kept = 0;     // Records surviving across all files.
+    size_t dropped = 0;  // Superseded duplicates removed.
+    std::string error;   // First failure (ok = false).
+  };
+
+  // Rewrites every <dir>/*.wftrials file, dropping all but the LAST record
+  // per configuration hash (appends from one daemon dedup at write time, so
+  // duplicates come from merged/concatenated stores — the newest record
+  // wins) while preserving first-occurrence order. Each rewrite goes
+  // through a temp file + fsync + atomic rename, so a crash mid-compaction
+  // leaves either the old or the new file, never a hybrid. Open handles are
+  // closed first and reopen lazily on the next append.
+  CompactStats CompactAll();
+
   const std::string& dir() const { return dir_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <csignal>
 #include <cstdio>
 
+#include "src/service/binary_codec.h"
 #include "src/util/log.h"
 
 namespace wayfinder {
@@ -13,8 +14,18 @@ WfdServer* g_foreground_server = nullptr;
 
 void HandleDrainSignal(int) {
   if (g_foreground_server != nullptr) {
-    g_foreground_server->Stop();
+    g_foreground_server->Stop();  // One eventfd write; async-signal-safe.
   }
+}
+
+// Push backpressure: a watcher that stops draining its socket gets
+// non-terminal pushes skipped past this much queued tx, and is closed
+// outright once the queue hits the frame cap (it is not reading at all).
+constexpr size_t kPushSkipTxBytes = 256 * 1024;
+constexpr size_t kPushCloseTxBytes = kMaxFrameBytes;
+
+bool TerminalState(const std::string& state) {
+  return state == "done" || state == "failed" || state == "stopped";
 }
 
 }  // namespace
@@ -44,132 +55,251 @@ WfdServer::WfdServer(const WfdOptions& options)
     : options_(options), manager_(options.manager) {}
 
 bool WfdServer::Start() {
-  if (!listener_.Listen(options_.socket_path)) {
-    error_ = listener_.error();
+  TransportOptions transport;
+  transport.socket_path = options_.socket_path;
+  transport.idle_timeout_ms = options_.idle_timeout_ms;
+  transport.tick_ms = options_.poll_ms;
+  if (!transport_.Start(transport, this)) {
+    error_ = transport_.error();
     return false;
   }
   return true;
 }
 
 void WfdServer::Serve() {
-  while (!stop_.load()) {
-    UnixConn conn = listener_.AcceptFor(options_.poll_ms);
-    if (conn.ok()) {
-      HandleConnection(std::move(conn));
-    }
-  }
+  transport_.Run();
   manager_.Shutdown();
 }
 
-void WfdServer::HandleConnection(UnixConn conn) {
-  // A connection may carry any number of requests; it ends at clean EOF or
-  // the first protocol violation. Nothing a client sends (or fails to send)
-  // escapes this function — including doing nothing at all: the timeouts
-  // bound how long a client that stops sending (or stops draining its
-  // responses) can hold the accept thread.
-  SetRecvTimeout(conn.fd(), options_.idle_timeout_ms);
-  SetSendTimeout(conn.fd(), options_.idle_timeout_ms);
-  for (;;) {
-    std::string text;
-    FrameStatus frame = ReadFrame(conn.fd(), &text);
-    if (frame == FrameStatus::kClosed) {
-      return;  // Client done.
-    }
-    if (frame != FrameStatus::kOk) {
-      // Oversized gets a courtesy error (the stream is still framed at this
-      // point); truncation/errors mean the peer is gone — just drop.
-      if (frame == FrameStatus::kOversized) {
-        ServiceResponse response;
-        response.error = "frame exceeds protocol limit";
-        WriteFrame(conn.fd(), EncodeResponse(response));
-      }
-      WF_LOG(Info) << "wfd: dropping connection (" << FrameStatusName(frame) << ")";
-      return;
-    }
+void WfdServer::OnOpen(uint64_t conn) { conns_[conn]; }
 
-    ServiceRequest request;
-    ServiceResponse response;
-    std::string error;
-    if (!DecodeRequest(text, &request, &error)) {
-      response.error = error;
-      WriteFrame(conn.fd(), EncodeResponse(response));
-      return;  // Don't trust the rest of the stream.
-    }
-
-    std::string payload;  // result: checkpoint text sent as a second frame.
-    if (request.command == "ping") {
-      response.ok = true;
-      response.state = "alive";
-    } else if (request.command == "submit") {
-      // The job file rides in one follow-up frame, verbatim.
-      std::string job_text;
-      FrameStatus job_frame = ReadFrame(conn.fd(), &job_text);
-      if (job_frame != FrameStatus::kOk) {
-        WF_LOG(Info) << "wfd: submit without job frame ("
-                     << FrameStatusName(job_frame) << ")";
-        if (job_frame == FrameStatus::kOversized) {
-          response.error = "job file exceeds protocol limit";
-          WriteFrame(conn.fd(), EncodeResponse(response));
-        }
-        return;  // No session was created.
-      }
-      std::string id;
-      if (manager_.Submit(job_text, request.warm_start, &id, &error)) {
-        response.ok = true;
-        response.id = id;
-      } else {
-        response.error = error;
-      }
-    } else if (request.command == "status") {
-      response.ok = true;
-      if (request.id.empty()) {
-        response.sessions = manager_.List();
-      } else {
-        SessionStatus status;
-        if (manager_.Status(request.id, &status)) {
-          response.sessions.push_back(status);
-        } else {
-          response.ok = false;
-          response.error = "unknown session: " + request.id;
-        }
-      }
-    } else if (request.command == "result") {
-      if (manager_.Result(request.id, &payload, &error)) {
-        response.ok = true;
-        response.has_payload = true;
-      } else {
-        response.error = error;
-      }
-    } else if (request.command == "pause") {
-      response.ok = manager_.Pause(request.id);
-      if (response.ok) {
-        response.state = "pausing";
-      } else {
-        response.error = "cannot pause session: " + request.id;
-      }
-    } else if (request.command == "resume") {
-      response.ok = manager_.Resume(request.id);
-      if (response.ok) {
-        response.state = "running";
-      } else {
-        response.error = "cannot resume session: " + request.id;
-      }
-    } else if (request.command == "stop") {
-      response.ok = true;
-      response.state = "draining";
-    }
-
-    if (!WriteFrame(conn.fd(), EncodeResponse(response))) {
-      return;  // Peer vanished; per-session state is unaffected.
-    }
-    if (response.has_payload && !WriteFrame(conn.fd(), payload)) {
-      return;
-    }
-    if (request.command == "stop") {
-      stop_.store(true);
-      return;
-    }
+void WfdServer::OnClose(uint64_t conn) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) {
+    return;
   }
+  if (it->second.watch_token != 0) {
+    // A watcher vanishing mid-push must not leak its subscription (or its
+    // pending submit — both die with the state entry).
+    manager_.Unsubscribe(it->second.watch_token);
+  }
+  conns_.erase(it);
+}
+
+void WfdServer::OnOversized(uint64_t conn) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) {
+    return;
+  }
+  // Courtesy error before the transport drains and drops the connection —
+  // the byte stream past a bogus header cannot be re-framed.
+  ServiceResponse response;
+  response.error = it->second.awaiting_job ? "job file exceeds protocol limit"
+                                           : "frame exceeds protocol limit";
+  SendResponse(conn, it->second, response);
+  WF_LOG(Info) << "wfd: dropping connection (oversized)";
+}
+
+bool WfdServer::SendResponse(uint64_t conn, const ProtoConn& state,
+                             const ServiceResponse& response) {
+  return transport_.Send(conn, EncodeResponseWire(response, state.binary));
+}
+
+void WfdServer::OnFrame(uint64_t conn, std::string payload) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) {
+    return;
+  }
+  ProtoConn* state = &it->second;
+
+  if (state->awaiting_job) {
+    // The job file rides verbatim in this frame, in either codec mode.
+    state->awaiting_job = false;
+    ServiceResponse response;
+    std::string id;
+    std::string error;
+    if (manager_.Submit(payload, state->pending_submit.warm_start, &id, &error)) {
+      response.ok = true;
+      response.id = id;
+    } else {
+      response.error = error;
+    }
+    state->pending_submit = ServiceRequest();
+    SendResponse(conn, *state, response);
+    return;
+  }
+
+  if (!state->saw_first_frame) {
+    state->saw_first_frame = true;
+    if (IsBinaryHello(payload)) {
+      // Ack with the same 4 bytes; everything after speaks binary TLV.
+      state->binary = true;
+      transport_.Send(conn, std::string(kBinaryHello, sizeof(kBinaryHello)));
+      return;
+    }
+    if (LooksLikeCodecHello(payload)) {
+      // A codec version we do not speak: answer in YAML and stay in YAML —
+      // the client reads a response (not the hello ack) and downgrades.
+      ServiceResponse response;
+      response.error = "unsupported codec version";
+      SendResponse(conn, *state, response);
+      return;
+    }
+    // Not a hello at all: an ordinary YAML first request, handled below.
+  }
+
+  HandleRequest(conn, state, payload);
+}
+
+void WfdServer::HandleRequest(uint64_t conn, ProtoConn* state,
+                              const std::string& text) {
+  ServiceRequest request;
+  ServiceResponse response;
+  std::string error;
+  if (!DecodeRequestWire(text, state->binary, &request, &error)) {
+    response.error = error;
+    SendResponse(conn, *state, response);
+    transport_.CloseSoon(conn);  // Don't trust the rest of the stream.
+    return;
+  }
+
+  std::string payload;  // result: checkpoint text sent as a second frame.
+  if (request.command == "ping") {
+    response.ok = true;
+    response.state = "alive";
+  } else if (request.command == "submit") {
+    // The job file rides in one follow-up frame, verbatim. Until it
+    // arrives nothing is created — a client vanishing here is a no-op.
+    state->awaiting_job = true;
+    state->pending_submit = request;
+    return;
+  } else if (request.command == "status") {
+    if (request.id.empty()) {
+      SendFleetStatus(conn, *state);
+      return;
+    }
+    SessionStatus status;
+    if (manager_.Status(request.id, &status)) {
+      response.ok = true;
+      response.sessions.push_back(status);
+    } else {
+      response.error = "unknown session: " + request.id;
+    }
+  } else if (request.command == "watch") {
+    StartWatch(conn, state, request.id, &response);
+  } else if (request.command == "result") {
+    if (manager_.Result(request.id, &payload, &error)) {
+      response.ok = true;
+      response.has_payload = true;
+    } else {
+      response.error = error;
+    }
+  } else if (request.command == "pause") {
+    response.ok = manager_.Pause(request.id);
+    if (response.ok) {
+      response.state = "pausing";
+    } else {
+      response.error = "cannot pause session: " + request.id;
+    }
+  } else if (request.command == "resume") {
+    response.ok = manager_.Resume(request.id);
+    if (response.ok) {
+      response.state = "running";
+    } else {
+      response.error = "cannot resume session: " + request.id;
+    }
+  } else if (request.command == "compact") {
+    std::string summary;
+    response.ok = manager_.CompactStore(&summary);
+    if (response.ok) {
+      response.state = summary;
+    } else {
+      response.error = summary;
+    }
+  } else if (request.command == "stop") {
+    response.ok = true;
+    response.state = "draining";
+  }
+
+  if (!SendResponse(conn, *state, response)) {
+    return;  // Peer vanished; per-session state is unaffected.
+  }
+  if (response.has_payload) {
+    transport_.Send(conn, payload);
+  }
+  if (request.command == "stop") {
+    // The loop's shutdown drain flushes the acknowledgement before close.
+    transport_.Stop();
+  }
+}
+
+void WfdServer::SendFleetStatus(uint64_t conn, const ProtoConn& state) {
+  StatusCache& cache = fleet_cache_[state.binary ? 1 : 0];
+  // Version is read BEFORE the snapshot: the cached bytes may then be
+  // fresher than their stamp (costing one spurious rebuild later) but can
+  // never be staler — a reply always reflects the mirror at or after the
+  // stamped version.
+  uint64_t version = manager_.StatusVersion();
+  if (!cache.valid || cache.version != version) {
+    ServiceResponse response;
+    response.ok = true;
+    response.sessions = manager_.List();
+    cache.wire = EncodeResponseWire(response, state.binary);
+    cache.version = version;
+    cache.valid = true;
+  }
+  transport_.Send(conn, cache.wire);
+}
+
+void WfdServer::StartWatch(uint64_t conn, ProtoConn* state,
+                           const std::string& id, ServiceResponse* response) {
+  if (state->watch_token != 0) {
+    response->error = "connection is already watching";
+    return;
+  }
+  SessionStatus initial;
+  // The observer runs on a DRIVER thread holding the manager lock: it must
+  // only enqueue onto the transport loop, never touch connection state or
+  // call back into the manager (Post is a queue append + eventfd write).
+  uint64_t token = manager_.Subscribe(
+      id,
+      [this, conn](const SessionStatus& status) {
+        transport_.Post([this, conn, status] { PushStatus(conn, status); });
+      },
+      &initial);
+  if (token == 0) {
+    response->error = "unknown session: " + id;
+    return;
+  }
+  state->watch_token = token;
+  // Watchers legitimately sit silent between pushes.
+  transport_.SetIdleExempt(conn, true);
+  response->ok = true;
+  response->state = "watching";
+  // Baseline snapshot rides in the ack, taken under the same lock that
+  // registered the observer — no wave can fall between them.
+  response->sessions.push_back(initial);
+}
+
+void WfdServer::PushStatus(uint64_t conn, const SessionStatus& status) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end() || it->second.watch_token == 0) {
+    return;  // Watcher disconnected before the post drained.
+  }
+  size_t queued = transport_.TxBytes(conn);
+  if (queued >= kPushCloseTxBytes) {
+    transport_.CloseSoon(conn);  // Not reading at all.
+    return;
+  }
+  bool terminal = TerminalState(status.state);
+  if (queued >= kPushSkipTxBytes && !terminal) {
+    return;  // Slow reader: drop intermediate pushes, never the last one.
+  }
+  ServiceResponse push;
+  push.ok = true;
+  push.state = "push";
+  push.sessions.push_back(status);
+  SendResponse(conn, it->second, push);
 }
 
 }  // namespace wayfinder

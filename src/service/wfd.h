@@ -1,63 +1,105 @@
 // wfd — the Wayfinder tuning daemon: one long-lived endpoint serving many
 // concurrent tuning sessions.
 //
-// A single accept loop on a Unix-domain socket; each connection is handled
-// to completion (requests are short — the long-running work lives in the
-// SessionManager's driver threads, not here). The loop is hostile-input
-// hardened: malformed, truncated, or oversized frames, non-YAML payloads,
-// unknown commands, and clients vanishing mid-exchange are all answered or
-// dropped without ever crashing or wedging the daemon (pinned by
-// protocol/service tests, run under ASan and TSan in CI).
+// The daemon is a TransportHandler on the epoll event loop
+// (src/transport/event_loop.h): every connection gets a tiny protocol
+// state machine (negotiated codec, submit-awaiting-job, watch
+// subscription) and requests are answered inline on the loop thread — the
+// long-running work lives in the SessionManager's driver threads. A slow,
+// silent, or hostile client costs one idle epoll registration; malformed,
+// truncated, or oversized frames, non-YAML payloads, unknown commands, and
+// clients vanishing mid-exchange are all answered or dropped without ever
+// crashing or wedging the daemon (pinned by protocol/service tests, run
+// under ASan and TSan in CI).
 //
-// `stop` drains gracefully: the response is sent, the accept loop exits,
-// and Shutdown() stops every session at its next wave boundary, writes
+// Wire format is YAML by default; a client may negotiate the binary TLV
+// codec with a first-frame hello (src/service/binary_codec.h). `watch`
+// subscribes the connection to server-pushed status frames emitted as the
+// watched session commits waves — no client polling.
+//
+// `stop` drains gracefully: the response is flushed, the loop exits, and
+// Shutdown() stops every session at its next wave boundary, writes
 // checkpoints, and fsyncs the TrialStore.
 #ifndef WAYFINDER_SRC_SERVICE_WFD_H_
 #define WAYFINDER_SRC_SERVICE_WFD_H_
 
-#include <atomic>
+#include <cstdint>
+#include <map>
 #include <string>
 
 #include "src/service/session_manager.h"
-#include "src/util/socket.h"
+#include "src/transport/event_loop.h"
 
 namespace wayfinder {
 
 struct WfdOptions {
   std::string socket_path;
   SessionManagerOptions manager;
-  // Accept-poll period: how quickly an external Stop() takes effect.
+  // Event-loop tick: idle-sweep cadence and how quickly an external Stop()
+  // takes effect at the latest.
   int poll_ms = 50;
-  // Longest a connected client may sit silent mid-exchange before its
-  // connection is dropped. Connections are handled inline on the accept
-  // thread, so without this an idle client would wedge the daemon.
+  // Longest a connected client may sit silent before its connection is
+  // swept (watch subscribers are exempt — silence is their steady state).
   int idle_timeout_ms = 10000;
 };
 
-class WfdServer {
+class WfdServer : private TransportHandler {
  public:
   explicit WfdServer(const WfdOptions& options);
 
   // Binds the socket; false with error() set on failure.
   bool Start();
 
-  // Accept/handle loop; returns after `stop` (or Stop()) once the manager
-  // has drained. Call from the thread that owns the daemon's lifetime.
+  // Event loop; returns after `stop` (or Stop()) once the manager has
+  // drained. Call from the thread that owns the daemon's lifetime.
   void Serve();
 
-  // Signals Serve() to exit from another thread (tests; signal handlers).
-  void Stop() { stop_.store(true); }
+  // Signals Serve() to exit from another thread. Async-signal-safe (one
+  // eventfd write) — the foreground SIGINT/SIGTERM handlers call this.
+  void Stop() { transport_.Stop(); }
 
   const std::string& error() const { return error_; }
   SessionManager& manager() { return manager_; }
 
  private:
-  void HandleConnection(UnixConn conn);
+  // Per-connection protocol state, keyed by transport connection id.
+  struct ProtoConn {
+    bool binary = false;           // Negotiated codec.
+    bool saw_first_frame = false;  // Hello is only valid as frame #1.
+    bool awaiting_job = false;     // submit seen; next frame is the job.
+    ServiceRequest pending_submit;
+    uint64_t watch_token = 0;      // SessionManager subscription (0 = none).
+  };
+
+  // TransportHandler (loop thread).
+  void OnOpen(uint64_t conn) override;
+  void OnFrame(uint64_t conn, std::string payload) override;
+  void OnOversized(uint64_t conn) override;
+  void OnClose(uint64_t conn) override;
+
+  void HandleRequest(uint64_t conn, ProtoConn* state, const std::string& text);
+  // Fleet status (`status` with no id) is the hot dashboard path: the reply
+  // only changes when the manager's status version moves, so the encoded
+  // wire bytes are cached per codec and re-snapshotted only on a version
+  // change. Loop-thread-only, like all connection handling.
+  void SendFleetStatus(uint64_t conn, const ProtoConn& state);
+  void StartWatch(uint64_t conn, ProtoConn* state, const std::string& id,
+                  ServiceResponse* response);
+  // Loop thread, via Post from a driver-thread observer.
+  void PushStatus(uint64_t conn, const SessionStatus& status);
+  bool SendResponse(uint64_t conn, const ProtoConn& state,
+                    const ServiceResponse& response);
 
   WfdOptions options_;
   SessionManager manager_;
-  UnixListener listener_;
-  std::atomic<bool> stop_{false};
+  TransportServer transport_;
+  std::map<uint64_t, ProtoConn> conns_;  // Loop-thread-only.
+  struct StatusCache {
+    uint64_t version = 0;
+    bool valid = false;
+    std::string wire;
+  };
+  StatusCache fleet_cache_[2];  // Indexed by ProtoConn::binary.
   std::string error_;
 };
 

@@ -1,0 +1,406 @@
+#include "src/transport/event_loop.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace wayfinder {
+
+namespace {
+
+// epoll user-data ids for the two non-connection fds.
+constexpr uint64_t kListenerId = 0;
+constexpr uint64_t kWakeId = ~0ULL;
+
+int64_t NowMs() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+}  // namespace
+
+TransportServer::~TransportServer() {
+  for (auto& entry : conns_) {
+    ::close(entry.second.fd);
+  }
+  conns_.clear();
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+  }
+}
+
+bool TransportServer::Start(const TransportOptions& options,
+                            TransportHandler* handler) {
+  options_ = options;
+  handler_ = handler;
+  if (!listener_.Listen(options.socket_path, options.backlog)) {
+    error_ = listener_.error();
+    return false;
+  }
+  if (!SetNonBlocking(listener_.fd())) {
+    error_ = std::string("fcntl(listener): ") + ::strerror(errno);
+    return false;
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    error_ = std::string("epoll/eventfd: ") + ::strerror(errno);
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_.fd(), &ev) != 0) {
+    error_ = std::string("epoll_ctl(listener): ") + ::strerror(errno);
+    return false;
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    error_ = std::string("epoll_ctl(wake): ") + ::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void TransportServer::Stop() {
+  stop_ = true;
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    // write(2) is async-signal-safe; this is the daemon's SIGTERM path.
+    ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+}
+
+void TransportServer::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+}
+
+void TransportServer::RunPosted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) {
+    fn();
+  }
+}
+
+void TransportServer::Run() {
+  epoll_event events[64];
+  while (!stop_) {
+    int n = ::epoll_wait(epoll_fd_, events, 64, options_.tick_ms);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      error_ = std::string("epoll_wait: ") + ::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n && !stop_; ++i) {
+      uint64_t id = events[i].data.u64;
+      uint32_t flags = events[i].events;
+      if (id == kListenerId) {
+        AcceptReady();
+        continue;
+      }
+      if (id == kWakeId) {
+        uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        RunPosted();
+        continue;
+      }
+      // A connection may have been closed by an earlier event in this
+      // batch; ids are never reused, so a missing entry is just stale.
+      if (conns_.find(id) == conns_.end()) {
+        continue;
+      }
+      if (flags & (EPOLLERR | EPOLLHUP)) {
+        // EPOLLHUP with pending tx still allows the peer to have data in
+        // flight to read; treat as readable first, then close on EOF.
+        HandleReadable(id);
+        if (conns_.find(id) != conns_.end() && (flags & EPOLLERR)) {
+          CloseConn(id, true);
+        }
+        continue;
+      }
+      if (flags & EPOLLIN) {
+        HandleReadable(id);
+      }
+      if ((flags & EPOLLOUT) && conns_.find(id) != conns_.end()) {
+        HandleWritable(id);
+      }
+    }
+    RunPosted();
+    SweepIdle(NowMs());
+  }
+  DrainAll();
+}
+
+void TransportServer::AcceptReady() {
+  while (true) {
+    int fd = ::accept4(listener_.fd(), nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      // EAGAIN drains the backlog; anything else (EMFILE, ECONNABORTED) is
+      // per-connection and must not kill the loop.
+      return;
+    }
+    uint64_t id = next_id_++;
+    Conn conn;
+    conn.fd = fd;
+    conn.last_activity_ms = NowMs();
+    auto inserted = conns_.emplace(id, std::move(conn)).first;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      conns_.erase(inserted);
+      continue;
+    }
+    if (handler_ != nullptr) {
+      handler_->OnOpen(id);
+    }
+  }
+}
+
+void TransportServer::HandleReadable(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end() || it->second.draining || it->second.oversized) {
+    return;
+  }
+  char buf[16384];
+  while (true) {
+    auto conn_it = conns_.find(id);
+    if (conn_it == conns_.end()) {
+      return;  // Handler closed it mid-loop.
+    }
+    ssize_t got = ::recv(conn_it->second.fd, buf, sizeof(buf), 0);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      CloseConn(id, true);
+      return;
+    }
+    if (got == 0) {
+      CloseConn(id, true);
+      return;
+    }
+    conn_it->second.last_activity_ms = NowMs();
+    conn_it->second.rx.Feed(buf, static_cast<size_t>(got));
+    std::string payload;
+    while (true) {
+      conn_it = conns_.find(id);
+      if (conn_it == conns_.end() || conn_it->second.draining) {
+        return;
+      }
+      FrameAssembler::Result result = conn_it->second.rx.Next(&payload);
+      if (result == FrameAssembler::Result::kNeedMore) {
+        break;
+      }
+      if (result == FrameAssembler::Result::kOversized) {
+        conn_it->second.oversized = true;
+        if (handler_ != nullptr) {
+          handler_->OnOversized(id);
+        }
+        CloseSoon(id);
+        return;
+      }
+      if (handler_ != nullptr) {
+        // May Send(), CloseSoon(), or (via erase on empty tx) drop `id` —
+        // re-looked-up at the top of both loops.
+        handler_->OnFrame(id, std::move(payload));
+      }
+    }
+  }
+}
+
+bool TransportServer::Send(uint64_t id, const std::string& payload) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return false;
+  }
+  if (!AppendFrame(&it->second.tx, payload)) {
+    return false;
+  }
+  return FlushTx(id);
+}
+
+bool TransportServer::FlushTx(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return false;
+  }
+  Conn& conn = it->second;
+  while (conn.tx_pos < conn.tx.size()) {
+    ssize_t put = ::send(conn.fd, conn.tx.data() + conn.tx_pos,
+                         conn.tx.size() - conn.tx_pos, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        UpdateEpoll(id, /*want_write=*/true);
+        return true;
+      }
+      CloseConn(id, true);
+      return false;
+    }
+    conn.tx_pos += static_cast<size_t>(put);
+    conn.last_activity_ms = NowMs();
+  }
+  conn.tx.clear();
+  conn.tx_pos = 0;
+  if (conn.draining) {
+    CloseConn(id, true);
+    return false;
+  }
+  UpdateEpoll(id, /*want_write=*/false);
+  return true;
+}
+
+void TransportServer::HandleWritable(uint64_t id) { FlushTx(id); }
+
+void TransportServer::CloseSoon(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;
+  }
+  if (it->second.tx_pos >= it->second.tx.size()) {
+    CloseConn(id, true);
+    return;
+  }
+  it->second.draining = true;
+  UpdateEpoll(id, /*want_write=*/true);
+}
+
+void TransportServer::SetIdleExempt(uint64_t id, bool exempt) {
+  auto it = conns_.find(id);
+  if (it != conns_.end()) {
+    it->second.idle_exempt = exempt;
+  }
+}
+
+size_t TransportServer::TxBytes(uint64_t id) const {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? 0 : it->second.tx.size() - it->second.tx_pos;
+}
+
+void TransportServer::UpdateEpoll(uint64_t id, bool want_write) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;
+  }
+  epoll_event ev{};
+  // Draining/oversized connections stop reading: their remaining job is to
+  // flush tx and go away.
+  ev.events = (it->second.draining || it->second.oversized ? 0u : EPOLLIN) |
+              (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, it->second.fd, &ev);
+}
+
+void TransportServer::CloseConn(uint64_t id, bool notify) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;
+  }
+  int fd = it->second.fd;
+  conns_.erase(it);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  if (notify && handler_ != nullptr) {
+    handler_->OnClose(id);
+  }
+}
+
+void TransportServer::SweepIdle(int64_t now_ms) {
+  std::vector<uint64_t> expired;
+  for (const auto& entry : conns_) {
+    const Conn& conn = entry.second;
+    int64_t budget = conn.draining ? options_.drain_timeout_ms
+                                   : options_.idle_timeout_ms;
+    if (conn.idle_exempt && !conn.draining) {
+      continue;
+    }
+    if (budget > 0 && now_ms - conn.last_activity_ms > budget) {
+      expired.push_back(entry.first);
+    }
+  }
+  for (uint64_t id : expired) {
+    CloseConn(id, true);
+  }
+}
+
+void TransportServer::DrainAll() {
+  // Best-effort flush of every connection's pending tx before shutdown, so
+  // a `stop` acknowledgement already queued still reaches its client.
+  int64_t deadline = NowMs() + options_.drain_timeout_ms;
+  while (NowMs() < deadline) {
+    bool pending = false;
+    std::vector<uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& entry : conns_) {
+      if (entry.second.tx_pos < entry.second.tx.size()) {
+        ids.push_back(entry.first);
+      }
+    }
+    for (uint64_t id : ids) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) {
+        continue;
+      }
+      it->second.draining = true;
+      if (FlushTx(id)) {
+        auto again = conns_.find(id);
+        if (again != conns_.end() &&
+            again->second.tx_pos < again->second.tx.size()) {
+          pending = true;
+        }
+      }
+    }
+    if (!pending) {
+      break;
+    }
+    struct timespec nap {
+      0, 2 * 1000 * 1000
+    };
+    ::nanosleep(&nap, nullptr);
+  }
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& entry : conns_) {
+    ids.push_back(entry.first);
+  }
+  for (uint64_t id : ids) {
+    CloseConn(id, true);
+  }
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,139 @@
+// Event-driven Unix-socket server: epoll loop, per-connection rx/tx
+// buffers, idle sweeping, graceful drain.
+//
+// TransportServer owns the listener and every accepted connection; a
+// TransportHandler (the service layer) sees only whole frames and replies
+// via Send(). One thread runs the loop; other threads may call Stop() and
+// Post() — both wake the loop through an eventfd, everything else is
+// loop-thread-only. This replaces the one-client-at-a-time blocking accept
+// loop the daemon started with: a slow or silent client now costs one idle
+// epoll registration instead of wedging everyone behind it.
+//
+// Connection lifecycle:
+//   accept → OnOpen → (OnFrame per complete frame) → OnClose.
+// OnOversized fires once when a peer announces a frame beyond
+// kMaxFrameBytes; the handler may Send() a courtesy error, then the
+// connection drains its tx and closes (the byte stream past a bogus header
+// cannot be re-framed). CloseSoon() likewise flushes pending tx before
+// closing — stopping the server drains every connection the same way,
+// bounded by drain_timeout_ms.
+#ifndef WAYFINDER_SRC_TRANSPORT_EVENT_LOOP_H_
+#define WAYFINDER_SRC_TRANSPORT_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/transport/frame.h"
+#include "src/util/socket.h"
+
+namespace wayfinder {
+
+struct TransportOptions {
+  std::string socket_path;
+  int idle_timeout_ms = 10000;  // Drop connections silent this long.
+  int backlog = 128;
+  int drain_timeout_ms = 2000;  // Cap on flushing tx at shutdown/close.
+  int tick_ms = 50;             // Idle-sweep cadence (epoll_wait timeout).
+};
+
+// Frame-level callbacks, invoked on the loop thread. `conn` ids are unique
+// for the server's lifetime (never reused), so a stale id held across a
+// disconnect is harmless — Send()/CloseSoon() on it are no-ops.
+struct TransportHandler {
+  virtual ~TransportHandler() = default;
+  virtual void OnOpen(uint64_t conn) { (void)conn; }
+  virtual void OnFrame(uint64_t conn, std::string payload) = 0;
+  virtual void OnOversized(uint64_t conn) { (void)conn; }
+  virtual void OnClose(uint64_t conn) { (void)conn; }
+};
+
+class TransportServer {
+ public:
+  TransportServer() = default;
+  ~TransportServer();
+  TransportServer(const TransportServer&) = delete;
+  TransportServer& operator=(const TransportServer&) = delete;
+
+  // Binds the socket; false (with error()) when the path is unusable or a
+  // live daemon already serves it.
+  bool Start(const TransportOptions& options, TransportHandler* handler);
+
+  // Runs the epoll loop until Stop(). Call from exactly one thread.
+  void Run();
+
+  // Signals the loop to drain and exit. Safe from any thread and from
+  // signal handlers (one eventfd write).
+  void Stop();
+
+  // Queues `fn` to run on the loop thread; safe from any thread. Used by
+  // SessionManager observers to push frames without touching connection
+  // state off-loop. Posts after Stop() may be dropped.
+  void Post(std::function<void()> fn);
+
+  // Loop-thread-only from here down. ------------------------------------
+
+  // Queues one frame on `conn`'s tx buffer and flushes opportunistically.
+  // No-op (false) when the connection is gone.
+  bool Send(uint64_t conn, const std::string& payload);
+
+  // Flush pending tx, then close. No more OnFrame for this connection.
+  void CloseSoon(uint64_t conn);
+
+  // Exempts `conn` from the idle sweep (watch subscribers legitimately sit
+  // silent between pushes).
+  void SetIdleExempt(uint64_t conn, bool exempt);
+
+  // Bytes queued but unsent on `conn` (0 when gone) — backpressure signal
+  // for push producers.
+  size_t TxBytes(uint64_t conn) const;
+
+  const std::string& error() const { return error_; }
+  const std::string& path() const { return listener_.path(); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameAssembler rx;
+    std::string tx;
+    size_t tx_pos = 0;
+    int64_t last_activity_ms = 0;
+    bool draining = false;    // Close once tx empties.
+    bool idle_exempt = false;
+    bool oversized = false;   // Stream unframeable; stop reading.
+  };
+
+  void AcceptReady();
+  void HandleReadable(uint64_t id);
+  void HandleWritable(uint64_t id);
+  // Flushes as much tx as the socket takes; arms/disarms EPOLLOUT; closes
+  // draining connections that emptied. False when the connection died.
+  bool FlushTx(uint64_t id);
+  void CloseConn(uint64_t id, bool notify);
+  void SweepIdle(int64_t now_ms);
+  void DrainAll();
+  void RunPosted();
+  void UpdateEpoll(uint64_t id, bool want_write);
+
+  UnixListener listener_;
+  TransportHandler* handler_ = nullptr;
+  TransportOptions options_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: Stop() and Post() wakeups.
+  // Atomic, not volatile: Stop() runs on other threads (and in the
+  // SIGTERM handler — a lock-free atomic store is async-signal-safe).
+  std::atomic<bool> stop_{false};
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, Conn> conns_;
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+  std::string error_;
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_TRANSPORT_EVENT_LOOP_H_

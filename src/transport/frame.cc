@@ -1,0 +1,51 @@
+#include "src/transport/frame.h"
+
+#include <cstdint>
+
+#include "src/util/socket.h"
+
+namespace wayfinder {
+
+bool AppendFrame(std::string* out, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return false;
+  }
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  char header[4] = {static_cast<char>(length >> 24),
+                    static_cast<char>(length >> 16),
+                    static_cast<char>(length >> 8),
+                    static_cast<char>(length)};
+  out->append(header, sizeof(header));
+  out->append(payload);
+  return true;
+}
+
+FrameAssembler::Result FrameAssembler::Next(std::string* payload) {
+  payload->clear();
+  if (buffer_.size() - pos_ < 4) {
+    return Result::kNeedMore;
+  }
+  const unsigned char* header =
+      reinterpret_cast<const unsigned char*>(buffer_.data()) + pos_;
+  uint32_t length = (static_cast<uint32_t>(header[0]) << 24) |
+                    (static_cast<uint32_t>(header[1]) << 16) |
+                    (static_cast<uint32_t>(header[2]) << 8) |
+                    static_cast<uint32_t>(header[3]);
+  if (length > kMaxFrameBytes) {
+    return Result::kOversized;
+  }
+  if (buffer_.size() - pos_ - 4 < length) {
+    return Result::kNeedMore;
+  }
+  payload->assign(buffer_, pos_ + 4, length);
+  pos_ += 4 + static_cast<size_t>(length);
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its rx buffer without bound.
+  if (pos_ >= 4096 && pos_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return Result::kFrame;
+}
+
+}  // namespace wayfinder

@@ -1,0 +1,47 @@
+// Incremental framing for the event-driven transport (src/transport/).
+//
+// The blocking helpers in src/util/socket.h read one whole frame per call;
+// an epoll loop instead receives arbitrary byte runs and must reassemble
+// frames across reads. FrameAssembler buffers fed bytes and yields complete
+// frames — same wire format as ReadFrame/WriteFrame (4-byte big-endian
+// payload length, then payload, capped at kMaxFrameBytes), so blocking
+// clients and the event-driven daemon interoperate byte-for-byte.
+#ifndef WAYFINDER_SRC_TRANSPORT_FRAME_H_
+#define WAYFINDER_SRC_TRANSPORT_FRAME_H_
+
+#include <cstddef>
+#include <string>
+
+namespace wayfinder {
+
+// Appends the 4-byte header + payload for one frame to `out` (an event
+// loop's tx buffer). Payload must fit kMaxFrameBytes; returns false and
+// appends nothing otherwise.
+bool AppendFrame(std::string* out, const std::string& payload);
+
+// Reassembles frames from arbitrary byte runs. Feed() whatever recv()
+// returned, then drain Next() until it reports kNeedMore.
+class FrameAssembler {
+ public:
+  enum class Result {
+    kFrame,      // *payload holds one complete frame.
+    kNeedMore,   // Partial header/payload buffered; feed more bytes.
+    kOversized,  // Header announced more than kMaxFrameBytes. The stream is
+                 // unframeable past this point; the connection must close.
+  };
+
+  void Feed(const char* data, size_t n) { buffer_.append(data, n); }
+
+  Result Next(std::string* payload);
+
+  // Bytes buffered but not yet yielded (partial frame).
+  size_t pending() const { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;  // Consumed prefix; compacted lazily.
+};
+
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_TRANSPORT_FRAME_H_

@@ -43,6 +43,9 @@ FrameStatus ReadFrame(int fd, std::string* payload);
 bool SetRecvTimeout(int fd, int timeout_ms);
 bool SetSendTimeout(int fd, int timeout_ms);
 
+// O_NONBLOCK, for fds owned by an event loop (src/transport/).
+bool SetNonBlocking(int fd);
+
 // Writes one frame. Returns false when the peer is gone or the payload
 // exceeds kMaxFrameBytes.
 bool WriteFrame(int fd, const std::string& payload);
@@ -91,6 +94,7 @@ class UnixListener {
   UnixConn AcceptFor(int timeout_ms);
 
   bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }  // For event loops that poll the listener.
   const std::string& error() const { return error_; }
   const std::string& path() const { return path_; }
 

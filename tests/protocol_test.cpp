@@ -6,12 +6,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/service/binary_codec.h"
 #include "src/service/client.h"
 #include "src/service/protocol.h"
 #include "src/service/wfd.h"
@@ -184,6 +187,220 @@ TEST(ProtocolCodec, ErrorResponseRoundTrips) {
 }
 
 // ---------------------------------------------------------------------------
+// Binary TLV codec: round trips, semantic equivalence with YAML, fuzz.
+
+// Field-by-field equality — the shape both codecs must agree on.
+void ExpectSameStatus(const SessionStatus& a, const SessionStatus& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.has_best, b.has_best);
+  if (a.has_best && b.has_best) {
+    EXPECT_EQ(a.best, b.best);
+  }
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.warm_started, b.warm_started);
+  EXPECT_EQ(a.store_key, b.store_key);
+  EXPECT_EQ(a.error, b.error);
+}
+
+void ExpectSameResponse(const ServiceResponse& a, const ServiceResponse& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.has_payload, b.has_payload);
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (size_t i = 0; i < a.sessions.size(); ++i) {
+    ExpectSameStatus(a.sessions[i], b.sessions[i]);
+  }
+}
+
+SessionStatus MakeStatus(const char* id, bool has_best, const char* error_text) {
+  SessionStatus status;
+  status.id = id;
+  status.name = "warm-run";
+  status.algorithm = "deeptune";
+  status.state = "running";
+  status.trials = 37;
+  status.iterations = 250;
+  status.has_best = has_best;
+  status.best = has_best ? 1234.0625 : 0.0;
+  status.sim_seconds = 8871.5;
+  status.warm_started = 12;
+  status.store_key = "nginx-00ffaa11";
+  status.error = error_text;
+  return status;
+}
+
+TEST(BinaryCodec, RequestRoundTrips) {
+  ServiceRequest request;
+  request.command = "result";
+  request.id = "s42";
+  request.warm_start = false;
+  ServiceRequest decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeRequestBinary(EncodeRequestBinary(request), &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.command, "result");
+  EXPECT_EQ(decoded.id, "s42");
+  EXPECT_FALSE(decoded.warm_start);
+  // Defaults mirror the YAML codec: absent tag == absent key.
+  request = ServiceRequest();
+  request.command = "ping";
+  ASSERT_TRUE(DecodeRequestBinary(EncodeRequestBinary(request), &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.command, "ping");
+  EXPECT_TRUE(decoded.id.empty());
+  EXPECT_TRUE(decoded.warm_start);
+}
+
+TEST(BinaryCodec, ResponseRoundTripsSessions) {
+  ServiceResponse response;
+  response.ok = true;
+  response.id = "s7";
+  response.state = "watching";
+  response.sessions.push_back(MakeStatus("s7", true, ""));
+  response.sessions.push_back(MakeStatus("s8", false, "step failed: boot crash"));
+  ServiceResponse decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeResponseBinary(EncodeResponseBinary(response), &decoded, &error))
+      << error;
+  ExpectSameResponse(response, decoded);
+}
+
+// The acceptance pin: every message shape decodes identically through the
+// YAML path and the binary path (absent key == absent tag, same defaults,
+// same validation). Strings stay within what the YAML quoter passes
+// through — the protocol never legitimately carries quotes or newlines.
+TEST(BinaryCodec, SemanticallyEquivalentToYaml) {
+  std::vector<ServiceRequest> requests;
+  ServiceRequest request;
+  request.command = "ping";
+  requests.push_back(request);
+  request = ServiceRequest();
+  request.command = "submit";
+  request.warm_start = false;
+  requests.push_back(request);
+  request = ServiceRequest();
+  request.command = "status";
+  request.id = "s3";
+  requests.push_back(request);
+  request = ServiceRequest();
+  request.command = "watch";
+  request.id = "s12";
+  requests.push_back(request);
+  for (const ServiceRequest& message : requests) {
+    ServiceRequest from_yaml;
+    ServiceRequest from_binary;
+    std::string error;
+    ASSERT_TRUE(DecodeRequest(EncodeRequest(message), &from_yaml, &error)) << error;
+    ASSERT_TRUE(DecodeRequestBinary(EncodeRequestBinary(message), &from_binary, &error))
+        << error;
+    EXPECT_EQ(from_yaml.command, from_binary.command);
+    EXPECT_EQ(from_yaml.id, from_binary.id);
+    EXPECT_EQ(from_yaml.warm_start, from_binary.warm_start);
+  }
+
+  std::vector<ServiceResponse> responses;
+  ServiceResponse response;
+  response.ok = true;
+  response.state = "alive";
+  responses.push_back(response);
+  response = ServiceResponse();
+  response.error = "unknown session: s9";
+  responses.push_back(response);
+  response = ServiceResponse();
+  response.ok = true;
+  response.has_payload = true;
+  responses.push_back(response);
+  response = ServiceResponse();
+  response.ok = true;
+  response.state = "push";
+  response.sessions.push_back(MakeStatus("s1", true, ""));
+  response.sessions.push_back(MakeStatus("s2", false, "space mismatch: expected 298"));
+  responses.push_back(response);
+  for (const ServiceResponse& message : responses) {
+    ServiceResponse from_yaml;
+    ServiceResponse from_binary;
+    std::string error;
+    ASSERT_TRUE(DecodeResponse(EncodeResponse(message), &from_yaml, &error)) << error;
+    ASSERT_TRUE(
+        DecodeResponseBinary(EncodeResponseBinary(message), &from_binary, &error))
+        << error;
+    ExpectSameResponse(from_yaml, from_binary);
+  }
+}
+
+// Both codecs reject the same invalid requests (shared ValidateRequest).
+TEST(BinaryCodec, ValidationMatchesYaml) {
+  ServiceRequest bad;
+  bad.command = "exfiltrate";
+  ServiceRequest decoded;
+  std::string error;
+  EXPECT_FALSE(DecodeRequestBinary(EncodeRequestBinary(bad), &decoded, &error));
+  EXPECT_NE(error.find("unknown command"), std::string::npos);
+  bad.command = "pause";  // Needs an id.
+  bad.id.clear();
+  EXPECT_FALSE(DecodeRequestBinary(EncodeRequestBinary(bad), &decoded, &error));
+  EXPECT_NE(error.find("requires an id"), std::string::npos);
+}
+
+// Deterministic fuzz: truncations at EVERY byte length of valid messages,
+// plus pseudo-random garbage. The decoders may reject, never crash or read
+// out of bounds (ASan-pinned in CI).
+TEST(BinaryCodec, SurvivesTruncationAndGarbage) {
+  ServiceResponse response;
+  response.ok = true;
+  response.sessions.push_back(MakeStatus("s1", true, "err"));
+  std::string encoded_response = EncodeResponseBinary(response);
+  ServiceRequest request;
+  request.command = "submit";
+  request.id = "s1";
+  request.warm_start = false;
+  std::string encoded_request = EncodeRequestBinary(request);
+
+  std::string error;
+  for (size_t n = 0; n < encoded_response.size(); ++n) {
+    ServiceResponse decoded;
+    DecodeResponseBinary(encoded_response.substr(0, n), &decoded, &error);
+  }
+  for (size_t n = 0; n < encoded_request.size(); ++n) {
+    ServiceRequest decoded;
+    DecodeRequestBinary(encoded_request.substr(0, n), &decoded, &error);
+  }
+
+  // xorshift garbage, fixed seed: reproducible, and length-prefix fields
+  // inside get arbitrary (often huge) values the reader must bound-check.
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<char>(state);
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage(1 + (round % 97), '\0');
+    for (char& c : garbage) {
+      c = next();
+    }
+    ServiceRequest decoded_request;
+    ServiceResponse decoded_response;
+    DecodeRequestBinary(garbage, &decoded_request, &error);
+    DecodeResponseBinary(garbage, &decoded_response, &error);
+    DecodeRequest(garbage, &decoded_request, &error);   // YAML path too.
+    DecodeResponse(garbage, &decoded_response, &error);
+    // Flipping one byte of a valid message must also never crash.
+    std::string mutated = encoded_response;
+    mutated[static_cast<size_t>(round * 13) % mutated.size()] = next();
+    DecodeResponseBinary(mutated, &decoded_response, &error);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Daemon hardening: nothing a client does may crash or wedge wfd.
 
 class WfdHardeningTest : public ::testing::Test {
@@ -328,6 +545,153 @@ TEST_F(WfdHardeningTest, UnknownSessionQueriesError) {
   EXPECT_FALSE(status.ok);
   ServiceCallResult result = FetchResult(socket_path_, "s999");
   EXPECT_FALSE(result.ok);
+  ExpectDaemonAlive();
+}
+
+// ---------------------------------------------------------------------------
+// Hello negotiation and the binary path against a live daemon.
+
+TEST_F(WfdHardeningTest, NegotiatesBinaryAndServesRequests) {
+  UnixConn conn = ConnectUnix(socket_path_);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(WriteFrame(conn.fd(), std::string(kBinaryHello, 4)));
+  std::string ack;
+  ASSERT_EQ(ReadFrame(conn.fd(), &ack), FrameStatus::kOk);
+  EXPECT_TRUE(IsBinaryHello(ack));
+  // Everything after the ack speaks TLV, multiple requests per connection.
+  for (int i = 0; i < 3; ++i) {
+    ServiceRequest ping;
+    ping.command = "ping";
+    ASSERT_TRUE(WriteFrame(conn.fd(), EncodeRequestBinary(ping)));
+    std::string reply;
+    ASSERT_EQ(ReadFrame(conn.fd(), &reply), FrameStatus::kOk);
+    ServiceResponse response;
+    std::string error;
+    ASSERT_TRUE(DecodeResponseBinary(reply, &response, &error)) << error;
+    EXPECT_TRUE(response.ok);
+    EXPECT_EQ(response.state, "alive");
+  }
+  conn.Close();
+  ExpectDaemonAlive();
+}
+
+TEST_F(WfdHardeningTest, UnknownHelloVersionDowngradesToYaml) {
+  UnixConn conn = ConnectUnix(socket_path_);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(WriteFrame(conn.fd(), "WFB9"));  // A version we do not speak.
+  std::string reply;
+  ASSERT_EQ(ReadFrame(conn.fd(), &reply), FrameStatus::kOk);
+  EXPECT_FALSE(IsBinaryHello(reply));  // Not an ack: a YAML error response.
+  ServiceResponse response;
+  std::string error;
+  ASSERT_TRUE(DecodeResponse(reply, &response, &error)) << error;
+  EXPECT_FALSE(response.ok);
+  // The SAME connection keeps serving, in YAML.
+  ServiceRequest ping;
+  ping.command = "ping";
+  ASSERT_TRUE(WriteFrame(conn.fd(), EncodeRequest(ping)));
+  ASSERT_EQ(ReadFrame(conn.fd(), &reply), FrameStatus::kOk);
+  ASSERT_TRUE(DecodeResponse(reply, &response, &error)) << error;
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.state, "alive");
+  conn.Close();
+  ExpectDaemonAlive();
+}
+
+TEST_F(WfdHardeningTest, ClientAutoFallsBackFromBinary) {
+  // ServiceConnection(binary) against a daemon that speaks it: binary mode.
+  ServiceConnection conn;
+  std::string error;
+  ASSERT_TRUE(conn.Connect(socket_path_, /*binary=*/true, &error)) << error;
+  EXPECT_TRUE(conn.binary());
+  ServiceRequest ping;
+  ping.command = "ping";
+  ServiceCallResult result = conn.Call(ping);
+  EXPECT_TRUE(result.ok) << result.error;
+  conn.Close();
+  ExpectDaemonAlive();
+}
+
+TEST_F(WfdHardeningTest, SurvivesBinaryGarbageAfterNegotiation) {
+  // Truncated TLV and garbage on a NEGOTIATED connection: the daemon must
+  // answer an error (the frame is intact, just semantically bad) or drop,
+  // and stay alive either way.
+  ServiceRequest request;
+  request.command = "status";
+  std::string valid = EncodeRequestBinary(request);
+  for (size_t cut : {size_t(1), valid.size() / 2, valid.size() - 1}) {
+    UnixConn conn = ConnectUnix(socket_path_);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(WriteFrame(conn.fd(), std::string(kBinaryHello, 4)));
+    std::string ack;
+    ASSERT_EQ(ReadFrame(conn.fd(), &ack), FrameStatus::kOk);
+    ASSERT_TRUE(WriteFrame(conn.fd(), valid.substr(0, cut)));
+    std::string reply;
+    if (ReadFrame(conn.fd(), &reply) == FrameStatus::kOk) {
+      ServiceResponse response;
+      std::string error;
+      ASSERT_TRUE(DecodeResponseBinary(reply, &response, &error)) << error;
+      EXPECT_FALSE(response.ok);
+    }
+  }
+  ExpectDaemonAlive();
+}
+
+// ---------------------------------------------------------------------------
+// Watch subscribers vanishing mid-stream.
+
+TEST_F(WfdHardeningTest, WatchOnUnknownSessionErrors) {
+  ServiceConnection conn;
+  std::string error;
+  ASSERT_TRUE(conn.Connect(socket_path_, false, &error)) << error;
+  ServiceRequest watch;
+  watch.command = "watch";
+  watch.id = "s404";
+  ServiceCallResult result = conn.Call(watch);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unknown session"), std::string::npos);
+  conn.Close();
+  ExpectDaemonAlive();
+}
+
+TEST_F(WfdHardeningTest, SurvivesWatcherDisconnectMidPush) {
+  // A real session committing waves, a subscriber that hangs up right after
+  // the ack: the daemon must clean up the subscription (the observer posts
+  // into a dead connection id, which must be a no-op) and keep serving.
+  std::string job;
+  job += "name: watch-abort\n";
+  job += "os: linux\n";
+  job += "application: nginx\n";
+  job += "metric: performance\n";
+  job += "budget:\n  iterations: 40\n";
+  job += "search:\n  algorithm: random\n  seed: 11\n";
+  ServiceCallResult submit = SubmitJob(socket_path_, job);
+  ASSERT_TRUE(submit.ok) << submit.error;
+  const std::string id = submit.response.id;
+
+  {
+    ServiceConnection watcher;
+    std::string error;
+    ASSERT_TRUE(watcher.Connect(socket_path_, false, &error)) << error;
+    ServiceRequest watch;
+    watch.command = "watch";
+    watch.id = id;
+    ServiceCallResult ack = watcher.Call(watch);
+    ASSERT_TRUE(ack.ok) << ack.error;
+    EXPECT_EQ(ack.response.state, "watching");
+    watcher.Close();  // Vanish while the session is still pushing.
+  }
+
+  // The session must still run to completion under a live daemon.
+  for (int i = 0; i < 200; ++i) {
+    ServiceCallResult status = QueryStatus(socket_path_, id);
+    ASSERT_TRUE(status.ok) << status.error;
+    ASSERT_EQ(status.response.sessions.size(), 1u);
+    if (status.response.sessions[0].state == "done") {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
   ExpectDaemonAlive();
 }
 

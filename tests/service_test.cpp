@@ -8,6 +8,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -620,6 +621,280 @@ TEST(WfdEndToEnd, ThreeConcurrentAlgorithmsMatchStandaloneThenWarmStart) {
   ServiceCallResult stop = StopDaemon(socket_path);
   EXPECT_TRUE(stop.ok) << stop.error;
   serve.join();
+}
+
+// ---------------------------------------------------------------------------
+// Server-pushed watch and the binary codec against a live daemon.
+
+TEST(WfdEndToEnd, WatchStreamsPushesUntilDone) {
+  std::string socket_path = TempPath("wf_service_watch.sock");
+  WfdOptions options;
+  options.socket_path = socket_path;
+  options.poll_ms = 10;
+  options.manager.store_dir = FreshDir("wf_service_watch_store");
+  WfdServer server(options);
+  ASSERT_TRUE(server.Start()) << server.error();
+  std::thread serve([&] { server.Serve(); });
+
+  ServiceCallResult submitted =
+      SubmitJob(socket_path, JobYaml("watch-e2e", "nginx", "random", 200, 31));
+  ASSERT_TRUE(submitted.ok) << submitted.error;
+  const std::string id = submitted.response.id;
+
+  ServiceConnection watcher;
+  std::string error;
+  ASSERT_TRUE(watcher.Connect(socket_path, /*binary=*/false, &error)) << error;
+  SetRecvTimeout(watcher.fd(), 30000);
+  ServiceRequest watch;
+  watch.command = "watch";
+  watch.id = id;
+  ServiceCallResult ack = watcher.Call(watch);
+  ASSERT_TRUE(ack.ok) << ack.error;
+  EXPECT_EQ(ack.response.state, "watching");
+  ASSERT_EQ(ack.response.sessions.size(), 1u);  // Baseline snapshot.
+  EXPECT_EQ(ack.response.sessions[0].id, id);
+
+  // Pushes arrive at wave boundaries: trials never go backwards and the
+  // stream ends with the terminal state.
+  size_t last_trials = ack.response.sessions[0].trials;
+  std::string last_state = ack.response.sessions[0].state;
+  size_t pushes = 0;
+  while (last_state != "done" && last_state != "failed") {
+    ServiceResponse push;
+    ASSERT_TRUE(watcher.ReadResponse(&push, &error)) << error;
+    ASSERT_TRUE(push.ok) << push.error;
+    EXPECT_EQ(push.state, "push");
+    ASSERT_EQ(push.sessions.size(), 1u);
+    EXPECT_EQ(push.sessions[0].id, id);
+    EXPECT_GE(push.sessions[0].trials, last_trials) << "trials went backwards";
+    last_trials = push.sessions[0].trials;
+    last_state = push.sessions[0].state;
+    ++pushes;
+    ASSERT_LT(pushes, 10000u) << "watch stream never reached a terminal state";
+  }
+  EXPECT_EQ(last_state, "done");
+  EXPECT_EQ(last_trials, 200u);
+  EXPECT_GE(pushes, 1u);
+
+  ServiceCallResult stop = StopDaemon(socket_path);
+  EXPECT_TRUE(stop.ok) << stop.error;
+  serve.join();
+}
+
+TEST(WfdEndToEnd, BinaryAndYamlCodecsAgreeOnLiveSessions) {
+  std::string socket_path = TempPath("wf_service_codec.sock");
+  WfdOptions options;
+  options.socket_path = socket_path;
+  options.poll_ms = 10;
+  options.manager.store_dir = FreshDir("wf_service_codec_store");
+  WfdServer server(options);
+  ASSERT_TRUE(server.Start()) << server.error();
+  std::thread serve([&] { server.Serve(); });
+
+  // Same job submitted once per codec (cold both times so the second does
+  // not warm-start from the first): the daemon must produce bit-identical
+  // sessions regardless of which codec carried the request.
+  const std::string yaml = JobYaml("codec-e2e", "nginx", "random", 12, 32);
+  ServiceRequest submit;
+  submit.command = "submit";
+  submit.warm_start = false;
+  ServiceCallResult via_yaml = CallService(socket_path, submit, yaml, /*binary=*/false);
+  ASSERT_TRUE(via_yaml.ok) << via_yaml.error;
+  ServiceCallResult via_binary = CallService(socket_path, submit, yaml, /*binary=*/true);
+  ASSERT_TRUE(via_binary.ok) << via_binary.error;
+  ASSERT_TRUE(server.manager().WaitDone(via_yaml.response.id, 60000));
+  ASSERT_TRUE(server.manager().WaitDone(via_binary.response.id, 60000));
+
+  // Each session's status, fetched through BOTH codecs, decodes to the same
+  // fields — the semantic-equivalence pin exercised end to end.
+  for (const std::string& id : {via_yaml.response.id, via_binary.response.id}) {
+    ServiceRequest status;
+    status.command = "status";
+    status.id = id;
+    ServiceCallResult y = CallService(socket_path, status, "", /*binary=*/false);
+    ServiceCallResult b = CallService(socket_path, status, "", /*binary=*/true);
+    ASSERT_TRUE(y.ok) << y.error;
+    ASSERT_TRUE(b.ok) << b.error;
+    ASSERT_EQ(y.response.sessions.size(), 1u);
+    ASSERT_EQ(b.response.sessions.size(), 1u);
+    const SessionStatus& ys = y.response.sessions[0];
+    const SessionStatus& bs = b.response.sessions[0];
+    EXPECT_EQ(ys.id, bs.id);
+    EXPECT_EQ(ys.name, bs.name);
+    EXPECT_EQ(ys.state, bs.state);
+    EXPECT_EQ(ys.trials, bs.trials);
+    EXPECT_EQ(ys.iterations, bs.iterations);
+    EXPECT_EQ(ys.has_best, bs.has_best);
+    EXPECT_EQ(ys.best, bs.best);
+    EXPECT_EQ(ys.sim_seconds, bs.sim_seconds);
+    EXPECT_EQ(ys.store_key, bs.store_key);
+  }
+
+  // And the two sessions themselves are identical: same seed, same search,
+  // codec choice left no trace in the trial history. (The checkpoints are
+  // compared decoded, not byte-for-byte — they carry per-trial searcher
+  // wall-clock seconds, which legitimately differ between runs.)
+  ServiceCallResult r1 = FetchResult(socket_path, via_yaml.response.id);
+  ServiceCallResult r2 = FetchResult(socket_path, via_binary.response.id);
+  ASSERT_TRUE(r1.ok) << r1.error;
+  ASSERT_TRUE(r2.ok) << r2.error;
+  JobParseResult job = ParseJobText(yaml);
+  ASSERT_TRUE(job.ok) << job.error;
+  ConfigSpace space = BuildJobSpace(job.spec);
+  CheckpointLoadResult h1 = LoadCheckpointText(space, r1.payload);
+  CheckpointLoadResult h2 = LoadCheckpointText(space, r2.payload);
+  ASSERT_TRUE(h1.ok) << h1.error;
+  ASSERT_TRUE(h2.ok) << h2.error;
+  ExpectSameTrials(h1.history, h2.history, "yaml-vs-binary submission");
+
+  ServiceCallResult stop = StopDaemon(socket_path);
+  EXPECT_TRUE(stop.ok) << stop.error;
+  serve.join();
+}
+
+// The daemon caches the encoded fleet-status reply per codec and reuses it
+// until the manager's status version moves (the dashboard fast path). Two
+// held connections — one per codec — repeatedly ask for fleet status while
+// the fleet changes underneath them: every reply must reflect the current
+// fleet, and repeated identical asks (the cache-hit path) must agree with
+// each other and across codecs.
+TEST(WfdEndToEnd, FleetStatusStaysFreshAcrossCacheHits) {
+  std::string socket_path = TempPath("wf_service_statuscache.sock");
+  WfdOptions options;
+  options.socket_path = socket_path;
+  options.poll_ms = 10;
+  WfdServer server(options);
+  ASSERT_TRUE(server.Start()) << server.error();
+  std::thread serve([&] { server.Serve(); });
+
+  ServiceConnection yaml_conn;
+  ServiceConnection binary_conn;
+  std::string error;
+  ASSERT_TRUE(yaml_conn.Connect(socket_path, /*binary=*/false, &error)) << error;
+  ASSERT_TRUE(binary_conn.Connect(socket_path, /*binary=*/true, &error)) << error;
+  ASSERT_TRUE(binary_conn.binary());
+  SetRecvTimeout(yaml_conn.fd(), 30000);
+  SetRecvTimeout(binary_conn.fd(), 30000);
+
+  ServiceRequest fleet;
+  fleet.command = "status";
+  auto fleet_sizes = [&](size_t expect) {
+    // Ask twice per codec so the second hit is served from the cache.
+    for (int round = 0; round < 2; ++round) {
+      for (ServiceConnection* conn : {&yaml_conn, &binary_conn}) {
+        ServiceCallResult got = conn->Call(fleet);
+        ASSERT_TRUE(got.ok) << got.error;
+        ASSERT_EQ(got.response.sessions.size(), expect)
+            << (conn->binary() ? "binary" : "yaml") << " round " << round;
+      }
+    }
+  };
+
+  fleet_sizes(0);  // Empty daemon: empty fleet, from both codecs, twice.
+  ServiceCallResult first =
+      SubmitJob(socket_path, JobYaml("cache-a", "nginx", "random", 6, 41));
+  ASSERT_TRUE(first.ok) << first.error;
+  fleet_sizes(1);  // Submission invalidated the cached empty reply.
+  ServiceCallResult second =
+      SubmitJob(socket_path, JobYaml("cache-b", "nginx", "random", 6, 42));
+  ASSERT_TRUE(second.ok) << second.error;
+  fleet_sizes(2);
+  ASSERT_TRUE(server.manager().WaitDone(first.response.id, 60000));
+  ASSERT_TRUE(server.manager().WaitDone(second.response.id, 60000));
+
+  // Terminal states reached the cache too: both codecs report both sessions
+  // done with their full trial counts, and agree field-for-field.
+  ServiceCallResult y = yaml_conn.Call(fleet);
+  ServiceCallResult b = binary_conn.Call(fleet);
+  ASSERT_TRUE(y.ok) << y.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  ASSERT_EQ(y.response.sessions.size(), 2u);
+  ASSERT_EQ(b.response.sessions.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(y.response.sessions[i].state, "done");
+    EXPECT_EQ(y.response.sessions[i].trials, 6u);
+    EXPECT_EQ(y.response.sessions[i].id, b.response.sessions[i].id);
+    EXPECT_EQ(y.response.sessions[i].state, b.response.sessions[i].state);
+    EXPECT_EQ(y.response.sessions[i].trials, b.response.sessions[i].trials);
+    EXPECT_EQ(y.response.sessions[i].best, b.response.sessions[i].best);
+  }
+
+  ServiceCallResult stop = StopDaemon(socket_path);
+  EXPECT_TRUE(stop.ok) << stop.error;
+  serve.join();
+}
+
+// ---------------------------------------------------------------------------
+// TrialStore compaction.
+
+TEST(TrialStoreTest, CompactionDropsSupersededAndSurvivesReopen) {
+  std::string dir = FreshDir("wf_trialstore_compact");
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::vector<TrialRecord> history = RunSome(space, 6, 0xc0);
+  std::string key = TrialStoreKey(space, AppId::kNginx);
+  {
+    TrialStore store(dir);
+    for (const TrialRecord& trial : history) {
+      store.Append(key, trial);
+    }
+  }  // FsyncClose.
+
+  // Simulate a merged/concatenated store: duplicate every record by
+  // appending the file's record lines (everything after the two header
+  // lines) to itself. Single-daemon appends dedup at write time, so this
+  // is the only way duplicates arise in practice.
+  std::filesystem::path file;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".wftrials") {
+      file = entry.path();
+    }
+  }
+  ASSERT_FALSE(file.empty());
+  std::string records;
+  {
+    std::ifstream in(file, std::ios::binary);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));  // wayfinder-trials v1
+    ASSERT_TRUE(std::getline(in, line));  // params N
+    while (std::getline(in, line)) {
+      records += line + "\n";
+    }
+  }
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::app);
+    out << records;
+  }
+
+  TrialStore store(dir);
+  EXPECT_EQ(store.Count(key), history.size());  // Distinct configs only.
+  TrialStore::CompactStats stats = store.CompactAll();
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.files, 1u);
+  EXPECT_EQ(stats.kept, history.size());
+  EXPECT_EQ(stats.dropped, history.size());
+
+  // The compacted file reloads to exactly the original history, order
+  // preserved...
+  TrialStore::LoadResult loaded = store.Load(key, space);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  ExpectSameTrials(history, loaded.trials, "after compaction");
+
+  // ...and the store still accepts appends (handles reopened lazily after
+  // the atomic-rename swap).
+  std::vector<TrialRecord> more = RunSome(space, 10, 0xc1);
+  size_t appended = 0;
+  for (const TrialRecord& trial : more) {
+    appended += store.Append(key, trial) ? 1 : 0;
+  }
+  store.Flush();
+  loaded = store.Load(key, space);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.trials.size(), history.size() + appended);
+
+  // Compacting an already-compact store is a no-op.
+  stats = store.CompactAll();
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.dropped, 0u);
 }
 
 }  // namespace

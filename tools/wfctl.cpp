@@ -23,9 +23,16 @@
 //   $ wfctl serve --socket /tmp/wfd.sock --store /var/lib/wayfinder &
 //   $ wfctl submit job.yaml                 # -> session id, e.g. s1
 //   $ wfctl status                          # fleet table
-//   $ wfctl watch s1                        # poll until done
+//   $ wfctl watch s1                        # server-pushed updates until done
 //   $ wfctl result s1 --out s1.ckpt         # checkpoint text (v2)
+//   $ wfctl store-compact                   # drop superseded store records
 //   $ wfctl stop                            # graceful drain
+//
+// All service commands accept `--binary` to negotiate the compact TLV wire
+// codec (src/service/binary_codec.h); the client silently falls back to
+// YAML against a daemon that does not speak it. `watch` uses server push
+// by default and falls back to the old polling loop against a pre-push
+// daemon (or when forced with --poll-ms).
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -72,14 +79,18 @@ int Usage() {
                "  zoo    <dir> rank <job.yaml>         rank donors for a job's app (§3.3)\n"
                "  transfer <src-job> <dst-job> <src-ckpt> <out-ckpt>\n"
                "                                       map a history across platforms (§3.5)\n"
-               "service mode (all take [--socket P], default %s):\n"
+               "service mode (all take [--socket P] [--binary], default %s):\n"
                "  serve  [--store DIR] [--checkpoint-dir DIR] [--max-sessions N]\n"
                "                                       run the wfd daemon in the foreground\n"
                "  submit <job.yaml> [--no-warm-start]  queue a job; prints its session id\n"
                "  status [id]                          one session, or the whole fleet\n"
-               "  watch  <id> [--interval-ms N]        poll status until the session ends\n"
+               "  watch  <id> [--poll-ms N]            follow server-pushed status until the\n"
+               "                                       session ends (--poll-ms forces the old\n"
+               "                                       polling loop; auto-falls back on old wfd)\n"
                "  result <id> [--out P]                fetch the session checkpoint (v2)\n"
                "  pause  <id> | resume <id>            pause/resume at a round boundary\n"
+               "  store-compact                        rewrite the trial store dropping\n"
+               "                                       superseded duplicate records\n"
                "  stop                                 drain every session and exit wfd\n"
                "algorithms: %s\n",
                kDefaultSocketPath, algorithms.c_str());
@@ -522,6 +533,8 @@ struct ServiceArgs {
   std::string out_path;
   size_t max_sessions = 4;
   int interval_ms = 250;
+  int poll_ms = 0;  // watch: > 0 forces the legacy polling loop.
+  bool binary = false;
   bool warm_start = true;
   bool ok = true;
 };
@@ -567,6 +580,18 @@ ServiceArgs ParseServiceArgs(int argc, char** argv) {
       } else {
         args.ok = false;
       }
+    } else if (flag == "--poll-ms") {
+      if (take(&value)) {
+        args.poll_ms = std::atoi(value.c_str());
+        if (args.poll_ms <= 0) {
+          std::fprintf(stderr, "wfctl: --poll-ms needs a positive interval\n");
+          args.ok = false;
+        }
+      } else {
+        args.ok = false;
+      }
+    } else if (flag == "--binary") {
+      args.binary = true;
     } else if (flag == "--no-warm-start") {
       args.warm_start = false;
     } else if (!flag.empty() && flag[0] == '-') {
@@ -601,7 +626,11 @@ int CmdSubmit(const ServiceArgs& args) {
   }
   std::ostringstream job_text;
   job_text << in.rdbuf();
-  ServiceCallResult call = SubmitJob(args.socket_path, job_text.str(), args.warm_start);
+  ServiceRequest request;
+  request.command = "submit";
+  request.warm_start = args.warm_start;
+  ServiceCallResult call =
+      CallService(args.socket_path, request, job_text.str(), args.binary);
   if (!call.ok) {
     std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
     return 1;
@@ -623,7 +652,10 @@ void PrintStatusTable(const std::vector<SessionStatus>& sessions) {
 }
 
 int CmdStatus(const ServiceArgs& args) {
-  ServiceCallResult call = QueryStatus(args.socket_path, args.positional);
+  ServiceRequest request;
+  request.command = "status";
+  request.id = args.positional;
+  ServiceCallResult call = CallService(args.socket_path, request, "", args.binary);
   if (!call.ok) {
     std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
     return 1;
@@ -632,9 +664,25 @@ int CmdStatus(const ServiceArgs& args) {
   return 0;
 }
 
-int CmdWatch(const ServiceArgs& args) {
+// Prints one watch line; true when the session reached a terminal state.
+bool PrintWatchLine(const SessionStatus& status) {
+  std::printf("%s: %-9s %zu/%zu trials  best=%s  t=%.0fs\n", status.id.c_str(),
+              status.state.c_str(), status.trials, status.iterations,
+              status.has_best ? std::to_string(status.best).c_str() : "-",
+              status.sim_seconds);
+  std::fflush(stdout);
+  return status.state == "done" || status.state == "failed" ||
+         status.state == "stopped";
+}
+
+// The legacy polling loop — the `--poll-ms` fallback, and what the client
+// auto-downgrades to against a daemon that predates server push.
+int WatchPoll(const ServiceArgs& args, int interval_ms) {
   for (;;) {
-    ServiceCallResult call = QueryStatus(args.socket_path, args.positional);
+    ServiceRequest request;
+    request.command = "status";
+    request.id = args.positional;
+    ServiceCallResult call = CallService(args.socket_path, request, "", args.binary);
     if (!call.ok) {
       std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
       return 1;
@@ -644,20 +692,76 @@ int CmdWatch(const ServiceArgs& args) {
       return 1;
     }
     const SessionStatus& status = call.response.sessions.front();
-    std::printf("%s: %-9s %zu/%zu trials  best=%s  t=%.0fs\n", status.id.c_str(),
-                status.state.c_str(), status.trials, status.iterations,
-                status.has_best ? std::to_string(status.best).c_str() : "-",
-                status.sim_seconds);
-    std::fflush(stdout);
-    if (status.state == "done" || status.state == "failed" || status.state == "stopped") {
+    if (PrintWatchLine(status)) {
       return status.state == "done" ? 0 : 1;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(args.interval_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
   }
 }
 
+int CmdWatch(const ServiceArgs& args) {
+  if (args.poll_ms > 0) {
+    return WatchPoll(args, args.poll_ms);
+  }
+  // Push mode: one persistent connection, the daemon streams a status
+  // frame per committed wave / lifecycle change. No client polling.
+  ServiceConnection conn;
+  std::string error;
+  if (!conn.Connect(args.socket_path, args.binary, &error)) {
+    std::fprintf(stderr, "wfctl: %s\n", error.c_str());
+    return 1;
+  }
+  ServiceRequest request;
+  request.command = "watch";
+  request.id = args.positional;
+  ServiceCallResult ack = conn.Call(request);
+  if (!ack.ok) {
+    if (ack.error.find("unknown command") != std::string::npos) {
+      // A pre-push daemon: it does not advertise watch — poll instead.
+      return WatchPoll(args, args.interval_ms);
+    }
+    std::fprintf(stderr, "wfctl: %s\n", ack.error.c_str());
+    return 1;
+  }
+  // The ack carries the baseline snapshot (taken under the same lock that
+  // registered the subscription, so no wave can slip between them).
+  if (!ack.response.sessions.empty() &&
+      PrintWatchLine(ack.response.sessions.front())) {
+    return ack.response.sessions.front().state == "done" ? 0 : 1;
+  }
+  for (;;) {
+    ServiceResponse push;
+    if (!conn.ReadResponse(&push, &error)) {
+      std::fprintf(stderr, "wfctl: %s\n", error.c_str());
+      return 1;
+    }
+    if (push.sessions.empty()) {
+      continue;
+    }
+    const SessionStatus& status = push.sessions.front();
+    if (PrintWatchLine(status)) {
+      return status.state == "done" ? 0 : 1;
+    }
+  }
+}
+
+int CmdStoreCompact(const ServiceArgs& args) {
+  ServiceRequest request;
+  request.command = "compact";
+  ServiceCallResult call = CallService(args.socket_path, request, "", args.binary);
+  if (!call.ok) {
+    std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", call.response.state.c_str());
+  return 0;
+}
+
 int CmdResult(const ServiceArgs& args) {
-  ServiceCallResult call = FetchResult(args.socket_path, args.positional);
+  ServiceRequest request;
+  request.command = "result";
+  request.id = args.positional;
+  ServiceCallResult call = CallService(args.socket_path, request, "", args.binary);
   if (!call.ok) {
     std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
     return 1;
@@ -681,7 +785,7 @@ int CmdSessionControl(const char* command, const ServiceArgs& args) {
   ServiceRequest request;
   request.command = command;
   request.id = args.positional;
-  ServiceCallResult call = CallService(args.socket_path, request);
+  ServiceCallResult call = CallService(args.socket_path, request, "", args.binary);
   if (!call.ok) {
     std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
     return 1;
@@ -700,7 +804,8 @@ int Main(int argc, char** argv) {
     if (service_command == "serve" || service_command == "submit" ||
         service_command == "status" || service_command == "watch" ||
         service_command == "result" || service_command == "pause" ||
-        service_command == "resume" || service_command == "stop") {
+        service_command == "resume" || service_command == "stop" ||
+        service_command == "store-compact") {
       ServiceArgs args = ParseServiceArgs(argc - 2, argv + 2);
       if (!args.ok) {
         return 2;
@@ -713,6 +818,9 @@ int Main(int argc, char** argv) {
       }
       if (service_command == "status") {
         return CmdStatus(args);
+      }
+      if (service_command == "store-compact") {
+        return CmdStoreCompact(args);
       }
       if (args.positional.empty()) {
         std::fprintf(stderr, "wfctl: %s needs a %s argument\n", service_command.c_str(),

@@ -20,7 +20,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: wfd [--socket P] [--store DIR] [--checkpoint-dir DIR]\n"
-               "           [--max-sessions N]\n");
+               "           [--max-sessions N] [--idle-timeout-ms N]\n");
   return 2;
 }
 
@@ -44,6 +44,13 @@ int main(int argc, char** argv) {
     } else if (flag == "--max-sessions" && (value = take()) != nullptr) {
       options.manager.max_running = std::strtoul(value, nullptr, 10);
       if (options.manager.max_running == 0) {
+        return Usage();
+      }
+    } else if (flag == "--idle-timeout-ms" && (value = take()) != nullptr) {
+      // How long a silent connection survives the transport's idle sweep
+      // (watch subscriptions are exempt; see src/transport/event_loop.h).
+      options.idle_timeout_ms = static_cast<int>(std::strtol(value, nullptr, 10));
+      if (options.idle_timeout_ms <= 0) {
         return Usage();
       }
     } else {
