@@ -10,6 +10,11 @@
 //     shared ThreadPool. Tracked but NEVER gated (like the avx512 kernel
 //     variants): on a 1-core box the batch path measures pure overhead, and
 //     a baseline recorded on a wide machine must not fail a narrow one.
+//   * session_trials_per_sec/fault10: the serial loop under a ~10%
+//     mixed-fault plan with one transient retry — the hostile-world
+//     overhead (fault draws, retry re-measurement, taxonomy bookkeeping).
+//     Tracked but NEVER gated: the committed-trials/sec rate moves with the
+//     injected failure mix, not just with code changes.
 //
 // A cheap searcher (random) keeps the measurement on the session machinery —
 // dedup, build-skip, virtual-time merge, thread-pool dispatch — rather than
@@ -27,6 +32,7 @@
 #include "src/configspace/linux_space.h"
 #include "src/platform/random_search.h"
 #include "src/platform/session.h"
+#include "src/simos/fault_plan.h"
 
 namespace wayfinder {
 namespace {
@@ -55,14 +61,18 @@ double TrialsPerSec(size_t trials_per_op, Op&& op) {
 }
 
 double BenchSession(const ConfigSpace& space, size_t iterations, size_t parallel,
-                    uint64_t seed) {
+                    uint64_t seed, const FaultPlan& faults = FaultPlan(),
+                    size_t retries = 0) {
   return TrialsPerSec(iterations, [&] {
-    Testbench bench(&space, AppId::kNginx, TestbenchOptions{});
+    TestbenchOptions bench_options;
+    bench_options.faults = faults;
+    Testbench bench(&space, AppId::kNginx, bench_options);
     RandomSearcher searcher;
     SessionOptions options;
     options.max_iterations = iterations;
     options.seed = seed;
     options.parallel_evaluations = parallel;
+    options.retry_transient = retries;
     SessionResult result = RunSearch(&bench, &searcher, options);
     if (result.history.size() != iterations) {
       std::fprintf(stderr, "bench_micro_session: short session (%zu/%zu)\n",
@@ -106,5 +116,14 @@ int main(int argc, char** argv) {
     std::printf("{\"bench\": \"session_parallel_speedup\", \"parallel_over_serial\": %.2f}\n",
                 batched / serial);
   }
+  FaultPlan hostile;
+  hostile.flake_prob = 0.06;
+  hostile.timeout_prob = 0.03;
+  hostile.hang_prob = 0.01;
+  hostile.timeout_seconds = 120.0;
+  hostile.noise_sigma = 0.1;
+  double faulted = BenchSession(space, iterations, 1, 0xbe9c, hostile, 1);
+  std::printf("{\"bench\": \"session_trials_per_sec\", \"variant\": \"fault10\", "
+              "\"ops_per_sec\": %.2f}\n", faulted);
   return 0;
 }

@@ -108,6 +108,17 @@ void DeepTuneSearcher::ProposeBatch(SearchContext& context, size_t n,
 
 void DeepTuneSearcher::Observe(const TrialRecord& trial, SearchContext& context) {
   (void)context;
+  if (trial.outcome.transient()) {
+    // Timeouts/flakes carry no (config -> outcome) signal: learning them as
+    // crashes would teach the model that good configurations fail. Count
+    // the observation (warmup/update cadence track trials, not samples)
+    // but keep the sample out of the model.
+    ++observed_;
+    if (observed_ % options_.update_every == 0) {
+      model_.Update();
+    }
+    return;
+  }
   model_.AddSample(space_->EncodeMemoized(trial.config), trial.crashed(),
                    trial.HasObjective() ? trial.objective : 0.0);
   ++observed_;
@@ -134,6 +145,13 @@ void DeepTuneSearcher::Observe(const TrialRecord& trial, SearchContext& context)
   if (observed_ % options_.update_every == 0) {
     model_.Update();
   }
+}
+
+void DeepTuneSearcher::OnDrift(SearchContext& context) {
+  (void)context;
+  elites_.clear();
+  elite_objectives_.clear();
+  model_.Update();
 }
 
 std::string DeepTuneSearcher::ExportState() const {

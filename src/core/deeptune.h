@@ -53,6 +53,10 @@ class DeepTuneSearcher : public Searcher {
   void ProposeBatch(SearchContext& context, size_t n,
                     std::vector<Configuration>* batch) override;
   void Observe(const TrialRecord& trial, SearchContext& context) override;
+  // Drift: the elite set ranks configurations by pre-drift objectives —
+  // drop it and retrain now; the session's elite re-validation feeds the
+  // old best back at its post-drift value.
+  void OnDrift(SearchContext& context) override;
   size_t MemoryBytes() const override;
 
   // Checkpoint v2 live state: the pool-seed iteration counter, the one piece

@@ -179,6 +179,15 @@ void MultiMetricSearcher::ProposeBatch(SearchContext& context, size_t n,
 }
 
 void MultiMetricSearcher::Observe(const TrialRecord& trial, SearchContext& /*context*/) {
+  if (trial.outcome.transient()) {
+    // Infrastructure noise (timeout/flake), not a config-caused crash: keep
+    // it out of the model (same policy as DeepTuneSearcher::Observe).
+    ++observed_;
+    if (observed_ % options_.update_every == 0) {
+      model_.Update();
+    }
+    return;
+  }
   bool crashed = trial.crashed();
   std::vector<double> values;
   if (!crashed) {
@@ -212,6 +221,13 @@ void MultiMetricSearcher::Observe(const TrialRecord& trial, SearchContext& /*con
   if (observed_ % options_.update_every == 0) {
     model_.Update();
   }
+}
+
+void MultiMetricSearcher::OnDrift(SearchContext& context) {
+  (void)context;
+  elites_.clear();
+  elite_scores_.clear();
+  model_.Update();
 }
 
 MultiDtmPrediction MultiMetricSearcher::PredictConfig(const Configuration& config) {

@@ -61,6 +61,9 @@ class MultiMetricSearcher : public Searcher {
   void ProposeBatch(SearchContext& context, size_t n,
                     std::vector<Configuration>* batch) override;
   void Observe(const TrialRecord& trial, SearchContext& context) override;
+  // Drift: drop the pre-drift elite set and retrain (see
+  // DeepTuneSearcher::OnDrift).
+  void OnDrift(SearchContext& context) override;
   size_t MemoryBytes() const override;
 
   // Checkpoint v2 live state: the shared proposal pipeline's pool-seed

@@ -66,10 +66,7 @@ JobRunResult RunJob(const JobSpec& spec, const std::string& model_in,
     }
   }
 
-  TestbenchOptions bench_options;
-  bench_options.substrate = spec.SubstrateKind();
-  bench_options.seed = HashCombine(spec.seed, StableHash(spec.name));
-  Testbench bench(result.space.get(), spec.app, bench_options);
+  Testbench bench(result.space.get(), spec.app, spec.ToTestbenchOptions());
 
   result.session = RunSearch(&bench, searcher.get(), spec.ToSessionOptions());
   if (deeptune != nullptr && !model_out.empty()) {

@@ -26,13 +26,49 @@ void WriteCheckpoint(std::ostream& out, const std::vector<TrialRecord>& history,
       out << "searcher-state " << live->searcher_state << "\n";
     }
   }
+  // Aggregate failure taxonomy, derived from the trial statuses so readers
+  // that ignore the line lose nothing; written only when any class fired.
+  size_t build_failed = 0, boot_failed = 0, run_crashed = 0, timeouts = 0;
+  for (const TrialRecord& trial : history) {
+    switch (trial.outcome.status) {
+      case TrialOutcome::Status::kBuildFailed: ++build_failed; break;
+      case TrialOutcome::Status::kBootFailed: ++boot_failed; break;
+      case TrialOutcome::Status::kRunCrashed: ++run_crashed; break;
+      case TrialOutcome::Status::kTimeout: ++timeouts; break;
+      case TrialOutcome::Status::kOk: break;
+    }
+  }
+  if (build_failed + boot_failed + run_crashed + timeouts > 0) {
+    out << "failures";
+    if (build_failed > 0) {
+      out << " " << TrialStatusName(TrialOutcome::Status::kBuildFailed) << " " << build_failed;
+    }
+    if (boot_failed > 0) {
+      out << " " << TrialStatusName(TrialOutcome::Status::kBootFailed) << " " << boot_failed;
+    }
+    if (run_crashed > 0) {
+      out << " " << TrialStatusName(TrialOutcome::Status::kRunCrashed) << " " << run_crashed;
+    }
+    if (timeouts > 0) {
+      out << " " << TrialStatusName(TrialOutcome::Status::kTimeout) << " " << timeouts;
+    }
+    out << "\n";
+  }
   for (const TrialRecord& trial : history) {
     const TrialOutcome& o = trial.outcome;
     out << "trial " << trial.iteration << " " << TrialStatusName(o.status) << " " << o.metric
         << " " << o.memory_mb << " " << o.build_seconds << " " << o.boot_seconds << " "
         << o.run_seconds << " " << (o.build_skipped ? 1 : 0) << " "
         << (trial.HasObjective() ? trial.objective : std::nan("")) << " "
-        << trial.sim_time_end << " " << trial.searcher_seconds << "\n";
+        << trial.sim_time_end << " " << trial.searcher_seconds;
+    if (!o.failure_reason.empty()) {
+      // Rest-of-line field: reasons contain spaces but never newlines.
+      out << " ";
+      for (char c : o.failure_reason) {
+        out << (c == '\n' || c == '\r' ? ' ' : c);
+      }
+    }
+    out << "\n";
     out << "values";
     for (size_t i = 0; i < trial.config.Size(); ++i) {
       out << " " << trial.config.Raw(i);
@@ -105,6 +141,26 @@ CheckpointLoadResult ReadCheckpoint(const ConfigSpace& space, std::istream& in) 
       }
       continue;
     }
+    if (version >= 2 && result.history.empty() && keyword == "failures") {
+      // Name/count pairs in TrialStatusName vocabulary; unknown names are
+      // skipped so future classes do not break older readers.
+      std::string name;
+      size_t count = 0;
+      while (trial_in >> name >> count) {
+        TrialOutcome::Status status;
+        if (!TrialStatusFromName(name, &status)) {
+          continue;
+        }
+        switch (status) {
+          case TrialOutcome::Status::kBuildFailed: result.build_failures = count; break;
+          case TrialOutcome::Status::kBootFailed: result.boot_failures = count; break;
+          case TrialOutcome::Status::kRunCrashed: result.run_crashes = count; break;
+          case TrialOutcome::Status::kTimeout: result.timeouts = count; break;
+          case TrialOutcome::Status::kOk: break;
+        }
+      }
+      continue;
+    }
     if (keyword != "trial") {
       result.error = "line " + std::to_string(line_number) + ": expected trial record";
       return result;
@@ -131,6 +187,11 @@ CheckpointLoadResult ReadCheckpoint(const ConfigSpace& space, std::istream& in) 
       }
     }
     trial.outcome.build_skipped = skipped != 0;
+    // Optional trailing failure reason: everything after searcher_seconds
+    // (absent in files written before the field existed).
+    if (std::string reason; std::getline(trial_in >> std::ws, reason) && !reason.empty()) {
+      trial.outcome.failure_reason = std::move(reason);
+    }
 
     if (!std::getline(in, line)) {
       result.error = "line " + std::to_string(line_number) + ": trial without values";

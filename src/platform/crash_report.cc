@@ -31,6 +31,9 @@ CrashReport AnalyzeCrashes(const ConfigSpace& space, const std::vector<TrialReco
         case TrialOutcome::Status::kRunCrashed:
           ++report.run_crashes;
           break;
+        case TrialOutcome::Status::kTimeout:
+          ++report.timeouts;
+          break;
         case TrialOutcome::Status::kOk:
           break;
       }
@@ -79,7 +82,7 @@ std::string FormatCrashReport(const CrashReport& report, size_t top_n) {
                                         : 0.0;
   oss << "crashes: " << report.crashes << "/" << report.trials << " (rate " << crash_rate
       << "; build " << report.build_failures << ", boot " << report.boot_failures
-      << ", run " << report.run_crashes << ")\n";
+      << ", run " << report.run_crashes << ", timeout " << report.timeouts << ")\n";
   if (report.total_sim_seconds > 0.0) {
     oss << "wasted time: " << static_cast<long long>(report.wasted_sim_seconds) << "s of "
         << static_cast<long long>(report.total_sim_seconds) << "s simulated ("

@@ -37,6 +37,7 @@ struct CrashReport {
   size_t build_failures = 0;
   size_t boot_failures = 0;
   size_t run_crashes = 0;
+  size_t timeouts = 0;
   // Simulated seconds consumed by crashed trials (the §2.2 "wasted
   // resources").
   double wasted_sim_seconds = 0.0;

@@ -18,6 +18,8 @@ const char* StatusName(TrialOutcome::Status status) {
       return "boot_failed";
     case TrialOutcome::Status::kRunCrashed:
       return "run_crashed";
+    case TrialOutcome::Status::kTimeout:
+      return "timeout";
   }
   return "?";
 }
@@ -65,6 +67,10 @@ HistorySummary SummarizeHistory(const std::vector<TrialRecord>& history) {
         break;
       case TrialOutcome::Status::kRunCrashed:
         ++summary.run_crashes;
+        ++summary.crashes;
+        break;
+      case TrialOutcome::Status::kTimeout:
+        ++summary.timeouts;
         ++summary.crashes;
         break;
     }

@@ -22,6 +22,7 @@ struct HistorySummary {
   size_t build_failures = 0;
   size_t boot_failures = 0;
   size_t run_crashes = 0;
+  size_t timeouts = 0;
   double best_objective = 0.0;
   bool has_best = false;
   double total_sim_seconds = 0.0;

@@ -34,6 +34,19 @@ SessionOptions JobSpec::ToSessionOptions() const {
   options.seed = seed;
   options.parallel_evaluations = parallel;
   options.sliding_window = sliding;
+  options.retry_transient = fault_retries;
+  options.measure_repeats = measure_repeats;
+  // A job that schedules workload drift gets the detector for free; clean
+  // jobs keep it off (no detector scans, no re-validation trials).
+  options.drift_detection = faults.drift_at > 0.0;
+  return options;
+}
+
+TestbenchOptions JobSpec::ToTestbenchOptions() const {
+  TestbenchOptions options;
+  options.substrate = SubstrateKind();
+  options.seed = HashCombine(seed, StableHash(name));
+  options.faults = faults;
   return options;
 }
 
@@ -108,6 +121,38 @@ JobParseResult ParseJob(const YamlNode& root) {
     spec.algorithm = search->GetString("algorithm", "deeptune");
     spec.favor = search->GetString("favor", "none");
     spec.seed = static_cast<uint64_t>(search->GetInt("seed", 42));
+  }
+  if (const YamlNode* faults = root.Get("faults"); faults != nullptr) {
+    if (!faults->IsMapping()) {
+      result.error = "faults must be a mapping";
+      return result;
+    }
+    spec.faults.flake_prob = faults->GetDouble("flake_prob", 0.0);
+    spec.faults.timeout_prob = faults->GetDouble("timeout_prob", 0.0);
+    spec.faults.hang_prob = faults->GetDouble("hang_prob", 0.0);
+    spec.faults.timeout_seconds = faults->GetDouble("timeout_s", 600.0);
+    spec.faults.noise_sigma = faults->GetDouble("noise_sigma", 0.0);
+    spec.faults.drift_at = faults->GetDouble("drift_at", 0.0);
+    spec.faults.drift_magnitude = faults->GetDouble("drift_magnitude", 1.0);
+    for (double prob : {spec.faults.flake_prob, spec.faults.timeout_prob,
+                        spec.faults.hang_prob}) {
+      if (prob < 0.0 || prob > 1.0) {
+        result.error = "fault probabilities must be in [0, 1]";
+        return result;
+      }
+    }
+    if (spec.faults.drift_magnitude < 0.0 || spec.faults.drift_magnitude > 1.0) {
+      result.error = "drift_magnitude must be in [0, 1]";
+      return result;
+    }
+    int64_t retries = faults->GetInt("retries", 0);
+    int64_t repeats = faults->GetInt("repeats", 1);
+    if (retries < 0 || repeats < 1) {
+      result.error = "faults retries must be >= 0 and repeats >= 1";
+      return result;
+    }
+    spec.fault_retries = static_cast<size_t>(retries);
+    spec.measure_repeats = static_cast<size_t>(repeats);
   }
   if (const YamlNode* freeze = root.Get("freeze"); freeze != nullptr) {
     if (!freeze->IsSequence()) {

@@ -26,6 +26,16 @@
 //   freeze:
 //     - name: kernel.randomize_va_space
 //       value: 2
+//   faults:                   # hostile-world scenario (all default to off)
+//     flake_prob: 0.05        # transient infrastructure flakes
+//     timeout_prob: 0.03      # benchmark exceeds the watchdog
+//     hang_prob: 0.02         # hang killed by the watchdog
+//     timeout_s: 600          # watchdog window (simulated seconds)
+//     noise_sigma: 0.1        # heteroscedastic measurement noise
+//     drift_at: 40000         # workload drift at this sim-time (0 = never)
+//     drift_magnitude: 1.0    # blend weight of the drifted landscape
+//     retries: 2              # re-measurement policy: transient retries
+//     repeats: 1              # median-of-k repeats for noisy apps
 #ifndef WAYFINDER_SRC_PLATFORM_JOB_FILE_H_
 #define WAYFINDER_SRC_PLATFORM_JOB_FILE_H_
 
@@ -71,12 +81,23 @@ struct JobSpec {
   std::vector<FrozenParam> freeze;
   // Non-empty when `metric: multi`: the weighted metrics to co-optimize.
   std::vector<JobMetric> metrics;
+  // Hostile-world scenario (`faults:` mapping); inactive by default so
+  // every pre-existing job file runs bit-identically.
+  FaultPlan faults;
+  // Re-measurement policy knobs riding in the `faults:` mapping
+  // (SessionOptions::retry_transient / measure_repeats).
+  size_t fault_retries = 0;
+  size_t measure_repeats = 1;
 
   bool IsMultiMetric() const { return !metrics.empty(); }
 
   Substrate SubstrateKind() const;
   SampleOptions SamplingBias() const;
   SessionOptions ToSessionOptions() const;
+  // The one recipe every runner (RunJob, the wfd daemon, wfctl start) uses
+  // to seed a Testbench for this job — substrate, per-job model seed, and
+  // the fault plan — so standalone and daemon runs agree bit-for-bit.
+  TestbenchOptions ToTestbenchOptions() const;
 };
 
 struct JobParseResult {

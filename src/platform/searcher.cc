@@ -22,6 +22,8 @@ void Searcher::ObserveBatch(Span<const TrialRecord> trials, SearchContext& conte
   }
 }
 
+void Searcher::OnDrift(SearchContext& context) { (void)context; }
+
 size_t Searcher::MemoryBytes() const { return 0; }
 
 }  // namespace wayfinder

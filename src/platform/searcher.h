@@ -62,6 +62,13 @@ class Searcher {
   // exact per-trial learning cadence of a serial session.
   virtual void ObserveBatch(Span<const TrialRecord> trials, SearchContext& context);
 
+  // The session's drift detector concluded the workload shifted under the
+  // search: objectives observed before this call may describe a landscape
+  // that no longer exists. Model-based searchers discard or revalidate
+  // stale state (DeepTune clears its elite set and forces a retrain);
+  // stateless searchers ignore it. Default: no-op.
+  virtual void OnDrift(SearchContext& context);
+
   // Bytes of live algorithm state (models, kernel matrices, causal graphs);
   // drives the Figure 7 memory comparison.
   virtual size_t MemoryBytes() const;

@@ -119,10 +119,58 @@ void SearchSession::CommitTrial(PendingTrial&& pending, double end_time) {
   record.outcome = outcome;
   record.objective = ComputeObjective(outcome);
   record.sim_time_end = end_time;
+  retries_ += pending.retries;
   if (!outcome.ok()) {
     ++crashes_;
+    switch (outcome.status) {
+      case TrialOutcome::Status::kBuildFailed:
+        ++build_failed_;
+        break;
+      case TrialOutcome::Status::kBootFailed:
+        ++boot_failed_;
+        break;
+      case TrialOutcome::Status::kRunCrashed:
+        ++run_crashed_;
+        break;
+      case TrialOutcome::Status::kTimeout:
+        ++timeouts_;
+        break;
+      case TrialOutcome::Status::kOk:
+        break;
+    }
   }
   history_.push_back(std::move(record));
+}
+
+TrialOutcome SearchSession::EvaluateWithPolicy(Testbench* bench, const Configuration& config,
+                                               Rng& rng, SimClock* clock, bool skip_build,
+                                               bool boot_only, uint64_t seed_base,
+                                               size_t* retries_used) const {
+  TrialOutcome outcome = bench->Evaluate(config, rng, clock, skip_build, boot_only);
+  // Transient-class failures say nothing about the configuration; re-issue
+  // the trial on a fresh counter-derived stream, charging every attempt.
+  for (size_t attempt = 1; attempt <= options_.retry_transient && outcome.transient();
+       ++attempt) {
+    Rng retry_rng(HashCombine(HashCombine(seed_base, 0x7e7271), attempt));
+    outcome = bench->Evaluate(config, retry_rng, clock, skip_build, boot_only);
+    ++*retries_used;
+  }
+  // Median-of-k for noisy measurements: the image is already built, so the
+  // repeats skip the build phase; only the metric is re-measured.
+  if (outcome.ok() && options_.measure_repeats > 1 && !boot_only) {
+    std::vector<double> metrics{outcome.metric};
+    for (size_t repeat = 1; repeat < options_.measure_repeats; ++repeat) {
+      Rng repeat_rng(HashCombine(HashCombine(seed_base, 0x3e9ea7), repeat));
+      TrialOutcome again =
+          bench->Evaluate(config, repeat_rng, clock, /*skip_build=*/true, boot_only);
+      if (again.ok()) {
+        metrics.push_back(again.metric);
+      }
+    }
+    std::sort(metrics.begin(), metrics.end());
+    outcome.metric = metrics[(metrics.size() - 1) / 2];  // Lower median.
+  }
+  return outcome;
 }
 
 bool SearchSession::Step() {
@@ -141,9 +189,16 @@ bool SearchSession::Step() {
       last_built_image_.has_value() && SameImageParams(pending.config, *last_built_image_);
   bool boot_only = options_.objective == ObjectiveKind::kMemoryFootprint;
   // Serial evaluation draws from the session RNG and advances the session
-  // clock directly — byte for byte the pre-batch loop.
-  pending.outcome =
-      bench_->Evaluate(pending.config, rng_, &clock_, pending.skip_build, boot_only);
+  // clock directly — byte for byte the pre-batch loop (the policy wrapper
+  // only draws extra streams when retries/repeats are enabled). The retry
+  // seed base matches the batch slot formula at slot 0.
+  pending.rng_seed = HashCombine(HashCombine(options_.seed, 0xba7c4),
+                                 static_cast<uint64_t>(history_.size()));
+  size_t retries = 0;
+  pending.outcome = EvaluateWithPolicy(bench_, pending.config, rng_, &clock_,
+                                       pending.skip_build, boot_only, pending.rng_seed,
+                                       &retries);
+  pending.retries = retries;
 
   CommitTrial(std::move(pending), clock_.Now());
   if (options_.objective == ObjectiveKind::kScore) {
@@ -153,6 +208,7 @@ bool SearchSession::Step() {
   timer.Restart();
   searcher_->Observe(history_.back(), context);
   history_.back().searcher_seconds = propose_seconds + timer.ElapsedSeconds();
+  MaybeDetectDrift(context);
   return true;
 }
 
@@ -226,9 +282,14 @@ size_t SearchSession::StepBatch() {
       PendingTrial& pending = pending_[slot];
       Rng trial_rng(pending.rng_seed);
       SimClock local_clock;
-      pending.outcome = bench_clones_[slot]->Evaluate(pending.config, trial_rng,
-                                                      &local_clock, pending.skip_build,
-                                                      boot_only);
+      // Clone clocks start at 0: anchor them at the round start so
+      // scheduled faults (drift_at) see global simulated time.
+      bench_clones_[slot]->SetSimTimeOrigin(round_start);
+      size_t retries = 0;
+      pending.outcome = EvaluateWithPolicy(bench_clones_[slot].get(), pending.config,
+                                           trial_rng, &local_clock, pending.skip_build,
+                                           boot_only, pending.rng_seed, &retries);
+      pending.retries = retries;
       pending.sim_seconds = local_clock.Now();
     }
   });
@@ -259,6 +320,7 @@ size_t SearchSession::StepBatch() {
   for (size_t i = history_.size() - n; i < history_.size(); ++i) {
     history_[i].searcher_seconds = per_trial_seconds;
   }
+  MaybeDetectDrift(context);
   return n;
 }
 
@@ -326,10 +388,13 @@ void SearchSession::RefillSlidingSlots() {
       InFlight& flight = in_flight_[first + i];
       Rng trial_rng(flight.trial.rng_seed);
       SimClock local_clock;
-      flight.trial.outcome =
-          bench_clones_[flight.clone]->Evaluate(flight.trial.config, trial_rng,
-                                                &local_clock, flight.trial.skip_build,
-                                                boot_only);
+      bench_clones_[flight.clone]->SetSimTimeOrigin(start_time);
+      size_t retries = 0;
+      flight.trial.outcome = EvaluateWithPolicy(bench_clones_[flight.clone].get(),
+                                                flight.trial.config, trial_rng, &local_clock,
+                                                flight.trial.skip_build, boot_only,
+                                                flight.trial.rng_seed, &retries);
+      flight.trial.retries = retries;
       flight.trial.sim_seconds = local_clock.Now();
       flight.finish_time = start_time + flight.trial.sim_seconds;
     }
@@ -381,7 +446,90 @@ size_t SearchSession::StepSlidingWave() {
   for (size_t i = history_.size() - n; i < history_.size(); ++i) {
     history_[i].searcher_seconds = per_trial_seconds;
   }
+  // Only at an empty window: a re-validation trial committed mid-window
+  // would reorder against in-flight proposals.
+  if (in_flight_.empty()) {
+    MaybeDetectDrift(context);
+  }
   return n;
+}
+
+void SearchSession::MaybeDetectDrift(SearchContext& context) {
+  if (!options_.drift_detection) {
+    return;
+  }
+  const size_t window = std::max<size_t>(options_.drift_window, 2);
+  // All-time best successful objective, its index, the total success count,
+  // and the best within the trailing window of successes.
+  double best = 0.0;
+  size_t best_index = 0;
+  bool have_best = false;
+  size_t successes = 0;
+  for (size_t i = 0; i < history_.size(); ++i) {
+    if (!history_[i].HasObjective()) {
+      continue;
+    }
+    ++successes;
+    if (!have_best || history_[i].objective > best) {
+      best = history_[i].objective;
+      best_index = i;
+      have_best = true;
+    }
+  }
+  // Need a pre-window baseline to regress against, and a cooldown of one
+  // full window of fresh successes after the previous event.
+  if (!have_best || successes < 2 * window ||
+      successes - successes_at_last_drift_ < window) {
+    return;
+  }
+  double recent_best = 0.0;
+  bool have_recent = false;
+  size_t counted = 0;
+  for (size_t i = history_.size(); i > 0 && counted < window; --i) {
+    const TrialRecord& trial = history_[i - 1];
+    if (!trial.HasObjective()) {
+      continue;
+    }
+    ++counted;
+    if (!have_recent || trial.objective > recent_best) {
+      recent_best = trial.objective;
+      have_recent = true;
+    }
+  }
+  double scale = std::max(std::fabs(best), 1e-9);
+  if (best - recent_best <= options_.drift_threshold * scale) {
+    return;
+  }
+  // Drift: even the best of a whole recent window sits far below the
+  // historical elite — the landscape moved, not just one unlucky trial.
+  ++drift_events_;
+  successes_at_last_drift_ = successes;
+  searcher_->OnDrift(context);
+
+  // Elite re-validation: re-measure the historical best configuration on
+  // the current landscape so its post-drift value enters the history (and
+  // the searcher's refreshed elite set) as a regular budget-charged trial.
+  if (history_.size() >= options_.max_iterations || clock_.Now() >= options_.max_sim_seconds) {
+    return;
+  }
+  PendingTrial pending;
+  pending.config = history_[best_index].config;
+  pending.rng_seed = HashCombine(HashCombine(options_.seed, 0xd21f7),
+                                 static_cast<uint64_t>(drift_events_));
+  pending.skip_build =
+      last_built_image_.has_value() && SameImageParams(pending.config, *last_built_image_);
+  Rng revalidate_rng(pending.rng_seed);
+  size_t retries = 0;
+  bool boot_only = options_.objective == ObjectiveKind::kMemoryFootprint;
+  pending.outcome = EvaluateWithPolicy(bench_, pending.config, revalidate_rng, &clock_,
+                                       pending.skip_build, boot_only, pending.rng_seed,
+                                       &retries);
+  pending.retries = retries;
+  CommitTrial(std::move(pending), clock_.Now());
+  if (options_.objective == ObjectiveKind::kScore) {
+    RefreshScores();
+  }
+  searcher_->Observe(history_.back(), context);
 }
 
 SessionResult SearchSession::Finish() {
@@ -391,6 +539,12 @@ SessionResult SearchSession::Finish() {
   result.crashes = crashes_;
   result.builds = builds_;
   result.builds_skipped = builds_skipped_;
+  result.build_failures = build_failed_;
+  result.boot_failures = boot_failed_;
+  result.run_crashes = run_crashed_;
+  result.timeouts = timeouts_;
+  result.transient_retries = retries_;
+  result.drift_events = drift_events_;
   for (size_t i = 0; i < result.history.size(); ++i) {
     const TrialRecord& trial = result.history[i];
     if (!trial.HasObjective()) {
@@ -412,6 +566,22 @@ void SearchSession::Resume(const std::vector<TrialRecord>& prior) {
     seen_hashes_.insert(trial.config.Hash());
     if (trial.crashed()) {
       ++crashes_;
+      switch (trial.outcome.status) {
+        case TrialOutcome::Status::kBuildFailed:
+          ++build_failed_;
+          break;
+        case TrialOutcome::Status::kBootFailed:
+          ++boot_failed_;
+          break;
+        case TrialOutcome::Status::kRunCrashed:
+          ++run_crashed_;
+          break;
+        case TrialOutcome::Status::kTimeout:
+          ++timeouts_;
+          break;
+        case TrialOutcome::Status::kOk:
+          break;
+      }
     }
     // The build-skip cache warms from the last image that actually built —
     // mirroring CommitTrial exactly, so a resumed session's cache state

@@ -82,6 +82,29 @@ struct SessionOptions {
   // mode the check runs serially at commit time, so it need not be
   // thread-safe.
   std::function<bool(const Configuration&, const TrialOutcome&)> deploy_check;
+  // --- Re-measurement policy (robustness under fault injection) ------------
+  // Retry a transient-class failure (timeout, hang, infrastructure flake —
+  // TrialOutcome::transient()) up to this many extra times before committing
+  // it. Retries draw from counter-derived RNG streams and every attempt is
+  // budget-charged on the trial's clock; only the final attempt enters the
+  // history. 0 disables (the default: bit-identical to the pre-policy loop).
+  size_t retry_transient = 0;
+  // Median-of-k repeated measurement for noisy benchmarks: a successful
+  // trial's benchmark re-runs k-1 more times (build skipped, budget-charged)
+  // and the committed metric is the median of the successful repeats.
+  // 1 disables (default).
+  size_t measure_repeats = 1;
+  // --- Drift detection ------------------------------------------------------
+  // Sliding-window drift detector: when the best objective among the last
+  // drift_window successes regresses more than drift_threshold (relative to
+  // the all-time best) below that best, the session declares a drift event:
+  // Searcher::OnDrift fires (partial retrain / elite invalidation) and the
+  // historical best configuration is re-evaluated on the current landscape
+  // (elite re-validation, committed as a regular budget-charged trial).
+  // Off by default; jobs scheduling FaultPlan::drift_at enable it.
+  bool drift_detection = false;
+  size_t drift_window = 8;
+  double drift_threshold = 0.25;
 };
 
 struct SessionResult {
@@ -92,6 +115,15 @@ struct SessionResult {
   size_t crashes = 0;
   size_t builds = 0;
   size_t builds_skipped = 0;
+  // Failure taxonomy (crashes broken down by class) plus the robustness
+  // policy counters: transient attempts the retry policy consumed, and
+  // drift events the detector declared.
+  size_t build_failures = 0;
+  size_t boot_failures = 0;
+  size_t run_crashes = 0;
+  size_t timeouts = 0;
+  size_t transient_retries = 0;
+  size_t drift_events = 0;
 
   const TrialRecord* best() const {
     return best_index.has_value() ? &history[*best_index] : nullptr;
@@ -153,6 +185,8 @@ class SearchSession {
 
   const std::vector<TrialRecord>& history() const { return history_; }
   const SimClock& clock() const { return clock_; }
+  size_t transient_retries() const { return retries_; }
+  size_t drift_events() const { return drift_events_; }
   SessionResult Finish();
 
  private:
@@ -163,6 +197,7 @@ class SearchSession {
     double sim_seconds = 0.0;  // Virtual duration of this trial alone.
     bool skip_build = false;
     uint64_t rng_seed = 0;
+    size_t retries = 0;  // Transient retries this trial consumed.
   };
 
   // One trial in flight under the sliding-window executor.
@@ -185,6 +220,18 @@ class SearchSession {
   // Commits one evaluated trial: deploy check, counters, build cache,
   // objective, history append. Shared by the serial and batch paths.
   void CommitTrial(PendingTrial&& pending, double end_time);
+  // One evaluation under the re-measurement policy: evaluate, retry
+  // transient failures up to retry_transient times on counter-derived
+  // streams keyed off `seed_base`, then median-of-measure_repeats the
+  // metric of a success. Every attempt advances `clock` (budget-charged).
+  // Thread-safe: touches only options_ and its arguments, so batch slots
+  // call it concurrently.
+  TrialOutcome EvaluateWithPolicy(Testbench* bench, const Configuration& config, Rng& rng,
+                                  SimClock* clock, bool skip_build, bool boot_only,
+                                  uint64_t seed_base, size_t* retries_used) const;
+  // Drift detector + elite re-validation; runs after each observation wave
+  // when options_.drift_detection is set.
+  void MaybeDetectDrift(SearchContext& context);
   void EnsureBenchClones(size_t n);
   // Sliding-window executor: one commit wave (simultaneous finishers) plus
   // the refill that precedes it. Returns trials committed, 0 when drained.
@@ -227,6 +274,17 @@ class SearchSession {
   size_t crashes_ = 0;
   size_t builds_ = 0;
   size_t builds_skipped_ = 0;
+  // Failure taxonomy + robustness policy counters (surfaced in
+  // SessionResult and the daemon's session status).
+  size_t build_failed_ = 0;
+  size_t boot_failed_ = 0;
+  size_t run_crashed_ = 0;
+  size_t timeouts_ = 0;
+  size_t retries_ = 0;
+  size_t drift_events_ = 0;
+  // Successful-trial count at the last drift event; the detector waits a
+  // full window of fresh successes before it may fire again (cooldown).
+  size_t successes_at_last_drift_ = 0;
 };
 
 // Convenience wrapper: construct, run, return.

@@ -35,6 +35,14 @@ constexpr unsigned char kSessSimSeconds = 8;
 constexpr unsigned char kSessWarmStarted = 9;
 constexpr unsigned char kSessStoreKey = 10;
 constexpr unsigned char kSessError = 11;
+// Failure taxonomy + robustness counters (absent-on-wire when zero, like
+// their YAML counterparts).
+constexpr unsigned char kSessBuildFailed = 12;
+constexpr unsigned char kSessBootFailed = 13;
+constexpr unsigned char kSessRunCrashed = 14;
+constexpr unsigned char kSessTimeouts = 15;
+constexpr unsigned char kSessRetries = 16;
+constexpr unsigned char kSessDriftEvents = 17;
 
 void PutU32(std::string* out, uint32_t value) {
   char bytes[4] = {static_cast<char>(value >> 24), static_cast<char>(value >> 16),
@@ -159,6 +167,24 @@ void EncodeStatusBinary(std::string* out, const SessionStatus& status) {
   }
   PutDouble(&block, kSessSimSeconds, status.sim_seconds);
   PutU64(&block, kSessWarmStarted, status.warm_started);
+  if (status.build_failed > 0) {
+    PutU64(&block, kSessBuildFailed, status.build_failed);
+  }
+  if (status.boot_failed > 0) {
+    PutU64(&block, kSessBootFailed, status.boot_failed);
+  }
+  if (status.run_crashed > 0) {
+    PutU64(&block, kSessRunCrashed, status.run_crashed);
+  }
+  if (status.timeouts > 0) {
+    PutU64(&block, kSessTimeouts, status.timeouts);
+  }
+  if (status.retries > 0) {
+    PutU64(&block, kSessRetries, status.retries);
+  }
+  if (status.drift_events > 0) {
+    PutU64(&block, kSessDriftEvents, status.drift_events);
+  }
   if (!status.store_key.empty()) {
     PutString(&block, kSessStoreKey, status.store_key);
   }
@@ -213,6 +239,30 @@ bool DecodeStatusBinary(const unsigned char* data, size_t n,
       case kSessWarmStarted:
         ok = TakeU64(value, len, &u64);
         status->warm_started = static_cast<size_t>(u64);
+        break;
+      case kSessBuildFailed:
+        ok = TakeU64(value, len, &u64);
+        status->build_failed = static_cast<size_t>(u64);
+        break;
+      case kSessBootFailed:
+        ok = TakeU64(value, len, &u64);
+        status->boot_failed = static_cast<size_t>(u64);
+        break;
+      case kSessRunCrashed:
+        ok = TakeU64(value, len, &u64);
+        status->run_crashed = static_cast<size_t>(u64);
+        break;
+      case kSessTimeouts:
+        ok = TakeU64(value, len, &u64);
+        status->timeouts = static_cast<size_t>(u64);
+        break;
+      case kSessRetries:
+        ok = TakeU64(value, len, &u64);
+        status->retries = static_cast<size_t>(u64);
+        break;
+      case kSessDriftEvents:
+        ok = TakeU64(value, len, &u64);
+        status->drift_events = static_cast<size_t>(u64);
         break;
       case kSessStoreKey:
         ok = TakeString(value, len, &status->store_key);

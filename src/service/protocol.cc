@@ -40,6 +40,27 @@ void AppendStatus(std::string* out, const SessionStatus& status, const char* ind
   }
   *out += field_indent + "sim_seconds: " + FormatDouble(status.sim_seconds) + "\n";
   *out += field_indent + "warm_started: " + std::to_string(status.warm_started) + "\n";
+  // Failure taxonomy: only non-zero counters ride the wire, so clean
+  // sessions encode exactly as before (the binary codec mirrors this
+  // presence rule — that parity is what the codec-equivalence tests pin).
+  if (status.build_failed > 0) {
+    *out += field_indent + "build_failed: " + std::to_string(status.build_failed) + "\n";
+  }
+  if (status.boot_failed > 0) {
+    *out += field_indent + "boot_failed: " + std::to_string(status.boot_failed) + "\n";
+  }
+  if (status.run_crashed > 0) {
+    *out += field_indent + "run_crashed: " + std::to_string(status.run_crashed) + "\n";
+  }
+  if (status.timeouts > 0) {
+    *out += field_indent + "timeouts: " + std::to_string(status.timeouts) + "\n";
+  }
+  if (status.retries > 0) {
+    *out += field_indent + "retries: " + std::to_string(status.retries) + "\n";
+  }
+  if (status.drift_events > 0) {
+    *out += field_indent + "drift_events: " + std::to_string(status.drift_events) + "\n";
+  }
   if (!status.store_key.empty()) {
     *out += field_indent + "store_key: " + Quote(status.store_key) + "\n";
   }
@@ -167,6 +188,12 @@ bool DecodeResponse(const std::string& text, ServiceResponse* response,
       entry.best = node.GetDouble("best", 0.0);
       entry.sim_seconds = node.GetDouble("sim_seconds", 0.0);
       entry.warm_started = static_cast<size_t>(node.GetInt("warm_started", 0));
+      entry.build_failed = static_cast<size_t>(node.GetInt("build_failed", 0));
+      entry.boot_failed = static_cast<size_t>(node.GetInt("boot_failed", 0));
+      entry.run_crashed = static_cast<size_t>(node.GetInt("run_crashed", 0));
+      entry.timeouts = static_cast<size_t>(node.GetInt("timeouts", 0));
+      entry.retries = static_cast<size_t>(node.GetInt("retries", 0));
+      entry.drift_events = static_cast<size_t>(node.GetInt("drift_events", 0));
       entry.store_key = node.GetString("store_key");
       entry.error = node.GetString("error");
       response->sessions.push_back(std::move(entry));

@@ -54,6 +54,15 @@ struct SessionStatus {
   double best = 0.0;
   double sim_seconds = 0.0;
   size_t warm_started = 0;  // Prior trials observed from the TrialStore.
+  // Failure taxonomy + robustness counters. Emitted on the wire only when
+  // non-zero (both codecs), so clean sessions' frames are byte-identical to
+  // the pre-taxonomy protocol.
+  size_t build_failed = 0;
+  size_t boot_failed = 0;
+  size_t run_crashed = 0;
+  size_t timeouts = 0;
+  size_t retries = 0;       // Transient re-measurement attempts consumed.
+  size_t drift_events = 0;  // Drift-detector firings.
   std::string store_key;
   std::string error;
 };

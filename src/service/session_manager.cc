@@ -1,5 +1,6 @@
 #include "src/service/session_manager.h"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 
@@ -50,11 +51,8 @@ bool SessionManager::Submit(const std::string& job_text, bool warm_start, std::s
   }
   // Bench seeding matches RunJob / `wfctl start` exactly: a session run
   // under the daemon is the same deterministic experiment.
-  TestbenchOptions bench_options;
-  bench_options.substrate = parsed.spec.SubstrateKind();
-  bench_options.seed = HashCombine(parsed.spec.seed, StableHash(parsed.spec.name));
-  managed->bench =
-      std::make_unique<Testbench>(managed->space.get(), parsed.spec.app, bench_options);
+  managed->bench = std::make_unique<Testbench>(managed->space.get(), parsed.spec.app,
+                                               parsed.spec.ToTestbenchOptions());
   managed->store_key = TrialStoreKey(*managed->space, parsed.spec.app);
 
   // Warm start: the store's prior trials for this (space, app) key will be
@@ -72,6 +70,23 @@ bool SessionManager::Submit(const std::string& job_text, bool warm_start, std::s
     if (!prior.ok) {
       *error = "trial store: " + prior.error;
       return false;
+    }
+    // Outcome-aware warm start: transient-class records (timeouts, flakes)
+    // are infrastructure noise with no (config -> outcome) signal, and when
+    // the incoming job schedules workload drift, records measured before
+    // the drift point describe a landscape the job will not see — skip
+    // both so stale or noisy trials cannot mistrain the fresh searcher.
+    if (!prior.trials.empty()) {
+      double drift_at = parsed.spec.faults.drift_at;
+      prior.trials.erase(
+          std::remove_if(prior.trials.begin(), prior.trials.end(),
+                         [drift_at](const TrialRecord& trial) {
+                           if (trial.outcome.transient()) {
+                             return true;
+                           }
+                           return drift_at > 0.0 && trial.sim_time_end < drift_at;
+                         }),
+          prior.trials.end());
     }
     if (!prior.trials.empty()) {
       for (TrialRecord& trial : prior.trials) {
@@ -170,6 +185,31 @@ void SessionManager::PersistNewTrials(Managed* managed) {
   if (!history.empty()) {
     managed->sim_seconds = history.back().sim_time_end;
   }
+  // Failure taxonomy: recomputed wholesale per wave (histories are small
+  // and this keeps the score-session wholesale path and the incremental
+  // path on one code path); retry/drift counters mirror session state.
+  managed->build_failed = managed->boot_failed = 0;
+  managed->run_crashed = managed->timeouts = 0;
+  for (const TrialRecord& trial : history) {
+    switch (trial.outcome.status) {
+      case TrialOutcome::Status::kBuildFailed:
+        ++managed->build_failed;
+        break;
+      case TrialOutcome::Status::kBootFailed:
+        ++managed->boot_failed;
+        break;
+      case TrialOutcome::Status::kRunCrashed:
+        ++managed->run_crashed;
+        break;
+      case TrialOutcome::Status::kTimeout:
+        ++managed->timeouts;
+        break;
+      case TrialOutcome::Status::kOk:
+        break;
+    }
+  }
+  managed->retries = managed->session->transient_retries();
+  managed->drift_events = managed->session->drift_events();
   NotifyLocked(*managed);
 }
 
@@ -350,6 +390,12 @@ SessionStatus SessionManager::Snapshot(const Managed& managed) const {
   status.best = managed.best;
   status.sim_seconds = managed.sim_seconds;
   status.warm_started = managed.warm_started;
+  status.build_failed = managed.build_failed;
+  status.boot_failed = managed.boot_failed;
+  status.run_crashed = managed.run_crashed;
+  status.timeouts = managed.timeouts;
+  status.retries = managed.retries;
+  status.drift_events = managed.drift_events;
   status.store_key = managed.store_key;
   status.error = managed.error;
   return status;

@@ -150,6 +150,14 @@ class SessionManager {
     bool has_best = false;
     double best = 0.0;
     double sim_seconds = 0.0;
+    // Failure taxonomy + robustness counters, mirrored from the session at
+    // wave boundaries like the fields above.
+    size_t build_failed = 0;
+    size_t boot_failed = 0;
+    size_t run_crashed = 0;
+    size_t timeouts = 0;
+    size_t retries = 0;
+    size_t drift_events = 0;
   };
 
   static const char* StateName(State state);

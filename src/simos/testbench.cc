@@ -15,6 +15,8 @@ const char* TrialStatusName(TrialOutcome::Status status) {
       return "boot-failed";
     case TrialOutcome::Status::kRunCrashed:
       return "run-crashed";
+    case TrialOutcome::Status::kTimeout:
+      return "timeout";
   }
   return "?";
 }
@@ -28,6 +30,8 @@ bool TrialStatusFromName(const std::string& name, TrialOutcome::Status* status) 
     *status = TrialOutcome::Status::kBootFailed;
   } else if (name == "run-crashed") {
     *status = TrialOutcome::Status::kRunCrashed;
+  } else if (name == "timeout") {
+    *status = TrialOutcome::Status::kTimeout;
   } else {
     return false;
   }
@@ -40,7 +44,12 @@ Testbench::Testbench(const ConfigSpace* space, AppId app, const TestbenchOptions
       options_(options),
       perf_model_(space, options.substrate, options.seed),
       crash_model_(space, HashCombine(options.seed, 0xc4a5)),
-      memory_model_(space, options.default_footprint_mb, HashCombine(options.seed, 0x3e30)) {}
+      memory_model_(space, options.default_footprint_mb, HashCombine(options.seed, 0x3e30)) {
+  if (options_.faults.drift_at > 0.0) {
+    drifted_perf_ = std::make_shared<PerfModel>(space, options.substrate,
+                                                HashCombine(options.seed, 0xd21f7));
+  }
+}
 
 double Testbench::SampleBuildSeconds(Rng& rng) const {
   // Full kernel builds dominate; unikernels build much faster. Lognormal-ish
@@ -89,11 +98,21 @@ TrialOutcome Testbench::Evaluate(const Configuration& config, Rng& rng, SimClock
 TrialOutcome Testbench::EvaluateImpl(const Configuration& config, Rng& rng, SimClock* clock,
                                      bool skip_build, bool boot_only) {
   TrialOutcome outcome;
+  const FaultPlan& faults = options_.faults;
+  // Global simulated time at which this trial starts (clones carry the
+  // round start as their origin); decides whether scheduled drift applies.
+  const double trial_start = sim_time_origin_ + (clock != nullptr ? clock->Now() : 0.0);
   CrashOutcome crash = crash_model_.Check(app_, config, rng);
 
   // Transient infrastructure flakes (fault injection): independent of the
-  // configuration, a trial may fail at a uniformly chosen stage.
-  if (options_.transient_flake_prob > 0.0 && rng.Bernoulli(options_.transient_flake_prob)) {
+  // configuration, a trial may fail at a uniformly chosen stage. The legacy
+  // knob and the plan's combine as independent fault sources; with the plan
+  // inactive the draw sequence is exactly the pre-plan one.
+  double flake_prob = options_.transient_flake_prob;
+  if (faults.flake_prob > 0.0) {
+    flake_prob = 1.0 - (1.0 - flake_prob) * (1.0 - faults.flake_prob);
+  }
+  if (flake_prob > 0.0 && rng.Bernoulli(flake_prob)) {
     crash.crashed = true;
     crash.reason = "transient: infrastructure flake";
     double stage = rng.Uniform();
@@ -151,6 +170,25 @@ TrialOutcome Testbench::EvaluateImpl(const Configuration& config, Rng& rng, SimC
     // booted; its footprint is the measurement.
     return outcome;
   }
+  // Watchdog faults: the benchmark exceeds its budget, or hangs until the
+  // watchdog kills it. Either way the trial is charged the full watchdog
+  // window — the expensive failure mode a re-measurement policy must
+  // distinguish from config-caused crashes. One Bernoulli per active knob,
+  // so the per-trial draw count is constant under a fixed plan.
+  if (faults.timeout_prob > 0.0 || faults.hang_prob > 0.0) {
+    bool timed_out = faults.timeout_prob > 0.0 && rng.Bernoulli(faults.timeout_prob);
+    bool hung = faults.hang_prob > 0.0 && rng.Bernoulli(faults.hang_prob);
+    if (timed_out || hung) {
+      outcome.run_seconds = faults.timeout_seconds;
+      if (clock != nullptr) {
+        clock->Advance(outcome.run_seconds);
+      }
+      outcome.status = TrialOutcome::Status::kTimeout;
+      outcome.failure_reason = timed_out ? "transient: benchmark exceeded watchdog"
+                                         : "transient: hang killed by watchdog";
+      return outcome;
+    }
+  }
   outcome.run_seconds = SampleRunSeconds(rng);
   if (crash.crashed) {
     // Runtime crashes/hangs surface part-way through the benchmark (hangs
@@ -167,6 +205,18 @@ TrialOutcome Testbench::EvaluateImpl(const Configuration& config, Rng& rng, SimC
     clock->Advance(outcome.run_seconds);
   }
   outcome.metric = perf_model_.SampleMetric(app_, config, rng);
+  // Scheduled workload drift: trials starting after drift_at sample from a
+  // shifted landscape, blended at drift_magnitude.
+  if (drifted_perf_ != nullptr && trial_start >= faults.drift_at) {
+    double shifted = drifted_perf_->SampleMetric(app_, config, rng);
+    double blend = faults.drift_magnitude;
+    outcome.metric = (1.0 - blend) * outcome.metric + blend * shifted;
+  }
+  // Heteroscedastic measurement noise: config-dependent variance on top of
+  // the app's intrinsic noise_cv.
+  if (faults.noise_sigma > 0.0) {
+    outcome.metric *= std::exp(rng.Normal(0.0, faults.NoiseSigmaFor(config.Hash())));
+  }
   return outcome;
 }
 

@@ -17,6 +17,7 @@
 #include "src/configspace/config_space.h"
 #include "src/simos/apps.h"
 #include "src/simos/crash_model.h"
+#include "src/simos/fault_plan.h"
 #include "src/simos/memory_model.h"
 #include "src/simos/perf_model.h"
 #include "src/util/rng.h"
@@ -26,10 +27,20 @@ namespace wayfinder {
 
 // Result of evaluating one configuration end to end.
 struct TrialOutcome {
-  enum class Status { kOk, kBuildFailed, kBootFailed, kRunCrashed };
+  // kTimeout is the transient watchdog class (benchmark exceeded its budget
+  // or hung and was killed); unlike the other failures it says nothing
+  // about the configuration — the same config would likely succeed retried.
+  enum class Status { kOk, kBuildFailed, kBootFailed, kRunCrashed, kTimeout };
 
   Status status = Status::kOk;
   bool ok() const { return status == Status::kOk; }
+  // Transient-class failure: infrastructure noise a re-measurement policy
+  // may retry, as opposed to a config-caused crash a searcher should learn.
+  // Timeouts are transient by status; flakes carry a "transient:" reason.
+  bool transient() const {
+    return status == Status::kTimeout ||
+           (status != Status::kOk && failure_reason.rfind("transient:", 0) == 0);
+  }
 
   double metric = 0.0;        // App metric (valid when ok()).
   double memory_mb = 0.0;     // Boot footprint (valid unless build failed).
@@ -63,6 +74,11 @@ struct TestbenchOptions {
   // sliding-window schedule to degenerate to lock-step rounds; outcomes
   // (crash/metric/memory) are computed normally. 0 = realistic durations.
   double fixed_trial_seconds = 0.0;
+  // Hostile-world scenario: timeouts, hangs, flakes, heteroscedastic noise,
+  // and scheduled workload drift. The default (inactive) plan is a strict
+  // no-op — zero extra RNG draws — so existing trajectory pins stay
+  // bit-identical.
+  FaultPlan faults;
 };
 
 class Testbench {
@@ -90,6 +106,13 @@ class Testbench {
   double SampleBootSeconds(Rng& rng) const;
   double SampleRunSeconds(Rng& rng) const;
 
+  // Where this bench's clock sits in the session's global simulated
+  // timeline. A serial session evaluates on the global clock directly
+  // (origin 0); batch executors evaluate on per-slot clones with local
+  // clocks starting at 0, and set the round's start time here so scheduled
+  // faults (FaultPlan::drift_at) see global time.
+  void SetSimTimeOrigin(double t) { sim_time_origin_ = t; }
+
  private:
   // The realistic-duration evaluation; the public Evaluate overrides its
   // durations when options_.fixed_trial_seconds is set.
@@ -101,6 +124,10 @@ class Testbench {
   PerfModel perf_model_;
   CrashModel crash_model_;
   MemoryModel memory_model_;
+  // The post-drift landscape (FaultPlan::drift_at > 0 only). Shared and
+  // immutable, so Testbench clones stay cheaply copyable.
+  std::shared_ptr<const PerfModel> drifted_perf_;
+  double sim_time_origin_ = 0.0;
 };
 
 }  // namespace wayfinder

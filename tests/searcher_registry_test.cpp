@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/configspace/unikraft_space.h"
 #include "src/core/wayfinder_api.h"
@@ -49,6 +50,47 @@ TEST(SearcherRegistry, EveryRegisteredNameConstructsAndRoundTrips) {
     for (const Configuration& candidate : batch) {
       EXPECT_TRUE(space.IsValid(candidate)) << name;
     }
+  }
+}
+
+TEST(SearcherRegistry, EverySearcherSurvivesACrashHeavyRun) {
+  // Crash-heavy soak: at transient_flake_prob = 0.9 roughly nine of ten
+  // trials commit with NaN objectives. Every registered searcher must run a
+  // 40-trial session through that regime without wedging, throwing, or
+  // poisoning its model — and still propose valid configurations afterward.
+  ConfigSpace space = BuildUnikraftSpace();
+  for (const std::string& name : RegisteredSearcherNames()) {
+    TestbenchOptions bench_options;
+    bench_options.substrate = Substrate::kUnikraftKvm;
+    bench_options.seed = 0xc7a5;
+    bench_options.transient_flake_prob = 0.9;
+    Testbench bench(&space, AppId::kNginx, bench_options);
+    std::unique_ptr<Searcher> searcher = MakeSearcher(name, &space, 0x1e9);
+    ASSERT_NE(searcher, nullptr) << name;
+
+    SessionOptions options;
+    options.max_iterations = 40;
+    options.seed = 0x50a;
+    SessionResult result = RunSearch(&bench, searcher.get(), options);
+    EXPECT_EQ(result.history.size(), 40u) << name;
+    size_t successes = 0;
+    for (const TrialRecord& trial : result.history) {
+      if (trial.HasObjective()) {
+        ++successes;
+        EXPECT_TRUE(std::isfinite(trial.objective)) << name;
+      }
+    }
+    // The flake rate leaves a sliver of successes; none may be NaN/inf.
+    EXPECT_LT(successes, 20u) << name;
+
+    // The searcher is still functional after 40 near-total failures.
+    Rng rng(9);
+    SearchContext context;
+    context.space = &space;
+    context.history = &result.history;
+    context.rng = &rng;
+    Configuration proposal = searcher->Propose(context);
+    EXPECT_TRUE(space.IsValid(proposal)) << name;
   }
 }
 

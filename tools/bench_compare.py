@@ -84,6 +84,12 @@ def is_anchor(key):
         # of identical library code read portable_t4 ~15% apart on binary
         # layout alone. Tracked, never gated — same policy as parallel.
         return False
+    if key[1] == "fault10":
+        # The hostile-world session variant runs under a ~10% mixed-fault
+        # plan with retries: its committed-trials/sec rate shifts whenever
+        # the injected failure mix does, not only when the executor changes.
+        # Tracked, never gated.
+        return False
     if "blocking" in key[1]:
         # The blocking-loop transport baseline is a deliberately slow
         # reference implementation of the pre-epoll accept loop, kept only

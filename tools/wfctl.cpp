@@ -43,6 +43,8 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "src/configspace/cmdline.h"
 #include "src/configspace/probe.h"
@@ -71,6 +73,7 @@ int Usage() {
                "  create <job.yaml>                    validate a job file\n"
                "  start  <job.yaml> [--model-in P] [--model-out P] [--parallel N]\n"
                "                    [--resume P] [--checkpoint P] [--history-csv P]\n"
+               "                    [fault flags]\n"
                "  report <job.yaml> <checkpoint>       summarize a saved session\n"
                "  render <job.yaml> <checkpoint>       print deployment artifacts\n"
                "  algorithms                           list registered search algorithms\n"
@@ -82,7 +85,8 @@ int Usage() {
                "service mode (all take [--socket P] [--binary], default %s):\n"
                "  serve  [--store DIR] [--checkpoint-dir DIR] [--max-sessions N]\n"
                "                                       run the wfd daemon in the foreground\n"
-               "  submit <job.yaml> [--no-warm-start]  queue a job; prints its session id\n"
+               "  submit <job.yaml> [--no-warm-start] [fault flags]\n"
+               "                                       queue a job; prints its session id\n"
                "  status [id]                          one session, or the whole fleet\n"
                "  watch  <id> [--poll-ms N]            follow server-pushed status until the\n"
                "                                       session ends (--poll-ms forces the old\n"
@@ -92,6 +96,9 @@ int Usage() {
                "  store-compact                        rewrite the trial store dropping\n"
                "                                       superseded duplicate records\n"
                "  stop                                 drain every session and exit wfd\n"
+               "fault flags (hostile-world injection, see docs/robustness.md):\n"
+               "  --flake-prob P --timeout-prob P --hang-prob P --timeout-s S\n"
+               "  --noise-sigma S --drift-at T --drift-magnitude M --retries N --repeats K\n"
                "algorithms: %s\n",
                kDefaultSocketPath, algorithms.c_str());
   return 2;
@@ -158,8 +165,9 @@ int LoadSession(const std::string& job_path, const std::string& checkpoint_path,
 void PrintSummary(const std::vector<TrialRecord>& history) {
   HistorySummary summary = SummarizeHistory(history);
   std::printf("  trials:          %zu\n", summary.trials);
-  std::printf("  crashes:         %zu (build %zu, boot %zu, run %zu)\n", summary.crashes,
-              summary.build_failures, summary.boot_failures, summary.run_crashes);
+  std::printf("  crashes:         %zu (build %zu, boot %zu, run %zu, timeout %zu)\n",
+              summary.crashes, summary.build_failures, summary.boot_failures,
+              summary.run_crashes, summary.timeouts);
   if (summary.has_best) {
     std::printf("  best objective:  %.4g\n", summary.best_objective);
   } else {
@@ -195,9 +203,58 @@ void PrintArtifacts(const TrialRecord& best) {
                                                                     : compile.c_str());
 }
 
+// Fault-injection flag → job-file `faults:` key, shared by start and submit
+// so both spell the hostile-world knobs identically. Values stay strings:
+// they ride into the job's YAML and get the job parser's validation.
+const char* FaultKeyForFlag(const std::string& flag) {
+  static constexpr std::pair<const char*, const char*> kFaultFlags[] = {
+      {"--flake-prob", "flake_prob"},
+      {"--timeout-prob", "timeout_prob"},
+      {"--hang-prob", "hang_prob"},
+      {"--timeout-s", "timeout_s"},
+      {"--noise-sigma", "noise_sigma"},
+      {"--drift-at", "drift_at"},
+      {"--drift-magnitude", "drift_magnitude"},
+      {"--retries", "retries"},
+      {"--repeats", "repeats"}};
+  for (const auto& [name, key] : kFaultFlags) {
+    if (flag == name) {
+      return key;
+    }
+  }
+  return nullptr;
+}
+
+using FaultOverrides = std::vector<std::pair<std::string, std::string>>;
+
+// Appends the collected fault flags as a `faults:` mapping. The flags are
+// the whole block, not a merge — a job that already carries one must be
+// edited instead (our YAML rejects duplicate keys anyway).
+bool AppendFaultBlock(const FaultOverrides& overrides, std::string* job_text) {
+  if (overrides.empty()) {
+    return true;
+  }
+  if (job_text->rfind("faults:", 0) == 0 ||
+      job_text->find("\nfaults:") != std::string::npos) {
+    std::fprintf(stderr,
+                 "wfctl: the job file already has a faults: section; edit it "
+                 "instead of passing fault flags\n");
+    return false;
+  }
+  if (!job_text->empty() && job_text->back() != '\n') {
+    *job_text += '\n';
+  }
+  *job_text += "faults:\n";
+  for (const auto& [key, value] : overrides) {
+    *job_text += "  " + key + ": " + value + "\n";
+  }
+  return true;
+}
+
 int CmdStart(int argc, char** argv) {
   std::string job_path = argv[0];
   std::string model_in, model_out, resume_path, checkpoint_path, history_csv, parallel_arg;
+  FaultOverrides fault_overrides;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
     auto take = [&](std::string* into) {
@@ -221,6 +278,12 @@ int CmdStart(int argc, char** argv) {
       ok = take(&history_csv);
     } else if (flag == "--parallel") {
       ok = take(&parallel_arg);
+    } else if (const char* fault_key = FaultKeyForFlag(flag); fault_key != nullptr) {
+      std::string value;
+      ok = take(&value);
+      if (ok) {
+        fault_overrides.emplace_back(fault_key, value);
+      }
     } else {
       std::fprintf(stderr, "wfctl: unknown flag %s\n", flag.c_str());
       ok = false;
@@ -230,7 +293,18 @@ int CmdStart(int argc, char** argv) {
     }
   }
 
-  JobParseResult parsed = ParseJobFile(job_path);
+  std::ifstream job_in(job_path);
+  if (!job_in) {
+    std::fprintf(stderr, "wfctl: cannot read %s\n", job_path.c_str());
+    return 1;
+  }
+  std::ostringstream job_buffer;
+  job_buffer << job_in.rdbuf();
+  std::string job_text = job_buffer.str();
+  if (!AppendFaultBlock(fault_overrides, &job_text)) {
+    return 2;
+  }
+  JobParseResult parsed = ParseJobText(job_text);
   if (!parsed.ok) {
     std::fprintf(stderr, "wfctl: %s\n", parsed.error.c_str());
     return 1;
@@ -267,10 +341,7 @@ int CmdStart(int argc, char** argv) {
     std::printf("transfer learning: warm-started from %s\n", model_in.c_str());
   }
 
-  TestbenchOptions bench_options;
-  bench_options.substrate = spec.SubstrateKind();
-  bench_options.seed = HashCombine(spec.seed, StableHash(spec.name));
-  Testbench bench(space.get(), spec.app, bench_options);
+  Testbench bench(space.get(), spec.app, spec.ToTestbenchOptions());
 
   SearchSession session(&bench, searcher.get(), spec.ToSessionOptions());
   if (!resume_path.empty()) {
@@ -487,14 +558,9 @@ int CmdTransfer(const std::string& source_job_path, const std::string& target_jo
     return 1;
   }
 
-  TestbenchOptions source_options;
-  source_options.substrate = source_job.spec.SubstrateKind();
-  source_options.seed = HashCombine(source_job.spec.seed, StableHash(source_job.spec.name));
+  TestbenchOptions source_options = source_job.spec.ToTestbenchOptions();
   Testbench source(&space, source_job.spec.app, source_options);
-  TestbenchOptions target_options;
-  target_options.substrate = target_job.spec.SubstrateKind();
-  target_options.seed = HashCombine(target_job.spec.seed, StableHash(target_job.spec.name));
-  Testbench target(&space, target_job.spec.app, target_options);
+  Testbench target(&space, target_job.spec.app, target_job.spec.ToTestbenchOptions());
 
   LinearTransfer transfer = CalibrateTransfer(source, target, /*pairs=*/24,
                                               HashCombine(source_options.seed, 0x7f));
@@ -537,6 +603,8 @@ struct ServiceArgs {
   bool binary = false;
   bool warm_start = true;
   bool ok = true;
+  // submit: fault flags appended to the job text as a `faults:` block.
+  FaultOverrides fault_overrides;
 };
 
 ServiceArgs ParseServiceArgs(int argc, char** argv) {
@@ -594,6 +662,10 @@ ServiceArgs ParseServiceArgs(int argc, char** argv) {
       args.binary = true;
     } else if (flag == "--no-warm-start") {
       args.warm_start = false;
+    } else if (const char* fault_key = FaultKeyForFlag(flag); fault_key != nullptr) {
+      if (take(&value)) {
+        args.fault_overrides.emplace_back(fault_key, value);
+      }
     } else if (!flag.empty() && flag[0] == '-') {
       std::fprintf(stderr, "wfctl: unknown flag %s\n", flag.c_str());
       args.ok = false;
@@ -624,13 +696,17 @@ int CmdSubmit(const ServiceArgs& args) {
     std::fprintf(stderr, "wfctl: cannot read %s\n", args.positional.c_str());
     return 1;
   }
-  std::ostringstream job_text;
-  job_text << in.rdbuf();
+  std::ostringstream job_buffer;
+  job_buffer << in.rdbuf();
+  std::string job_text = job_buffer.str();
+  if (!AppendFaultBlock(args.fault_overrides, &job_text)) {
+    return 2;
+  }
   ServiceRequest request;
   request.command = "submit";
   request.warm_start = args.warm_start;
   ServiceCallResult call =
-      CallService(args.socket_path, request, job_text.str(), args.binary);
+      CallService(args.socket_path, request, job_text, args.binary);
   if (!call.ok) {
     std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
     return 1;
@@ -639,15 +715,40 @@ int CmdSubmit(const ServiceArgs& args) {
   return 0;
 }
 
+// Failure taxonomy of one session, compact: only the classes that fired,
+// "-" for a clean run.
+std::string FailureTaxonomy(const SessionStatus& status) {
+  std::string out;
+  auto add = [&out](const char* label, size_t count) {
+    if (count == 0) {
+      return;
+    }
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += label;
+    out += ":";
+    out += std::to_string(count);
+  };
+  add("build", status.build_failed);
+  add("boot", status.boot_failed);
+  add("run", status.run_crashed);
+  add("timeout", status.timeouts);
+  add("retry", status.retries);
+  add("drift", status.drift_events);
+  return out.empty() ? "-" : out;
+}
+
 void PrintStatusTable(const std::vector<SessionStatus>& sessions) {
-  std::printf("%-5s %-20s %-12s %-9s %9s %7s %12s %12s\n", "id", "job", "algorithm",
-              "state", "trials", "warm", "best", "sim(s)");
+  std::printf("%-5s %-20s %-12s %-9s %9s %7s %12s %12s  %s\n", "id", "job", "algorithm",
+              "state", "trials", "warm", "best", "sim(s)", "failures");
   for (const SessionStatus& status : sessions) {
-    std::printf("%-5s %-20s %-12s %-9s %5zu/%-3zu %7zu %12s %12.0f\n", status.id.c_str(),
-                status.name.c_str(), status.algorithm.c_str(), status.state.c_str(),
-                status.trials, status.iterations, status.warm_started,
+    std::printf("%-5s %-20s %-12s %-9s %5zu/%-3zu %7zu %12s %12.0f  %s\n",
+                status.id.c_str(), status.name.c_str(), status.algorithm.c_str(),
+                status.state.c_str(), status.trials, status.iterations,
+                status.warm_started,
                 status.has_best ? std::to_string(status.best).c_str() : "-",
-                status.sim_seconds);
+                status.sim_seconds, FailureTaxonomy(status).c_str());
   }
 }
 
