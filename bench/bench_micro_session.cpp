@@ -15,6 +15,11 @@
 //     overhead (fault draws, retry re-measurement, taxonomy bookkeeping).
 //     Tracked but NEVER gated: the committed-trials/sec rate moves with the
 //     injected failure mix, not just with code changes.
+//   * session_trials_per_sec/journal: the full managed path — SessionManager
+//     with the trial store AND the write-ahead session journal enabled, so
+//     every wave boundary pays its fsync'd journal append. Tracked but
+//     NEVER gated: fsync cost is a property of the box's storage stack
+//     (tmpfs vs SSD vs spinning CI disk), not of the code under review.
 //
 // A cheap searcher (random) keeps the measurement on the session machinery —
 // dedup, build-skip, virtual-time merge, thread-pool dispatch — rather than
@@ -29,9 +34,12 @@
 #include <cstring>
 #include <string>
 
+#include <filesystem>
+
 #include "src/configspace/linux_space.h"
 #include "src/platform/random_search.h"
 #include "src/platform/session.h"
+#include "src/service/session_manager.h"
 #include "src/simos/fault_plan.h"
 
 namespace wayfinder {
@@ -82,6 +90,36 @@ double BenchSession(const ConfigSpace& space, size_t iterations, size_t parallel
   });
 }
 
+// The managed path: SessionManager with store + journal, so the measured
+// loop includes hash-dedup persistence and the fsync'd wave-boundary journal
+// appends. A fresh store directory per op keeps the dedup store from
+// replaying earlier repeats (which would skip the builds being measured).
+double BenchJournaledSession(size_t iterations, uint64_t seed) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "wf-bench-journal").string();
+  std::string job;
+  job += "name: bench-journal\n";
+  job += "os: linux\napplication: nginx\nmetric: performance\n";
+  job += "budget:\n  iterations: " + std::to_string(iterations) + "\n";
+  job += "search:\n  algorithm: random\n";
+  job += "  seed: " + std::to_string(seed) + "\n";
+  return TrialsPerSec(iterations, [&] {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    SessionManagerOptions options;
+    options.store_dir = dir + "/store";
+    options.journal_path = dir + "/store/journal.wfj";
+    SessionManager manager(options);
+    std::string id, error;
+    if (!manager.Submit(job, false, &id, &error) || !manager.WaitDone(id, 60000)) {
+      std::fprintf(stderr, "bench_micro_session: journaled session failed: %s\n",
+                   error.c_str());
+      std::exit(1);
+    }
+    manager.Shutdown();
+  });
+}
+
 }  // namespace
 }  // namespace wayfinder
 
@@ -125,5 +163,8 @@ int main(int argc, char** argv) {
   double faulted = BenchSession(space, iterations, 1, 0xbe9c, hostile, 1);
   std::printf("{\"bench\": \"session_trials_per_sec\", \"variant\": \"fault10\", "
               "\"ops_per_sec\": %.2f}\n", faulted);
+  double journaled = BenchJournaledSession(iterations, 0xbe9c);
+  std::printf("{\"bench\": \"session_trials_per_sec\", \"variant\": \"journal\", "
+              "\"ops_per_sec\": %.2f}\n", journaled);
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/platform/fs_faults.h"
+
 namespace wayfinder {
 
 namespace {
@@ -162,6 +164,16 @@ CheckpointLoadResult ReadCheckpoint(const ConfigSpace& space, std::istream& in) 
       continue;
     }
     if (keyword != "trial") {
+      // Forward compatibility: unknown keywords in the header area (before
+      // the first trial) are future optional sections in the spirit of the
+      // live-state and failures lines — skipped, not preserved (a reader
+      // this old cannot round-trip what it cannot parse). A `values` line
+      // here is structural damage, not a future section, and an unknown
+      // keyword between trial records would silently detach a trial from
+      // its values — both still reject.
+      if (version >= 2 && result.history.empty() && keyword != "values") {
+        continue;
+      }
       result.error = "line " + std::to_string(line_number) + ": expected trial record";
       return result;
     }
@@ -234,12 +246,10 @@ std::string CheckpointToText(const std::vector<TrialRecord>& history,
 
 bool SaveCheckpoint(const std::vector<TrialRecord>& history, const std::string& path,
                     const CheckpointLiveState* live) {
-  std::ofstream out(path);
-  if (!out) {
-    return false;
-  }
-  WriteCheckpoint(out, history, live);
-  return static_cast<bool>(out);
+  // Atomic replace (tmp + fsync + rename, through the fs-fault seam): a
+  // crash mid-save leaves the previous checkpoint intact, never a torn one
+  // — these files are exactly what a post-crash `--resume` depends on.
+  return AtomicWriteFile(path, CheckpointToText(history, live));
 }
 
 CheckpointLoadResult LoadCheckpoint(const ConfigSpace& space, const std::string& path) {

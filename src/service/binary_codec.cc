@@ -14,6 +14,7 @@ constexpr unsigned char kKindResponse = 0x02;
 constexpr unsigned char kReqCommand = 1;
 constexpr unsigned char kReqId = 2;
 constexpr unsigned char kReqWarmStart = 3;
+constexpr unsigned char kReqSinceVersion = 4;
 
 // Response tags.
 constexpr unsigned char kRespOk = 1;
@@ -22,6 +23,7 @@ constexpr unsigned char kRespId = 3;
 constexpr unsigned char kRespState = 4;
 constexpr unsigned char kRespPayload = 5;
 constexpr unsigned char kRespSession = 6;
+constexpr unsigned char kRespNote = 7;
 
 // Session tags (inside a kRespSession nested block).
 constexpr unsigned char kSessId = 1;
@@ -43,6 +45,9 @@ constexpr unsigned char kSessRunCrashed = 14;
 constexpr unsigned char kSessTimeouts = 15;
 constexpr unsigned char kSessRetries = 16;
 constexpr unsigned char kSessDriftEvents = 17;
+// Crash-recovery fields (PR 8), absent-on-wire when unset like the taxonomy.
+constexpr unsigned char kSessRecovered = 18;
+constexpr unsigned char kSessVersion = 19;
 
 void PutU32(std::string* out, uint32_t value) {
   char bytes[4] = {static_cast<char>(value >> 24), static_cast<char>(value >> 16),
@@ -185,6 +190,12 @@ void EncodeStatusBinary(std::string* out, const SessionStatus& status) {
   if (status.drift_events > 0) {
     PutU64(&block, kSessDriftEvents, status.drift_events);
   }
+  if (status.recovered) {
+    PutBool(&block, kSessRecovered, true);
+  }
+  if (status.version > 0) {
+    PutU64(&block, kSessVersion, status.version);
+  }
   if (!status.store_key.empty()) {
     PutString(&block, kSessStoreKey, status.store_key);
   }
@@ -264,6 +275,13 @@ bool DecodeStatusBinary(const unsigned char* data, size_t n,
         ok = TakeU64(value, len, &u64);
         status->drift_events = static_cast<size_t>(u64);
         break;
+      case kSessRecovered:
+        ok = TakeBool(value, len, &status->recovered);
+        break;
+      case kSessVersion:
+        ok = TakeU64(value, len, &u64);
+        status->version = u64;
+        break;
       case kSessStoreKey:
         ok = TakeString(value, len, &status->store_key);
         break;
@@ -305,6 +323,9 @@ std::string EncodeRequestBinary(const ServiceRequest& request) {
   if (!request.warm_start) {
     PutBool(&out, kReqWarmStart, false);
   }
+  if (request.since_version > 0) {
+    PutU64(&out, kReqSinceVersion, request.since_version);
+  }
   return out;
 }
 
@@ -338,6 +359,12 @@ bool DecodeRequestBinary(const std::string& data, ServiceRequest* request,
       case kReqWarmStart:
         ok = TakeBool(value, len, &request->warm_start);
         break;
+      case kReqSinceVersion: {
+        uint64_t u64 = 0;
+        ok = TakeU64(value, len, &u64);
+        request->since_version = u64;
+        break;
+      }
       default:
         break;
     }
@@ -361,6 +388,9 @@ std::string EncodeResponseBinary(const ServiceResponse& response) {
   }
   if (!response.state.empty()) {
     PutString(&out, kRespState, response.state);
+  }
+  if (!response.note.empty()) {
+    PutString(&out, kRespNote, response.note);
   }
   if (response.has_payload) {
     PutBool(&out, kRespPayload, true);
@@ -405,6 +435,9 @@ bool DecodeResponseBinary(const std::string& data, ServiceResponse* response,
         break;
       case kRespState:
         ok = TakeString(value, len, &response->state);
+        break;
+      case kRespNote:
+        ok = TakeString(value, len, &response->note);
         break;
       case kRespPayload:
         ok = TakeBool(value, len, &response->has_payload);

@@ -11,6 +11,7 @@
 #ifndef WAYFINDER_SRC_SERVICE_CLIENT_H_
 #define WAYFINDER_SRC_SERVICE_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,9 +23,36 @@ namespace wayfinder {
 struct ServiceCallResult {
   bool ok = false;           // Transport + protocol + daemon all said yes.
   std::string error;         // Transport/decode failure or the daemon's error.
+  // The failure was connect/send/receive-level, not a daemon "no": the
+  // daemon may never have seen the request (or its answer was lost) — the
+  // class of failure a reconnect policy is allowed to retry.
+  bool transport_error = false;
   ServiceResponse response;  // Decoded header (valid when the decode worked).
   std::string payload;       // The extra frame of an ok `result`.
 };
+
+// Client-side resilience: how many times to re-dial a daemon that dropped
+// the connection (a restarting wfd), with exponential backoff + jitter
+// between attempts. Retries fire ONLY on transport failures — a daemon
+// error reply is an answer, not an outage — and only for idempotent
+// commands (status/result/watch/ping) unless `retry_unsafe` opts the rest
+// in explicitly: a lost submit ack leaves the client unable to tell
+// "never arrived" from "accepted, ack lost", and blind resubmission
+// duplicates the session.
+struct ReconnectPolicy {
+  int attempts = 0;         // Re-dial attempts after the first try; 0 = off.
+  int base_delay_ms = 50;   // First retry delay; doubles per attempt.
+  int max_delay_ms = 2000;  // Backoff ceiling.
+  uint64_t seed = 1;        // Jitter RNG seed (deterministic for tests).
+  bool retry_unsafe = false;  // Also retry non-idempotent commands.
+};
+
+// Delay before 1-based retry `attempt`: base * 2^(attempt-1) capped at
+// max, then jittered uniformly over [delay/2, delay] so a fleet of
+// reconnecting clients does not stampede the reborn daemon in lockstep.
+// `state` is the jitter RNG state, seeded from ReconnectPolicy::seed and
+// advanced per call (xorshift; exposed for the backoff-shape test).
+int BackoffDelayMs(const ReconnectPolicy& policy, int attempt, uint64_t* state);
 
 // A persistent daemon connection speaking whichever codec got negotiated.
 class ServiceConnection {
@@ -59,6 +87,17 @@ class ServiceConnection {
 // opts into codec negotiation (wfctl --binary).
 ServiceCallResult CallService(const std::string& socket_path, const ServiceRequest& request,
                               const std::string& job_text = "", bool binary = false);
+
+// CallService wrapped in the reconnect policy: on a transport failure of a
+// retryable command (IdempotentServiceCommand, or any command under
+// `retry_unsafe`), sleeps the backoff delay and re-dials, up to
+// `policy.attempts` extra tries. Non-retryable failures and daemon errors
+// return immediately.
+ServiceCallResult CallServiceRetry(const std::string& socket_path,
+                                   const ServiceRequest& request,
+                                   const ReconnectPolicy& policy,
+                                   const std::string& job_text = "",
+                                   bool binary = false);
 
 // Convenience wrappers.
 ServiceCallResult SubmitJob(const std::string& socket_path, const std::string& job_text,

@@ -61,6 +61,15 @@ void AppendStatus(std::string* out, const SessionStatus& status, const char* ind
   if (status.drift_events > 0) {
     *out += field_indent + "drift_events: " + std::to_string(status.drift_events) + "\n";
   }
+  // Crash-recovery fields: same only-when-set presence rule as the taxonomy
+  // (and mirrored by the binary codec), so a never-crashed fleet's frames
+  // are byte-identical to the pre-journal protocol.
+  if (status.recovered) {
+    *out += field_indent + "recovered: true\n";
+  }
+  if (status.version > 0) {
+    *out += field_indent + "version: " + std::to_string(status.version) + "\n";
+  }
   if (!status.store_key.empty()) {
     *out += field_indent + "store_key: " + Quote(status.store_key) + "\n";
   }
@@ -80,6 +89,11 @@ bool KnownServiceCommand(const std::string& command) {
 bool CommandNeedsId(const std::string& command) {
   return command == "result" || command == "pause" || command == "resume" ||
          command == "watch";
+}
+
+bool IdempotentServiceCommand(const std::string& command) {
+  return command == "status" || command == "result" || command == "watch" ||
+         command == "ping";
 }
 
 bool ValidateRequest(const ServiceRequest& request, std::string* error) {
@@ -106,6 +120,9 @@ std::string EncodeRequest(const ServiceRequest& request) {
   if (!request.warm_start) {
     out += "warm_start: false\n";
   }
+  if (request.since_version > 0) {
+    out += "since_version: " + std::to_string(request.since_version) + "\n";
+  }
   return out;
 }
 
@@ -122,6 +139,7 @@ bool DecodeRequest(const std::string& text, ServiceRequest* request, std::string
   request->command = parsed.root.GetString("command");
   request->id = parsed.root.GetString("id");
   request->warm_start = parsed.root.GetBool("warm_start", true);
+  request->since_version = static_cast<uint64_t>(parsed.root.GetInt("since_version", 0));
   return ValidateRequest(*request, error);
 }
 
@@ -135,6 +153,9 @@ std::string EncodeResponse(const ServiceResponse& response) {
   }
   if (!response.state.empty()) {
     out += "state: " + Quote(response.state) + "\n";
+  }
+  if (!response.note.empty()) {
+    out += "note: " + Quote(response.note) + "\n";
   }
   if (response.has_payload) {
     out += "payload: true\n";
@@ -168,6 +189,7 @@ bool DecodeResponse(const std::string& text, ServiceResponse* response,
   response->error = parsed.root.GetString("error");
   response->id = parsed.root.GetString("id");
   response->state = parsed.root.GetString("state");
+  response->note = parsed.root.GetString("note");
   response->has_payload = parsed.root.GetBool("payload", false);
   response->sessions.clear();
   if (const YamlNode* sessions = parsed.root.Get("sessions"); sessions != nullptr) {
@@ -194,6 +216,8 @@ bool DecodeResponse(const std::string& text, ServiceResponse* response,
       entry.timeouts = static_cast<size_t>(node.GetInt("timeouts", 0));
       entry.retries = static_cast<size_t>(node.GetInt("retries", 0));
       entry.drift_events = static_cast<size_t>(node.GetInt("drift_events", 0));
+      entry.recovered = node.GetBool("recovered", false);
+      entry.version = static_cast<uint64_t>(node.GetInt("version", 0));
       entry.store_key = node.GetString("store_key");
       entry.error = node.GetString("error");
       response->sessions.push_back(std::move(entry));

@@ -40,6 +40,13 @@ struct ServiceRequest {
   std::string command;
   std::string id;          // Target session for per-session commands.
   bool warm_start = true;  // submit: seed the searcher from the TrialStore.
+  // watch: the last StatusVersion this client already saw. A reconnecting
+  // watcher carries it so the daemon suppresses the baseline frame when
+  // nothing changed since — re-subscribing after a dropped connection is
+  // idempotent instead of replaying a stale snapshot. 0 (the default, and
+  // the only value a fresh watch sends) keeps the baseline; the field rides
+  // the wire only when non-zero, so fresh watches encode exactly as before.
+  uint64_t since_version = 0;
 };
 
 // One session's externally visible state.
@@ -63,6 +70,14 @@ struct SessionStatus {
   size_t timeouts = 0;
   size_t retries = 0;       // Transient re-measurement attempts consumed.
   size_t drift_events = 0;  // Drift-detector firings.
+  // True when this session was re-created by `wfd --recover` from the
+  // session journal after a daemon crash/restart; emitted only when set, so
+  // never-crashed fleets encode exactly as before.
+  bool recovered = false;
+  // The manager's StatusVersion at snapshot time — watchers persist it and
+  // hand it back as `since_version` when they reconnect. Emitted only when
+  // non-zero (standalone encoders that never saw a manager stay as before).
+  uint64_t version = 0;
   std::string store_key;
   std::string error;
 };
@@ -72,12 +87,24 @@ struct ServiceResponse {
   std::string error;
   std::string id;       // submit: the new session's id.
   std::string state;    // stop/pause/resume acknowledgements reuse this.
+  // Advisory health note on an otherwise-ok response (emitted only when
+  // non-empty): `ping` and `submit` carry the daemon's degraded-journal
+  // reason here, so operators learn that crash-resumability is impaired
+  // without any request failing.
+  std::string note;
   std::vector<SessionStatus> sessions;  // status: one entry (or the fleet).
   bool has_payload = false;  // result: a checkpoint-text frame follows.
 };
 
 // True for commands the protocol knows (the daemon rejects the rest).
 bool KnownServiceCommand(const std::string& command);
+
+// True for commands a client may safely re-send after a dropped connection:
+// they only read state (or re-subscribe), so a retry can never double-apply.
+// submit/pause/resume/stop/compact are NOT idempotent — the client layer
+// (src/service/client.h) refuses to auto-retry those without an explicit
+// opt-in, because a lost *response* does not mean a lost *request*.
+bool IdempotentServiceCommand(const std::string& command);
 
 // Shared semantic validation — both wire codecs (YAML here, binary TLV in
 // src/service/binary_codec.h) funnel decoded requests through this so the

@@ -2,15 +2,32 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 
 #include "src/platform/checkpoint.h"
+#include "src/platform/fs_faults.h"
+#include "src/util/rng.h"
 
 namespace wayfinder {
 
 SessionManager::SessionManager(const SessionManagerOptions& options) : options_(options) {
   if (!options_.store_dir.empty()) {
     store_ = std::make_unique<TrialStore>(options_.store_dir);
+  }
+  if (!options_.journal_path.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(options_.journal_path).parent_path(), ec);
+    journal_ = std::make_unique<SessionJournal>(options_.journal_path);
+    SessionJournal::OpenResult opened = journal_->Open();
+    if (!opened.ok) {
+      // A daemon must come up even on a bad disk: run without resumability
+      // and surface the reason (JournalHealthy / the ping note) instead of
+      // refusing to serve.
+      journal_.reset();
+      journal_open_error_ = "journal open failed: " + opened.error;
+    }
   }
 }
 
@@ -34,20 +51,22 @@ const char* SessionManager::StateName(State state) {
   return "?";
 }
 
-bool SessionManager::Submit(const std::string& job_text, bool warm_start, std::string* id,
-                            std::string* error) {
+std::unique_ptr<SessionManager::Managed> SessionManager::BuildManaged(
+    const std::string& job_text, bool warm_start, std::string* error) {
   JobParseResult parsed = ParseJobText(job_text);
   if (!parsed.ok) {
     *error = parsed.error;
-    return false;
+    return nullptr;
   }
 
   auto managed = std::make_unique<Managed>();
+  managed->job_text = job_text;
+  managed->warm_requested = warm_start;
   managed->spec = parsed.spec;
   managed->space = std::make_shared<ConfigSpace>(BuildJobSpace(parsed.spec));
   managed->searcher = MakeJobSearcher(parsed.spec, managed->space.get(), error);
   if (managed->searcher == nullptr) {
-    return false;
+    return nullptr;
   }
   // Bench seeding matches RunJob / `wfctl start` exactly: a session run
   // under the daemon is the same deterministic experiment.
@@ -69,7 +88,7 @@ bool SessionManager::Submit(const std::string& job_text, bool warm_start, std::s
     TrialStore::LoadResult prior = store_->Load(managed->store_key, *managed->space);
     if (!prior.ok) {
       *error = "trial store: " + prior.error;
-      return false;
+      return nullptr;
     }
     // Outcome-aware warm start: transient-class records (timeouts, flakes)
     // are infrastructure noise with no (config -> outcome) signal, and when
@@ -103,6 +122,15 @@ bool SessionManager::Submit(const std::string& job_text, bool warm_start, std::s
 
   managed->session = std::make_unique<SearchSession>(
       managed->bench.get(), managed->searcher.get(), parsed.spec.ToSessionOptions());
+  return managed;
+}
+
+bool SessionManager::Submit(const std::string& job_text, bool warm_start, std::string* id,
+                            std::string* error) {
+  std::unique_ptr<Managed> managed = BuildManaged(job_text, warm_start, error);
+  if (managed == nullptr) {
+    return false;
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (shutdown_) {
@@ -111,6 +139,11 @@ bool SessionManager::Submit(const std::string& job_text, bool warm_start, std::s
   }
   managed->id = "s" + std::to_string(next_id_++);
   *id = managed->id;
+  // Write-ahead: the accepted submission hits the journal (fsync'd) before
+  // the caller's ack, so a crash between ack and first wave cannot lose it.
+  if (journal_ != nullptr) {
+    journal_->AppendSubmit(managed->id, job_text, warm_start);
+  }
   sessions_.push_back(std::move(managed));
   FillRunningSlots();
   status_version_.fetch_add(1, std::memory_order_release);
@@ -210,7 +243,40 @@ void SessionManager::PersistNewTrials(Managed* managed) {
   }
   managed->retries = managed->session->transient_retries();
   managed->drift_events = managed->session->drift_events();
+  JournalWaveLocked(managed);
   NotifyLocked(*managed);
+}
+
+void SessionManager::JournalWaveLocked(Managed* managed) {
+  if (journal_ == nullptr || managed->committed.size() == managed->journaled) {
+    return;
+  }
+  // Score sessions re-normalize PAST objectives every wave, so their wave
+  // records carry the whole refreshed history (`full`); everyone else logs
+  // just the delta since the last record. The payload is ordinary
+  // checkpoint-v2 text — live RNG/searcher state rides along whenever the
+  // session sits at a clean commit boundary, which is what makes recovery
+  // bit-exact.
+  const bool full = managed->spec.objective == ObjectiveKind::kScore;
+  std::vector<TrialRecord> slice(
+      managed->committed.begin() +
+          static_cast<std::ptrdiff_t>(full ? 0 : managed->journaled),
+      managed->committed.end());
+  std::string payload;
+  if (managed->session != nullptr && managed->session->AtCommitBoundary()) {
+    CheckpointLiveState live = managed->session->ExportLiveState();
+    payload = CheckpointToText(slice, &live);
+  } else {
+    payload = CheckpointToText(slice);
+  }
+  journal_->AppendWave(managed->id, managed->committed.size(), full, payload);
+  managed->journaled = managed->committed.size();
+}
+
+void SessionManager::JournalStateLocked(const Managed& managed) {
+  if (journal_ != nullptr) {
+    journal_->AppendState(managed.id, StateName(managed.state), managed.error);
+  }
 }
 
 void SessionManager::NotifyLocked(const Managed& managed) {
@@ -275,6 +341,224 @@ bool SessionManager::CompactStore(std::string* summary) {
   return true;
 }
 
+bool SessionManager::JournalHealthy(std::string* reason) const {
+  if (!journal_open_error_.empty()) {
+    *reason = journal_open_error_;
+    return false;
+  }
+  if (journal_ != nullptr && !journal_->healthy()) {
+    *reason = journal_->degraded_reason();
+    return false;
+  }
+  return true;
+}
+
+void SessionManager::SeedMirrorLocked(Managed* managed, std::vector<TrialRecord> history) {
+  managed->committed = std::move(history);
+  managed->persisted = managed->committed.size();
+  managed->journaled = managed->committed.size();
+  managed->trials = managed->committed.size();
+  managed->has_best = false;
+  managed->build_failed = managed->boot_failed = 0;
+  managed->run_crashed = managed->timeouts = 0;
+  for (const TrialRecord& trial : managed->committed) {
+    if (trial.HasObjective() && (!managed->has_best || trial.objective > managed->best)) {
+      managed->has_best = true;
+      managed->best = trial.objective;
+    }
+    switch (trial.outcome.status) {
+      case TrialOutcome::Status::kBuildFailed: ++managed->build_failed; break;
+      case TrialOutcome::Status::kBootFailed: ++managed->boot_failed; break;
+      case TrialOutcome::Status::kRunCrashed: ++managed->run_crashed; break;
+      case TrialOutcome::Status::kTimeout: ++managed->timeouts; break;
+      case TrialOutcome::Status::kOk: break;
+    }
+  }
+  if (!managed->committed.empty()) {
+    managed->sim_seconds = managed->committed.back().sim_time_end;
+  }
+  // Retry/drift counters live in the session, not the trial records; a
+  // resumed session re-counts from the replay point (documented in
+  // docs/robustness.md).
+  if (managed->session != nullptr) {
+    managed->retries = managed->session->transient_retries();
+    managed->drift_events = managed->session->drift_events();
+  }
+}
+
+bool SessionManager::Recover(std::string* summary) {
+  if (journal_ == nullptr) {
+    *summary = journal_open_error_.empty() ? "no journal configured"
+                                           : journal_open_error_;
+    return journal_open_error_.empty();
+  }
+  SessionJournal::ReplayResult replay = SessionJournal::Replay(journal_->path());
+  if (!replay.ok) {
+    *summary = replay.error;
+    return false;
+  }
+  size_t resumed = 0, requeued = 0, finished = 0, unrecoverable = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const SessionJournal::RecoveredSession& rec : replay.sessions) {
+      // Nothing is ever silently dropped: whatever cannot be rebuilt comes
+      // back as a `failed` session whose error says why.
+      auto fail_entry = [&](const std::string& why) {
+        auto entry = std::make_unique<Managed>();
+        entry->id = rec.id;
+        entry->job_text = rec.job_text;
+        entry->warm_requested = rec.warm_start;
+        entry->recovered = true;
+        entry->state = State::kFailed;
+        entry->failed = true;
+        entry->error = "unrecoverable: " + why;
+        sessions_.push_back(std::move(entry));
+        ++unrecoverable;
+      };
+      if (StableHash(rec.job_text) != rec.job_hash) {
+        fail_entry("job text does not match its journaled hash");
+        continue;
+      }
+      const bool terminal =
+          rec.state == "done" || rec.state == "failed" || rec.state == "stopped";
+      // Warm-start replay only matters when the session never stepped: once
+      // waves exist, the journaled live state already embodies whatever the
+      // searcher observed before its first proposal.
+      std::string error;
+      std::unique_ptr<Managed> managed =
+          BuildManaged(rec.job_text, rec.warm_start && rec.waves.empty() && !terminal,
+                       &error);
+      if (managed == nullptr) {
+        fail_entry(error);
+        continue;
+      }
+      managed->id = rec.id;
+      managed->recovered = true;
+
+      // Reassemble the history: deltas concatenate, a `full` record restarts
+      // the accumulation, and the newest exportable live state wins.
+      std::vector<TrialRecord> history;
+      CheckpointLiveState live;
+      bool waves_ok = true;
+      for (const SessionJournal::WaveRecord& wave : rec.waves) {
+        CheckpointLoadResult loaded =
+            LoadCheckpointText(*managed->space, wave.checkpoint_text);
+        if (!loaded.ok) {
+          error = "wave payload: " + loaded.error;
+          waves_ok = false;
+          break;
+        }
+        if (wave.full) {
+          history = std::move(loaded.history);
+        } else {
+          history.insert(history.end(), loaded.history.begin(), loaded.history.end());
+        }
+        live = loaded.live;  // Absent on a mid-window wave: replay-only.
+      }
+      if (!waves_ok) {
+        fail_entry(error);
+        continue;
+      }
+
+      if (terminal) {
+        managed->state = rec.state == "done"
+                             ? State::kDone
+                             : (rec.state == "failed" ? State::kFailed : State::kStopped);
+        managed->failed = rec.state == "failed";
+        managed->error = rec.error;
+        // A finished session never steps again; keeping the freshly built
+        // (never-stepped) machinery would make Result export a NEW
+        // session's live RNG as if it were the final one. Render
+        // replay-only instead.
+        managed->session.reset();
+        managed->searcher.reset();
+        managed->bench.reset();
+        SeedMirrorLocked(managed.get(), std::move(history));
+        sessions_.push_back(std::move(managed));
+        ++finished;
+        continue;
+      }
+
+      if (!history.empty()) {
+        bool resume_ok = live.Any() ? managed->session->Resume(history, live)
+                                    : (managed->session->Resume(history), true);
+        if (!resume_ok) {
+          fail_entry("checkpoint live state rejected by resume");
+          continue;
+        }
+        SeedMirrorLocked(managed.get(), std::move(history));
+        ++resumed;
+      } else {
+        ++requeued;
+      }
+      managed->state = State::kSubmitted;
+      managed->pause_requested = rec.state == "paused";
+      sessions_.push_back(std::move(managed));
+    }
+
+    // Session ids must keep increasing across the crash.
+    for (const auto& managed : sessions_) {
+      if (managed->id.size() > 1 && managed->id[0] == 's') {
+        size_t numeric = std::strtoull(managed->id.c_str() + 1, nullptr, 10);
+        next_id_ = std::max(next_id_, numeric + 1);
+      }
+    }
+
+    RewriteJournalLocked();
+    FillRunningSlots();
+    status_version_.fetch_add(1, std::memory_order_release);
+  }
+  *summary = "recovered " + std::to_string(replay.sessions.size()) + " session(s): " +
+             std::to_string(resumed) + " resumed, " + std::to_string(requeued) +
+             " requeued, " + std::to_string(finished) + " finished, " +
+             std::to_string(unrecoverable) + " unrecoverable";
+  return true;
+}
+
+void SessionManager::RewriteJournalLocked() {
+  if (journal_ == nullptr) {
+    return;
+  }
+  // The compacted equivalent of the fleet: one submit record, one
+  // full-history wave, one state record per session. Replacing the file
+  // atomically bounds journal growth across restarts — without this, every
+  // recovery would replay (and re-copy) every crash's deltas forever.
+  std::string text = SessionJournal::Header();
+  for (const auto& managed : sessions_) {
+    text += SessionJournal::SubmitLine(managed->id, managed->job_text,
+                                       managed->warm_requested);
+    if (!managed->committed.empty()) {
+      std::string payload;
+      if (managed->session != nullptr && managed->session->AtCommitBoundary()) {
+        CheckpointLiveState live = managed->session->ExportLiveState();
+        payload = CheckpointToText(managed->committed, &live);
+      } else {
+        payload = CheckpointToText(managed->committed);
+      }
+      text += SessionJournal::WaveLine(managed->id, managed->committed.size(), true,
+                                       payload);
+    }
+    if (managed->state != State::kSubmitted) {
+      text += SessionJournal::StateLine(managed->id, StateName(managed->state),
+                                        managed->error);
+    } else if (managed->pause_requested) {
+      text += SessionJournal::StateLine(managed->id, "paused", managed->error);
+    }
+  }
+  journal_->Close();
+  std::string error;
+  if (!AtomicWriteFile(options_.journal_path, text, &error)) {
+    journal_open_error_ = "journal rewrite failed: " + error;
+    journal_.reset();
+    return;
+  }
+  SessionJournal::OpenResult opened = journal_->Open();
+  if (!opened.ok) {
+    journal_open_error_ = "journal reopen failed: " + opened.error;
+    journal_.reset();
+  }
+}
+
 void SessionManager::Drive(Managed* managed) {
   // The deferred warm-start observation: model retraining over the stored
   // history happens here, on the driver thread, never on the accept thread
@@ -300,7 +584,8 @@ void SessionManager::Drive(Managed* managed) {
       while (managed->pause_requested && !shutdown_) {
         if (managed->state != State::kPaused) {
           managed->state = State::kPaused;
-          NotifyLocked(*managed);  // Watchers see the pause land.
+          JournalStateLocked(*managed);  // A crash now recovers as paused.
+          NotifyLocked(*managed);        // Watchers see the pause land.
           was_paused = true;
         }
         state_changed_.notify_all();
@@ -311,7 +596,8 @@ void SessionManager::Drive(Managed* managed) {
       }
       managed->state = State::kRunning;
       if (was_paused) {
-        NotifyLocked(*managed);  // ... and the resume.
+        JournalStateLocked(*managed);  // ... cancels the journaled pause.
+        NotifyLocked(*managed);        // ... and the resume.
       }
     }
     // The step runs unlocked: it is the long pole (proposals, concurrent
@@ -345,6 +631,7 @@ void SessionManager::Drive(Managed* managed) {
     }
     store_->Flush();
   }
+  JournalStateLocked(*managed);  // done/failed/stopped becomes durable.
   --running_;
   if (!shutdown_) {
     FillRunningSlots();
@@ -396,6 +683,11 @@ SessionStatus SessionManager::Snapshot(const Managed& managed) const {
   status.timeouts = managed.timeouts;
   status.retries = managed.retries;
   status.drift_events = managed.drift_events;
+  status.recovered = managed.recovered;
+  // Stamp the manager's status version: watchers persist the last one they
+  // saw and hand it back (`since_version`) when they reconnect, so a
+  // re-subscribe after a dropped connection skips the stale baseline.
+  status.version = StatusVersion();
   status.store_key = managed.store_key;
   status.error = managed.error;
   return status;
@@ -509,6 +801,11 @@ void SessionManager::Shutdown() {
   // Shutdown returns (pinned by the kill-and-reopen test).
   if (store_ != nullptr) {
     store_->FsyncClose();
+  }
+  // Terminal state records were already journaled by the drive epilogues;
+  // nothing left to add, just release the handle.
+  if (journal_ != nullptr) {
+    journal_->Close();
   }
 }
 

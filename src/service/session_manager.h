@@ -20,6 +20,13 @@
 // and any one daemon process. Shutdown() stops every session at its next
 // wave boundary, writes a v2 checkpoint per session (resumable via `wfctl
 // start --resume`), and fsync+closes every store file before returning.
+//
+// Crash safety: with a journal_path configured, every submit, lifecycle
+// edge, and wave boundary also appends a fsync'd record to the write-ahead
+// session journal (src/service/session_journal.h), and Recover() rebuilds
+// the whole fleet from it after a kill -9 — resuming mid-run sessions
+// bit-exactly via the checkpoint-v2 live-state path (pinned by
+// recovery_test).
 #ifndef WAYFINDER_SRC_SERVICE_SESSION_MANAGER_H_
 #define WAYFINDER_SRC_SERVICE_SESSION_MANAGER_H_
 
@@ -35,6 +42,7 @@
 
 #include "src/core/wayfinder_api.h"
 #include "src/service/protocol.h"
+#include "src/service/session_journal.h"
 #include "src/service/trial_store.h"
 
 namespace wayfinder {
@@ -45,6 +53,11 @@ struct SessionManagerOptions {
   // Where Shutdown() writes per-session checkpoints (<id>.ckpt); empty
   // disables them.
   std::string checkpoint_dir;
+  // Write-ahead session journal path; empty disables journaling (daemon
+  // behaviour is then bit-identical to the pre-journal service — pinned).
+  // One fsync'd record per submit, lifecycle edge, and wave boundary;
+  // Recover() replays it after a crash.
+  std::string journal_path;
   // Sessions running concurrently; later submissions queue as `submitted`
   // until a slot frees.
   size_t max_running = 4;
@@ -64,6 +77,24 @@ class SessionManager {
   // before the first proposal.
   bool Submit(const std::string& job_text, bool warm_start, std::string* id,
               std::string* error);
+
+  // Crash recovery: replays the session journal and re-creates the fleet it
+  // describes — terminal sessions come back as queryable history, live ones
+  // re-enter the queue (a mid-run session resumes bit-exactly through the
+  // checkpoint-v2 live-state path; a paused one comes back paused), and
+  // anything that cannot be rebuilt is recorded `failed` with an
+  // `unrecoverable:` reason instead of being dropped. The journal is then
+  // compacted (one submit + one full-history wave + one state per session,
+  // written atomically). Call once, before the first Submit; returns false
+  // only when the journal itself cannot be read. *summary describes what
+  // happened either way. Recovered sessions carry `recovered: true` status.
+  bool Recover(std::string* summary);
+
+  // False once the journal has degraded (an append or fsync failed; appends
+  // stop so the on-disk prefix stays valid) with the first failure in
+  // *reason. True (reason untouched) while healthy or when no journal is
+  // configured.
+  bool JournalHealthy(std::string* reason) const;
 
   // Lifecycle controls; false when `id` is unknown (or the transition is
   // meaningless, e.g. pausing a finished session).
@@ -123,6 +154,12 @@ class SessionManager {
 
   struct Managed {
     std::string id;
+    // Verbatim submitted job text (journaled; re-parsed on recovery) and
+    // whether the submitter asked for a warm start.
+    std::string job_text;
+    bool warm_requested = false;
+    bool recovered = false;  // Re-created by Recover() after a crash.
+    size_t journaled = 0;    // Committed prefix already in a wave record.
     JobSpec spec;
     std::shared_ptr<ConfigSpace> space;
     std::unique_ptr<Testbench> bench;
@@ -167,13 +204,33 @@ class SessionManager {
   void Drive(Managed* managed);
   Managed* FindLocked(const std::string& id);
   const Managed* FindLocked(const std::string& id) const;
+  // Parses `job_text` and builds the whole session machinery (space, bench,
+  // searcher, warm-start prior, SearchSession) — everything Submit does
+  // before taking the lock, shared with Recover(). Nullptr with *error set.
+  std::unique_ptr<Managed> BuildManaged(const std::string& job_text, bool warm_start,
+                                        std::string* error);
   // Appends history[persisted..) to the store. Caller holds mutex_.
   void PersistNewTrials(Managed* managed);
+  // Journals the trials committed since the last wave record (score
+  // sessions re-journal the whole refreshed history), with live RNG /
+  // searcher state when exportable. Caller holds mutex_.
+  void JournalWaveLocked(Managed* managed);
+  // Journals the session's current lifecycle state. Caller holds mutex_.
+  void JournalStateLocked(const Managed& managed);
+  // Recovery helper: seats a reassembled history as the committed mirror
+  // (status fields, taxonomy, persisted/journaled counters). Caller holds
+  // mutex_.
+  void SeedMirrorLocked(Managed* managed, std::vector<TrialRecord> history);
+  // Rewrites the journal as the compacted equivalent of the current fleet
+  // (atomic replace). Caller holds mutex_.
+  void RewriteJournalLocked();
   // Fires every observer subscribed to `managed`. Caller holds mutex_.
   void NotifyLocked(const Managed& managed);
 
   SessionManagerOptions options_;
   std::unique_ptr<TrialStore> store_;
+  std::unique_ptr<SessionJournal> journal_;
+  std::string journal_open_error_;  // Journal configured but unopenable.
   std::atomic<uint64_t> status_version_{1};
   mutable std::mutex mutex_;
   std::condition_variable state_changed_;

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/platform/fs_faults.h"
 #include "src/util/rng.h"
 
 namespace wayfinder {
@@ -48,6 +49,19 @@ std::string TrialStoreKey(const ConfigSpace& space, AppId app) {
 TrialStore::TrialStore(std::string dir) : dir_(std::move(dir)) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);  // Best effort; Open reports.
+  // Crash-window cleanup: a daemon killed between CompactAll's tmp write
+  // and its rename leaves a stale <key>.wftrials.tmp next to the intact
+  // original. The tmp is by definition incomplete-or-superseded (the rename
+  // never happened, so the original file is still the truth) — remove it so
+  // it can neither be mistaken for data nor block a future compaction.
+  for (const auto& dirent : std::filesystem::directory_iterator(dir_, ec)) {
+    std::string name = dirent.path().filename().string();
+    const std::string suffix = ".wftrials.tmp";
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      std::filesystem::remove(dirent.path(), ec);
+    }
+  }
 }
 
 TrialStore::~TrialStore() { FsyncClose(); }
@@ -273,21 +287,41 @@ bool TrialStore::Append(const std::string& key, const TrialRecord& trial) {
   if (!entry->hashes.insert(hash).second) {
     return false;  // Already stored.
   }
+  // Render the whole record (header included, on a fresh file) and write it
+  // through the fs-fault seam as one unit. A failed or short write leaves a
+  // torn tail, so the open entry is dropped: the next Append re-opens the
+  // file, Open()'s scan truncates the damage, and — the hash having been
+  // rolled back — the same trial can be appended again. ENOSPC costs a
+  // retry, never a committed record.
+  char buffer[512];
+  std::string record;
   if (entry->needs_header) {
     entry->params = trial.config.Size();
-    std::fprintf(entry->file, "wayfinder-trials v1\nparams %zu\n", entry->params);
-    entry->needs_header = false;
+    std::snprintf(buffer, sizeof(buffer), "wayfinder-trials v1\nparams %zu\n",
+                  entry->params);
+    record += buffer;
   }
   const TrialOutcome& o = trial.outcome;
-  std::fprintf(entry->file, "trial %s %.17g %.17g %.17g %.17g %.17g %d %.17g %.17g\n",
-               TrialStatusName(o.status), o.metric, o.memory_mb, o.build_seconds,
-               o.boot_seconds, o.run_seconds, o.build_skipped ? 1 : 0,
-               trial.HasObjective() ? trial.objective : std::nan(""), trial.sim_time_end);
-  std::fprintf(entry->file, "values");
+  std::snprintf(buffer, sizeof(buffer),
+                "trial %s %.17g %.17g %.17g %.17g %.17g %d %.17g %.17g\n",
+                TrialStatusName(o.status), o.metric, o.memory_mb, o.build_seconds,
+                o.boot_seconds, o.run_seconds, o.build_skipped ? 1 : 0,
+                trial.HasObjective() ? trial.objective : std::nan(""), trial.sim_time_end);
+  record += buffer;
+  record += "values";
   for (size_t i = 0; i < trial.config.Size(); ++i) {
-    std::fprintf(entry->file, " %lld", static_cast<long long>(trial.config.Raw(i)));
+    std::snprintf(buffer, sizeof(buffer), " %lld",
+                  static_cast<long long>(trial.config.Raw(i)));
+    record += buffer;
   }
-  std::fprintf(entry->file, "\n");
+  record += "\n";
+  if (FaultWrite(record.data(), record.size(), entry->file) != record.size()) {
+    entry->hashes.erase(hash);
+    std::fclose(entry->file);
+    files_.erase(key);
+    return false;
+  }
+  entry->needs_header = false;
   return true;
 }
 
@@ -305,7 +339,10 @@ void TrialStore::FsyncClose() {
   for (auto& [key, entry] : files_) {
     if (entry.file != nullptr) {
       std::fflush(entry.file);
-      ::fsync(fileno(entry.file));
+      // Best-effort through the seam: an (injected or real) fsync failure at
+      // the close barrier must not abort the drain — the flush above already
+      // handed the bytes to the OS, which survives a process kill.
+      FaultFsync(fileno(entry.file));
       std::fclose(entry.file);
       entry.file = nullptr;
     }
@@ -394,7 +431,18 @@ TrialStore::CompactStats TrialStore::CompactAll() {
     }
     in.close();
 
+    // The rewrite goes through the fs-fault seam (write/fsync/rename), so
+    // recovery_test can crash it at every step; an injected crash leaves
+    // the stale tmp behind on purpose — exactly the artifact the
+    // constructor's cleanup sweep exists for.
     std::string tmp_path = path + ".tmp";
+    std::string rewrite = "wayfinder-trials v1\nparams " + std::to_string(params) + "\n";
+    for (const auto& [line, values] : records) {
+      rewrite += line;
+      rewrite += "\n";
+      rewrite += values;
+      rewrite += "\n";
+    }
     std::FILE* out = std::fopen(tmp_path.c_str(), "w");
     if (out == nullptr) {
       stats.ok = false;
@@ -403,18 +451,17 @@ TrialStore::CompactStats TrialStore::CompactAll() {
       }
       continue;
     }
-    std::fprintf(out, "wayfinder-trials v1\nparams %zu\n", params);
-    for (const auto& [line, values] : records) {
-      std::fprintf(out, "%s\n%s\n", line.c_str(), values.c_str());
-    }
-    bool wrote = std::fflush(out) == 0 && ::fsync(fileno(out)) == 0;
+    bool wrote = FaultWrite(rewrite.data(), rewrite.size(), out) == rewrite.size() &&
+                 std::fflush(out) == 0 && FaultFsync(fileno(out));
     std::fclose(out);
-    if (!wrote || std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    if (!wrote || !FaultRename(tmp_path, path)) {
       stats.ok = false;
       if (stats.error.empty()) {
         stats.error = path + ": " + std::strerror(errno);
       }
-      std::remove(tmp_path.c_str());
+      if (!FsFaultInjector::Instance().armed()) {
+        std::remove(tmp_path.c_str());
+      }
       continue;
     }
     ++stats.files;

@@ -40,6 +40,16 @@ int RunWfdForeground(const WfdOptions& options) {
   std::signal(SIGINT, HandleDrainSignal);
   std::signal(SIGTERM, HandleDrainSignal);
   std::signal(SIGPIPE, SIG_IGN);
+  if (options.recover && !options.manager.journal_path.empty()) {
+    std::string summary;
+    if (server.manager().Recover(&summary)) {
+      std::printf("wfd recovery: %s\n", summary.c_str());
+    } else {
+      // A journal we cannot even read is not fatal: the daemon serves new
+      // work and the reason is queryable (ping note / JournalHealthy).
+      std::fprintf(stderr, "wfd recovery failed: %s\n", summary.c_str());
+    }
+  }
   std::printf("wfd serving on %s (store: %s, max sessions: %zu)\n",
               options.socket_path.c_str(),
               options.manager.store_dir.empty() ? "(none)"
@@ -121,6 +131,9 @@ void WfdServer::OnFrame(uint64_t conn, std::string payload) {
     if (manager_.Submit(payload, state->pending_submit.warm_start, &id, &error)) {
       response.ok = true;
       response.id = id;
+      // The submission is accepted either way, but a degraded journal means
+      // it will not survive a crash — the submitter deserves to know.
+      StampHealthNote(&response);
     } else {
       response.error = error;
     }
@@ -167,6 +180,7 @@ void WfdServer::HandleRequest(uint64_t conn, ProtoConn* state,
   if (request.command == "ping") {
     response.ok = true;
     response.state = "alive";
+    StampHealthNote(&response);
   } else if (request.command == "submit") {
     // The job file rides in one follow-up frame, verbatim. Until it
     // arrives nothing is created — a client vanishing here is a no-op.
@@ -186,7 +200,7 @@ void WfdServer::HandleRequest(uint64_t conn, ProtoConn* state,
       response.error = "unknown session: " + request.id;
     }
   } else if (request.command == "watch") {
-    StartWatch(conn, state, request.id, &response);
+    StartWatch(conn, state, request.id, request.since_version, &response);
   } else if (request.command == "result") {
     if (manager_.Result(request.id, &payload, &error)) {
       response.ok = true;
@@ -251,8 +265,16 @@ void WfdServer::SendFleetStatus(uint64_t conn, const ProtoConn& state) {
   transport_.Send(conn, cache.wire);
 }
 
+void WfdServer::StampHealthNote(ServiceResponse* response) {
+  std::string reason;
+  if (!manager_.JournalHealthy(&reason)) {
+    response->note = "journal degraded: " + reason;
+  }
+}
+
 void WfdServer::StartWatch(uint64_t conn, ProtoConn* state,
-                           const std::string& id, ServiceResponse* response) {
+                           const std::string& id, uint64_t since_version,
+                           ServiceResponse* response) {
   if (state->watch_token != 0) {
     response->error = "connection is already watching";
     return;
@@ -277,8 +299,12 @@ void WfdServer::StartWatch(uint64_t conn, ProtoConn* state,
   response->ok = true;
   response->state = "watching";
   // Baseline snapshot rides in the ack, taken under the same lock that
-  // registered the observer — no wave can fall between them.
-  response->sessions.push_back(initial);
+  // registered the observer — no wave can fall between them. A reconnecting
+  // watcher that already saw this version (it hands back `since_version`)
+  // skips the redundant baseline; anything newer still pushes normally.
+  if (since_version == 0 || initial.version > since_version) {
+    response->sessions.push_back(initial);
+  }
 }
 
 void WfdServer::PushStatus(uint64_t conn, const SessionStatus& status) {

@@ -35,6 +35,11 @@ namespace wayfinder {
 struct WfdOptions {
   std::string socket_path;
   SessionManagerOptions manager;
+  // Replay the session journal (manager.journal_path) before serving,
+  // re-creating the fleet a crash interrupted. Default on; `wfd
+  // --no-recover` starts fresh (the stale journal is still compacted away
+  // on the first write).
+  bool recover = true;
   // Event-loop tick: idle-sweep cadence and how quickly an external Stop()
   // takes effect at the latest.
   int poll_ms = 50;
@@ -78,13 +83,20 @@ class WfdServer : private TransportHandler {
   void OnClose(uint64_t conn) override;
 
   void HandleRequest(uint64_t conn, ProtoConn* state, const std::string& text);
+  // Journal-health advisory (ServiceResponse::note) stamped onto ping and
+  // submit acks: a daemon running with a degraded journal keeps serving but
+  // every client hears why resumability is gone.
+  void StampHealthNote(ServiceResponse* response);
   // Fleet status (`status` with no id) is the hot dashboard path: the reply
   // only changes when the manager's status version moves, so the encoded
   // wire bytes are cached per codec and re-snapshotted only on a version
   // change. Loop-thread-only, like all connection handling.
   void SendFleetStatus(uint64_t conn, const ProtoConn& state);
+  // `since_version`: a reconnecting watcher hands back the last status
+  // version it saw; a baseline at or below it is suppressed from the ack so
+  // the client does not re-render a stale snapshot it already printed.
   void StartWatch(uint64_t conn, ProtoConn* state, const std::string& id,
-                  ServiceResponse* response);
+                  uint64_t since_version, ServiceResponse* response);
   // Loop thread, via Post from a driver-thread observer.
   void PushStatus(uint64_t conn, const SessionStatus& status);
   bool SendResponse(uint64_t conn, const ProtoConn& state,

@@ -162,7 +162,20 @@ UnixConn ConnectUnix(const std::string& path) {
   }
   addr.sun_family = AF_UNIX;
   ::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  // EINTR here is NOT retryable the way read/write is: a connect interrupted
+  // by a signal completes asynchronously, and re-calling connect() on the
+  // same in-progress socket yields EALREADY/EISCONN. Start over on a fresh
+  // fd instead — cheap for a local Unix socket, and always correct.
+  int rc;
+  while ((rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr))) != 0 &&
+         errno == EINTR) {
+    ::close(fd);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return UnixConn();
+    }
+  }
+  if (rc != 0) {
     ::close(fd);
     return UnixConn();
   }
@@ -222,11 +235,18 @@ bool UnixListener::Listen(const std::string& path, int backlog) {
 
 UnixConn UnixListener::AcceptFor(int timeout_ms) {
   pollfd pfd{fd_, POLLIN, 0};
-  int ready = ::poll(&pfd, 1, timeout_ms);
+  // An EINTR'd poll reports "no connection" without having waited its
+  // timeout; retry so a signal-heavy host (the recovery soak sends SIGKILL
+  // storms at siblings) cannot starve the accept loop.
+  int ready;
+  while ((ready = ::poll(&pfd, 1, timeout_ms)) < 0 && errno == EINTR) {
+  }
   if (ready <= 0) {
     return UnixConn();
   }
-  int fd = ::accept(fd_, nullptr, nullptr);
+  int fd;
+  while ((fd = ::accept(fd_, nullptr, nullptr)) < 0 && errno == EINTR) {
+  }
   return fd >= 0 ? UnixConn(fd) : UnixConn();
 }
 

@@ -207,6 +207,54 @@ TEST(CheckpointV2Test, LiveStateLinesRejectedUnderV1Header) {
   EXPECT_FALSE(loaded.ok);
 }
 
+// Forward compatibility: a FUTURE writer may add optional header-area
+// sections in the spirit of the live-state and `failures` lines. This
+// reader must load such a file — skipping what it cannot parse — rather
+// than refuse a checkpoint that is otherwise perfectly usable.
+TEST(CheckpointV2Test, UnknownHeaderSectionsAreSkipped) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::vector<TrialRecord> history = RunSome(space, 6, 85);
+  CheckpointLiveState live;
+  live.session_rng = Rng(86).SerializeState();
+  std::string text = CheckpointToText(history, &live);
+
+  // Splice two future sections between the header area and the first trial.
+  size_t first_trial = text.find("\ntrial ");
+  ASSERT_NE(first_trial, std::string::npos);
+  text.insert(first_trial + 1,
+              "wall-clock-budget 3600\n"
+              "annotations key=value other=thing\n");
+
+  CheckpointLoadResult loaded = LoadCheckpointText(space, text);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.history.size(), history.size());
+  EXPECT_EQ(loaded.live.session_rng, live.session_rng);  // Known lines kept.
+}
+
+TEST(CheckpointV2Test, UnknownKeywordsStillRejectedWhereTheyBreakStructure) {
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::vector<TrialRecord> history = RunSome(space, 4, 87);
+  std::string text = CheckpointToText(history);
+
+  // Between trial records an unknown keyword would detach a trial from its
+  // values line — structural damage, not a future section.
+  size_t second_trial = text.find("\ntrial ", text.find("\ntrial ") + 1);
+  ASSERT_NE(second_trial, std::string::npos);
+  std::string damaged = text;
+  damaged.insert(second_trial + 1, "future-line in the trial body\n");
+  EXPECT_FALSE(LoadCheckpointText(space, damaged).ok);
+
+  // A stray `values` in the header area is damage too, never skipped.
+  size_t first_trial = text.find("\ntrial ");
+  damaged = text;
+  damaged.insert(first_trial + 1, "values 1 2 3\n");
+  EXPECT_FALSE(LoadCheckpointText(space, damaged).ok);
+
+  // v1 files get no forward-compat leniency: the vocabulary was closed.
+  std::string v1 = "wayfinder-checkpoint v1\nparams 0\nfuture-section x\n";
+  EXPECT_FALSE(LoadCheckpointText(space, v1).ok);
+}
+
 TEST(CheckpointV2Test, MalformedRngStateFailsResume) {
   ConfigSpace space = BuildLinuxSearchSpace();
   Testbench bench(&space, AppId::kNginx);

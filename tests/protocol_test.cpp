@@ -203,6 +203,8 @@ void ExpectSameStatus(const SessionStatus& a, const SessionStatus& b) {
   }
   EXPECT_EQ(a.sim_seconds, b.sim_seconds);
   EXPECT_EQ(a.warm_started, b.warm_started);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.version, b.version);
   EXPECT_EQ(a.store_key, b.store_key);
   EXPECT_EQ(a.error, b.error);
 }
@@ -212,6 +214,7 @@ void ExpectSameResponse(const ServiceResponse& a, const ServiceResponse& b) {
   EXPECT_EQ(a.error, b.error);
   EXPECT_EQ(a.id, b.id);
   EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.note, b.note);
   EXPECT_EQ(a.has_payload, b.has_payload);
   ASSERT_EQ(a.sessions.size(), b.sessions.size());
   for (size_t i = 0; i < a.sessions.size(); ++i) {
@@ -231,6 +234,8 @@ SessionStatus MakeStatus(const char* id, bool has_best, const char* error_text) 
   status.best = has_best ? 1234.0625 : 0.0;
   status.sim_seconds = 8871.5;
   status.warm_started = 12;
+  status.recovered = has_best;  // Exercise both presence states.
+  status.version = has_best ? 41u : 0u;
   status.store_key = "nginx-00ffaa11";
   status.error = error_text;
   return status;
@@ -293,6 +298,11 @@ TEST(BinaryCodec, SemanticallyEquivalentToYaml) {
   request.command = "watch";
   request.id = "s12";
   requests.push_back(request);
+  request = ServiceRequest();
+  request.command = "watch";  // A reconnecting watcher carrying its cursor.
+  request.id = "s12";
+  request.since_version = 77;
+  requests.push_back(request);
   for (const ServiceRequest& message : requests) {
     ServiceRequest from_yaml;
     ServiceRequest from_binary;
@@ -303,6 +313,8 @@ TEST(BinaryCodec, SemanticallyEquivalentToYaml) {
     EXPECT_EQ(from_yaml.command, from_binary.command);
     EXPECT_EQ(from_yaml.id, from_binary.id);
     EXPECT_EQ(from_yaml.warm_start, from_binary.warm_start);
+    EXPECT_EQ(from_yaml.since_version, from_binary.since_version);
+    EXPECT_EQ(from_yaml.since_version, message.since_version);
   }
 
   std::vector<ServiceResponse> responses;
@@ -316,6 +328,11 @@ TEST(BinaryCodec, SemanticallyEquivalentToYaml) {
   response = ServiceResponse();
   response.ok = true;
   response.has_payload = true;
+  responses.push_back(response);
+  response = ServiceResponse();
+  response.ok = true;
+  response.state = "alive";  // Degraded-journal ping: advisory note rides along.
+  response.note = "journal degraded: append failed: No space left on device";
   responses.push_back(response);
   response = ServiceResponse();
   response.ok = true;

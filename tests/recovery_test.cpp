@@ -1,0 +1,699 @@
+// Crash safety end to end: the write-ahead session journal, automatic
+// recovery after kill -9, the filesystem fault-injection seam, and the
+// client-side reconnect policy.
+//
+// The acceptance pins live here:
+//   * kill -9 mid-search + restart converges to the SAME final result as an
+//     uninterrupted run for a deterministic searcher (bit-exact Resume
+//     through the journaled checkpoint-v2 live state);
+//   * under injected ENOSPC / torn writes / fsync failures / crash-around-
+//     rename, no committed trial and no accepted submission is ever lost —
+//     the daemon degrades with a reported reason instead of crashing;
+//   * with the journal disabled, SessionManager behaves exactly as the
+//     pre-journal service (same results, no journal file).
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/configspace/linux_space.h"
+#include "src/platform/checkpoint.h"
+#include "src/platform/fs_faults.h"
+#include "src/service/client.h"
+#include "src/service/session_journal.h"
+#include "src/service/session_manager.h"
+#include "src/service/trial_store.h"
+#include "src/util/rng.h"
+
+namespace wayfinder {
+namespace {
+
+std::string FreshDir(const char* name) {
+  std::string dir = (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string DeterministicJob(const char* name, size_t iterations, uint64_t seed) {
+  std::string yaml;
+  yaml += std::string("name: ") + name + "\n";
+  yaml += "os: linux\n";
+  yaml += "application: nginx\n";
+  yaml += "metric: performance\n";
+  yaml += "budget:\n  iterations: " + std::to_string(iterations) + "\n";
+  yaml += "search:\n  algorithm: random\n";
+  yaml += "  seed: " + std::to_string(seed) + "\n";
+  return yaml;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Checkpoint text with the one wall-clock field (searcher_seconds, the
+// 11th token of a trial line) blanked: everything else in a deterministic
+// session — configs, outcomes, objectives, sim clock, live RNG state — must
+// be byte-identical across runs, but searcher wall time never is.
+std::string BlankWallClock(const std::string& checkpoint_text) {
+  std::istringstream in(checkpoint_text);
+  std::string out;
+  for (std::string line; std::getline(in, line);) {
+    if (line.rfind("trial ", 0) == 0) {
+      size_t spaces = 0, start = std::string::npos;
+      for (size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == ' ' && ++spaces == 11) {
+          start = i + 1;
+          break;
+        }
+      }
+      if (start != std::string::npos) {
+        size_t end = line.find(' ', start);
+        line.replace(start, (end == std::string::npos ? line.size() : end) - start, "_");
+      }
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+size_t CountWaveRecords(const std::string& journal_path) {
+  std::ifstream in(journal_path);
+  size_t waves = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.rfind("wave ", 0) == 0) {
+      ++waves;
+    }
+  }
+  return waves;
+}
+
+// ---------------------------------------------------------------------------
+// Journal unit behaviour.
+
+TEST(JournalEscapeTest, RoundTripsEveryPayloadShape) {
+  for (const std::string text :
+       {std::string(""), std::string("plain"), std::string("two\nlines\n"),
+        std::string("back\\slash"), std::string("\r\n\r\n"),
+        std::string("trail\\"), std::string(1000, '\n')}) {
+    EXPECT_EQ(JournalUnescape(JournalEscape(text)), text);
+    // The escaped form must be strictly one line.
+    EXPECT_EQ(JournalEscape(text).find('\n'), std::string::npos);
+    EXPECT_EQ(JournalEscape(text).find('\r'), std::string::npos);
+  }
+}
+
+TEST(SessionJournalTest, AppendsReplayInSubmissionOrder) {
+  std::string dir = FreshDir("wf-journal-replay");
+  std::string path = dir + "/journal.wfj";
+  {
+    SessionJournal journal(path);
+    ASSERT_TRUE(journal.Open().ok);
+    ASSERT_TRUE(journal.AppendSubmit("s1", "job: one\n", true));
+    ASSERT_TRUE(journal.AppendSubmit("s2", "job: two\n", false));
+    ASSERT_TRUE(journal.AppendWave("s1", 3, false, "wayfinder-checkpoint v2\nparams 0\n"));
+    ASSERT_TRUE(journal.AppendState("s1", "paused", ""));
+    ASSERT_TRUE(journal.AppendState("s2", "failed", "step failed: boot crash"));
+  }
+  SessionJournal::ReplayResult replay = SessionJournal::Replay(path);
+  ASSERT_TRUE(replay.ok) << replay.error;
+  ASSERT_EQ(replay.sessions.size(), 2u);
+  EXPECT_EQ(replay.sessions[0].id, "s1");
+  EXPECT_TRUE(replay.sessions[0].warm_start);
+  EXPECT_EQ(replay.sessions[0].job_text, "job: one\n");
+  EXPECT_EQ(replay.sessions[0].job_hash, StableHash("job: one\n"));
+  EXPECT_EQ(replay.sessions[0].state, "paused");
+  ASSERT_EQ(replay.sessions[0].waves.size(), 1u);
+  EXPECT_EQ(replay.sessions[0].waves[0].trials_total, 3u);
+  EXPECT_FALSE(replay.sessions[0].waves[0].full);
+  EXPECT_EQ(replay.sessions[1].state, "failed");
+  EXPECT_EQ(replay.sessions[1].error, "step failed: boot crash");
+}
+
+TEST(SessionJournalTest, TornTailIsTruncatedOnOpenAndSkippedOnReplay) {
+  std::string dir = FreshDir("wf-journal-torn");
+  std::string path = dir + "/journal.wfj";
+  {
+    SessionJournal journal(path);
+    ASSERT_TRUE(journal.Open().ok);
+    ASSERT_TRUE(journal.AppendSubmit("s1", "job: one\n", false));
+  }
+  std::string clean = ReadFileOrEmpty(path);
+  // A crash mid-append leaves an unterminated record. Replay must skip it...
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "state s1 done";  // No trailing newline: torn.
+  }
+  SessionJournal::ReplayResult replay = SessionJournal::Replay(path);
+  ASSERT_TRUE(replay.ok);
+  ASSERT_EQ(replay.sessions.size(), 1u);
+  EXPECT_EQ(replay.sessions[0].state, "submitted");  // Torn record ignored.
+  // ...and Open must truncate the file back to the last complete record.
+  SessionJournal journal(path);
+  SessionJournal::OpenResult opened = journal.Open();
+  ASSERT_TRUE(opened.ok) << opened.error;
+  EXPECT_EQ(opened.truncated_bytes, std::string("state s1 done").size());
+  journal.Close();
+  EXPECT_EQ(ReadFileOrEmpty(path), clean);
+}
+
+TEST(SessionJournalTest, RefusesAForeignFile) {
+  std::string dir = FreshDir("wf-journal-foreign");
+  std::string path = dir + "/not-a-journal";
+  std::ofstream(path) << "operator data, hands off\n";
+  SessionJournal journal(path);
+  EXPECT_FALSE(journal.Open().ok);
+}
+
+TEST(SessionJournalTest, UnknownRecordKeywordsAreSkippedOnReplay) {
+  std::string dir = FreshDir("wf-journal-future");
+  std::string path = dir + "/journal.wfj";
+  std::ofstream(path) << SessionJournal::Header()
+                      << SessionJournal::SubmitLine("s1", "job: one\n", false)
+                      << "lease s1 owner=host-7 ttl=30\n"  // A future record.
+                      << SessionJournal::StateLine("s1", "done", "");
+  SessionJournal::ReplayResult replay = SessionJournal::Replay(path);
+  ASSERT_TRUE(replay.ok) << replay.error;
+  ASSERT_EQ(replay.sessions.size(), 1u);
+  EXPECT_EQ(replay.sessions[0].state, "done");
+}
+
+TEST(SessionJournalTest, FirstFailedAppendDegradesPermanently) {
+  std::string dir = FreshDir("wf-journal-enospc");
+  SessionJournal journal(dir + "/journal.wfj");
+  ASSERT_TRUE(journal.Open().ok);
+  ASSERT_TRUE(journal.AppendSubmit("s1", "job: one\n", false));
+
+  FsFaultPlan plan;
+  plan.fail_write_at = 0;  // The very next write fails with ENOSPC.
+  FsFaultInjector::Instance().Arm(plan);
+  EXPECT_FALSE(journal.AppendWave("s1", 1, false, "payload"));
+  FsFaultInjector::Instance().Disarm();
+
+  EXPECT_FALSE(journal.healthy());
+  EXPECT_NE(journal.degraded_reason().find("No space left"), std::string::npos)
+      << journal.degraded_reason();
+  // Degraded is sticky: even with the disk healthy again, appends stay off
+  // (the on-disk prefix is valid and must not gain a gap).
+  EXPECT_FALSE(journal.AppendState("s1", "done", ""));
+  journal.Close();
+
+  SessionJournal::ReplayResult replay = SessionJournal::Replay(journal.path());
+  ASSERT_TRUE(replay.ok);
+  ASSERT_EQ(replay.sessions.size(), 1u);  // The durable prefix survived.
+  EXPECT_TRUE(replay.sessions[0].waves.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection seam.
+
+TEST(FsFaultsTest, AtomicWriteFileSurvivesCrashAroundRename) {
+  std::string dir = FreshDir("wf-atomic");
+  std::string path = dir + "/target";
+  ASSERT_TRUE(AtomicWriteFile(path, "old contents\n"));
+
+  // Crash BEFORE the rename: target keeps the old bytes, tmp is left
+  // behind exactly as a real crash would leave it.
+  FsFaultPlan plan;
+  plan.crash_before_rename_at = 0;
+  FsFaultInjector::Instance().Arm(plan);
+  std::string error;
+  EXPECT_FALSE(AtomicWriteFile(path, "new contents\n", &error));
+  FsFaultInjector::Instance().Disarm();
+  EXPECT_EQ(ReadFileOrEmpty(path), "old contents\n");
+  EXPECT_TRUE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path + ".tmp");
+
+  // Crash AFTER the rename: the replace already committed — the new bytes
+  // are the file, whole, never a torn mixture.
+  plan = FsFaultPlan();
+  plan.crash_after_rename_at = 0;
+  FsFaultInjector::Instance().Arm(plan);
+  EXPECT_FALSE(AtomicWriteFile(path, "new contents\n", &error));
+  FsFaultInjector::Instance().Disarm();
+  EXPECT_EQ(ReadFileOrEmpty(path), "new contents\n");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(FsFaultsTest, SeededProbabilisticPlanIsDeterministic) {
+  FsFaultPlan plan;
+  plan.seed = 99;
+  plan.write_fail_prob = 0.5;
+  std::vector<int> first;
+  for (int round = 0; round < 2; ++round) {
+    FsFaultInjector::Instance().Arm(plan);
+    std::vector<int> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(static_cast<int>(FsFaultInjector::Instance().NextWrite()));
+    }
+    FsFaultInjector::Instance().Disarm();
+    if (round == 0) {
+      first = outcomes;
+      // A 0.5 plan must actually fire both ways.
+      EXPECT_NE(std::count(first.begin(), first.end(), 0), 0);
+      EXPECT_NE(std::count(first.begin(), first.end(), 0), 64);
+    } else {
+      EXPECT_EQ(outcomes, first);  // Same seed, same plan, same schedule.
+    }
+  }
+}
+
+// The compaction crash-window satellite: a crash between writing the
+// compacted tmp file and the rename used to leave `<key>.wftrials.tmp`
+// around forever. Open now sweeps stale tmps, and the store contents stay
+// the pre-compaction records (the rename never happened).
+TEST(TrialStoreFaultTest, CompactionCrashLeavesNoStaleTmpAfterReopen) {
+  std::string dir = FreshDir("wf-store-crash");
+  ConfigSpace space = BuildLinuxSearchSpace();
+  std::string key;
+  {
+    SessionManagerOptions options;
+    options.store_dir = dir;
+    SessionManager manager(options);
+    std::string id, error;
+    ASSERT_TRUE(manager.Submit(DeterministicJob("crash-compact", 6, 41), false, &id,
+                               &error))
+        << error;
+    ASSERT_TRUE(manager.WaitDone(id, 30000));
+    SessionStatus status;
+    ASSERT_TRUE(manager.Status(id, &status));
+    key = status.store_key;
+    manager.Shutdown();
+  }
+
+  TrialStore store(dir);
+  ASSERT_EQ(store.Load(key, space).trials.size(), 6u);
+  FsFaultPlan plan;
+  plan.crash_before_rename_at = 0;
+  FsFaultInjector::Instance().Arm(plan);
+  TrialStore::CompactStats stats = store.CompactAll();
+  EXPECT_FALSE(stats.ok) << stats.error;
+  FsFaultInjector::Instance().Disarm();
+  store.FsyncClose();
+  // The injected crash leaves the tmp behind, as a real crash would.
+  bool saw_tmp = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    saw_tmp |= entry.path().string().find(".wftrials.tmp") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_tmp);
+
+  // Reopen: the sweep removes the stale tmp; no trial was lost.
+  TrialStore reopened(dir);
+  EXPECT_EQ(reopened.Load(key, space).trials.size(), 6u);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string().find(".wftrials.tmp"), std::string::npos)
+        << entry.path();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Manager-level recovery.
+
+SessionManagerOptions ManagerOptions(const std::string& dir, bool journal = true) {
+  SessionManagerOptions options;
+  options.store_dir = dir + "/store";
+  if (journal) {
+    options.journal_path = dir + "/store/journal.wfj";
+  }
+  return options;
+}
+
+// The journal-off pin: with journal_path empty the manager must behave
+// exactly as the pre-journal service — identical results, and no journal
+// file anywhere near the store.
+TEST(RecoveryTest, DisabledJournalChangesNothing) {
+  std::string with_dir = FreshDir("wf-rec-journal-on");
+  std::string without_dir = FreshDir("wf-rec-journal-off");
+  std::string job = DeterministicJob("pinned", 10, 4242);
+  std::string with_text, without_text;
+  for (int pass = 0; pass < 2; ++pass) {
+    bool journal = pass == 0;
+    SessionManager manager(ManagerOptions(journal ? with_dir : without_dir, journal));
+    std::string id, error;
+    ASSERT_TRUE(manager.Submit(job, false, &id, &error)) << error;
+    ASSERT_TRUE(manager.WaitDone(id, 30000));
+    std::string text;
+    ASSERT_TRUE(manager.Result(id, &text, &error)) << error;
+    (journal ? with_text : without_text) = text;
+    manager.Shutdown();
+  }
+  EXPECT_EQ(BlankWallClock(with_text), BlankWallClock(without_text));
+  EXPECT_FALSE(std::filesystem::exists(without_dir + "/store/journal.wfj"));
+  EXPECT_TRUE(std::filesystem::exists(with_dir + "/store/journal.wfj"));
+}
+
+// The kill-9 determinism pin. A child process runs a deterministic session
+// with the journal on; the parent SIGKILLs it mid-search (after a few wave
+// records are durable), recovers in a fresh manager over the same
+// directories, lets the session finish, and the final checkpoint must be
+// byte-identical to an uninterrupted run of the same job.
+TEST(RecoveryTest, Kill9MidSearchConvergesToUninterruptedResult) {
+  std::string crash_dir = FreshDir("wf-rec-kill9");
+  std::string clean_dir = FreshDir("wf-rec-kill9-clean");
+  std::string job = DeterministicJob("kill9", 24, 777);
+  std::string journal_path = crash_dir + "/store/journal.wfj";
+
+  pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: run the session under the journal until killed. Everything
+    // here must _exit — returning would re-run gtest in the child.
+    SessionManager manager(ManagerOptions(crash_dir));
+    std::string id, error;
+    if (!manager.Submit(job, false, &id, &error)) {
+      _exit(10);
+    }
+    manager.WaitDone(id, 60000);
+    // Unexpectedly finished before the kill landed: still fine — recovery
+    // then resurrects a done session and the comparison below holds.
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+  }
+
+  // Parent: wait until at least a few waves are journaled, then kill -9.
+  for (int spin = 0; spin < 2000 && CountWaveRecords(journal_path) < 5; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(CountWaveRecords(journal_path), 5u) << "child never made progress";
+  ASSERT_EQ(kill(child, SIGKILL), 0);
+  int wait_status = 0;
+  ASSERT_EQ(waitpid(child, &wait_status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wait_status));
+
+  // Recover over the same directories and let the session run out.
+  SessionManager recovered(ManagerOptions(crash_dir));
+  std::string summary;
+  ASSERT_TRUE(recovered.Recover(&summary)) << summary;
+  EXPECT_NE(summary.find("recovered 1 session(s)"), std::string::npos) << summary;
+  std::vector<SessionStatus> sessions = recovered.List();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_TRUE(sessions[0].recovered);
+  std::string id = sessions[0].id;
+  ASSERT_TRUE(recovered.WaitDone(id, 60000));
+  std::string recovered_text, error;
+  ASSERT_TRUE(recovered.Result(id, &recovered_text, &error)) << error;
+  recovered.Shutdown();
+
+  // The uninterrupted control run.
+  SessionManager control(ManagerOptions(clean_dir));
+  std::string control_id;
+  ASSERT_TRUE(control.Submit(job, false, &control_id, &error)) << error;
+  ASSERT_TRUE(control.WaitDone(control_id, 60000));
+  std::string control_text;
+  ASSERT_TRUE(control.Result(control_id, &control_text, &error)) << error;
+  control.Shutdown();
+
+  EXPECT_EQ(BlankWallClock(recovered_text), BlankWallClock(control_text))
+      << "kill -9 + recovery diverged from the uninterrupted run";
+}
+
+// A submission the daemon accepted but never started must survive: the
+// write-ahead submit record alone is enough to requeue it.
+TEST(RecoveryTest, AcceptedButNeverStartedSubmissionIsRequeued) {
+  std::string dir = FreshDir("wf-rec-requeue");
+  std::string job = DeterministicJob("requeued", 6, 11);
+  std::string journal_path = dir + "/store/journal.wfj";
+  std::filesystem::create_directories(dir + "/store");
+  {
+    SessionJournal journal(journal_path);
+    ASSERT_TRUE(journal.Open().ok);
+    ASSERT_TRUE(journal.AppendSubmit("s1", job, false));
+  }
+  SessionManager manager(ManagerOptions(dir));
+  std::string summary;
+  ASSERT_TRUE(manager.Recover(&summary)) << summary;
+  EXPECT_NE(summary.find("1 requeued"), std::string::npos) << summary;
+  ASSERT_TRUE(manager.WaitDone("s1", 30000));
+  SessionStatus status;
+  ASSERT_TRUE(manager.Status("s1", &status));
+  EXPECT_EQ(status.state, "done");
+  EXPECT_TRUE(status.recovered);
+  EXPECT_EQ(status.trials, 6u);
+  // New submissions keep numbering past the recovered ids.
+  std::string id, error;
+  ASSERT_TRUE(manager.Submit(DeterministicJob("next", 3, 12), false, &id, &error));
+  EXPECT_EQ(id, "s2");
+  manager.Shutdown();
+}
+
+TEST(RecoveryTest, FinishedSessionsComeBackQueryable) {
+  std::string dir = FreshDir("wf-rec-done");
+  std::string job = DeterministicJob("finished", 8, 21);
+  std::string pre_crash_history;
+  {
+    SessionManager manager(ManagerOptions(dir));
+    std::string id, error;
+    ASSERT_TRUE(manager.Submit(job, false, &id, &error)) << error;
+    ASSERT_TRUE(manager.WaitDone(id, 30000));
+    ASSERT_TRUE(manager.Result(id, &pre_crash_history, &error));
+    manager.Shutdown();
+  }
+  SessionManager manager(ManagerOptions(dir));
+  std::string summary;
+  ASSERT_TRUE(manager.Recover(&summary)) << summary;
+  EXPECT_NE(summary.find("1 finished"), std::string::npos) << summary;
+  SessionStatus status;
+  ASSERT_TRUE(manager.Status("s1", &status));
+  EXPECT_EQ(status.state, "done");
+  EXPECT_TRUE(status.recovered);
+  EXPECT_EQ(status.trials, 8u);
+  // The trial history survives verbatim. A recovered terminal session
+  // renders replay-only (no live-state lines — the final searcher state
+  // died with the process and a finished session never resumes), so strip
+  // those lines from the pre-crash text before comparing.
+  std::string text, error;
+  ASSERT_TRUE(manager.Result("s1", &text, &error));
+  std::string before;
+  std::istringstream lines(pre_crash_history);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("rng-session ", 0) == 0 || line.rfind("rng-searcher ", 0) == 0 ||
+        line.rfind("searcher-state ", 0) == 0) {
+      continue;
+    }
+    before += line + "\n";
+  }
+  EXPECT_EQ(text, before);
+  manager.Shutdown();
+}
+
+TEST(RecoveryTest, PausedSessionComesBackPaused) {
+  std::string dir = FreshDir("wf-rec-paused");
+  std::string job = DeterministicJob("paused", 6, 31);
+  std::string journal_path = dir + "/store/journal.wfj";
+  std::filesystem::create_directories(dir + "/store");
+  {
+    SessionJournal journal(journal_path);
+    ASSERT_TRUE(journal.Open().ok);
+    ASSERT_TRUE(journal.AppendSubmit("s1", job, false));
+    ASSERT_TRUE(journal.AppendState("s1", "paused", ""));
+  }
+  SessionManager manager(ManagerOptions(dir));
+  std::string summary;
+  ASSERT_TRUE(manager.Recover(&summary)) << summary;
+  // The pause request re-lands at the first wave boundary; wait for it.
+  SessionStatus status;
+  for (int spin = 0; spin < 2000; ++spin) {
+    ASSERT_TRUE(manager.Status("s1", &status));
+    if (status.state == "paused" || status.state == "done") {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(status.state, "paused");
+  // And it resumes normally.
+  ASSERT_TRUE(manager.Resume("s1"));
+  ASSERT_TRUE(manager.WaitDone("s1", 30000));
+  manager.Shutdown();
+}
+
+// Nothing is silently dropped: a journal whose job text no longer matches
+// its hash (disk corruption) resurfaces as a failed session with an
+// `unrecoverable:` reason, never as a vanished one.
+TEST(RecoveryTest, CorruptJournalEntryBecomesFailedNotLost) {
+  std::string dir = FreshDir("wf-rec-corrupt");
+  std::string journal_path = dir + "/store/journal.wfj";
+  std::filesystem::create_directories(dir + "/store");
+  {
+    std::ofstream out(journal_path, std::ios::binary);
+    out << SessionJournal::Header();
+    out << "submit s1 0 00000000deadbeef "
+        << JournalEscape(DeterministicJob("tampered", 4, 5)) << "\n";
+  }
+  SessionManager manager(ManagerOptions(dir));
+  std::string summary;
+  ASSERT_TRUE(manager.Recover(&summary)) << summary;
+  EXPECT_NE(summary.find("1 unrecoverable"), std::string::npos) << summary;
+  SessionStatus status;
+  ASSERT_TRUE(manager.Status("s1", &status));
+  EXPECT_EQ(status.state, "failed");
+  EXPECT_TRUE(status.recovered);
+  EXPECT_NE(status.error.find("unrecoverable:"), std::string::npos) << status.error;
+  manager.Shutdown();
+}
+
+// ENOSPC on the journal write path: the daemon degrades — the reason is
+// queryable, appends stop — but serving, searching, and the trial store
+// keep working. Accepted work completes; committed trials reach the store.
+TEST(RecoveryTest, JournalEnospcDegradesWithoutLosingTrials) {
+  std::string dir = FreshDir("wf-rec-enospc");
+  SessionManager manager(ManagerOptions(dir));
+  std::string healthy_reason;
+  ASSERT_TRUE(manager.JournalHealthy(&healthy_reason)) << healthy_reason;
+
+  // The next FaultWrite after Arm is the write-ahead submit append (the
+  // store has nothing to write until a driver commits a wave).
+  FsFaultPlan plan;
+  plan.fail_write_at = 0;
+  FsFaultInjector::Instance().Arm(plan);
+  std::string id, error;
+  ASSERT_TRUE(manager.Submit(DeterministicJob("degraded", 6, 51), false, &id, &error))
+      << error;
+  FsFaultInjector::Instance().Disarm();
+
+  std::string reason;
+  EXPECT_FALSE(manager.JournalHealthy(&reason));
+  EXPECT_NE(reason.find("No space left"), std::string::npos) << reason;
+
+  ASSERT_TRUE(manager.WaitDone(id, 30000));
+  SessionStatus status;
+  ASSERT_TRUE(manager.Status(id, &status));
+  EXPECT_EQ(status.state, "done");
+  EXPECT_EQ(status.trials, 6u);
+  std::string key = status.store_key;
+  manager.Shutdown();
+
+  // Every committed trial reached the store despite the degraded journal.
+  TrialStore store(dir + "/store");
+  ConfigSpace space = BuildLinuxSearchSpace();
+  EXPECT_EQ(store.Load(key, space).trials.size(), 6u);
+}
+
+TEST(RecoveryTest, UnopenableJournalStillServes) {
+  std::string dir = FreshDir("wf-rec-badjournal");
+  std::filesystem::create_directories(dir + "/store/journal.wfj");  // A DIRECTORY.
+  SessionManager manager(ManagerOptions(dir));
+  std::string reason;
+  EXPECT_FALSE(manager.JournalHealthy(&reason));
+  EXPECT_NE(reason.find("journal open failed"), std::string::npos) << reason;
+  std::string id, error;
+  ASSERT_TRUE(manager.Submit(DeterministicJob("noj", 4, 61), false, &id, &error))
+      << error;
+  ASSERT_TRUE(manager.WaitDone(id, 30000));
+  manager.Shutdown();
+}
+
+// After recovery the journal is compacted: one submit + at most one full
+// wave + one state record per session, and a second recovery over the
+// compacted file reproduces the same fleet.
+TEST(RecoveryTest, JournalIsCompactedAfterRecovery) {
+  std::string dir = FreshDir("wf-rec-compact");
+  std::string job = DeterministicJob("compacted", 8, 71);
+  std::string journal_path = dir + "/store/journal.wfj";
+  {
+    SessionManager manager(ManagerOptions(dir));
+    std::string id, error;
+    ASSERT_TRUE(manager.Submit(job, false, &id, &error)) << error;
+    ASSERT_TRUE(manager.WaitDone(id, 30000));
+    manager.Shutdown();
+  }
+  // 8 iterations = several wave records pre-compaction.
+  ASSERT_GE(CountWaveRecords(journal_path), 2u);
+  {
+    SessionManager manager(ManagerOptions(dir));
+    std::string summary;
+    ASSERT_TRUE(manager.Recover(&summary)) << summary;
+    manager.Shutdown();
+  }
+  EXPECT_EQ(CountWaveRecords(journal_path), 1u);  // One full record now.
+  // Round trip: the compacted journal recovers the same session.
+  SessionManager manager(ManagerOptions(dir));
+  std::string summary;
+  ASSERT_TRUE(manager.Recover(&summary)) << summary;
+  SessionStatus status;
+  ASSERT_TRUE(manager.Status("s1", &status));
+  EXPECT_EQ(status.state, "done");
+  EXPECT_EQ(status.trials, 8u);
+  manager.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Client-side reconnect policy.
+
+TEST(ReconnectTest, BackoffGrowsExponentiallyWithBoundedJitter) {
+  ReconnectPolicy policy;
+  policy.base_delay_ms = 50;
+  policy.max_delay_ms = 400;
+  policy.seed = 7;
+  uint64_t state = policy.seed;
+  int previous_nominal = 0;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    int nominal = std::min(400, 50 << (attempt - 1));
+    int delay = BackoffDelayMs(policy, attempt, &state);
+    EXPECT_GE(delay, nominal / 2) << attempt;
+    EXPECT_LE(delay, nominal) << attempt;
+    EXPECT_GE(nominal, previous_nominal);
+    previous_nominal = nominal;
+  }
+  // Deterministic for a fixed seed: the soak and this test can both pin it.
+  uint64_t a = policy.seed, b = policy.seed;
+  EXPECT_EQ(BackoffDelayMs(policy, 3, &a), BackoffDelayMs(policy, 3, &b));
+}
+
+TEST(ReconnectTest, OnlyIdempotentCommandsRetryByDefault) {
+  EXPECT_TRUE(IdempotentServiceCommand("status"));
+  EXPECT_TRUE(IdempotentServiceCommand("result"));
+  EXPECT_TRUE(IdempotentServiceCommand("watch"));
+  EXPECT_TRUE(IdempotentServiceCommand("ping"));
+  EXPECT_FALSE(IdempotentServiceCommand("submit"));
+  EXPECT_FALSE(IdempotentServiceCommand("pause"));
+  EXPECT_FALSE(IdempotentServiceCommand("resume"));
+  EXPECT_FALSE(IdempotentServiceCommand("stop"));
+  EXPECT_FALSE(IdempotentServiceCommand("compact"));
+}
+
+TEST(ReconnectTest, RetryStopsAtNonTransportFailures) {
+  // No daemon at this path: every attempt is a transport failure, so a
+  // 2-attempt policy dials 3 times and still reports the connect error.
+  ReconnectPolicy policy;
+  policy.attempts = 2;
+  policy.base_delay_ms = 1;
+  policy.max_delay_ms = 2;
+  ServiceRequest request;
+  request.command = "status";
+  auto start = std::chrono::steady_clock::now();
+  ServiceCallResult result =
+      CallServiceRetry("/tmp/wf-definitely-no-daemon.sock", request, policy);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.transport_error);
+  // It really slept between attempts (>= 2 backoff delays >= 1ms each).
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count(),
+            1);
+
+  // A non-idempotent command must NOT burn retry attempts by default.
+  request.command = "submit";
+  result = CallServiceRetry("/tmp/wf-definitely-no-daemon.sock", request, policy,
+                            "name: x\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.transport_error);
+}
+
+}  // namespace
+}  // namespace wayfinder

@@ -82,8 +82,10 @@ int Usage() {
                "  zoo    <dir> rank <job.yaml>         rank donors for a job's app (§3.3)\n"
                "  transfer <src-job> <dst-job> <src-ckpt> <out-ckpt>\n"
                "                                       map a history across platforms (§3.5)\n"
-               "service mode (all take [--socket P] [--binary], default %s):\n"
+               "service mode (all take [--socket P] [--binary] [--reconnect N]\n"
+               "              [--retry-unsafe], default %s):\n"
                "  serve  [--store DIR] [--checkpoint-dir DIR] [--max-sessions N]\n"
+               "         [--journal P | --no-journal] [--no-recover]\n"
                "                                       run the wfd daemon in the foreground\n"
                "  submit <job.yaml> [--no-warm-start] [fault flags]\n"
                "                                       queue a job; prints its session id\n"
@@ -603,8 +605,24 @@ struct ServiceArgs {
   bool binary = false;
   bool warm_start = true;
   bool ok = true;
+  // Client resilience: --reconnect N re-dials a vanished daemon with
+  // exponential backoff for idempotent commands; --retry-unsafe opts
+  // non-idempotent ones (submit/pause/resume/stop) in too.
+  int reconnect = 0;
+  bool retry_unsafe = false;
+  // serve: journal/recovery plumbing (mirrors the wfd binary's flags).
+  std::string journal_path;
+  bool no_journal = false;
+  bool no_recover = false;
   // submit: fault flags appended to the job text as a `faults:` block.
   FaultOverrides fault_overrides;
+
+  ReconnectPolicy Policy() const {
+    ReconnectPolicy policy;
+    policy.attempts = reconnect;
+    policy.retry_unsafe = retry_unsafe;
+    return policy;
+  }
 };
 
 ServiceArgs ParseServiceArgs(int argc, char** argv) {
@@ -662,6 +680,24 @@ ServiceArgs ParseServiceArgs(int argc, char** argv) {
       args.binary = true;
     } else if (flag == "--no-warm-start") {
       args.warm_start = false;
+    } else if (flag == "--reconnect") {
+      if (take(&value)) {
+        args.reconnect = std::atoi(value.c_str());
+        if (args.reconnect < 0) {
+          std::fprintf(stderr, "wfctl: --reconnect needs a non-negative count\n");
+          args.ok = false;
+        }
+      } else {
+        args.ok = false;
+      }
+    } else if (flag == "--retry-unsafe") {
+      args.retry_unsafe = true;
+    } else if (flag == "--journal") {
+      args.ok &= take(&args.journal_path);
+    } else if (flag == "--no-journal") {
+      args.no_journal = true;
+    } else if (flag == "--no-recover") {
+      args.no_recover = true;
     } else if (const char* fault_key = FaultKeyForFlag(flag); fault_key != nullptr) {
       if (take(&value)) {
         args.fault_overrides.emplace_back(fault_key, value);
@@ -685,6 +721,15 @@ int CmdServe(const ServiceArgs& args) {
   options.manager.store_dir = args.store_dir;
   options.manager.checkpoint_dir = args.checkpoint_dir;
   options.manager.max_running = args.max_sessions;
+  // Journal defaults on next to the store, same policy as the wfd binary.
+  options.manager.journal_path = args.journal_path;
+  if (options.manager.journal_path.empty() && !args.store_dir.empty()) {
+    options.manager.journal_path = args.store_dir + "/journal.wfj";
+  }
+  if (args.no_journal) {
+    options.manager.journal_path.clear();
+  }
+  options.recover = !args.no_recover;
   // The shared foreground bootstrap: signal-wired graceful drain, banner,
   // serve loop — identical to the standalone `wfd` binary by construction.
   return RunWfdForeground(options);
@@ -705,11 +750,17 @@ int CmdSubmit(const ServiceArgs& args) {
   ServiceRequest request;
   request.command = "submit";
   request.warm_start = args.warm_start;
+  // Submit is NOT idempotent: CallServiceRetry only re-dials it under
+  // --retry-unsafe (a lost ack cannot be told apart from a lost request,
+  // and resubmitting blind duplicates the session).
   ServiceCallResult call =
-      CallService(args.socket_path, request, job_text, args.binary);
+      CallServiceRetry(args.socket_path, request, args.Policy(), job_text, args.binary);
   if (!call.ok) {
     std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
     return 1;
+  }
+  if (!call.response.note.empty()) {
+    std::fprintf(stderr, "wfctl: warning: %s\n", call.response.note.c_str());
   }
   std::printf("%s\n", call.response.id.c_str());
   return 0;
@@ -756,7 +807,8 @@ int CmdStatus(const ServiceArgs& args) {
   ServiceRequest request;
   request.command = "status";
   request.id = args.positional;
-  ServiceCallResult call = CallService(args.socket_path, request, "", args.binary);
+  ServiceCallResult call =
+      CallServiceRetry(args.socket_path, request, args.Policy(), "", args.binary);
   if (!call.ok) {
     std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
     return 1;
@@ -783,7 +835,8 @@ int WatchPoll(const ServiceArgs& args, int interval_ms) {
     ServiceRequest request;
     request.command = "status";
     request.id = args.positional;
-    ServiceCallResult call = CallService(args.socket_path, request, "", args.binary);
+    ServiceCallResult call =
+        CallServiceRetry(args.socket_path, request, args.Policy(), "", args.binary);
     if (!call.ok) {
       std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
       return 1;
@@ -805,43 +858,77 @@ int CmdWatch(const ServiceArgs& args) {
     return WatchPoll(args, args.poll_ms);
   }
   // Push mode: one persistent connection, the daemon streams a status
-  // frame per committed wave / lifecycle change. No client polling.
-  ServiceConnection conn;
-  std::string error;
-  if (!conn.Connect(args.socket_path, args.binary, &error)) {
-    std::fprintf(stderr, "wfctl: %s\n", error.c_str());
-    return 1;
-  }
-  ServiceRequest request;
-  request.command = "watch";
-  request.id = args.positional;
-  ServiceCallResult ack = conn.Call(request);
-  if (!ack.ok) {
-    if (ack.error.find("unknown command") != std::string::npos) {
-      // A pre-push daemon: it does not advertise watch — poll instead.
-      return WatchPoll(args, args.interval_ms);
-    }
-    std::fprintf(stderr, "wfctl: %s\n", ack.error.c_str());
-    return 1;
-  }
-  // The ack carries the baseline snapshot (taken under the same lock that
-  // registered the subscription, so no wave can slip between them).
-  if (!ack.response.sessions.empty() &&
-      PrintWatchLine(ack.response.sessions.front())) {
-    return ack.response.sessions.front().state == "done" ? 0 : 1;
-  }
+  // frame per committed wave / lifecycle change. No client polling. With
+  // --reconnect, a dropped stream (a restarting daemon) re-dials with
+  // backoff and re-subscribes carrying the last status version it printed,
+  // so the reborn daemon suppresses the stale baseline and the watcher
+  // rides across the restart without duplicate lines.
+  ReconnectPolicy policy = args.Policy();
+  uint64_t jitter = policy.seed;
+  uint64_t last_version = 0;
+  int redials = 0;
   for (;;) {
-    ServiceResponse push;
-    if (!conn.ReadResponse(&push, &error)) {
+    ServiceConnection conn;
+    std::string error;
+    if (!conn.Connect(args.socket_path, args.binary, &error)) {
+      if (redials < policy.attempts) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(BackoffDelayMs(policy, ++redials, &jitter)));
+        continue;
+      }
       std::fprintf(stderr, "wfctl: %s\n", error.c_str());
       return 1;
     }
-    if (push.sessions.empty()) {
-      continue;
+    ServiceRequest request;
+    request.command = "watch";
+    request.id = args.positional;
+    request.since_version = last_version;
+    ServiceCallResult ack = conn.Call(request);
+    if (!ack.ok) {
+      if (ack.error.find("unknown command") != std::string::npos) {
+        // A pre-push daemon: it does not advertise watch — poll instead.
+        return WatchPoll(args, args.interval_ms);
+      }
+      if (ack.transport_error && redials < policy.attempts) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(BackoffDelayMs(policy, ++redials, &jitter)));
+        continue;
+      }
+      std::fprintf(stderr, "wfctl: %s\n", ack.error.c_str());
+      return 1;
     }
-    const SessionStatus& status = push.sessions.front();
-    if (PrintWatchLine(status)) {
-      return status.state == "done" ? 0 : 1;
+    redials = 0;  // A successful subscribe refreshes the retry budget.
+    // The ack carries the baseline snapshot (taken under the same lock
+    // that registered the subscription, so no wave can slip between
+    // them) — absent when the daemon knows we already saw this version.
+    if (!ack.response.sessions.empty()) {
+      const SessionStatus& baseline = ack.response.sessions.front();
+      last_version = baseline.version;
+      if (PrintWatchLine(baseline)) {
+        return baseline.state == "done" ? 0 : 1;
+      }
+    }
+    bool stream_lost = false;
+    while (!stream_lost) {
+      ServiceResponse push;
+      if (!conn.ReadResponse(&push, &error)) {
+        if (redials < policy.attempts) {
+          stream_lost = true;  // Re-dial and re-subscribe.
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(BackoffDelayMs(policy, ++redials, &jitter)));
+          continue;
+        }
+        std::fprintf(stderr, "wfctl: %s\n", error.c_str());
+        return 1;
+      }
+      if (push.sessions.empty()) {
+        continue;
+      }
+      const SessionStatus& status = push.sessions.front();
+      last_version = status.version;
+      if (PrintWatchLine(status)) {
+        return status.state == "done" ? 0 : 1;
+      }
     }
   }
 }
@@ -849,7 +936,8 @@ int CmdWatch(const ServiceArgs& args) {
 int CmdStoreCompact(const ServiceArgs& args) {
   ServiceRequest request;
   request.command = "compact";
-  ServiceCallResult call = CallService(args.socket_path, request, "", args.binary);
+  ServiceCallResult call =
+      CallServiceRetry(args.socket_path, request, args.Policy(), "", args.binary);
   if (!call.ok) {
     std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
     return 1;
@@ -862,7 +950,8 @@ int CmdResult(const ServiceArgs& args) {
   ServiceRequest request;
   request.command = "result";
   request.id = args.positional;
-  ServiceCallResult call = CallService(args.socket_path, request, "", args.binary);
+  ServiceCallResult call =
+      CallServiceRetry(args.socket_path, request, args.Policy(), "", args.binary);
   if (!call.ok) {
     std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
     return 1;
@@ -886,7 +975,8 @@ int CmdSessionControl(const char* command, const ServiceArgs& args) {
   ServiceRequest request;
   request.command = command;
   request.id = args.positional;
-  ServiceCallResult call = CallService(args.socket_path, request, "", args.binary);
+  ServiceCallResult call =
+      CallServiceRetry(args.socket_path, request, args.Policy(), "", args.binary);
   if (!call.ok) {
     std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
     return 1;

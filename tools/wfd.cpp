@@ -20,7 +20,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: wfd [--socket P] [--store DIR] [--checkpoint-dir DIR]\n"
-               "           [--max-sessions N] [--idle-timeout-ms N]\n");
+               "           [--max-sessions N] [--idle-timeout-ms N]\n"
+               "           [--journal P | --no-journal] [--no-recover]\n");
   return 2;
 }
 
@@ -29,6 +30,7 @@ int Usage() {
 int main(int argc, char** argv) {
   wayfinder::WfdOptions options;
   options.socket_path = "/tmp/wfd.sock";
+  bool journal_off = false;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
     auto take = [&]() -> const char* {
@@ -46,6 +48,14 @@ int main(int argc, char** argv) {
       if (options.manager.max_running == 0) {
         return Usage();
       }
+    } else if (flag == "--journal" && (value = take()) != nullptr) {
+      options.manager.journal_path = value;
+    } else if (flag == "--no-journal") {
+      // Crash resumability off; daemon behaviour is then bit-identical to
+      // the journal-less service (pinned by recovery_test).
+      journal_off = true;
+    } else if (flag == "--no-recover") {
+      options.recover = false;
     } else if (flag == "--idle-timeout-ms" && (value = take()) != nullptr) {
       // How long a silent connection survives the transport's idle sweep
       // (watch subscriptions are exempt; see src/transport/event_loop.h).
@@ -56,6 +66,14 @@ int main(int argc, char** argv) {
     } else {
       return Usage();
     }
+  }
+  // Journal defaults on next to the store (results and resumability share a
+  // durability home); no store means nothing outlives the process anyway.
+  if (options.manager.journal_path.empty() && !options.manager.store_dir.empty()) {
+    options.manager.journal_path = options.manager.store_dir + "/journal.wfj";
+  }
+  if (journal_off) {
+    options.manager.journal_path.clear();
   }
   return wayfinder::RunWfdForeground(options);
 }
