@@ -1,0 +1,243 @@
+#include "src/analyze/lexer.h"
+
+#include <cctype>
+
+namespace wayfinder {
+namespace analyze {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first so maximal munch works with a
+// simple prefix scan. Only the ones rules could plausibly care about need to
+// be grouped correctly; "::" and "->" are the load-bearing entries.
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", ".*",
+};
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = source.size();
+
+  auto peek = [&](size_t off) -> char {
+    return i + off < n ? source[i + off] : '\0';
+  };
+  auto count_lines = [&](std::string_view text) {
+    for (char c : text) {
+      if (c == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    char c = source[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: only if '#' is the first non-whitespace byte on
+    // the line. Continuation backslashes extend it; embedded // and /* are
+    // swallowed conservatively (a multiline /* */ inside a directive ends it
+    // at the comment's end, which is fine for wf-lint's purposes).
+    if (c == '#') {
+      bool at_line_start = true;
+      for (size_t back = i; back > 0;) {
+        --back;
+        char b = source[back];
+        if (b == '\n') break;
+        if (b != ' ' && b != '\t' && b != '\r') {
+          at_line_start = false;
+          break;
+        }
+      }
+      if (at_line_start) {
+        size_t start = i;
+        int start_line = line;
+        while (i < n) {
+          if (source[i] == '\n') {
+            // Continuation only if the last non-CR byte was a backslash.
+            size_t back = i;
+            bool continued = false;
+            while (back > start) {
+              --back;
+              if (source[back] == '\r') continue;
+              continued = source[back] == '\\';
+              break;
+            }
+            if (!continued) break;
+            ++line;
+          }
+          ++i;
+        }
+        tokens.push_back(
+            {TokenKind::kPreprocessor,
+             std::string(source.substr(start, i - start)), start_line});
+        continue;
+      }
+    }
+
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      size_t start = i;
+      while (i < n && source[i] != '\n') ++i;
+      tokens.push_back({TokenKind::kComment,
+                        std::string(source.substr(start, i - start)), line});
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      size_t start = i;
+      int start_line = line;
+      i += 2;
+      while (i < n && !(source[i] == '*' && peek(1) == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) i += 2;  // Consume "*/"; unterminated closes at EOF.
+      tokens.push_back({TokenKind::kComment,
+                        std::string(source.substr(start, i - start)),
+                        start_line});
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim", with optional encoding
+    // prefix. Checked before plain strings and identifiers.
+    if ((c == 'R' && peek(1) == '"') ||
+        ((c == 'u' || c == 'U' || c == 'L') && peek(1) == 'R' &&
+         peek(2) == '"') ||
+        (c == 'u' && peek(1) == '8' && peek(2) == 'R' && peek(3) == '"')) {
+      size_t start = i;
+      int start_line = line;
+      while (source[i] != '"') ++i;  // Skip prefix up to the quote.
+      ++i;
+      std::string delim;
+      while (i < n && source[i] != '(') delim.push_back(source[i++]);
+      if (i < n) ++i;  // '('
+      std::string closer = ")" + delim + "\"";
+      size_t end = source.find(closer, i);
+      if (end == std::string_view::npos) {
+        i = n;
+      } else {
+        i = end + closer.size();
+      }
+      std::string text(source.substr(start, i - start));
+      tokens.push_back({TokenKind::kString, text, start_line});
+      count_lines(text);
+      continue;
+    }
+
+    // Plain string / char literal (optional encoding prefix).
+    {
+      size_t quote_off = 0;
+      if (c == 'u' && peek(1) == '8' && (peek(2) == '"' || peek(2) == '\'')) {
+        quote_off = 2;
+      } else if ((c == 'u' || c == 'U' || c == 'L') &&
+                 (peek(1) == '"' || peek(1) == '\'')) {
+        quote_off = 1;
+      } else if (c == '"' || c == '\'') {
+        quote_off = 0;
+      } else {
+        quote_off = static_cast<size_t>(-1);
+      }
+      if (quote_off != static_cast<size_t>(-1)) {
+        char quote = peek(quote_off);
+        size_t start = i;
+        int start_line = line;
+        i += quote_off + 1;
+        while (i < n && source[i] != quote) {
+          if (source[i] == '\\' && i + 1 < n) {
+            i += 2;
+            continue;
+          }
+          if (source[i] == '\n') {
+            ++line;  // Unterminated literal; stop at the newline.
+            break;
+          }
+          ++i;
+        }
+        if (i < n && source[i] == quote) ++i;
+        tokens.push_back({quote == '"' ? TokenKind::kString
+                                       : TokenKind::kCharLiteral,
+                          std::string(source.substr(start, i - start)),
+                          start_line});
+        continue;
+      }
+    }
+
+    // Identifier.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(source[i])) ++i;
+      tokens.push_back({TokenKind::kIdentifier,
+                        std::string(source.substr(start, i - start)), line});
+      continue;
+    }
+
+    // Number (pp-number: digits, hex/binary prefixes, exponents, separators,
+    // and a leading dot as in `.5`).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      ++i;
+      while (i < n) {
+        char d = source[i];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && i > start) {
+          char prev = source[i - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++i;
+            continue;
+          }
+        }
+        break;
+      }
+      tokens.push_back({TokenKind::kNumber,
+                        std::string(source.substr(start, i - start)), line});
+      continue;
+    }
+
+    // Punctuator: longest multi-char match, else a single byte.
+    {
+      std::string_view rest = source.substr(i);
+      std::string matched;
+      for (const char* p : kPuncts) {
+        std::string_view pv(p);
+        if (rest.substr(0, pv.size()) == pv) {
+          matched = std::string(pv);
+          break;
+        }
+      }
+      if (matched.empty()) matched = std::string(1, c);
+      tokens.push_back({TokenKind::kPunct, matched, line});
+      i += matched.size();
+      continue;
+    }
+  }
+
+  return tokens;
+}
+
+}  // namespace analyze
+}  // namespace wayfinder

@@ -1,0 +1,49 @@
+// Minimal C++ lexer for wf-lint (src/analyze/).
+//
+// The repo's invariant checks need to see *code*, not comments or string
+// literals — a regex grep flags `// calls rand() here` and misses nothing
+// else. This lexer produces a flat token stream where comments, string
+// literals (including raw strings), character literals, and preprocessor
+// directives are each single tokens, so rules can match identifier/punct
+// sequences with zero false positives from prose or quoted text. Comments
+// are kept in the stream (rules read the wf-lint suppression markers and
+// the hot-path / lock-order convention tags out of them).
+//
+// It is deliberately NOT a full C++ front end: no keyword table, no
+// semantic grouping, no template disambiguation. Every rule in
+// src/analyze/rules.cc is written against this token vocabulary.
+#ifndef WAYFINDER_SRC_ANALYZE_LEXER_H_
+#define WAYFINDER_SRC_ANALYZE_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wayfinder {
+namespace analyze {
+
+enum class TokenKind {
+  kIdentifier,    // [A-Za-z_][A-Za-z0-9_]*
+  kNumber,        // pp-number (digits, hex, floats, digit separators)
+  kString,        // "..." including raw strings; text keeps the quotes
+  kCharLiteral,   // '...'
+  kPunct,         // one operator/punctuator per token ("::" is one token)
+  kComment,       // // or /* */; text keeps the comment markers
+  kPreprocessor,  // whole directive incl. line continuations, one token
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;  // 1-based line the token starts on.
+};
+
+// Tokenizes `source`. Never fails: unterminated constructs are closed at
+// end-of-file and bytes that fit no token class become single-char kPunct
+// tokens, so rules always get a stream to walk.
+std::vector<Token> Lex(std::string_view source);
+
+}  // namespace analyze
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_ANALYZE_LEXER_H_

@@ -1,0 +1,56 @@
+// wf-lint rule registry: the repo's cross-subsystem invariants as checkable
+// obligations (see docs/analysis.md for the catalog and the dynamic test
+// that pins each invariant).
+//
+// Every rule is a pure function over one file's token stream (src/analyze/
+// lexer.h) plus its repo-relative path; the path decides which rules apply
+// (per-directory scoping lives in RuleAppliesTo). Rules never read other
+// files — wf-lint is per-translation-unit by design, so it stays fast
+// enough to gate CI and simple enough that a violation message is always
+// file/line-precise.
+#ifndef WAYFINDER_SRC_ANALYZE_RULES_H_
+#define WAYFINDER_SRC_ANALYZE_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analyze/lexer.h"
+
+namespace wayfinder {
+namespace analyze {
+
+// One finding. `rule` is the stable kebab-case id a suppression must name.
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;  // One line: the invariant the rule protects.
+};
+
+// Stable-ordered catalog of every content rule, plus the two engine-level
+// ids ("bad-suppression", "unused-suppression") appended last. Suppressions
+// may name any id in this list.
+const std::vector<RuleInfo>& AllRules();
+
+// True if `rule_id` names a rule (content or engine-level).
+bool IsKnownRule(const std::string& rule_id);
+
+// True if the content rule `rule_id` is in scope for the repo-relative
+// `path` (forward slashes). Engine-level ids apply everywhere.
+bool RuleAppliesTo(const std::string& rule_id, const std::string& path);
+
+// Runs every in-scope content rule over the token stream. Diagnostics come
+// back in token order; suppression filtering happens in the engine
+// (wf_lint.cc), not here.
+std::vector<Diagnostic> RunRules(const std::string& path,
+                                 const std::vector<Token>& tokens);
+
+}  // namespace analyze
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_ANALYZE_RULES_H_

@@ -1,0 +1,239 @@
+#include "src/analyze/wf_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/analyze/lexer.h"
+
+namespace wayfinder {
+namespace analyze {
+namespace {
+
+struct Suppression {
+  int comment_line = 0;       // Line the comment starts on.
+  int covered_line = 0;       // Line of code the suppression applies to.
+  std::vector<std::string> rules;
+  bool used = false;
+};
+
+void TrimInPlace(std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  size_t e = s.find_last_not_of(" \t");
+  s = b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+}
+
+// Parses every suppression marker out of the comment stream. A marker is a
+// comment containing kMarker (the word wf-lint, a colon, a space, then
+// allow and an open paren — assembled below so this comment is not itself
+// a marker). Prose that merely mentions wf-lint is ignored, and a
+// misspelled marker simply fails to suppress (the underlying diagnostic
+// then fails the build, which is self-correcting). A recognized marker
+// with an empty or unknown rule list becomes a bad-suppression diagnostic
+// immediately.
+std::vector<Suppression> CollectSuppressions(const std::string& path,
+                                             const std::vector<Token>& tokens,
+                                             std::vector<Diagnostic>* out) {
+  std::vector<Suppression> sups;
+  const std::string kMarker = std::string("wf-lint: ") + "allow(";
+  for (size_t ti = 0; ti < tokens.size(); ++ti) {
+    const Token& t = tokens[ti];
+    if (t.kind != TokenKind::kComment) continue;
+    size_t pos = t.text.find(kMarker);
+    if (pos == std::string::npos) continue;
+
+    std::string after = t.text.substr(pos + kMarker.size());
+    bool ok = true;
+    std::vector<std::string> rules;
+    size_t close = after.find(')');
+    if (close == std::string::npos) {
+      ok = false;
+    } else {
+      std::stringstream ss(after.substr(0, close));
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        TrimInPlace(item);
+        if (item.empty()) continue;
+        rules.push_back(item);
+      }
+      if (rules.empty()) ok = false;
+    }
+    if (ok) {
+      for (const std::string& r : rules) {
+        if (!IsKnownRule(r)) {
+          out->push_back({path, t.line, "bad-suppression",
+                          "suppression names unknown rule '" + r +
+                              "' (see wf_lint --list-rules)"});
+          ok = false;
+        }
+      }
+    } else {
+      out->push_back({path, t.line, "bad-suppression",
+                      "suppression must name its rule: write the marker as "
+                      "allow(rule-id) with a justification after it"});
+    }
+    if (!ok) continue;
+
+    Suppression sup;
+    sup.comment_line = t.line;
+    sup.rules = std::move(rules);
+
+    // Trailing comment (code earlier on the same line) covers its own line;
+    // a standalone comment covers the next line holding code.
+    bool trailing = false;
+    for (size_t back = ti; back > 0;) {
+      --back;
+      const Token& b = tokens[back];
+      if (b.line < t.line) break;
+      if (b.kind != TokenKind::kComment) {
+        trailing = true;
+        break;
+      }
+    }
+    if (trailing) {
+      sup.covered_line = t.line;
+    } else {
+      int comment_end =
+          t.line +
+          static_cast<int>(std::count(t.text.begin(), t.text.end(), '\n'));
+      sup.covered_line = 0;
+      for (size_t fwd = ti + 1; fwd < tokens.size(); ++fwd) {
+        const Token& f = tokens[fwd];
+        if (f.kind == TokenKind::kComment) continue;
+        if (f.line <= comment_end) continue;
+        sup.covered_line = f.line;
+        break;
+      }
+      if (sup.covered_line == 0) sup.covered_line = comment_end + 1;
+    }
+    sups.push_back(std::move(sup));
+  }
+  return sups;
+}
+
+void JsonEscape(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> LintSource(const std::string& rel_path,
+                                   std::string_view content) {
+  std::vector<Token> tokens = Lex(content);
+  std::vector<Diagnostic> meta;  // bad-suppression findings.
+  std::vector<Suppression> sups = CollectSuppressions(rel_path, tokens, &meta);
+
+  std::vector<Diagnostic> raw = RunRules(rel_path, tokens);
+
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : raw) {
+    bool suppressed = false;
+    for (Suppression& s : sups) {
+      if (s.covered_line != d.line) continue;
+      if (std::find(s.rules.begin(), s.rules.end(), d.rule) ==
+          s.rules.end()) {
+        continue;
+      }
+      s.used = true;
+      suppressed = true;
+    }
+    if (!suppressed) kept.push_back(std::move(d));
+  }
+  for (const Suppression& s : sups) {
+    if (!s.used) {
+      std::string names;
+      for (const std::string& r : s.rules) {
+        if (!names.empty()) names += ", ";
+        names += r;
+      }
+      kept.push_back({rel_path, s.comment_line, "unused-suppression",
+                      "suppression for (" + names +
+                          ") matches no diagnostic on line " +
+                          std::to_string(s.covered_line) +
+                          "; delete it (stale suppressions hide future "
+                          "violations)"});
+    }
+  }
+  kept.insert(kept.end(), meta.begin(), meta.end());
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return kept;
+}
+
+bool LintFile(const std::string& file_path, const std::string& rel_path,
+              std::vector<Diagnostic>* out) {
+  std::ifstream in(file_path, std::ios::binary);
+  if (!in) {
+    out->push_back({rel_path, 0, "io-error", "cannot read file"});
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string content = buf.str();
+  std::vector<Diagnostic> diags = LintSource(rel_path, content);
+  out->insert(out->end(), diags.begin(), diags.end());
+  return true;
+}
+
+std::string FormatText(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
+           d.message + "\n";
+  }
+  return out;
+}
+
+std::string FormatJson(const std::vector<Diagnostic>& diagnostics) {
+  std::map<std::string, int> by_rule;
+  for (const Diagnostic& d : diagnostics) ++by_rule[d.rule];
+
+  std::string out = "{\n  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"file\": \"";
+    JsonEscape(d.file, &out);
+    out += "\", \"line\": " + std::to_string(d.line) + ", \"rule\": \"";
+    JsonEscape(d.rule, &out);
+    out += "\", \"message\": \"";
+    JsonEscape(d.message, &out);
+    out += "\"}";
+  }
+  out += diagnostics.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"by_rule\": {";
+  first = true;
+  for (const auto& entry : by_rule) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    JsonEscape(entry.first, &out);
+    out += "\": " + std::to_string(entry.second);
+  }
+  out += by_rule.empty() ? "},\n" : "\n  },\n";
+  out += "  \"count\": " + std::to_string(diagnostics.size()) + "\n}\n";
+  return out;
+}
+
+}  // namespace analyze
+}  // namespace wayfinder

@@ -1,0 +1,57 @@
+// wf-lint engine: lex a file, run the in-scope rules (src/analyze/rules.h),
+// then apply suppression markers. (The marker spelling is the word wf-lint,
+// a colon, then allow + a parenthesized rule list — spelled out here
+// obliquely because the engine scans *comments* for the literal sequence,
+// and this header gets linted too. See docs/analysis.md for examples.)
+//
+// Suppression contract (enforced, not advisory):
+//   * a suppression names one or more rule ids in its allow-list; anything
+//     after the closing paren is the human justification and is ignored by
+//     the engine;
+//   * a trailing suppression covers its own line; a standalone comment line
+//     covers the next line that holds code (so a comment block above the
+//     offending statement works);
+//   * naming an unknown rule — or writing `wf-lint:` without a parseable
+//     allow(...) — is itself a diagnostic (`bad-suppression`);
+//   * a suppression that matches no diagnostic is a diagnostic
+//     (`unused-suppression`), so stale suppressions cannot accumulate and
+//     deleting a load-bearing one always resurfaces the violation.
+//
+// See docs/analysis.md for the rule catalog and suppression policy.
+#ifndef WAYFINDER_SRC_ANALYZE_WF_LINT_H_
+#define WAYFINDER_SRC_ANALYZE_WF_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analyze/rules.h"
+
+namespace wayfinder {
+namespace analyze {
+
+// Lints one file's contents. `rel_path` is the repo-relative path with
+// forward slashes — it drives rule scoping, so fixtures can pretend to live
+// anywhere in the tree. Returned diagnostics are post-suppression and
+// include any bad-suppression / unused-suppression findings, sorted by
+// line.
+std::vector<Diagnostic> LintSource(const std::string& rel_path,
+                                   std::string_view content);
+
+// Reads and lints `file_path`, reporting it as `rel_path`. Returns false
+// (and appends an io diagnostic at line 0) when the file cannot be read.
+bool LintFile(const std::string& file_path, const std::string& rel_path,
+              std::vector<Diagnostic>* out);
+
+// One "path:line: rule: message" line per diagnostic.
+std::string FormatText(const std::vector<Diagnostic>& diagnostics);
+
+// Stable JSON: {"diagnostics":[{file,line,rule,message}...],"count":N}
+// with per-rule counts under "by_rule" — the CI artifact format
+// (tools/bench_compare.py-style: machine-diffable across PRs).
+std::string FormatJson(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace analyze
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_ANALYZE_WF_LINT_H_

@@ -78,7 +78,8 @@ size_t BayesSearcher::MemoryBytes() const {
 
 namespace {
 const SearcherRegistration kRegistration{
-    {"bayesopt", "Gaussian-process Bayesian optimization with expected improvement"},
+    {"bayesopt", "Gaussian-process Bayesian optimization with expected improvement",
+     /*multi_metric_variant=*/""},
     [](const SearcherArgs& args) { return std::make_unique<BayesSearcher>(args.space); }};
 }  // namespace
 

@@ -200,7 +200,8 @@ size_t CausalSearcher::MemoryBytes() const {
 
 namespace {
 const SearcherRegistration kRegistration{
-    {"causal", "Unicorn-style causal search: intervene on inferred parent parameters"},
+    {"causal", "Unicorn-style causal search: intervene on inferred parent parameters",
+     /*multi_metric_variant=*/""},
     [](const SearcherArgs& args) { return std::make_unique<CausalSearcher>(args.space); }};
 }  // namespace
 

@@ -95,6 +95,8 @@ Parallelism DtmTrunk::Par() const {
   return Parallelism{&ThreadPool::Shared(), options_.threads, kernels_};
 }
 
+// wf-hot-path: workspace-arena — every buffer is a ws_ member reshaped in
+// place; nn_test pins workspace_grow_count() stable across warm rounds.
 void DtmTrunk::Forward(const Matrix& x, bool training) {
   Parallelism par = Par();
   ws_.Count(dense1_.ForwardInto(x, ws_.h1, par));  // Fused x W + b.
@@ -111,6 +113,8 @@ void DtmTrunk::Forward(const Matrix& x, bool training) {
   ws_.Count(unc_head_.ForwardInto(ws_.phi, ws_.s, par));
 }
 
+// wf-hot-path: workspace-arena — the whole training loop (gather, forward,
+// backward, Adam) runs out of ws_; zero heap allocation once warm.
 double DtmTrunk::Update() {
   if (xs_.empty()) {
     return 0.0;
@@ -188,6 +192,8 @@ double DtmTrunk::Update() {
   return last_loss;
 }
 
+// wf-hot-path: workspace-arena — batched inference straight off the
+// caller's matrix into ws_ slots (the candidate-pool scoring path).
 size_t DtmTrunk::PredictRows(const Matrix& xs) {
   if (xs.rows() == 0) {
     return 0;
@@ -215,6 +221,7 @@ size_t DtmTrunk::PredictRows(const std::vector<std::vector<double>>& xs) {
   return PredictRows(ws_.x);
 }
 
+// wf-hot-path: workspace-arena — single-row staging through ws_.x.
 size_t DtmTrunk::PredictRow(const std::vector<double>& x) {
   assert(x.size() == input_dim_);
   // Route straight through the batched forward: stage the single row in the

@@ -172,6 +172,10 @@ bool CpuHasAvx512f() {
 }
 
 KernelBackend ResolveAuto() {
+  // The one sanctioned environment read in the model core: the backend
+  // override seam (docs/perf.md). Backends are bit-identical by
+  // construction, so this changes speed, never results.
+  // wf-lint: allow(det-banned-call) — WF_KERNELS backend override, results invariant.
   if (const char* env = std::getenv("WF_KERNELS")) {
     if (std::strcmp(env, "portable") == 0) {
       return KernelBackend::kPortable;

@@ -51,11 +51,15 @@ Matrix DenseLayer::Backward(const Matrix& dy) {
   return dx;
 }
 
+// wf-hot-path: workspace-arena — clamps the caller's matrix in place; the
+// mask is a pointer into it, never a copy.
 void ReluLayer::ForwardInPlace(Matrix& x, const Parallelism& par) {
   ReluInPlace(x, par.kernels);
   mask_source_ = &x;
 }
 
+// wf-hot-path: workspace-arena — gradient masked against the forward
+// activation pointer, in place.
 void ReluLayer::BackwardInPlace(Matrix& dy) {
   assert(mask_source_ != nullptr && mask_source_->size() == dy.size());
   for (size_t i = 0; i < dy.size(); ++i) {
@@ -91,6 +95,7 @@ void DropoutLayer::ForwardInPlace(Matrix& x, Rng& rng, bool training) {
   }
 }
 
+// wf-hot-path: workspace-arena — scales by the cached mask, in place.
 void DropoutLayer::BackwardInPlace(Matrix& dy) {
   if (!active_) {
     return;

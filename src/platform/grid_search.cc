@@ -154,7 +154,8 @@ void GridSearcher::ObserveBatch(Span<const TrialRecord> trials, SearchContext& c
 
 namespace {
 const SearcherRegistration kRegistration{
-    {"grid", "systematic one-parameter-at-a-time sweep, then combinations of winners"},
+    {"grid", "systematic one-parameter-at-a-time sweep, then combinations of winners",
+     /*multi_metric_variant=*/""},
     [](const SearcherArgs&) { return std::make_unique<GridSearcher>(); }};
 }  // namespace
 

@@ -10,7 +10,8 @@ Configuration RandomSearcher::Propose(SearchContext& context) {
 
 namespace {
 const SearcherRegistration kRegistration{
-    {"random", "fresh phase-biased random sample each proposal (the paper's baseline)"},
+    {"random", "fresh phase-biased random sample each proposal (the paper's baseline)",
+     /*multi_metric_variant=*/""},
     [](const SearcherArgs&) { return std::make_unique<RandomSearcher>(); }};
 }  // namespace
 

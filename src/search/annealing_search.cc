@@ -92,7 +92,8 @@ size_t AnnealingSearcher::MemoryBytes() const {
 
 namespace {
 const SearcherRegistration kRegistration{
-    {"annealing", "simulated annealing over configuration neighbors with a cooling schedule"},
+    {"annealing", "simulated annealing over configuration neighbors with a cooling schedule",
+     /*multi_metric_variant=*/""},
     [](const SearcherArgs&) { return std::make_unique<AnnealingSearcher>(); }};
 }  // namespace
 

@@ -106,7 +106,8 @@ size_t GeneticSearcher::MemoryBytes() const {
 
 namespace {
 const SearcherRegistration kRegistration{
-    {"genetic", "steady-state GA: tournament parents, uniform crossover, elitist pool"},
+    {"genetic", "steady-state GA: tournament parents, uniform crossover, elitist pool",
+     /*multi_metric_variant=*/""},
     [](const SearcherArgs&) { return std::make_unique<GeneticSearcher>(); }};
 }  // namespace
 

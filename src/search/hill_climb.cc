@@ -39,7 +39,8 @@ size_t HillClimbSearcher::MemoryBytes() const {
 
 namespace {
 const SearcherRegistration kRegistration{
-    {"hillclimb", "stochastic hill climbing with random restarts from the incumbent"},
+    {"hillclimb", "stochastic hill climbing with random restarts from the incumbent",
+     /*multi_metric_variant=*/""},
     [](const SearcherArgs&) { return std::make_unique<HillClimbSearcher>(); }};
 }  // namespace
 

@@ -125,7 +125,8 @@ size_t SmacSearcher::MemoryBytes() const {
 
 namespace {
 const SearcherRegistration kRegistration{
-    {"smac", "random-forest surrogate with expected-improvement candidate ranking"},
+    {"smac", "random-forest surrogate with expected-improvement candidate ranking",
+     /*multi_metric_variant=*/""},
     [](const SearcherArgs& args) {
       SmacOptions options;
       options.forest.seed = args.seed;

@@ -160,7 +160,7 @@ void SessionJournal::Close() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ != nullptr) {
     std::fflush(file_);
-    ::fsync(fileno(file_));
+    FaultFsync(fileno(file_));
     std::fclose(file_);
     file_ = nullptr;
   }

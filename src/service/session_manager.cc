@@ -176,6 +176,8 @@ void SessionManager::FillRunningSlots() {
     if (managed->state == State::kSubmitted) {
       managed->state = State::kRunning;
       ++running_;
+      // wf-lint: allow(conc-thread-seam) — see ManagedSession::driver: one
+      // joined driver per session, not pool work.
       managed->driver = std::thread(&SessionManager::Drive, this, managed.get());
     }
   }

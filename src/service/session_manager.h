@@ -175,6 +175,11 @@ class SessionManager {
     State state = State::kSubmitted;
     std::string error;
     bool failed = false;  // A StepBatch threw; error holds the what().
+    // One long-lived driver per session, joined on drain — deliberately not
+    // a ThreadPool task: a driver blocks for the session's whole lifetime,
+    // and parking it in the pool would starve the evaluation work the pool
+    // exists for. Searcher math still runs on the shared pool.
+    // wf-lint: allow(conc-thread-seam) — session driver, joined in Drain/dtor.
     std::thread driver;
     bool pause_requested = false;
     size_t persisted = 0;  // History prefix already appended to the store.
@@ -232,6 +237,10 @@ class SessionManager {
   std::unique_ptr<SessionJournal> journal_;
   std::string journal_open_error_;  // Journal configured but unopenable.
   std::atomic<uint64_t> status_version_{1};
+  // lock-order: terminal — nothing else is ever acquired while mutex_ is
+  // held except via TransportServer::Post (which only enqueues under
+  // posted_mu_; the posted fn runs later on the loop thread, lock-free).
+  // Driver threads, the accept path, and observers all take mutex_ alone.
   mutable std::mutex mutex_;
   std::condition_variable state_changed_;
   bool shutdown_ = false;

@@ -472,7 +472,7 @@ TrialStore::CompactStats TrialStore::CompactAll() {
   // the data fsync above already happened pre-rename).
   int dir_fd = ::open(dir_.c_str(), O_RDONLY);
   if (dir_fd >= 0) {
-    ::fsync(dir_fd);
+    FaultFsync(dir_fd);
     ::close(dir_fd);
   }
   return stats;

@@ -77,7 +77,9 @@ void TransportServer::Stop() {
   stop_ = true;
   if (wake_fd_ >= 0) {
     uint64_t one = 1;
-    // write(2) is async-signal-safe; this is the daemon's SIGTERM path.
+    // write(2) is async-signal-safe; this is the daemon's SIGTERM path. The
+    // socket-seam helpers are not signal-safe, so the raw call is required.
+    // wf-lint: allow(io-syscall-seam) — eventfd wake from a signal handler.
     ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
     (void)ignored;
   }
@@ -90,6 +92,8 @@ void TransportServer::Post(std::function<void()> fn) {
   }
   if (wake_fd_ >= 0) {
     uint64_t one = 1;
+    // wf-lint: allow(io-syscall-seam) — eventfd wake; a lost EINTR write is
+    // harmless (the loop re-checks posted_ every tick).
     ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
     (void)ignored;
   }
@@ -126,6 +130,8 @@ void TransportServer::Run() {
       }
       if (id == kWakeId) {
         uint64_t drained = 0;
+        // wf-lint: allow(io-syscall-seam) — nonblocking eventfd drain; EAGAIN
+        // (not EINTR retry) is the loop-exit condition.
         while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
         }
         RunPosted();
@@ -160,6 +166,9 @@ void TransportServer::Run() {
 
 void TransportServer::AcceptReady() {
   while (true) {
+    // wf-lint: allow(io-syscall-seam) — nonblocking accept4 (the socket
+    // seam's Accept is the *blocking* EINTR-retry variant; here any failure
+    // including EINTR just returns to epoll, which retries naturally).
     int fd = ::accept4(listener_.fd(), nullptr, nullptr,
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {

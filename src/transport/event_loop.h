@@ -129,6 +129,9 @@ class TransportServer {
   std::atomic<bool> stop_{false};
   uint64_t next_id_ = 1;
   std::map<uint64_t, Conn> conns_;
+  // lock-order: leaf — held only for the enqueue/swap of posted_, never
+  // while calling out (Post is safe to call with SessionManager::mutex_
+  // held; the reverse never happens: posted fns run with no lock held).
   std::mutex posted_mu_;
   std::vector<std::function<void()>> posted_;
   std::string error_;

@@ -1,0 +1,130 @@
+// wf-lint — the repo-native static-analysis gate (src/analyze/).
+//
+// Lints C++ sources against the determinism / durability / concurrency /
+// hot-path invariants catalogued in docs/analysis.md. CI runs it over
+// src/ via the `wf_lint_repo` ctest; the tree must stay at zero
+// unsuppressed diagnostics.
+//
+// Usage:
+//   wf_lint [--root DIR] [--json] [--list-rules] PATH...
+//
+//   PATH          file or directory (directories recurse over .h/.cc/.cpp)
+//   --root DIR    repo root; paths are reported (and rule-scoped) relative
+//                 to it (default: current directory)
+//   --json        machine-readable output (the CI artifact format)
+//   --list-rules  print the rule catalog and exit
+//
+// Exit codes (tools/bench_compare.py discipline):
+//   0  clean
+//   1  diagnostics found
+//   2  usage error / unreadable input
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/analyze/wf_lint.h"
+
+namespace fs = std::filesystem;
+using wayfinder::analyze::AllRules;
+using wayfinder::analyze::Diagnostic;
+
+namespace {
+
+bool IsCxxSource(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+// Repo-relative path with forward slashes (rule scoping keys off it).
+std::string RelPath(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  fs::path chosen = (ec || rel.empty()) ? file : rel;
+  return chosen.generic_string();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wf_lint [--root DIR] [--json] [--list-rules] PATH...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  bool json = false;
+  bool list_rules = false;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) return Usage();
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "wf_lint: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& rule : AllRules()) {
+      std::printf("%-26s %s\n", rule.id.c_str(), rule.summary.c_str());
+    }
+    return 0;
+  }
+  if (inputs.empty()) return Usage();
+
+  std::vector<std::string> files;
+  for (const fs::path& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (fs::recursive_directory_iterator it(input, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && IsCxxSource(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files.push_back(input.string());
+    } else {
+      std::fprintf(stderr, "wf_lint: no such file or directory: %s\n",
+                   input.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Diagnostic> diagnostics;
+  bool io_error = false;
+  for (const std::string& file : files) {
+    if (!wayfinder::analyze::LintFile(file, RelPath(file, root),
+                                      &diagnostics)) {
+      io_error = true;
+    }
+  }
+
+  if (json) {
+    std::fputs(wayfinder::analyze::FormatJson(diagnostics).c_str(), stdout);
+  } else {
+    std::fputs(wayfinder::analyze::FormatText(diagnostics).c_str(), stdout);
+    if (!diagnostics.empty()) {
+      std::fprintf(stderr, "wf_lint: %zu diagnostic(s) across %zu file(s)\n",
+                   diagnostics.size(), files.size());
+    }
+  }
+  if (io_error) return 2;
+  return diagnostics.empty() ? 0 : 1;
+}
