@@ -84,17 +84,20 @@ double BenchPredict(size_t dim, size_t pool, bool naive, size_t threads) {
   // Each instance lands at a different placement (the pad allocations shift
   // the heap between them); the best instance approximates the lucky layout
   // reproducibly across binaries, which is what the PR-over-PR gate needs.
-  // Twelve instances with quadratically-varied pad strides: four barely
+  // Twenty instances with quadratically-varied pad strides: four barely
   // samples the placement space, so whole binaries (whose static-init
   // allocations shift the base heap state) could read 10-20% apart on pure
   // address luck at small pool sizes. PR 4 widened four to eight; PR 5's
   // binary (a whole new service layer of TUs ahead of the model code)
   // shifted the base heap again and eight still read the pool=1024 case
   // ~10% apart between A/B-identical predict code (matmul anchors flat at
-  // 1.0x in the same runs), so the sweep widened once more.
+  // 1.0x in the same runs), so the sweep widened once more. PR 10 repeated
+  // the story a third time — the obs registry's static-init instrument
+  // allocations moved the base heap and twelve instances read pool=1024
+  // ~15% apart on identical predict code — so twelve became twenty.
   double best = 0.0;
   std::vector<std::vector<double>> pad;
-  for (size_t instance = 0; instance < 12; ++instance) {
+  for (size_t instance = 0; instance < 20; ++instance) {
     DtmOptions options;
     options.naive = naive;
     options.threads = threads;

@@ -19,10 +19,14 @@ bool StartsWith(const std::string& s, std::string_view prefix) {
 // ambient entropy here (wall clock, libc rand, environment) breaks the
 // replay guarantees proposal_pipeline_test / fault_plan_test pin.
 bool InDeterminismDirs(const std::string& path) {
+  // src/obs/ is included deliberately: the observability plane sits inside
+  // instrumented search-core code, so ambient entropy there (system_clock,
+  // getenv, rand) would leak straight into recorded runs. Its one sanctioned
+  // clock is steady_clock, which obs-clock-seam confines to this directory.
   return StartsWith(path, "src/core/") || StartsWith(path, "src/nn/") ||
          StartsWith(path, "src/search/") || StartsWith(path, "src/bayes/") ||
          StartsWith(path, "src/forest/") || StartsWith(path, "src/causal/") ||
-         StartsWith(path, "src/simos/");
+         StartsWith(path, "src/simos/") || StartsWith(path, "src/obs/");
 }
 
 bool InDurabilityDirs(const std::string& path) {
@@ -50,11 +54,12 @@ bool IsThreadSeamFile(const std::string& path) {
 }
 
 bool InLockOrderScope(const std::string& path) {
-  // The two subsystems with real multi-lock interplay (manager mutex +
-  // transport loop + observer pushes). Every mutex member here documents
-  // its place in the ordering so TSan findings map back to a written rule.
+  // The subsystems with real multi-lock interplay (manager mutex +
+  // transport loop + observer pushes), plus src/obs/ whose leaf mutexes are
+  // taken from inside all of them. Every mutex member here documents its
+  // place in the ordering so TSan findings map back to a written rule.
   return StartsWith(path, "src/service/session_manager") ||
-         StartsWith(path, "src/transport/");
+         StartsWith(path, "src/transport/") || StartsWith(path, "src/obs/");
 }
 
 // --- token helpers -----------------------------------------------------------
@@ -508,6 +513,44 @@ void CheckConcThread(const std::string& path, bool thread_rule_in_scope,
   }
 }
 
+// --- rule: obs-clock-seam ----------------------------------------------------
+
+// Monotonic wall-clock reads are confined to src/obs/ (obs::NowNs /
+// obs::NowMs / obs::DeadlineAfterMs in src/obs/clock.h). One seam means
+// instrumented code provably reads zero clocks when recording is off —
+// which is what keeps a metrics-off run byte-identical to a build without
+// the observability plane — and gives tests a single point to swap the
+// trace clock. steady_clock is flagged anywhere it appears (types leak
+// through auto and typedefs, so call-position-only matching misses most
+// uses); clock_gettime only in call position (the identifier also names
+// struct fields in third-party headers).
+void CheckObsClockSeam(const std::string& path, const CodeView& v,
+                       std::vector<Diagnostic>* out) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    const Token& t = v.at(i);
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text == "steady_clock") {
+      if (i > 0 && v.at(i - 1).kind == TokenKind::kPunct &&
+          (v.at(i - 1).text == "." || v.at(i - 1).text == "->")) {
+        continue;  // Member access on an unrelated object.
+      }
+      out->push_back(
+          {path, t.line, "obs-clock-seam",
+           "steady_clock outside src/obs/; monotonic time is read through "
+           "the obs clock seam (obs::NowNs / obs::NowMs / "
+           "obs::DeadlineAfterMs, src/obs/clock.h) so metrics-off runs "
+           "provably never touch the clock"});
+    } else if (t.text == "clock_gettime" && IsBareOrStdCall(v, i)) {
+      out->push_back(
+          {path, t.line, "obs-clock-seam",
+           "raw clock_gettime outside src/obs/; monotonic time is read "
+           "through the obs clock seam (obs::NowNs / obs::NowMs, "
+           "src/obs/clock.h) so metrics-off runs provably never touch the "
+           "clock"});
+    }
+  }
+}
+
 // --- rule: conc-lock-order-comment -------------------------------------------
 
 void CheckLockOrderComment(const std::string& path,
@@ -576,7 +619,9 @@ const std::vector<RuleInfo>& AllRules() {
       {"conc-thread-seam", "std::thread only inside ThreadPool"},
       {"conc-detach", "no detached threads, ever"},
       {"conc-lock-order-comment",
-       "session_manager/transport mutex members document lock ordering"},
+       "session_manager/transport/obs mutex members document lock ordering"},
+      {"obs-clock-seam",
+       "steady_clock/clock_gettime only inside the src/obs/ clock seam"},
       {"hot-path-alloc",
        "no allocation inside wf-hot-path-marked functions"},
       {"bad-suppression",
@@ -614,6 +659,9 @@ bool RuleAppliesTo(const std::string& rule_id, const std::string& path) {
   }
   if (rule_id == "conc-detach") return StartsWith(path, "src/");
   if (rule_id == "conc-lock-order-comment") return InLockOrderScope(path);
+  if (rule_id == "obs-clock-seam") {
+    return StartsWith(path, "src/") && !StartsWith(path, "src/obs/");
+  }
   if (rule_id == "hot-path-alloc") return StartsWith(path, "src/");
   // Engine-level rules apply everywhere.
   return rule_id == "bad-suppression" || rule_id == "unused-suppression";
@@ -643,6 +691,7 @@ std::vector<Diagnostic> RunRules(const std::string& path,
   if (RuleAppliesTo("conc-lock-order-comment", path)) {
     CheckLockOrderComment(path, tokens, &out);
   }
+  if (RuleAppliesTo("obs-clock-seam", path)) CheckObsClockSeam(path, v, &out);
   CheckFunctionContextRules(path, tokens,
                             RuleAppliesTo("dur-fsync-before-rename", path),
                             &out);

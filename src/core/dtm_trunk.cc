@@ -3,10 +3,20 @@
 #include <cassert>
 
 #include "src/nn/serialize.h"
+#include "src/obs/metrics.h"
 #include "src/util/stats.h"
 #include "src/util/thread_pool.h"
 
 namespace wayfinder {
+
+namespace {
+
+// Model-side long pole: one full Update() (minibatch gather + forward +
+// backward + Adam, steps_per_update times).
+obs::Histogram& g_trunk_update_ns =
+    obs::Registry::Instance().GetHistogram("core.trunk_update_ns");
+
+}  // namespace
 
 DtmTrunk::DtmTrunk(size_t input_dim, size_t head_count, const DtmOptions& options)
     : input_dim_(input_dim),
@@ -119,6 +129,7 @@ double DtmTrunk::Update() {
   if (xs_.empty()) {
     return 0.0;
   }
+  obs::ScopedTimerNs update_timer(g_trunk_update_ns);
   RefreshNormalizers();
   Parallelism par = Par();
   double last_loss = 0.0;

@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "src/obs/metrics.h"
 #include "src/util/thread_pool.h"
 
 namespace wayfinder {
 namespace {
+
+// Where proposal wall time goes: pool assembly is the searcher-side long
+// pole (mutation + encoding over the whole pool).
+obs::Histogram& g_pool_assembly_ns =
+    obs::Registry::Instance().GetHistogram("core.pool_assembly_ns");
 
 // Coordinate line-search grid resolution (candidates per swept parameter).
 constexpr size_t kGridPoints = 5;
@@ -32,6 +38,7 @@ void AssembleProposalPool(const ConfigSpace& space,
                           const SampleOptions& sample_options,
                           const ProposalPoolSpec& spec, uint64_t pool_seed,
                           std::vector<Configuration>& pool, Matrix& encoded) {
+  obs::ScopedTimerNs assembly_timer(g_pool_assembly_ns);
   const size_t pool_size = spec.pool_size;
   const size_t dim = space.FeatureDimension();
   pool.resize(pool_size);

@@ -1,0 +1,19 @@
+#include "src/obs/clock.h"
+
+namespace wayfinder {
+namespace obs {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t NowMs() { return NowNs() / 1000000; }
+
+std::chrono::steady_clock::time_point DeadlineAfterMs(int64_t timeout_ms) {
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+}
+
+}  // namespace obs
+}  // namespace wayfinder

@@ -1,0 +1,39 @@
+// TraceClock — the observability plane's single wall-clock seam.
+//
+// Everything deterministic in this repo runs on virtual time (SimClock) or
+// counter-derived entropy; the one legitimate consumer of the host's
+// monotonic clock is the observability layer itself (latency histograms,
+// trace event timestamps, idle sweeps). To keep that privilege from
+// leaking back into the search core, `std::chrono::steady_clock` (and raw
+// `clock_gettime`) are confined to src/obs/ by the `obs-clock-seam` wf-lint
+// rule — every other src/ file that needs wall time calls through here.
+//
+// Reading the clock never perturbs a trajectory: no RNG draws, no virtual
+// time, no allocation. The instrumented code additionally gates its reads
+// on obs::Enabled() so a metrics-off run skips even the vDSO call.
+#ifndef WAYFINDER_SRC_OBS_CLOCK_H_
+#define WAYFINDER_SRC_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace wayfinder {
+namespace obs {
+
+// Monotonic nanoseconds since an arbitrary epoch (steady_clock). The only
+// sanctioned wall-clock read in the tree; suitable for durations, never
+// for calendar time.
+int64_t NowNs();
+
+// Monotonic milliseconds — the transport idle sweep's unit.
+int64_t NowMs();
+
+// A steady_clock deadline `timeout_ms` from now, for condition-variable
+// wait_until loops outside src/obs/ (spurious wakeups must not extend the
+// timeout, so wait_for alone is not enough).
+std::chrono::steady_clock::time_point DeadlineAfterMs(int64_t timeout_ms);
+
+}  // namespace obs
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_OBS_CLOCK_H_

@@ -1,0 +1,196 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "src/obs/clock.h"
+
+namespace wayfinder {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+int Counter::ShardIndex() {
+  // Round-robin shard assignment at first record per thread: cheaper and
+  // better-spread than hashing an opaque thread id, and it keeps std::thread
+  // machinery out of the record path entirely.
+  static std::atomic<int> next_shard{0};
+  static thread_local const int shard =
+      next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  int index = (63 - __builtin_clzll(value)) + 1;
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket <= 0) {
+    return 0;
+  }
+  if (bucket >= kBuckets - 1) {
+    return UINT64_MAX;
+  }
+  return (uint64_t{1} << bucket) - 1;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const std::atomic<uint64_t>& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Mean() const {
+  uint64_t count = Count();
+  if (count == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(Sum()) / static_cast<double>(count);
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t count = Count();
+  if (count == 0) {
+    return 0.0;
+  }
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample (1-based), then walk buckets until the
+  // cumulative count swallows it and interpolate inside that bucket.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (cumulative + in_bucket >= rank) {
+      double lower = b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (b - 1));
+      double upper = b == 0 ? 0.0
+                            : (b < kBuckets - 1
+                                   ? static_cast<double>(uint64_t{1} << b)
+                                   : 2.0 * lower);
+      double frac = static_cast<double>(rank - cumulative) /
+                    static_cast<double>(in_bucket);
+      return lower + frac * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(BucketUpperBound(kBuckets - 1));
+}
+
+ScopedTimerNs::ScopedTimerNs(Histogram& histogram)
+    : histogram_(histogram), start_ns_(Enabled() ? NowNs() : 0) {}
+
+ScopedTimerNs::~ScopedTimerNs() {
+  if (start_ns_ == 0) {
+    return;
+  }
+  int64_t now = NowNs();
+  histogram_.Record(now > start_ns_ ? static_cast<uint64_t>(now - start_ns_)
+                                    : 0);
+}
+
+// Maps are node-based, so instrument references handed out by Get* stay
+// valid as later registrations land. Instruments are never erased.
+struct Registry::Impl {
+  // lock-order: leaf — guards registration lookups and info strings only;
+  // never held while calling outside src/obs/, and the record paths never
+  // touch it.
+  std::mutex mu;
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Gauge> gauges;
+  std::map<std::string, Histogram> histograms;
+  std::map<std::string, std::string> infos;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::Instance() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->counters[name];
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->gauges[name];
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->histograms[name];
+}
+
+void Registry::SetInfo(const std::string& name, const std::string& value) {
+  std::string clean;
+  clean.reserve(value.size());
+  for (char c : value) {
+    if (c != '\n' && c != '\r') {
+      clean += c;
+    }
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (clean.empty()) {
+    impl_->infos.erase(name);
+  } else {
+    impl_->infos[name] = clean;
+  }
+}
+
+std::string Registry::RenderText() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out = "# wayfinder metrics v1\n";
+  out += "recording ";
+  out += Enabled() ? '1' : '0';
+  out += '\n';
+  char line[256];
+  for (const auto& [name, counter] : impl_->counters) {
+    std::snprintf(line, sizeof(line), "counter %s %" PRIu64 "\n", name.c_str(),
+                  counter.Value());
+    out += line;
+  }
+  for (const auto& [name, gauge] : impl_->gauges) {
+    std::snprintf(line, sizeof(line), "gauge %s %" PRId64 "\n", name.c_str(),
+                  gauge.Value());
+    out += line;
+  }
+  for (const auto& [name, histogram] : impl_->histograms) {
+    std::snprintf(line, sizeof(line),
+                  "histogram %s count=%" PRIu64 " sum=%" PRIu64
+                  " mean=%.6g p50=%.6g p99=%.6g\n",
+                  name.c_str(), histogram.Count(), histogram.Sum(),
+                  histogram.Mean(), histogram.Quantile(0.5),
+                  histogram.Quantile(0.99));
+    out += line;
+  }
+  for (const auto& [name, value] : impl_->infos) {
+    out += "info " + name + " " + value + "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace wayfinder

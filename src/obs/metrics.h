@@ -1,0 +1,199 @@
+// Metrics registry — named counters, gauges, and log-scale histograms with
+// a zero-allocation, lock-free record path.
+//
+// Design rules (docs/observability.md):
+//   - Instruments are registered at static-init time, SearcherRegistry
+//     style: an instrumented TU declares
+//         namespace {
+//         wayfinder::obs::Counter& g_frames =
+//             wayfinder::obs::Registry::Instance().GetCounter("transport.frames_rx");
+//         }
+//     and records through the reference. Registration may allocate;
+//     recording never does.
+//   - Every record path self-gates on obs::Enabled() (relaxed atomic bool,
+//     default off). A metrics-off process does per-record work of exactly
+//     one relaxed load — and, for the timing helpers, zero clock reads —
+//     so disabled recording cannot perturb benchmarks or trajectories.
+//   - Counters shard across cache-line-padded atomics hashed by thread id,
+//     so concurrent recorders on the daemon's driver threads do not
+//     contend on one line. Gauges and histogram buckets are single
+//     relaxed atomics (histogram recorders already spread across buckets).
+//   - Histograms use fixed power-of-two buckets: bucket 0 holds value 0,
+//     bucket i (i >= 1) holds [2^(i-1), 2^i). Quantiles interpolate inside
+//     the bucket, so p50/p99 carry log2-resolution error bounds — plenty
+//     for "where did the time go", never for bit-exact comparisons.
+#ifndef WAYFINDER_SRC_OBS_METRICS_H_
+#define WAYFINDER_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace wayfinder {
+namespace obs {
+
+// Global recording switch. Off by default; flipped by `wfd --metrics` /
+// `wfctl serve --metrics` or programmatically by tests and benches.
+bool Enabled();
+void SetEnabled(bool on);
+
+// Sharded monotonic counter.
+class Counter {
+ public:
+  static constexpr int kShards = 8;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  // wf-hot-path: one relaxed load + one relaxed fetch_add, no allocation.
+  void Add(uint64_t n) {
+    if (!Enabled()) {
+      return;
+    }
+    shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static int ShardIndex();
+
+  Shard shards_[kShards];
+};
+
+// Last-writer-wins signed gauge (queue depths, connection counts, flags).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  // wf-hot-path: one relaxed load + one relaxed store, no allocation.
+  void Set(int64_t v) {
+    if (!Enabled()) {
+      return;
+    }
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  // wf-hot-path: one relaxed load + one relaxed fetch_add, no allocation.
+  void Add(int64_t delta) {
+    if (!Enabled()) {
+      return;
+    }
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  // Ungated store for health flags that must stay truthful even while
+  // recording is off (e.g. service.journal_degraded, refreshed at
+  // metrics-render time). Never call this from a hot path — the gate is
+  // what guarantees disabled recording costs one relaxed load.
+  void Force(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket power-of-two histogram. Thread-safe, zero-alloc recording;
+// readers see a merely-consistent snapshot (relaxed loads), which is the
+// right trade for monitoring.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Bucket 0 <- 0; bucket i <- [2^(i-1), 2^i) for 1 <= i < 63; bucket 63
+  // catches everything at or above 2^62.
+  static int BucketIndex(uint64_t value);
+  // Inclusive upper bound of a bucket's value range (0 for bucket 0).
+  static uint64_t BucketUpperBound(int bucket);
+
+  // wf-hot-path: enabled check + two relaxed fetch_adds, no allocation.
+  void Record(uint64_t value) {
+    if (!Enabled()) {
+      return;
+    }
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const;
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  // Quantile in [0,1], linearly interpolated inside the landing bucket.
+  // Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Records elapsed NowNs() into a histogram at scope exit. Disabled runs
+// read the clock zero times.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(Histogram& histogram);
+  ~ScopedTimerNs();
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  Histogram& histogram_;
+  int64_t start_ns_;  // 0 = recording was disabled at entry.
+};
+
+// Name -> instrument registry. Get* find-or-creates and returns a
+// reference that stays valid for the process lifetime (instruments live in
+// node-stable containers and are never destroyed before exit). Lookup
+// allocates and locks — call it once at static init, not on a hot path.
+class Registry {
+ public:
+  static Registry& Instance();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  // Free-form string annotation (e.g. the journal degradation reason).
+  // Locks; not a hot path. Newlines are stripped so the rendered text
+  // stays line-oriented. An empty value removes the entry.
+  void SetInfo(const std::string& name, const std::string& value);
+
+  // Stable line-oriented dump of every registered instrument, sorted by
+  // name within each section:
+  //   # wayfinder metrics v1
+  //   recording <0|1>
+  //   counter <name> <value>
+  //   gauge <name> <value>
+  //   histogram <name> count=N sum=S mean=M p50=Q p99=Q
+  //   info <name> <text>
+  std::string RenderText() const;
+
+ private:
+  Registry();
+  ~Registry();
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace obs
+}  // namespace wayfinder
+
+#endif  // WAYFINDER_SRC_OBS_METRICS_H_

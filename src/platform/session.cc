@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
 #include "src/simos/apps.h"
 #include "src/util/stats.h"
 #include "src/util/thread_pool.h"
@@ -95,7 +97,36 @@ void SearchSession::DedupProposal(SearchContext& context, Configuration* config)
   seen_hashes_.insert(config->Hash());
 }
 
-void SearchSession::CommitTrial(PendingTrial&& pending, double end_time) {
+void SearchSession::CommitTrial(PendingTrial&& pending, double end_time,
+                                int64_t stamp_ns) {
+  // Trial-scoped trace instants, stamped in deterministic commit order (the
+  // batch executors call CommitTrial serially from the merge). Retries are
+  // stamped here rather than inside the concurrent evaluation policy, so the
+  // ring sees the same order the history does.
+  if (obs::Enabled()) {
+    const uint64_t iteration = history_.size();
+    const int64_t now_ns = stamp_ns != 0 ? stamp_ns : obs::NowNs();
+    // One stamp, one batched ring append for the whole trial: these are
+    // bookkeeping instants, not spans, so sharing the stamp loses nothing
+    // and keeps the per-trial overhead to a single clock read and lock.
+    obs::TraceEvent instants[16];
+    size_t n = 0;
+    auto stamp = [&](obs::TraceKind kind) {
+      instants[n++] = obs::TraceEvent{kind, iteration, now_ns, 0};
+      if (n == sizeof(instants) / sizeof(instants[0])) {
+        trace_.RecordBatch(instants, n);
+        n = 0;
+      }
+    };
+    if (!pending.skip_build) {
+      stamp(obs::TraceKind::kBuild);
+    }
+    for (size_t i = 0; i < pending.retries; ++i) {
+      stamp(obs::TraceKind::kRetry);
+    }
+    stamp(obs::TraceKind::kCommit);
+    trace_.RecordBatch(instants, n);
+  }
   TrialOutcome outcome = pending.outcome;
   if (outcome.ok() && options_.deploy_check != nullptr &&
       !options_.deploy_check(pending.config, outcome)) {
@@ -179,11 +210,20 @@ bool SearchSession::Step() {
   }
   SearchContext context = MakeContext();
 
+  const uint64_t trace_iter = history_.size();
+  const bool tracing = obs::Enabled();
   WallTimer timer;
   PendingTrial pending;
   pending.config = searcher_->Propose(context);
   DedupProposal(context, &pending.config);
-  double propose_seconds = timer.ElapsedSeconds();
+  // The propose span reuses the searcher-seconds stopwatch stamps, so
+  // tracing it costs no clock reads the untraced loop does not already pay.
+  const int64_t propose_ns = timer.ElapsedNs();
+  double propose_seconds = static_cast<double>(propose_ns) * 1e-9;
+  if (tracing) {
+    trace_.Record(obs::TraceKind::kPropose, trace_iter, timer.start_ns(),
+                  propose_ns);
+  }
 
   pending.skip_build =
       last_built_image_.has_value() && SameImageParams(pending.config, *last_built_image_);
@@ -195,19 +235,36 @@ bool SearchSession::Step() {
   pending.rng_seed = HashCombine(HashCombine(options_.seed, 0xba7c4),
                                  static_cast<uint64_t>(history_.size()));
   size_t retries = 0;
+  // The evaluate span chains off the propose span's end stamp: the
+  // bookkeeping between them is tens of nanoseconds, so sharing the stamp
+  // costs no fidelity, and only the span's end pays a fresh clock read.
+  const int64_t evaluate_start_ns = timer.start_ns() + propose_ns;
   pending.outcome = EvaluateWithPolicy(bench_, pending.config, rng_, &clock_,
                                        pending.skip_build, boot_only, pending.rng_seed,
                                        &retries);
+  int64_t evaluate_end_ns = 0;
+  if (tracing) {
+    evaluate_end_ns = obs::NowNs();
+    trace_.Record(obs::TraceKind::kEvaluate, trace_iter, evaluate_start_ns,
+                  evaluate_end_ns - evaluate_start_ns);
+  }
   pending.retries = retries;
 
-  CommitTrial(std::move(pending), clock_.Now());
+  CommitTrial(std::move(pending), clock_.Now(), evaluate_end_ns);
   if (options_.objective == ObjectiveKind::kScore) {
     RefreshScores();
   }
 
   timer.Restart();
   searcher_->Observe(history_.back(), context);
-  history_.back().searcher_seconds = propose_seconds + timer.ElapsedSeconds();
+  // Like the propose span, the observe span rides the stopwatch stamps.
+  const int64_t observe_ns = timer.ElapsedNs();
+  if (tracing) {
+    trace_.Record(obs::TraceKind::kObserve, trace_iter, timer.start_ns(),
+                  observe_ns);
+  }
+  history_.back().searcher_seconds =
+      propose_seconds + static_cast<double>(observe_ns) * 1e-9;
   MaybeDetectDrift(context);
   return true;
 }
@@ -242,6 +299,8 @@ size_t SearchSession::StepBatch() {
 
   // --- Propose one batch, dedup each slot against history and earlier
   // slots (DedupProposal marks hashes seen as it goes). ---------------------
+  const uint64_t trace_iter = history_.size();
+  int64_t span_start = obs::Enabled() ? obs::NowNs() : 0;
   WallTimer timer;
   std::vector<Configuration> batch;
   searcher_->ProposeBatch(context, n, &batch);
@@ -253,6 +312,10 @@ size_t SearchSession::StepBatch() {
     DedupProposal(context, &batch[slot]);
   }
   double propose_seconds = timer.ElapsedSeconds();
+  if (span_start != 0) {
+    trace_.Record(obs::TraceKind::kPropose, trace_iter, span_start,
+                  obs::NowNs() - span_start);
+  }
 
   // --- Evaluate the K slots concurrently. ----------------------------------
   // Each slot gets (a) its own Testbench clone — slot i of every round runs
@@ -277,6 +340,7 @@ size_t SearchSession::StepBatch() {
                                    static_cast<uint64_t>(history_.size() + slot));
   }
   size_t ways = options_.eval_threads == 0 ? n : options_.eval_threads;
+  span_start = obs::Enabled() ? obs::NowNs() : 0;
   ParallelFor(&ThreadPool::Shared(), n, /*grain=*/1, ways, [&](size_t begin, size_t end) {
     for (size_t slot = begin; slot < end; ++slot) {
       PendingTrial& pending = pending_[slot];
@@ -293,6 +357,11 @@ size_t SearchSession::StepBatch() {
       pending.sim_seconds = local_clock.Now();
     }
   });
+  if (span_start != 0) {
+    // One wave-scoped evaluate span for the whole concurrent round.
+    trace_.Record(obs::TraceKind::kEvaluate, trace_iter, span_start,
+                  obs::NowNs() - span_start);
+  }
 
   // --- Virtual-time merge: commit completions in the order the simulated
   // testbenches would have finished, ties broken by batch index. ------------
@@ -313,9 +382,14 @@ size_t SearchSession::StepBatch() {
   }
 
   // --- Feed the committed round back, in commit order. ---------------------
+  span_start = obs::Enabled() ? obs::NowNs() : 0;
   timer.Restart();
   searcher_->ObserveBatch(Span<const TrialRecord>(history_.data() + history_.size() - n, n),
                           context);
+  if (span_start != 0) {
+    trace_.Record(obs::TraceKind::kObserve, trace_iter, span_start,
+                  obs::NowNs() - span_start);
+  }
   double per_trial_seconds = (propose_seconds + timer.ElapsedSeconds()) / static_cast<double>(n);
   for (size_t i = history_.size() - n; i < history_.size(); ++i) {
     history_[i].searcher_seconds = per_trial_seconds;
@@ -350,6 +424,7 @@ void SearchSession::RefillSlidingSlots() {
   sliding_rng_ = Rng(HashCombine(HashCombine(options_.seed, 0x6a7cb), proposed_count_));
   context.rng = &sliding_rng_;
 
+  int64_t span_start = obs::Enabled() ? obs::NowNs() : 0;
   WallTimer timer;
   std::vector<Configuration> batch;
   searcher_->ProposeBatch(context, n, &batch);
@@ -361,6 +436,10 @@ void SearchSession::RefillSlidingSlots() {
     DedupProposal(context, &batch[slot]);
   }
   pending_propose_seconds_ += timer.ElapsedSeconds();
+  if (span_start != 0) {
+    trace_.Record(obs::TraceKind::kPropose, proposed_count_, span_start,
+                  obs::NowNs() - span_start);
+  }
 
   // Launch the refills: each takes the oldest free clone, its own
   // counter-derived RNG stream, and its own local clock, exactly like a
@@ -383,6 +462,7 @@ void SearchSession::RefillSlidingSlots() {
   }
   proposed_count_ += n;
   size_t ways = options_.eval_threads == 0 ? n : options_.eval_threads;
+  span_start = obs::Enabled() ? obs::NowNs() : 0;
   ParallelFor(&ThreadPool::Shared(), n, /*grain=*/1, ways, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       InFlight& flight = in_flight_[first + i];
@@ -399,6 +479,10 @@ void SearchSession::RefillSlidingSlots() {
       flight.finish_time = start_time + flight.trial.sim_seconds;
     }
   });
+  if (span_start != 0) {
+    trace_.Record(obs::TraceKind::kEvaluate, proposed_count_ - n, span_start,
+                  obs::NowNs() - span_start);
+  }
 }
 
 size_t SearchSession::StepSlidingWave() {
@@ -437,9 +521,14 @@ size_t SearchSession::StepSlidingWave() {
 
   SearchContext context = MakeContext();
   context.rng = &sliding_rng_;
+  int64_t span_start = obs::Enabled() ? obs::NowNs() : 0;
   WallTimer timer;
   searcher_->ObserveBatch(Span<const TrialRecord>(history_.data() + history_.size() - n, n),
                           context);
+  if (span_start != 0) {
+    trace_.Record(obs::TraceKind::kObserve, history_.size() - n, span_start,
+                  obs::NowNs() - span_start);
+  }
   double per_trial_seconds =
       (pending_propose_seconds_ + timer.ElapsedSeconds()) / static_cast<double>(n);
   pending_propose_seconds_ = 0.0;
@@ -504,6 +593,7 @@ void SearchSession::MaybeDetectDrift(SearchContext& context) {
   // historical elite — the landscape moved, not just one unlucky trial.
   ++drift_events_;
   successes_at_last_drift_ = successes;
+  trace_.RecordInstant(obs::TraceKind::kDriftRevalidate, history_.size());
   searcher_->OnDrift(context);
 
   // Elite re-validation: re-measure the historical best configuration on

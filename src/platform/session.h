@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/configspace/config_space.h"
+#include "src/obs/trace.h"
 #include "src/platform/checkpoint.h"
 #include "src/platform/searcher.h"
 #include "src/platform/trial.h"
@@ -187,6 +188,11 @@ class SearchSession {
   const SimClock& clock() const { return clock_; }
   size_t transient_retries() const { return retries_; }
   size_t drift_events() const { return drift_events_; }
+  // Per-session trace ring (src/obs/trace.h). Recording self-gates on
+  // obs::Enabled(), so a metrics-off run never reads the wall clock here.
+  // Exposed non-const so the service layer can stamp durability events
+  // (journal-append, store-append) into the same timeline.
+  obs::TraceRing& trace() { return trace_; }
   SessionResult Finish();
 
  private:
@@ -219,7 +225,11 @@ class SearchSession {
   void DedupProposal(SearchContext& context, Configuration* config);
   // Commits one evaluated trial: deploy check, counters, build cache,
   // objective, history append. Shared by the serial and batch paths.
-  void CommitTrial(PendingTrial&& pending, double end_time);
+  // stamp_ns, when nonzero, is a TraceClock stamp the caller already took
+  // (the serial loop reuses its evaluate-span end read); zero means read
+  // the clock here. Only consulted while recording is enabled.
+  void CommitTrial(PendingTrial&& pending, double end_time,
+                   int64_t stamp_ns = 0);
   // One evaluation under the re-measurement policy: evaluate, retry
   // transient failures up to retry_transient times on counter-derived
   // streams keyed off `seed_base`, then median-of-measure_repeats the
@@ -285,6 +295,9 @@ class SearchSession {
   // Successful-trial count at the last drift event; the detector waits a
   // full window of fresh successes before it may fire again (cooldown).
   size_t successes_at_last_drift_ = 0;
+  // Stage timeline for `wfctl trace` — propose/evaluate/observe spans plus
+  // build/retry/commit/drift instants, stamped only when obs::Enabled().
+  obs::TraceRing trace_;
 };
 
 // Convenience wrapper: construct, run, return.

@@ -3,9 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
 #include "src/platform/searcher_registry.h"
 
 namespace wayfinder {
+
+namespace {
+
+// Acceptance dynamics: moves taken vs. refused, and schedule restarts —
+// together they say whether the cooling schedule matches the landscape.
+obs::Counter& g_accepts =
+    obs::Registry::Instance().GetCounter("search.annealing_accepts");
+obs::Counter& g_rejects =
+    obs::Registry::Instance().GetCounter("search.annealing_rejects");
+obs::Counter& g_reheats =
+    obs::Registry::Instance().GetCounter("search.annealing_reheats");
+
+}  // namespace
 
 AnnealingSearcher::AnnealingSearcher(const AnnealingOptions& options)
     : options_(options), temperature_(options.initial_temperature) {}
@@ -64,12 +78,14 @@ void AnnealingSearcher::Observe(const TrialRecord& trial, SearchContext& context
     }
   }
 
+  (accepted ? g_accepts : g_rejects).Add(1);
   temperature_ = std::max(temperature_ * options_.cooling_rate, options_.min_temperature);
   rejections_in_a_row_ = accepted ? 0 : rejections_in_a_row_ + 1;
   if (rejections_in_a_row_ >= options_.reheat_after) {
     temperature_ = options_.initial_temperature;
     rejections_in_a_row_ = 0;
     ++reheats_;
+    g_reheats.Add(1);
     if (best_.has_value()) {
       current_ = best_;
       current_objective_ = best_objective_;

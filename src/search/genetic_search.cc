@@ -4,9 +4,21 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/metrics.h"
 #include "src/platform/searcher_registry.h"
 
 namespace wayfinder {
+
+namespace {
+
+// Operator mix: how proposals split between crossover children and random
+// immigrants — the knob the exploration/exploitation balance turns on.
+obs::Counter& g_crossovers =
+    obs::Registry::Instance().GetCounter("search.genetic_crossovers");
+obs::Counter& g_immigrants =
+    obs::Registry::Instance().GetCounter("search.genetic_immigrants");
+
+}  // namespace
 
 GeneticSearcher::GeneticSearcher(const GeneticOptions& options) : options_(options) {}
 
@@ -63,8 +75,10 @@ void GeneticSearcher::Mutate(Configuration* child, SearchContext& context) const
 Configuration GeneticSearcher::Propose(SearchContext& context) {
   bool seeding = pool_.size() < options_.population;
   if (seeding || context.rng->Bernoulli(options_.immigrant_prob)) {
+    g_immigrants.Add(1);
     return context.space->RandomConfiguration(*context.rng, context.sample_options);
   }
+  g_crossovers.Add(1);
   const Individual& mother = SelectParent(context);
   const Individual& father = SelectParent(context);
   Configuration child = context.rng->Bernoulli(options_.crossover_prob)

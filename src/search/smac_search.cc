@@ -1,5 +1,6 @@
 #include "src/search/smac_search.h"
 
+#include "src/obs/metrics.h"
 #include "src/platform/searcher_registry.h"
 
 #include <algorithm>
@@ -13,6 +14,11 @@ namespace {
 // Standard normal pdf / cdf for the closed-form EI.
 double NormalPdf(double z) { return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI); }
 double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+// Surrogate cost: how often and how long the forest refits.
+obs::Counter& g_refits = obs::Registry::Instance().GetCounter("search.smac_refits");
+obs::Histogram& g_refit_ns =
+    obs::Registry::Instance().GetHistogram("search.smac_refit_ns");
 
 }  // namespace
 
@@ -106,7 +112,11 @@ void SmacSearcher::MaybeRefit() {
   for (size_t i = 0; i < ys_raw_.size(); ++i) {
     ys[i] = std::isnan(ys_raw_[i]) ? worst : ys_raw_[i];
   }
-  forest_.Fit(xs_, ys);
+  {
+    obs::ScopedTimerNs refit_timer(g_refit_ns);
+    forest_.Fit(xs_, ys);
+  }
+  g_refits.Add(1);
   ++refits_;
 }
 

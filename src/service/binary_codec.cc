@@ -48,6 +48,12 @@ constexpr unsigned char kSessDriftEvents = 17;
 // Crash-recovery fields (PR 8), absent-on-wire when unset like the taxonomy.
 constexpr unsigned char kSessRecovered = 18;
 constexpr unsigned char kSessVersion = 19;
+// Observability gauges (src/obs/), absent-on-wire when zero — metrics-off
+// daemons encode byte-identically to the pre-obs protocol.
+constexpr unsigned char kSessMemoryBytes = 20;
+constexpr unsigned char kSessWaveP50Ms = 21;
+constexpr unsigned char kSessWaveP99Ms = 22;
+constexpr unsigned char kSessTrialsPerSec = 23;
 
 void PutU32(std::string* out, uint32_t value) {
   char bytes[4] = {static_cast<char>(value >> 24), static_cast<char>(value >> 16),
@@ -196,6 +202,18 @@ void EncodeStatusBinary(std::string* out, const SessionStatus& status) {
   if (status.version > 0) {
     PutU64(&block, kSessVersion, status.version);
   }
+  if (status.memory_bytes > 0) {
+    PutU64(&block, kSessMemoryBytes, status.memory_bytes);
+  }
+  if (status.wave_p50_ms > 0.0) {
+    PutDouble(&block, kSessWaveP50Ms, status.wave_p50_ms);
+  }
+  if (status.wave_p99_ms > 0.0) {
+    PutDouble(&block, kSessWaveP99Ms, status.wave_p99_ms);
+  }
+  if (status.trials_per_sec > 0.0) {
+    PutDouble(&block, kSessTrialsPerSec, status.trials_per_sec);
+  }
   if (!status.store_key.empty()) {
     PutString(&block, kSessStoreKey, status.store_key);
   }
@@ -281,6 +299,19 @@ bool DecodeStatusBinary(const unsigned char* data, size_t n,
       case kSessVersion:
         ok = TakeU64(value, len, &u64);
         status->version = u64;
+        break;
+      case kSessMemoryBytes:
+        ok = TakeU64(value, len, &u64);
+        status->memory_bytes = static_cast<size_t>(u64);
+        break;
+      case kSessWaveP50Ms:
+        ok = TakeDouble(value, len, &status->wave_p50_ms);
+        break;
+      case kSessWaveP99Ms:
+        ok = TakeDouble(value, len, &status->wave_p99_ms);
+        break;
+      case kSessTrialsPerSec:
+        ok = TakeDouble(value, len, &status->trials_per_sec);
         break;
       case kSessStoreKey:
         ok = TakeString(value, len, &status->store_key);

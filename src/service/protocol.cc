@@ -70,6 +70,21 @@ void AppendStatus(std::string* out, const SessionStatus& status, const char* ind
   if (status.version > 0) {
     *out += field_indent + "version: " + std::to_string(status.version) + "\n";
   }
+  // Observability gauges: zero when metrics recording is off, and zero is
+  // never emitted — the presence rule that keeps metrics-off frames
+  // byte-identical to the pre-obs protocol (mirrored by the binary codec).
+  if (status.memory_bytes > 0) {
+    *out += field_indent + "memory_bytes: " + std::to_string(status.memory_bytes) + "\n";
+  }
+  if (status.wave_p50_ms > 0.0) {
+    *out += field_indent + "wave_p50_ms: " + FormatDouble(status.wave_p50_ms) + "\n";
+  }
+  if (status.wave_p99_ms > 0.0) {
+    *out += field_indent + "wave_p99_ms: " + FormatDouble(status.wave_p99_ms) + "\n";
+  }
+  if (status.trials_per_sec > 0.0) {
+    *out += field_indent + "trials_per_sec: " + FormatDouble(status.trials_per_sec) + "\n";
+  }
   if (!status.store_key.empty()) {
     *out += field_indent + "store_key: " + Quote(status.store_key) + "\n";
   }
@@ -83,17 +98,18 @@ void AppendStatus(std::string* out, const SessionStatus& status, const char* ind
 bool KnownServiceCommand(const std::string& command) {
   return command == "submit" || command == "status" || command == "watch" ||
          command == "result" || command == "pause" || command == "resume" ||
-         command == "stop" || command == "compact" || command == "ping";
+         command == "stop" || command == "compact" || command == "ping" ||
+         command == "metrics" || command == "trace";
 }
 
 bool CommandNeedsId(const std::string& command) {
   return command == "result" || command == "pause" || command == "resume" ||
-         command == "watch";
+         command == "watch" || command == "trace";
 }
 
 bool IdempotentServiceCommand(const std::string& command) {
   return command == "status" || command == "result" || command == "watch" ||
-         command == "ping";
+         command == "ping" || command == "metrics" || command == "trace";
 }
 
 bool ValidateRequest(const ServiceRequest& request, std::string* error) {
@@ -218,6 +234,10 @@ bool DecodeResponse(const std::string& text, ServiceResponse* response,
       entry.drift_events = static_cast<size_t>(node.GetInt("drift_events", 0));
       entry.recovered = node.GetBool("recovered", false);
       entry.version = static_cast<uint64_t>(node.GetInt("version", 0));
+      entry.memory_bytes = static_cast<size_t>(node.GetInt("memory_bytes", 0));
+      entry.wave_p50_ms = node.GetDouble("wave_p50_ms", 0.0);
+      entry.wave_p99_ms = node.GetDouble("wave_p99_ms", 0.0);
+      entry.trials_per_sec = node.GetDouble("trials_per_sec", 0.0);
       entry.store_key = node.GetString("store_key");
       entry.error = node.GetString("error");
       response->sessions.push_back(std::move(entry));

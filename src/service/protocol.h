@@ -4,7 +4,7 @@
 // Every request is one YAML mapping frame:
 //
 //   command: submit | status | watch | result | pause | resume | stop |
-//            compact | ping
+//            compact | ping | metrics | trace
 //   id: s3              # the session, for status/watch/result/pause/resume
 //   warm_start: false   # submit only (default true)
 //
@@ -21,7 +21,12 @@
 // a `sessions:` list for the fleet-wide status). An ok `result` response is
 // followed by ONE extra frame carrying the session's checkpoint text
 // (src/platform/checkpoint.h), which `wfctl result` writes to disk for
-// report/render/start --resume.
+// report/render/start --resume. `metrics` and `trace` reuse the same
+// payload-frame pattern: the ok response announces `payload: true` and ONE
+// extra frame follows carrying the rendered metrics text
+// (src/obs/metrics.h RenderText) or the session's Chrome trace_event JSON
+// (src/obs/trace.h) verbatim — identical bytes under both codecs, which is
+// what pins their parity.
 //
 // The codec never trusts the peer: unknown commands, non-YAML payloads,
 // and missing fields decode into errors the daemon answers (or drops the
@@ -78,6 +83,15 @@ struct SessionStatus {
   // hand it back as `since_version` when they reconnect. Emitted only when
   // non-zero (standalone encoders that never saw a manager stay as before).
   uint64_t version = 0;
+  // Observability gauges, refreshed at wave boundaries from the manager's
+  // mirror when metrics recording is on (src/obs/). All stay zero — and
+  // therefore absent on the wire under both codecs — when recording is off,
+  // so a metrics-off daemon's frames are byte-identical to the pre-obs
+  // protocol.
+  size_t memory_bytes = 0;     // Searcher live-state footprint (MemoryBytes).
+  double wave_p50_ms = 0.0;    // Wave wall-clock latency quantiles so far.
+  double wave_p99_ms = 0.0;
+  double trials_per_sec = 0.0; // Committed trials over wall time while running.
   std::string store_key;
   std::string error;
 };

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/obs/metrics.h"
 #include "src/platform/fs_faults.h"
 #include "src/util/rng.h"
 
@@ -16,6 +17,22 @@ namespace wayfinder {
 
 namespace {
 constexpr const char kJournalHeader[] = "wayfinder-journal v1";
+
+// Durability instruments: append+fsync latency and counts, plus the
+// degradation flag (`service.journal_degraded` gauge + reason info) that
+// `wfctl metrics` surfaces. The flag uses the ungated Force/SetInfo path —
+// journal health must stay truthful even when recording is off.
+obs::Counter& g_appends =
+    obs::Registry::Instance().GetCounter("service.journal_appends");
+obs::Histogram& g_append_ns =
+    obs::Registry::Instance().GetHistogram("service.journal_append_ns");
+obs::Gauge& g_degraded =
+    obs::Registry::Instance().GetGauge("service.journal_degraded");
+
+void MarkDegraded(const std::string& reason) {
+  g_degraded.Force(1);
+  obs::Registry::Instance().SetInfo("service.journal_degraded_reason", reason);
+}
 }  // namespace
 
 std::string JournalEscape(const std::string& text) {
@@ -116,6 +133,10 @@ SessionJournal::OpenResult SessionJournal::Open() {
       return result;
     }
   }
+  // A healthy (re)open clears the degradation flag: the reopened journal's
+  // durable prefix is valid again, so the exported health must say so.
+  g_degraded.Force(0);
+  obs::Registry::Instance().SetInfo("service.journal_degraded_reason", "");
   result.ok = true;
   return result;
 }
@@ -125,19 +146,23 @@ bool SessionJournal::AppendLine(const std::string& line) {
   if (degraded_ || file_ == nullptr) {
     return false;
   }
+  obs::ScopedTimerNs append_timer(g_append_ns);
   if (FaultWrite(line.data(), line.size(), file_) != line.size() ||
       std::fflush(file_) != 0) {
     // A short write leaves a torn (unterminated) tail; never append past it
     // — the next Open()'s scan truncates it away. First failure wins.
     degraded_ = true;
     degraded_reason_ = "journal append failed: " + std::string(std::strerror(errno));
+    MarkDegraded(degraded_reason_);
     return false;
   }
   if (!FaultFsync(fileno(file_))) {
     degraded_ = true;
     degraded_reason_ = "journal fsync failed: " + std::string(std::strerror(errno));
+    MarkDegraded(degraded_reason_);
     return false;
   }
+  g_appends.Add(1);
   return true;
 }
 

@@ -5,11 +5,24 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "src/obs/clock.h"
+#include "src/obs/trace.h"
 #include "src/platform/checkpoint.h"
 #include "src/platform/fs_faults.h"
 #include "src/util/rng.h"
 
 namespace wayfinder {
+
+namespace {
+
+// Service-plane instruments (fleet-wide; per-session quantiles live in the
+// Managed mirror). Registered at static init, recorded only when enabled.
+obs::Counter& g_waves = obs::Registry::Instance().GetCounter("service.waves");
+obs::Counter& g_trials = obs::Registry::Instance().GetCounter("service.trials");
+obs::Histogram& g_wave_ns =
+    obs::Registry::Instance().GetHistogram("service.wave_ns");
+
+}  // namespace
 
 SessionManager::SessionManager(const SessionManagerOptions& options) : options_(options) {
   if (!options_.store_dir.empty()) {
@@ -245,6 +258,28 @@ void SessionManager::PersistNewTrials(Managed* managed) {
   }
   managed->retries = managed->session->transient_retries();
   managed->drift_events = managed->session->drift_events();
+  if (obs::Enabled()) {
+    // Observability mirror refresh: same wave-boundary, same mutex_ hold as
+    // every other status field, so the NotifyLocked version bump below
+    // covers it and the daemon's StatusVersion response cache stays valid.
+    if (managed->searcher != nullptr) {
+      managed->memory_bytes = managed->searcher->MemoryBytes();
+    }
+    if (managed->wave_latency_ns.Count() > 0) {
+      managed->wave_p50_ms = managed->wave_latency_ns.Quantile(0.5) / 1e6;
+      managed->wave_p99_ms = managed->wave_latency_ns.Quantile(0.99) / 1e6;
+    }
+    if (managed->run_start_ns > 0) {
+      double elapsed_sec =
+          static_cast<double>(obs::NowNs() - managed->run_start_ns) * 1e-9;
+      if (elapsed_sec > 0.0) {
+        managed->trials_per_sec =
+            static_cast<double>(managed->trials) / elapsed_sec;
+      }
+    }
+    managed->session->trace().RecordInstant(obs::TraceKind::kStoreAppend,
+                                            history.size());
+  }
   JournalWaveLocked(managed);
   NotifyLocked(*managed);
 }
@@ -272,6 +307,10 @@ void SessionManager::JournalWaveLocked(Managed* managed) {
     payload = CheckpointToText(slice);
   }
   journal_->AppendWave(managed->id, managed->committed.size(), full, payload);
+  if (managed->session != nullptr) {
+    managed->session->trace().RecordInstant(obs::TraceKind::kJournalAppend,
+                                            managed->committed.size());
+  }
   managed->journaled = managed->committed.size();
 }
 
@@ -606,6 +645,10 @@ void SessionManager::Drive(Managed* managed) {
     // evaluations on the shared pool) and other sessions/requests must not
     // wait on it. The manager only ever observes the session between steps.
     size_t committed = 0;
+    int64_t wave_start_ns = obs::Enabled() ? obs::NowNs() : 0;
+    if (wave_start_ns != 0 && managed->run_start_ns == 0) {
+      managed->run_start_ns = wave_start_ns;
+    }
     try {
       committed = managed->session->StepBatch();
     } catch (const std::exception& e) {
@@ -615,6 +658,13 @@ void SessionManager::Drive(Managed* managed) {
       managed->error = std::string("session step failed: ") + e.what();
       managed->failed = true;
       break;
+    }
+    if (wave_start_ns != 0 && committed > 0) {
+      uint64_t wave_ns = static_cast<uint64_t>(obs::NowNs() - wave_start_ns);
+      managed->wave_latency_ns.Record(wave_ns);
+      g_wave_ns.Record(wave_ns);
+      g_waves.Add(1);
+      g_trials.Add(committed);
     }
     std::lock_guard<std::mutex> lock(mutex_);
     PersistNewTrials(managed);
@@ -690,6 +740,12 @@ SessionStatus SessionManager::Snapshot(const Managed& managed) const {
   // saw and hand it back (`since_version`) when they reconnect, so a
   // re-subscribe after a dropped connection skips the stale baseline.
   status.version = StatusVersion();
+  // Observability gauges: all zero (and absent on the wire) unless the
+  // wave-boundary mirror refresh ran with recording on.
+  status.memory_bytes = managed.memory_bytes;
+  status.wave_p50_ms = managed.wave_p50_ms;
+  status.wave_p99_ms = managed.wave_p99_ms;
+  status.trials_per_sec = managed.trials_per_sec;
   status.store_key = managed.store_key;
   status.error = managed.error;
   return status;
@@ -739,10 +795,27 @@ bool SessionManager::Result(const std::string& id, std::string* checkpoint_text,
   return true;
 }
 
+bool SessionManager::TraceJson(const std::string& id, std::string* json,
+                               std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Managed* managed = FindLocked(id);
+  if (managed == nullptr) {
+    *error = "unknown session: " + id;
+    return false;
+  }
+  std::vector<obs::TraceEvent> events;
+  if (managed->session != nullptr) {
+    events = managed->session->trace().Snapshot();
+  }
+  *json = obs::RenderChromeTrace(events, managed->id);
+  return true;
+}
+
 bool SessionManager::WaitDone(const std::string& id, int timeout_ms) {
   std::unique_lock<std::mutex> lock(mutex_);
-  auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  // Deadline from the TraceClock seam (obs-clock-seam: src/obs/ owns every
+  // monotonic-clock read outside itself).
+  auto deadline = obs::DeadlineAfterMs(timeout_ms);
   for (;;) {
     const Managed* managed = FindLocked(id);
     if (managed == nullptr) {

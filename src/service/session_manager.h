@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "src/core/wayfinder_api.h"
+#include "src/obs/metrics.h"
 #include "src/service/protocol.h"
 #include "src/service/session_journal.h"
 #include "src/service/trial_store.h"
@@ -118,6 +119,12 @@ class SessionManager {
   // once the session finished). Usable mid-run: the snapshot is taken at a
   // wave boundary.
   bool Result(const std::string& id, std::string* checkpoint_text, std::string* error);
+
+  // The session's trace ring rendered as Chrome trace_event JSON
+  // (src/obs/trace.h). Works mid-run — the ring serializes its own access —
+  // but an empty trace (recording off, or a recovered terminal session with
+  // no live machinery) still renders as a valid, events-free document.
+  bool TraceJson(const std::string& id, std::string* json, std::string* error);
 
   // Blocks until the session leaves the running set (done/failed), up to
   // `timeout_ms` (0 = forever). False on timeout or unknown id.
@@ -200,6 +207,19 @@ class SessionManager {
     size_t timeouts = 0;
     size_t retries = 0;
     size_t drift_events = 0;
+    // Observability mirror (SessionStatus gauges), refreshed at wave
+    // boundaries under mutex_ — and only when obs::Enabled(), so a
+    // metrics-off daemon's status frames stay byte-identical to the
+    // pre-obs protocol.
+    size_t memory_bytes = 0;
+    double wave_p50_ms = 0.0;
+    double wave_p99_ms = 0.0;
+    double trials_per_sec = 0.0;
+    // Per-session wave wall-clock latency (ns), recorded by the driver; the
+    // p50/p99 mirror above derives from it. Self-gating like every obs
+    // instrument.
+    obs::Histogram wave_latency_ns;
+    int64_t run_start_ns = 0;  // First wave's start stamp (trials/sec base).
   };
 
   static const char* StateName(State state);

@@ -11,10 +11,25 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/obs/metrics.h"
 #include "src/platform/fs_faults.h"
 #include "src/util/rng.h"
 
 namespace wayfinder {
+
+namespace {
+
+// Store durability instruments: append render+write latency and the fsync
+// cost paid at the close barrier. Self-gating; zero work when recording is
+// off.
+obs::Counter& g_store_appends =
+    obs::Registry::Instance().GetCounter("service.store_appends");
+obs::Histogram& g_store_append_ns =
+    obs::Registry::Instance().GetHistogram("service.store_append_ns");
+obs::Histogram& g_store_fsync_ns =
+    obs::Registry::Instance().GetHistogram("service.store_fsync_ns");
+
+}  // namespace
 
 uint64_t SpaceFingerprint(const ConfigSpace& space) {
   uint64_t hash = StableHash("wayfinder-space");
@@ -315,12 +330,14 @@ bool TrialStore::Append(const std::string& key, const TrialRecord& trial) {
     record += buffer;
   }
   record += "\n";
+  obs::ScopedTimerNs append_timer(g_store_append_ns);
   if (FaultWrite(record.data(), record.size(), entry->file) != record.size()) {
     entry->hashes.erase(hash);
     std::fclose(entry->file);
     files_.erase(key);
     return false;
   }
+  g_store_appends.Add(1);
   entry->needs_header = false;
   return true;
 }
@@ -342,7 +359,10 @@ void TrialStore::FsyncClose() {
       // Best-effort through the seam: an (injected or real) fsync failure at
       // the close barrier must not abort the drain — the flush above already
       // handed the bytes to the OS, which survives a process kill.
-      FaultFsync(fileno(entry.file));
+      {
+        obs::ScopedTimerNs fsync_timer(g_store_fsync_ns);
+        FaultFsync(fileno(entry.file));
+      }
       std::fclose(entry.file);
       entry.file = nullptr;
     }

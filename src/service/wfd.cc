@@ -3,6 +3,7 @@
 #include <csignal>
 #include <cstdio>
 
+#include "src/obs/metrics.h"
 #include "src/service/binary_codec.h"
 #include "src/util/log.h"
 
@@ -62,7 +63,13 @@ int RunWfdForeground(const WfdOptions& options) {
 }
 
 WfdServer::WfdServer(const WfdOptions& options)
-    : options_(options), manager_(options.manager) {}
+    : options_(options), manager_(options.manager) {
+  // Enable-only: a server built without --metrics must not switch off
+  // recording a test (or an embedding process) turned on globally.
+  if (options.metrics) {
+    obs::SetEnabled(true);
+  }
+}
 
 bool WfdServer::Start() {
   TransportOptions transport;
@@ -221,6 +228,28 @@ void WfdServer::HandleRequest(uint64_t conn, ProtoConn* state,
       response.state = "running";
     } else {
       response.error = "cannot resume session: " + request.id;
+    }
+  } else if (request.command == "metrics") {
+    // Registry dump as a payload frame — identical bytes under both codecs,
+    // exactly like `result`'s checkpoint text. Journal health is refreshed
+    // at render time so the degraded gauge and its reason stay truthful
+    // even while recording is off (Force bypasses the recording gate).
+    std::string reason;
+    bool healthy = manager_.JournalHealthy(&reason);
+    obs::Registry::Instance()
+        .GetGauge("service.journal_degraded")
+        .Force(healthy ? 0 : 1);
+    obs::Registry::Instance().SetInfo("service.journal_degraded_reason",
+                                      healthy ? "" : reason);
+    payload = obs::Registry::Instance().RenderText();
+    response.ok = true;
+    response.has_payload = true;
+  } else if (request.command == "trace") {
+    if (manager_.TraceJson(request.id, &payload, &error)) {
+      response.ok = true;
+      response.has_payload = true;
+    } else {
+      response.error = error;
     }
   } else if (request.command == "compact") {
     std::string summary;

@@ -46,6 +46,13 @@ struct WfdOptions {
   // Longest a connected client may sit silent before its connection is
   // swept (watch subscribers are exempt — silence is their steady state).
   int idle_timeout_ms = 10000;
+  // Turn metrics/trace recording on at startup (`wfd --metrics` / `wfctl
+  // serve --metrics`). Off by default: a metrics-off daemon's trajectories,
+  // checkpoints, and wire frames are byte-identical to the pre-obs daemon
+  // (pinned by service_test). The `metrics`/`trace` commands answer either
+  // way — recording off just means counters sit at zero and traces are
+  // empty.
+  bool metrics = false;
 };
 
 class WfdServer : private TransportHandler {

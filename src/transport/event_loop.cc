@@ -10,6 +10,9 @@
 
 #include <utility>
 
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
+
 namespace wayfinder {
 
 namespace {
@@ -18,11 +21,24 @@ namespace {
 constexpr uint64_t kListenerId = 0;
 constexpr uint64_t kWakeId = ~0ULL;
 
-int64_t NowMs() {
-  timespec ts{};
-  ::clock_gettime(CLOCK_MONOTONIC, &ts);
-  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
-}
+// Monotonic milliseconds from the TraceClock seam (obs-clock-seam rule:
+// src/obs/ owns every wall-clock read in the tree).
+int64_t NowMs() { return obs::NowMs(); }
+
+// Transport-plane instruments. Static-init registration like the searcher
+// registry: the names exist from process start; recording stays a no-op
+// until obs::SetEnabled(true).
+obs::Counter& g_frames_rx = obs::Registry::Instance().GetCounter("transport.frames_rx");
+obs::Counter& g_frames_tx = obs::Registry::Instance().GetCounter("transport.frames_tx");
+obs::Counter& g_bytes_rx = obs::Registry::Instance().GetCounter("transport.bytes_rx");
+obs::Counter& g_bytes_tx = obs::Registry::Instance().GetCounter("transport.bytes_tx");
+obs::Gauge& g_connections = obs::Registry::Instance().GetGauge("transport.connections");
+obs::Gauge& g_tx_queue_bytes =
+    obs::Registry::Instance().GetGauge("transport.tx_queue_bytes");
+obs::Histogram& g_dispatch_ns =
+    obs::Registry::Instance().GetHistogram("transport.dispatch_ns");
+obs::Histogram& g_frame_bytes =
+    obs::Registry::Instance().GetHistogram("transport.frame_bytes");
 
 }  // namespace
 
@@ -189,6 +205,7 @@ void TransportServer::AcceptReady() {
       conns_.erase(inserted);
       continue;
     }
+    g_connections.Add(1);
     if (handler_ != nullptr) {
       handler_->OnOpen(id);
     }
@@ -222,6 +239,7 @@ void TransportServer::HandleReadable(uint64_t id) {
       return;
     }
     conn_it->second.last_activity_ms = NowMs();
+    g_bytes_rx.Add(static_cast<uint64_t>(got));
     conn_it->second.rx.Feed(buf, static_cast<size_t>(got));
     std::string payload;
     while (true) {
@@ -241,9 +259,12 @@ void TransportServer::HandleReadable(uint64_t id) {
         CloseSoon(id);
         return;
       }
+      g_frames_rx.Add(1);
+      g_frame_bytes.Record(payload.size());
       if (handler_ != nullptr) {
         // May Send(), CloseSoon(), or (via erase on empty tx) drop `id` —
         // re-looked-up at the top of both loops.
+        obs::ScopedTimerNs dispatch_timer(g_dispatch_ns);
         handler_->OnFrame(id, std::move(payload));
       }
     }
@@ -255,9 +276,13 @@ bool TransportServer::Send(uint64_t id, const std::string& payload) {
   if (it == conns_.end()) {
     return false;
   }
+  size_t before = it->second.tx.size();
   if (!AppendFrame(&it->second.tx, payload)) {
     return false;
   }
+  g_frames_tx.Add(1);
+  g_bytes_tx.Add(payload.size());
+  g_tx_queue_bytes.Add(static_cast<int64_t>(it->second.tx.size() - before));
   return FlushTx(id);
 }
 
@@ -282,6 +307,7 @@ bool TransportServer::FlushTx(uint64_t id) {
       return false;
     }
     conn.tx_pos += static_cast<size_t>(put);
+    g_tx_queue_bytes.Add(-static_cast<int64_t>(put));
     conn.last_activity_ms = NowMs();
   }
   conn.tx.clear();
@@ -341,6 +367,11 @@ void TransportServer::CloseConn(uint64_t id, bool notify) {
     return;
   }
   int fd = it->second.fd;
+  // Un-count any bytes still queued so the fleet-wide depth gauge does not
+  // leak what a dead connection never flushed.
+  g_tx_queue_bytes.Add(
+      -static_cast<int64_t>(it->second.tx.size() - it->second.tx_pos));
+  g_connections.Add(-1);
   conns_.erase(it);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);

@@ -1,25 +1,20 @@
 #include "src/util/sim_clock.h"
 
-#include <chrono>
+#include "src/obs/clock.h"
 
 namespace wayfinder {
 
-namespace {
+// Wall time comes from the TraceClock seam so that every monotonic-clock
+// read in the tree funnels through src/obs/ (the obs-clock-seam lint rule).
 
-int64_t NowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
-
-WallTimer::WallTimer() : start_ns_(NowNs()) {}
+WallTimer::WallTimer() : start_ns_(obs::NowNs()) {}
 
 double WallTimer::ElapsedSeconds() const {
-  return static_cast<double>(NowNs() - start_ns_) * 1e-9;
+  return static_cast<double>(obs::NowNs() - start_ns_) * 1e-9;
 }
 
-void WallTimer::Restart() { start_ns_ = NowNs(); }
+int64_t WallTimer::ElapsedNs() const { return obs::NowNs() - start_ns_; }
+
+void WallTimer::Restart() { start_ns_ = obs::NowNs(); }
 
 }  // namespace wayfinder

@@ -39,6 +39,12 @@ class WallTimer {
   WallTimer();
   // Seconds elapsed since construction or the last Restart().
   double ElapsedSeconds() const;
+  // Same read, in integer nanoseconds — trace spans reuse this stamp so a
+  // traced trial pays no clock reads beyond the ones the searcher-seconds
+  // bookkeeping already takes.
+  int64_t ElapsedNs() const;
+  // TraceClock stamp taken at construction or the last Restart().
+  int64_t start_ns() const { return start_ns_; }
   void Restart();
 
  private:

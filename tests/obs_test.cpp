@@ -1,0 +1,323 @@
+// Tests for the observability plane (src/obs/): histogram bucket math, the
+// trace ring's wrap/drop accounting, the zero-allocation record-path
+// guarantee (counted via a global operator new hook), concurrent recorders
+// (exercised under TSan in CI), and the Chrome trace JSON exporter and its
+// validator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+// --- allocation counting -----------------------------------------------------
+//
+// Global operator new replacement so the zero-alloc tests can count heap
+// activity on the record paths. Counting is relaxed-atomic; the hook is
+// live for the whole binary, which is fine — every other test ignores it.
+namespace {
+std::atomic<uint64_t> g_news{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace wayfinder {
+namespace {
+
+// Flips recording on for one test body and restores the default-off state
+// on the way out, so the obs tests cannot leak an enabled registry into a
+// determinism-sensitive test running later in the same binary.
+struct ScopedRecording {
+  explicit ScopedRecording(bool on) { obs::SetEnabled(on); }
+  ~ScopedRecording() { obs::SetEnabled(false); }
+};
+
+// --- histogram bucket math ---------------------------------------------------
+
+TEST(Histogram, BucketIndexPowerOfTwoLadder) {
+  EXPECT_EQ(obs::Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(obs::Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(obs::Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(obs::Histogram::BucketIndex(4), 3);
+  // Bucket i holds [2^(i-1), 2^i): both edges of every bucket land inside.
+  for (int i = 1; i < 62; ++i) {
+    uint64_t lo = uint64_t{1} << (i - 1);
+    uint64_t hi = (uint64_t{1} << i) - 1;
+    EXPECT_EQ(obs::Histogram::BucketIndex(lo), i) << "lo of bucket " << i;
+    EXPECT_EQ(obs::Histogram::BucketIndex(hi), i) << "hi of bucket " << i;
+  }
+  // The last bucket catches everything up to UINT64_MAX.
+  EXPECT_EQ(obs::Histogram::BucketIndex(~uint64_t{0}),
+            obs::Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, BucketBoundsAreMonotoneAndConsistent) {
+  for (int i = 1; i < obs::Histogram::kBuckets; ++i) {
+    EXPECT_GT(obs::Histogram::BucketUpperBound(i),
+              obs::Histogram::BucketUpperBound(i - 1));
+    // The inclusive upper bound maps back into its own bucket.
+    EXPECT_EQ(obs::Histogram::BucketIndex(obs::Histogram::BucketUpperBound(i)),
+              i);
+  }
+}
+
+TEST(Histogram, CountSumMeanAndQuantiles) {
+  ScopedRecording rec(true);
+  obs::Histogram h;
+  // 100 samples of 1000 and 1 sample of 1'000'000: p50 must sit near the
+  // mass, p99+ may climb toward the outlier; everything carries
+  // log2-resolution error (one bucket spans [2^(i-1), 2^i)).
+  for (int i = 0; i < 100; ++i) {
+    h.Record(1000);
+  }
+  h.Record(1000000);
+  EXPECT_EQ(h.Count(), 101u);
+  EXPECT_EQ(h.Sum(), 100u * 1000u + 1000000u);
+  EXPECT_NEAR(h.Mean(), static_cast<double>(h.Sum()) / 101.0, 1e-9);
+  double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 512.0);     // 1000 lives in [512, 1024).
+  EXPECT_LE(p50, 1024.0);
+  // Rank math: with 101 samples only q=1.0 reaches the single outlier —
+  // q=0.999 still resolves to the 101st-of-100 boundary inside the mass.
+  double max = h.Quantile(1.0);
+  EXPECT_GE(max, 524288.0);  // The outlier's bucket: [2^19, 2^20).
+  EXPECT_LE(max, 1048576.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.9));
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  obs::Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+// --- recording gate ----------------------------------------------------------
+
+TEST(RecordingGate, DisabledRecordersAreNoOps) {
+  ASSERT_FALSE(obs::Enabled());  // Default-off is part of the contract.
+  obs::Counter c;
+  obs::Gauge g;
+  obs::Histogram h;
+  c.Add(5);
+  g.Set(7);
+  g.Add(3);
+  h.Record(100);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(g.Value(), 0);
+  EXPECT_EQ(h.Count(), 0u);
+  // Force bypasses the gate: health flags stay truthful while recording is
+  // off (service.journal_degraded depends on this).
+  g.Force(1);
+  EXPECT_EQ(g.Value(), 1);
+}
+
+TEST(RecordingGate, ScopedTimerReadsNoClockWhenDisabled) {
+  ASSERT_FALSE(obs::Enabled());
+  obs::Histogram h;
+  {
+    obs::ScopedTimerNs timer(h);
+  }
+  EXPECT_EQ(h.Count(), 0u);
+  {
+    ScopedRecording rec(true);
+    obs::ScopedTimerNs timer(h);
+  }
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+// --- zero-allocation record path ---------------------------------------------
+
+TEST(ZeroAlloc, RecordPathsNeverTouchTheHeap) {
+  ScopedRecording rec(true);
+  // Registration (allowed to allocate) happens before the measured window.
+  obs::Counter& counter = obs::Registry::Instance().GetCounter("test.zero_alloc");
+  obs::Histogram& histogram =
+      obs::Registry::Instance().GetHistogram("test.zero_alloc_ns");
+  obs::Gauge& gauge = obs::Registry::Instance().GetGauge("test.zero_alloc_g");
+  obs::TraceRing ring(64);
+  // Warm the shard index / any lazy thread-local state.
+  counter.Add(1);
+  histogram.Record(1);
+  ring.Record(obs::TraceKind::kPropose, 0, 1, 1);
+
+  uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    counter.Add(1);
+    gauge.Set(i);
+    gauge.Add(1);
+    histogram.Record(static_cast<uint64_t>(i) * 977);
+    ring.Record(obs::TraceKind::kEvaluate, static_cast<uint64_t>(i),
+                obs::NowNs(), 5);
+    ring.RecordInstant(obs::TraceKind::kCommit, static_cast<uint64_t>(i));
+  }
+  uint64_t after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "record path allocated " << (after - before)
+                           << " times";
+}
+
+// --- concurrent recorders (TSan coverage in CI) ------------------------------
+
+TEST(Concurrency, ParallelRecordersAgreeOnTotals) {
+  ScopedRecording rec(true);
+  obs::Counter counter;
+  obs::Gauge gauge;
+  obs::Histogram histogram;
+  obs::TraceRing ring(256);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Add(1);
+        gauge.Add(1);
+        histogram.Record(static_cast<uint64_t>(t * kPerThread + i));
+        ring.Record(obs::TraceKind::kEvaluate,
+                    static_cast<uint64_t>(t * kPerThread + i), i + 1, 1);
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(counter.Value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(gauge.Value(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(histogram.Count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(ring.Snapshot().size(), 256u);
+  EXPECT_EQ(ring.dropped(), uint64_t{kThreads} * kPerThread - 256);
+}
+
+// --- trace ring wrap / drop accounting ---------------------------------------
+
+TEST(TraceRing, KeepsNewestAndCountsDrops) {
+  ScopedRecording rec(true);
+  obs::TraceRing ring(8);
+  for (uint64_t i = 0; i < 20; ++i) {
+    ring.Record(obs::TraceKind::kCommit, i, static_cast<int64_t>(i + 1), 0);
+  }
+  EXPECT_EQ(ring.dropped(), 12u);
+  std::vector<obs::TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first snapshot of the 8 newest events: iterations 12..19.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].iteration, 12 + i);
+  }
+}
+
+TEST(TraceRing, DisabledRecordingLeavesRingEmpty) {
+  ASSERT_FALSE(obs::Enabled());
+  obs::TraceRing ring(8);
+  ring.Record(obs::TraceKind::kCommit, 1, 1, 1);
+  ring.RecordInstant(obs::TraceKind::kRetry, 2);
+  obs::TraceEvent batch[2] = {{obs::TraceKind::kBuild, 3, 1, 0},
+                              {obs::TraceKind::kCommit, 3, 1, 0}};
+  ring.RecordBatch(batch, 2);
+  EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRing, BatchAppendsInOrderAndWraps) {
+  ScopedRecording rec(true);
+  obs::TraceRing ring(4);
+  ring.Record(obs::TraceKind::kPropose, 0, 10, 5);
+  obs::TraceEvent batch[3] = {{obs::TraceKind::kBuild, 1, 20, 0},
+                              {obs::TraceKind::kRetry, 1, 20, 0},
+                              {obs::TraceKind::kCommit, 1, 20, 0}};
+  ring.RecordBatch(batch, 3);
+  std::vector<obs::TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, obs::TraceKind::kPropose);
+  EXPECT_EQ(events[1].kind, obs::TraceKind::kBuild);
+  EXPECT_EQ(events[2].kind, obs::TraceKind::kRetry);
+  EXPECT_EQ(events[3].kind, obs::TraceKind::kCommit);
+  // A second batch wraps the ring like individual records would.
+  ring.RecordBatch(batch, 3);
+  EXPECT_EQ(ring.dropped(), 3u);
+  events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, obs::TraceKind::kCommit);
+  EXPECT_EQ(events[1].kind, obs::TraceKind::kBuild);
+}
+
+// --- Chrome trace export / validation ----------------------------------------
+
+TEST(ChromeTrace, ExportValidatesAndCarriesEvents) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back({obs::TraceKind::kPropose, 0, 1000, 500});
+  events.push_back({obs::TraceKind::kEvaluate, 0, 1500, 2000});
+  events.push_back({obs::TraceKind::kCommit, 0, 3500, 0});  // Instant.
+  std::string json = obs::RenderChromeTrace(events, "s1");
+  std::string error;
+  EXPECT_TRUE(obs::ValidateChromeTraceJson(json, &error)) << error;
+  // Span events render as complete ("X") events, instants as "i".
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"propose\""), std::string::npos);
+  EXPECT_NE(json.find("\"commit\""), std::string::npos);
+  EXPECT_NE(json.find("s1"), std::string::npos);  // process_name metadata.
+}
+
+TEST(ChromeTrace, EmptyTraceIsStillValid) {
+  std::string json = obs::RenderChromeTrace({}, "empty");
+  std::string error;
+  EXPECT_TRUE(obs::ValidateChromeTraceJson(json, &error)) << error;
+}
+
+TEST(ChromeTrace, ValidatorRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(obs::ValidateChromeTraceJson("", &error));
+  EXPECT_FALSE(obs::ValidateChromeTraceJson("not json", &error));
+  EXPECT_FALSE(obs::ValidateChromeTraceJson("{\"traceEvents\":{}}", &error));
+  EXPECT_FALSE(obs::ValidateChromeTraceJson("{\"traceEvents\":[1,2]}", &error));
+  // Events missing required keys fail the shape check.
+  EXPECT_FALSE(obs::ValidateChromeTraceJson(
+      "{\"traceEvents\":[{\"name\":\"x\"}]}", &error));
+  // Trailing garbage after a well-formed document is rejected.
+  EXPECT_FALSE(obs::ValidateChromeTraceJson(
+      "{\"traceEvents\":[]} trailing", &error));
+}
+
+// --- registry rendering ------------------------------------------------------
+
+TEST(Registry, RenderTextListsInstrumentsAndInfo) {
+  ScopedRecording rec(true);
+  obs::Registry::Instance().GetCounter("test.render_c").Add(3);
+  obs::Registry::Instance().GetGauge("test.render_g").Set(-2);
+  obs::Registry::Instance().GetHistogram("test.render_h").Record(8);
+  obs::Registry::Instance().SetInfo("test.render_i", "hello world");
+  std::string text = obs::Registry::Instance().RenderText();
+  EXPECT_EQ(text.rfind("# wayfinder metrics v1\nrecording 1\n", 0), 0u);
+  EXPECT_NE(text.find("counter test.render_c 3"), std::string::npos);
+  EXPECT_NE(text.find("gauge test.render_g -2"), std::string::npos);
+  EXPECT_NE(text.find("histogram test.render_h count=1"), std::string::npos);
+  EXPECT_NE(text.find("info test.render_i hello world"), std::string::npos);
+  // Info entries strip newlines and erase on empty value.
+  obs::Registry::Instance().SetInfo("test.render_i", "");
+  EXPECT_EQ(obs::Registry::Instance().RenderText().find("test.render_i"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wayfinder

@@ -142,6 +142,29 @@ TEST(ProtocolCodec, RejectsGarbageAndUnknownCommands) {
   EXPECT_FALSE(DecodeRequest("command: pause\n", &decoded, &error));  // Needs id.
 }
 
+TEST(ProtocolCodec, ObservabilityCommandsValidate) {
+  ServiceRequest decoded;
+  std::string error;
+  // metrics is fleet-scoped: no id required.
+  ASSERT_TRUE(DecodeRequest("command: metrics\n", &decoded, &error)) << error;
+  EXPECT_EQ(decoded.command, "metrics");
+  // trace is session-scoped: id required, carried through.
+  EXPECT_FALSE(DecodeRequest("command: trace\n", &decoded, &error));
+  EXPECT_NE(error.find("requires an id"), std::string::npos);
+  ASSERT_TRUE(DecodeRequest("command: trace\nid: s7\n", &decoded, &error)) << error;
+  EXPECT_EQ(decoded.command, "trace");
+  EXPECT_EQ(decoded.id, "s7");
+  // The binary codec shares ValidateRequest, so it agrees on both.
+  ServiceRequest trace_no_id;
+  trace_no_id.command = "trace";
+  EXPECT_FALSE(DecodeRequestBinary(EncodeRequestBinary(trace_no_id), &decoded, &error));
+  ServiceRequest metrics;
+  metrics.command = "metrics";
+  ASSERT_TRUE(DecodeRequestBinary(EncodeRequestBinary(metrics), &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.command, "metrics");
+}
+
 TEST(ProtocolCodec, ResponseRoundTripsSessionsAndQuoting) {
   ServiceResponse response;
   response.ok = true;

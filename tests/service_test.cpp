@@ -18,6 +18,8 @@
 #include "src/configspace/linux_space.h"
 #include "src/configspace/unikraft_space.h"
 #include "src/core/wayfinder_api.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/platform/checkpoint.h"
 #include "src/service/client.h"
 #include "src/service/session_manager.h"
@@ -895,6 +897,208 @@ TEST(TrialStoreTest, CompactionDropsSupersededAndSurvivesReopen) {
   stats = store.CompactAll();
   ASSERT_TRUE(stats.ok) << stats.error;
   EXPECT_EQ(stats.dropped, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Observability plane: metrics/trace over the socket, codec parity, and the
+// metrics-on-equals-metrics-off determinism pin.
+
+// Restores the default-off recording state on scope exit so a metrics-on
+// daemon test can never leak an enabled registry into later tests (the
+// WfdServer enable is global and deliberately one-way).
+struct ScopedRecordingOff {
+  ~ScopedRecordingOff() { obs::SetEnabled(false); }
+};
+
+// Normalizes the one wall-clock field in a v2 checkpoint text — each trial
+// line's trailing searcher_seconds (field 11; an optional failure reason
+// follows it) — so two runs compare byte-for-byte on everything the
+// determinism contract actually covers.
+std::string StripWallClock(const std::string& checkpoint) {
+  std::istringstream in(checkpoint);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("trial ", 0) == 0) {
+      size_t pos = 0;
+      int spaces = 0;
+      while (pos < line.size() && spaces < 11) {
+        if (line[pos] == ' ') {
+          ++spaces;
+        }
+        ++pos;
+      }
+      size_t end = line.find(' ', pos);
+      if (spaces == 11) {
+        line = line.substr(0, pos) + "0" +
+               (end == std::string::npos ? "" : line.substr(end));
+      }
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+TEST(WfdObservability, MetricsAndTracePayloadsAgreeAcrossCodecs) {
+  std::string socket_path = TempPath("wf_service_obs_parity.sock");
+  WfdOptions options;
+  options.socket_path = socket_path;
+  options.poll_ms = 10;
+  WfdServer server(options);  // No --metrics: the registry is frozen.
+  ASSERT_TRUE(server.Start()) << server.error();
+  std::thread serve([&] { server.Serve(); });
+
+  ServiceCallResult submitted =
+      SubmitJob(socket_path, JobYaml("obs-parity", "nginx", "random", 8, 41));
+  ASSERT_TRUE(submitted.ok) << submitted.error;
+  std::string id = submitted.response.id;
+  ASSERT_TRUE(server.manager().WaitDone(id, 120000));
+
+  // With recording off every instrument is frozen, so the metrics payload
+  // is stable across calls — and must be byte-identical across codecs (the
+  // daemon renders one text and ships it as a payload frame either way).
+  ServiceRequest metrics;
+  metrics.command = "metrics";
+  ServiceCallResult yaml_metrics = CallService(socket_path, metrics, "", false);
+  ServiceCallResult bin_metrics = CallService(socket_path, metrics, "", true);
+  ASSERT_TRUE(yaml_metrics.ok) << yaml_metrics.error;
+  ASSERT_TRUE(bin_metrics.ok) << bin_metrics.error;
+  EXPECT_EQ(yaml_metrics.payload, bin_metrics.payload);
+  EXPECT_EQ(yaml_metrics.payload.rfind("# wayfinder metrics v1\nrecording 0\n", 0),
+            0u);
+  // Recording off also means the health gauge still tells the truth: this
+  // daemon runs without a journal, which is healthy (nothing to degrade).
+  EXPECT_NE(yaml_metrics.payload.find("gauge service.journal_degraded 0"),
+            std::string::npos);
+
+  // Trace parity: the done session's ring is frozen (and empty — recording
+  // was off), so both codecs return the same bytes, and the export is
+  // valid Chrome trace JSON even with zero events.
+  ServiceRequest trace;
+  trace.command = "trace";
+  trace.id = id;
+  ServiceCallResult yaml_trace = CallService(socket_path, trace, "", false);
+  ServiceCallResult bin_trace = CallService(socket_path, trace, "", true);
+  ASSERT_TRUE(yaml_trace.ok) << yaml_trace.error;
+  ASSERT_TRUE(bin_trace.ok) << bin_trace.error;
+  EXPECT_EQ(yaml_trace.payload, bin_trace.payload);
+  std::string error;
+  EXPECT_TRUE(obs::ValidateChromeTraceJson(yaml_trace.payload, &error)) << error;
+
+  // Unknown-session trace errors identically under both codecs.
+  trace.id = "s999";
+  ServiceCallResult yaml_bad = CallService(socket_path, trace, "", false);
+  ServiceCallResult bin_bad = CallService(socket_path, trace, "", true);
+  EXPECT_FALSE(yaml_bad.ok);
+  EXPECT_FALSE(bin_bad.ok);
+  EXPECT_EQ(yaml_bad.error, bin_bad.error);
+
+  ServiceCallResult stop = StopDaemon(socket_path);
+  EXPECT_TRUE(stop.ok) << stop.error;
+  serve.join();
+}
+
+TEST(WfdObservability, RecordingDaemonServesLiveMetricsAndTraces) {
+  ScopedRecordingOff restore;
+  std::string socket_path = TempPath("wf_service_obs_live.sock");
+  WfdOptions options;
+  options.socket_path = socket_path;
+  options.poll_ms = 10;
+  options.metrics = true;  // `wfd --metrics`.
+  WfdServer server(options);
+  ASSERT_TRUE(server.Start()) << server.error();
+  std::thread serve([&] { server.Serve(); });
+
+  ServiceCallResult submitted =
+      SubmitJob(socket_path, JobYaml("obs-live", "nginx", "deeptune", 12, 42));
+  ASSERT_TRUE(submitted.ok) << submitted.error;
+  std::string id = submitted.response.id;
+  ASSERT_TRUE(server.manager().WaitDone(id, 120000));
+
+  ServiceRequest metrics;
+  metrics.command = "metrics";
+  ServiceCallResult call = CallService(socket_path, metrics);
+  ASSERT_TRUE(call.ok) << call.error;
+  const std::string& text = call.payload;
+  EXPECT_EQ(text.rfind("# wayfinder metrics v1\nrecording 1\n", 0), 0u);
+  // The session plane counted its work...
+  EXPECT_NE(text.find("counter service.trials 12"), std::string::npos) << text;
+  EXPECT_NE(text.find("histogram service.wave_ns count="), std::string::npos);
+  // ...and so did the transport underneath this very conversation.
+  EXPECT_NE(text.find("counter transport.frames_rx "), std::string::npos);
+
+  // The per-session gauges folded into SessionStatus at wave boundaries.
+  ServiceCallResult status = QueryStatus(socket_path, id);
+  ASSERT_TRUE(status.ok) << status.error;
+  ASSERT_EQ(status.response.sessions.size(), 1u);
+  EXPECT_GT(status.response.sessions[0].memory_bytes, 0u);
+  EXPECT_GT(status.response.sessions[0].wave_p99_ms,
+            status.response.sessions[0].wave_p50_ms * 0.999);
+
+  // The trace ring saw the whole trial lifecycle and exports valid Chrome
+  // trace JSON with the stage names in place.
+  ServiceRequest trace;
+  trace.command = "trace";
+  trace.id = id;
+  ServiceCallResult traced = CallService(socket_path, trace);
+  ASSERT_TRUE(traced.ok) << traced.error;
+  std::string error;
+  EXPECT_TRUE(obs::ValidateChromeTraceJson(traced.payload, &error)) << error;
+  EXPECT_NE(traced.payload.find("\"propose\""), std::string::npos);
+  EXPECT_NE(traced.payload.find("\"evaluate\""), std::string::npos);
+  EXPECT_NE(traced.payload.find("\"commit\""), std::string::npos);
+  EXPECT_NE(traced.payload.find("\"store_append\""), std::string::npos);
+
+  ServiceCallResult stop = StopDaemon(socket_path);
+  EXPECT_TRUE(stop.ok) << stop.error;
+  serve.join();
+}
+
+// The acceptance pin: a metrics-on daemon commits byte-identical histories
+// and checkpoints to a metrics-off daemon for the same jobs. Recording must
+// observe, never perturb.
+TEST(WfdObservability, MetricsOnIsBitIdenticalToMetricsOff) {
+  ScopedRecordingOff restore;
+  std::vector<std::string> yamls = {
+      JobYaml("obs-det-deeptune", "nginx", "deeptune", 40, 51),
+      JobYaml("obs-det-random", "redis", "random", 40, 52, /*parallel=*/2),
+  };
+
+  auto run_fleet = [&](const char* tag, bool metrics_on) {
+    std::string socket_path = TempPath((std::string("wf_obs_det_") + tag + ".sock").c_str());
+    WfdOptions options;
+    options.socket_path = socket_path;
+    options.poll_ms = 10;
+    options.manager.store_dir =
+        FreshDir((std::string("wf_obs_det_store_") + tag).c_str());
+    options.metrics = metrics_on;
+    WfdServer server(options);
+    EXPECT_TRUE(server.Start()) << server.error();
+    std::thread serve([&] { server.Serve(); });
+    std::vector<std::string> payloads;
+    for (const std::string& yaml : yamls) {
+      ServiceCallResult submitted = SubmitJob(socket_path, yaml);
+      EXPECT_TRUE(submitted.ok) << submitted.error;
+      EXPECT_TRUE(server.manager().WaitDone(submitted.response.id, 120000));
+      ServiceCallResult result = FetchResult(socket_path, submitted.response.id);
+      EXPECT_TRUE(result.ok) << result.error;
+      payloads.push_back(result.payload);
+    }
+    ServiceCallResult stop = StopDaemon(socket_path);
+    EXPECT_TRUE(stop.ok) << stop.error;
+    serve.join();
+    return payloads;
+  };
+
+  std::vector<std::string> off = run_fleet("off", false);
+  obs::SetEnabled(false);  // The metrics-on fleet must enable it itself.
+  std::vector<std::string> on = run_fleet("on", true);
+  ASSERT_EQ(off.size(), on.size());
+  for (size_t i = 0; i < off.size(); ++i) {
+    // Byte-for-byte on the checkpoint text, with only the wall-clock
+    // searcher_seconds field masked (it is nondeterministic in both runs).
+    EXPECT_EQ(StripWallClock(off[i]), StripWallClock(on[i])) << yamls[i];
+  }
 }
 
 }  // namespace

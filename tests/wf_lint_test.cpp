@@ -350,6 +350,69 @@ TEST(ConcLockOrder, CommentBlockAboveOrTrailingSatisfies) {
   EXPECT_TRUE(Lint("src/transport/event_loop.cc", use).empty());
 }
 
+// --- observability: obs-clock-seam -------------------------------------------
+
+TEST(ObsClockSeam, FiresOnRawClockGettimeOutsideObs) {
+  // Harvested from src/transport/event_loop.cc (PR 7): the idle-sweep
+  // timestamp helper, rerouted through obs::NowMs() in PR 10.
+  std::string bad =
+      "int64_t NowMs() {\n"
+      "  struct timespec ts;\n"
+      "  clock_gettime(CLOCK_MONOTONIC, &ts);\n"
+      "  return ts.tv_sec * 1000 + ts.tv_nsec / 1000000;\n"
+      "}\n";
+  EXPECT_EQ(
+      CountRule(Lint("src/transport/event_loop.cc", bad), "obs-clock-seam"), 1);
+  // The seam itself is exempt — that is where the clock lives.
+  EXPECT_TRUE(Lint("src/obs/clock.cc", bad).empty());
+}
+
+TEST(ObsClockSeam, FiresOnSteadyClockTypeUse) {
+  // Harvested from src/util/sim_clock.cc (PR 1): WallTimer's direct
+  // steady_clock reads, rerouted through obs::NowNs() in PR 10. The type
+  // name is flagged anywhere (not just call position): clock types leak
+  // through auto and member declarations.
+  std::string historical =
+      "double WallTimer::Seconds() const {\n"
+      "  auto now = std::chrono::steady_clock::now();\n"
+      "  return std::chrono::duration<double>(now - start_).count();\n"
+      "}\n";
+  auto diags = Lint("src/util/sim_clock.cc", historical);
+  EXPECT_EQ(CountRule(diags, "obs-clock-seam"), 1) << FormatText(diags);
+}
+
+TEST(ObsClockSeam, SeamRouteAndMemberAccessAreSilent) {
+  std::string good =
+      "bool WaitDone(int64_t timeout_ms) {\n"
+      "  auto deadline = obs::DeadlineAfterMs(timeout_ms);\n"
+      "  return obs::NowNs() < 0;\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/service/session_manager.cc", good).empty());
+  // A member that merely shares the clock's name is someone else's object.
+  std::string member = "void f(T& t) {\n  t.steady_clock = 1;\n}\n";
+  EXPECT_TRUE(Lint("src/core/fixture.cc", member).empty());
+}
+
+TEST(ObsDeterminism, BannedCallsCoverObsDir) {
+  // src/obs/ sits inside instrumented search-core code, so the ambient-
+  // entropy bans extend to it: its one sanctioned clock is steady_clock.
+  std::string bad =
+      "uint64_t Stamp() {\n"
+      "  return static_cast<uint64_t>(time(nullptr));\n"
+      "}\n";
+  EXPECT_EQ(CountRule(Lint("src/obs/metrics.cc", bad), "det-banned-call"), 1);
+}
+
+TEST(ObsLockOrder, ObsMutexMembersNeedComments) {
+  std::string bad =
+      "class TraceRing {\n"
+      " private:\n"
+      "  std::mutex mutex_;\n"
+      "};\n";
+  EXPECT_EQ(
+      CountRule(Lint("src/obs/trace.h", bad), "conc-lock-order-comment"), 1);
+}
+
 // --- hot path: hot-path-alloc -----------------------------------------------
 
 // Assembles the hot-path marker (word, colon) without this comment or the

@@ -85,7 +85,7 @@ int Usage() {
                "service mode (all take [--socket P] [--binary] [--reconnect N]\n"
                "              [--retry-unsafe], default %s):\n"
                "  serve  [--store DIR] [--checkpoint-dir DIR] [--max-sessions N]\n"
-               "         [--journal P | --no-journal] [--no-recover]\n"
+               "         [--journal P | --no-journal] [--no-recover] [--metrics]\n"
                "                                       run the wfd daemon in the foreground\n"
                "  submit <job.yaml> [--no-warm-start] [fault flags]\n"
                "                                       queue a job; prints its session id\n"
@@ -97,6 +97,13 @@ int Usage() {
                "  pause  <id> | resume <id>            pause/resume at a round boundary\n"
                "  store-compact                        rewrite the trial store dropping\n"
                "                                       superseded duplicate records\n"
+               "  metrics [--watch [--interval-ms N]]  dump the daemon's metrics registry\n"
+               "                                       (--watch re-fetches until Ctrl-C;\n"
+               "                                       needs a daemon serving --metrics for\n"
+               "                                       nonzero counters)\n"
+               "  trace  <id> [--out P]                fetch a session's trial trace as\n"
+               "                                       Chrome trace JSON (chrome://tracing\n"
+               "                                       or https://ui.perfetto.dev)\n"
                "  stop                                 drain every session and exit wfd\n"
                "fault flags (hostile-world injection, see docs/robustness.md):\n"
                "  --flake-prob P --timeout-prob P --hang-prob P --timeout-s S\n"
@@ -604,6 +611,7 @@ struct ServiceArgs {
   int poll_ms = 0;  // watch: > 0 forces the legacy polling loop.
   bool binary = false;
   bool warm_start = true;
+  bool watch_metrics = false;  // metrics: refresh until interrupted.
   bool ok = true;
   // Client resilience: --reconnect N re-dials a vanished daemon with
   // exponential backoff for idempotent commands; --retry-unsafe opts
@@ -614,6 +622,7 @@ struct ServiceArgs {
   std::string journal_path;
   bool no_journal = false;
   bool no_recover = false;
+  bool metrics = false;  // serve: start with obs recording enabled.
   // submit: fault flags appended to the job text as a `faults:` block.
   FaultOverrides fault_overrides;
 
@@ -678,6 +687,8 @@ ServiceArgs ParseServiceArgs(int argc, char** argv) {
       }
     } else if (flag == "--binary") {
       args.binary = true;
+    } else if (flag == "--watch") {
+      args.watch_metrics = true;
     } else if (flag == "--no-warm-start") {
       args.warm_start = false;
     } else if (flag == "--reconnect") {
@@ -698,6 +709,8 @@ ServiceArgs ParseServiceArgs(int argc, char** argv) {
       args.no_journal = true;
     } else if (flag == "--no-recover") {
       args.no_recover = true;
+    } else if (flag == "--metrics") {
+      args.metrics = true;
     } else if (const char* fault_key = FaultKeyForFlag(flag); fault_key != nullptr) {
       if (take(&value)) {
         args.fault_overrides.emplace_back(fault_key, value);
@@ -730,9 +743,63 @@ int CmdServe(const ServiceArgs& args) {
     options.manager.journal_path.clear();
   }
   options.recover = !args.no_recover;
+  options.metrics = args.metrics;
   // The shared foreground bootstrap: signal-wired graceful drain, banner,
   // serve loop — identical to the standalone `wfd` binary by construction.
   return RunWfdForeground(options);
+}
+
+// `wfctl metrics [--watch]`: dump the daemon's live metrics registry (the
+// text rendering from src/obs/metrics.h, sent as a payload frame exactly
+// like `result`). --watch re-fetches every --interval-ms; each refresh is
+// separated by a form-feed-style rule so the stream stays greppable.
+int CmdMetrics(const ServiceArgs& args) {
+  for (;;) {
+    ServiceRequest request;
+    request.command = "metrics";
+    ServiceCallResult call =
+        CallServiceRetry(args.socket_path, request, args.Policy(), "", args.binary);
+    if (!call.ok) {
+      std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
+      return 1;
+    }
+    std::fwrite(call.payload.data(), 1, call.payload.size(), stdout);
+    if (!args.watch_metrics) {
+      return 0;
+    }
+    std::printf("---\n");
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.interval_ms));
+  }
+}
+
+// `wfctl trace <id> [--out P]`: fetch the session's trial trace as Chrome
+// trace_event JSON — load it in chrome://tracing or ui.perfetto.dev. Empty
+// events array (still valid JSON) unless the daemon is recording
+// (`--metrics`).
+int CmdTrace(const ServiceArgs& args) {
+  ServiceRequest request;
+  request.command = "trace";
+  request.id = args.positional;
+  ServiceCallResult call =
+      CallServiceRetry(args.socket_path, request, args.Policy(), "", args.binary);
+  if (!call.ok) {
+    std::fprintf(stderr, "wfctl: %s\n", call.error.c_str());
+    return 1;
+  }
+  if (args.out_path.empty()) {
+    std::fwrite(call.payload.data(), 1, call.payload.size(), stdout);
+    return 0;
+  }
+  std::ofstream out(args.out_path);
+  out << call.payload;
+  if (!out) {
+    std::fprintf(stderr, "wfctl: cannot write %s\n", args.out_path.c_str());
+    return 1;
+  }
+  std::printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+              args.out_path.c_str());
+  return 0;
 }
 
 int CmdSubmit(const ServiceArgs& args) {
@@ -996,7 +1063,8 @@ int Main(int argc, char** argv) {
         service_command == "status" || service_command == "watch" ||
         service_command == "result" || service_command == "pause" ||
         service_command == "resume" || service_command == "stop" ||
-        service_command == "store-compact") {
+        service_command == "store-compact" || service_command == "metrics" ||
+        service_command == "trace") {
       ServiceArgs args = ParseServiceArgs(argc - 2, argv + 2);
       if (!args.ok) {
         return 2;
@@ -1013,6 +1081,9 @@ int Main(int argc, char** argv) {
       if (service_command == "store-compact") {
         return CmdStoreCompact(args);
       }
+      if (service_command == "metrics") {
+        return CmdMetrics(args);
+      }
       if (args.positional.empty()) {
         std::fprintf(stderr, "wfctl: %s needs a %s argument\n", service_command.c_str(),
                      service_command == "submit" ? "job file" : "session id");
@@ -1026,6 +1097,9 @@ int Main(int argc, char** argv) {
       }
       if (service_command == "result") {
         return CmdResult(args);
+      }
+      if (service_command == "trace") {
+        return CmdTrace(args);
       }
       return CmdSessionControl(service_command.c_str(), args);
     }

@@ -21,7 +21,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: wfd [--socket P] [--store DIR] [--checkpoint-dir DIR]\n"
                "           [--max-sessions N] [--idle-timeout-ms N]\n"
-               "           [--journal P | --no-journal] [--no-recover]\n");
+               "           [--journal P | --no-journal] [--no-recover] [--metrics]\n");
   return 2;
 }
 
@@ -56,6 +56,12 @@ int main(int argc, char** argv) {
       journal_off = true;
     } else if (flag == "--no-recover") {
       options.recover = false;
+    } else if (flag == "--metrics") {
+      // Metrics/trace recording on from startup (queryable live via
+      // `wfctl metrics` / `wfctl trace`). Off by default: recording off
+      // keeps the daemon's trajectories and wire frames byte-identical to
+      // a build without the observability plane.
+      options.metrics = true;
     } else if (flag == "--idle-timeout-ms" && (value = take()) != nullptr) {
       // How long a silent connection survives the transport's idle sweep
       // (watch subscriptions are exempt; see src/transport/event_loop.h).
